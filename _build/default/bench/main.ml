@@ -1,0 +1,575 @@
+(** Experiment harness: regenerates every table and figure of the paper's
+    evaluation, plus Bechamel micro-benchmarks of the scheduler internals.
+
+    {v
+      dune exec bench/main.exe            # everything
+      dune exec bench/main.exe table3     # one experiment
+      dune exec bench/main.exe -- --list  # available experiments
+    v}
+
+    Paper-vs-measured records for each experiment are written to
+    EXPERIMENTS.md by hand from this output (the shapes are deterministic;
+    wall-clock figures vary with the host). *)
+
+open Hls_ir
+open Hls_core
+open Hls_frontend
+
+let lib = Hls_techlib.Library.artisan90
+let clock = 1600.0
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let narrative_opts = { Scheduler.default_options with seed_latency_floor = false }
+
+let flow_opts ?ii ?min_latency ?max_latency ?(clock_ps = clock) ?(sched = Scheduler.default_options)
+    () =
+  { Hls_flow.Flow.default_options with ii; min_latency; max_latency; clock_ps; sched; sim_iters = 60 }
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: initial set of resources with delays                       *)
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  section "TABLE 1 — initial set of resources with delays (artisan 90nm, ps)";
+  let rows = Hls_techlib.Library.table1_rows lib in
+  let paper = [ ("mul", 930.); ("add", 350.); ("gt", 220.); ("neq", 60.); ("ff", 40.); ("ff_en", 70.); ("mux2", 110.); ("mux3", 115.) ] in
+  Hls_report.Table.print
+    ([ "resource"; "delay (ours)"; "delay (paper)" ]
+    :: List.map
+         (fun (name, d) ->
+           [ name; Printf.sprintf "%.0f" d;
+             (match List.assoc_opt name paper with Some p -> Printf.sprintf "%.0f" p | None -> "-") ])
+         rows);
+  print_endline "Fig. 8 worked arithmetic: ff + mux2 + mul + mux2 + ff_setup =";
+  Printf.printf "  40 + 110 + 930 + 110 + 40 = %.0f ps (paper: 1230)\n"
+    (lib.Hls_techlib.Library.ff_clk_q +. 110. +. 930. +. 110. +. lib.Hls_techlib.Library.ff_setup)
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: schedule for Example 1                                      *)
+(* ------------------------------------------------------------------ *)
+
+let schedule_example1 ?ii ?(max_latency = 3) ?(opts = narrative_opts) () =
+  let e = Hls_designs.Example1.elaborated ~max_latency ?ii () in
+  let region = Elaborate.main_region e in
+  match Scheduler.schedule ~opts ~lib ~clock_ps:clock region with
+  | Ok s -> (e, s)
+  | Error err -> failwith ("example1 schedule failed: " ^ err.Scheduler.e_message)
+
+let table2 () =
+  section "TABLE 2 — schedule for Example 1 (sequential, Tclk = 1600 ps)";
+  let _, s = schedule_example1 () in
+  Hls_report.Table.print (Scheduler.to_table s);
+  Printf.printf "LI = %d states, %d passes, relaxations: %s\n" s.Scheduler.s_li s.Scheduler.s_passes
+    (String.concat " | " s.Scheduler.s_actions);
+  print_endline "paper: s1 = {mul1, add, neq}, s2 = {mul2, gt, mux}, s3 = {mul3}; single multiplier"
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: micro-architecture comparison                               *)
+(* ------------------------------------------------------------------ *)
+
+let table3 () =
+  section "TABLE 3 — comparing micro-architectures for Example 1";
+  let run name ii =
+    let options = flow_opts ?ii ~max_latency:4 () in
+    match Hls_flow.Flow.run ~options (Hls_designs.Example1.design ()) with
+    | Ok r -> (name, r.Hls_flow.Flow.f_cycles_per_iter, r.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total,
+               (match r.Hls_flow.Flow.f_equiv with Some v -> v.Hls_sim.Equiv.equivalent | None -> false))
+    | Error e -> failwith (name ^ ": " ^ e.Hls_flow.Flow.err_message)
+  in
+  let rows =
+    [ run "Sequential (S)" None; run "Pipe II=2 (P2)" (Some 2); run "Pipe II=1 (P1)" (Some 1) ]
+  in
+  let paper = [ (3, 16094); (2, 24010); (1, 30491) ] in
+  Hls_report.Table.print
+    ([ "arch"; "cycles/iter"; "area (ours)"; "area (paper)"; "verified" ]
+    :: List.map2
+         (fun (n, c, a, ok) (pc, pa) ->
+           [ n; string_of_int c; Printf.sprintf "%.0f" a;
+             Printf.sprintf "%d (cycles %d)" pa pc; (if ok then "yes" else "NO") ])
+         rows paper);
+  let areas = List.map (fun (_, _, a, _) -> a) rows in
+  (match areas with
+  | [ s; p2; p1 ] ->
+      Printf.printf "ordering S < P2 < P1: %b (paper: true)\n" (s < p2 && p2 < p1);
+      Printf.printf "deltas: P2-S = %.0f (paper 7916), P1-P2 = %.0f (paper 6481)\n" (p2 -. s) (p1 -. p2)
+  | _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: impact of the time-driven SCC-move heuristic                *)
+(* ------------------------------------------------------------------ *)
+
+let table4_designs () =
+  (* seven timing-critical pipelined designs (the paper's D1..D7 are
+     proprietary; these are tight-clock pipelined kernels whose
+     accumulator SCCs contain real multiplications, the shape the SCC-move
+     heuristic exists for) *)
+  [
+    ("D1 example1 II=1", Hls_designs.Example1.design (), 1, clock);
+    ("D2 example1 II=2", Hls_designs.Example1.design (), 2, 1500.0);
+    ("D3 agc d1 II=1", Hls_designs.Agc.design ~name:"agc_d1" ~depth:1 ~width:20 (), 1, clock);
+    ("D4 agc w10 II=1", Hls_designs.Agc.design ~name:"agc_w10" ~depth:1 ~width:10 (), 1, clock);
+    ("D5 agc d1 II=2", Hls_designs.Agc.design ~name:"agc_w" ~depth:1 ~width:28 (), 2, 1400.0);
+    ("D6 agc w12 II=2", Hls_designs.Agc.design ~name:"agc_w12" ~depth:1 ~width:12 (), 2, 1500.0);
+    ("D7 agc d2 II=3", Hls_designs.Agc.design ~name:"agc_ii3" ~depth:2 ~width:24 (), 3, 1200.0);
+  ]
+
+let table4 () =
+  section "TABLE 4 — % area penalty with the SCC-move action disabled";
+  let penalty (name, d, ii, clk) =
+    let normal = flow_opts ~ii ~clock_ps:clk () in
+    let ablated =
+      {
+        normal with
+        Hls_flow.Flow.sched =
+          {
+            Scheduler.default_options with
+            expert = { Expert.default_options with Expert.enable_scc_move = false };
+            tolerate_scc_slack = true;
+          };
+        verify = false;
+      }
+    in
+    match (Hls_flow.Flow.run ~options:normal d, Hls_flow.Flow.run ~options:ablated d) with
+    | Ok a, Ok b ->
+        let pa = a.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total in
+        let pb = b.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total in
+        Some (name, pa, pb, (pb -. pa) /. pa *. 100.0, b.Hls_flow.Flow.f_area.Hls_rtl.Stats.wns)
+    | Error e, _ | _, Error e ->
+        Printf.printf "  (%s skipped: %s)\n" name e.Hls_flow.Flow.err_message;
+        None
+  in
+  let rows = List.filter_map penalty (table4_designs ()) in
+  Hls_report.Table.print
+    ([ "design"; "area (moves on)"; "area (moves off)"; "% penalty"; "wns off (ps)" ]
+    :: List.map
+         (fun (n, a, b, p, w) ->
+           [ n; Printf.sprintf "%.0f" a; Printf.sprintf "%.0f" b; Printf.sprintf "%.1f" p;
+             Printf.sprintf "%.0f" w ])
+         rows);
+  let avg = List.fold_left (fun acc (_, _, _, p, _) -> acc +. p) 0.0 rows /. float_of_int (max 1 (List.length rows)) in
+  Printf.printf "average penalty: %.1f %% (paper: 13.5 %%, designs D1..D7: 14.7/2.7/33.0/21.5/3.7/6.4/12.9)\n" avg
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: pipelining Example 1 with LI=3 and II=2                      *)
+(* ------------------------------------------------------------------ *)
+
+let fig5 () =
+  section "FIG 5 — pipeline kernel for Example 1 (LI=3, II=2)";
+  let _, s = schedule_example1 ~ii:2 ~max_latency:4 () in
+  let f = Pipeline.fold s in
+  Hls_report.Table.print (Pipeline.to_table s f);
+  Printf.printf "stages = %d, kernel states = %d (paper: 2 stages, II=2)\n" f.Pipeline.f_stages
+    f.Pipeline.f_ii
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 8: datapath modelling during scheduling                          *)
+(* ------------------------------------------------------------------ *)
+
+let fig8 () =
+  section "FIG 8 — datapath delay queries during binding (Example 1, pass 1)";
+  let e = Hls_designs.Example1.elaborated ~max_latency:1 ~min_latency:1 () in
+  let region = Elaborate.main_region e in
+  let trace = Trace.create () in
+  (match Scheduler.schedule ~opts:narrative_opts ~trace ~lib ~clock_ps:clock region with
+  | Ok _ -> ()
+  | Error _ -> ());
+  (* the narrative of interest is in the first pass events *)
+  List.iter print_endline
+    (List.filteri (fun i _ -> i < 14) (Trace.events trace));
+  print_endline "paper: mul binds at 1230 ps, add chains to 1580 ps, gt fails at 1800 ps (slack -200)"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 9: scheduling time vs number of operations                      *)
+(* ------------------------------------------------------------------ *)
+
+(* the population is capped at ~1000 ops so the whole sweep runs in
+   minutes; the paper's own scheduler averaged 7 minutes per design, and
+   the observation under test — runtime does not correlate with size —
+   shows at this scale too *)
+let fig9 ?(n = 40) ?(hi = 1000) () =
+  section (Printf.sprintf "FIG 9 — scheduling time vs design size (%d synthetic designs)" n);
+  let designs = Hls_designs.Synthetic.population ~n ~lo:100 ~hi ~seed:17 () in
+  (* constraint tightness — the paper's actual runtime driver — varies via
+     the clock: tight small designs burn passes, relaxed large ones don't *)
+  let clocks = [| 1150.0; 2400.0; 1300.0; 1800.0; 1600.0 |] in
+  let points =
+    List.filter_map
+      (fun (idx, d) ->
+        let e = Elaborate.design d in
+        let region = Elaborate.main_region e in
+        let ops = Region.n_members region in
+        (* wide-operand giants are not schedulable at the tightest clocks;
+           assign those a relaxed period (the paper's large customer
+           designs were likewise not its most constrained ones) *)
+        let clock =
+          let c = clocks.(idx mod Array.length clocks) in
+          if ops > 1400 then max c 1600.0 else c
+        in
+        match Scheduler.schedule ~lib ~clock_ps:clock region with
+        | Ok s ->
+            Printf.printf "  %-22s %5d ops  clk %4.0f  %7.2f s  (%d passes, %d insts)\n%!"
+              d.Ast.d_name ops clock s.Scheduler.s_sched_time_s s.Scheduler.s_passes
+              (List.length s.Scheduler.s_binding.Binding.insts);
+            Some ((float_of_int ops, float_of_int s.Scheduler.s_passes), s.Scheduler.s_sched_time_s)
+        | Error err ->
+            Printf.printf "  %-22s %5d ops  clk %4.0f  FAILED (%s)\n%!" d.Ast.d_name ops clock
+              err.Scheduler.e_message;
+            None)
+      (List.mapi (fun i d -> (i, d)) designs)
+  in
+  let points_passes = List.map (fun ((_, p), t) -> (p, t)) points in
+  let points = List.map (fun ((o, _), t) -> (o, t)) points in
+  Hls_report.Plot.print ~x_scale:Hls_report.Plot.Log10 ~title:"scheduling time vs #ops"
+    ~x_label:"#ops" ~y_label:"time (s)"
+    [ Hls_report.Plot.series "designs" points ];
+  (* the paper's observation: runtime does not correlate with size *)
+  let xs = List.map fst points and ys = List.map snd points in
+  let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  let mx = mean xs and my = mean ys in
+  let cov = mean (List.map2 (fun x y -> (x -. mx) *. (y -. my)) xs ys) in
+  let sx = sqrt (mean (List.map (fun x -> (x -. mx) ** 2.0) xs)) in
+  let sy = sqrt (mean (List.map (fun y -> (y -. my) ** 2.0) ys)) in
+  let r_size = if sx *. sy = 0.0 then 0.0 else cov /. (sx *. sy) in
+  let xs2 = List.map fst points_passes and ys2 = List.map snd points_passes in
+  let mx2 = mean xs2 and my2 = mean ys2 in
+  let cov2 = mean (List.map2 (fun x y -> (x -. mx2) *. (y -. my2)) xs2 ys2) in
+  let sx2 = sqrt (mean (List.map (fun x -> (x -. mx2) ** 2.0) xs2)) in
+  let sy2 = sqrt (mean (List.map (fun y -> (y -. my2) ** 2.0) ys2)) in
+  let r_passes = if sx2 *. sy2 = 0.0 then 0.0 else cov2 /. (sx2 *. sy2) in
+  (* tightness spread at similar size: the ratio of slowest to fastest
+     runtime among mid-population designs *)
+  let mid = List.filter (fun (o, _) -> o >= 300.0 && o <= 900.0) points in
+  let spread =
+    match mid with
+    | [] -> 1.0
+    | (_, t) :: _ ->
+        let mx = List.fold_left (fun a (_, t) -> max a t) t mid in
+        let mn = List.fold_left (fun a (_, t) -> min a t) t mid in
+        if mn > 0.0 then mx /. mn else 1.0
+  in
+  Printf.printf
+    "Pearson r(#ops, time) = %.2f, r(#passes, time) = %.2f; %.0fx runtime spread among\n\
+     similar-size designs (paper: \"execution time does not correlate with input CDFG size\",\n\
+     \"depends on the number of pass scheduler calls\" — our per-pass cost does grow with\n\
+     op count, so a moderate size correlation remains; the tightness-driven spread at\n\
+     fixed size is the paper's observable)\n"
+    r_size r_passes spread
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 10 and 11: area/delay and power/delay for the IDCT              *)
+(* ------------------------------------------------------------------ *)
+
+let idct_sweep () =
+  (* each curve = a micro-architecture (loop latency, pipelined or not);
+     points along a curve = different clock periods at that latency *)
+  let latencies = [ 8; 16; 24; 32 ] in
+  let clocks = [ 1200.0; 1600.0; 2400.0 ] in
+  List.concat_map
+    (fun l ->
+      List.concat_map
+        (fun pipelined ->
+          List.filter_map
+            (fun clk ->
+              let ii = if pipelined then Some (l / 2) else None in
+              let options =
+                flow_opts ?ii ~min_latency:l ~max_latency:l ~clock_ps:clk ()
+              in
+              let options = { options with Hls_flow.Flow.verify = false } in
+              match Hls_flow.Flow.run ~options (Hls_designs.Idct.design ()) with
+              | Ok r ->
+                  Some
+                    ( (if pipelined then Printf.sprintf "Pipelined %d" l
+                       else Printf.sprintf "Non-Pipelined %d" l),
+                      r )
+              | Error _ -> None)
+            clocks)
+        [ false; true ])
+    latencies
+
+let fig10_11 () =
+  section "FIG 10 / FIG 11 — area/delay and power/delay for the IDCT design space";
+  let runs = idct_sweep () in
+  Printf.printf "%d HLS runs (paper: 25 runs)\n" (List.length runs);
+  Hls_report.Table.print
+    ([ "curve"; "clock (ps)"; "II"; "delay (ns)"; "area"; "power (mW)" ]
+    :: List.map
+         (fun (name, (r : Hls_flow.Flow.t)) ->
+           [
+             name;
+             Printf.sprintf "%.0f" r.Hls_flow.Flow.f_clock_ps;
+             string_of_int r.Hls_flow.Flow.f_cycles_per_iter;
+             Printf.sprintf "%.1f" (r.Hls_flow.Flow.f_delay_ps /. 1000.0);
+             Printf.sprintf "%.0f" r.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total;
+             Printf.sprintf "%.2f" r.Hls_flow.Flow.f_power_mw;
+           ])
+         runs);
+  let by_curve =
+    List.sort_uniq compare (List.map fst runs)
+    |> List.mapi (fun i name ->
+           let pts =
+             List.filter_map
+               (fun (n, r) ->
+                 if n = name then
+                   Some (r.Hls_flow.Flow.f_delay_ps /. 1000.0, r.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total)
+                 else None)
+               runs
+           in
+           Hls_report.Plot.series
+             ~glyph:Hls_report.Plot.default_glyphs.(i mod 8)
+             name pts)
+  in
+  Hls_report.Plot.print ~title:"FIG 10: area vs delay (inverse throughput)" ~x_label:"delay (ns)"
+    ~y_label:"area" by_curve;
+  let by_curve_p =
+    List.sort_uniq compare (List.map fst runs)
+    |> List.mapi (fun i name ->
+           let pts =
+             List.filter_map
+               (fun (n, r) ->
+                 if n = name then Some (r.Hls_flow.Flow.f_delay_ps /. 1000.0, r.Hls_flow.Flow.f_power_mw)
+                 else None)
+               runs
+           in
+           Hls_report.Plot.series ~glyph:Hls_report.Plot.default_glyphs.(i mod 8) name pts)
+  in
+  Hls_report.Plot.print ~title:"FIG 11: power vs delay" ~x_label:"delay (ns)" ~y_label:"power (mW)"
+    by_curve_p;
+  (* Pareto analysis: the paper's key claim — the best (bottom-left) point
+     is reachable only by pipelining *)
+  let pts =
+    List.map
+      (fun (n, r) ->
+        Hls_report.Pareto.point ~x:(r.Hls_flow.Flow.f_delay_ps) ~y:r.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total n)
+      runs
+  in
+  let front = Hls_report.Pareto.front pts in
+  Printf.printf "area/delay Pareto front: %s\n"
+    (String.concat ", "
+       (List.map (fun p -> Printf.sprintf "%s@%.1fns" p.Hls_report.Pareto.p_tag (p.Hls_report.Pareto.p_x /. 1000.)) front));
+  let fastest = List.hd front in
+  Printf.printf "fastest Pareto point is pipelined: %b (paper: true — \"the best Pareto point can \
+                 be achieved only by pipelining\")\n"
+    (String.length fastest.Hls_report.Pareto.p_tag >= 4
+    && String.sub fastest.Hls_report.Pareto.p_tag 0 4 = "Pipe")
+
+(* ------------------------------------------------------------------ *)
+(* Worked examples 1-3 narratives                                       *)
+(* ------------------------------------------------------------------ *)
+
+let examples () =
+  section "EXAMPLES 1-3 — relaxation narratives";
+  let narrate name ?ii ?(max_latency = 3) () =
+    Printf.printf "\n--- %s ---\n" name;
+    let e = Hls_designs.Example1.elaborated ~max_latency ?ii () in
+    let region = Elaborate.main_region e in
+    let trace = Trace.create () in
+    (match Scheduler.schedule ~opts:narrative_opts ~trace ~lib ~clock_ps:clock region with
+    | Ok s ->
+        List.iter
+          (fun ev -> if not (String.length ev > 3 && String.sub ev 0 4 = "    ") then print_endline ev)
+          (Trace.events trace);
+        Printf.printf "=> success: LI=%d, passes=%d\n" s.Scheduler.s_li s.Scheduler.s_passes
+    | Error err -> Printf.printf "=> failed: %s\n" err.Scheduler.e_message)
+  in
+  narrate "Example 1: sequential (paper: fails at LI=1 and 2, succeeds at 3)" ();
+  narrate "Example 2: pipelined II=2 (paper: succeeds immediately at LI=3)" ~ii:2 ~max_latency:4 ();
+  narrate "Example 3: pipelined II=1 (paper: SCC moved to s2, 3 multipliers)" ~ii:1 ~max_latency:4 ()
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison (Section III context)                            *)
+(* ------------------------------------------------------------------ *)
+
+let baselines () =
+  section "BASELINES — unified timing-aware engine vs modulo scheduling vs schedule-then-fold";
+  let designs =
+    [
+      ("example1 II=2", Hls_designs.Example1.design (), 2);
+      ("example1 II=1", Hls_designs.Example1.design (), 1);
+      ("fir8 II=1", Hls_designs.Fir.design (), 1);
+      ("fft II=1", Hls_designs.Fft.design (), 1);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, d, ii) ->
+        let ours =
+          let e = Elaborate.design d in
+          let region = Elaborate.main_region ~ii e in
+          match Scheduler.schedule ~lib ~clock_ps:clock region with
+          | Ok s ->
+              let rep = Binding.timing_report s.Scheduler.s_binding in
+              let syn = Hls_timing.Synthesize.run lib rep in
+              [ [ name ^ " / ours"; string_of_int s.Scheduler.s_li;
+                  Printf.sprintf "%.0f" syn.Hls_timing.Synthesize.s_wns;
+                  Printf.sprintf "%.0f" syn.Hls_timing.Synthesize.s_area;
+                  string_of_int syn.Hls_timing.Synthesize.s_upsized ] ]
+          | Error _ -> [ [ name ^ " / ours"; "-"; "-"; "-"; "-" ] ]
+        in
+        let modulo =
+          (* unpinned: the cycle-grained engine reports the II it can reach
+             (its chaining-blind RecMII is larger than ours) *)
+          let e = Elaborate.design d in
+          let region = Elaborate.main_region ~ii e in
+          match Hls_baseline.Modulo.schedule ~lib ~clock_ps:clock region with
+          | Ok m ->
+              let rep = Binding.timing_report m.Hls_baseline.Modulo.m_binding in
+              let syn = Hls_timing.Synthesize.run lib rep in
+              [ [ Printf.sprintf "%s / modulo (reaches II=%d)" name m.Hls_baseline.Modulo.m_ii;
+                  string_of_int m.Hls_baseline.Modulo.m_li;
+                  Printf.sprintf "%.0f" syn.Hls_timing.Synthesize.s_wns;
+                  Printf.sprintf "%.0f" syn.Hls_timing.Synthesize.s_area;
+                  string_of_int syn.Hls_timing.Synthesize.s_upsized ] ]
+          | Error e -> [ [ name ^ " / modulo"; "-"; e.Hls_baseline.Modulo.m_message; "-"; "-" ] ]
+        in
+        let sehwa =
+          let e = Elaborate.design d in
+          let region = Elaborate.main_region ~ii e in
+          match Hls_baseline.Sehwa.schedule ~ii ~lib ~clock_ps:clock region with
+          | Ok m ->
+              let rep = Binding.timing_report m.Hls_baseline.Sehwa.s_binding in
+              let syn = Hls_timing.Synthesize.run lib rep in
+              [ [ name ^ " / schedule-then-fold";
+                  Printf.sprintf "%d (%d attempts)" m.Hls_baseline.Sehwa.s_li m.Hls_baseline.Sehwa.s_attempts;
+                  Printf.sprintf "%.0f" syn.Hls_timing.Synthesize.s_wns;
+                  Printf.sprintf "%.0f" syn.Hls_timing.Synthesize.s_area;
+                  string_of_int syn.Hls_timing.Synthesize.s_upsized ] ]
+          | Error e -> [ [ name ^ " / schedule-then-fold"; "-"; e.Hls_baseline.Sehwa.s_message; "-"; "-" ] ]
+        in
+        ours @ modulo @ sehwa)
+      designs
+  in
+  Hls_report.Table.print
+    ([ "engine"; "LI"; "wns after synth (ps)"; "resource area"; "#upsized" ] :: rows);
+  print_endline
+    "shape: the unified chaining-aware engine reaches the designer's II at short LI; the\n\
+     cycle-grained modulo baseline cannot chain, so its recurrence bound forces a larger II\n\
+     (and much larger LI), and schedule-then-fold never converges on recurrences -- the\n\
+     decoupling weaknesses Section III describes."
+
+(* ------------------------------------------------------------------ *)
+(* Timing-awareness ablation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ablation_timing () =
+  section "ABLATION — netlist-accurate timing vs naive additive timing during scheduling";
+  let designs =
+    [ ("example1 II=1", Hls_designs.Example1.design (), Some 1, clock);
+      ("idct seq (shared)", Hls_designs.Idct.design ~min_latency:16 ~max_latency:16 (), None, 1500.0);
+      ("fir8 II=1", Hls_designs.Fir.design (), Some 1, 1400.0);
+      ("sobel seq", Hls_designs.Conv.design (), None, 900.0) ]
+  in
+  let rows =
+    List.filter_map
+      (fun (name, d, ii, clk) ->
+        let aware = flow_opts ?ii ~clock_ps:clk () in
+        let naive =
+          { aware with
+            Hls_flow.Flow.sched = { Scheduler.default_options with timing_aware = false };
+            verify = false }
+        in
+        match (Hls_flow.Flow.run ~options:aware d, Hls_flow.Flow.run ~options:naive d) with
+        | Ok a, Ok b ->
+            Some
+              [ name;
+                Printf.sprintf "%.0f / %.0f" a.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total
+                  b.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total;
+                Printf.sprintf "%.0f / %.0f" a.Hls_flow.Flow.f_area.Hls_rtl.Stats.wns
+                  b.Hls_flow.Flow.f_area.Hls_rtl.Stats.wns ]
+        | _ -> Some [ name; "(one side failed)"; "-" ])
+      designs
+  in
+  Hls_report.Table.print ([ "design"; "area aware/naive"; "wns aware/naive (ps)" ] :: rows)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                            *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "MICRO — Bechamel benchmarks of the scheduler internals";
+  let open Bechamel in
+  let e = Hls_designs.Example1.elaborated ~max_latency:4 () in
+  let region = Elaborate.main_region ~ii:2 e in
+  let sched_example1 =
+    Test.make ~name:"schedule example1 (II=2, full relaxation loop)"
+      (Staged.stage (fun () ->
+           let e = Hls_designs.Example1.elaborated ~max_latency:4 ~ii:2 () in
+           let region = Elaborate.main_region e in
+           ignore (Scheduler.schedule ~lib ~clock_ps:clock region)))
+  in
+  let asap =
+    Test.make ~name:"asap/alap analysis (example1)"
+      (Staged.stage (fun () -> ignore (Asap_alap.compute ~lib ~clock_ps:clock region)))
+  in
+  let sccs =
+    Test.make ~name:"SCC detection (example1)"
+      (Staged.stage (fun () -> ignore (Region.sccs region)))
+  in
+  let synth100 =
+    let d = Hls_designs.Synthetic.design ~profile:{ Hls_designs.Synthetic.default_profile with p_ops = 100; p_seed = 3 } () in
+    Test.make ~name:"schedule synthetic-100"
+      (Staged.stage (fun () ->
+           let e = Elaborate.design d in
+           let region = Elaborate.main_region e in
+           ignore (Scheduler.schedule ~lib ~clock_ps:clock region)))
+  in
+  let behave =
+    let d = Hls_designs.Example1.design () in
+    let stim = Hls_sim.Stimulus.small_random ~seed:3 ~n_iters:100 ~ports:d.Ast.d_ins in
+    Test.make ~name:"behavioural sim (100 iters)"
+      (Staged.stage (fun () -> ignore (Hls_sim.Behav.run d stim)))
+  in
+  let tests = [ sched_example1; asap; sccs; synth100; behave ] in
+  let benchmark test =
+    let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:(Some 300) () in
+    let results =
+      Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] (Test.make_grouped ~name:"g" [ test ])
+    in
+    let ols =
+      Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) Toolkit.Instance.monotonic_clock results
+    in
+    Hashtbl.iter
+      (fun name r ->
+        match Bechamel.Analyze.OLS.estimates r with
+        | Some [ est ] -> Printf.printf "  %-48s %12.0f ns/run\n" name est
+        | _ -> ())
+      ols
+  in
+  List.iter benchmark tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("table4", table4);
+    ("fig5", fig5);
+    ("fig8", fig8);
+    ("fig9", fun () -> fig9 ());
+    ("fig10", fig10_11);
+    ("fig11", fig10_11);
+    ("examples", examples);
+    ("baselines", baselines);
+    ("ablation-timing", ablation_timing);
+    ("micro", micro);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--list" ] -> List.iter (fun (n, _) -> print_endline n) experiments
+  | [] ->
+      (* everything; fig10 and fig11 share one sweep *)
+      List.iter
+        (fun (n, f) -> if n <> "fig11" then f ())
+        experiments
+  | names ->
+      List.iter
+        (fun n ->
+          match List.assoc_opt n experiments with
+          | Some f -> f ()
+          | None -> Printf.eprintf "unknown experiment %s (try --list)\n" n)
+        names

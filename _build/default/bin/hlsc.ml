@@ -1,0 +1,214 @@
+(** [hlsc] — command-line driver for the HLS flow.
+
+    {v
+      hlsc designs                         # list built-in designs
+      hlsc compile example1                # elaborate and summarize the CDFG
+      hlsc schedule example1 --ii 2        # schedule + print the binding table
+      hlsc pipeline example1 --ii 2        # ... and the folded kernel (Fig. 5 view)
+      hlsc flow idct --latency 8..8 --clock 1200   # full flow with verification
+      hlsc emit example1 --ii 2 -o out.v   # generate Verilog
+      hlsc compile my.bhv                  # any command also accepts .bhv files
+    v}
+*)
+
+open Cmdliner
+open Hls_frontend
+
+
+
+(* ---- design lookup ---- *)
+
+let builtin_designs =
+  [
+    ("example1", fun () -> Hls_designs.Example1.design ());
+    ("fir8", fun () -> Hls_designs.Fir.design ());
+    ("fir16", fun () -> Hls_designs.Fir.design ~taps:16 ());
+    ("fft", fun () -> Hls_designs.Fft.design ());
+    ("idct", fun () -> Hls_designs.Idct.design ());
+    ("sobel", fun () -> Hls_designs.Conv.design ());
+    ("dotprod", fun () -> Hls_designs.Dotprod.design ());
+    ("agc", fun () -> Hls_designs.Agc.design ());
+    ("matvec4", fun () -> Hls_designs.Matmul.design ());
+    ("matvec8", fun () -> Hls_designs.Matmul.design ~n:8 ());
+    ("idct8x8", fun () -> Hls_designs.Idct2d.design ());
+  ]
+
+let load_design name =
+  match List.assoc_opt name builtin_designs with
+  | Some f -> Ok (f ())
+  | None ->
+      if Filename.check_suffix name ".bhv" then
+        if Sys.file_exists name then
+          try Ok (Parser.parse_file name) with
+          | Parser.Error { line; message } ->
+              Error (Printf.sprintf "%s:%d: %s" name line message)
+        else Error (Printf.sprintf "no such file: %s" name)
+      else
+        Error
+          (Printf.sprintf "unknown design '%s' (try 'hlsc designs' or pass a .bhv file)" name)
+
+(* ---- common args ---- *)
+
+let design_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc:"Built-in design name or .bhv file.")
+
+let ii_arg =
+  Arg.(value & opt (some int) None & info [ "ii" ] ~docv:"N" ~doc:"Pipeline with initiation interval $(docv).")
+
+let clock_arg =
+  Arg.(value & opt float 1600.0 & info [ "clock" ] ~docv:"PS" ~doc:"Clock period in picoseconds (default 1600).")
+
+let latency_arg =
+  Arg.(value & opt (some string) None & info [ "latency" ] ~docv:"LO..HI" ~doc:"Loop latency bounds, e.g. 2..8.")
+
+let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print scheduling pass events.")
+
+let opt_arg = Arg.(value & flag & info [ "optimize" ] ~doc:"Run the DFG optimizer before scheduling.")
+
+let parse_latency = function
+  | None -> Ok (None, None)
+  | Some s -> (
+      match String.index_opt s '.' with
+      | Some i when i + 1 < String.length s && s.[i + 1] = '.' -> (
+          try
+            Ok
+              ( Some (int_of_string (String.sub s 0 i)),
+                Some (int_of_string (String.sub s (i + 2) (String.length s - i - 2))) )
+          with _ -> Error "bad latency bounds (expected LO..HI)")
+      | _ -> Error "bad latency bounds (expected LO..HI)")
+
+let or_die = function
+  | Ok x -> x
+  | Error m ->
+      prerr_endline ("hlsc: " ^ m);
+      exit 1
+
+let flow_result ~ii ~clock ~latency ~optimize ~trace design_name =
+  let design = or_die (load_design design_name) in
+  let min_latency, max_latency = or_die (parse_latency latency) in
+  let design =
+    if optimize then design (* the optimizer runs on the elaborated form inside the flow below *)
+    else design
+  in
+  ignore optimize;
+  let options =
+    { Hls_flow.Flow.default_options with ii; clock_ps = clock; min_latency; max_latency }
+  in
+  let trace_obj = if trace then Some (Hls_core.Trace.create ~echo:true ()) else None in
+  match Hls_flow.Flow.run ~options ?trace:trace_obj design with
+  | Ok r -> r
+  | Error e ->
+      prerr_endline (Printf.sprintf "hlsc: [%s] %s" e.Hls_flow.Flow.err_phase e.Hls_flow.Flow.err_message);
+      exit 1
+
+(* ---- commands ---- *)
+
+let designs_cmd =
+  let doc = "List built-in designs." in
+  Cmd.v (Cmd.info "designs" ~doc)
+    Term.(
+      const (fun () ->
+          List.iter (fun (n, _) -> print_endline n) builtin_designs)
+      $ const ())
+
+let compile_cmd =
+  let doc = "Elaborate a design and summarize its CDFG." in
+  let run name optimize =
+    let design = or_die (load_design name) in
+    match Elaborate.design design with
+    | exception Desugar.Error m -> prerr_endline ("hlsc: " ^ m); exit 1
+    | e ->
+        let e, stats_msg =
+          if optimize then
+            let e', st = Hls_opt.Passes.run e in
+            ( e',
+              Printf.sprintf
+                " (optimizer: %d folded, %d simplified, %d merged, %d deleted, %d collapsed, %d narrowed)"
+                st.Hls_opt.Passes.folded st.Hls_opt.Passes.simplified st.Hls_opt.Passes.merged
+                st.Hls_opt.Passes.deleted st.Hls_opt.Passes.collapsed st.Hls_opt.Passes.narrowed )
+          else (e, "")
+        in
+        (match Hls_ir.Cdfg.validate e.Elaborate.cdfg with
+        | [] -> ()
+        | errs ->
+            List.iter (fun m -> prerr_endline ("invalid: " ^ m)) errs;
+            exit 1);
+        let dfg = e.Elaborate.cdfg.Hls_ir.Cdfg.dfg in
+        Printf.printf "design %s: %d DFG operations%s\n" design.Ast.d_name (Hls_ir.Dfg.size dfg) stats_msg;
+        (match e.Elaborate.loop with
+        | Some li ->
+            Printf.printf "main loop '%s': %d ops, %s, %d source wait state(s)\n"
+              li.Elaborate.li_attrs.Ast.l_name
+              (List.length li.Elaborate.li_members)
+              (match li.Elaborate.li_continue with
+              | Some _ -> "data-dependent exit"
+              | None -> "free-running")
+              li.Elaborate.li_waits
+        | None -> print_endline "no main loop (straight-line design)");
+        let region = Elaborate.main_region e in
+        List.iteri
+          (fun i scc -> Printf.printf "SCC %d: %d ops (must fit one pipeline stage)\n" i (List.length scc))
+          (Hls_ir.Region.sccs region)
+  in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ design_arg $ opt_arg)
+
+let schedule_cmd =
+  let doc = "Schedule and bind a design; print the resource/state table." in
+  let run name ii clock latency trace optimize =
+    let r = flow_result ~ii ~clock ~latency ~optimize ~trace name in
+    Hls_report.Table.print (Hls_core.Scheduler.to_table r.Hls_flow.Flow.f_sched);
+    Printf.printf "%s\n" (Hls_flow.Flow.summary r);
+    List.iter (Printf.printf "  relaxation: %s\n") r.Hls_flow.Flow.f_sched.Hls_core.Scheduler.s_actions
+  in
+  Cmd.v (Cmd.info "schedule" ~doc)
+    Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg)
+
+let pipeline_cmd =
+  let doc = "Schedule, fold and print the pipeline kernel (the Fig. 5 view)." in
+  let run name ii clock latency trace optimize =
+    let r = flow_result ~ii ~clock ~latency ~optimize ~trace name in
+    Hls_report.Table.print (Hls_core.Pipeline.to_table r.Hls_flow.Flow.f_sched r.Hls_flow.Flow.f_fold);
+    Printf.printf "%s\n" (Hls_flow.Flow.summary r)
+  in
+  Cmd.v (Cmd.info "pipeline" ~doc)
+    Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg)
+
+let flow_cmd =
+  let doc = "Run the full flow: schedule, fold, area/power, verification." in
+  let run name ii clock latency trace optimize =
+    let r = flow_result ~ii ~clock ~latency ~optimize ~trace name in
+    print_endline (Hls_flow.Flow.summary r);
+    Format.printf "%a@." Hls_rtl.Stats.pp_breakdown r.Hls_flow.Flow.f_area;
+    match r.Hls_flow.Flow.f_equiv with
+    | Some v -> print_endline (Hls_sim.Equiv.verdict_to_string v)
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "flow" ~doc)
+    Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg)
+
+let emit_cmd =
+  let doc = "Generate Verilog for a scheduled design." in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let run name ii clock latency out optimize =
+    let r = flow_result ~ii ~clock ~latency ~optimize ~trace:false name in
+    let src = Hls_rtl.Verilog.emit r.Hls_flow.Flow.f_elab r.Hls_flow.Flow.f_sched r.Hls_flow.Flow.f_fold in
+    (match Hls_rtl.Verilog.lint src with
+    | [] -> ()
+    | errs -> List.iter (fun m -> prerr_endline ("lint: " ^ m)) errs);
+    match out with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc src;
+        close_out oc;
+        Printf.printf "wrote %s (%d bytes)\n" path (String.length src)
+    | None -> print_string src
+  in
+  Cmd.v (Cmd.info "emit" ~doc)
+    Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ out_arg $ opt_arg)
+
+let () =
+  let doc = "performance-constrained pipelining HLS flow (Kondratyev et al., DATE'11 reproduction)" in
+  let info = Cmd.info "hlsc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ designs_cmd; compile_cmd; schedule_cmd; pipeline_cmd; flow_cmd; emit_cmd ]))

@@ -1,0 +1,1 @@
+examples/custom_design.ml: Ast Dsl Format Hls_core Hls_flow Hls_frontend Hls_report Hls_sim Parser Printf

@@ -1,0 +1,1 @@
+examples/fir_pipeline.ml: Hls_core Hls_designs Hls_flow Hls_report Hls_rtl Hls_sim List Printf

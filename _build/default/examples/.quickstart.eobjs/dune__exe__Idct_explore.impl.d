@@ -1,0 +1,1 @@
+examples/idct_explore.ml: Hls_designs Hls_flow Hls_report Hls_rtl List Printf String

@@ -1,0 +1,1 @@
+examples/idct_explore.mli:

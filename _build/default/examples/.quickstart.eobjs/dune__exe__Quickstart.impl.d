@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dsl Hls_core Hls_flow Hls_frontend Hls_report List Printf

@@ -1,0 +1,69 @@
+(** Writing designs in the textual [.bhv] language: parse a source string,
+    cross-check it against the equivalent DSL construction, and run both
+    through the flow.
+
+    Run with: [dune exec examples/custom_design.exe] *)
+
+open Hls_frontend
+
+let bhv_source =
+  {|
+// a saturating accumulator written in the .bhv language
+design satacc {
+  in  sample : 12;
+  in  ceiling : 20;
+  out total : 20;
+  var acc : 20;
+
+  acc = 0;
+  wait();
+  do [name=main, latency=1..6, ii=2] {
+    acc = acc + $sample * 3;
+    if (acc > $ceiling) { acc = $ceiling; }
+    wait();
+    $total = acc;
+  } while (1);
+}
+|}
+
+let dsl_equivalent =
+  Dsl.(
+    design "satacc"
+      ~ins:[ in_port "sample" 12; in_port "ceiling" 20 ]
+      ~outs:[ out_port "total" 20 ]
+      ~vars:[ var "acc" 20 ]
+      [
+        "acc" := int 0;
+        wait;
+        do_while ~name:"main" ~min_latency:1 ~max_latency:6 ~ii:2
+          [
+            "acc" := v "acc" +: (port "sample" *: int 3);
+            when_ (v "acc" >: port "ceiling") [ "acc" := port "ceiling" ];
+            wait;
+            write "total" (v "acc");
+          ]
+          (int 1);
+      ])
+
+let run label design =
+  match Hls_flow.Flow.run design with
+  | Error e -> Printf.printf "%-10s failed [%s]: %s\n" label e.Hls_flow.Flow.err_phase e.Hls_flow.Flow.err_message
+  | Ok r ->
+      Printf.printf "%-10s %s\n" label (Hls_flow.Flow.summary r);
+      Hls_report.Table.print (Hls_core.Scheduler.to_table r.Hls_flow.Flow.f_sched)
+
+let () =
+  let parsed = Parser.parse_string bhv_source in
+  print_endline "parsed .bhv design:";
+  Format.printf "%a@.@." Ast.pp_design parsed;
+  run "parsed" parsed;
+  run "dsl" dsl_equivalent;
+  (* both frontends produce the same behaviour: compare golden simulations *)
+  let stim =
+    Hls_sim.Stimulus.small_random ~seed:11 ~n_iters:30 ~ports:parsed.Ast.d_ins
+  in
+  let a = Hls_sim.Behav.run parsed stim and b = Hls_sim.Behav.run dsl_equivalent stim in
+  let same =
+    Hls_sim.Behav.port_values a "total" = Hls_sim.Behav.port_values b "total"
+  in
+  Printf.printf "\n.bhv and DSL behavioural outputs identical: %b\n" same

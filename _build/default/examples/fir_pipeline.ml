@@ -1,0 +1,35 @@
+(** FIR filter micro-architecture exploration: sweep the initiation
+    interval from sequential down to II=1 and watch area buy throughput,
+    with every point functionally verified against the behavioural model.
+
+    Run with: [dune exec examples/fir_pipeline.exe] *)
+
+let () =
+  let taps = 8 in
+  let design = Hls_designs.Fir.design ~taps () in
+  Printf.printf "%d-tap FIR filter, 1600 ps clock\n\n" taps;
+  let rows =
+    List.filter_map
+      (fun ii ->
+        let options = { Hls_flow.Flow.default_options with ii } in
+        match Hls_flow.Flow.run ~options design with
+        | Error _ -> None
+        | Ok r ->
+            Some
+              [
+                (match ii with Some i -> Printf.sprintf "pipelined II=%d" i | None -> "sequential");
+                string_of_int r.Hls_flow.Flow.f_sched.Hls_core.Scheduler.s_li;
+                string_of_int r.Hls_flow.Flow.f_cycles_per_iter;
+                Printf.sprintf "%.1f" (1e6 /. r.Hls_flow.Flow.f_delay_ps);
+                Printf.sprintf "%.0f" r.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total;
+                Printf.sprintf "%.2f" r.Hls_flow.Flow.f_power_mw;
+                (match r.Hls_flow.Flow.f_equiv with
+                | Some v when v.Hls_sim.Equiv.equivalent -> "yes"
+                | _ -> "NO");
+              ])
+      [ None; Some 4; Some 2; Some 1 ]
+  in
+  Hls_report.Table.print
+    ([ "architecture"; "LI"; "cycles/sample"; "Msamples/s"; "area"; "power (mW)"; "verified" ] :: rows);
+  print_endline "\nEach halving of the initiation interval buys throughput with multipliers:";
+  print_endline "the scheduler reuses the same engine for every point (the paper's key claim)."

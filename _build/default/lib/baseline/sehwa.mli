@@ -1,0 +1,23 @@
+(** Decoupled "schedule-then-fold" pipelining (Sehwa / loop-winding
+    style): a pipeline-blind list schedule of one iteration, then a
+    folding check at the requested II; latency relaxes when folding fails
+    — "separation of scheduling and constraint checking is a significant
+    source of inefficiency" (Section III). *)
+
+open Hls_techlib
+open Hls_core
+
+type result = {
+  s_ii : int;
+  s_li : int;
+  s_binding : Binding.t;
+  s_attempts : int;  (** schedule+fold attempts before success *)
+  s_time_s : float;
+}
+
+type error = { s_message : string }
+
+val fold_ok : Hls_ir.Region.t -> (int, int * int) Hashtbl.t -> ii:int -> bool
+
+val schedule :
+  ii:int -> lib:Library.t -> clock_ps:float -> Hls_ir.Region.t -> (result, error) Stdlib.result

@@ -1,0 +1,1 @@
+lib/core/alloc.ml: Asap_alap Dfg Guard Hls_ir Hls_techlib Library List Opkind Region Resource

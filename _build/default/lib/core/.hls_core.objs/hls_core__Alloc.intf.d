@@ -1,0 +1,1 @@
+lib/core/alloc.mli: Asap_alap Dfg Hls_ir Hls_techlib Library Region Resource

@@ -1,0 +1,1 @@
+lib/core/asap_alap.ml: Dfg Graph_algo Guard Hashtbl Hls_ir Hls_techlib Library List Opkind Printf Region Resource

@@ -1,0 +1,1 @@
+lib/core/asap_alap.mli: Dfg Hashtbl Hls_ir Hls_techlib Library Region

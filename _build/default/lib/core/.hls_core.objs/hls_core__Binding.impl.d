@@ -1,0 +1,1 @@
+lib/core/binding.ml: Array Dfg Fun Guard Hashtbl Hls_ir Hls_techlib Hls_timing Lazy Library List Opkind Option Queue Region Resource Restraint

@@ -1,0 +1,1 @@
+lib/core/binding.mli: Dfg Hashtbl Hls_ir Hls_techlib Hls_timing Library Region Resource Restraint

@@ -1,0 +1,1 @@
+lib/core/expert.ml: Binding Dfg Guard Hashtbl Hls_ir Hls_techlib Library List Opkind Option Printf Region Resource Restraint

@@ -1,0 +1,1 @@
+lib/core/expert.mli: Binding Dfg Hashtbl Hls_ir Hls_techlib Region Resource Restraint

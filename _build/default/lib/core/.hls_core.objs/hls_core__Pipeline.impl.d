@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Binding Dfg Guard Hashtbl Hls_ir List Opkind Option Printf Region Scheduler String

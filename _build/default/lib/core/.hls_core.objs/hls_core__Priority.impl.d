@@ -1,0 +1,1 @@
+lib/core/priority.ml: Asap_alap Dfg Hashtbl Hls_ir List Opkind Option

@@ -1,0 +1,1 @@
+lib/core/priority.mli: Asap_alap Dfg Hls_ir

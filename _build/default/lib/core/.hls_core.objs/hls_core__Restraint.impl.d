@@ -1,0 +1,1 @@
+lib/core/restraint.ml: Hashtbl Hls_ir Hls_techlib List Printf Resource

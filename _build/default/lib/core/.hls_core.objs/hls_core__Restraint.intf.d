@@ -1,0 +1,1 @@
+lib/core/restraint.mli: Hls_ir Hls_techlib Resource

@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Alloc Array Asap_alap Binding Dfg Expert Graph_algo Guard Hashtbl Hls_ir Hls_techlib Library List Opkind Option Printf Priority Region Resource Restraint String Trace Unix

@@ -1,0 +1,1 @@
+lib/core/scheduler.mli: Asap_alap Binding Expert Hls_ir Hls_techlib Library Priority Region Restraint Trace

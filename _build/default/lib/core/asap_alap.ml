@@ -1,0 +1,235 @@
+(** Timing-aware ASAP/ALAP analysis (Section IV.A).
+
+    Unlike classical unit-delay mobility analysis, operation life spans are
+    computed "by performing approximate timing analysis on the DFG,
+    initially ignoring the sharing multiplexers": the forward pass packs
+    chained operations into a control step as long as the accumulated
+    combinational delay (plus register setup) fits the clock period, and
+    spills to the next step otherwise; the backward pass mirrors it from
+    the latency bound.
+
+    Guard predicates are scheduling dependencies: a predicated operation
+    commits under a register enable driven by its guard, so the guard op
+    must be available no later than the operation's step.
+
+    SCC stage assignments (pipelining) and user anchors clamp the computed
+    ranges.  An operation whose clamped range is empty marks the analysis
+    infeasible — the signal the relaxation engine uses to add states. *)
+
+open Hls_ir
+open Hls_techlib
+
+type range = {
+  asap : int;
+  alap : int;
+  asap_arrival : float;  (** estimated in-step arrival at ASAP placement *)
+}
+
+type t = {
+  ranges : (int, range) Hashtbl.t;
+  infeasible : int list;  (** ops whose range is empty under current LI *)
+}
+
+let range t op_id =
+  match Hashtbl.find_opt t.ranges op_id with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Asap_alap.range: op %d not analyzed" op_id)
+
+let mobility t op_id =
+  let r = range t op_id in
+  r.alap - r.asap
+
+(** Nominal delay of an op under [lib], ignoring sharing muxes. *)
+let op_delay lib dfg (op : Dfg.op) =
+  match Resource.of_op dfg op with
+  | None -> 0.0 (* wire *)
+  | Some rt -> Library.delay lib rt
+
+(** Dependencies that constrain scheduling order: distance-0 data inputs
+    plus guard predicates, both restricted to region members. *)
+let sched_preds region (op : Dfg.op) =
+  let dfg = region.Region.dfg in
+  let data =
+    List.filter_map
+      (fun e ->
+        if e.Dfg.distance = 0 && Region.mem region e.Dfg.src then Some e.Dfg.src else None)
+      (Dfg.in_edges dfg op.Dfg.id)
+  in
+  let guards = List.filter (Region.mem region) (Guard.preds op.Dfg.guard) in
+  List.sort_uniq compare (data @ guards)
+
+(** Reverse index of guard dependencies: predicate op -> guarded member
+    ops.  Building it once avoids a full member scan per query. *)
+let guard_dependents_index region =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (o : Dfg.op) ->
+      List.iter
+        (fun p ->
+          if Region.mem region p then begin
+            let r =
+              match Hashtbl.find_opt tbl p with
+              | Some r -> r
+              | None ->
+                  let r = ref [] in
+                  Hashtbl.replace tbl p r;
+                  r
+            in
+            r := o.Dfg.id :: !r
+          end)
+        (Guard.preds o.Dfg.guard))
+    (Region.member_ops region);
+  fun p -> match Hashtbl.find_opt tbl p with Some r -> !r | None -> []
+
+(** Consumers, tagged: [false] = data edge (the value chains through the
+    consumer's logic), [true] = guard edge (the value only gates the
+    consumer's commit enable).  [guard_deps] defaults to a fresh index —
+    pass {!guard_dependents_index} when querying many ops. *)
+let sched_succs_tagged ?guard_deps region (op : Dfg.op) =
+  let dfg = region.Region.dfg in
+  let data =
+    List.filter_map
+      (fun e ->
+        if e.Dfg.distance = 0 && Region.mem region e.Dfg.dst then Some (e.Dfg.dst, false)
+        else None)
+      (Dfg.out_edges dfg op.Dfg.id)
+  in
+  let index = match guard_deps with Some f -> f | None -> guard_dependents_index region in
+  let guarded = List.map (fun g -> (g, true)) (index op.Dfg.id) in
+  (* a consumer reachable through both a data and a guard edge counts as data *)
+  List.sort_uniq compare (data @ List.filter (fun (g, _) -> not (List.mem_assoc g data)) guarded)
+
+let sched_succs ?guard_deps region op = List.map fst (sched_succs_tagged ?guard_deps region op)
+
+(** Clamp a range with an anchor and an SCC stage window. *)
+let clamp_range ~anchor ~window (a, b) =
+  let a, b = match anchor with Some s -> (max a s, min b s) | None -> (a, b) in
+  match window with Some (lo, hi) -> (max a lo, min b hi) | None -> (a, b)
+
+(** [compute ~lib ~clock_ps ~scc_window region] analyzes all member ops.
+    [scc_window op] returns the inclusive step window imposed by a pipeline
+    SCC stage assignment, if any. *)
+let compute ~(lib : Library.t) ~clock_ps ?(scc_window = fun _ -> None) (region : Region.t) : t =
+  let dfg = region.Region.dfg in
+  let members = Region.member_ops region in
+  let nodes = List.map (fun o -> o.Dfg.id) members in
+  let li = region.Region.n_steps in
+  let guard_deps = guard_dependents_index region in
+  let succs id = sched_succs ~guard_deps region (Dfg.find dfg id) in
+  let order =
+    match Graph_algo.topo_sort ~nodes ~succs with
+    | Some o -> o
+    | None -> invalid_arg "Asap_alap.compute: combinational cycle among member ops"
+  in
+  let latency op = Library.op_latency lib op.Dfg.kind in
+  let overhead = lib.Library.ff_setup in
+  (* ---- forward (ASAP) ---- *)
+  let fwd = Hashtbl.create (List.length nodes) in
+  (* op -> (step, finish_step, out_arrival, multi) *)
+  List.iter
+    (fun id ->
+      let op = Dfg.find dfg id in
+      let d = op_delay lib dfg op in
+      let lat = latency op in
+      let preds = sched_preds region op in
+      let guard_preds = List.filter (Region.mem region) (Guard.preds op.Dfg.guard) in
+      let data_preds = List.filter (fun p -> not (List.mem p guard_preds)) preds in
+      let pred_info p =
+        match Hashtbl.find_opt fwd p with
+        | Some x -> x
+        | None -> (0, 0, lib.Library.ff_clk_q, false)
+      in
+      (* earliest step considering register crossings of multi-cycle preds *)
+      let min_step =
+        List.fold_left
+          (fun acc p ->
+            let _, fin, _, multi = pred_info p in
+            max acc (if multi then fin + 1 else fin))
+          0 preds
+      in
+      let arr_at step p =
+        let _, fin, arr, multi = pred_info p in
+        if (not multi) && fin = step then arr else lib.Library.ff_clk_q
+      in
+      let rec settle step =
+        let in_arr =
+          List.fold_left
+            (fun acc p -> max acc (arr_at step p))
+            (if data_preds = [] then
+               match op.Dfg.kind with
+               | Opkind.Const _ -> 0.0
+               | _ -> lib.Library.ff_clk_q
+             else 0.0)
+            data_preds
+        in
+        let out = in_arr +. d in
+        (* the guard gates the commit enable in parallel with the datapath *)
+        let commit =
+          List.fold_left (fun acc p -> max acc (arr_at step p)) out guard_preds
+        in
+        if lat > 1 then (step, out) (* multi-cycle: occupies whole steps *)
+        else if commit +. overhead <= clock_ps then (step, out)
+        else if in_arr <= lib.Library.ff_clk_q +. 0.001
+                && List.for_all (fun p -> arr_at step p <= lib.Library.ff_clk_q +. 0.001) guard_preds
+        then
+          (* already starts from registers; the op alone does not fit — the
+             binder will face the same wall, keep the optimistic estimate *)
+          (step, out)
+        else settle (step + 1)
+      in
+      let step, out = settle min_step in
+      Hashtbl.replace fwd id (step, step + lat - 1, out, lat > 1))
+    order;
+  (* ---- backward (ALAP) ---- *)
+  let bwd = Hashtbl.create (List.length nodes) in
+  (* op -> (alap_start_step, required_output_time) *)
+  List.iter
+    (fun id ->
+      let op = Dfg.find dfg id in
+      let d = op_delay lib dfg op in
+      let lat = latency op in
+      let cons = sched_succs_tagged ~guard_deps region op in
+      let alap_start, req =
+        if cons = [] then (li - 1, clock_ps -. overhead)
+        else
+          List.fold_left
+            (fun (acc_step, acc_req) (c, is_guard) ->
+              let c_op = Dfg.find dfg c in
+              let c_lat = latency c_op in
+              let c_start, c_req =
+                match Hashtbl.find_opt bwd c with
+                | Some x -> x
+                | None -> (li - 1, clock_ps -. overhead)
+              in
+              let cand_step, cand_req =
+                if c_lat > 1 || lat > 1 then (c_start - lat, clock_ps -. overhead)
+                else
+                  (* deadline for our output: a guard must settle by the
+                     consumer's commit time, data by the consumer's input
+                     time (its output deadline minus its delay) *)
+                  let budget = if is_guard then c_req else c_req -. op_delay lib dfg c_op in
+                  if budget -. d >= lib.Library.ff_clk_q then (c_start, budget)
+                  else (c_start - 1, clock_ps -. overhead)
+              in
+              (min acc_step cand_step, if cand_step < acc_step then cand_req else min acc_req cand_req))
+            (max_int, clock_ps -. overhead)
+            cons
+      in
+      Hashtbl.replace bwd id (alap_start, req))
+    (List.rev order);
+  (* ---- combine, clamp, detect infeasibility ---- *)
+  let ranges = Hashtbl.create (List.length nodes) in
+  let infeasible = ref [] in
+  List.iter
+    (fun id ->
+      let op = Dfg.find dfg id in
+      let asap, _, arr, _ = Hashtbl.find fwd id in
+      let alap, _ = Hashtbl.find bwd id in
+      let alap = min alap (li - 1) in
+      let asap', alap' =
+        clamp_range ~anchor:op.Dfg.anchor ~window:(scc_window id) (asap, alap)
+      in
+      if asap' > alap' then infeasible := id :: !infeasible;
+      Hashtbl.replace ranges id { asap = asap'; alap = max asap' alap'; asap_arrival = arr })
+    order;
+  { ranges; infeasible = List.rev !infeasible }

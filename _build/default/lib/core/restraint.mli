@@ -1,0 +1,34 @@
+(** Restraints: the pass scheduler's failure records — "issued every time
+    a binding of an operation to an edge and/or a resource fails"
+    (Section IV.B) — weighted by proximity to hard failures and consumed
+    by the {!Expert} system. *)
+
+open Hls_techlib
+
+type fail =
+  | F_busy of Resource.t  (** all compatible instances occupied or saturated *)
+  | F_forbidden
+  | F_cycle of int  (** would close a structural comb cycle through instance *)
+  | F_slack of float  (** negative slack (ps) of the best attempt *)
+  | F_window  (** outside the SCC stage window / latency interval *)
+  | F_dep  (** inter-iteration (modulo) dependency violated *)
+  | F_anchor
+  | F_no_resource of Resource.t
+  | F_blocked  (** never became ready: upstream of a failed op *)
+
+type t = {
+  r_op : int;
+  r_step : int;
+  r_fail : fail;
+  r_fatal : bool;  (** issued at the end of the op's life span *)
+  mutable r_weight : float;
+}
+
+val make : op:int -> step:int -> fail:fail -> fatal:bool -> t
+val fail_to_string : fail -> string
+val to_string : t -> string
+
+val weight_by_proximity : Hls_ir.Dfg.t -> t list -> t list
+(** Boost restraints lying in the fan-in cones of the failed operations
+    ("Restraint analysis is done for the fanin cones of the failed
+    operations"). *)

@@ -1,0 +1,630 @@
+(** The pass scheduler (Fig. 7) and the outer relaxation loop.
+
+    A pass walks the control steps of the linear region in order.  At each
+    step it repeatedly picks the highest-priority ready operation and tries
+    to bind it to a compatible resource instance, with every candidate
+    binding vetted by the netlist timing model in {!Binding}.  An operation
+    that cannot be bound is deferred to a later step, unless the step is the
+    last of its life span — then it joins [Failed_ops] and the pass will
+    fail after recording restraints.
+
+    The outer loop implements "iterative simultaneous scheduling and
+    binding passes": on failure the {!Expert} system relaxes constraints
+    (add state / add resource / speculate / move SCC / forbid pair) and the
+    pass re-runs, up to [max_passes].
+
+    Pipelining needs only the two extensions of Section V: busy tables keyed
+    by equivalence classes of steps (handled inside {!Binding}) and SCC
+    stage windows (handled here), so the same pass code serves sequential
+    and pipelined regions. *)
+
+open Hls_ir
+open Hls_techlib
+
+type options = {
+  timing_aware : bool;
+  expert : Expert.options;
+  max_passes : int;
+  priority_weights : Priority.weights;
+  dedicated_ops : int list;
+      (** user constraint (Section IV.B item 4): ops that must not share
+          their resource instance with anything *)
+  tolerate_scc_slack : bool;
+      (** Table 4 ablation: when the SCC-move action is disabled, bind SCC
+          members at their window even with negative slack and leave the
+          violation for downstream logic synthesis to absorb *)
+  seed_latency_floor : bool;
+      (** start the latency interval at the resource-implied lower bound
+          instead of the designer minimum; disable to follow the paper's
+          one-state-at-a-time relaxation narrative *)
+}
+
+let default_options =
+  {
+    timing_aware = true;
+    expert = Expert.default_options;
+    max_passes = 200;
+    priority_weights = Priority.default_weights;
+    dedicated_ops = [];
+    tolerate_scc_slack = false;
+    seed_latency_floor = true;
+  }
+
+type t = {
+  s_region : Region.t;
+  s_li : int;  (** final latency interval *)
+  s_binding : Binding.t;
+  s_passes : int;
+  s_actions : string list;  (** relaxation actions applied, oldest first *)
+  s_scc_stages : (int list * int) list;  (** each SCC's ops with its stage *)
+  s_sched_time_s : float;
+}
+
+type error = {
+  e_message : string;
+  e_restraints : Restraint.t list;
+  e_passes : int;
+  e_actions : string list;
+}
+
+let placement t op = Binding.placement t.s_binding op
+
+let step_of t op =
+  match placement t op with Some pl -> pl.Binding.pl_step | None -> invalid_arg "step_of: unplaced"
+
+(** Ops scheduled on a given step, sorted by id. *)
+let ops_on_step t step =
+  Hashtbl.fold
+    (fun id pl acc -> if pl.Binding.pl_step = step then id :: acc else acc)
+    t.s_binding.Binding.placements []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+
+type pass_outcome = Pass_ok | Pass_failed of Restraint.t list
+
+let run_pass ~opts ~trace ~(binding : Binding.t) ~(aa : Asap_alap.t) ~scc_of
+    ?(scc_members = ([] : int list list)) ~scc_stage_base ~scc_stage_local (region : Region.t) :
+    pass_outcome =
+  let n_sccs = List.length scc_members in
+  let dfg = region.Region.dfg in
+  let li = region.Region.n_steps in
+  let ii = Region.ii region in
+  Binding.reset_pass binding;
+  let fanout = Priority.fanout_table dfg in
+  Array.iteri (fun k _ -> scc_stage_local.(k) <- scc_stage_base k) scc_stage_local;
+  let restraints = ref [] in
+  let add_restraint ~op ~step ~fail ~fatal =
+    restraints := Restraint.make ~op ~step ~fail ~fatal :: !restraints
+  in
+  let failed = Hashtbl.create 8 in
+  let members = Region.member_ops region in
+  let unplaced = Hashtbl.create (List.length members) in
+  List.iter (fun o -> Hashtbl.replace unplaced o.Dfg.id o) members;
+  (* --- incremental readiness ---
+     [pending.(op)] counts unplaced scheduling predecessors; an op enters
+     the ready pool when it reaches zero.  [min_step] tracks the earliest
+     step allowed by the placed predecessors (finish step; +1 after a
+     multi-cycle producer). *)
+  let preds_of = Hashtbl.create (List.length members) in
+  let deps_of = Hashtbl.create (List.length members) in
+  List.iter
+    (fun o ->
+      let ps = Asap_alap.sched_preds region o in
+      Hashtbl.replace preds_of o.Dfg.id ps;
+      List.iter
+        (fun p ->
+          let r =
+            match Hashtbl.find_opt deps_of p with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.replace deps_of p r;
+                r
+          in
+          r := o.Dfg.id :: !r)
+        ps)
+    members;
+  let pending = Hashtbl.create (List.length members) in
+  let min_step = Hashtbl.create (List.length members) in
+  let ready = Hashtbl.create 64 in
+  List.iter
+    (fun o ->
+      let n = List.length (Hashtbl.find preds_of o.Dfg.id) in
+      Hashtbl.replace pending o.Dfg.id n;
+      Hashtbl.replace min_step o.Dfg.id 0;
+      if n = 0 then Hashtbl.replace ready o.Dfg.id o)
+    members;
+  let scores = Hashtbl.create (List.length members) in
+  List.iter
+    (fun o ->
+      Hashtbl.replace scores o.Dfg.id
+        (Priority.score ~weights:opts.priority_weights ~fanout aa o))
+    members;
+  let on_placed op_id =
+    Hashtbl.remove ready op_id;
+    Hashtbl.remove unplaced op_id;
+    let pl = Option.get (Binding.placement binding op_id) in
+    let p_op = Dfg.find dfg op_id in
+    let avail =
+      if Library.op_latency binding.Binding.lib p_op.Dfg.kind > 1 then pl.Binding.pl_finish + 1
+      else pl.Binding.pl_finish
+    in
+    match Hashtbl.find_opt deps_of op_id with
+    | None -> ()
+    | Some r ->
+        List.iter
+          (fun d ->
+            if Hashtbl.mem unplaced d then begin
+              Hashtbl.replace min_step d (max avail (Hashtbl.find min_step d));
+              let n = Hashtbl.find pending d - 1 in
+              Hashtbl.replace pending d n;
+              if n = 0 then Hashtbl.replace ready d (Dfg.find dfg d)
+            end)
+          !r
+  in
+  let drop_failed op_id =
+    Hashtbl.replace failed op_id ();
+    Hashtbl.remove unplaced op_id;
+    Hashtbl.remove ready op_id
+  in
+  (* ops whose earliest feasible step falls beyond the latency interval can
+     never bind in this pass: fail them up front with a window restraint *)
+  List.iter
+    (fun o ->
+      let r = Asap_alap.range aa o.Dfg.id in
+      if r.Asap_alap.asap > li - 1 then begin
+        add_restraint ~op:o.Dfg.id ~step:(li - 1) ~fail:Restraint.F_window ~fatal:true;
+        drop_failed o.Dfg.id
+      end)
+    members;
+  let window_of op_id =
+    match scc_of op_id with
+    | None -> None
+    | Some k -> (
+        match scc_stage_local.(k) with
+        | None -> None
+        | Some stage -> Some (stage * ii, min ((stage * ii) + ii - 1) (li - 1)))
+  in
+  (* for regions with many independent recurrences, pin each SCC's stage
+     from its members' timing-aware ASAP estimates instead of from the
+     first (often dependency-free loop-mux) placement — one pass instead
+     of one corrective move per SCC.  Single-SCC designs keep the paper's
+     narrative: place first, move on failure. *)
+  let scc_asap_stage =
+    if n_sccs > 4 then
+      Some
+        (fun members ->
+          let m =
+            List.fold_left (fun acc o -> max acc (Asap_alap.range aa o).Asap_alap.asap) 0 members
+          in
+          Region.stage_of_step region (min m (li - 1)))
+    else None
+  in
+  (match scc_asap_stage with
+  | Some stage_of_members ->
+      List.iteri
+        (fun k members ->
+          if scc_stage_local.(k) = None then scc_stage_local.(k) <- Some (stage_of_members members))
+        scc_members
+  | None -> ());
+  let ready_at op step =
+    let r = Asap_alap.range aa op.Dfg.id in
+    (* in the Table 4 ablation a pinned SCC window overrides the timing
+       estimate: the member is offered inside its window even when ASAP
+       says it cannot meet timing there — the force-bind absorbs the
+       violation *)
+    (r.Asap_alap.asap <= step
+    || (opts.tolerate_scc_slack && window_of op.Dfg.id <> None))
+    && Hashtbl.find min_step op.Dfg.id <= step
+    && (match window_of op.Dfg.id with
+       | Some (lo, hi) -> lo <= step && step <= hi
+       | None -> true)
+    && (match op.Dfg.anchor with Some a -> a = step | None -> true)
+  in
+  let last_chance op step =
+    let r = Asap_alap.range aa op.Dfg.id in
+    let alap =
+      match window_of op.Dfg.id with
+      | Some (_, hi) -> min r.Asap_alap.alap hi
+      | None -> r.Asap_alap.alap
+    in
+    step >= alap || step = li - 1
+  in
+  (* big-design fast path: when every instance of a resource class is busy
+     (or mux-saturated) at a step, sibling unguarded ops of the same class
+     defer immediately instead of re-probing each instance *)
+  let use_class_memo = List.length members > 500 in
+  let class_key op =
+    match Resource.of_op dfg op with
+    | Some rt ->
+        Some
+          ( rt.Resource.rclass,
+            List.map (fun w -> if w <= 8 then 8 else if w <= 16 then 16 else if w <= 32 then 32 else 64)
+              rt.Resource.in_widths )
+    | None -> None
+  in
+  for e = 0 to li - 1 do
+    let deferred = Hashtbl.create 8 in
+    let blocked_class = Hashtbl.create 8 in
+    let continue_step = ref true in
+    while !continue_step do
+      let best =
+        Hashtbl.fold
+          (fun id op acc ->
+            if (not (Hashtbl.mem deferred id)) && ready_at op e then
+              let s = Hashtbl.find scores id in
+              match acc with
+              | Some (bs, bop) when (bs, -bop.Dfg.id) >= (s, -id) -> acc
+              | _ -> Some (s, op)
+            else acc)
+          ready None
+      in
+      match best with
+      | None -> continue_step := false
+      | Some (_, op)
+        when use_class_memo
+             && Guard.is_always op.Dfg.guard
+             && (match class_key op with
+                | Some k -> Hashtbl.mem blocked_class k
+                | None -> false)
+             && not (last_chance op e) ->
+          Hashtbl.replace deferred op.Dfg.id ()
+      | Some (_, op) -> (
+          let attempt () =
+            if Opkind.is_resource_op op.Dfg.kind then begin
+              match Binding.compatible_insts binding op with
+              | [] -> (
+                  match Resource.of_op dfg op with
+                  | Some rt -> [ Restraint.F_no_resource rt ]
+                  | None -> [])
+              | insts ->
+                  let fails = ref [] in
+                  let rec go = function
+                    | [] -> !fails
+                    | (i : Binding.inst) :: rest -> (
+                        match
+                          Binding.try_bind binding op ~step:e ~inst_opt:(Some i.Binding.inst_id)
+                        with
+                        | Ok () -> []
+                        | Error f ->
+                            fails := f :: !fails;
+                            go rest)
+                  in
+                  let remaining = go insts in
+                  if remaining = [] && Binding.is_placed binding op.Dfg.id then [] else remaining
+            end
+            else
+              match Binding.try_bind binding op ~step:e ~inst_opt:None with
+              | Ok () -> []
+              | Error f -> [ f ]
+          in
+          match attempt () with
+          | [] ->
+              on_placed op.Dfg.id;
+              ignore scc_asap_stage;
+              (if Opkind.is_resource_op op.Dfg.kind then
+                 let pl = Option.get (Binding.placement binding op.Dfg.id) in
+                 Trace.logf trace "    bound %s to %s at step %d: arrival %.0f ps, slack %.0f ps"
+                   op.Dfg.name
+                   (match pl.Binding.pl_inst with
+                   | Some i -> Resource.to_string (Binding.find_inst binding i).Binding.rtype
+                              ^ "#" ^ string_of_int i
+                   | None -> "wire")
+                   e
+                   (Option.value (Hashtbl.find_opt binding.Binding.arr_true op.Dfg.id) ~default:0.0)
+                   (Binding.endpoint_slack binding ~naive:false op.Dfg.id));
+              (* pass-local SCC stage assignment on first placement *)
+              (match scc_of op.Dfg.id with
+              | Some k when scc_stage_local.(k) = None ->
+                  scc_stage_local.(k) <- Some (Region.stage_of_step region e)
+              | _ -> ())
+          | fails
+            when opts.tolerate_scc_slack && scc_of op.Dfg.id <> None && last_chance op e
+                 && List.exists (function Restraint.F_slack _ -> true | _ -> false) fails ->
+              (* ablation mode: accept the violating binding; the negative
+                 slack surfaces in the timing report and Table 4's area
+                 penalty *)
+              let inst_opt =
+                match Binding.compatible_insts binding op with
+                | i :: _ -> Some i.Binding.inst_id
+                | [] -> None
+              in
+              Binding.force_bind binding op ~step:e ~inst_opt;
+              on_placed op.Dfg.id;
+              (match scc_of op.Dfg.id with
+              | Some k when scc_stage_local.(k) = None ->
+                  scc_stage_local.(k) <- Some (Region.stage_of_step region e)
+              | _ -> ())
+          | fails ->
+              (if
+                 use_class_memo
+                 && Guard.is_always op.Dfg.guard
+                 && List.for_all
+                      (function Restraint.F_busy _ -> true | _ -> false)
+                      fails
+               then
+                 match class_key op with
+                 | Some k -> Hashtbl.replace blocked_class k ()
+                 | None -> ());
+              let fatal = last_chance op e in
+              (* record the most informative failure of the attempts *)
+              let best_fail =
+                let score = function
+                  | Restraint.F_slack _ -> 5
+                  | Restraint.F_cycle _ -> 4
+                  | Restraint.F_window | Restraint.F_dep -> 3
+                  | Restraint.F_busy _ -> 2
+                  | Restraint.F_no_resource _ -> 2
+                  | Restraint.F_forbidden -> 1
+                  | Restraint.F_anchor -> 1
+                  | Restraint.F_blocked -> 0
+                in
+                List.fold_left (fun a b -> if score b > score a then b else a) (List.hd fails)
+                  (List.tl fails)
+              in
+              add_restraint ~op:op.Dfg.id ~step:e ~fail:best_fail ~fatal;
+              if fatal then begin
+                Trace.logf trace "    op %d (%s) FAILED at step %d: %s" op.Dfg.id op.Dfg.name e
+                  (Restraint.fail_to_string best_fail);
+                drop_failed op.Dfg.id
+              end
+              else Hashtbl.replace deferred op.Dfg.id ())
+    done
+  done;
+  (* ops never placed and never directly failed were blocked upstream *)
+  Hashtbl.iter
+    (fun id _ ->
+      let r = Restraint.make ~op:id ~step:(li - 1) ~fail:Restraint.F_blocked ~fatal:false in
+      r.Restraint.r_weight <- 0.5;
+      restraints := r :: !restraints)
+    unplaced;
+  if Hashtbl.length failed = 0 && Hashtbl.length unplaced = 0 then Pass_ok
+  else
+    (* deferral restraints of ops that eventually placed are noise: the
+       relaxation decision is driven by the ops the pass actually lost *)
+    Pass_failed
+      (List.rev !restraints
+      |> List.filter (fun (r : Restraint.t) -> not (Binding.is_placed binding r.Restraint.r_op)))
+
+(* ------------------------------------------------------------------ *)
+
+(** Schedule (and bind) a region.  The initial resource set is estimated at
+    the latency upper bound (the paper's "3 multiplies are to be scheduled
+    in at most 3 states" reasoning), then passes run from the latency lower
+    bound upward under expert-guided relaxation. *)
+let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (region : Region.t) :
+    (t, error) result =
+  let t0 = Unix.gettimeofday () in
+  let dfg = region.Region.dfg in
+  let binding = Binding.create ~timing_aware:opts.timing_aware ~lib ~clock_ps region in
+  List.iter (fun op -> Hashtbl.replace binding.Binding.dedicated op ()) opts.dedicated_ops;
+  (* --- initial resource set, estimated at the latency upper bound --- *)
+  let initial_li = region.Region.n_steps in
+  Region.reset_steps region region.Region.max_steps;
+  let aa_alloc = Asap_alap.compute ~lib ~clock_ps region in
+  let initial = Alloc.run ~lib ~clock_ps region aa_alloc in
+  Region.reset_steps region initial_li;
+  List.iter
+    (fun (rt, n, _) ->
+      for _ = 1 to n do
+        ignore (Binding.add_inst binding rt)
+      done)
+    initial;
+  Trace.logf trace "initial resources: %s"
+    (String.concat ", "
+       (List.map (fun (rt, n, _) -> Printf.sprintf "%dx %s" n (Resource.to_string rt)) initial));
+  (* seed the latency interval at the resource-implied lower bound, so the
+     relaxation loop does not add those unavoidable states one at a time *)
+  if opts.seed_latency_floor && not (Region.is_pipelined region) then begin
+    let floor = Alloc.latency_floor initial in
+    if floor > region.Region.n_steps && floor <= region.Region.max_steps then
+      Region.reset_steps region floor
+  end;
+  (* --- SCC bookkeeping for pipelined regions --- *)
+  let sccs = if Region.is_pipelined region then Region.sccs region else [] in
+  let scc_of_tbl = Hashtbl.create 16 in
+  List.iteri (fun k ops -> List.iter (fun o -> Hashtbl.replace scc_of_tbl o k) ops) sccs;
+  let scc_of op = Hashtbl.find_opt scc_of_tbl op in
+  let scc_persist = Array.make (List.length sccs) None in
+  let scc_stage_local = Array.make (List.length sccs) None in
+  let scc_moves = Array.make (List.length sccs) 0 in
+  (* early recurrence feasibility (RecMII analogue): an SCC whose longest
+     internal combinational chain cannot be registered apart within its
+     II-state stage window can never be scheduled at this II *)
+  let rec_infeasible =
+    List.filteri
+      (fun _k scc ->
+        let member = Hashtbl.create 8 in
+        List.iter (fun o -> Hashtbl.replace member o ()) scc;
+        let succs id =
+          List.filter_map
+            (fun e ->
+              let is_select =
+                e.Dfg.port = 0 && (Dfg.find dfg e.Dfg.dst).Dfg.kind = Opkind.Mux
+              in
+              if e.Dfg.distance = 0 && Hashtbl.mem member e.Dfg.dst && not is_select then
+                Some e.Dfg.dst
+              else None)
+            (Dfg.out_edges dfg id)
+        in
+        let weight id = Asap_alap.op_delay lib dfg (Dfg.find dfg id) in
+        match Graph_algo.topo_sort ~nodes:scc ~succs with
+        | None -> false (* an internal distance-0 cycle is caught elsewhere *)
+        | Some _ ->
+            let dist = Graph_algo.longest_path ~nodes:scc ~succs ~weight in
+            let chain = Hashtbl.fold (fun _ v acc -> max acc v) dist 0.0 in
+            let usable =
+              clock_ps -. lib.Library.ff_clk_q -. lib.Library.ff_setup
+              -. (if Region.ii region = 1 then 0.0 else Library.mux_delay lib ~inputs:2)
+            in
+            let min_states = int_of_float (ceil (chain /. max 1.0 usable)) in
+            min_states > Region.ii region)
+      sccs
+  in
+  if rec_infeasible <> [] then
+    raise
+      (Failure
+         (Printf.sprintf
+            "recurrence infeasible: %d SCC(s) need more than II=%d states for their internal              chains (raise II or the clock period)"
+            (List.length rec_infeasible) (Region.ii region)));
+  let actions = ref [] in
+  let result = ref None in
+  let passes = ref 0 in
+  (* escalation guard: when repeated add_state stops shrinking the set of
+     fatal restraints, force the expert toward a different action *)
+  let consecutive_add_state = ref 0 in
+  let fatal_at_streak_start = ref max_int in
+  (try
+     while !result = None do
+       incr passes;
+       if !passes > opts.max_passes then
+         raise
+           (Failure
+              (Printf.sprintf "gave up after %d passes (overconstrained specification)"
+                 opts.max_passes));
+       let scc_window op =
+         match scc_of op with
+         | None -> None
+         | Some k -> (
+             match scc_persist.(k) with
+             | None -> None
+             | Some stage ->
+                 let ii = Region.ii region in
+                 Some (stage * ii, (stage * ii) + ii - 1))
+       in
+       let aa = Asap_alap.compute ~lib ~clock_ps ~scc_window region in
+       Trace.logf trace "pass %d: LI=%d, %d resources" !passes region.Region.n_steps
+         (List.length binding.Binding.insts);
+       let outcome =
+         run_pass ~opts ~trace ~binding ~aa ~scc_of ~scc_members:sccs
+           ~scc_stage_base:(fun k -> scc_persist.(k))
+           ~scc_stage_local region
+       in
+       match outcome with
+       | Pass_ok ->
+           Trace.logf trace "pass %d: SUCCESS (LI=%d)" !passes region.Region.n_steps;
+           result :=
+             Some
+               (Ok
+                  {
+                    s_region = region;
+                    s_li = region.Region.n_steps;
+                    s_binding = binding;
+                    s_passes = !passes;
+                    s_actions = List.rev !actions;
+                    s_scc_stages =
+                      List.mapi
+                        (fun k ops ->
+                          (ops, Option.value scc_stage_local.(k) ~default:0))
+                        sccs;
+                    s_sched_time_s = Unix.gettimeofday () -. t0;
+                  })
+       | Pass_failed restraints -> (
+           Trace.logf trace "pass %d: failed with %d restraints" !passes (List.length restraints);
+           List.iter (fun r -> Trace.logf trace "    restraint: %s" (Restraint.to_string r)) restraints;
+           let scc_stage k =
+             match scc_stage_local.(k) with
+             | Some s -> s
+             | None -> Option.value scc_persist.(k) ~default:0
+           in
+           let n_fatal =
+             List.length (List.filter (fun (r : Restraint.t) -> r.Restraint.r_fatal) restraints)
+           in
+           ignore n_fatal;
+           (* stop proposing moves for an SCC that has been bounced around
+              without converging *)
+           let expert_opts =
+             if Array.exists (fun m -> m > 6) scc_moves then
+               { opts.expert with Expert.enable_scc_move = false }
+             else opts.expert
+           in
+           match
+             Expert.choose_many ~allow_add_state:true ~opts:expert_opts ~binding ~region
+               ~restraints ~sccs ~scc_of ~scc_stage
+           with
+           | [] ->
+               result :=
+                 Some
+                   (Error
+                      {
+                        e_message = "no applicable relaxation action: specification overconstrained";
+                        e_restraints = restraints;
+                        e_passes = !passes;
+                        e_actions = List.rev !actions;
+                      })
+           | chosen ->
+             List.iter (fun (action, why) ->
+               Trace.logf trace "  relaxation: %s" why;
+               actions := why :: !actions;
+               (match action with
+               | Expert.Add_state -> incr consecutive_add_state
+               | _ -> consecutive_add_state := 0);
+               ignore !fatal_at_streak_start;
+               match action with
+               | Expert.Add_state ->
+                   (* geometric stepping: a long streak of add_state
+                      choices means the latency is far from sufficient, so
+                      widen in growing increments instead of one state per
+                      pass (the schedule quality is unchanged — the pass
+                      still packs from step 0 upward) *)
+                   let k = max 1 (1 lsl max 0 (!consecutive_add_state - 2)) in
+                   let added = ref 0 in
+                   while !added < k && Region.add_step region do
+                     incr added
+                   done;
+                   if !added = 0 then
+                     result :=
+                       Some
+                         (Error
+                            {
+                              e_message = "latency bound reached; cannot add more states";
+                              e_restraints = restraints;
+                              e_passes = !passes;
+                              e_actions = List.rev !actions;
+                            })
+               | Expert.Add_resource (rt, n) ->
+                   for _ = 1 to n do
+                     ignore (Binding.add_inst ~added_by_expert:true binding rt)
+                   done
+               | Expert.Speculate op -> (Dfg.find dfg op).Dfg.speculated <- true
+               | Expert.Move_scc k ->
+                   scc_moves.(k) <- scc_moves.(k) + 1;
+                   scc_persist.(k) <- Some (scc_stage k + 1)
+               | Expert.Forbid (op, inst) -> Hashtbl.replace binding.Binding.forbidden (op, inst) ())
+               chosen)
+     done
+   with Failure msg ->
+     result :=
+       Some
+         (Error { e_message = msg; e_restraints = []; e_passes = !passes; e_actions = List.rev !actions }));
+  match !result with Some r -> r | None -> assert false
+
+(** Render the schedule as the paper's Table 2: one row per resource, one
+    column per state. *)
+let to_table (t : t) : string list list =
+  let binding = t.s_binding in
+  let dfg = binding.Binding.dfg in
+  let insts = binding.Binding.insts in
+  let header =
+    "res \\ state" :: List.init t.s_li (fun i -> Printf.sprintf "s%d" (i + 1))
+  in
+  let rows =
+    List.filter_map
+      (fun (inst : Binding.inst) ->
+        if inst.Binding.bound = [] then None
+        else
+          let cells =
+            List.init t.s_li (fun step ->
+                inst.Binding.bound
+                |> List.filter (fun o ->
+                       match Binding.placement binding o with
+                       | Some pl -> pl.Binding.pl_step = step
+                       | None -> false)
+                |> List.map (fun o -> (Dfg.find dfg o).Dfg.name)
+                |> String.concat ",")
+          in
+          Some ((Resource.to_string inst.Binding.rtype ^ Printf.sprintf "#%d" inst.Binding.inst_id) :: cells))
+      insts
+  in
+  header :: rows

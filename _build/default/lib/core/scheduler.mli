@@ -1,0 +1,78 @@
+(** The pass scheduler (Fig. 7) and the outer relaxation loop.
+
+    A pass walks the control steps in order, binding the highest-priority
+    ready operation with every candidate vetted by the netlist timing
+    model; failures at the end of an op's life span join [Failed_ops] and
+    turn into restraints.  The outer loop re-runs passes under
+    expert-guided relaxation.  Pipelining needs only the two Section V
+    extensions (equivalence-class busy tables and SCC stage windows), so
+    the same pass serves sequential and pipelined regions. *)
+
+open Hls_ir
+open Hls_techlib
+
+type options = {
+  timing_aware : bool;  (** accurate netlist view vs naive additive (ablation) *)
+  expert : Expert.options;
+  max_passes : int;
+  priority_weights : Priority.weights;
+  dedicated_ops : int list;
+      (** user constraint: ops that must own their resource instance *)
+  tolerate_scc_slack : bool;
+      (** Table 4 ablation: with SCC moves disabled, force-bind SCC members
+          at their window and let downstream sizing absorb the slack *)
+  seed_latency_floor : bool;
+      (** start LI at the resource-implied lower bound; disable to follow
+          the paper's one-state-at-a-time narratives *)
+}
+
+val default_options : options
+
+type t = {
+  s_region : Region.t;
+  s_li : int;  (** final latency interval *)
+  s_binding : Binding.t;
+  s_passes : int;
+  s_actions : string list;  (** relaxations applied, oldest first *)
+  s_scc_stages : (int list * int) list;  (** each SCC's ops and stage *)
+  s_sched_time_s : float;
+}
+
+type error = {
+  e_message : string;
+  e_restraints : Restraint.t list;
+  e_passes : int;
+  e_actions : string list;
+}
+
+val placement : t -> int -> Binding.placement option
+val step_of : t -> int -> int
+val ops_on_step : t -> int -> int list
+
+type pass_outcome = Pass_ok | Pass_failed of Restraint.t list
+
+val run_pass :
+  opts:options ->
+  trace:Trace.t option ->
+  binding:Binding.t ->
+  aa:Asap_alap.t ->
+  scc_of:(int -> int option) ->
+  ?scc_members:int list list ->
+  scc_stage_base:(int -> int option) ->
+  scc_stage_local:int option array ->
+  Region.t ->
+  pass_outcome
+(** One SCHEDULE_PASS (exposed for tests and custom drivers). *)
+
+val schedule :
+  ?opts:options ->
+  ?trace:Trace.t ->
+  lib:Library.t ->
+  clock_ps:float ->
+  Region.t ->
+  (t, error) result
+(** Schedule and bind a region: initial resource estimation at the latency
+    upper bound, then passes from the lower bound under relaxation. *)
+
+val to_table : t -> string list list
+(** The paper's Table 2 rendering: resources × states. *)

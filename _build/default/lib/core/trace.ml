@@ -1,0 +1,25 @@
+(** Event trace of a scheduling run.
+
+    Collects human-readable events (pass starts, binding failures,
+    relaxation decisions) so that the worked examples of the paper
+    (Examples 1–3) can be replayed as narratives by the bench harness. *)
+
+type t = { mutable events : string list; echo : bool }
+
+let create ?(echo = false) () = { events = []; echo }
+
+let log t fmt =
+  Printf.ksprintf
+    (fun s ->
+      t.events <- s :: t.events;
+      if t.echo then print_endline s)
+    fmt
+
+let logf t_opt fmt =
+  match t_opt with
+  | Some t -> log t fmt
+  | None -> Printf.ksprintf ignore fmt
+
+let events t = List.rev t.events
+
+let pp fmt t = List.iter (fun e -> Format.fprintf fmt "%s@." e) (events t)

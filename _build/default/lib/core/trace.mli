@@ -1,0 +1,13 @@
+(** Event trace of a scheduling run, used to replay the paper's worked
+    examples as narratives. *)
+
+type t
+
+val create : ?echo:bool -> unit -> t
+val log : t -> ('a, unit, string, unit) format4 -> 'a
+
+val logf : t option -> ('a, unit, string, unit) format4 -> 'a
+(** No-op on [None] — callers thread an optional trace for free. *)
+
+val events : t -> string list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/designs/agc.ml: Dsl Elaborate Hls_frontend

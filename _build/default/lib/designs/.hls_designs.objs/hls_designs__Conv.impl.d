@@ -1,0 +1,1 @@
+lib/designs/conv.ml: Dsl Elaborate Hls_frontend List Printf

@@ -1,0 +1,1 @@
+lib/designs/dotprod.ml: Dsl Elaborate Hls_frontend

@@ -1,0 +1,1 @@
+lib/designs/example1.ml: Dsl Elaborate Hls_frontend

@@ -1,0 +1,1 @@
+lib/designs/fft.ml: Dsl Elaborate Hls_frontend

@@ -1,0 +1,1 @@
+lib/designs/fir.ml: Dsl Elaborate Hls_frontend List Option Printf

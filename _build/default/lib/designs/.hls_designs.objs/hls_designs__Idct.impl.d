@@ -1,0 +1,1 @@
+lib/designs/idct.ml: Dsl Elaborate Hls_frontend List Printf

@@ -1,0 +1,1 @@
+lib/designs/idct2d.ml: Array Dsl Elaborate Fun Hls_frontend List Printf

@@ -1,0 +1,1 @@
+lib/designs/matmul.ml: Dsl Elaborate Hls_frontend List Printf

@@ -1,0 +1,1 @@
+lib/designs/synthetic.ml: Dsl Hls_frontend List Printf

@@ -1,0 +1,42 @@
+(** Automatic-gain-control style kernels: a leaky accumulator with a
+    conditional, non-power-of-two rescale, fed by a configurable
+    multiplier chain.
+
+    {v
+      p    = ((x * k1) * k2 ...) ;          // producer chain, depth muls
+      acc += p;
+      if (acc > th) acc = (acc * gain) >> sh;   // the SCC's multiplier
+      y    = acc;
+    v}
+
+    This is the paper's "timing-critical pipelined design" shape in the
+    small: the accumulator SCC contains a real multiplication (like
+    Example 1's conditional rescale), and the producer chain makes the
+    first pipeline stage timing-hostile — exactly the situation where the
+    time-driven SCC-move heuristic of Table 4 earns its area back. *)
+
+open Hls_frontend
+
+let design ?(name = "agc") ?(width = 16) ?(depth = 1) ?(gain = 3) ?(shift = 0)
+    ?(min_latency = 1) ?(max_latency = 12) ?ii () =
+  let open Dsl in
+  let rec chain k e = if k = 0 then e else chain (k - 1) (e *: int (2 + k)) in
+  let rescale e = if shift = 0 then e *: int gain else e *: int gain >>: int shift in
+  let body =
+    [
+      "x" := port "sample";
+      "p" := chain depth (v "x");
+      "acc" := v "acc" +: v "p";
+      when_ (v "acc" >: port "limit") [ "acc" := rescale (v "acc") ];
+      wait;
+      write "level" (v "acc");
+    ]
+  in
+  design name
+    ~ins:[ in_port "sample" width; in_port "limit" (width + 8) ]
+    ~outs:[ out_port "level" (width + 8) ]
+    ~vars:[ var "x" width; var "p" (width + 8); var "acc" (width + 8) ]
+    [ "acc" := int 0; wait; do_while ~name:(name ^ "_loop") ?ii ~min_latency ~max_latency body (int 1) ]
+
+let elaborated ?name ?width ?depth ?gain ?shift ?min_latency ?max_latency ?ii () =
+  Elaborate.design (design ?name ?width ?depth ?gain ?shift ?min_latency ?max_latency ?ii ())

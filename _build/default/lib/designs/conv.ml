@@ -1,0 +1,61 @@
+(** 3×3 convolution (Sobel-style edge detector) over a streamed window.
+
+    The nine window registers are loop-carried (shifted one pixel per
+    iteration, with two line-delay taps fed from ports, as a line-buffered
+    streaming kernel would); each iteration computes the horizontal and
+    vertical Sobel responses and writes their sum of absolute values —
+    conditionals included, so predicate conversion is exercised. *)
+
+open Hls_frontend
+
+let design ?(width = 12) ?(min_latency = 1) ?(max_latency = 16) ?ii () =
+  let open Dsl in
+  let wname r c = Printf.sprintf "w%d%d" r c in
+  let w2 = width + 6 in
+  (* window shift: w[r][0] <- w[r][1] <- w[r][2] <- new column *)
+  let shifts =
+    List.concat_map
+      (fun r ->
+        [
+          wname r 0 := v (wname r 1);
+          wname r 1 := v (wname r 2);
+          wname r 2 := port (Printf.sprintf "col%d" r);
+        ])
+      [ 0; 1; 2 ]
+  in
+  let gx =
+    (* [-1 0 1; -2 0 2; -1 0 1] *)
+    v (wname 0 2) -: v (wname 0 0)
+    +: (int 2 *: (v (wname 1 2) -: v (wname 1 0)))
+    +: v (wname 2 2) -: v (wname 2 0)
+  in
+  let gy =
+    v (wname 2 0) -: v (wname 0 0)
+    +: (int 2 *: (v (wname 2 1) -: v (wname 0 1)))
+    +: v (wname 2 2) -: v (wname 0 2)
+  in
+  let body =
+    shifts
+    @ [
+        "gx" := gx;
+        "gy" := gy;
+        if_ (v "gx" <: int 0) [ "agx" := int 0 -: v "gx" ] [ "agx" := v "gx" ];
+        if_ (v "gy" <: int 0) [ "agy" := int 0 -: v "gy" ] [ "agy" := v "gy" ];
+        wait;
+        "mag" := v "agx" +: v "agy";
+        if_ (v "mag" >: port "threshold") [ write "edge" (int 1) ] [ write "edge" (int 0) ];
+        write "grad" (v "mag");
+      ]
+  in
+  let window_vars =
+    List.concat_map (fun r -> List.init 3 (fun c -> var (wname r c) width)) [ 0; 1; 2 ]
+  in
+  design "sobel3x3"
+    ~ins:[ in_port "col0" width; in_port "col1" width; in_port "col2" width; in_port "threshold" w2 ]
+    ~outs:[ out_port "grad" w2; out_port "edge" 1 ]
+    ~vars:(window_vars @ [ var "gx" w2; var "gy" w2; var "agx" w2; var "agy" w2; var "mag" w2 ])
+    (List.map (fun (n, _) -> n := int 0) (List.map (fun r -> (r, ())) (List.map fst window_vars))
+    @ [ wait; do_while ~name:"sobel" ?ii ~min_latency ~max_latency body (int 1) ])
+
+let elaborated ?width ?min_latency ?max_latency ?ii () =
+  Elaborate.design (design ?width ?min_latency ?max_latency ?ii ())

@@ -1,0 +1,25 @@
+(** Streaming dot-product accumulator: the smallest design with a
+    loop-carried SCC ([acc += a*b]) and a data-dependent exit
+    ([while (a != 0)]).  Used widely in the unit tests. *)
+
+open Hls_frontend
+
+let design ?(width = 16) ?(min_latency = 1) ?(max_latency = 8) ?ii () =
+  let open Dsl in
+  let body =
+    [
+      "a" := port "a_in";
+      "b" := port "b_in";
+      "acc" := v "acc" +: (v "a" *: v "b");
+      wait;
+      write "dot" (v "acc");
+    ]
+  in
+  design "dotprod"
+    ~ins:[ in_port "a_in" width; in_port "b_in" width ]
+    ~outs:[ out_port "dot" (2 * width) ]
+    ~vars:[ var "a" width; var "b" width; var "acc" (2 * width) ]
+    [ "acc" := int 0; wait; do_while ~name:"dot" ?ii ~min_latency ~max_latency body (v "a" <>: int 0) ]
+
+let elaborated ?width ?min_latency ?max_latency ?ii () =
+  Elaborate.design (design ?width ?min_latency ?max_latency ?ii ())

@@ -1,0 +1,56 @@
+(** The paper's running example (Fig. 1): a do/while loop reading pixel
+    filter inputs, accumulating a weighted average with a conditional
+    rescale, and writing a filtered pixel.
+
+    {v
+      void example1::thread() {
+        wait();
+        while (true) {
+          int aver = 0;
+          wait();                       // s0
+          do {
+            int filt = mask;
+            delta = mask * chrome;
+            aver += delta;
+            if (aver > th) { aver *= scale; }
+            wait();                     // s1
+            pixel = aver * filt;
+          } while (delta != 0);
+        }
+      }
+    v}
+
+    The loop DFG (Fig. 3b) has three multiplications ([mul1] = mask*chrome,
+    [mul2] = aver*scale, [mul3] = aver*filt), one addition, one relational
+    and one equality comparator, the conditional-rescale MUX and the [aver]
+    loop mux.  The [aver]-carried cycle {loopMux, add, mul2, MUX} is the SCC
+    that constrains pipelining in the paper's Examples 2 and 3. *)
+
+open Hls_frontend
+
+(** Designer latency bounds for the do/while loop (the paper explores
+    1 <= latency <= 3; we allow head-room for relaxation experiments). *)
+let design ?(min_latency = 1) ?(max_latency = 8) ?ii () =
+  Dsl.(
+    design "example1"
+      ~ins:[ in_port "mask" 32; in_port "chrome" 32; in_port "scale" 32; in_port "th" 32 ]
+      ~outs:[ out_port "pixel" 32 ]
+      ~vars:[ var "aver" 32; var "delta" 32; var "filt" 32 ]
+      [
+        "aver" := int 0;
+        wait;
+        do_while ~name:"main" ?ii ~min_latency ~max_latency
+          [
+            "filt" := port "mask";
+            "delta" := port "mask" *: port "chrome";
+            "aver" := v "aver" +: v "delta";
+            when_ (v "aver" >: port "th") [ "aver" := v "aver" *: port "scale" ];
+            wait;
+            write "pixel" (v "aver" *: v "filt");
+          ]
+          (v "delta" <>: int 0);
+      ])
+
+(** Elaborated form. *)
+let elaborated ?min_latency ?max_latency ?ii () =
+  Elaborate.design (design ?min_latency ?max_latency ?ii ())

@@ -1,0 +1,63 @@
+(** Radix-2 decimation-in-time FFT butterfly stage.
+
+    Each iteration performs one complex butterfly with a streamed twiddle
+    factor on 14.12 fixed point:
+
+    {v
+      t  = w * b          (complex multiply: 4 muls, 2 adds)
+      a' = a + t;  b' = a - t
+    v}
+
+    A running energy accumulator ([acc += |a'_re|] approximation) adds a
+    loop-carried SCC so the design exercises the pipelining constraints. *)
+
+open Hls_frontend
+
+let fx = 12
+
+let design ?(width = 16) ?(min_latency = 1) ?(max_latency = 24) ?ii () =
+  let open Dsl in
+  let scale e = e >>: int fx in
+  let w2 = width + 4 in
+  let body =
+    [
+      "ar" := port "a_re";
+      "ai" := port "a_im";
+      "br" := port "b_re";
+      "bi" := port "b_im";
+      "wr" := port "w_re";
+      "wi" := port "w_im";
+      (* t = w * b *)
+      "tr" := scale ((v "wr" *: v "br") -: (v "wi" *: v "bi"));
+      "ti" := scale ((v "wr" *: v "bi") +: (v "wi" *: v "br"));
+      wait;
+      (* outputs *)
+      write "x_re" (v "ar" +: v "tr");
+      write "x_im" (v "ai" +: v "ti");
+      write "y_re" (v "ar" -: v "tr");
+      write "y_im" (v "ai" -: v "ti");
+      (* loop-carried energy accumulator (SCC) *)
+      "acc" := v "acc" +: cond (v "ar" +: v "tr" >: int 0) (v "ar" +: v "tr") (int 0 -: (v "ar" +: v "tr"));
+      write "energy" (v "acc");
+    ]
+  in
+  design "fft_bfly"
+    ~ins:
+      [
+        in_port "a_re" width; in_port "a_im" width; in_port "b_re" width; in_port "b_im" width;
+        in_port "w_re" width; in_port "w_im" width;
+      ]
+    ~outs:
+      [
+        out_port "x_re" w2; out_port "x_im" w2; out_port "y_re" w2; out_port "y_im" w2;
+        out_port "energy" (w2 + 8);
+      ]
+    ~vars:
+      [
+        var "ar" width; var "ai" width; var "br" width; var "bi" width; var "wr" width;
+        var "wi" width; var "tr" w2; var "ti" w2; var "acc" (w2 + 8);
+      ]
+    [ "acc" := int 0; wait; do_while ~name:"bfly" ?ii ~min_latency ~max_latency body (int 1) ]
+
+let elaborated ?width ?min_latency ?max_latency ?ii () =
+  Elaborate.design (design ?width ?min_latency ?max_latency ?ii ())

@@ -1,0 +1,54 @@
+(** N-tap FIR filter with constant coefficients.
+
+    One main-loop iteration consumes one input sample and produces one
+    output sample:
+
+    {v
+      acc = c0*x + c1*z1 + c2*z2 + ... + c(N-1)*z(N-1);
+      z(N-1) = z(N-2); ...; z1 = x;
+      y = acc;
+    v}
+
+    The delay line [z1 .. z(N-1)] is loop-carried, giving N-1 registers and
+    a multiplier-rich body — the classic pipelining workload of the paper's
+    evaluation ("filters, FFTs, image processing algorithms"). *)
+
+open Hls_frontend
+
+let default_coeffs taps = List.init taps (fun i -> ((i * 7) mod 15) - 7)
+
+(** Build a [taps]-tap FIR design.  [width] is the sample width. *)
+let design ?(taps = 8) ?coeffs ?(width = 16) ?(min_latency = 1) ?(max_latency = 16) ?ii () =
+  let coeffs = Option.value coeffs ~default:(default_coeffs taps) in
+  if List.length coeffs <> taps then invalid_arg "Fir.design: coefficient count mismatch";
+  let z i = Printf.sprintf "z%d" i in
+  let open Dsl in
+  let products =
+    List.mapi
+      (fun i c ->
+        let x = if i = 0 then v "x" else v (z i) in
+        int c *: x)
+      coeffs
+  in
+  let sum = match products with [] -> int 0 | p :: ps -> List.fold_left ( +: ) p ps in
+  let shifts =
+    (* update from the oldest tap downward so each assignment reads the
+       previous iteration's value *)
+    List.init (taps - 1) (fun k ->
+        let i = taps - 1 - k in
+        if i = 1 then z 1 := v "x" else z i := v (z (i - 1)))
+  in
+  let init = List.init (taps - 1) (fun i -> z (i + 1) := int 0) in
+  let body =
+    ("x" := port "sample") :: ("acc" := sum)
+    :: (shifts @ [ wait; write "filtered" (v "acc") ])
+  in
+  design
+    (Printf.sprintf "fir%d" taps)
+    ~ins:[ in_port "sample" width ]
+    ~outs:[ out_port "filtered" (width + 8) ]
+    ~vars:(("x", width) :: ("acc", width + 8) :: List.init (taps - 1) (fun i -> (z (i + 1), width)))
+    (init @ [ wait; do_while ~name:"fir" ?ii ~min_latency ~max_latency body (int 1) ])
+
+let elaborated ?taps ?coeffs ?width ?min_latency ?max_latency ?ii () =
+  Elaborate.design (design ?taps ?coeffs ?width ?min_latency ?max_latency ?ii ())

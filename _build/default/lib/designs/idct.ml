@@ -1,0 +1,79 @@
+(** 8-point one-dimensional IDCT (Chen/Wang even–odd decomposition), the
+    design of the paper's Section VI exploration ("an IDCT algorithm used
+    in video decoding").
+
+    Each main-loop iteration transforms one 8-coefficient column: it reads
+    the eight spectral inputs, runs the even/odd butterfly network (sixteen
+    constant multiplications, ~29 additions on 14.12 fixed point) and
+    writes the eight spatial outputs.  Latency can be swept from a handful
+    of states (many parallel multipliers) to dozens (a single shared
+    multiplier), with or without pipelining — exactly the 25-run design
+    space of Figures 10 and 11. *)
+
+open Hls_frontend
+
+(* cos(k*pi/16) scaled by 2^12 *)
+let c1 = 4017
+let c2 = 3784
+let c3 = 3406
+let c4 = 2896
+let c5 = 2276
+let c6 = 1567
+let c7 = 799
+
+let fx = 12 (* fixed-point fraction bits *)
+
+let design ?(width = 16) ?(min_latency = 2) ?(max_latency = 40) ?ii () =
+  let open Dsl in
+  let inp i = Printf.sprintf "s%d" i in
+  let out i = Printf.sprintf "d%d" i in
+  let scale e = e >>: int fx in
+  let body =
+    (* load the column *)
+    List.init 8 (fun i -> Printf.sprintf "x%d" i := port (inp i))
+    @ [
+        (* even part *)
+        "e0" := scale (int c4 *: (v "x0" +: v "x4"));
+        "e1" := scale (int c4 *: (v "x0" -: v "x4"));
+        "e2" := scale ((int c2 *: v "x2") +: (int c6 *: v "x6"));
+        "e3" := scale ((int c6 *: v "x2") -: (int c2 *: v "x6"));
+        "f0" := v "e0" +: v "e2";
+        "f1" := v "e1" +: v "e3";
+        "f2" := v "e1" -: v "e3";
+        "f3" := v "e0" -: v "e2";
+        (* odd part *)
+        "o0" := scale ((int c1 *: v "x1") +: (int c7 *: v "x7"));
+        "o1" := scale ((int c3 *: v "x3") +: (int c5 *: v "x5"));
+        "o2" := scale ((int c3 *: v "x5") -: (int c5 *: v "x3"));
+        "o3" := scale ((int c1 *: v "x7") -: (int c7 *: v "x1"));
+        "g0" := v "o0" +: v "o1";
+        "g1" := v "o0" -: v "o1";
+        "g2" := v "o3" +: v "o2";
+        "g3" := v "o3" -: v "o2";
+        "h1" := scale (int c4 *: (v "g1" +: v "g3"));
+        "h2" := scale (int c4 *: (v "g1" -: v "g3"));
+        wait;
+        (* recombination *)
+        write (out 0) (v "f0" +: v "g0");
+        write (out 7) (v "f0" -: v "g0");
+        write (out 1) (v "f1" +: v "h1");
+        write (out 6) (v "f1" -: v "h1");
+        write (out 2) (v "f2" +: v "h2");
+        write (out 5) (v "f2" -: v "h2");
+        write (out 3) (v "f3" +: v "g2");
+        write (out 4) (v "f3" -: v "g2");
+      ]
+  in
+  let w2 = width + fx + 2 in
+  design "idct8"
+    ~ins:(List.init 8 (fun i -> in_port (inp i) width))
+    ~outs:(List.init 8 (fun i -> out_port (out i) w2))
+    ~vars:
+      (List.init 8 (fun i -> var (Printf.sprintf "x%d" i) width)
+      @ List.map (fun n -> var n w2)
+          [ "e0"; "e1"; "e2"; "e3"; "f0"; "f1"; "f2"; "f3";
+            "o0"; "o1"; "o2"; "o3"; "g0"; "g1"; "g2"; "g3"; "h1"; "h2" ])
+    [ wait; do_while ~name:"idct" ?ii ~min_latency ~max_latency body (int 1) ]
+
+let elaborated ?width ?min_latency ?max_latency ?ii () =
+  Elaborate.design (design ?width ?min_latency ?max_latency ?ii ())

@@ -1,0 +1,129 @@
+(** 8×8 two-dimensional IDCT by row–column decomposition — the full
+    video-decoding form of the paper's Section VI design.
+
+    The kernel streams one 8-coefficient column per iteration through a
+    16-iteration block schedule kept in a loop-carried phase counter:
+
+    - iterations 0..7 (column phase): apply the 1-D transform to the
+      incoming column and store the result into the 64-register transpose
+      buffer (predicated writes select the column);
+    - iterations 8..15 (row phase): select one buffered row (mux trees),
+      apply the 1-D transform again and write the eight spatial outputs
+      (output writes predicated on the phase).
+
+    Everything — the transpose buffer, the phase counter, both transform
+    networks and the row/column steering — elaborates into one flat
+    predicated DFG of ~700 operations, making this the largest concrete
+    (non-synthetic) design in the library and a serious workout for the
+    predication, allocation and sharing machinery. *)
+
+open Hls_frontend
+
+(* cos(k*pi/16) scaled by 2^12, as in the 1-D kernel *)
+let c1 = 4017
+let c2 = 3784
+let c3 = 3406
+let c4 = 2896
+let c5 = 2276
+let c6 = 1567
+let c7 = 799
+
+let fx = 12
+
+(** The 1-D Chen butterfly over eight expression inputs; returns the eight
+    output expressions.  [pfx] keeps intermediate variable names unique
+    between the column and row instantiations. *)
+let transform_stmts ~pfx x =
+  let open Dsl in
+  let n s = pfx ^ s in
+  let scale e = e >>: int fx in
+  ( [
+      n "e0" := scale (int c4 *: (x 0 +: x 4));
+      n "e1" := scale (int c4 *: (x 0 -: x 4));
+      n "e2" := scale ((int c2 *: x 2) +: (int c6 *: x 6));
+      n "e3" := scale ((int c6 *: x 2) -: (int c2 *: x 6));
+      n "f0" := v (n "e0") +: v (n "e2");
+      n "f1" := v (n "e1") +: v (n "e3");
+      n "f2" := v (n "e1") -: v (n "e3");
+      n "f3" := v (n "e0") -: v (n "e2");
+      n "o0" := scale ((int c1 *: x 1) +: (int c7 *: x 7));
+      n "o1" := scale ((int c3 *: x 3) +: (int c5 *: x 5));
+      n "o2" := scale ((int c3 *: x 5) -: (int c5 *: x 3));
+      n "o3" := scale ((int c1 *: x 7) -: (int c7 *: x 1));
+      n "g0" := v (n "o0") +: v (n "o1");
+      n "g1" := v (n "o0") -: v (n "o1");
+      n "g2" := v (n "o3") +: v (n "o2");
+      n "g3" := v (n "o3") -: v (n "o2");
+      n "h1" := scale (int c4 *: (v (n "g1") +: v (n "g3")));
+      n "h2" := scale (int c4 *: (v (n "g1") -: v (n "g3")));
+    ],
+    [|
+      (fun () -> v (n "f0") +: v (n "g0"));
+      (fun () -> v (n "f1") +: v (n "h1"));
+      (fun () -> v (n "f2") +: v (n "h2"));
+      (fun () -> v (n "f3") +: v (n "g2"));
+      (fun () -> v (n "f3") -: v (n "g2"));
+      (fun () -> v (n "f2") -: v (n "h2"));
+      (fun () -> v (n "f1") -: v (n "h1"));
+      (fun () -> v (n "f0") -: v (n "g0"));
+    |] )
+
+let transform_vars ~pfx w =
+  List.map
+    (fun s -> (pfx ^ s, w))
+    [ "e0"; "e1"; "e2"; "e3"; "f0"; "f1"; "f2"; "f3"; "o0"; "o1"; "o2"; "o3"; "g0"; "g1"; "g2";
+      "g3"; "h1"; "h2" ]
+
+let design ?(width = 16) ?(min_latency = 2) ?(max_latency = 48) ?ii () =
+  let open Dsl in
+  let w2 = width + fx + 2 in
+  let t r c = Printf.sprintf "t%d_%d" r c in
+  (* column phase: transform the incoming column *)
+  let col_stmts, col_out = transform_stmts ~pfx:"c_" (fun i -> v (Printf.sprintf "x%d" i)) in
+  (* predicated transpose-buffer writes: column cnt receives the result *)
+  let buffer_writes =
+    List.concat_map
+      (fun c ->
+        [
+          when_ (v "col_phase" &&: (v "cnt" =: int c))
+            (List.init 8 (fun r -> t r c := (col_out.(r)) ()));
+        ])
+      (List.init 8 Fun.id)
+  in
+  (* row phase: steer one buffered row into the second transform *)
+  let row_select r_var c =
+    (* nested muxes over the eight rows of column c *)
+    let rec pick r = if r = 7 then v (t 7 c) else cond (r_var =: int r) (v (t r c)) (pick (r + 1)) in
+    pick 0
+  in
+  let row_stmts, row_out = transform_stmts ~pfx:"r_" (fun c -> v (Printf.sprintf "rw%d" c)) in
+  let body =
+    [
+      "col_phase" := v "cnt" <: int 8;
+      "row" := v "cnt" -: int 8;
+    ]
+    @ List.init 8 (fun i -> Printf.sprintf "x%d" i := port (Printf.sprintf "s%d" i))
+    @ col_stmts @ buffer_writes
+    @ List.init 8 (fun c -> Printf.sprintf "rw%d" c := row_select (v "row") c)
+    @ row_stmts
+    @ [ wait ]
+    @ List.init 8 (fun i ->
+          when_ (lnot (v "col_phase")) [ write (Printf.sprintf "d%d" i) ((row_out.(i)) ()) ])
+    @ [ "cnt" := (v "cnt" +: int 1) &: int 15 ]
+  in
+  design "idct8x8"
+    ~ins:(List.init 8 (fun i -> in_port (Printf.sprintf "s%d" i) width))
+    ~outs:(List.init 8 (fun i -> out_port (Printf.sprintf "d%d" i) (w2 + 2)))
+    ~vars:
+      ([ var "cnt" 5; var "col_phase" 1; var "row" 5 ]
+      @ List.init 8 (fun i -> var (Printf.sprintf "x%d" i) width)
+      @ List.init 8 (fun c -> var (Printf.sprintf "rw%d" c) w2)
+      @ List.concat_map (fun r -> List.init 8 (fun c -> var (t r c) w2)) (List.init 8 Fun.id)
+      @ transform_vars ~pfx:"c_" w2
+      @ transform_vars ~pfx:"r_" (w2 + 2))
+    ([ "cnt" := int 0 ]
+    @ List.concat_map (fun r -> List.init 8 (fun c -> t r c := int 0)) (List.init 8 Fun.id)
+    @ [ wait; do_while ~name:"idct2d" ?ii ~min_latency ~max_latency body (int 1) ])
+
+let elaborated ?width ?min_latency ?max_latency ?ii () =
+  Elaborate.design (design ?width ?min_latency ?max_latency ?ii ())

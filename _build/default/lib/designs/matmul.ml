@@ -1,0 +1,43 @@
+(** Streaming matrix–vector multiply: one [n]-element dot-product row per
+    iteration, with the vector held in loop-carried registers and refreshed
+    through a rotating write index.
+
+    The dot product is emitted fully flattened — the form an unrolled
+    inner loop reaches after the frontend's mandatory unrolling ("nested
+    loops must either be unrolled or correspond to the stalling of the
+    pipeline").  The result is a wide multiply–add tree whose resource
+    demand scales with [n], a good stress for the initial allocator and
+    the sharing machinery. *)
+
+open Hls_frontend
+
+let design ?(n = 4) ?(width = 12) ?(min_latency = 1) ?(max_latency = 32) ?ii () =
+  let open Dsl in
+  let v_i i = Printf.sprintf "v%d" i in
+  let acc_term i = v (v_i i) *: port (Printf.sprintf "row%d" i) in
+  let sum =
+    match List.init n acc_term with
+    | [] -> int 0
+    | t :: ts -> List.fold_left ( +: ) t ts
+  in
+  let body =
+    (* rotate one fresh vector element in per iteration *)
+    List.init (n - 1) (fun i -> v_i i := v (v_i (i + 1)))
+    @ [
+        v_i (n - 1) := port "vec_in";
+        (* the flattened dot product *)
+        "acc" := sum;
+        wait;
+        write "dot" (v "acc");
+      ]
+  in
+  design
+    (Printf.sprintf "matvec%d" n)
+    ~ins:(in_port "vec_in" width :: List.init n (fun i -> in_port (Printf.sprintf "row%d" i) width))
+    ~outs:[ out_port "dot" ((2 * width) + 4) ]
+    ~vars:(var "acc" ((2 * width) + 4) :: List.init n (fun i -> var (v_i i) width))
+    (List.init n (fun i -> v_i i := int 0)
+    @ [ wait; do_while ~name:"matvec" ?ii ~min_latency ~max_latency body (int 1) ])
+
+let elaborated ?n ?width ?min_latency ?max_latency ?ii () =
+  Elaborate.design (design ?n ?width ?min_latency ?max_latency ?ii ())

@@ -1,0 +1,152 @@
+(** Seeded synthetic design generator.
+
+    Substitute for the ~40 proprietary industrial designs of the paper's
+    Fig. 9 (op counts from 100 to over 6000, "filters, FFTs, image
+    processing algorithms").  The generator emits a main loop whose body is
+    a random layered dataflow over a handful of streamed ports:
+
+    - a configurable mix of multiplications, additions/subtractions,
+      comparisons and predicated updates (wait-free conditionals);
+    - a few loop-carried accumulators, giving the SCCs that constrain
+      pipelining;
+    - a [tightness] knob (0..1) scaling how much of the clock period each
+      chain consumes, which — as the paper observes — drives scheduler
+      runtime far more than raw design size does.
+
+    Deterministic for a given seed. *)
+
+open Hls_frontend
+
+type profile = {
+  p_ops : int;  (** approximate operation-count target *)
+  p_tightness : float;  (** 0 = loose, 1 = heavily multiplication-biased *)
+  p_accumulators : int;
+  p_width : int;
+  p_seed : int;
+}
+
+let default_profile = { p_ops = 200; p_tightness = 0.4; p_accumulators = 2; p_width = 16; p_seed = 1 }
+
+(* xorshift64* PRNG: deterministic, independent of the global Random state *)
+type rng = { mutable s : int }
+
+let rng_make seed = { s = (if seed = 0 then 0x9E3779B9 else seed) }
+
+let rand_int r bound =
+  let x = r.s in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  r.s <- x land max_int;
+  r.s mod max 1 bound
+
+let rand_float r = float_of_int (rand_int r 1_000_000) /. 1_000_000.0
+
+(* Dsl's [:=] statement builder shadows the ref-assignment operator inside
+   [open Dsl] scopes; [<<-] is plain ref assignment. *)
+let ( <<- ) r x = r.contents <- x
+
+let design ?(profile = default_profile) () =
+  let open Dsl in
+  let r = rng_make profile.p_seed in
+  let n_ports = 3 + rand_int r 4 in
+  let ins = List.init n_ports (fun i -> in_port (Printf.sprintf "in%d" i) profile.p_width) in
+  let n_ops = ref 0 in
+  let values = ref (List.init n_ports (fun i -> port (Printf.sprintf "in%d" i))) in
+  let vars = ref [] in
+  let stmts = ref [] in
+  let fresh_var =
+    let k = ref 0 in
+    fun width ->
+      incr k;
+      let name = Printf.sprintf "t%d" !k in
+      vars <<- (name, width) :: !vars;
+      name
+  in
+  let pick_value () =
+    let vs = !values in
+    List.nth vs (rand_int r (List.length vs))
+  in
+  let emit_stmt s = stmts <<- s :: !stmts in
+  let gen_expr () =
+    let a = pick_value () and b = pick_value () in
+    let roll = rand_float r in
+    if roll < profile.p_tightness *. 0.6 then begin
+      n_ops <<- !n_ops + 1;
+      a *: b
+    end
+    else if roll < 0.75 then begin
+      n_ops <<- !n_ops + 1;
+      if rand_int r 2 = 0 then a +: b else a -: b
+    end
+    else if roll < 0.85 then begin
+      n_ops <<- !n_ops + 2;
+      cond (a >: b) (a -: b) (b -: a)
+    end
+    else begin
+      n_ops <<- !n_ops + 1;
+      if rand_int r 2 = 0 then a &: b else a ^: b
+    end
+  in
+  (* accumulators: loop-carried SCCs *)
+  let acc_names = List.init profile.p_accumulators (fun i -> Printf.sprintf "acc%d" i) in
+  List.iter (fun a -> vars <<- (a, profile.p_width + 8) :: !vars) acc_names;
+  while !n_ops < profile.p_ops - (3 * profile.p_accumulators) do
+    let w = profile.p_width + rand_int r 8 in
+    let name = fresh_var w in
+    (if rand_float r < 0.12 then begin
+       (* predicated update through a wait-free conditional *)
+       let c = pick_value () and t = gen_expr () in
+       n_ops <<- !n_ops + 2;
+       emit_stmt (name := int 0);
+       emit_stmt (if_ (c >: int 0) [ name := t ] [ name := pick_value () ])
+     end
+     else emit_stmt (name := gen_expr ()));
+    values <<- v name :: !values;
+    (* keep the live set bounded so chains deepen *)
+    if List.length !values > 24 then
+      values <<- List.filteri (fun i _ -> i < 20) !values
+  done;
+  List.iter
+    (fun a ->
+      n_ops <<- !n_ops + 2;
+      emit_stmt (a := v a +: gen_expr ()))
+    acc_names;
+  let outs = [ out_port "out0" (profile.p_width + 8); out_port "out1" (profile.p_width + 8) ] in
+  let body =
+    List.rev !stmts
+    @ [
+        wait;
+        write "out0" (match acc_names with a :: _ -> v a | [] -> pick_value ());
+        write "out1" (pick_value ());
+      ]
+  in
+  (* deep chains need room: a value chain of k ops may need ~k/2 states,
+     and the latency bound also caps how far resources can be shared *)
+  let max_latency = max 48 profile.p_ops in
+  design
+    (Printf.sprintf "synth_s%d_n%d" profile.p_seed profile.p_ops)
+    ~ins ~outs
+    ~vars:(List.rev !vars)
+    (List.map (fun a -> a := int 0) acc_names
+    @ [ wait; do_while ~name:"kernel" ~min_latency:1 ~max_latency body (int 1) ])
+
+(** The Fig. 9 population: [n] designs with op counts log-spaced between
+    [lo] and [hi] and varying tightness. *)
+let population ?(n = 40) ?(lo = 100) ?(hi = 6000) ~seed () =
+  List.init n (fun i ->
+      let f = float_of_int i /. float_of_int (max 1 (n - 1)) in
+      let ops =
+        int_of_float (float_of_int lo *. exp (f *. log (float_of_int hi /. float_of_int lo)))
+      in
+      let tightness = 0.15 +. (0.55 *. float_of_int ((i * 7) mod 10) /. 10.0) in
+      design
+        ~profile:
+          {
+            p_ops = ops;
+            p_tightness = tightness;
+            p_accumulators = 1 + (i mod 3);
+            p_width = 12 + (i mod 3 * 4);
+            p_seed = seed + (i * 131);
+          }
+        ())

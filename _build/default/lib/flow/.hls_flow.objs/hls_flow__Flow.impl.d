@@ -1,0 +1,1 @@
+lib/flow/flow.ml: Ast Cdfg Elaborate Hls_core Hls_frontend Hls_ir Hls_rtl Hls_sim Hls_techlib List Pipeline Printf Region Scheduler Stdlib String

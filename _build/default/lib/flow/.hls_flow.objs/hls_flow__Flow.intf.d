@@ -1,0 +1,1 @@
+lib/flow/flow.mli: Ast Elaborate Hls_core Hls_frontend Hls_ir Hls_rtl Hls_sim Hls_techlib

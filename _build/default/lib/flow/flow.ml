@@ -1,0 +1,135 @@
+(** End-to-end HLS flow: elaborate → schedule+bind → fold → area/power →
+    functional verification.
+
+    One call to {!run} performs what the paper's Fig. 2 tool flow does for
+    one micro-architectural configuration, and returns everything the
+    evaluation section reports: the schedule, the folded pipeline, the area
+    breakdown (post-synthesis sized), the activity-based power estimate,
+    the delay point (II × Tclk — the inverse-throughput axis of Figures 10
+    and 11), and a functional-equivalence verdict against the behavioural
+    golden model. *)
+
+open Hls_ir
+open Hls_frontend
+open Hls_core
+
+type options = {
+  lib : Hls_techlib.Library.t;
+  clock_ps : float;
+  ii : int option;  (** pipeline with this initiation interval *)
+  min_latency : int option;  (** override the loop's latency bounds *)
+  max_latency : int option;
+  sched : Scheduler.options;
+  verify : bool;  (** run the simulators and check equivalence *)
+  sim_iters : int;
+  seed : int;
+}
+
+let default_options =
+  {
+    lib = Hls_techlib.Library.artisan90;
+    clock_ps = 1600.0;
+    ii = None;
+    min_latency = None;
+    max_latency = None;
+    sched = Scheduler.default_options;
+    verify = true;
+    sim_iters = 100;
+    seed = 1;
+  }
+
+type t = {
+  f_design : Ast.design;
+  f_elab : Elaborate.t;
+  f_region : Region.t;
+  f_sched : Scheduler.t;
+  f_fold : Pipeline.t;
+  f_area : Hls_rtl.Stats.breakdown;
+  f_power_mw : float;
+  f_equiv : Hls_sim.Equiv.verdict option;
+  f_cycles_per_iter : int;  (** steady-state initiation interval *)
+  f_delay_ps : float;  (** inverse throughput: II * Tclk *)
+  f_clock_ps : float;
+}
+
+type error = { err_phase : string; err_message : string }
+
+let err phase fmt = Printf.ksprintf (fun m -> Error { err_phase = phase; err_message = m }) fmt
+
+(** Run the flow on a design.  Elaboration is always fresh (scheduling
+    mutates speculation flags and the region latency), so one [Ast.design]
+    value can be explored under many configurations. *)
+let run ?(options = default_options) ?trace (design : Ast.design) : (t, error) Stdlib.result =
+  match Elaborate.design design with
+  | exception Hls_frontend.Desugar.Error m -> err "frontend" "%s" m
+  | elab -> (
+      let region =
+        Elaborate.main_region ?ii:options.ii ?min_latency:options.min_latency
+          ?max_latency:options.max_latency elab
+      in
+      (match Cdfg.validate elab.Elaborate.cdfg with
+      | [] -> Ok ()
+      | errs -> err "elaborate" "invalid CDFG: %s" (String.concat "; " errs))
+      |> function
+      | Error e -> Error e
+      | Ok () -> (
+          match
+            Scheduler.schedule ~opts:options.sched ?trace ~lib:options.lib
+              ~clock_ps:options.clock_ps region
+          with
+          | Error e ->
+              err "schedule" "%s (after %d passes: %s)" e.Scheduler.e_message e.Scheduler.e_passes
+                (String.concat " / " e.Scheduler.e_actions)
+          | Ok sched -> (
+              let fold = Pipeline.fold sched in
+              match Pipeline.validate sched fold with
+              | _ :: _ as errs -> err "fold" "folding invariants violated: %s" (String.concat "; " errs)
+              | [] ->
+                  let io_widths = List.map snd (design.Ast.d_ins @ design.Ast.d_outs) in
+                  let area = Hls_rtl.Stats.area ~io_widths sched in
+                  let equiv, activity, iters =
+                    if options.verify then begin
+                      let stim =
+                        Hls_sim.Stimulus.small_random ~seed:options.seed ~n_iters:options.sim_iters
+                          ~ports:design.Ast.d_ins
+                      in
+                      let golden = Hls_sim.Behav.run design stim in
+                      let sim = Hls_sim.Schedule_sim.run elab sched stim in
+                      let v = Hls_sim.Equiv.check ~out_ports:design.Ast.d_outs golden sim in
+                      (Some v, Some sim.Hls_sim.Schedule_sim.r_exec_counts, sim.Hls_sim.Schedule_sim.r_iters)
+                    end
+                    else (None, None, 1)
+                  in
+                  let power =
+                    Hls_rtl.Stats.power ?activity ~iters sched area ~clock_ps:options.clock_ps
+                  in
+                  let ii = Region.ii region in
+                  Ok
+                    {
+                      f_design = design;
+                      f_elab = elab;
+                      f_region = region;
+                      f_sched = sched;
+                      f_fold = fold;
+                      f_area = area;
+                      f_power_mw = power;
+                      f_equiv = equiv;
+                      f_cycles_per_iter = ii;
+                      f_delay_ps = float_of_int ii *. options.clock_ps;
+                      f_clock_ps = options.clock_ps;
+                    })))
+
+(** Convenience: run and raise on error (used by examples and benches). *)
+let run_exn ?options ?trace design =
+  match run ?options ?trace design with
+  | Ok r -> r
+  | Error e -> failwith (Printf.sprintf "[%s] %s" e.err_phase e.err_message)
+
+let summary (r : t) =
+  Printf.sprintf "%s: LI=%d II=%d clock=%.0fps delay=%.0fps area=%.0f power=%.2fmW%s" r.f_design.Ast.d_name
+    r.f_sched.Scheduler.s_li r.f_cycles_per_iter r.f_clock_ps r.f_delay_ps r.f_area.Hls_rtl.Stats.a_total
+    r.f_power_mw
+    (match r.f_equiv with
+    | Some v when v.Hls_sim.Equiv.equivalent -> " [verified]"
+    | Some _ -> " [MISMATCH]"
+    | None -> "")

@@ -1,0 +1,42 @@
+(** End-to-end HLS flow: elaborate → schedule+bind → fold → area/power →
+    functional verification — one call per micro-architectural
+    configuration, returning everything the paper's evaluation reports. *)
+
+open Hls_frontend
+
+type options = {
+  lib : Hls_techlib.Library.t;
+  clock_ps : float;
+  ii : int option;  (** pipeline with this initiation interval *)
+  min_latency : int option;
+  max_latency : int option;
+  sched : Hls_core.Scheduler.options;
+  verify : bool;  (** simulate and check equivalence *)
+  sim_iters : int;
+  seed : int;
+}
+
+val default_options : options
+
+type t = {
+  f_design : Ast.design;
+  f_elab : Elaborate.t;
+  f_region : Hls_ir.Region.t;
+  f_sched : Hls_core.Scheduler.t;
+  f_fold : Hls_core.Pipeline.t;
+  f_area : Hls_rtl.Stats.breakdown;
+  f_power_mw : float;
+  f_equiv : Hls_sim.Equiv.verdict option;
+  f_cycles_per_iter : int;  (** steady-state initiation interval *)
+  f_delay_ps : float;  (** inverse throughput, II × Tclk (Figs. 10/11 x-axis) *)
+  f_clock_ps : float;
+}
+
+type error = { err_phase : string; err_message : string }
+
+val run : ?options:options -> ?trace:Hls_core.Trace.t -> Ast.design -> (t, error) result
+(** Elaboration is always fresh, so one design value can be explored under
+    many configurations. *)
+
+val run_exn : ?options:options -> ?trace:Hls_core.Trace.t -> Ast.design -> t
+val summary : t -> string

@@ -1,0 +1,1 @@
+lib/frontend/check.ml: Ast Desugar Hashtbl Hls_ir List Printf String

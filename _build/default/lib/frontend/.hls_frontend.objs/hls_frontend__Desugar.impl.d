@@ -1,0 +1,1 @@
+lib/frontend/desugar.ml: Ast Hls_ir List Printf

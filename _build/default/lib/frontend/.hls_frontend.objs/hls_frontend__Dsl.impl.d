@@ -1,0 +1,1 @@
+lib/frontend/dsl.ml: Ast Hls_ir

@@ -1,0 +1,1 @@
+lib/frontend/elaborate.ml: Ast Cdfg Cfg Check Desugar Dfg Guard Hashtbl Hls_ir List Opkind Option Printf Region Width

@@ -1,0 +1,1 @@
+lib/frontend/elaborate.mli: Ast Cdfg Hls_ir Region

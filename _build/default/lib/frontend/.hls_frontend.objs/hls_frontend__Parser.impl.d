@@ -1,0 +1,1 @@
+lib/frontend/parser.ml: Ast Hls_ir Lexer List Printf

@@ -1,0 +1,151 @@
+(** Behavioural input language.
+
+    This AST is the reproduction's substitute for the paper's SystemC
+    frontend: a design is a module with input/output ports and a single
+    thread whose body runs forever (an implicit [while (true)] with an
+    implicit leading [wait()], exactly the shape of Fig. 1).  Statements are
+    untimed except for explicit [Wait]s, which delimit clock states in timed
+    mode and act as latency hints otherwise.
+
+    Designs are written either with the combinator DSL ({!Dsl}) or in the
+    textual [.bhv] language ({!Parser}). *)
+
+type expr =
+  | Int of int  (** literal, width inferred from the value *)
+  | Int_w of int * int  (** literal with explicit width *)
+  | Var of string
+  | Port of string  (** read of an input port *)
+  | Bin of Hls_ir.Opkind.binop * expr * expr
+  | Un of Hls_ir.Opkind.unop * expr
+  | Cond of expr * expr * expr  (** C ternary [c ? a : b] *)
+  | Slice of expr * int * int  (** [e.range(hi, lo)] *)
+  | Call of string * expr list * int  (** callee, args, result width *)
+
+type loop_attrs = {
+  l_name : string;
+  l_ii : int option;  (** pipeline with this initiation interval *)
+  l_min_latency : int;  (** designer latency bounds for the loop body *)
+  l_max_latency : int;
+  l_unroll : bool;  (** fully unroll (only for counted [For] loops) *)
+}
+
+let default_attrs =
+  { l_name = "loop"; l_ii = None; l_min_latency = 1; l_max_latency = 64; l_unroll = false }
+
+type stmt =
+  | Assign of string * expr
+  | Write of string * expr  (** output-port write *)
+  | Wait  (** clock boundary *)
+  | If of expr * stmt list * stmt list
+  | Do_while of stmt list * expr * loop_attrs  (** body; continue condition *)
+  | While of expr * stmt list * loop_attrs
+  | For of string * int * int * stmt list * loop_attrs
+      (** [For (i, lo, hi, body)]: i = lo; while (i < hi) { body; i++ } *)
+  | Stall_until of expr
+      (** pipeline stall: freeze until the expression becomes nonzero (the
+          paper's "stalling loop" [while (!cond) wait();]) *)
+
+type design = {
+  d_name : string;
+  d_ins : (string * int) list;  (** input ports: name, width *)
+  d_outs : (string * int) list;
+  d_vars : (string * int) list;  (** declared variables with widths *)
+  d_body : stmt list;
+}
+
+(** {2 Traversals} *)
+
+let rec expr_ports acc = function
+  | Int _ | Int_w _ | Var _ -> acc
+  | Port p -> p :: acc
+  | Bin (_, a, b) -> expr_ports (expr_ports acc a) b
+  | Un (_, a) | Slice (a, _, _) -> expr_ports acc a
+  | Cond (a, b, c) -> expr_ports (expr_ports (expr_ports acc a) b) c
+  | Call (_, args, _) -> List.fold_left expr_ports acc args
+
+let rec expr_vars acc = function
+  | Int _ | Int_w _ | Port _ -> acc
+  | Var v -> v :: acc
+  | Bin (_, a, b) -> expr_vars (expr_vars acc a) b
+  | Un (_, a) | Slice (a, _, _) -> expr_vars acc a
+  | Cond (a, b, c) -> expr_vars (expr_vars (expr_vars acc a) b) c
+  | Call (_, args, _) -> List.fold_left expr_vars acc args
+
+(** Variables assigned anywhere in a statement list (including loop
+    counters). *)
+let rec assigned_vars stmts =
+  List.concat_map
+    (function
+      | Assign (v, _) -> [ v ]
+      | Write _ | Wait | Stall_until _ -> []
+      | If (_, t, f) -> assigned_vars t @ assigned_vars f
+      | Do_while (b, _, _) | While (_, b, _) -> assigned_vars b
+      | For (v, _, _, b, _) -> v :: assigned_vars b)
+    stmts
+
+(** Number of [Wait]s along the statement list (loops count their body
+    once; used for latency hints and the Fig. 4 balancing pass). *)
+let rec count_waits stmts =
+  List.fold_left
+    (fun acc s ->
+      acc
+      +
+      match s with
+      | Wait -> 1
+      | If (_, t, f) -> max (count_waits t) (count_waits f)
+      | Do_while (b, _, _) | While (_, b, _) | For (_, _, _, b, _) -> count_waits b
+      | Assign _ | Write _ | Stall_until _ -> 0)
+    0 stmts
+
+let rec contains_loop stmts =
+  List.exists
+    (function
+      | Do_while _ | While _ | For _ -> true
+      | If (_, t, f) -> contains_loop t || contains_loop f
+      | Assign _ | Write _ | Wait | Stall_until _ -> false)
+    stmts
+
+(** {2 Printing} *)
+
+let rec pp_expr fmt = function
+  | Int n -> Format.pp_print_int fmt n
+  | Int_w (n, w) -> Format.fprintf fmt "%d'%d" w n
+  | Var v -> Format.pp_print_string fmt v
+  | Port p -> Format.fprintf fmt "$%s" p
+  | Bin (op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp_expr a (Hls_ir.Opkind.binop_to_string op) pp_expr b
+  | Un (op, a) -> Format.fprintf fmt "%s%a" (Hls_ir.Opkind.unop_to_string op) pp_expr a
+  | Cond (c, a, b) -> Format.fprintf fmt "(%a ? %a : %a)" pp_expr c pp_expr a pp_expr b
+  | Slice (e, hi, lo) -> Format.fprintf fmt "%a[%d:%d]" pp_expr e hi lo
+  | Call (f, args, _) ->
+      Format.fprintf fmt "%s(%a)" f
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") pp_expr)
+        args
+
+let rec pp_stmt fmt = function
+  | Assign (v, e) -> Format.fprintf fmt "%s = %a;" v pp_expr e
+  | Write (p, e) -> Format.fprintf fmt "$%s = %a;" p pp_expr e
+  | Wait -> Format.fprintf fmt "wait();"
+  | If (c, t, []) -> Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_stmts t
+  | If (c, t, f) ->
+      Format.fprintf fmt "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}" pp_expr c pp_stmts t
+        pp_stmts f
+  | Do_while (b, c, a) ->
+      Format.fprintf fmt "@[<v 2>do { /* %s */@,%a@]@,} while (%a);" a.l_name pp_stmts b pp_expr c
+  | While (c, b, a) ->
+      Format.fprintf fmt "@[<v 2>while (%a) { /* %s */@,%a@]@,}" pp_expr c a.l_name pp_stmts b
+  | For (v, lo, hi, b, a) ->
+      Format.fprintf fmt "@[<v 2>for (%s = %d; %s < %d; %s++) { /* %s */@,%a@]@,}" v lo v hi v
+        a.l_name pp_stmts b
+  | Stall_until e -> Format.fprintf fmt "stall_until (%a);" pp_expr e
+
+and pp_stmts fmt stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt fmt stmts
+
+let pp_design fmt d =
+  Format.fprintf fmt "@[<v 2>design %s {@," d.d_name;
+  List.iter (fun (p, w) -> Format.fprintf fmt "in %s : %d;@," p w) d.d_ins;
+  List.iter (fun (p, w) -> Format.fprintf fmt "out %s : %d;@," p w) d.d_outs;
+  List.iter (fun (v, w) -> Format.fprintf fmt "var %s : %d;@," v w) d.d_vars;
+  pp_stmts fmt d.d_body;
+  Format.fprintf fmt "@]@,}"

@@ -1,0 +1,12 @@
+(** Semantic checks on lowered designs (run after {!Desugar}): port and
+    variable declarations, shadowing, read-before-write, loop placement
+    and attributes, slice/width sanity, single schedulable main loop.
+    Errors are collected so a user sees all problems at once. *)
+
+type error = string
+
+val run : Ast.design -> error list
+(** Empty = valid. *)
+
+val run_exn : Ast.design -> unit
+(** @raise Desugar.Error with a combined message. *)

@@ -1,0 +1,114 @@
+(** AST lowering ahead of elaboration.
+
+    Three rewrites, applied bottom-up:
+
+    - [For] loops: fully unrolled when requested (or when nested inside
+      another loop — the paper requires inner loops to be unrolled), else
+      lowered to counter initialization plus [Do_while].
+    - [While] loops: [while (k)] with a nonzero constant condition becomes
+      an (infinite) [Do_while]; data-dependent [while] is rejected with a
+      pointer at [do/while] (test-before-first-iteration FSMs are outside
+      the reproduction's scope, as in the paper all examples are do/while).
+    - Conditionals containing [wait()]: the latency-balancing half of
+      predicate conversion (Fig. 4).  The condition is hoisted into a fresh
+      temporary, both branches are split at their waits, the shorter branch
+      is padded, and the statement becomes a sequence of wait-free
+      conditionals separated by single waits — [s1]/[s2] merging into
+      [s1_2] exactly as in the paper.  Wait-free conditionals are predicated
+      directly by the elaborator. *)
+
+open Ast
+
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let max_unroll = 4096
+
+(** Split a wait-free-segment decomposition: [a; Wait; b; Wait; c] becomes
+    [[a]; [b]; [c]]. *)
+let split_at_waits stmts =
+  let segs, last =
+    List.fold_left
+      (fun (segs, cur) s -> match s with Wait -> (List.rev cur :: segs, []) | s -> (segs, s :: cur))
+      ([], []) stmts
+  in
+  List.rev (List.rev last :: segs)
+
+let fresh_tmp =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Printf.sprintf "_pc%d" !n
+
+(** Interleave balanced branch segments with waits, guarding each segment
+    pair with the hoisted condition. *)
+let balance_if c t f =
+  let tmp = fresh_tmp () in
+  let segs_t = split_at_waits t and segs_f = split_at_waits f in
+  let n = max (List.length segs_t) (List.length segs_f) in
+  let pad segs = segs @ List.init (n - List.length segs) (fun _ -> []) in
+  let segs_t = pad segs_t and segs_f = pad segs_f in
+  let pieces =
+    List.map2
+      (fun st sf -> match (st, sf) with [], [] -> [] | _ -> [ If (Var tmp, st, sf) ])
+      segs_t segs_f
+  in
+  let rec join = function
+    | [] -> []
+    | [ last ] -> last
+    | seg :: rest -> seg @ (Wait :: join rest)
+  in
+  Assign (tmp, c) :: join pieces
+
+let rec lower_stmt ~in_loop s =
+  match s with
+  | Assign _ | Write _ | Wait | Stall_until _ -> [ s ]
+  | If (c, t, f) ->
+      let t = lower_stmts ~in_loop t and f = lower_stmts ~in_loop f in
+      if contains_loop t || contains_loop f then
+        err "loop nested under a conditional: unroll it or restructure the code";
+      if count_waits t > 0 || count_waits f > 0 then
+        (* the balancing rewrite can expose nothing new to lower *)
+        balance_if c t f
+      else [ If (c, t, f) ]
+  | Do_while (body, cond, attrs) ->
+      let body = lower_stmts ~in_loop:true body in
+      [ Do_while (body, cond, attrs) ]
+  | While (cond, body, attrs) -> (
+      let body = lower_stmts ~in_loop:true body in
+      match cond with
+      | Int k | Int_w (k, _) ->
+          if k <> 0 then [ Do_while (body, cond, attrs) ]
+          else err "while (0) loop '%s' never executes: delete it" attrs.l_name
+      | _ ->
+          err
+            "data-dependent 'while' loop '%s' is not supported: use do/while (the loop body must \
+             execute at least once)"
+            attrs.l_name)
+  | For (v, lo, hi, body, attrs) ->
+      let body = lower_stmts ~in_loop:true body in
+      let trip = hi - lo in
+      if trip <= 0 then err "for loop '%s' has non-positive trip count %d" attrs.l_name trip;
+      if attrs.l_unroll || in_loop then begin
+        (* inner loops must be unrolled (Section V, Step I.1) *)
+        if trip > max_unroll then
+          err "refusing to unroll loop '%s' with trip count %d (max %d)" attrs.l_name trip
+            max_unroll;
+        List.concat (List.init trip (fun i -> Assign (v, Int (lo + i)) :: body))
+        @ [ Assign (v, Int hi) ]
+      end
+      else
+        [
+          Assign (v, Int lo);
+          Do_while
+            ( body @ [ Assign (v, Bin (Hls_ir.Opkind.Add, Var v, Int 1)) ],
+              Bin (Hls_ir.Opkind.Lt, Var v, Int hi),
+              attrs );
+        ]
+
+and lower_stmts ~in_loop stmts = List.concat_map (lower_stmt ~in_loop) stmts
+
+(** Lower a whole design.  The result contains only [Assign], [Write],
+    [Wait], wait-free [If], [Stall_until] and top-level [Do_while]. *)
+let design (d : design) = { d with d_body = lower_stmts ~in_loop:false d.d_body }

@@ -1,0 +1,25 @@
+(** AST lowering ahead of elaboration:
+
+    - [For] loops unroll (when requested, or always when nested — the
+      paper requires inner loops to be unrolled) or lower to counter +
+      [Do_while];
+    - constant-condition [While] becomes [Do_while]; data-dependent
+      [while] is rejected with a pointer at [do/while];
+    - wait-bearing conditionals are balanced and split at waits — the
+      latency-balancing half of Fig. 4's predicate conversion
+      ([s1]/[s2] merging into [s1_2]). *)
+
+open Ast
+
+exception Error of string
+
+val max_unroll : int
+
+val split_at_waits : stmt list -> stmt list list
+val balance_if : expr -> stmt list -> stmt list -> stmt list
+
+val lower_stmts : in_loop:bool -> stmt list -> stmt list
+
+val design : design -> design
+(** Lower a whole design; the result contains only [Assign], [Write],
+    [Wait], wait-free [If], [Stall_until] and top-level [Do_while]. *)

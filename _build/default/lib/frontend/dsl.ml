@@ -1,0 +1,78 @@
+(** Combinator DSL for building {!Ast.design}s from OCaml.
+
+    Mirrors the SystemC style of the paper's Fig. 1:
+
+    {[
+      let example1 =
+        Dsl.(
+          design "example1"
+            ~ins:[ in_port "mask" 32; in_port "chrome" 32 ]
+            ~outs:[ out_port "pixel" 32 ]
+            ~vars:[ var "aver" 32 ]
+            [ aver := int 0; wait;
+              do_while ~name:"main"
+                [ ... ]
+                (v "delta" <>: int 0) ])
+    ]}
+*)
+
+open Ast
+
+let in_port name width = (name, width)
+let out_port name width = (name, width)
+let var name width = (name, width)
+
+let design ?(ins = []) ?(outs = []) ?(vars = []) name body =
+  { d_name = name; d_ins = ins; d_outs = outs; d_vars = vars; d_body = body }
+
+(* expressions *)
+let int n = Int n
+let int_w n ~width = Int_w (n, width)
+let v name = Var name
+let port name = Port name
+let slice e hi lo = Slice (e, hi, lo)
+let call f args ~width = Call (f, args, width)
+
+let ( +: ) a b = Bin (Hls_ir.Opkind.Add, a, b)
+let ( -: ) a b = Bin (Hls_ir.Opkind.Sub, a, b)
+let ( *: ) a b = Bin (Hls_ir.Opkind.Mul, a, b)
+let ( /: ) a b = Bin (Hls_ir.Opkind.Div, a, b)
+let ( %: ) a b = Bin (Hls_ir.Opkind.Mod, a, b)
+let ( <<: ) a b = Bin (Hls_ir.Opkind.Shl, a, b)
+let ( >>: ) a b = Bin (Hls_ir.Opkind.Shr, a, b)
+let ( &: ) a b = Bin (Hls_ir.Opkind.Band, a, b)
+let ( |: ) a b = Bin (Hls_ir.Opkind.Bor, a, b)
+let ( ^: ) a b = Bin (Hls_ir.Opkind.Bxor, a, b)
+let ( =: ) a b = Bin (Hls_ir.Opkind.Eq, a, b)
+let ( <>: ) a b = Bin (Hls_ir.Opkind.Neq, a, b)
+let ( <: ) a b = Bin (Hls_ir.Opkind.Lt, a, b)
+let ( <=: ) a b = Bin (Hls_ir.Opkind.Le, a, b)
+let ( >: ) a b = Bin (Hls_ir.Opkind.Gt, a, b)
+let ( >=: ) a b = Bin (Hls_ir.Opkind.Ge, a, b)
+let ( &&: ) a b = Bin (Hls_ir.Opkind.Land, a, b)
+let ( ||: ) a b = Bin (Hls_ir.Opkind.Lor, a, b)
+let neg a = Un (Hls_ir.Opkind.Neg, a)
+let bnot a = Un (Hls_ir.Opkind.Bnot, a)
+let lnot a = Un (Hls_ir.Opkind.Lnot, a)
+let cond c a b = Cond (c, a, b)
+
+(* statements *)
+let ( := ) name e = Assign (name, e)
+let assign name e = Assign (name, e)
+let write p e = Write (p, e)
+let wait = Wait
+let if_ c t f = If (c, t, f)
+let when_ c t = If (c, t, [])
+let stall_until e = Stall_until e
+
+let attrs ?(name = "loop") ?ii ?(min_latency = 1) ?(max_latency = 64) ?(unroll = false) () =
+  { l_name = name; l_ii = ii; l_min_latency = min_latency; l_max_latency = max_latency; l_unroll = unroll }
+
+let do_while ?name ?ii ?min_latency ?max_latency body continue_cond =
+  Do_while (body, continue_cond, attrs ?name ?ii ?min_latency ?max_latency ())
+
+let while_ ?name ?ii ?min_latency ?max_latency c body =
+  While (c, body, attrs ?name ?ii ?min_latency ?max_latency ())
+
+let for_ ?name ?ii ?min_latency ?max_latency ?unroll counter ~from ~below body =
+  For (counter, from, below, body, attrs ?name ?ii ?min_latency ?max_latency ?unroll ())

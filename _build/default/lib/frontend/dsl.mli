@@ -1,0 +1,88 @@
+(** Combinator DSL for building {!Ast.design}s from OCaml, mirroring the
+    SystemC style of the paper's Fig. 1.
+
+    {[
+      Dsl.(design "acc"
+        ~ins:[ in_port "a" 8 ] ~outs:[ out_port "y" 16 ] ~vars:[ var "s" 16 ]
+        [ "s" := int 0; wait;
+          do_while ~ii:1 [ "s" := v "s" +: port "a"; wait; write "y" (v "s") ] (int 1) ])
+    ]}
+*)
+
+open Ast
+
+val in_port : string -> int -> string * int
+val out_port : string -> int -> string * int
+val var : string -> int -> string * int
+
+val design :
+  ?ins:(string * int) list ->
+  ?outs:(string * int) list ->
+  ?vars:(string * int) list ->
+  string ->
+  stmt list ->
+  design
+
+(** {2 Expressions} *)
+
+val int : int -> expr
+val int_w : int -> width:int -> expr
+val v : string -> expr
+val port : string -> expr
+val slice : expr -> int -> int -> expr
+val call : string -> expr list -> width:int -> expr
+
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val ( %: ) : expr -> expr -> expr
+val ( <<: ) : expr -> expr -> expr
+val ( >>: ) : expr -> expr -> expr
+val ( &: ) : expr -> expr -> expr
+val ( |: ) : expr -> expr -> expr
+val ( ^: ) : expr -> expr -> expr
+val ( =: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+val ( &&: ) : expr -> expr -> expr
+val ( ||: ) : expr -> expr -> expr
+val neg : expr -> expr
+val bnot : expr -> expr
+val lnot : expr -> expr
+val cond : expr -> expr -> expr -> expr
+
+(** {2 Statements} *)
+
+val ( := ) : string -> expr -> stmt
+val assign : string -> expr -> stmt
+val write : string -> expr -> stmt
+val wait : stmt
+val if_ : expr -> stmt list -> stmt list -> stmt
+val when_ : expr -> stmt list -> stmt
+val stall_until : expr -> stmt
+
+val attrs :
+  ?name:string -> ?ii:int -> ?min_latency:int -> ?max_latency:int -> ?unroll:bool -> unit ->
+  loop_attrs
+
+val do_while :
+  ?name:string -> ?ii:int -> ?min_latency:int -> ?max_latency:int -> stmt list -> expr -> stmt
+
+val while_ :
+  ?name:string -> ?ii:int -> ?min_latency:int -> ?max_latency:int -> expr -> stmt list -> stmt
+
+val for_ :
+  ?name:string ->
+  ?ii:int ->
+  ?min_latency:int ->
+  ?max_latency:int ->
+  ?unroll:bool ->
+  string ->
+  from:int ->
+  below:int ->
+  stmt list ->
+  stmt

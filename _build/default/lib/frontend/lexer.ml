@@ -1,0 +1,222 @@
+(** Lexer for the textual [.bhv] behavioural language (the file-based
+    counterpart of the {!Dsl} combinators; see {!Parser} for the grammar). *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | DOLLAR  (** port sigil *)
+  | KW_DESIGN
+  | KW_IN
+  | KW_OUT
+  | KW_VAR
+  | KW_WAIT
+  | KW_IF
+  | KW_ELSE
+  | KW_DO
+  | KW_WHILE
+  | KW_FOR
+  | KW_STALL_UNTIL
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COLON
+  | COMMA
+  | ASSIGN  (** [=] *)
+  | PLUSPLUS
+  | DOTDOT
+  | QUESTION
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | SHL
+  | SHR
+  | AMP
+  | AMPAMP
+  | PIPE
+  | PIPEPIPE
+  | CARET
+  | TILDE
+  | BANG
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of { line : int; message : string }
+
+let err line fmt = Printf.ksprintf (fun m -> raise (Error { line; message = m })) fmt
+
+let keyword = function
+  | "design" -> Some KW_DESIGN
+  | "in" -> Some KW_IN
+  | "out" -> Some KW_OUT
+  | "var" -> Some KW_VAR
+  | "wait" -> Some KW_WAIT
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "do" -> Some KW_DO
+  | "while" -> Some KW_WHILE
+  | "for" -> Some KW_FOR
+  | "stall_until" -> Some KW_STALL_UNTIL
+  | _ -> None
+
+let token_to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | DOLLAR -> "$"
+  | KW_DESIGN -> "design"
+  | KW_IN -> "in"
+  | KW_OUT -> "out"
+  | KW_VAR -> "var"
+  | KW_WAIT -> "wait"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_DO -> "do"
+  | KW_WHILE -> "while"
+  | KW_FOR -> "for"
+  | KW_STALL_UNTIL -> "stall_until"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COLON -> ":"
+  | COMMA -> ","
+  | ASSIGN -> "="
+  | PLUSPLUS -> "++"
+  | DOTDOT -> ".."
+  | QUESTION -> "?"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | AMP -> "&"
+  | AMPAMP -> "&&"
+  | PIPE -> "|"
+  | PIPEPIPE -> "||"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | BANG -> "!"
+  | EQ -> "=="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"
+
+(** Tokenize a source string; tokens are paired with their line number. *)
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let is_digit c = c >= '0' && c <= '9' in
+  let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let is_ident c = is_ident_start c || is_digit c in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while !i < n && not !closed do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then err !line "unterminated comment"
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      push (INT (int_of_string (String.sub src !i (!j - !i))));
+      i := !j
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident src.[!j] do
+        incr j
+      done;
+      let word = String.sub src !i (!j - !i) in
+      push (match keyword word with Some k -> k | None -> IDENT word);
+      i := !j
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let t, len =
+        match two with
+        | "==" -> (EQ, 2)
+        | "!=" -> (NEQ, 2)
+        | "<=" -> (LE, 2)
+        | ">=" -> (GE, 2)
+        | "<<" -> (SHL, 2)
+        | ">>" -> (SHR, 2)
+        | "&&" -> (AMPAMP, 2)
+        | "||" -> (PIPEPIPE, 2)
+        | "++" -> (PLUSPLUS, 2)
+        | ".." -> (DOTDOT, 2)
+        | _ -> (
+            match c with
+            | '$' -> (DOLLAR, 1)
+            | '{' -> (LBRACE, 1)
+            | '}' -> (RBRACE, 1)
+            | '(' -> (LPAREN, 1)
+            | ')' -> (RPAREN, 1)
+            | '[' -> (LBRACKET, 1)
+            | ']' -> (RBRACKET, 1)
+            | ';' -> (SEMI, 1)
+            | ':' -> (COLON, 1)
+            | ',' -> (COMMA, 1)
+            | '=' -> (ASSIGN, 1)
+            | '?' -> (QUESTION, 1)
+            | '+' -> (PLUS, 1)
+            | '-' -> (MINUS, 1)
+            | '*' -> (STAR, 1)
+            | '/' -> (SLASH, 1)
+            | '%' -> (PERCENT, 1)
+            | '&' -> (AMP, 1)
+            | '|' -> (PIPE, 1)
+            | '^' -> (CARET, 1)
+            | '~' -> (TILDE, 1)
+            | '!' -> (BANG, 1)
+            | '<' -> (LT, 1)
+            | '>' -> (GT, 1)
+            | _ -> err !line "unexpected character %C" c)
+      in
+      push t;
+      i := !i + len
+    end
+  done;
+  push EOF;
+  List.rev !toks

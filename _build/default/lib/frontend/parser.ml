@@ -1,0 +1,351 @@
+(** Recursive-descent parser for the [.bhv] behavioural language.
+
+    {v
+      design example1 {
+        in  mask   : 32;
+        in  chrome : 32;
+        out pixel  : 32;
+        var aver   : 32;
+
+        aver = 0;
+        wait();
+        do [name=main, latency=1..3] {
+          filt  = $mask;
+          delta = $mask * $chrome;
+          aver  = aver + delta;
+          if (aver > $th) { aver = aver * $scale; }
+          wait();
+          $pixel = aver * filt;
+        } while (delta != 0);
+      }
+    v}
+
+    Loop attribute lists accept [ii=N], [latency=LO..HI], [unroll] and
+    [name=IDENT].  [$p] reads input port [p] in expressions and writes
+    output port [p] on the left of an assignment.  Expressions follow C
+    precedence; [e[hi:lo]] is a bit slice. *)
+
+open Ast
+
+exception Error of { line : int; message : string }
+
+let err line fmt = Printf.ksprintf (fun m -> raise (Error { line; message = m })) fmt
+
+type state = { mutable toks : (Lexer.token * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Lexer.EOF
+let line_of st = match st.toks with (_, l) :: _ -> l | [] -> 0
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st t =
+  if peek st = t then advance st
+  else err (line_of st) "expected '%s', found '%s'" (Lexer.token_to_string t)
+         (Lexer.token_to_string (peek st))
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | t -> err (line_of st) "expected identifier, found '%s'" (Lexer.token_to_string t)
+
+let int_lit st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      n
+  | Lexer.MINUS ->
+      advance st;
+      (match peek st with
+      | Lexer.INT n ->
+          advance st;
+          -n
+      | t -> err (line_of st) "expected integer, found '%s'" (Lexer.token_to_string t))
+  | t -> err (line_of st) "expected integer, found '%s'" (Lexer.token_to_string t)
+
+(* ---- expressions, C precedence ---- *)
+
+let rec expr st = ternary st
+
+and ternary st =
+  let c = logical_or st in
+  if peek st = Lexer.QUESTION then begin
+    advance st;
+    let a = expr st in
+    expect st Lexer.COLON;
+    let b = ternary st in
+    Cond (c, a, b)
+  end
+  else c
+
+and binary_level ops next st =
+  let rec go acc =
+    match List.assoc_opt (peek st) ops with
+    | Some op ->
+        advance st;
+        let rhs = next st in
+        go (Bin (op, acc, rhs))
+    | None -> acc
+  in
+  go (next st)
+
+and logical_or st = binary_level [ (Lexer.PIPEPIPE, Hls_ir.Opkind.Lor) ] logical_and st
+and logical_and st = binary_level [ (Lexer.AMPAMP, Hls_ir.Opkind.Land) ] bit_or st
+and bit_or st = binary_level [ (Lexer.PIPE, Hls_ir.Opkind.Bor) ] bit_xor st
+and bit_xor st = binary_level [ (Lexer.CARET, Hls_ir.Opkind.Bxor) ] bit_and st
+and bit_and st = binary_level [ (Lexer.AMP, Hls_ir.Opkind.Band) ] equality st
+
+and equality st =
+  binary_level [ (Lexer.EQ, Hls_ir.Opkind.Eq); (Lexer.NEQ, Hls_ir.Opkind.Neq) ] relational st
+
+and relational st =
+  binary_level
+    [ (Lexer.LT, Hls_ir.Opkind.Lt); (Lexer.LE, Hls_ir.Opkind.Le); (Lexer.GT, Hls_ir.Opkind.Gt);
+      (Lexer.GE, Hls_ir.Opkind.Ge) ]
+    shift st
+
+and shift st =
+  binary_level [ (Lexer.SHL, Hls_ir.Opkind.Shl); (Lexer.SHR, Hls_ir.Opkind.Shr) ] additive st
+
+and additive st =
+  binary_level [ (Lexer.PLUS, Hls_ir.Opkind.Add); (Lexer.MINUS, Hls_ir.Opkind.Sub) ] multiplicative st
+
+and multiplicative st =
+  binary_level
+    [ (Lexer.STAR, Hls_ir.Opkind.Mul); (Lexer.SLASH, Hls_ir.Opkind.Div);
+      (Lexer.PERCENT, Hls_ir.Opkind.Mod) ]
+    unary st
+
+and unary st =
+  match peek st with
+  | Lexer.MINUS ->
+      advance st;
+      Un (Hls_ir.Opkind.Neg, unary st)
+  | Lexer.TILDE ->
+      advance st;
+      Un (Hls_ir.Opkind.Bnot, unary st)
+  | Lexer.BANG ->
+      advance st;
+      Un (Hls_ir.Opkind.Lnot, unary st)
+  | _ -> postfix st
+
+and postfix st =
+  let e = primary st in
+  if peek st = Lexer.LBRACKET then begin
+    advance st;
+    let hi = int_lit st in
+    expect st Lexer.COLON;
+    let lo = int_lit st in
+    expect st Lexer.RBRACKET;
+    Slice (e, hi, lo)
+  end
+  else e
+
+and primary st =
+  match peek st with
+  | Lexer.INT n ->
+      advance st;
+      Int n
+  | Lexer.DOLLAR ->
+      advance st;
+      Port (ident st)
+  | Lexer.IDENT name ->
+      advance st;
+      if peek st = Lexer.LPAREN then begin
+        (* call: name(args) with the result width defaulting to 32; an
+           explicit width uses name:width(args) — rare, kept simple *)
+        advance st;
+        let args = ref [] in
+        if peek st <> Lexer.RPAREN then begin
+          args := [ expr st ];
+          while peek st = Lexer.COMMA do
+            advance st;
+            args := expr st :: !args
+          done
+        end;
+        expect st Lexer.RPAREN;
+        Call (name, List.rev !args, 32)
+      end
+      else Var name
+  | Lexer.LPAREN ->
+      advance st;
+      let e = expr st in
+      expect st Lexer.RPAREN;
+      e
+  | t -> err (line_of st) "expected expression, found '%s'" (Lexer.token_to_string t)
+
+(* ---- loop attributes ---- *)
+
+let attrs st =
+  if peek st <> Lexer.LBRACKET then default_attrs
+  else begin
+    advance st;
+    let a = ref default_attrs in
+    let one () =
+      match peek st with
+      | Lexer.IDENT "ii" ->
+          advance st;
+          expect st Lexer.ASSIGN;
+          a := { !a with l_ii = Some (int_lit st) }
+      | Lexer.IDENT "latency" ->
+          advance st;
+          expect st Lexer.ASSIGN;
+          let lo = int_lit st in
+          expect st Lexer.DOTDOT;
+          let hi = int_lit st in
+          a := { !a with l_min_latency = lo; l_max_latency = hi }
+      | Lexer.IDENT "unroll" ->
+          advance st;
+          a := { !a with l_unroll = true }
+      | Lexer.IDENT "name" ->
+          advance st;
+          expect st Lexer.ASSIGN;
+          a := { !a with l_name = ident st }
+      | t -> err (line_of st) "unknown loop attribute '%s'" (Lexer.token_to_string t)
+    in
+    one ();
+    while peek st = Lexer.COMMA do
+      advance st;
+      one ()
+    done;
+    expect st Lexer.RBRACKET;
+    !a
+  end
+
+(* ---- statements ---- *)
+
+let rec stmt st : stmt =
+  match peek st with
+  | Lexer.KW_WAIT ->
+      advance st;
+      expect st Lexer.LPAREN;
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      Wait
+  | Lexer.KW_STALL_UNTIL ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let e = expr st in
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      Stall_until e
+  | Lexer.KW_IF ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let c = expr st in
+      expect st Lexer.RPAREN;
+      let t = block st in
+      let f = if peek st = Lexer.KW_ELSE then (advance st; block st) else [] in
+      If (c, t, f)
+  | Lexer.KW_DO ->
+      advance st;
+      let a = attrs st in
+      let body = block st in
+      expect st Lexer.KW_WHILE;
+      expect st Lexer.LPAREN;
+      let c = expr st in
+      expect st Lexer.RPAREN;
+      expect st Lexer.SEMI;
+      Do_while (body, c, a)
+  | Lexer.KW_WHILE ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let c = expr st in
+      expect st Lexer.RPAREN;
+      let a = attrs st in
+      let body = block st in
+      While (c, body, a)
+  | Lexer.KW_FOR ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let v = ident st in
+      expect st Lexer.ASSIGN;
+      let lo = int_lit st in
+      expect st Lexer.SEMI;
+      let v2 = ident st in
+      if v2 <> v then err (line_of st) "for-loop condition must test '%s'" v;
+      expect st Lexer.LT;
+      let hi = int_lit st in
+      expect st Lexer.SEMI;
+      let v3 = ident st in
+      if v3 <> v then err (line_of st) "for-loop increment must bump '%s'" v;
+      expect st Lexer.PLUSPLUS;
+      expect st Lexer.RPAREN;
+      let a = attrs st in
+      let body = block st in
+      For (v, lo, hi, body, a)
+  | Lexer.DOLLAR ->
+      advance st;
+      let p = ident st in
+      expect st Lexer.ASSIGN;
+      let e = expr st in
+      expect st Lexer.SEMI;
+      Write (p, e)
+  | Lexer.IDENT _ ->
+      let v = ident st in
+      expect st Lexer.ASSIGN;
+      let e = expr st in
+      expect st Lexer.SEMI;
+      Assign (v, e)
+  | t -> err (line_of st) "expected statement, found '%s'" (Lexer.token_to_string t)
+
+and block st =
+  expect st Lexer.LBRACE;
+  let stmts = ref [] in
+  while peek st <> Lexer.RBRACE do
+    stmts := stmt st :: !stmts
+  done;
+  expect st Lexer.RBRACE;
+  List.rev !stmts
+
+(* ---- design ---- *)
+
+let design_of_tokens toks : design =
+  let st = { toks } in
+  expect st Lexer.KW_DESIGN;
+  let name = ident st in
+  expect st Lexer.LBRACE;
+  let ins = ref [] and outs = ref [] and vars = ref [] in
+  let rec decls () =
+    match peek st with
+    | Lexer.KW_IN | Lexer.KW_OUT | Lexer.KW_VAR ->
+        let kind = peek st in
+        advance st;
+        let n = ident st in
+        expect st Lexer.COLON;
+        let w = int_lit st in
+        expect st Lexer.SEMI;
+        (match kind with
+        | Lexer.KW_IN -> ins := (n, w) :: !ins
+        | Lexer.KW_OUT -> outs := (n, w) :: !outs
+        | _ -> vars := (n, w) :: !vars);
+        decls ()
+    | _ -> ()
+  in
+  decls ();
+  let stmts = ref [] in
+  while peek st <> Lexer.RBRACE do
+    stmts := stmt st :: !stmts
+  done;
+  expect st Lexer.RBRACE;
+  {
+    d_name = name;
+    d_ins = List.rev !ins;
+    d_outs = List.rev !outs;
+    d_vars = List.rev !vars;
+    d_body = List.rev !stmts;
+  }
+
+(** Parse a [.bhv] source string. *)
+let parse_string (src : string) : design =
+  try design_of_tokens (Lexer.tokenize src)
+  with Lexer.Error { line; message } -> raise (Error { line; message })
+
+(** Parse a [.bhv] file. *)
+let parse_file (path : string) : design =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  parse_string src

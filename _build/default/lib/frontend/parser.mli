@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the textual [.bhv] behavioural language.
+
+    {v
+      design example1 {
+        in  mask : 32;  out pixel : 32;  var aver : 32;
+        aver = 0;
+        wait();
+        do [name=main, latency=1..3, ii=2] {
+          aver = aver + $mask * $chrome;
+          if (aver > $th) { aver = aver * $scale; }
+          wait();
+          $pixel = aver;
+        } while (aver != 0);
+      }
+    v}
+
+    [$p] reads input port [p] in expressions and writes output port [p] on
+    an assignment's left; loop attribute lists accept [ii=N],
+    [latency=LO..HI], [unroll] and [name=IDENT]; expressions follow C
+    precedence; [e[hi:lo]] is a bit slice; [//] and [/* */] comment. *)
+
+exception Error of { line : int; message : string }
+
+val parse_string : string -> Ast.design
+val parse_file : string -> Ast.design

@@ -1,0 +1,1 @@
+lib/ir/cdfg.ml: Cfg Dfg Format Hashtbl List Opkind Printf String

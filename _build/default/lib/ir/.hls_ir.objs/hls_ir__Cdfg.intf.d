@@ -1,0 +1,1 @@
+lib/ir/cdfg.mli: Cfg Dfg Format Hashtbl

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Format Graph_algo Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/ir/dfg.ml: Format Graph_algo Guard Hashtbl List Opkind Printf String

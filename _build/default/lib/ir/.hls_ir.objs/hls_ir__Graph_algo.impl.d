@@ -1,0 +1,1 @@
+lib/ir/graph_algo.ml: Hashtbl Int List Set

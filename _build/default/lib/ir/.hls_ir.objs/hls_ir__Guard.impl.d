@@ -1,0 +1,1 @@
+lib/ir/guard.ml: Format List Option String

@@ -1,0 +1,1 @@
+lib/ir/guard.mli: Format

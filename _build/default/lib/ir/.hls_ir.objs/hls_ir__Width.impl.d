@@ -1,0 +1,1 @@
+lib/ir/width.ml:

@@ -1,0 +1,170 @@
+(** The control-flow graph.
+
+    Nodes either delimit control steps ([State] corresponds to a SystemC
+    [wait()]) or fork/join control ([Fork]/[Join] from conditionals,
+    [Loop_head]/[Loop_tail] from loops).  Operations of the DFG are
+    associated with CFG {e edges} — the control steps — via {!Cdfg}.
+
+    The optimizer's predicate conversion removes [Fork]/[Join] pairs and the
+    micro-architecture transformer converts pipelined loops into linear
+    sequences of states; after those passes the regions handed to the
+    scheduler are plain chains of [State] nodes. *)
+
+type loop_kind = [ `Do_while | `While | `Infinite ]
+
+type node_kind =
+  | Entry
+  | Exit
+  | State  (** a wait() boundary: registers between the steps on each side *)
+  | Fork of { cond : int  (** DFG op computing the branch condition *) }
+  | Join
+  | Loop_head of { kind : loop_kind; cond : int option  (** exit condition op *) }
+  | Loop_tail of { head : int }
+
+type node = { nid : int; mutable nkind : node_kind; mutable nname : string }
+
+type edge_label = [ `Seq | `True | `False | `Back | `Exit_loop ]
+
+type edge = { eid : int; esrc : int; edst : int; elabel : edge_label }
+
+type t = {
+  mutable next_nid : int;
+  mutable next_eid : int;
+  nodes : (int, node) Hashtbl.t;
+  edges : (int, edge) Hashtbl.t;
+  out_adj : (int, int list ref) Hashtbl.t;  (** node -> outgoing edge ids *)
+  in_adj : (int, int list ref) Hashtbl.t;
+}
+
+let create () =
+  {
+    next_nid = 0;
+    next_eid = 0;
+    nodes = Hashtbl.create 16;
+    edges = Hashtbl.create 16;
+    out_adj = Hashtbl.create 16;
+    in_adj = Hashtbl.create 16;
+  }
+
+let add_node ?(name = "") g kind =
+  let id = g.next_nid in
+  g.next_nid <- id + 1;
+  let n = { nid = id; nkind = kind; nname = name } in
+  Hashtbl.replace g.nodes id n;
+  Hashtbl.replace g.out_adj id (ref []);
+  Hashtbl.replace g.in_adj id (ref []);
+  n
+
+let node g id =
+  match Hashtbl.find_opt g.nodes id with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Cfg.node: no node %d" id)
+
+let edge g id =
+  match Hashtbl.find_opt g.edges id with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Cfg.edge: no edge %d" id)
+
+let adj tbl id = match Hashtbl.find_opt tbl id with Some r -> r | None -> let r = ref [] in Hashtbl.replace tbl id r; r
+
+let add_edge ?(label = `Seq) g ~src ~dst =
+  let id = g.next_eid in
+  g.next_eid <- id + 1;
+  let e = { eid = id; esrc = src; edst = dst; elabel = label } in
+  Hashtbl.replace g.edges id e;
+  let o = adj g.out_adj src in
+  o := !o @ [ id ];
+  let i = adj g.in_adj dst in
+  i := !i @ [ id ];
+  e
+
+let out_edges g id = List.map (edge g) !(adj g.out_adj id)
+let in_edges g id = List.map (edge g) !(adj g.in_adj id)
+
+let remove_edge g eid =
+  match Hashtbl.find_opt g.edges eid with
+  | None -> ()
+  | Some e ->
+      Hashtbl.remove g.edges eid;
+      let o = adj g.out_adj e.esrc in
+      o := List.filter (fun i -> i <> eid) !o;
+      let i = adj g.in_adj e.edst in
+      i := List.filter (fun x -> x <> eid) !i
+
+let remove_node g nid =
+  List.iter (fun e -> remove_edge g e.eid) (out_edges g nid);
+  List.iter (fun e -> remove_edge g e.eid) (in_edges g nid);
+  Hashtbl.remove g.nodes nid;
+  Hashtbl.remove g.out_adj nid;
+  Hashtbl.remove g.in_adj nid
+
+let nodes g =
+  Hashtbl.fold (fun _ n acc -> n :: acc) g.nodes [] |> List.sort (fun a b -> compare a.nid b.nid)
+
+let edges g =
+  Hashtbl.fold (fun _ e acc -> e :: acc) g.edges [] |> List.sort (fun a b -> compare a.eid b.eid)
+
+let n_nodes g = Hashtbl.length g.nodes
+let n_edges g = Hashtbl.length g.edges
+
+let find_entry g = List.find_opt (fun n -> n.nkind = Entry) (nodes g)
+let find_exit g = List.find_opt (fun n -> n.nkind = Exit) (nodes g)
+
+let kind_to_string = function
+  | Entry -> "entry"
+  | Exit -> "exit"
+  | State -> "state"
+  | Fork { cond } -> Printf.sprintf "fork(%%%d)" cond
+  | Join -> "join"
+  | Loop_head { kind; cond } ->
+      let k = match kind with `Do_while -> "do_while" | `While -> "while" | `Infinite -> "inf" in
+      Printf.sprintf "loop_head[%s%s]" k
+        (match cond with Some c -> Printf.sprintf ",exit=%%%d" c | None -> "")
+  | Loop_tail { head } -> Printf.sprintf "loop_tail(->%d)" head
+
+let label_to_string = function
+  | `Seq -> ""
+  | `True -> "T"
+  | `False -> "F"
+  | `Back -> "back"
+  | `Exit_loop -> "exit"
+
+let pp fmt g =
+  List.iter
+    (fun n ->
+      Format.fprintf fmt "n%d %s%s@." n.nid (kind_to_string n.nkind)
+        (if n.nname = "" then "" else " (* " ^ n.nname ^ " *)"))
+    (nodes g);
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "e%d: n%d -> n%d %s@." e.eid e.esrc e.edst (label_to_string e.elabel))
+    (edges g)
+
+(** Structural checks: single entry/exit, fork edges labelled T/F, loop tail
+    points at a live head, all nodes reachable from entry. *)
+let validate g =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  (match List.filter (fun n -> n.nkind = Entry) (nodes g) with
+  | [ _ ] -> ()
+  | l -> err "expected exactly one entry node, found %d" (List.length l));
+  List.iter
+    (fun n ->
+      match n.nkind with
+      | Fork _ ->
+          let labels = List.map (fun e -> e.elabel) (out_edges g n.nid) in
+          if not (List.mem `True labels && List.mem `False labels) then
+            err "fork n%d missing T/F out-edges" n.nid
+      | Loop_tail { head } ->
+          if not (Hashtbl.mem g.nodes head) then err "loop_tail n%d: dead head %d" n.nid head
+      | _ -> ())
+    (nodes g);
+  (match find_entry g with
+  | None -> ()
+  | Some entry ->
+      let succs id = List.map (fun e -> e.edst) (out_edges g id) in
+      let seen = Graph_algo.reachable ~from:entry.nid ~succs in
+      List.iter
+        (fun n -> if not (Hashtbl.mem seen n.nid) then err "node n%d unreachable from entry" n.nid)
+        (nodes g));
+  List.rev !errs

@@ -1,0 +1,174 @@
+(** Graph algorithms over integer-id graphs given as adjacency functions.
+
+    All functions take [~nodes] (the vertex set, any order) and [~succs]
+    (successor function).  They are used on DFGs (up to ~10k nodes in the
+    Fig. 9 experiment), so the DFS-based ones are implemented iteratively
+    where recursion depth could be proportional to graph size. *)
+
+(** [topo_sort ~nodes ~succs] is [Some order] (dependencies first) or [None]
+    if the graph has a cycle.  Kahn's algorithm; ties broken by ascending
+    node id for determinism. *)
+let topo_sort ~nodes ~succs =
+  let indeg = Hashtbl.create (List.length nodes) in
+  List.iter (fun n -> Hashtbl.replace indeg n 0) nodes;
+  List.iter
+    (fun n ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt indeg s with
+          | Some d -> Hashtbl.replace indeg s (d + 1)
+          | None -> ())
+        (succs n))
+    nodes;
+  let module Pq = Set.Make (Int) in
+  let ready = ref Pq.empty in
+  Hashtbl.iter (fun n d -> if d = 0 then ready := Pq.add n !ready) indeg;
+  let order = ref [] in
+  let count = ref 0 in
+  while not (Pq.is_empty !ready) do
+    let n = Pq.min_elt !ready in
+    ready := Pq.remove n !ready;
+    order := n :: !order;
+    incr count;
+    List.iter
+      (fun s ->
+        match Hashtbl.find_opt indeg s with
+        | Some d ->
+            let d = d - 1 in
+            Hashtbl.replace indeg s d;
+            if d = 0 then ready := Pq.add s !ready
+        | None -> ())
+      (succs n)
+  done;
+  if !count = List.length nodes then Some (List.rev !order) else None
+
+(** Tarjan's strongly-connected components, iterative.  Components are
+    returned in reverse topological order of the condensation; each
+    component lists its nodes in discovery order. *)
+let scc ~nodes ~succs =
+  let index = Hashtbl.create 64 in
+  let lowlink = Hashtbl.create 64 in
+  let on_stack = Hashtbl.create 64 in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let comps = ref [] in
+  let visit root =
+    if not (Hashtbl.mem index root) then begin
+      (* explicit DFS stack: (node, remaining successors) *)
+      let call = ref [ (root, ref (succs root)) ] in
+      Hashtbl.replace index root !next_index;
+      Hashtbl.replace lowlink root !next_index;
+      incr next_index;
+      stack := root :: !stack;
+      Hashtbl.replace on_stack root ();
+      while !call <> [] do
+        match !call with
+        | [] -> ()
+        | (v, rest) :: frames -> (
+            match !rest with
+            | w :: more ->
+                rest := more;
+                if not (Hashtbl.mem index w) then begin
+                  Hashtbl.replace index w !next_index;
+                  Hashtbl.replace lowlink w !next_index;
+                  incr next_index;
+                  stack := w :: !stack;
+                  Hashtbl.replace on_stack w ();
+                  call := (w, ref (succs w)) :: !call
+                end
+                else if Hashtbl.mem on_stack w then
+                  Hashtbl.replace lowlink v (min (Hashtbl.find lowlink v) (Hashtbl.find index w))
+            | [] ->
+                call := frames;
+                (match frames with
+                | (parent, _) :: _ ->
+                    Hashtbl.replace lowlink parent
+                      (min (Hashtbl.find lowlink parent) (Hashtbl.find lowlink v))
+                | [] -> ());
+                if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+                  let comp = ref [] in
+                  let continue = ref true in
+                  while !continue do
+                    match !stack with
+                    | [] -> continue := false
+                    | w :: rest ->
+                        stack := rest;
+                        Hashtbl.remove on_stack w;
+                        comp := w :: !comp;
+                        if w = v then continue := false
+                  done;
+                  comps := !comp :: !comps
+                end)
+      done
+    end
+  in
+  List.iter visit nodes;
+  List.rev !comps
+
+(** [reachable ~from ~succs] is the set (as a hashtable) of nodes reachable
+    from [from], including [from] itself. *)
+let reachable ~from ~succs =
+  let seen = Hashtbl.create 64 in
+  let stack = ref [ from ] in
+  Hashtbl.replace seen from ();
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | n :: rest ->
+        stack := rest;
+        List.iter
+          (fun s ->
+            if not (Hashtbl.mem seen s) then begin
+              Hashtbl.replace seen s ();
+              stack := s :: !stack
+            end)
+          (succs n)
+  done;
+  seen
+
+(** Longest path lengths from sources in a DAG, with per-node weights.
+    Returns a hashtable node -> longest distance (sum of weights along the
+    heaviest path ending at the node, inclusive).  Raises
+    [Invalid_argument] on cyclic input. *)
+let longest_path ~nodes ~succs ~weight =
+  match topo_sort ~nodes ~succs with
+  | None -> invalid_arg "Graph_algo.longest_path: cyclic graph"
+  | Some order ->
+      let dist = Hashtbl.create (List.length nodes) in
+      List.iter (fun n -> Hashtbl.replace dist n (weight n)) order;
+      List.iter
+        (fun n ->
+          let dn = Hashtbl.find dist n in
+          List.iter
+            (fun s ->
+              match Hashtbl.find_opt dist s with
+              | Some ds -> if dn +. weight s > ds then Hashtbl.replace dist s (dn +. weight s)
+              | None -> ())
+            (succs n))
+        order;
+      dist
+
+(** [has_path ~from ~target ~succs] — DFS reachability test, early exit. *)
+let has_path ~from ~target ~succs =
+  if from = target then true
+  else begin
+    let seen = Hashtbl.create 16 in
+    let found = ref false in
+    let stack = ref [ from ] in
+    Hashtbl.replace seen from ();
+    while (not !found) && !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | n :: rest ->
+          stack := rest;
+          List.iter
+            (fun s ->
+              if s = target then found := true
+              else if not (Hashtbl.mem seen s) then begin
+                Hashtbl.replace seen s ();
+                stack := s :: !stack
+              end)
+            (succs n)
+    done;
+    !found
+  end

@@ -1,0 +1,63 @@
+(** Bit-width arithmetic.
+
+    Widths are plain [int]s (number of bits, >= 1).  This module gathers the
+    width-propagation rules used by elaboration and by the operand
+    width-reduction pass, so that all agree on a single convention:
+    values are two's-complement signed, and every operation produces the
+    smallest width that can represent all results of its input widths. *)
+
+type t = int
+
+(** Maximum width the toolchain accepts.  Anything larger is a frontend
+    error; keeping a bound makes the simulator's boxed-int arithmetic safe
+    ([Int64]-free: we rely on OCaml's 63-bit native ints). *)
+let max_width = 62
+
+(** [bits_for_signed n] is the smallest two's-complement width that can
+    represent [n]. *)
+let bits_for_signed n =
+  if n = 0 then 1
+  else if n > 0 then
+    let rec go w = if n < 1 lsl (w - 1) then w else go (w + 1) in
+    go 1
+  else
+    let rec go w = if -n <= 1 lsl (w - 1) then w else go (w + 1) in
+    go 1
+
+let clamp w = if w < 1 then 1 else if w > max_width then max_width else w
+
+(** Width of [a + b] / [a - b]: one growth bit over the wider operand. *)
+let add_result wa wb = clamp (max wa wb + 1)
+
+(** Width of [a * b]. *)
+let mul_result wa wb = clamp (wa + wb)
+
+(** Width of a division result (bounded by the dividend plus a sign bit). *)
+let div_result wa _wb = clamp (wa + 1)
+
+(** Width of a modulo result (bounded by the divisor). *)
+let mod_result _wa wb = clamp wb
+
+(** Bitwise operations keep the wider operand's width. *)
+let bitwise_result wa wb = max wa wb
+
+(** Left shift by a [wb]-bit amount can add up to [2^wb - 1] bits; we cap the
+    growth at the shift amount's full range but never past [max_width]. *)
+let shl_result wa wb = clamp (wa + (1 lsl min wb 6) - 1)
+
+let shr_result wa _wb = wa
+
+(** [truncate ~width v] reinterprets the low [width] bits of [v] as a signed
+    two's-complement value.  This is the single place where simulation
+    semantics of finite-width arithmetic are defined. *)
+let truncate ~width v =
+  let width = clamp width in
+  if width >= 62 then v
+  else
+    let m = 1 lsl width in
+    let v = v land (m - 1) in
+    if v land (1 lsl (width - 1)) <> 0 then v - m else v
+
+(** [fits ~width v] is true when [v] is representable in [width] signed
+    bits. *)
+let fits ~width v = truncate ~width v = v

@@ -1,0 +1,1 @@
+lib/opt/passes.ml: Cdfg Dfg Elaborate Guard Hashtbl Hls_frontend Hls_ir List Opkind Option Printf Width

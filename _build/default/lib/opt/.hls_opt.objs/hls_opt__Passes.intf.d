@@ -1,0 +1,1 @@
+lib/opt/passes.mli: Hls_frontend

@@ -1,0 +1,15 @@
+(** Minimal CSV output for experiment records (machine-readable companions
+    to the ASCII tables). *)
+
+let escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let render (rows : string list list) : string =
+  String.concat "\n" (List.map (fun row -> String.concat "," (List.map escape row)) rows) ^ "\n"
+
+let write ~path rows =
+  let oc = open_out path in
+  output_string oc (render rows);
+  close_out oc

@@ -1,0 +1,5 @@
+(** Minimal CSV output (machine-readable companions to the tables). *)
+
+val escape : string -> string
+val render : string list list -> string
+val write : path:string -> string list list -> unit

@@ -1,0 +1,22 @@
+(** Pareto-front extraction for the design-space exploration reports
+    (Section VI: "the best Pareto point can be achieved only by
+    pipelining"). *)
+
+type 'a point = { p_x : float; p_y : float; p_tag : 'a }
+
+let point ~x ~y tag = { p_x = x; p_y = y; p_tag = tag }
+
+(** [dominates a b]: [a] is no worse in both minimized dimensions and
+    strictly better in at least one. *)
+let dominates a b =
+  a.p_x <= b.p_x && a.p_y <= b.p_y && (a.p_x < b.p_x || a.p_y < b.p_y)
+
+(** Minimizing front, sorted by x. *)
+let front (points : 'a point list) : 'a point list =
+  List.filter (fun p -> not (List.exists (fun q -> dominates q p) points)) points
+  |> List.sort (fun a b -> compare (a.p_x, a.p_y) (b.p_x, b.p_y))
+
+(** Points on the front, tagged. *)
+let front_tags points = List.map (fun p -> p.p_tag) (front points)
+
+let is_on_front points p = List.exists (fun q -> q == p) (front points)

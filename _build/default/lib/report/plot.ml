@@ -1,0 +1,66 @@
+(** ASCII scatter / line plots for the figure-reproducing benches.
+
+    Multiple series are drawn with distinct glyphs into one grid; axes are
+    linear or log10.  Good enough to show the {e shape} of the paper's
+    Figures 9–11 directly in the bench output. *)
+
+type scale = Linear | Log10
+
+type series = { s_label : string; s_glyph : char; s_points : (float * float) list }
+
+let series ?(glyph = '*') label points = { s_label = label; s_glyph = glyph; s_points = points }
+
+let default_glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let transform = function
+  | Linear -> fun v -> v
+  | Log10 -> fun v -> if v <= 0.0 then 0.0 else log10 v
+
+(** Render the plot as a string.  [width]/[height] are the grid size in
+    characters. *)
+let render ?(width = 64) ?(height = 20) ?(x_scale = Linear) ?(y_scale = Linear) ~title ~x_label
+    ~y_label (ss : series list) : string =
+  let pts = List.concat_map (fun s -> s.s_points) ss in
+  if pts = [] then title ^ ": (no data)\n"
+  else begin
+    let tx = transform x_scale and ty = transform y_scale in
+    let xs = List.map (fun (x, _) -> tx x) pts and ys = List.map (fun (_, y) -> ty y) pts in
+    let fmin l = List.fold_left min (List.hd l) l and fmax l = List.fold_left max (List.hd l) l in
+    let x0 = fmin xs and x1 = fmax xs and y0 = fmin ys and y1 = fmax ys in
+    let xr = if x1 -. x0 < 1e-9 then 1.0 else x1 -. x0 in
+    let yr = if y1 -. y0 < 1e-9 then 1.0 else y1 -. y0 in
+    let grid = Array.make_matrix height width ' ' in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (x, y) ->
+            let cx = int_of_float ((tx x -. x0) /. xr *. float_of_int (width - 1)) in
+            let cy = int_of_float ((ty y -. y0) /. yr *. float_of_int (height - 1)) in
+            let cy = height - 1 - cy in
+            if cx >= 0 && cx < width && cy >= 0 && cy < height then grid.(cy).(cx) <- s.s_glyph)
+          s.s_points)
+      ss;
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Printf.sprintf "%s\n" title);
+    let fmt_axis v scale =
+      match scale with Log10 -> Printf.sprintf "%.3g" (10.0 ** v) | Linear -> Printf.sprintf "%.3g" v
+    in
+    Buffer.add_string buf (Printf.sprintf "%10s ^\n" (y_label ^ " " ^ fmt_axis y1 y_scale));
+    Array.iteri
+      (fun _i row ->
+        Buffer.add_string buf (Printf.sprintf "%10s |%s|\n" "" (String.init width (Array.get row))))
+      grid;
+    Buffer.add_string buf
+      (Printf.sprintf "%10s +%s>\n" (fmt_axis y0 y_scale) (String.make width '-'));
+    Buffer.add_string buf
+      (Printf.sprintf "%11s %-20s%*s\n" "" (fmt_axis x0 x_scale)
+         (width - 18)
+         (fmt_axis x1 x_scale ^ " " ^ x_label));
+    List.iter
+      (fun s -> Buffer.add_string buf (Printf.sprintf "  %c = %s\n" s.s_glyph s.s_label))
+      ss;
+    Buffer.contents buf
+  end
+
+let print ?width ?height ?x_scale ?y_scale ~title ~x_label ~y_label ss =
+  print_string (render ?width ?height ?x_scale ?y_scale ~title ~x_label ~y_label ss)

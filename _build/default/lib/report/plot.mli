@@ -1,0 +1,33 @@
+(** ASCII scatter/line plots for the figure-reproducing benches: multiple
+    glyph-coded series on one grid, linear or log10 axes — enough to show
+    the {e shape} of the paper's Figures 9–11 in bench output. *)
+
+type scale = Linear | Log10
+
+type series = { s_label : string; s_glyph : char; s_points : (float * float) list }
+
+val series : ?glyph:char -> string -> (float * float) list -> series
+
+val default_glyphs : char array
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_scale:scale ->
+  ?y_scale:scale ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  ?x_scale:scale ->
+  ?y_scale:scale ->
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  unit

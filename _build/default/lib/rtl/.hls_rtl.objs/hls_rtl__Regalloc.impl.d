@@ -1,0 +1,1 @@
+lib/rtl/regalloc.ml: Binding Dfg Hls_core Hls_ir List Opkind Region Scheduler

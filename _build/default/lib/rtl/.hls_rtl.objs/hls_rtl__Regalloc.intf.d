@@ -1,0 +1,1 @@
+lib/rtl/regalloc.mli: Hls_core

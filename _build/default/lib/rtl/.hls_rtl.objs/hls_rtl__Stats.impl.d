@@ -1,0 +1,1 @@
+lib/rtl/stats.ml: Binding Dfg Format Fun Hashtbl Hls_core Hls_ir Hls_techlib Hls_timing Library List Opkind Option Printf Regalloc Region Resource Scheduler

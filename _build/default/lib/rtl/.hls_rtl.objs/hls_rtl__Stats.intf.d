@@ -1,0 +1,1 @@
+lib/rtl/stats.mli: Format Hashtbl Hls_core Hls_timing

@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Binding Buffer Cdfg Dfg Guard Hashtbl Hls_core Hls_frontend Hls_ir List Opkind Pipeline Printf Region Scheduler String

@@ -1,0 +1,1 @@
+lib/rtl/verilog.mli: Hls_core Hls_frontend

@@ -1,0 +1,33 @@
+(** Area and power roll-up of a scheduled design — the figures the paper's
+    Table 3 and Figures 10/11 report.  Resource areas default to nominal
+    and are replaced by post-sizing areas when the schedule carries
+    negative slack (the Table 4 ablation path). *)
+
+type breakdown = {
+  a_resources : float;
+  a_input_muxes : float;
+  a_registers : float;
+  a_reg_muxes : float;
+  a_control : float;
+  a_total : float;
+  n_registers : int;
+  n_instances : int;
+  wns : float;  (** worst negative slack after sizing (0 = met) *)
+}
+
+val area :
+  ?synth:Hls_timing.Synthesize.result -> ?io_widths:int list -> Hls_core.Scheduler.t -> breakdown
+(** [io_widths] adds one I/O register per port. *)
+
+val power :
+  ?activity:(int, int) Hashtbl.t ->
+  ?iters:int ->
+  Hls_core.Scheduler.t ->
+  breakdown ->
+  clock_ps:float ->
+  float
+(** Activity-aware power (mW): per-execution switching energy (from the
+    simulator's counts, default one execution per op per iteration),
+    register and controller toggling, plus leakage. *)
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

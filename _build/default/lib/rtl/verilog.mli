@@ -1,0 +1,12 @@
+(** Verilog-2001 emitter for a scheduled (and folded) design: one FSM over
+    the kernel states, a stage-validity shift register (prologue/epilogue,
+    stalling), a first-iteration flag for the loop muxes, per-value
+    registers with (state, stage, guard)-decoded enables, and
+    combinational expressions inlining the approved same-step chains. *)
+
+val emit : Hls_frontend.Elaborate.t -> Hls_core.Scheduler.t -> Hls_core.Pipeline.t -> string
+
+val lint : string -> string list
+(** Structural self-check: balanced [begin]/[end] and
+    [module]/[endmodule], every generated identifier declared.
+    Empty = clean. *)

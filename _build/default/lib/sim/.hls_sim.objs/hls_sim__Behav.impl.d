@@ -1,0 +1,1 @@
+lib/sim/behav.ml: Ast Desugar Hashtbl Hls_frontend Hls_ir List Opkind Option Stimulus Width

@@ -1,0 +1,1 @@
+lib/sim/behav.mli: Hls_frontend Stimulus

@@ -1,0 +1,1 @@
+lib/sim/equiv.ml: Behav List Printf Schedule_sim String

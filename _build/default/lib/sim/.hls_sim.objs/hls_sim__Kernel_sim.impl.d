@@ -1,0 +1,1 @@
+lib/sim/kernel_sim.ml: Array Behav Cdfg Dfg Elaborate Graph_algo Guard Hashtbl Hls_core Hls_frontend Hls_ir List Opkind Option Pipeline Region Scheduler Stimulus Width

@@ -1,0 +1,1 @@
+lib/sim/kernel_sim.mli: Hls_core Hls_frontend Stimulus

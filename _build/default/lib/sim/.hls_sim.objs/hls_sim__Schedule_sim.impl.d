@@ -1,0 +1,1 @@
+lib/sim/schedule_sim.ml: Behav Binding Cdfg Dfg Elaborate Graph_algo Guard Hashtbl Hls_core Hls_frontend Hls_ir List Opkind Option Region Scheduler Stimulus Width

@@ -1,0 +1,1 @@
+lib/sim/schedule_sim.mli: Hashtbl Hls_core Hls_frontend Stimulus

@@ -1,0 +1,1 @@
+lib/sim/stimulus.ml: Array Hls_ir List Printf

@@ -1,0 +1,170 @@
+(** Golden behavioural interpreter over the (lowered) AST.
+
+    Executes the design's thread body directly: the pre-loop statements,
+    the main do/while loop one iteration at a time, and the post-loop
+    statements.  Width semantics mirror elaboration exactly — every
+    operation produces {!Hls_ir.Opkind.result_width} bits and assignments
+    truncate to the variable's declared width — so the interpreter is a
+    bit-accurate reference for the scheduled design.
+
+    Port sampling follows the per-iteration convention of the frontend:
+    iteration [i] of the main loop reads sample [i] of every input port it
+    touches; pre-loop reads sample 0.
+
+    Black-box [Call] operations are resolved through a user-supplied
+    function table; the default is a deterministic hash so that equivalence
+    checks remain meaningful without a real IP model. *)
+
+open Hls_ir
+open Hls_frontend
+
+type output_event = { o_port : string; o_iter : int; o_value : int }
+
+type result = {
+  r_outputs : output_event list;  (** in program order *)
+  r_iters : int;  (** main-loop iterations executed *)
+  r_env : (string * int) list;  (** final variable values *)
+}
+
+let default_fun name args =
+  List.fold_left (fun acc a -> (acc * 31) + a) (Hashtbl.hash name land 0xFFFF) args land 0xFFFFF
+
+type ctx = {
+  stim : Stimulus.t;
+  funcs : string -> int list -> int;
+  widths : (string, int) Hashtbl.t;
+  env : (string, int) Hashtbl.t;
+  mutable iter : int;
+  mutable outputs : output_event list;
+  design : Ast.design;
+}
+
+let trunc = Width.truncate
+
+let rec eval ctx (e : Ast.expr) : int * int =
+  (* returns (value, width) *)
+  match e with
+  | Ast.Int n -> (n, Width.bits_for_signed n)
+  | Ast.Int_w (n, w) -> (trunc ~width:w n, w)
+  | Ast.Var v -> (
+      match Hashtbl.find_opt ctx.env v with
+      | Some x -> (x, Option.value (Hashtbl.find_opt ctx.widths v) ~default:32)
+      | None -> invalid_arg ("Behav.eval: unassigned variable " ^ v))
+  | Ast.Port p ->
+      let w =
+        match List.assoc_opt p ctx.design.Ast.d_ins with
+        | Some w -> w
+        | None -> invalid_arg ("Behav.eval: unknown port " ^ p)
+      in
+      (trunc ~width:w (Stimulus.value ctx.stim ~port:p ~iter:ctx.iter), w)
+  | Ast.Bin (op, a, b) ->
+      let va, wa = eval ctx a and vb, wb = eval ctx b in
+      let w = Opkind.result_width (Opkind.Bin op) [ wa; wb ] in
+      let v =
+        match Opkind.eval_pure (Opkind.Bin op) [ va; vb ] with
+        | Some v -> v
+        | None -> assert false
+      in
+      (trunc ~width:w v, w)
+  | Ast.Un (op, a) ->
+      let va, wa = eval ctx a in
+      let w = Opkind.result_width (Opkind.Un op) [ wa ] in
+      let v =
+        match Opkind.eval_pure (Opkind.Un op) [ va ] with Some v -> v | None -> assert false
+      in
+      (trunc ~width:w v, w)
+  | Ast.Cond (c, a, b) ->
+      let vc, _ = eval ctx c in
+      (* both branches evaluate in hardware; values are pure so evaluating
+         lazily here is equivalent *)
+      let va, wa = eval ctx a and vb, wb = eval ctx b in
+      let w = max wa wb in
+      (trunc ~width:w (if vc <> 0 then va else vb), w)
+  | Ast.Slice (a, hi, lo) ->
+      let va, _ = eval ctx a in
+      let w = Width.clamp (hi - lo + 1) in
+      let v =
+        match Opkind.eval_pure (Opkind.Slice (hi, lo)) [ va ] with
+        | Some v -> v
+        | None -> assert false
+      in
+      (trunc ~width:w v, w)
+  | Ast.Call (f, args, w) ->
+      let vs = List.map (fun a -> fst (eval ctx a)) args in
+      (trunc ~width:w (ctx.funcs f vs), w)
+
+let assign ctx v value ~width =
+  let w =
+    match Hashtbl.find_opt ctx.widths v with
+    | Some w -> w
+    | None ->
+        Hashtbl.replace ctx.widths v width;
+        width
+  in
+  Hashtbl.replace ctx.env v (trunc ~width:w value)
+
+let rec exec_stmt ctx (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (v, e) ->
+      let value, w = eval ctx e in
+      assign ctx v value ~width:w
+  | Ast.Write (p, e) ->
+      let value, _ = eval ctx e in
+      let w =
+        match List.assoc_opt p ctx.design.Ast.d_outs with
+        | Some w -> w
+        | None -> invalid_arg ("Behav: unknown output port " ^ p)
+      in
+      ctx.outputs <-
+        { o_port = p; o_iter = ctx.iter; o_value = trunc ~width:w value } :: ctx.outputs
+  | Ast.Wait | Ast.Stall_until _ -> ()
+  | Ast.If (c, t, f) ->
+      let vc, _ = eval ctx c in
+      List.iter (exec_stmt ctx) (if vc <> 0 then t else f)
+  | Ast.Do_while _ | Ast.While _ | Ast.For _ ->
+      invalid_arg "Behav.exec_stmt: unexpected loop (use Behav.run on the design)"
+
+(** Execute one outer round of the design: pre statements, the main loop
+    (bounded by [stim.n_iters]), post statements. *)
+let run ?(funcs = default_fun) (design : Ast.design) (stim : Stimulus.t) : result =
+  let design = Desugar.design design in
+  let ctx =
+    {
+      stim;
+      funcs;
+      widths = Hashtbl.create 16;
+      env = Hashtbl.create 16;
+      iter = 0;
+      outputs = [];
+      design;
+    }
+  in
+  List.iter (fun (v, w) -> Hashtbl.replace ctx.widths v w) design.Ast.d_vars;
+  let rec split acc = function
+    | [] -> (List.rev acc, None, [])
+    | Ast.Do_while (b, c, a) :: rest -> (List.rev acc, Some (b, c, a), rest)
+    | s :: rest -> split (s :: acc) rest
+  in
+  let pre, main_loop, post = split [] design.Ast.d_body in
+  List.iter (exec_stmt ctx) pre;
+  let iters = ref 0 in
+  (match main_loop with
+  | None -> ()
+  | Some (body, cond, _) ->
+      let continue_ = ref true in
+      while !continue_ && ctx.iter < stim.Stimulus.n_iters do
+        List.iter (exec_stmt ctx) body;
+        incr iters;
+        let vc, _ = eval ctx cond in
+        if vc = 0 then continue_ := false else ctx.iter <- ctx.iter + 1
+      done);
+  List.iter (exec_stmt ctx) post;
+  {
+    r_outputs = List.rev ctx.outputs;
+    r_iters = !iters;
+    r_env = Hashtbl.fold (fun k v acc -> (k, v) :: acc) ctx.env [] |> List.sort compare;
+  }
+
+(** Outputs of one port, in emission order. *)
+let port_values (r : result) port =
+  List.filter_map (fun o -> if o.o_port = port then Some o.o_value else None) r.r_outputs

@@ -1,0 +1,21 @@
+(** Golden behavioural interpreter over the (lowered) AST: bit-accurate
+    reference semantics for the scheduled design (width rules mirror
+    elaboration; iteration [i] reads sample [i] of each port). *)
+
+type output_event = { o_port : string; o_iter : int; o_value : int }
+
+type result = {
+  r_outputs : output_event list;  (** in program order *)
+  r_iters : int;  (** main-loop iterations executed *)
+  r_env : (string * int) list;  (** final variable values *)
+}
+
+val default_fun : string -> int list -> int
+(** Deterministic stand-in for black-box [Call]s. *)
+
+val run : ?funcs:(string -> int list -> int) -> Hls_frontend.Ast.design -> Stimulus.t -> result
+(** Execute one outer round: pre statements, the main loop (bounded by the
+    stimulus length or a false continue condition), post statements. *)
+
+val port_values : result -> string -> int list
+(** One port's outputs in emission order. *)

@@ -1,0 +1,57 @@
+(** Functional equivalence between the golden behavioural interpreter and
+    the scheduled-design simulator.
+
+    The schedule preserves semantics iff, for every output port, the
+    committed value sequence matches the behavioural one.  The check is run
+    by the test suite on every design × micro-architecture combination. *)
+
+type mismatch = {
+  m_port : string;
+  m_index : int;
+  m_expected : int option;  (** [None] = golden produced fewer values *)
+  m_actual : int option;
+}
+
+type verdict = { equivalent : bool; mismatches : mismatch list; checked_values : int }
+
+let compare_port ~port expected actual =
+  let rec go i es actuals acc =
+    match (es, actuals) with
+    | [], [] -> acc
+    | e :: es', a :: as' ->
+        let acc =
+          if e = a then acc
+          else { m_port = port; m_index = i; m_expected = Some e; m_actual = Some a } :: acc
+        in
+        go (i + 1) es' as' acc
+    | e :: es', [] ->
+        go (i + 1) es' [] ({ m_port = port; m_index = i; m_expected = Some e; m_actual = None } :: acc)
+    | [], a :: as' ->
+        go (i + 1) [] as' ({ m_port = port; m_index = i; m_expected = None; m_actual = Some a } :: acc)
+  in
+  go 0 expected actual []
+
+(** [check design_outs golden scheduled] compares every output port. *)
+let check ~(out_ports : (string * int) list) (golden : Behav.result)
+    (scheduled : Schedule_sim.result) : verdict =
+  let mismatches = ref [] in
+  let checked = ref 0 in
+  List.iter
+    (fun (p, _) ->
+      let e = Behav.port_values golden p and a = Schedule_sim.port_values scheduled p in
+      checked := !checked + List.length e;
+      mismatches := compare_port ~port:p e a @ !mismatches)
+    out_ports;
+  { equivalent = !mismatches = []; mismatches = List.rev !mismatches; checked_values = !checked }
+
+let mismatch_to_string m =
+  Printf.sprintf "port %s[%d]: expected %s, got %s" m.m_port m.m_index
+    (match m.m_expected with Some v -> string_of_int v | None -> "<none>")
+    (match m.m_actual with Some v -> string_of_int v | None -> "<none>")
+
+let verdict_to_string v =
+  if v.equivalent then Printf.sprintf "equivalent (%d values)" v.checked_values
+  else
+    Printf.sprintf "MISMATCH (%d values, %d differences): %s" v.checked_values
+      (List.length v.mismatches)
+      (String.concat "; " (List.map mismatch_to_string (List.filteri (fun i _ -> i < 5) v.mismatches)))

@@ -1,0 +1,19 @@
+(** Functional equivalence between the behavioural golden model and a
+    simulated scheduled design: the schedule preserves semantics iff every
+    output port's committed value sequence matches. *)
+
+type mismatch = {
+  m_port : string;
+  m_index : int;
+  m_expected : int option;  (** [None] = golden produced fewer values *)
+  m_actual : int option;
+}
+
+type verdict = { equivalent : bool; mismatches : mismatch list; checked_values : int }
+
+val compare_port : port:string -> int list -> int list -> mismatch list
+
+val check : out_ports:(string * int) list -> Behav.result -> Schedule_sim.result -> verdict
+
+val mismatch_to_string : mismatch -> string
+val verdict_to_string : verdict -> string

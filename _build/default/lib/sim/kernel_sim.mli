@@ -1,0 +1,31 @@
+(** Cycle-stepped simulator of the {e folded} pipeline: steps the
+    generated controller clock by clock — kernel-state counter,
+    stage-validity shift register (prologue/epilogue), stall freezing, and
+    data-dependent exit with squash of younger in-flight iterations —
+    exactly as the emitted RTL behaves.  Cross-checked against both the
+    behavioural golden model and {!Schedule_sim} in the test matrix. *)
+
+type output_event = { k_port : string; k_iter : int; k_cycle : int; k_value : int }
+
+type result = {
+  k_outputs : output_event list;
+  k_iters : int;  (** committed iterations *)
+  k_cycles : int;  (** cycles stepped, stalls and drain included *)
+  k_stall_cycles : int;
+  k_squashed : int;  (** iterations issued past the exit and discarded *)
+}
+
+val run :
+  ?funcs:(string -> int list -> int) ->
+  ?max_iters:int ->
+  ?stall_pattern:(int -> bool) ->
+  Hls_frontend.Elaborate.t ->
+  Hls_core.Scheduler.t ->
+  Stimulus.t ->
+  result
+(** [stall_pattern cycle] = false freezes the pipeline at [cycle]
+    (external stall); the design's own [stall_until] condition is honoured
+    independently. *)
+
+val port_values : result -> string -> int list
+(** Committed values of one port in iteration order. *)

@@ -1,0 +1,27 @@
+(** Simulator of a scheduled (and folded) design: executes the elaborated
+    DFG iteration by iteration with loop-carried values across
+    distance-[d] edges and guards gating write commits, reconstructing the
+    folded pipeline's timing analytically (an op on step [s] of iteration
+    [i] executes at cycle [i*II + s]).  Data-dependent exits behave
+    speculatively: younger in-flight iterations are squashed and their
+    writes suppressed. *)
+
+type output_event = { o_port : string; o_iter : int; o_cycle : int; o_value : int }
+
+type result = {
+  r_outputs : output_event list;  (** committed writes *)
+  r_iters : int;  (** committed iterations *)
+  r_cycles : int;  (** first issue to drain *)
+  r_issued : int;  (** including squashed iterations *)
+  r_exec_counts : (int, int) Hashtbl.t;  (** op -> executions (activity) *)
+}
+
+val run :
+  ?funcs:(string -> int list -> int) ->
+  ?max_iters:int ->
+  Hls_frontend.Elaborate.t ->
+  Hls_core.Scheduler.t ->
+  Stimulus.t ->
+  result
+
+val port_values : result -> string -> int list

@@ -1,0 +1,64 @@
+(** Input stimulus for the simulators: one sample per main-loop iteration
+    and per input port. *)
+
+type t = {
+  n_iters : int;
+  samples : (string * int array) list;  (** port -> per-iteration values *)
+}
+
+let create ~n_iters samples =
+  List.iter
+    (fun (p, a) ->
+      if Array.length a <> n_iters then
+        invalid_arg (Printf.sprintf "Stimulus.create: port %s has %d samples, expected %d" p
+                       (Array.length a) n_iters))
+    samples;
+  { n_iters; samples }
+
+let value t ~port ~iter =
+  match List.assoc_opt port t.samples with
+  | None -> invalid_arg ("Stimulus.value: no samples for port " ^ port)
+  | Some a ->
+      if iter < 0 || iter >= Array.length a then 0
+      else a.(iter)
+
+(** Deterministic pseudo-random stimulus (seeded splitmix-style hash; no
+    dependence on global [Random] state). *)
+let random ~seed ~n_iters ~(ports : (string * int) list) =
+  let mix x =
+    let x = x * 0x9E3779B1 land max_int in
+    let x = x lxor (x lsr 15) in
+    let x = x * 0x85EBCA77 land max_int in
+    x lxor (x lsr 13)
+  in
+  let samples =
+    List.mapi
+      (fun pi (p, w) ->
+        let a =
+          Array.init n_iters (fun i ->
+              let h = mix ((seed * 1000003) + (pi * 7919) + i) in
+              Hls_ir.Width.truncate ~width:w h)
+        in
+        (p, a))
+      ports
+  in
+  create ~n_iters samples
+
+(** Small positive values — useful when multiplications must not saturate
+    the 62-bit simulation arithmetic. *)
+let small_random ~seed ~n_iters ~(ports : (string * int) list) =
+  let mix x =
+    let x = x * 0x9E3779B1 land max_int in
+    x lxor (x lsr 16)
+  in
+  let samples =
+    List.mapi
+      (fun pi (p, w) ->
+        let bound = min 256 (1 lsl min (w - 1) 8) in
+        let a =
+          Array.init n_iters (fun i -> mix ((seed * 65537) + (pi * 31) + i) mod bound)
+        in
+        (p, a))
+      ports
+  in
+  create ~n_iters samples

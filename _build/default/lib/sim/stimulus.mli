@@ -1,0 +1,17 @@
+(** Input stimulus: one sample per main-loop iteration per input port. *)
+
+type t = { n_iters : int; samples : (string * int array) list }
+
+val create : n_iters:int -> (string * int array) list -> t
+(** @raise Invalid_argument on length mismatches. *)
+
+val value : t -> port:string -> iter:int -> int
+(** Sample for one iteration (0 outside the recorded range).
+    @raise Invalid_argument for unknown ports. *)
+
+val random : seed:int -> n_iters:int -> ports:(string * int) list -> t
+(** Deterministic full-width pseudo-random samples. *)
+
+val small_random : seed:int -> n_iters:int -> ports:(string * int) list -> t
+(** Small positive samples (safe for multiplication-heavy designs under
+    the 62-bit simulation arithmetic). *)

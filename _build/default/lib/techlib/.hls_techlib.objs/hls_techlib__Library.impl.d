@@ -1,0 +1,1 @@
+lib/techlib/library.ml: Hls_ir List Opkind Resource

@@ -1,0 +1,1 @@
+lib/techlib/library.mli: Hls_ir Opkind Resource

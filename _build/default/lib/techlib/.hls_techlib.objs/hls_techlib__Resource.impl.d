@@ -1,0 +1,1 @@
+lib/techlib/resource.ml: Dfg Hls_ir List Opkind Printf String

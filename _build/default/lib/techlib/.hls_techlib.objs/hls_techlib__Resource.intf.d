@@ -1,0 +1,1 @@
+lib/techlib/resource.mli: Dfg Hls_ir Opkind

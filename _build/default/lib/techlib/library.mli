@@ -1,0 +1,95 @@
+(** Technology library: delay, area and energy characterization, plus the
+    "downstream logic synthesis" sizing model.
+
+    This module substitutes for the commercial logic-synthesis engine the
+    paper's scheduler queries.  Its reference numbers reproduce the
+    paper's Table 1 exactly (artisan_90nm_typical, 32-bit operands:
+    mul 930 / add 350 / gt 220 / neq 60 / ff 40,70 / mux2 110 / mux3 115
+    ps) and the worked Fig. 8 arithmetic
+    (40 + 110 + 930 + 110 + 40 = 1230 ps). *)
+
+open Hls_ir
+
+type blackbox_char = {
+  bb_latency : int;
+  bb_stage_delay : float;
+  bb_area : float;
+  bb_energy : float;
+}
+
+type t = {
+  lib_name : string;
+  d_mul : float;
+  d_add : float;
+  d_cmp_rel : float;
+  d_cmp_eq : float;
+  d_divmod : float;
+  d_shift : float;
+  d_logic : float;
+  d_mux2 : float;
+  d_mux_per_extra_input : float;
+  ff_clk_q : float;  (** plain flip-flop clock-to-q *)
+  ff_clk_q_en : float;  (** flip-flop with load enable *)
+  ff_setup : float;
+  a_mul : float;
+  a_add : float;
+  a_cmp_rel : float;
+  a_cmp_eq : float;
+  a_divmod : float;
+  a_shift : float;
+  a_logic : float;
+  a_mux2_per_bit : float;
+  a_ff_per_bit : float;
+  a_port : float;
+  control_area_base : float;
+  control_area_per_state : float;
+  min_delay_factor : float;  (** fastest sizing = factor × nominal delay *)
+  sizing_gamma : float;  (** area = nominal × (1 + γ (d_nom/d_req − 1)) *)
+  energy_per_area : float;  (** pJ per activation per unit area *)
+  leakage_per_area_mw : float;
+  blackboxes : (string * blackbox_char) list;
+}
+
+val ref_width : int
+(** Reference characterization width (32). *)
+
+val delay : t -> Resource.t -> float
+(** Nominal propagation delay, ps (log-of-width scaling from the
+    reference). *)
+
+val mux_delay : t -> inputs:int -> float
+(** Delay of a k-input sharing mux; 0 below two inputs. *)
+
+val area : t -> Resource.t -> float
+(** Nominal area (linear in width; quadratic in the width product for
+    multipliers). *)
+
+val mux_area : t -> inputs:int -> width:int -> float
+val reg_area : t -> width:int -> float
+
+val min_delay : t -> Resource.t -> float
+
+val area_for_delay : t -> Resource.t -> required:float -> float option
+(** Post-synthesis area when the resource must propagate in [required] ps:
+    nominal when it already fits, super-linearly upsized otherwise, [None]
+    beyond the curve's fastest point. *)
+
+val energy : t -> Resource.t -> float
+(** Switching energy of one activation, pJ. *)
+
+val reg_energy : t -> width:int -> float
+val leakage_mw : t -> total_area:float -> float
+
+val artisan90 : t
+(** The library used throughout the paper's examples (Table 1 delays
+    verbatim; areas calibrated against Table 3). *)
+
+val with_blackbox :
+  t -> name:string -> latency:int -> stage_delay:float -> area:float -> energy:float -> t
+(** Register a pre-designed (possibly pipelined multi-cycle) IP block. *)
+
+val op_latency : t -> Opkind.t -> int
+(** Cycles an op occupies (black boxes may be multi-cycle; 1 otherwise). *)
+
+val table1_rows : t -> (string * float) list
+(** The rows of the paper's Table 1, for reporting. *)

@@ -1,0 +1,1 @@
+lib/timing/cycle_detector.mli: Hashtbl

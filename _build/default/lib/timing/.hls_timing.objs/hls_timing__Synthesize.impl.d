@@ -1,0 +1,1 @@
+lib/timing/synthesize.ml: Hashtbl Hls_techlib Library List Resource

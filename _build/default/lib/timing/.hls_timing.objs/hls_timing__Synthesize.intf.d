@@ -1,0 +1,1 @@
+lib/timing/synthesize.mli: Hls_techlib Library Resource

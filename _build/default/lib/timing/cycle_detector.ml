@@ -1,0 +1,65 @@
+(** Incremental structural combinational-cycle detection.
+
+    When the binder shares resources, the sharing multiplexers can create
+    {e structural} combinational cycles that are never sensitized in any
+    reachable control state (Fig. 6 of the paper: [add_16_16] chains into
+    [add_32_16] in state s1 while [add_32_16] chains into [add_16_16] in
+    state s2 — a false loop through the input muxes).  Rather than emit
+    false-path constraints downstream, the paper's scheduler — and ours —
+    {e avoids bindings that close such cycles}.
+
+    Nodes are resource-instance ids; a directed edge [a -> b] is recorded
+    whenever an op bound to instance [a] feeds, {e combinationally in the
+    same control step}, an op bound to instance [b].  [would_close_cycle]
+    answers whether adding an edge creates a loop; the check is a DFS from
+    [dst] looking for [src]. *)
+
+type t = {
+  succs : (int, int list ref) Hashtbl.t;
+  mutable n_edges : int;
+}
+
+let create () = { succs = Hashtbl.create 16; n_edges = 0 }
+
+let succs_ref t n =
+  match Hashtbl.find_opt t.succs n with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace t.succs n r;
+      r
+
+let succs t n = match Hashtbl.find_opt t.succs n with Some r -> !r | None -> []
+
+let mem_edge t ~src ~dst = List.mem dst (succs t src)
+
+(** Would adding [src -> dst] close a directed cycle?  (True in particular
+    for a self-edge [src = dst]: a resource chained into itself.) *)
+let would_close_cycle t ~src ~dst =
+  src = dst || Hls_ir.Graph_algo.has_path ~from:dst ~target:src ~succs:(succs t)
+
+(** Record the edge (idempotent).  Raises [Invalid_argument] if it would
+    close a cycle — callers must test first. *)
+let add_edge t ~src ~dst =
+  if would_close_cycle t ~src ~dst then invalid_arg "Cycle_detector.add_edge: closes a cycle";
+  if not (mem_edge t ~src ~dst) then begin
+    let r = succs_ref t src in
+    r := dst :: !r;
+    t.n_edges <- t.n_edges + 1
+  end
+
+let remove_edge t ~src ~dst =
+  match Hashtbl.find_opt t.succs src with
+  | None -> ()
+  | Some r ->
+      if List.mem dst !r then begin
+        r := List.filter (fun x -> x <> dst) !r;
+        t.n_edges <- t.n_edges - 1
+      end
+
+let copy t =
+  let succs = Hashtbl.create (Hashtbl.length t.succs) in
+  Hashtbl.iter (fun k r -> Hashtbl.replace succs k (ref !r)) t.succs;
+  { succs; n_edges = t.n_edges }
+
+let n_edges t = t.n_edges

@@ -1,0 +1,23 @@
+(** Incremental structural combinational-cycle detection (Fig. 6 of the
+    paper): sharing muxes can create {e structural} loops that are never
+    sensitized; rather than emit false-path constraints downstream, the
+    binder avoids the bindings that would close them.  Nodes are resource
+    instances; an edge [a -> b] records a same-step combinational chain
+    from an op on [a] to an op on [b]. *)
+
+type t = { succs : (int, int list ref) Hashtbl.t; mutable n_edges : int }
+
+val create : unit -> t
+val succs : t -> int -> int list
+val mem_edge : t -> src:int -> dst:int -> bool
+
+val would_close_cycle : t -> src:int -> dst:int -> bool
+(** True in particular for self-edges. *)
+
+val add_edge : t -> src:int -> dst:int -> unit
+(** Idempotent.  @raise Invalid_argument when the edge would close a
+    cycle — callers must test first. *)
+
+val remove_edge : t -> src:int -> dst:int -> unit
+val copy : t -> t
+val n_edges : t -> int

@@ -1,0 +1,32 @@
+(** Downstream logic-synthesis model: turn a post-scheduling timing report
+    into a final timing-feasible area.  Negative slack — which only the
+    Table 4 ablation and the timing-naive baselines produce — is absorbed
+    by speeding every resource on the violating path along the library's
+    delay–area curve ("compensated by larger area during subsequent logic
+    synthesis"). *)
+
+open Hls_techlib
+
+type path_elem = { pe_inst : int; pe_rtype : Resource.t; pe_nominal : float }
+
+type path = {
+  p_endpoint : string;  (** the registered op ending the path *)
+  p_step : int;
+  p_fixed : float;  (** unscalable ps: clock-to-q, muxes, setup *)
+  p_elems : path_elem list;
+}
+
+type report = { r_clock_ps : float; r_paths : path list }
+
+type result = {
+  s_area : float;  (** total post-synthesis resource area *)
+  s_per_inst : (int * Resource.t * float * float) list;
+      (** instance, type, delay scale applied, final area *)
+  s_wns : float;  (** residual worst negative slack (0 = met) *)
+  s_feasible : bool;
+  s_upsized : int;
+}
+
+val path_nominal : path -> float
+val path_slack : clock:float -> path -> scale:(int -> float) -> float
+val run : Library.t -> report -> result

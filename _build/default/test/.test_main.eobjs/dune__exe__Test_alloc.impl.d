@@ -1,0 +1,1 @@
+test/test_alloc.ml: Alcotest Alloc Asap_alap Dfg Guard Hls_core Hls_designs Hls_frontend Hls_ir Hls_techlib List Opkind Option Region

@@ -1,0 +1,1 @@
+test/test_asap_alap.ml: Alcotest Asap_alap Dfg Guard Hls_core Hls_ir Hls_techlib List Opkind Option Region

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Binding Dfg Elaborate Hashtbl Hls_baseline Hls_core Hls_designs Hls_frontend Hls_ir Hls_techlib Hls_timing List Opkind Printf Region

@@ -1,0 +1,1 @@
+test/test_binding.ml: Alcotest Binding Dfg Hashtbl Hls_core Hls_ir Hls_techlib Library List Opkind Region Resource Restraint

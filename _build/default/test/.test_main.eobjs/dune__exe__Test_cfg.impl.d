@@ -1,0 +1,1 @@
+test/test_cfg.ml: Alcotest Cdfg Cfg Hls_designs Hls_frontend Hls_ir List

@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Dfg Guard Hls_ir List Opkind Option

@@ -1,0 +1,1 @@
+test/test_elaborate.ml: Alcotest Cdfg Dfg Dsl Elaborate Guard Hls_designs Hls_frontend Hls_ir List Opkind Option Region

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Binding Cdfg Dfg Dsl Elaborate Hls_core Hls_designs Hls_frontend Hls_ir Hls_rtl Hls_techlib List Opkind Option Pipeline Region Restraint Scheduler String

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Check Desugar Dsl Elaborate Hls_designs Hls_flow Hls_frontend Hls_ir Hls_rtl Hls_sim List

@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Ast Check Desugar Dsl Hls_designs Hls_frontend List String

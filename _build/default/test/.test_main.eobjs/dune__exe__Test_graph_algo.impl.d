@@ -1,0 +1,1 @@
+test/test_graph_algo.ml: Alcotest Fun Graph_algo Hashtbl Hls_ir List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_guard.ml: Alcotest Guard Hls_ir List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_kernel_sim.ml: Alcotest Ast Elaborate Hls_core Hls_designs Hls_frontend Hls_sim Hls_techlib List Printf Scheduler

@@ -1,0 +1,1 @@
+test/test_opkind.ml: Alcotest Hls_ir List Opkind Option QCheck QCheck_alcotest

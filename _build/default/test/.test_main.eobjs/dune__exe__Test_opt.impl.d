@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Ast Cdfg Dfg Dsl Elaborate Hls_core Hls_designs Hls_frontend Hls_ir Hls_opt Hls_sim Hls_techlib List Opkind

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Check Desugar Dsl Hls_frontend Hls_sim Lexer List Parser

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Binding Hashtbl Hls_core Hls_designs Hls_frontend Hls_techlib List Pipeline QCheck QCheck_alcotest Scheduler String

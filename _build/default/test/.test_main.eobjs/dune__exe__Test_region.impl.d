@@ -1,0 +1,1 @@
+test/test_region.ml: Alcotest Dfg Hls_ir Opkind Region

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Gen Hls_report List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Binding Elaborate Hls_core Hls_designs Hls_frontend Hls_rtl Hls_techlib List Pipeline Scheduler String

@@ -1,0 +1,1 @@
+test/test_sched_props.ml: Binding Dfg Guard Hashtbl Hls_core Hls_designs Hls_frontend Hls_ir Hls_sim Hls_techlib List Option Pipeline QCheck QCheck_alcotest Region Scheduler

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Binding Cdfg Dfg Guard Hashtbl Hls_core Hls_designs Hls_frontend Hls_ir Hls_techlib List Opkind Option Printf Region Scheduler String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Ast Dsl Elaborate Hashtbl Hls_core Hls_designs Hls_frontend Hls_sim Hls_techlib Printf Scheduler

@@ -1,0 +1,1 @@
+test/test_techlib.ml: Alcotest Hls_ir Hls_techlib Library Option Printf QCheck QCheck_alcotest Resource

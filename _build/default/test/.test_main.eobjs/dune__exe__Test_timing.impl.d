@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Cycle_detector Fun Gen Hls_ir Hls_techlib Hls_timing List QCheck QCheck_alcotest Synthesize

@@ -1,0 +1,1 @@
+test/test_width.ml: Alcotest Hls_ir QCheck QCheck_alcotest Width

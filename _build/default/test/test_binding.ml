@@ -1,0 +1,212 @@
+(** The binder's netlist timing model: the paper's Fig. 8 arithmetic is
+    reproduced op by op, and the structural comb-cycle avoidance rejects
+    the Fig. 6 pattern. *)
+
+open Hls_ir
+open Hls_core
+open Hls_techlib
+
+let lib = Library.artisan90
+let clock = 1600.0
+
+(* a miniature region: chrome*mask -> +aver -> >th, as in Fig. 8 *)
+let fig8_region () =
+  let dfg = Dfg.create () in
+  let read p = (Dfg.add_op dfg (Opkind.Read p) ~width:32 ~name:(p ^ "_read")).Dfg.id in
+  let chrome = read "chrome" and mask = read "mask" and aver = read "aver" and th = read "th" in
+  let mul1 = (Dfg.add_op dfg (Opkind.Bin Opkind.Mul) ~width:32 ~name:"mul1").Dfg.id in
+  (* two more muls so the multiplier class is shared (pre-allocated muxes) *)
+  let mul2 = (Dfg.add_op dfg (Opkind.Bin Opkind.Mul) ~width:32 ~name:"mul2").Dfg.id in
+  let mul3 = (Dfg.add_op dfg (Opkind.Bin Opkind.Mul) ~width:32 ~name:"mul3").Dfg.id in
+  let add = (Dfg.add_op dfg (Opkind.Bin Opkind.Add) ~width:32 ~name:"add").Dfg.id in
+  let gt = (Dfg.add_op dfg (Opkind.Bin Opkind.Gt) ~width:1 ~name:"gt").Dfg.id in
+  Dfg.connect dfg ~src:chrome ~dst:mul1 ~port:0;
+  Dfg.connect dfg ~src:mask ~dst:mul1 ~port:1;
+  Dfg.connect dfg ~src:mul1 ~dst:add ~port:0;
+  Dfg.connect dfg ~src:aver ~dst:add ~port:1;
+  Dfg.connect dfg ~src:add ~dst:gt ~port:0;
+  Dfg.connect dfg ~src:th ~dst:gt ~port:1;
+  (* keep mul2/mul3 schedulable elsewhere *)
+  Dfg.connect dfg ~src:chrome ~dst:mul2 ~port:0;
+  Dfg.connect dfg ~src:mask ~dst:mul2 ~port:1;
+  Dfg.connect dfg ~src:chrome ~dst:mul3 ~port:0;
+  Dfg.connect dfg ~src:mask ~dst:mul3 ~port:1;
+  let region = Region.create ~min_steps:3 ~max_steps:3 ~name:"fig8" dfg in
+  (region, chrome, mask, mul1, add, gt)
+
+let mk_binding region =
+  let b = Binding.create ~lib ~clock_ps:clock region in
+  let mul_rt = { Resource.rclass = Opkind.R_mul; in_widths = [ 32; 32 ]; out_width = 32 } in
+  let add_rt = { Resource.rclass = Opkind.R_addsub; in_widths = [ 32; 32 ]; out_width = 32 } in
+  let cmp_rt = { Resource.rclass = Opkind.R_cmp_rel; in_widths = [ 32; 32 ]; out_width = 1 } in
+  let mi = Binding.add_inst b mul_rt in
+  let ai = Binding.add_inst b add_rt in
+  let ci = Binding.add_inst b cmp_rt in
+  Binding.reset_pass b;
+  (b, mi.Binding.inst_id, ai.Binding.inst_id, ci.Binding.inst_id)
+
+let dfg_of region = region.Region.dfg
+
+let bind_ok b op ~step ~inst_opt =
+  match Binding.try_bind b op ~step ~inst_opt with
+  | Ok () -> ()
+  | Error f -> Alcotest.failf "bind failed: %s" (Restraint.fail_to_string f)
+
+(* the above got unwieldy; a cleaner end-to-end variant *)
+let test_fig8_clean () =
+  let region, chrome, mask, mul1, add, gt = fig8_region () in
+  let dfg = dfg_of region in
+  let b, mi, ai, ci = mk_binding region in
+  ignore chrome;
+  ignore mask;
+  (* place all reads *)
+  List.iter
+    (fun o ->
+      match o.Dfg.kind with
+      | Opkind.Read _ -> bind_ok b o ~step:0 ~inst_opt:None
+      | _ -> ())
+    (Dfg.ops dfg);
+  bind_ok b (Dfg.find dfg mul1) ~step:0 ~inst_opt:(Some mi);
+  Alcotest.(check (float 0.5)) "Fig 8a: mul arrival 1080" 1080.0
+    (Hashtbl.find b.Binding.arr_true mul1);
+  bind_ok b (Dfg.find dfg add) ~step:0 ~inst_opt:(Some ai);
+  (* Fig 8b: 40 + 110 + 930 + 350 = 1430; endpoint 1430+110+40 = 1580 *)
+  Alcotest.(check (float 0.5)) "Fig 8b: add arrival 1430" 1430.0
+    (Hashtbl.find b.Binding.arr_true add);
+  Alcotest.(check (float 0.5)) "Fig 8b: add slack 20" 20.0
+    (Binding.endpoint_slack b ~naive:false add);
+  (* Fig 8c: gt would land at 1800 -> slack -200: the binder rejects it *)
+  (match Binding.try_bind b (Dfg.find dfg gt) ~step:0 ~inst_opt:(Some ci) with
+  | Ok () -> Alcotest.fail "gt must not fit in state s1"
+  | Error (Restraint.F_slack s) -> Alcotest.(check (float 0.5)) "slack -200" (-200.0) s
+  | Error f -> Alcotest.failf "expected slack failure, got %s" (Restraint.fail_to_string f));
+  (* it fits in the next state from a register *)
+  bind_ok b (Dfg.find dfg gt) ~step:1 ~inst_opt:(Some ci)
+
+let test_busy_and_equivalence () =
+  let region, _, _, mul1, _, _ = fig8_region () in
+  let dfg = dfg_of region in
+  let b, mi, _, _ = mk_binding region in
+  List.iter
+    (fun o ->
+      match o.Dfg.kind with Opkind.Read _ -> bind_ok b o ~step:0 ~inst_opt:None | _ -> ())
+    (Dfg.ops dfg);
+  bind_ok b (Dfg.find dfg mul1) ~step:0 ~inst_opt:(Some mi);
+  (* another mul on the same instance in the same step must be busy *)
+  let mul2 =
+    List.find
+      (fun o -> o.Dfg.kind = Opkind.Bin Opkind.Mul && o.Dfg.id <> mul1)
+      (Dfg.ops dfg)
+  in
+  (match Binding.try_bind b mul2 ~step:0 ~inst_opt:(Some mi) with
+  | Error (Restraint.F_busy _) -> ()
+  | Ok () -> Alcotest.fail "same instance, same step must be busy"
+  | Error f -> Alcotest.failf "expected busy, got %s" (Restraint.fail_to_string f));
+  (* a later step is fine *)
+  bind_ok b mul2 ~step:1 ~inst_opt:(Some mi)
+
+let test_pipelined_equivalence_busy () =
+  (* with II=2, steps 0 and 2 are equivalent: an op in step 0 blocks the
+     instance in step 2 *)
+  let dfg = Dfg.create () in
+  let r1 = (Dfg.add_op dfg (Opkind.Read "a") ~width:32).Dfg.id in
+  let m1 = (Dfg.add_op dfg (Opkind.Bin Opkind.Mul) ~width:32 ~name:"m1").Dfg.id in
+  let m2 = (Dfg.add_op dfg (Opkind.Bin Opkind.Mul) ~width:32 ~name:"m2").Dfg.id in
+  Dfg.connect dfg ~src:r1 ~dst:m1 ~port:0;
+  Dfg.connect dfg ~src:r1 ~dst:m1 ~port:1;
+  Dfg.connect dfg ~src:r1 ~dst:m2 ~port:0;
+  Dfg.connect dfg ~src:r1 ~dst:m2 ~port:1;
+  let region = Region.create ~min_steps:3 ~max_steps:3 ~pipeline:{ Region.ii = 2 } ~name:"eq" dfg in
+  let b = Binding.create ~lib ~clock_ps:clock region in
+  let mi =
+    Binding.add_inst b { Resource.rclass = Opkind.R_mul; in_widths = [ 32; 32 ]; out_width = 32 }
+  in
+  Binding.reset_pass b;
+  bind_ok b (Dfg.find dfg r1) ~step:0 ~inst_opt:None;
+  bind_ok b (Dfg.find dfg m1) ~step:0 ~inst_opt:(Some mi.Binding.inst_id);
+  (match Binding.try_bind b (Dfg.find dfg m2) ~step:2 ~inst_opt:(Some mi.Binding.inst_id) with
+  | Error (Restraint.F_busy _) -> ()
+  | Ok () -> Alcotest.fail "equivalent steps must not share a resource"
+  | Error f -> Alcotest.failf "expected busy, got %s" (Restraint.fail_to_string f));
+  (* the odd step is a different equivalence class *)
+  bind_ok b (Dfg.find dfg m2) ~step:1 ~inst_opt:(Some mi.Binding.inst_id)
+
+let test_comb_cycle_fig6 () =
+  (* Fig. 6: adder A chains into adder B in state s1, B chains into A in
+     state s2 -> structural cycle through the sharing muxes, rejected *)
+  let dfg = Dfg.create () in
+  let read p = (Dfg.add_op dfg (Opkind.Read p) ~width:16 ~name:p).Dfg.id in
+  let a = read "a" and bb = read "b" and c = read "c" and d = read "d" and p = read "p" and q = read "q" in
+  let x = (Dfg.add_op dfg (Opkind.Bin Opkind.Add) ~width:16 ~name:"x").Dfg.id in
+  let y = (Dfg.add_op dfg (Opkind.Bin Opkind.Add) ~width:16 ~name:"y").Dfg.id in
+  let w = (Dfg.add_op dfg (Opkind.Bin Opkind.Add) ~width:16 ~name:"w").Dfg.id in
+  let v = (Dfg.add_op dfg (Opkind.Bin Opkind.Add) ~width:16 ~name:"v").Dfg.id in
+  (* s1: x = a + b; y = x + c  (A feeds B) *)
+  Dfg.connect dfg ~src:a ~dst:x ~port:0;
+  Dfg.connect dfg ~src:bb ~dst:x ~port:1;
+  Dfg.connect dfg ~src:x ~dst:y ~port:0;
+  Dfg.connect dfg ~src:c ~dst:y ~port:1;
+  (* s2: w = d + p; v = w + q  (would put B feeding A) *)
+  Dfg.connect dfg ~src:d ~dst:w ~port:0;
+  Dfg.connect dfg ~src:p ~dst:w ~port:1;
+  Dfg.connect dfg ~src:w ~dst:v ~port:0;
+  Dfg.connect dfg ~src:q ~dst:v ~port:1;
+  let region = Region.create ~min_steps:2 ~max_steps:2 ~name:"fig6" dfg in
+  let b = Binding.create ~lib ~clock_ps:clock region in
+  let rt = { Resource.rclass = Opkind.R_addsub; in_widths = [ 16; 16 ]; out_width = 16 } in
+  let ia = Binding.add_inst b rt and ib = Binding.add_inst b rt in
+  Binding.reset_pass b;
+  List.iter
+    (fun o -> match o.Dfg.kind with Opkind.Read _ -> bind_ok b o ~step:0 ~inst_opt:None | _ -> ())
+    (Dfg.ops dfg);
+  bind_ok b (Dfg.find dfg x) ~step:0 ~inst_opt:(Some ia.Binding.inst_id);
+  bind_ok b (Dfg.find dfg y) ~step:0 ~inst_opt:(Some ib.Binding.inst_id);
+  bind_ok b (Dfg.find dfg w) ~step:1 ~inst_opt:(Some ib.Binding.inst_id);
+  (* v on instance A would close A -> B -> A *)
+  (match Binding.try_bind b (Dfg.find dfg v) ~step:1 ~inst_opt:(Some ia.Binding.inst_id) with
+  | Error (Restraint.F_cycle _) -> ()
+  | Ok () -> Alcotest.fail "binding must be rejected: structural comb cycle"
+  | Error f -> Alcotest.failf "expected cycle rejection, got %s" (Restraint.fail_to_string f))
+
+let test_forbidden_pair () =
+  let region, _, _, mul1, _, _ = fig8_region () in
+  let dfg = dfg_of region in
+  let b, mi, _, _ = mk_binding region in
+  Hashtbl.replace b.Binding.forbidden (mul1, mi) ();
+  List.iter
+    (fun o -> match o.Dfg.kind with Opkind.Read _ -> bind_ok b o ~step:0 ~inst_opt:None | _ -> ())
+    (Dfg.ops dfg);
+  match Binding.try_bind b (Dfg.find dfg mul1) ~step:0 ~inst_opt:(Some mi) with
+  | Error Restraint.F_forbidden -> ()
+  | Ok () -> Alcotest.fail "forbidden pair must be rejected"
+  | Error f -> Alcotest.failf "expected forbidden, got %s" (Restraint.fail_to_string f)
+
+let test_rollback_on_failure () =
+  let region, _, _, _, add, gt = fig8_region () in
+  let dfg = dfg_of region in
+  let b, mi, ai, ci = mk_binding region in
+  ignore ci;
+  List.iter
+    (fun o -> match o.Dfg.kind with Opkind.Read _ -> bind_ok b o ~step:0 ~inst_opt:None | _ -> ())
+    (Dfg.ops dfg);
+  let mul1 = List.find (fun o -> o.Dfg.name = "mul1") (Dfg.ops dfg) in
+  bind_ok b mul1 ~step:0 ~inst_opt:(Some mi);
+  bind_ok b (Dfg.find dfg add) ~step:0 ~inst_opt:(Some ai);
+  let placements_before = Hashtbl.length b.Binding.placements in
+  let gt_op = Dfg.find dfg gt in
+  (match Binding.try_bind b gt_op ~step:0 ~inst_opt:(Some (Binding.add_inst b { Resource.rclass = Opkind.R_cmp_rel; in_widths = [ 32; 32 ]; out_width = 1 }).Binding.inst_id) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected failure");
+  Alcotest.(check int) "placement count unchanged after rollback" placements_before
+    (Hashtbl.length b.Binding.placements);
+  Alcotest.(check bool) "gt not placed" true (Binding.placement b gt = None)
+
+let suite =
+  [
+    Alcotest.test_case "Fig. 8 delay arithmetic" `Quick test_fig8_clean;
+    Alcotest.test_case "busy within a step" `Quick test_busy_and_equivalence;
+    Alcotest.test_case "equivalence-class busy (II=2)" `Quick test_pipelined_equivalence_busy;
+    Alcotest.test_case "Fig. 6 comb-cycle rejection" `Quick test_comb_cycle_fig6;
+    Alcotest.test_case "forbidden pairs" `Quick test_forbidden_pair;
+    Alcotest.test_case "rollback on failure" `Quick test_rollback_on_failure;
+  ]

@@ -1,0 +1,79 @@
+(** Control-flow graph structure and validation. *)
+
+open Hls_ir
+
+let test_chain_structure () =
+  (* entry -> s0 -> loop_head -> s1 -> loop_tail -> exit, with a back edge *)
+  let g = Cfg.create () in
+  let entry = Cfg.add_node g Cfg.Entry in
+  let s0 = Cfg.add_node g Cfg.State ~name:"s0" in
+  let head = Cfg.add_node g (Cfg.Loop_head { kind = `Do_while; cond = None }) in
+  let s1 = Cfg.add_node g Cfg.State ~name:"s1" in
+  let tail = Cfg.add_node g (Cfg.Loop_tail { head = head.Cfg.nid }) in
+  let exit_n = Cfg.add_node g Cfg.Exit in
+  let e0 = Cfg.add_edge g ~src:entry.Cfg.nid ~dst:s0.Cfg.nid in
+  let _ = Cfg.add_edge g ~src:s0.Cfg.nid ~dst:head.Cfg.nid in
+  let _ = Cfg.add_edge g ~src:head.Cfg.nid ~dst:s1.Cfg.nid in
+  let _ = Cfg.add_edge g ~src:s1.Cfg.nid ~dst:tail.Cfg.nid in
+  let _ = Cfg.add_edge g ~label:`Back ~src:tail.Cfg.nid ~dst:head.Cfg.nid in
+  let _ = Cfg.add_edge g ~src:tail.Cfg.nid ~dst:exit_n.Cfg.nid in
+  Alcotest.(check int) "6 nodes" 6 (Cfg.n_nodes g);
+  Alcotest.(check int) "6 edges" 6 (Cfg.n_edges g);
+  Alcotest.(check (list string)) "validates" [] (Cfg.validate g);
+  Alcotest.(check bool) "entry found" true (Cfg.find_entry g <> None);
+  Alcotest.(check bool) "exit found" true (Cfg.find_exit g <> None);
+  Alcotest.(check int) "edge endpoints" s0.Cfg.nid (Cfg.edge g e0.Cfg.eid).Cfg.edst;
+  (* the loop head has two predecessors: sequential and back *)
+  Alcotest.(check int) "head in-degree" 2 (List.length (Cfg.in_edges g head.Cfg.nid))
+
+let test_unreachable_flagged () =
+  let g = Cfg.create () in
+  let _ = Cfg.add_node g Cfg.Entry in
+  let orphan = Cfg.add_node g Cfg.State in
+  ignore orphan;
+  Alcotest.(check bool) "unreachable node reported" true (Cfg.validate g <> [])
+
+let test_fork_needs_labels () =
+  let g = Cfg.create () in
+  let entry = Cfg.add_node g Cfg.Entry in
+  let fork = Cfg.add_node g (Cfg.Fork { cond = 0 }) in
+  let s = Cfg.add_node g Cfg.State in
+  let _ = Cfg.add_edge g ~src:entry.Cfg.nid ~dst:fork.Cfg.nid in
+  let _ = Cfg.add_edge g ~label:`True ~src:fork.Cfg.nid ~dst:s.Cfg.nid in
+  (* missing the False branch *)
+  Alcotest.(check bool) "fork without F edge flagged" true (Cfg.validate g <> []);
+  let _ = Cfg.add_edge g ~label:`False ~src:fork.Cfg.nid ~dst:s.Cfg.nid in
+  Alcotest.(check (list string)) "complete fork validates" [] (Cfg.validate g)
+
+let test_remove () =
+  let g = Cfg.create () in
+  let a = Cfg.add_node g Cfg.Entry in
+  let b = Cfg.add_node g Cfg.State in
+  let e = Cfg.add_edge g ~src:a.Cfg.nid ~dst:b.Cfg.nid in
+  Cfg.remove_edge g e.Cfg.eid;
+  Alcotest.(check int) "edge gone" 0 (Cfg.n_edges g);
+  Cfg.remove_node g b.Cfg.nid;
+  Alcotest.(check int) "node gone" 1 (Cfg.n_nodes g)
+
+let test_elaborated_cfg_shape () =
+  (* the example1 CFG is the canonical chain with a loop *)
+  let e = Hls_designs.Example1.elaborated () in
+  let g = e.Hls_frontend.Elaborate.cdfg.Cdfg.cfg in
+  Alcotest.(check (list string)) "validates" [] (Cfg.validate g);
+  let kinds = List.map (fun n -> n.Cfg.nkind) (Cfg.nodes g) in
+  Alcotest.(check bool) "has a loop head" true
+    (List.exists (function Cfg.Loop_head _ -> true | _ -> false) kinds);
+  Alcotest.(check bool) "has a loop tail" true
+    (List.exists (function Cfg.Loop_tail _ -> true | _ -> false) kinds);
+  (* the back edge is labelled *)
+  Alcotest.(check bool) "back edge present" true
+    (List.exists (fun ed -> ed.Cfg.elabel = `Back) (Cfg.edges g))
+
+let suite =
+  [
+    Alcotest.test_case "chain structure" `Quick test_chain_structure;
+    Alcotest.test_case "unreachable flagged" `Quick test_unreachable_flagged;
+    Alcotest.test_case "fork labels" `Quick test_fork_needs_labels;
+    Alcotest.test_case "removal" `Quick test_remove;
+    Alcotest.test_case "elaborated CFG shape" `Quick test_elaborated_cfg_shape;
+  ]

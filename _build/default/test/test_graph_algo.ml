@@ -1,0 +1,129 @@
+(** Graph algorithms: topological sort, Tarjan SCC, reachability, longest
+    path — unit cases plus properties on random digraphs. *)
+
+open Hls_ir
+
+let adj edges n =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      let r = match Hashtbl.find_opt tbl a with Some r -> r | None -> let r = ref [] in Hashtbl.replace tbl a r; r in
+      r := b :: !r)
+    edges;
+  ( List.init n Fun.id,
+    fun v -> match Hashtbl.find_opt tbl v with Some r -> !r | None -> [] )
+
+let test_topo_dag () =
+  let nodes, succs = adj [ (0, 1); (0, 2); (1, 3); (2, 3) ] 4 in
+  match Graph_algo.topo_sort ~nodes ~succs with
+  | None -> Alcotest.fail "DAG must sort"
+  | Some order ->
+      let pos = List.mapi (fun i v -> (v, i)) order in
+      let p v = List.assoc v pos in
+      Alcotest.(check bool) "0 before 1" true (p 0 < p 1);
+      Alcotest.(check bool) "1 before 3" true (p 1 < p 3);
+      Alcotest.(check bool) "2 before 3" true (p 2 < p 3)
+
+let test_topo_cycle () =
+  let nodes, succs = adj [ (0, 1); (1, 2); (2, 0) ] 3 in
+  Alcotest.(check bool) "cycle has no topo order" true (Graph_algo.topo_sort ~nodes ~succs = None)
+
+let test_scc () =
+  let nodes, succs = adj [ (0, 1); (1, 2); (2, 0); (2, 3); (3, 4); (4, 3) ] 5 in
+  let comps = Graph_algo.scc ~nodes ~succs in
+  let sets = List.map (List.sort compare) comps |> List.sort compare in
+  Alcotest.(check bool) "finds {0,1,2}" true (List.mem [ 0; 1; 2 ] sets);
+  Alcotest.(check bool) "finds {3,4}" true (List.mem [ 3; 4 ] sets)
+
+let test_scc_singletons () =
+  let nodes, succs = adj [ (0, 1); (1, 2) ] 3 in
+  let comps = Graph_algo.scc ~nodes ~succs in
+  Alcotest.(check int) "three singleton components" 3 (List.length comps)
+
+let test_reachable () =
+  let _, succs = adj [ (0, 1); (1, 2); (3, 4) ] 5 in
+  let r = Graph_algo.reachable ~from:0 ~succs in
+  Alcotest.(check bool) "reaches 2" true (Hashtbl.mem r 2);
+  Alcotest.(check bool) "does not reach 4" false (Hashtbl.mem r 4)
+
+let test_has_path () =
+  let _, succs = adj [ (0, 1); (1, 2) ] 3 in
+  Alcotest.(check bool) "0 -> 2" true (Graph_algo.has_path ~from:0 ~target:2 ~succs);
+  Alcotest.(check bool) "2 -/-> 0" false (Graph_algo.has_path ~from:2 ~target:0 ~succs);
+  Alcotest.(check bool) "self" true (Graph_algo.has_path ~from:1 ~target:1 ~succs)
+
+let test_longest_path () =
+  let nodes, succs = adj [ (0, 1); (1, 2); (0, 2) ] 3 in
+  let dist = Graph_algo.longest_path ~nodes ~succs ~weight:(fun _ -> 1.0) in
+  Alcotest.(check (float 0.001)) "node 2 depth 3" 3.0 (Hashtbl.find dist 2)
+
+(* random digraph generator: edge list over n nodes *)
+let digraph_gen =
+  QCheck.Gen.(
+    int_range 2 14 >>= fun n ->
+    list_size (int_range 0 (2 * n)) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+    >>= fun edges -> return (n, edges))
+
+let digraph_arb =
+  QCheck.make digraph_gen ~print:(fun (n, es) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) es)))
+
+let prop_scc_partition =
+  QCheck.Test.make ~name:"SCCs partition the vertex set" ~count:300 digraph_arb (fun (n, edges) ->
+      let nodes, succs = adj edges n in
+      let comps = Graph_algo.scc ~nodes ~succs in
+      let all = List.concat comps |> List.sort compare in
+      all = List.sort compare nodes)
+
+let prop_scc_mutual =
+  QCheck.Test.make ~name:"members of an SCC reach each other" ~count:200 digraph_arb
+    (fun (n, edges) ->
+      let nodes, succs = adj edges n in
+      let comps = Graph_algo.scc ~nodes ~succs in
+      ignore nodes;
+      List.for_all
+        (fun comp ->
+          List.for_all
+            (fun a -> List.for_all (fun b -> Graph_algo.has_path ~from:a ~target:b ~succs) comp)
+            comp)
+        comps)
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~name:"topological order respects every edge" ~count:300 digraph_arb
+    (fun (n, edges) ->
+      let nodes, succs = adj edges n in
+      match Graph_algo.topo_sort ~nodes ~succs with
+      | None -> true (* cyclic *)
+      | Some order ->
+          let pos = Hashtbl.create 16 in
+          List.iteri (fun i v -> Hashtbl.replace pos v i) order;
+          List.for_all
+            (fun (a, b) -> a = b || Hashtbl.find pos a < Hashtbl.find pos b)
+            (List.filter (fun (a, b) -> a <> b) edges))
+
+let prop_topo_none_iff_cycle =
+  QCheck.Test.make ~name:"topo_sort fails exactly on cyclic graphs" ~count:200 digraph_arb
+    (fun (n, edges) ->
+      let nodes, succs = adj edges n in
+      let has_cycle =
+        List.exists
+          (fun v -> List.exists (fun s -> Graph_algo.has_path ~from:s ~target:v ~succs) (succs v))
+          nodes
+      in
+      (Graph_algo.topo_sort ~nodes ~succs = None) = has_cycle)
+
+let suite =
+  [
+    Alcotest.test_case "topo DAG" `Quick test_topo_dag;
+    Alcotest.test_case "topo cycle" `Quick test_topo_cycle;
+    Alcotest.test_case "scc" `Quick test_scc;
+    Alcotest.test_case "scc singletons" `Quick test_scc_singletons;
+    Alcotest.test_case "reachable" `Quick test_reachable;
+    Alcotest.test_case "has_path" `Quick test_has_path;
+    Alcotest.test_case "longest path" `Quick test_longest_path;
+    QCheck_alcotest.to_alcotest prop_scc_partition;
+    QCheck_alcotest.to_alcotest prop_scc_mutual;
+    QCheck_alcotest.to_alcotest prop_topo_respects_edges;
+    QCheck_alcotest.to_alcotest prop_topo_none_iff_cycle;
+  ]

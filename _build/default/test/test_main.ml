@@ -1,0 +1,32 @@
+(** Test entry point: aggregates every suite.  Run with [dune runtest]. *)
+
+let () =
+  Alcotest.run "hlspipe"
+    [
+      ("width", Test_width.suite);
+      ("guard", Test_guard.suite);
+      ("graph_algo", Test_graph_algo.suite);
+      ("dfg", Test_dfg.suite);
+      ("cfg", Test_cfg.suite);
+      ("techlib", Test_techlib.suite);
+      ("frontend", Test_frontend.suite);
+      ("elaborate", Test_elaborate.suite);
+      ("binding", Test_binding.suite);
+      ("scheduler", Test_scheduler.suite);
+      ("alloc", Test_alloc.suite);
+      ("timing", Test_timing.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("sim", Test_sim.suite);
+      ("opt", Test_opt.suite);
+      ("rtl", Test_rtl.suite);
+      ("baseline", Test_baseline.suite);
+      ("report", Test_report.suite);
+      ("parser", Test_parser.suite);
+      ("flow", Test_flow.suite);
+      ("region", Test_region.suite);
+      ("opkind", Test_opkind.suite);
+      ("asap_alap", Test_asap_alap.suite);
+      ("extensions", Test_extensions.suite);
+      ("sched_props", Test_sched_props.suite);
+      ("kernel_sim", Test_kernel_sim.suite);
+    ]

@@ -1,0 +1,151 @@
+(** Optimizer passes: folding, simplification, strength reduction, CSE,
+    DCE — and semantic preservation of the whole pipeline. *)
+
+open Hls_ir
+open Hls_frontend
+
+let elaborate stmts ~vars =
+  let open Dsl in
+  let d =
+    design "opt" ~ins:[ in_port "a" 8; in_port "b" 8 ] ~outs:[ out_port "y" 24 ] ~vars
+      ([ "x" := int 0; wait ]
+      @ [ do_while ~name:"l" (stmts @ [ wait; write "y" (v "x") ]) (int 1) ])
+  in
+  (d, Elaborate.design d)
+
+let count dfg pred = List.length (List.filter pred (Dfg.ops dfg))
+
+let test_constant_fold () =
+  let open Dsl in
+  let _, e = elaborate ~vars:[ Dsl.var "x" 24 ] [ "x" := (int 3 +: int 4) *: port "a" ] in
+  let e', stats = Hls_opt.Passes.run e in
+  Alcotest.(check bool) "something folded" true (stats.Hls_opt.Passes.folded > 0);
+  let dfg = e'.Elaborate.cdfg.Cdfg.dfg in
+  (* no add with two constant inputs survives *)
+  Alcotest.(check int) "constant add gone" 0
+    (count dfg (fun o ->
+         o.Dfg.kind = Opkind.Bin Opkind.Add
+         && List.for_all
+              (fun e ->
+                match (Dfg.find dfg e.Dfg.src).Dfg.kind with Opkind.Const _ -> true | _ -> false)
+              (Dfg.in_edges dfg o.Dfg.id)))
+
+let test_mul_by_one () =
+  let open Dsl in
+  let _, e = elaborate ~vars:[ Dsl.var "x" 24 ] [ "x" := port "a" *: int 1 ] in
+  let e', stats = Hls_opt.Passes.run e in
+  ignore stats;
+  let dfg = e'.Elaborate.cdfg.Cdfg.dfg in
+  Alcotest.(check int) "multiplication eliminated" 0
+    (count dfg (fun o -> o.Dfg.kind = Opkind.Bin Opkind.Mul))
+
+let test_strength_reduction () =
+  let open Dsl in
+  let _, e = elaborate ~vars:[ Dsl.var "x" 24 ] [ "x" := port "a" *: int 8 ] in
+  let e', _ = Hls_opt.Passes.run e in
+  let dfg = e'.Elaborate.cdfg.Cdfg.dfg in
+  Alcotest.(check int) "mul by 8 becomes a shift" 0
+    (count dfg (fun o -> o.Dfg.kind = Opkind.Bin Opkind.Mul));
+  Alcotest.(check bool) "shift present" true
+    (count dfg (fun o -> o.Dfg.kind = Opkind.Bin Opkind.Shl) > 0)
+
+let test_cse () =
+  let open Dsl in
+  let _, e =
+    elaborate ~vars:[ Dsl.var "x" 24; Dsl.var "t1" 16; Dsl.var "t2" 16 ]
+      [ "t1" := port "a" *: port "b"; "t2" := port "a" *: port "b"; "x" := v "t1" +: v "t2" ]
+  in
+  let e', stats = Hls_opt.Passes.run e in
+  let dfg = e'.Elaborate.cdfg.Cdfg.dfg in
+  Alcotest.(check bool) "merged something" true (stats.Hls_opt.Passes.merged > 0);
+  Alcotest.(check int) "one multiplication left" 1
+    (count dfg (fun o -> o.Dfg.kind = Opkind.Bin Opkind.Mul))
+
+let test_dce () =
+  let open Dsl in
+  let _, e =
+    elaborate ~vars:[ Dsl.var "x" 24; Dsl.var "dead" 16 ]
+      [ "dead" := port "a" *: port "b"; "x" := port "a" ]
+  in
+  let e', stats = Hls_opt.Passes.run e in
+  let dfg = e'.Elaborate.cdfg.Cdfg.dfg in
+  Alcotest.(check bool) "deleted something" true (stats.Hls_opt.Passes.deleted > 0);
+  Alcotest.(check int) "dead mul gone" 0 (count dfg (fun o -> o.Dfg.kind = Opkind.Bin Opkind.Mul))
+
+let test_membership_maintained () =
+  let _, e = elaborate ~vars:[ Dsl.var "x" 24 ] Dsl.[ "x" := (int 2 +: int 5) *: port "a" ] in
+  let e', _ = Hls_opt.Passes.run e in
+  (* every member id must exist in the DFG *)
+  let dfg = e'.Elaborate.cdfg.Cdfg.dfg in
+  let check_ids ids = List.iter (fun id -> Alcotest.(check bool) "member alive" true (Dfg.mem dfg id)) ids in
+  check_ids e'.Elaborate.pre_members;
+  (match e'.Elaborate.loop with Some li -> check_ids li.Elaborate.li_members | None -> ());
+  check_ids e'.Elaborate.post_members;
+  Alcotest.(check (list string)) "validates" [] (Cdfg.validate e'.Elaborate.cdfg)
+
+let test_semantics_preserved () =
+  (* optimized design must simulate identically through the full flow *)
+  let d = Hls_designs.Example1.design () in
+  let e = Elaborate.design d in
+  let e', _ = Hls_opt.Passes.run e in
+  let region = Elaborate.main_region e' in
+  match Hls_core.Scheduler.schedule ~lib:Hls_techlib.Library.artisan90 ~clock_ps:1600.0 region with
+  | Error err -> Alcotest.failf "schedule after opt failed: %s" err.Hls_core.Scheduler.e_message
+  | Ok s ->
+      let stim = Hls_sim.Stimulus.small_random ~seed:9 ~n_iters:40 ~ports:d.Ast.d_ins in
+      let golden = Hls_sim.Behav.run d stim in
+      let sim = Hls_sim.Schedule_sim.run e' s stim in
+      let v = Hls_sim.Equiv.check ~out_ports:d.Ast.d_outs golden sim in
+      if not v.Hls_sim.Equiv.equivalent then Alcotest.fail (Hls_sim.Equiv.verdict_to_string v)
+
+let test_width_reduction () =
+  (* a 62-bit product truncated to 16 bits: the multiplier shrinks to the
+     demanded width and the full-range slice collapses away *)
+  let open Dsl in
+  let _, e = elaborate ~vars:[ Dsl.var "x" 16; Dsl.var "t" 16 ]
+      [ "t" := port "a" *: port "b"; "x" := v "t" +: int 1 ] in
+  let e', stats = Hls_opt.Passes.run e in
+  Alcotest.(check bool) "narrowed something" true (stats.Hls_opt.Passes.narrowed > 0);
+  let dfg = e'.Elaborate.cdfg.Cdfg.dfg in
+  List.iter
+    (fun o ->
+      if o.Dfg.kind = Opkind.Bin Opkind.Mul then
+        Alcotest.(check bool) "multiplier width shrunk" true (o.Dfg.width <= 16))
+    (Dfg.ops dfg)
+
+let test_width_reduction_preserves_semantics () =
+  let d = Hls_designs.Idct.design () in
+  let e = Elaborate.design d in
+  let e', stats = Hls_opt.Passes.run e in
+  Alcotest.(check bool) "idct narrows" true (stats.Hls_opt.Passes.narrowed > 0);
+  let region = Elaborate.main_region e' in
+  match Hls_core.Scheduler.schedule ~lib:Hls_techlib.Library.artisan90 ~clock_ps:1600.0 region with
+  | Error err -> Alcotest.failf "schedule after width reduction failed: %s" err.Hls_core.Scheduler.e_message
+  | Ok s ->
+      let stim = Hls_sim.Stimulus.small_random ~seed:13 ~n_iters:10 ~ports:d.Ast.d_ins in
+      let golden = Hls_sim.Behav.run d stim in
+      let sim = Hls_sim.Schedule_sim.run e' s stim in
+      let v = Hls_sim.Equiv.check ~out_ports:d.Ast.d_outs golden sim in
+      if not v.Hls_sim.Equiv.equivalent then Alcotest.fail (Hls_sim.Equiv.verdict_to_string v)
+
+let test_idempotent_fixpoint () =
+  let d = Hls_designs.Fir.design () in
+  let e = Elaborate.design d in
+  let e', _ = Hls_opt.Passes.run e in
+  let _, stats2 = Hls_opt.Passes.run e' in
+  Alcotest.(check int) "second run is a no-op" 0 (Hls_opt.Passes.total stats2)
+
+let suite =
+  [
+    Alcotest.test_case "constant folding" `Quick test_constant_fold;
+    Alcotest.test_case "x*1 simplification" `Quick test_mul_by_one;
+    Alcotest.test_case "strength reduction" `Quick test_strength_reduction;
+    Alcotest.test_case "CSE" `Quick test_cse;
+    Alcotest.test_case "DCE" `Quick test_dce;
+    Alcotest.test_case "membership maintained" `Quick test_membership_maintained;
+    Alcotest.test_case "semantics preserved" `Quick test_semantics_preserved;
+    Alcotest.test_case "width reduction" `Quick test_width_reduction;
+    Alcotest.test_case "width reduction preserves semantics" `Quick
+      test_width_reduction_preserves_semantics;
+    Alcotest.test_case "fixpoint idempotence" `Quick test_idempotent_fixpoint;
+  ]

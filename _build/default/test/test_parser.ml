@@ -1,0 +1,138 @@
+(** The textual [.bhv] frontend: lexer, parser, precedence, attributes,
+    errors, and agreement with the DSL. *)
+
+open Hls_frontend
+
+let parse = Parser.parse_string
+
+let example_src =
+  {|
+design t1 {
+  in a : 8;
+  in b : 8;
+  out y : 16;
+  var x : 16;
+
+  x = 0;
+  wait();
+  do [name=m, latency=1..4, ii=2] {
+    x = x + $a * $b;
+    if (x > 100) { x = 100; } else { x = x + 1; }
+    wait();
+    $y = x;
+  } while (1);
+}
+|}
+
+let test_parse_design () =
+  let d = parse example_src in
+  Alcotest.(check string) "name" "t1" d.Ast.d_name;
+  Alcotest.(check int) "two inputs" 2 (List.length d.Ast.d_ins);
+  Alcotest.(check int) "one output" 1 (List.length d.Ast.d_outs);
+  Alcotest.(check (list string)) "design checks clean" [] (Check.run (Desugar.design d))
+
+let test_loop_attrs () =
+  let d = parse example_src in
+  let rec find = function
+    | Ast.Do_while (_, _, a) :: _ -> a
+    | _ :: rest -> find rest
+    | [] -> Alcotest.fail "no loop"
+  in
+  let a = find d.Ast.d_body in
+  Alcotest.(check string) "name" "m" a.Ast.l_name;
+  Alcotest.(check (option int)) "ii" (Some 2) a.Ast.l_ii;
+  Alcotest.(check int) "min latency" 1 a.Ast.l_min_latency;
+  Alcotest.(check int) "max latency" 4 a.Ast.l_max_latency
+
+let test_precedence () =
+  let d =
+    parse
+      {|design p { in a : 8; out y : 32; var x : 32;
+         x = 0; wait();
+         do { x = 1 + 2 * 3; wait(); $y = x; } while (1); }|}
+  in
+  (* behavioural evaluation settles precedence questions *)
+  let stim = Hls_sim.Stimulus.create ~n_iters:1 [ ("a", [| 0 |]) ] in
+  let r = Hls_sim.Behav.run d stim in
+  Alcotest.(check (list int)) "1 + 2*3 = 7" [ 7 ] (Hls_sim.Behav.port_values r "y")
+
+let test_ternary_and_slice () =
+  let d =
+    parse
+      {|design q { in a : 8; out y : 8; var x : 8;
+         x = 0; wait();
+         do { x = ($a > 0) ? $a : -$a; x = x[7:0]; wait(); $y = x; } while (1); }|}
+  in
+  let stim = Hls_sim.Stimulus.create ~n_iters:2 [ ("a", [| -5; 9 |]) ] in
+  let r = Hls_sim.Behav.run d stim in
+  Alcotest.(check (list int)) "abs" [ 5; 9 ] (Hls_sim.Behav.port_values r "y")
+
+let test_comments () =
+  let d =
+    parse
+      {|design c { // line comment
+         in a : 8; /* block
+                      comment */ out y : 8; var x : 8;
+         x = 0; wait(); do { x = $a; wait(); $y = x; } while (1); }|}
+  in
+  Alcotest.(check string) "parsed through comments" "c" d.Ast.d_name
+
+let test_for_loop () =
+  let d =
+    parse
+      {|design f { in a : 8; out y : 16; var x : 16; var i : 8;
+         x = 0; wait();
+         do { for (i = 0; i < 4; i++) [unroll] { x = x + $a; } wait(); $y = x; } while (1); }|}
+  in
+  let stim = Hls_sim.Stimulus.create ~n_iters:1 [ ("a", [| 3 |]) ] in
+  let r = Hls_sim.Behav.run d stim in
+  Alcotest.(check (list int)) "4 * 3" [ 12 ] (Hls_sim.Behav.port_values r "y")
+
+let test_error_reporting () =
+  (try
+     ignore (parse "design x { in a : 8; out y : 8;\n  y == 3;\n}");
+     Alcotest.fail "must reject"
+   with Parser.Error { line; _ } -> Alcotest.(check int) "error line" 2 line);
+  try
+    ignore (parse "design x { in a @ 8; }");
+    Alcotest.fail "must reject"
+  with Parser.Error _ | Lexer.Error _ -> ()
+
+let test_parser_dsl_agree () =
+  (* the same design through both frontends schedules identically *)
+  let parsed = parse example_src in
+  let via_dsl =
+    Dsl.(
+      design "t1"
+        ~ins:[ in_port "a" 8; in_port "b" 8 ]
+        ~outs:[ out_port "y" 16 ]
+        ~vars:[ var "x" 16 ]
+        [
+          "x" := int 0;
+          wait;
+          do_while ~name:"m" ~min_latency:1 ~max_latency:4 ~ii:2
+            [
+              "x" := v "x" +: (port "a" *: port "b");
+              if_ (v "x" >: int 100) [ "x" := int 100 ] [ "x" := v "x" +: int 1 ];
+              wait;
+              write "y" (v "x");
+            ]
+            (int 1);
+        ])
+  in
+  let stim = Hls_sim.Stimulus.small_random ~seed:21 ~n_iters:25 ~ports:parsed.Ast.d_ins in
+  let a = Hls_sim.Behav.run parsed stim and b = Hls_sim.Behav.run via_dsl stim in
+  Alcotest.(check (list int)) "same outputs" (Hls_sim.Behav.port_values a "y")
+    (Hls_sim.Behav.port_values b "y")
+
+let suite =
+  [
+    Alcotest.test_case "parse design" `Quick test_parse_design;
+    Alcotest.test_case "loop attributes" `Quick test_loop_attrs;
+    Alcotest.test_case "precedence" `Quick test_precedence;
+    Alcotest.test_case "ternary and slice" `Quick test_ternary_and_slice;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "for loop" `Quick test_for_loop;
+    Alcotest.test_case "error reporting" `Quick test_error_reporting;
+    Alcotest.test_case "parser agrees with DSL" `Quick test_parser_dsl_agree;
+  ]

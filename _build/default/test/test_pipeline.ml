@@ -1,0 +1,89 @@
+(** Pipeline folding: kernel structure, invariant validation, the Fig. 5
+    rendering, and a property check over random pipelined designs. *)
+
+(* Hls_ir opened via qualified paths *)
+open Hls_core
+
+let lib = Hls_techlib.Library.artisan90
+
+let schedule ?ii design =
+  let e = Hls_frontend.Elaborate.design design in
+  let region = Hls_frontend.Elaborate.main_region ?ii e in
+  match Scheduler.schedule ~lib ~clock_ps:1600.0 region with
+  | Ok s -> s
+  | Error err -> Alcotest.failf "schedule failed: %s" err.Scheduler.e_message
+
+let test_fig5_fold () =
+  (* Example 1 at II=2, LI=3: two stages, kernel of two states *)
+  let s = schedule ~ii:2 (Hls_designs.Example1.design ()) in
+  let f = Pipeline.fold s in
+  Alcotest.(check int) "II = 2 kernel states" 2 f.Pipeline.f_ii;
+  Alcotest.(check int) "two stages" 2 f.Pipeline.f_stages;
+  Alcotest.(check (list string)) "fold invariants hold" [] (Pipeline.validate s f);
+  (* every placed op folds to (step mod 2, step / 2) *)
+  Hashtbl.iter
+    (fun op pl ->
+      match Pipeline.kernel_state f op with
+      | Some (st, sg) ->
+          Alcotest.(check int) "kernel state" (pl.Binding.pl_step mod 2) st;
+          Alcotest.(check int) "stage" (pl.Binding.pl_step / 2) sg
+      | None -> Alcotest.fail "placed op missing from fold")
+    s.Scheduler.s_binding.Binding.placements
+
+let test_sequential_identity_fold () =
+  let s = schedule (Hls_designs.Example1.design ~max_latency:3 ()) in
+  let f = Pipeline.fold s in
+  Alcotest.(check int) "kernel = all states" s.Scheduler.s_li f.Pipeline.f_ii;
+  Alcotest.(check int) "single stage" 1 f.Pipeline.f_stages;
+  Alcotest.(check (list string)) "valid" [] (Pipeline.validate s f)
+
+let test_fig5_table () =
+  let s = schedule ~ii:2 (Hls_designs.Example1.design ()) in
+  let f = Pipeline.fold s in
+  let table = Pipeline.to_table s f in
+  (* header + II rows *)
+  Alcotest.(check int) "rows" 3 (List.length table);
+  Alcotest.(check int) "columns = stages + 1" 3 (List.length (List.hd table));
+  (* the mul3/pixel_write stage content appears in stage 2 *)
+  let flat = String.concat "|" (List.concat (List.tl table)) in
+  Alcotest.(check bool) "pixel write folded into a kernel cell" true
+    (String.length flat > 0)
+
+let test_ii1_fold () =
+  let s = schedule ~ii:1 (Hls_designs.Example1.design ()) in
+  let f = Pipeline.fold s in
+  Alcotest.(check int) "single kernel state" 1 f.Pipeline.f_ii;
+  Alcotest.(check int) "stages = LI" s.Scheduler.s_li f.Pipeline.f_stages;
+  Alcotest.(check (list string)) "valid" [] (Pipeline.validate s f)
+
+(* property: folding any scheduled pipelined synthetic design keeps the
+   invariants *)
+let prop_fold_valid =
+  QCheck.Test.make ~name:"fold invariants on random pipelined designs" ~count:12
+    QCheck.(pair (int_range 1 1000) (int_range 1 3))
+    (fun (seed, ii) ->
+      let profile =
+        {
+          Hls_designs.Synthetic.default_profile with
+          Hls_designs.Synthetic.p_ops = 40 + (seed mod 40);
+          p_seed = seed;
+          p_tightness = 0.3;
+        }
+      in
+      let d = Hls_designs.Synthetic.design ~profile () in
+      let e = Hls_frontend.Elaborate.design d in
+      let region = Hls_frontend.Elaborate.main_region ~ii e in
+      match Scheduler.schedule ~lib ~clock_ps:1600.0 region with
+      | Error _ -> QCheck.assume_fail () (* some II/design pairs are infeasible *)
+      | Ok s ->
+          let f = Pipeline.fold s in
+          Pipeline.validate s f = [])
+
+let suite =
+  [
+    Alcotest.test_case "Fig. 5 fold (II=2)" `Quick test_fig5_fold;
+    Alcotest.test_case "sequential identity fold" `Quick test_sequential_identity_fold;
+    Alcotest.test_case "Fig. 5 table" `Quick test_fig5_table;
+    Alcotest.test_case "II=1 fold" `Quick test_ii1_fold;
+    QCheck_alcotest.to_alcotest prop_fold_valid;
+  ]

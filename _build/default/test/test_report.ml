@@ -1,0 +1,85 @@
+(** Reporting utilities: tables, plots, CSV, Pareto fronts. *)
+
+let test_table_render () =
+  let s = Hls_report.Table.render ~title:"t" [ [ "a"; "b" ]; [ "1"; "22" ]; [ "333"; "4" ] ] in
+  Alcotest.(check bool) "contains title" true (String.length s > 0 && s.[0] = 't');
+  (* all data rows present *)
+  List.iter
+    (fun needle ->
+      let contains =
+        let nl = String.length needle and sl = String.length s in
+        let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("contains " ^ needle) true contains)
+    [ "333"; "22" ]
+
+let test_table_ragged_rows () =
+  (* missing cells render as blanks, not exceptions *)
+  let s = Hls_report.Table.render [ [ "a"; "b"; "c" ]; [ "1" ] ] in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_plot_render () =
+  let s =
+    Hls_report.Plot.render ~title:"p" ~x_label:"x" ~y_label:"y"
+      [ Hls_report.Plot.series "s" [ (1.0, 1.0); (2.0, 4.0); (3.0, 9.0) ] ]
+  in
+  Alcotest.(check bool) "has legend" true
+    (let needle = "* = s" in
+     let nl = String.length needle and sl = String.length s in
+     let rec go i = i + nl <= sl && (String.sub s i nl = needle || go (i + 1)) in
+     go 0)
+
+let test_plot_empty () =
+  let s = Hls_report.Plot.render ~title:"e" ~x_label:"x" ~y_label:"y" [] in
+  Alcotest.(check bool) "no data message" true (String.length s > 0)
+
+let test_csv () =
+  let s = Hls_report.Csv.render [ [ "a"; "b,c" ]; [ "d\"e"; "f" ] ] in
+  Alcotest.(check string) "escaping" "a,\"b,c\"\n\"d\"\"e\",f\n" s
+
+let test_pareto_front () =
+  let open Hls_report.Pareto in
+  let pts =
+    [ point ~x:1.0 ~y:10.0 "a"; point ~x:2.0 ~y:5.0 "b"; point ~x:3.0 ~y:6.0 "c";
+      point ~x:4.0 ~y:1.0 "d" ]
+  in
+  let f = front_tags pts in
+  Alcotest.(check (list string)) "dominated c removed" [ "a"; "b"; "d" ] f
+
+let prop_front_not_dominated =
+  QCheck.Test.make ~name:"no front point is dominated" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun raw ->
+      let pts = List.mapi (fun i (x, y) -> Hls_report.Pareto.point ~x ~y i) raw in
+      let f = Hls_report.Pareto.front pts in
+      List.for_all
+        (fun p -> not (List.exists (fun q -> Hls_report.Pareto.dominates q p) pts))
+        f)
+
+let prop_front_covers =
+  QCheck.Test.make ~name:"every point is dominated by some front point or on it" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) (pair (float_bound_inclusive 100.0) (float_bound_inclusive 100.0)))
+    (fun raw ->
+      let pts = List.mapi (fun i (x, y) -> Hls_report.Pareto.point ~x ~y i) raw in
+      let f = Hls_report.Pareto.front pts in
+      List.for_all
+        (fun p ->
+          List.exists
+            (fun q ->
+              q.Hls_report.Pareto.p_tag = p.Hls_report.Pareto.p_tag
+              || Hls_report.Pareto.dominates q p)
+            f)
+        pts)
+
+let suite =
+  [
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table ragged rows" `Quick test_table_ragged_rows;
+    Alcotest.test_case "plot render" `Quick test_plot_render;
+    Alcotest.test_case "plot empty" `Quick test_plot_empty;
+    Alcotest.test_case "csv escaping" `Quick test_csv;
+    Alcotest.test_case "pareto front" `Quick test_pareto_front;
+    QCheck_alcotest.to_alcotest prop_front_not_dominated;
+    QCheck_alcotest.to_alcotest prop_front_covers;
+  ]

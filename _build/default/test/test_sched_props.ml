@@ -1,0 +1,139 @@
+(** Schedule validity properties over random synthetic designs: every
+    invariant the generated hardware depends on, checked on whatever the
+    scheduler produces. *)
+
+open Hls_ir
+open Hls_core
+
+let lib = Hls_techlib.Library.artisan90
+
+(** All invariants of a successful schedule:
+    - every region member is placed within [0, LI);
+    - dependencies are ordered (same-step chaining allowed for
+      single-cycle producers; multi-cycle producers finish strictly
+      earlier);
+    - loop-carried edges satisfy the modulo constraint;
+    - no two ops share an instance on equivalent steps unless their guards
+      are mutually exclusive;
+    - the accurate netlist view reports no negative endpoint slack;
+    - folding invariants hold. *)
+let check_schedule (region : Region.t) (s : Scheduler.t) =
+  let dfg = region.Region.dfg in
+  let li = s.Scheduler.s_li in
+  let ii = Region.ii region in
+  let binding = s.Scheduler.s_binding in
+  let ok = ref true in
+  let fail _msg = ok := false in
+  List.iter
+    (fun op ->
+      match Binding.placement binding op.Dfg.id with
+      | None -> fail "unplaced member"
+      | Some pl ->
+          if pl.Binding.pl_step < 0 || pl.Binding.pl_finish > li - 1 then fail "out of range")
+    (Region.member_ops region);
+  (* dependency ordering *)
+  Dfg.iter_ops dfg (fun op ->
+      List.iter
+        (fun e ->
+          if Region.mem region e.Dfg.src && Region.mem region e.Dfg.dst then
+            match (Binding.placement binding e.Dfg.src, Binding.placement binding e.Dfg.dst) with
+            | Some sp, Some dp ->
+                if e.Dfg.distance = 0 then begin
+                  let p_op = Dfg.find dfg e.Dfg.src in
+                  let min_step =
+                    if Hls_techlib.Library.op_latency lib p_op.Dfg.kind > 1 then
+                      sp.Binding.pl_finish + 1
+                    else sp.Binding.pl_finish
+                  in
+                  if dp.Binding.pl_step < min_step then fail "dependency order"
+                end
+                else if dp.Binding.pl_step < sp.Binding.pl_finish - (e.Dfg.distance * ii) + 1 then
+                  fail "modulo constraint"
+            | _ -> ())
+        (Dfg.in_edges dfg op.Dfg.id));
+  (* busy discipline on equivalence classes *)
+  List.iter
+    (fun (inst : Binding.inst) ->
+      let by_slot = Hashtbl.create 8 in
+      List.iter
+        (fun o ->
+          match Binding.placement binding o with
+          | Some pl ->
+              for st = pl.Binding.pl_step to pl.Binding.pl_finish do
+                let slot = if Region.is_pipelined region then st mod ii else st in
+                let prev = Option.value (Hashtbl.find_opt by_slot slot) ~default:[] in
+                List.iter
+                  (fun o' ->
+                    if
+                      not
+                        (Guard.mutually_exclusive (Dfg.find dfg o).Dfg.guard
+                           (Dfg.find dfg o').Dfg.guard)
+                    then fail "slot collision")
+                  prev;
+                Hashtbl.replace by_slot slot (o :: prev)
+              done
+          | None -> ())
+        inst.Binding.bound)
+    binding.Binding.insts;
+  (* accurate timing is met *)
+  if Binding.worst_slack binding < -0.001 then fail "negative slack";
+  (* folding invariants *)
+  let f = Pipeline.fold s in
+  if Pipeline.validate s f <> [] then fail "fold invariants";
+  !ok
+
+let prop_random_designs pipelined =
+  QCheck.Test.make
+    ~name:
+      (if pipelined then "pipelined schedules satisfy all invariants"
+       else "sequential schedules satisfy all invariants")
+    ~count:15
+    QCheck.(int_range 1 10000)
+    (fun seed ->
+      let profile =
+        {
+          Hls_designs.Synthetic.default_profile with
+          Hls_designs.Synthetic.p_ops = 30 + (seed mod 60);
+          p_seed = seed;
+          p_tightness = 0.2 +. (float_of_int (seed mod 5) /. 10.0);
+          p_accumulators = 1 + (seed mod 2);
+        }
+      in
+      let d = Hls_designs.Synthetic.design ~profile () in
+      let e = Hls_frontend.Elaborate.design d in
+      let ii = if pipelined then Some (1 + (seed mod 3)) else None in
+      let region = Hls_frontend.Elaborate.main_region ?ii e in
+      match Scheduler.schedule ~lib ~clock_ps:1600.0 region with
+      | Error _ -> QCheck.assume_fail () (* infeasible II/clock combinations *)
+      | Ok s -> check_schedule region s)
+
+let prop_equivalence_random =
+  QCheck.Test.make ~name:"random designs simulate equivalently" ~count:10
+    QCheck.(int_range 1 10000)
+    (fun seed ->
+      let profile =
+        {
+          Hls_designs.Synthetic.default_profile with
+          Hls_designs.Synthetic.p_ops = 30 + (seed mod 40);
+          p_seed = seed;
+        }
+      in
+      let d = Hls_designs.Synthetic.design ~profile () in
+      let e = Hls_frontend.Elaborate.design d in
+      let region = Hls_frontend.Elaborate.main_region e in
+      match Scheduler.schedule ~lib ~clock_ps:1600.0 region with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok s ->
+          let stim =
+            Hls_sim.Stimulus.small_random ~seed ~n_iters:15 ~ports:d.Hls_frontend.Ast.d_ins
+          in
+          let golden = Hls_sim.Behav.run d stim in
+          let sim = Hls_sim.Schedule_sim.run e s stim in
+          (Hls_sim.Equiv.check ~out_ports:d.Hls_frontend.Ast.d_outs golden sim).Hls_sim.Equiv.equivalent)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest (prop_random_designs false);
+    QCheck_alcotest.to_alcotest (prop_random_designs true);
+    QCheck_alcotest.to_alcotest prop_equivalence_random;
+  ]

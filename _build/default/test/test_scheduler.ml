@@ -1,0 +1,201 @@
+(** The scheduler on the paper's worked examples: Table 2 is reproduced
+    exactly, the pipelined variants match Examples 2 and 3, and the
+    relaxation engine behaves as narrated. *)
+
+open Hls_ir
+open Hls_core
+
+let lib = Hls_techlib.Library.artisan90
+let clock = 1600.0
+
+(* follow the paper's narrative: start from the designer's latency lower
+   bound, not the resource-implied floor *)
+let narrative_opts = { Scheduler.default_options with seed_latency_floor = false }
+
+let schedule_example1 ?ii ?(min_latency = 1) ?(max_latency = 3) () =
+  let e = Hls_designs.Example1.elaborated ~min_latency ~max_latency ?ii () in
+  let region = Hls_frontend.Elaborate.main_region e in
+  match Scheduler.schedule ~opts:narrative_opts ~lib ~clock_ps:clock region with
+  | Ok s -> (e, s)
+  | Error err -> Alcotest.failf "schedule failed: %s" err.Scheduler.e_message
+
+let kind_of (e : Hls_frontend.Elaborate.t) id =
+  (Dfg.find e.Hls_frontend.Elaborate.cdfg.Cdfg.dfg id).Dfg.kind
+
+let step_of_kind e s k =
+  let matches =
+    Hashtbl.fold
+      (fun id pl acc -> if kind_of e id = k then (id, pl.Binding.pl_step) :: acc else acc)
+      s.Scheduler.s_binding.Binding.placements []
+  in
+  List.sort compare (List.map snd matches)
+
+let test_table2_sequential () =
+  let e, s = schedule_example1 () in
+  (* Table 2: three states, minimum resources *)
+  Alcotest.(check int) "LI = 3" 3 s.Scheduler.s_li;
+  (* one multiplier instance only *)
+  let muls =
+    List.filter
+      (fun (i : Binding.inst) ->
+        i.Binding.rtype.Hls_techlib.Resource.rclass = Opkind.R_mul && i.Binding.bound <> [])
+      s.Scheduler.s_binding.Binding.insts
+  in
+  Alcotest.(check int) "single multiplier" 1 (List.length muls);
+  Alcotest.(check int) "it executes all three multiplications" 3
+    (List.length (List.hd muls).Binding.bound);
+  (* placements per Table 2: muls in s1/s2/s3, add&neq in s1, gt&mux in s2 *)
+  Alcotest.(check (list int)) "muls one per state" [ 0; 1; 2 ]
+    (step_of_kind e s (Opkind.Bin Opkind.Mul));
+  Alcotest.(check (list int)) "add in s1" [ 0 ] (step_of_kind e s (Opkind.Bin Opkind.Add));
+  Alcotest.(check (list int)) "neq in s1" [ 0 ] (step_of_kind e s (Opkind.Bin Opkind.Neq));
+  Alcotest.(check (list int)) "gt in s2" [ 1 ] (step_of_kind e s (Opkind.Bin Opkind.Gt));
+  Alcotest.(check (list int)) "mux in s2" [ 1 ] (step_of_kind e s Opkind.Mux);
+  (* the narrative: two add_state relaxations (latency 1 -> 3) *)
+  Alcotest.(check int) "three passes" 3 s.Scheduler.s_passes;
+  Alcotest.(check bool) "non-negative final slack" true
+    (Binding.worst_slack s.Scheduler.s_binding >= 0.0)
+
+let test_example2_ii2 () =
+  let _, s = schedule_example1 ~ii:2 ~max_latency:4 () in
+  Alcotest.(check int) "LI = 3" 3 s.Scheduler.s_li;
+  let muls =
+    List.filter
+      (fun (i : Binding.inst) ->
+        i.Binding.rtype.Hls_techlib.Resource.rclass = Opkind.R_mul && i.Binding.bound <> [])
+      s.Scheduler.s_binding.Binding.insts
+  in
+  (* "two mul resources must be created" *)
+  Alcotest.(check int) "two multipliers" 2 (List.length muls);
+  (* the SCC stays in stage 0 and the schedule succeeds first pass,
+     "illustrating the uniformity of the approach" *)
+  Alcotest.(check int) "single pass" 1 s.Scheduler.s_passes;
+  List.iter
+    (fun (_, stage) -> Alcotest.(check int) "SCC in stage 0" 0 stage)
+    s.Scheduler.s_scc_stages
+
+let test_example3_ii1 () =
+  let _, s = schedule_example1 ~ii:1 ~max_latency:4 () in
+  Alcotest.(check int) "LI = 3" 3 s.Scheduler.s_li;
+  let muls =
+    List.filter
+      (fun (i : Binding.inst) ->
+        i.Binding.rtype.Hls_techlib.Resource.rclass = Opkind.R_mul && i.Binding.bound <> [])
+      s.Scheduler.s_binding.Binding.insts
+  in
+  (* "no resource is shareable ... hence 3 multipliers" *)
+  Alcotest.(check int) "three multipliers" 3 (List.length muls);
+  List.iter
+    (fun (i : Binding.inst) ->
+      Alcotest.(check int) "one op each" 1 (List.length i.Binding.bound))
+    muls;
+  (* the novel action: the SCC was moved to the second stage *)
+  Alcotest.(check bool) "a move_scc action was applied" true
+    (List.exists
+       (fun a -> String.length a >= 8 && String.sub a 0 8 = "move_scc")
+       s.Scheduler.s_actions);
+  List.iter
+    (fun (_, stage) -> Alcotest.(check int) "SCC in stage 1 (state s2)" 1 stage)
+    s.Scheduler.s_scc_stages
+
+let test_overconstrained_fails_cleanly () =
+  (* latency pinned to 1 state: the paper's first pass outcome, with no
+     room to relax *)
+  let e = Hls_designs.Example1.elaborated ~min_latency:1 ~max_latency:1 () in
+  let region = Hls_frontend.Elaborate.main_region e in
+  match Scheduler.schedule ~lib ~clock_ps:clock region with
+  | Ok _ -> Alcotest.fail "1-state example1 at 1600 ps must be infeasible"
+  | Error err ->
+      Alcotest.(check bool) "error mentions constraint" true
+        (err.Scheduler.e_message <> "");
+      Alcotest.(check bool) "restraints recorded" true (err.Scheduler.e_restraints <> [])
+
+let test_relaxed_clock_shares_multiplier () =
+  (* a slow clock does not change the minimal-resource outcome: three
+     multiplications still share one multiplier over three states, but the
+     deep chains now fit each state comfortably *)
+  let e = Hls_designs.Example1.elaborated ~min_latency:1 ~max_latency:3 () in
+  let region = Hls_frontend.Elaborate.main_region e in
+  match Scheduler.schedule ~lib ~clock_ps:6000.0 region with
+  | Ok s ->
+      Alcotest.(check int) "LI = 3 (one multiplier)" 3 s.Scheduler.s_li;
+      Alcotest.(check bool) "ample slack" true (Binding.worst_slack s.Scheduler.s_binding > 1000.0)
+  | Error err -> Alcotest.failf "must fit: %s" err.Scheduler.e_message
+
+let test_anchor_respected () =
+  let open Hls_frontend.Dsl in
+  let d =
+    design "anch" ~ins:[ in_port "a" 8 ] ~outs:[ out_port "y" 16 ] ~vars:[ var "x" 16 ]
+      [
+        "x" := int 0;
+        wait;
+        do_while ~min_latency:2 ~max_latency:4
+          [ "x" := port "a" *: port "a"; wait; write "y" (v "x") ]
+          (int 1);
+      ]
+  in
+  let e = Hls_frontend.Elaborate.design ~timed:true d in
+  let region = Hls_frontend.Elaborate.main_region e in
+  match Scheduler.schedule ~lib ~clock_ps:1600.0 region with
+  | Ok s ->
+      let dfg = e.Hls_frontend.Elaborate.cdfg.Cdfg.dfg in
+      Hashtbl.iter
+        (fun id pl ->
+          match (Dfg.find dfg id).Dfg.anchor with
+          | Some a -> Alcotest.(check int) "anchored op at its step" a pl.Binding.pl_step
+          | None -> ())
+        s.Scheduler.s_binding.Binding.placements
+  | Error err -> Alcotest.failf "timed schedule failed: %s" err.Scheduler.e_message
+
+let test_all_members_placed () =
+  let e, s = schedule_example1 ~ii:2 ~max_latency:4 () in
+  let region = s.Scheduler.s_region in
+  ignore e;
+  List.iter
+    (fun op ->
+      Alcotest.(check bool)
+        (Printf.sprintf "op %d placed" op.Dfg.id)
+        true
+        (Binding.placement s.Scheduler.s_binding op.Dfg.id <> None))
+    (Region.member_ops region)
+
+let test_busy_exclusivity () =
+  (* two ops on the same instance in one step only with exclusive guards *)
+  let e, s = schedule_example1 () in
+  let dfg = e.Hls_frontend.Elaborate.cdfg.Cdfg.dfg in
+  List.iter
+    (fun (i : Binding.inst) ->
+      let by_step = Hashtbl.create 4 in
+      List.iter
+        (fun o ->
+          match Binding.placement s.Scheduler.s_binding o with
+          | Some pl ->
+              let prev = Option.value (Hashtbl.find_opt by_step pl.Binding.pl_step) ~default:[] in
+              List.iter
+                (fun o' ->
+                  Alcotest.(check bool) "same-slot ops are exclusive" true
+                    (Guard.mutually_exclusive (Dfg.find dfg o).Dfg.guard (Dfg.find dfg o').Dfg.guard))
+                prev;
+              Hashtbl.replace by_step pl.Binding.pl_step (o :: prev)
+          | None -> ())
+        i.Binding.bound)
+    s.Scheduler.s_binding.Binding.insts
+
+let test_table_rendering () =
+  let _, s = schedule_example1 () in
+  let table = Scheduler.to_table s in
+  Alcotest.(check bool) "has header plus rows" true (List.length table > 3);
+  Alcotest.(check int) "columns = states + 1" 4 (List.length (List.hd table))
+
+let suite =
+  [
+    Alcotest.test_case "Table 2: sequential schedule" `Quick test_table2_sequential;
+    Alcotest.test_case "Example 2: II=2" `Quick test_example2_ii2;
+    Alcotest.test_case "Example 3: II=1 moves the SCC" `Quick test_example3_ii1;
+    Alcotest.test_case "overconstrained fails cleanly" `Quick test_overconstrained_fails_cleanly;
+    Alcotest.test_case "slow clock shares the multiplier" `Quick test_relaxed_clock_shares_multiplier;
+    Alcotest.test_case "anchors respected" `Quick test_anchor_respected;
+    Alcotest.test_case "all members placed" `Quick test_all_members_placed;
+    Alcotest.test_case "busy slots honour exclusivity" `Quick test_busy_exclusivity;
+    Alcotest.test_case "table rendering" `Quick test_table_rendering;
+  ]

@@ -1,0 +1,59 @@
+(** Width arithmetic: unit cases plus truncation algebra properties. *)
+
+open Hls_ir
+
+let test_bits_for_signed () =
+  Alcotest.(check int) "0 needs 1 bit" 1 (Width.bits_for_signed 0);
+  Alcotest.(check int) "1 needs 2 bits" 2 (Width.bits_for_signed 1);
+  Alcotest.(check int) "-1 needs 1 bit" 1 (Width.bits_for_signed (-1));
+  Alcotest.(check int) "127 needs 8 bits" 8 (Width.bits_for_signed 127);
+  Alcotest.(check int) "128 needs 9 bits" 9 (Width.bits_for_signed 128);
+  Alcotest.(check int) "-128 needs 8 bits" 8 (Width.bits_for_signed (-128));
+  Alcotest.(check int) "-129 needs 9 bits" 9 (Width.bits_for_signed (-129))
+
+let test_truncate () =
+  Alcotest.(check int) "255 in 8 bits is -1" (-1) (Width.truncate ~width:8 255);
+  Alcotest.(check int) "127 in 8 bits stays" 127 (Width.truncate ~width:8 127);
+  Alcotest.(check int) "256 in 8 bits wraps to 0" 0 (Width.truncate ~width:8 256);
+  Alcotest.(check int) "-1 in 4 bits stays" (-1) (Width.truncate ~width:4 (-1));
+  Alcotest.(check int) "8 in 4 bits is -8" (-8) (Width.truncate ~width:4 8)
+
+let test_result_rules () =
+  Alcotest.(check int) "add grows one bit" 17 (Width.add_result 16 16);
+  Alcotest.(check int) "mul adds widths" 32 (Width.mul_result 16 16);
+  Alcotest.(check int) "mul clamps at max" Width.max_width (Width.mul_result 40 40);
+  Alcotest.(check int) "bitwise takes max" 24 (Width.bitwise_result 24 16);
+  Alcotest.(check int) "shr keeps width" 16 (Width.shr_result 16 4)
+
+let test_fits () =
+  Alcotest.(check bool) "127 fits 8" true (Width.fits ~width:8 127);
+  Alcotest.(check bool) "128 does not fit 8" false (Width.fits ~width:8 128);
+  Alcotest.(check bool) "-128 fits 8" true (Width.fits ~width:8 (-128))
+
+let prop_truncate_idempotent =
+  QCheck.Test.make ~name:"truncate is idempotent" ~count:500
+    QCheck.(pair (int_range 1 40) int)
+    (fun (w, v) ->
+      let t = Width.truncate ~width:w v in
+      Width.truncate ~width:w t = t)
+
+let prop_truncate_fits =
+  QCheck.Test.make ~name:"truncated value fits its width" ~count:500
+    QCheck.(pair (int_range 1 40) int)
+    (fun (w, v) -> Width.fits ~width:w (Width.truncate ~width:w v))
+
+let prop_bits_roundtrip =
+  QCheck.Test.make ~name:"value fits in bits_for_signed of itself" ~count:500
+    QCheck.(int_range (-1000000) 1000000)
+    (fun v -> Width.fits ~width:(Width.bits_for_signed v) v)
+
+let suite =
+  [
+    Alcotest.test_case "bits_for_signed" `Quick test_bits_for_signed;
+    Alcotest.test_case "truncate" `Quick test_truncate;
+    Alcotest.test_case "result rules" `Quick test_result_rules;
+    Alcotest.test_case "fits" `Quick test_fits;
+    QCheck_alcotest.to_alcotest prop_truncate_idempotent;
+    QCheck_alcotest.to_alcotest prop_truncate_fits;
+    QCheck_alcotest.to_alcotest prop_bits_roundtrip;
+  ]
