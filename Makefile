@@ -1,0 +1,25 @@
+.PHONY: all build test faults check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# just the fault-injection suite (degraded libraries, malformed designs,
+# exhausted budgets, degradation-ladder acceptance)
+faults:
+	dune exec test/test_main.exe -- test faults
+
+# the one target CI needs: everything builds (lib/diag and lib/check with
+# warnings-as-errors, see their dune files), the full suite passes, and
+# the fault suite is re-run on its own so its output is visible
+check: build test faults
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -76,7 +76,7 @@ let table3 () =
     match Hls_flow.Flow.run ~options (Hls_designs.Example1.design ()) with
     | Ok r -> (name, r.Hls_flow.Flow.f_cycles_per_iter, r.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total,
                (match r.Hls_flow.Flow.f_equiv with Some v -> v.Hls_sim.Equiv.equivalent | None -> false))
-    | Error e -> failwith (name ^ ": " ^ e.Hls_flow.Flow.err_message)
+    | Error e -> failwith (name ^ ": " ^ Hls_diag.Diag.to_string e)
   in
   let rows =
     [ run "Sequential (S)" None; run "Pipe II=2 (P2)" (Some 2); run "Pipe II=1 (P1)" (Some 1) ]
@@ -137,7 +137,7 @@ let table4 () =
         let pb = b.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total in
         Some (name, pa, pb, (pb -. pa) /. pa *. 100.0, b.Hls_flow.Flow.f_area.Hls_rtl.Stats.wns)
     | Error e, _ | _, Error e ->
-        Printf.printf "  (%s skipped: %s)\n" name e.Hls_flow.Flow.err_message;
+        Printf.printf "  (%s skipped: %s)\n" name (Hls_diag.Diag.to_string e);
         None
   in
   let rows = List.filter_map penalty (table4_designs ()) in

@@ -40,12 +40,24 @@ let load_design name =
       if Filename.check_suffix name ".bhv" then
         if Sys.file_exists name then
           try Ok (Parser.parse_file name) with
-          | Parser.Error { line; message } ->
+          | Parser.Error { line; message } | Lexer.Error { line; message } ->
               Error (Printf.sprintf "%s:%d: %s" name line message)
+          | Sys_error m -> Error m
         else Error (Printf.sprintf "no such file: %s" name)
       else
         Error
           (Printf.sprintf "unknown design '%s' (try 'hlsc designs' or pass a .bhv file)" name)
+
+(** Run a command body under a catch-all: a bad input file or an internal
+    fault exits with code 1 and a one-line diagnostic, never a backtrace. *)
+let guarded f =
+  try f () with
+  | Parser.Error { line; message } | Lexer.Error { line; message } ->
+      prerr_endline (Printf.sprintf "hlsc: line %d: %s" line message);
+      exit 1
+  | Desugar.Error m | Failure m | Invalid_argument m | Sys_error m ->
+      prerr_endline ("hlsc: " ^ m);
+      exit 1
 
 (* ---- common args ---- *)
 
@@ -83,7 +95,38 @@ let or_die = function
       prerr_endline ("hlsc: " ^ m);
       exit 1
 
-let flow_result ~ii ~clock ~latency ~optimize ~trace design_name =
+(* ---- robustness flags ---- *)
+
+type robust = {
+  diag_json : bool;
+  paranoid : bool;
+  max_passes : int option;
+  timeout : float option;
+  no_degrade : bool;
+}
+
+let robust_term =
+  let diag_json =
+    Arg.(value & flag & info [ "diag-json" ] ~doc:"On failure, print the diagnostic as a JSON object on stderr.")
+  in
+  let paranoid =
+    Arg.(value & flag & info [ "paranoid" ] ~doc:"Audit every schedule with the post-schedule validator.")
+  in
+  let max_passes =
+    Arg.(value & opt (some int) None & info [ "max-passes" ] ~docv:"N" ~doc:"Relaxation pass budget (default 200).")
+  in
+  let timeout =
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC" ~doc:"Wall-clock scheduling budget in seconds.")
+  in
+  let no_degrade =
+    Arg.(value & flag & info [ "no-degrade" ] ~doc:"Fail on an overconstrained specification instead of walking the degradation ladder.")
+  in
+  Term.(
+    const (fun diag_json paranoid max_passes timeout no_degrade ->
+        { diag_json; paranoid; max_passes; timeout; no_degrade })
+    $ diag_json $ paranoid $ max_passes $ timeout $ no_degrade)
+
+let flow_result ~ii ~clock ~latency ~optimize ~trace ~robust design_name =
   let design = or_die (load_design design_name) in
   let min_latency, max_latency = or_die (parse_latency latency) in
   let design =
@@ -91,14 +134,42 @@ let flow_result ~ii ~clock ~latency ~optimize ~trace design_name =
     else design
   in
   ignore optimize;
+  let sched =
+    {
+      Hls_core.Scheduler.default_options with
+      max_passes =
+        Option.value robust.max_passes
+          ~default:Hls_core.Scheduler.default_options.Hls_core.Scheduler.max_passes;
+      timeout_s = robust.timeout;
+    }
+  in
   let options =
-    { Hls_flow.Flow.default_options with ii; clock_ps = clock; min_latency; max_latency }
+    {
+      Hls_flow.Flow.default_options with
+      ii;
+      clock_ps = clock;
+      min_latency;
+      max_latency;
+      sched;
+      degrade = not robust.no_degrade;
+      paranoid = robust.paranoid;
+    }
   in
   let trace_obj = if trace then Some (Hls_core.Trace.create ~echo:true ()) else None in
+  let trace_summary () =
+    Option.iter (fun t -> prerr_endline ("trace: " ^ Hls_core.Trace.summary t)) trace_obj
+  in
   match Hls_flow.Flow.run ~options ?trace:trace_obj design with
-  | Ok r -> r
-  | Error e ->
-      prerr_endline (Printf.sprintf "hlsc: [%s] %s" e.Hls_flow.Flow.err_phase e.Hls_flow.Flow.err_message);
+  | Ok r ->
+      trace_summary ();
+      List.iter
+        (fun n -> prerr_endline ("hlsc: " ^ Hls_diag.Diag.to_string n))
+        r.Hls_flow.Flow.f_notes;
+      r
+  | Error d ->
+      trace_summary ();
+      if robust.diag_json then prerr_endline (Hls_diag.Diag.to_json d)
+      else prerr_endline ("hlsc: " ^ Hls_diag.Diag.to_string d);
       exit 1
 
 (* ---- commands ---- *)
@@ -114,6 +185,7 @@ let designs_cmd =
 let compile_cmd =
   let doc = "Elaborate a design and summarize its CDFG." in
   let run name optimize =
+    guarded @@ fun () ->
     let design = or_die (load_design name) in
     match Elaborate.design design with
     | exception Desugar.Error m -> prerr_endline ("hlsc: " ^ m); exit 1
@@ -154,29 +226,32 @@ let compile_cmd =
 
 let schedule_cmd =
   let doc = "Schedule and bind a design; print the resource/state table." in
-  let run name ii clock latency trace optimize =
-    let r = flow_result ~ii ~clock ~latency ~optimize ~trace name in
+  let run name ii clock latency trace optimize robust =
+    guarded @@ fun () ->
+    let r = flow_result ~ii ~clock ~latency ~optimize ~trace ~robust name in
     Hls_report.Table.print (Hls_core.Scheduler.to_table r.Hls_flow.Flow.f_sched);
     Printf.printf "%s\n" (Hls_flow.Flow.summary r);
     List.iter (Printf.printf "  relaxation: %s\n") r.Hls_flow.Flow.f_sched.Hls_core.Scheduler.s_actions
   in
   Cmd.v (Cmd.info "schedule" ~doc)
-    Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg)
+    Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term)
 
 let pipeline_cmd =
   let doc = "Schedule, fold and print the pipeline kernel (the Fig. 5 view)." in
-  let run name ii clock latency trace optimize =
-    let r = flow_result ~ii ~clock ~latency ~optimize ~trace name in
+  let run name ii clock latency trace optimize robust =
+    guarded @@ fun () ->
+    let r = flow_result ~ii ~clock ~latency ~optimize ~trace ~robust name in
     Hls_report.Table.print (Hls_core.Pipeline.to_table r.Hls_flow.Flow.f_sched r.Hls_flow.Flow.f_fold);
     Printf.printf "%s\n" (Hls_flow.Flow.summary r)
   in
   Cmd.v (Cmd.info "pipeline" ~doc)
-    Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg)
+    Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term)
 
 let flow_cmd =
   let doc = "Run the full flow: schedule, fold, area/power, verification." in
-  let run name ii clock latency trace optimize =
-    let r = flow_result ~ii ~clock ~latency ~optimize ~trace name in
+  let run name ii clock latency trace optimize robust =
+    guarded @@ fun () ->
+    let r = flow_result ~ii ~clock ~latency ~optimize ~trace ~robust name in
     print_endline (Hls_flow.Flow.summary r);
     Format.printf "%a@." Hls_rtl.Stats.pp_breakdown r.Hls_flow.Flow.f_area;
     match r.Hls_flow.Flow.f_equiv with
@@ -184,15 +259,16 @@ let flow_cmd =
     | None -> ()
   in
   Cmd.v (Cmd.info "flow" ~doc)
-    Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg)
+    Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term)
 
 let emit_cmd =
   let doc = "Generate Verilog for a scheduled design." in
   let out_arg =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
   in
-  let run name ii clock latency out optimize =
-    let r = flow_result ~ii ~clock ~latency ~optimize ~trace:false name in
+  let run name ii clock latency out optimize robust =
+    guarded @@ fun () ->
+    let r = flow_result ~ii ~clock ~latency ~optimize ~trace:false ~robust name in
     let src = Hls_rtl.Verilog.emit r.Hls_flow.Flow.f_elab r.Hls_flow.Flow.f_sched r.Hls_flow.Flow.f_fold in
     (match Hls_rtl.Verilog.lint src with
     | [] -> ()
@@ -206,7 +282,7 @@ let emit_cmd =
     | None -> print_string src
   in
   Cmd.v (Cmd.info "emit" ~doc)
-    Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ out_arg $ opt_arg)
+    Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ out_arg $ opt_arg $ robust_term)
 
 let () =
   let doc = "performance-constrained pipelining HLS flow (Kondratyev et al., DATE'11 reproduction)" in

@@ -47,7 +47,7 @@ let dsl_equivalent =
 
 let run label design =
   match Hls_flow.Flow.run design with
-  | Error e -> Printf.printf "%-10s failed [%s]: %s\n" label e.Hls_flow.Flow.err_phase e.Hls_flow.Flow.err_message
+  | Error e -> Printf.printf "%-10s failed: %s\n" label (Hls_diag.Diag.to_string e)
   | Ok r ->
       Printf.printf "%-10s %s\n" label (Hls_flow.Flow.summary r);
       Hls_report.Table.print (Hls_core.Scheduler.to_table r.Hls_flow.Flow.f_sched)

@@ -34,7 +34,7 @@ let () =
     (fun (label, ii) ->
       let options = { Hls_flow.Flow.default_options with ii } in
       match Hls_flow.Flow.run ~options design with
-      | Error e -> Printf.printf "%-16s failed [%s]: %s\n" label e.Hls_flow.Flow.err_phase e.Hls_flow.Flow.err_message
+      | Error e -> Printf.printf "%-16s failed: %s\n" label (Hls_diag.Diag.to_string e)
       | Ok r ->
           Printf.printf "\n=== %s ===\n" label;
           Hls_report.Table.print (Hls_core.Scheduler.to_table r.Hls_flow.Flow.f_sched);

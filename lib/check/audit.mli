@@ -1,0 +1,30 @@
+(** Post-schedule validator: audits every invariant the generated hardware
+    depends on over whatever the scheduler (or a degraded-tier baseline)
+    produced.  Runs after every pass of the flow under [--paranoid], and is
+    the single source of truth the property tests also call. *)
+
+open Hls_ir
+open Hls_core
+
+type violation = {
+  v_rule : string;  (** stable rule id, e.g. ["slot-collision"] *)
+  v_message : string;
+}
+
+val run : ?check_timing:bool -> Region.t -> Scheduler.t -> Pipeline.t -> violation list
+(** Audit a schedule and its fold.  Rules:
+    - [placement]: every region member is placed within [0, LI);
+    - [dep-order]: distance-0 dependencies are ordered (same-step chaining
+      allowed for single-cycle producers; multi-cycle producers finish
+      strictly earlier);
+    - [modulo]: loop-carried edges satisfy the modulo constraint;
+    - [slot-collision]: no two ops share an instance on equivalent steps
+      unless their guards are mutually exclusive;
+    - [timing]: the accurate netlist view reports no negative endpoint
+      slack (skipped when [check_timing] is false — degraded baseline
+      tiers are structurally valid but timing-naive);
+    - [fold]: the folding invariants of {!Pipeline.validate} hold.
+
+    Empty list = clean. *)
+
+val to_strings : violation list -> string list

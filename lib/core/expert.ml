@@ -37,9 +37,13 @@ type options = {
   enable_scc_move : bool;  (** Table 4 ablation switch *)
   enable_speculation : bool;
   enable_add_resource : bool;
+  max_batch : int;
+      (** cap on actions returned per pass by {!choose_many}: the winner
+          plus at most [max_batch - 1] batched runner-ups *)
 }
 
-let default_options = { enable_scc_move = true; enable_speculation = true; enable_add_resource = true }
+let default_options =
+  { enable_scc_move = true; enable_speculation = true; enable_add_resource = true; max_batch = 8 }
 
 let action_to_string = function
   | Add_state -> "add_state"
@@ -259,7 +263,7 @@ let choose_many ~allow_add_state ~opts ~binding ~region ~restraints ~sccs ~scc_o
             else acc)
           gains []
       in
-      first :: extra
+      first :: List.filteri (fun i _ -> i < opts.max_batch - 1) extra
   | Some ((Add_resource _, _) as first) ->
       (* re-run the scoring to collect the runner-up resource additions *)
       let extra = ref [] in
@@ -293,5 +297,5 @@ let choose_many ~allow_add_state ~opts ~binding ~region ~restraints ~sccs ~scc_o
                   (Resource.to_string rt) gain )
               :: !extra)
         by_type;
-      first :: !extra
+      first :: List.filteri (fun i _ -> i < opts.max_batch - 1) !extra
   | Some a -> [ a ]

@@ -23,6 +23,9 @@ type options = {
   enable_scc_move : bool;  (** the Table 4 ablation switch *)
   enable_speculation : bool;
   enable_add_resource : bool;
+  max_batch : int;
+      (** cap on actions per pass from {!choose_many}: the winner plus at
+          most [max_batch - 1] batched runner-ups *)
 }
 
 val default_options : options

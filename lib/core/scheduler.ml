@@ -37,6 +37,12 @@ type options = {
       (** start the latency interval at the resource-implied lower bound
           instead of the designer minimum; disable to follow the paper's
           one-state-at-a-time relaxation narrative *)
+  max_actions : int;
+      (** budget on total relaxation actions across all passes; the loop
+          gives up with a typed budget error once it is spent *)
+  timeout_s : float option;
+      (** wall-clock budget for the whole relaxation loop; checked at the
+          top of every pass *)
 }
 
 let default_options =
@@ -48,6 +54,8 @@ let default_options =
     dedicated_ops = [];
     tolerate_scc_slack = false;
     seed_latency_floor = true;
+    max_actions = 2000;
+    timeout_s = None;
   }
 
 type t = {
@@ -62,10 +70,15 @@ type t = {
 
 type error = {
   e_message : string;
+  e_code : string;  (** stable machine code, e.g. ["overconstrained"] *)
   e_restraints : Restraint.t list;
   e_passes : int;
   e_actions : string list;
+  e_budget : Hls_diag.Diag.budget option;  (** which budget tripped, if any *)
 }
+
+(* internal: unwinds the relaxation loop into a typed error *)
+exception Give_up of { g_code : string; g_budget : Hls_diag.Diag.budget option; g_message : string }
 
 let placement t op = Binding.placement t.s_binding op
 
@@ -305,7 +318,8 @@ let run_pass ~opts ~trace ~(binding : Binding.t) ~(aa : Asap_alap.t) ~scc_of
               ignore scc_asap_stage;
               (if Opkind.is_resource_op op.Dfg.kind then
                  let pl = Option.get (Binding.placement binding op.Dfg.id) in
-                 Trace.logf trace "    bound %s to %s at step %d: arrival %.0f ps, slack %.0f ps"
+                 Trace.logf ~level:Trace.Debug trace
+                   "    bound %s to %s at step %d: arrival %.0f ps, slack %.0f ps"
                    op.Dfg.name
                    (match pl.Binding.pl_inst with
                    | Some i -> Resource.to_string (Binding.find_inst binding i).Binding.rtype
@@ -365,7 +379,8 @@ let run_pass ~opts ~trace ~(binding : Binding.t) ~(aa : Asap_alap.t) ~scc_of
               in
               add_restraint ~op:op.Dfg.id ~step:e ~fail:best_fail ~fatal;
               if fatal then begin
-                Trace.logf trace "    op %d (%s) FAILED at step %d: %s" op.Dfg.id op.Dfg.name e
+                Trace.logf ~level:Trace.Warn trace "    op %d (%s) FAILED at step %d: %s" op.Dfg.id
+                  op.Dfg.name e
                   (Restraint.fail_to_string best_fail);
                 drop_failed op.Dfg.id
               end
@@ -462,13 +477,8 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
             min_states > Region.ii region)
       sccs
   in
-  if rec_infeasible <> [] then
-    raise
-      (Failure
-         (Printf.sprintf
-            "recurrence infeasible: %d SCC(s) need more than II=%d states for their internal              chains (raise II or the clock period)"
-            (List.length rec_infeasible) (Region.ii region)));
   let actions = ref [] in
+  let n_actions = ref 0 in
   let result = ref None in
   let passes = ref 0 in
   (* escalation guard: when repeated add_state stops shrinking the set of
@@ -476,13 +486,42 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
   let consecutive_add_state = ref 0 in
   let fatal_at_streak_start = ref max_int in
   (try
+     if rec_infeasible <> [] then
+       raise
+         (Give_up
+            {
+              g_code = "recurrence_infeasible";
+              g_budget = None;
+              g_message =
+                Printf.sprintf
+                  "recurrence infeasible: %d SCC(s) need more than II=%d states for their internal \
+                   chains (raise II or the clock period)"
+                  (List.length rec_infeasible) (Region.ii region);
+            });
      while !result = None do
        incr passes;
        if !passes > opts.max_passes then
          raise
-           (Failure
-              (Printf.sprintf "gave up after %d passes (overconstrained specification)"
-                 opts.max_passes));
+           (Give_up
+              {
+                g_code = "budget_passes";
+                g_budget = Some (Hls_diag.Diag.B_passes opts.max_passes);
+                g_message =
+                  Printf.sprintf "gave up after %d passes (overconstrained specification)"
+                    opts.max_passes;
+              });
+       (match opts.timeout_s with
+       | Some limit when Unix.gettimeofday () -. t0 >= limit ->
+           raise
+             (Give_up
+                {
+                  g_code = "budget_wallclock";
+                  g_budget = Some (Hls_diag.Diag.B_wallclock limit);
+                  g_message =
+                    Printf.sprintf "wall-clock budget of %.1f s exceeded after %d passes" limit
+                      (!passes - 1);
+                })
+       | _ -> ());
        let scc_window op =
          match scc_of op with
          | None -> None
@@ -522,7 +561,9 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
                   })
        | Pass_failed restraints -> (
            Trace.logf trace "pass %d: failed with %d restraints" !passes (List.length restraints);
-           List.iter (fun r -> Trace.logf trace "    restraint: %s" (Restraint.to_string r)) restraints;
+           List.iter
+             (fun r -> Trace.logf ~level:Trace.Debug trace "    restraint: %s" (Restraint.to_string r))
+             restraints;
            let scc_stage k =
              match scc_stage_local.(k) with
              | Some s -> s
@@ -549,12 +590,26 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
                    (Error
                       {
                         e_message = "no applicable relaxation action: specification overconstrained";
+                        e_code = "overconstrained";
                         e_restraints = restraints;
                         e_passes = !passes;
                         e_actions = List.rev !actions;
+                        e_budget = None;
                       })
            | chosen ->
              List.iter (fun (action, why) ->
+               incr n_actions;
+               if !n_actions > opts.max_actions then
+                 raise
+                   (Give_up
+                      {
+                        g_code = "budget_actions";
+                        g_budget = Some (Hls_diag.Diag.B_actions opts.max_actions);
+                        g_message =
+                          Printf.sprintf
+                            "relaxation action budget of %d exhausted after %d passes"
+                            opts.max_actions !passes;
+                      });
                Trace.logf trace "  relaxation: %s" why;
                actions := why :: !actions;
                (match action with
@@ -579,9 +634,11 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
                          (Error
                             {
                               e_message = "latency bound reached; cannot add more states";
+                              e_code = "latency_bound";
                               e_restraints = restraints;
                               e_passes = !passes;
                               e_actions = List.rev !actions;
+                              e_budget = None;
                             })
                | Expert.Add_resource (rt, n) ->
                    for _ = 1 to n do
@@ -594,10 +651,34 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
                | Expert.Forbid (op, inst) -> Hashtbl.replace binding.Binding.forbidden (op, inst) ())
                chosen)
      done
-   with Failure msg ->
-     result :=
-       Some
-         (Error { e_message = msg; e_restraints = []; e_passes = !passes; e_actions = List.rev !actions }));
+   with
+  | Give_up g ->
+      Trace.logf ~level:Trace.Warn trace "give up: %s" g.g_message;
+      result :=
+        Some
+          (Error
+             {
+               e_message = g.g_message;
+               e_code = g.g_code;
+               e_restraints = [];
+               e_passes = !passes;
+               e_actions = List.rev !actions;
+               e_budget = g.g_budget;
+             })
+  | Failure msg | Invalid_argument msg ->
+      (* last-resort conversion: anything a deeper layer still raises
+         becomes a typed internal error instead of unwinding the flow *)
+      result :=
+        Some
+          (Error
+             {
+               e_message = msg;
+               e_code = "internal";
+               e_restraints = [];
+               e_passes = !passes;
+               e_actions = List.rev !actions;
+               e_budget = None;
+             }));
   match !result with Some r -> r | None -> assert false
 
 (** Render the schedule as the paper's Table 2: one row per resource, one

@@ -24,6 +24,10 @@ type options = {
   seed_latency_floor : bool;
       (** start LI at the resource-implied lower bound; disable to follow
           the paper's one-state-at-a-time narratives *)
+  max_actions : int;
+      (** budget on total relaxation actions across all passes *)
+  timeout_s : float option;
+      (** wall-clock budget for the whole relaxation loop *)
 }
 
 val default_options : options
@@ -40,9 +44,14 @@ type t = {
 
 type error = {
   e_message : string;
+  e_code : string;
+      (** stable machine code: ["overconstrained"], ["latency_bound"],
+          ["recurrence_infeasible"], ["budget_passes"], ["budget_actions"],
+          ["budget_wallclock"] or ["internal"] *)
   e_restraints : Restraint.t list;
   e_passes : int;
   e_actions : string list;
+  e_budget : Hls_diag.Diag.budget option;  (** which budget tripped, if any *)
 }
 
 val placement : t -> int -> Binding.placement option

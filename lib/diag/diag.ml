@@ -1,0 +1,111 @@
+(** Typed diagnostics for the HLS flow.  See the interface for the
+    contract: the flow returns these instead of raising. *)
+
+type phase = Frontend | Elaborate | Schedule | Fold | Check | Report | Verify
+
+type severity = Info | Warning | Error | Fatal
+
+type budget =
+  | B_passes of int
+  | B_actions of int
+  | B_wallclock of float
+
+type t = {
+  d_phase : phase;
+  d_severity : severity;
+  d_code : string;
+  d_message : string;
+  d_restraints : string list;
+  d_actions : string list;
+  d_passes : int;
+  d_budget : budget option;
+}
+
+let make ?(severity = Error) ?(code = "error") ?(restraints = []) ?(actions = []) ?(passes = 0)
+    ?budget ~phase fmt =
+  Printf.ksprintf
+    (fun m ->
+      {
+        d_phase = phase;
+        d_severity = severity;
+        d_code = code;
+        d_message = m;
+        d_restraints = restraints;
+        d_actions = actions;
+        d_passes = passes;
+        d_budget = budget;
+      })
+    fmt
+
+let error ?severity ?code ?restraints ?actions ?passes ?budget ~phase fmt =
+  Printf.ksprintf
+    (fun m ->
+      Stdlib.Error
+        (make ?severity ?code ?restraints ?actions ?passes ?budget ~phase "%s" m))
+    fmt
+
+let phase_to_string = function
+  | Frontend -> "frontend"
+  | Elaborate -> "elaborate"
+  | Schedule -> "schedule"
+  | Fold -> "fold"
+  | Check -> "check"
+  | Report -> "report"
+  | Verify -> "verify"
+
+let severity_to_string = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+  | Fatal -> "fatal"
+
+let budget_to_string = function
+  | B_passes n -> Printf.sprintf "pass budget exhausted (%d passes)" n
+  | B_actions n -> Printf.sprintf "action budget exhausted (%d actions)" n
+  | B_wallclock s -> Printf.sprintf "wall-clock budget exceeded (%.1f s)" s
+
+let to_string d =
+  let budget = match d.d_budget with None -> "" | Some b -> "; " ^ budget_to_string b in
+  let passes = if d.d_passes > 0 then Printf.sprintf "; %d passes" d.d_passes else "" in
+  let actions =
+    match d.d_actions with
+    | [] -> ""
+    | a -> Printf.sprintf "; %d actions: %s" (List.length a) (String.concat " / " a)
+  in
+  Printf.sprintf "[%s] %s (%s): %s%s%s%s" (phase_to_string d.d_phase)
+    (severity_to_string d.d_severity) d.d_code d.d_message passes budget actions
+
+(* --- hand-rolled JSON (the toolchain ships no JSON library) --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let json_list items = "[" ^ String.concat "," (List.map json_string items) ^ "]"
+
+let budget_to_json = function
+  | None -> "null"
+  | Some (B_passes n) -> Printf.sprintf "{\"kind\":\"passes\",\"limit\":%d}" n
+  | Some (B_actions n) -> Printf.sprintf "{\"kind\":\"actions\",\"limit\":%d}" n
+  | Some (B_wallclock s) -> Printf.sprintf "{\"kind\":\"wallclock\",\"limit_s\":%g}" s
+
+let to_json d =
+  Printf.sprintf
+    "{\"phase\":%s,\"severity\":%s,\"code\":%s,\"message\":%s,\"passes\":%d,\"budget\":%s,\"actions\":%s,\"restraints\":%s}"
+    (json_string (phase_to_string d.d_phase))
+    (json_string (severity_to_string d.d_severity))
+    (json_string d.d_code) (json_string d.d_message) d.d_passes
+    (budget_to_json d.d_budget) (json_list d.d_actions) (json_list d.d_restraints)

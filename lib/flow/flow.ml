@@ -7,11 +7,33 @@
     breakdown (post-synthesis sized), the activity-based power estimate,
     the delay point (II × Tclk — the inverse-throughput axis of Figures 10
     and 11), and a functional-equivalence verdict against the behavioural
-    golden model. *)
+    golden model.
+
+    Robustness contract: {!run} never raises and always terminates within
+    the scheduler's pass/action/wall-clock budgets.  Failures come back as
+    typed {!Hls_diag.Diag.t} values.  When [degrade] is on (the default)
+    and the requested configuration is overconstrained or runs out of
+    budget, the flow walks a graceful-degradation ladder — relax the
+    initiation interval, drop to non-pipelined scheduling, finally fall
+    back to the decoupled baseline scheduler — and records the tier that
+    actually served the result. *)
 
 open Hls_ir
 open Hls_frontend
 open Hls_core
+module Diag = Hls_diag.Diag
+
+type tier =
+  | Tier_requested  (** the configuration the caller asked for *)
+  | Tier_relaxed_ii of int  (** pipelined, but at this larger II *)
+  | Tier_sequential  (** non-pipelined scheduling of the same design *)
+  | Tier_baseline  (** the decoupled schedule-then-fold baseline engine *)
+
+let tier_to_string = function
+  | Tier_requested -> "requested"
+  | Tier_relaxed_ii ii -> Printf.sprintf "relaxed-ii(%d)" ii
+  | Tier_sequential -> "sequential"
+  | Tier_baseline -> "baseline"
 
 type options = {
   lib : Hls_techlib.Library.t;
@@ -23,6 +45,8 @@ type options = {
   verify : bool;  (** run the simulators and check equivalence *)
   sim_iters : int;
   seed : int;
+  degrade : bool;  (** walk the degradation ladder instead of failing *)
+  paranoid : bool;  (** audit every schedule with {!Hls_check.Audit} *)
 }
 
 let default_options =
@@ -36,6 +60,8 @@ let default_options =
     verify = true;
     sim_iters = 100;
     seed = 1;
+    degrade = true;
+    paranoid = false;
   }
 
 type t = {
@@ -50,85 +76,258 @@ type t = {
   f_cycles_per_iter : int;  (** steady-state initiation interval *)
   f_delay_ps : float;  (** inverse throughput: II * Tclk *)
   f_clock_ps : float;
+  f_tier : tier;  (** which degradation tier served this result *)
+  f_notes : Diag.t list;  (** warnings accumulated on the way (degradations) *)
 }
 
-type error = { err_phase : string; err_message : string }
+let diag_of_sched_error (e : Scheduler.error) : Diag.t =
+  Diag.make ~phase:Diag.Schedule
+    ~severity:(if e.Scheduler.e_code = "internal" then Diag.Fatal else Diag.Error)
+    ~code:e.Scheduler.e_code
+    ~restraints:(List.map Restraint.to_string e.Scheduler.e_restraints)
+    ~actions:e.Scheduler.e_actions ~passes:e.Scheduler.e_passes ?budget:e.Scheduler.e_budget "%s"
+    e.Scheduler.e_message
 
-let err phase fmt = Printf.ksprintf (fun m -> Error { err_phase = phase; err_message = m }) fmt
+(* ------------------------------------------------------------------ *)
 
-(** Run the flow on a design.  Elaboration is always fresh (scheduling
-    mutates speculation flags and the region latency), so one [Ast.design]
-    value can be explored under many configurations. *)
-let run ?(options = default_options) ?trace (design : Ast.design) : (t, error) Stdlib.result =
+(** Elaborate a design and build its main region, converting every frontend
+    exception (including designer-bound violations from {!Region.create})
+    into a typed diagnostic. *)
+let elaborate_guarded ~options (design : Ast.design) :
+    (Elaborate.t * Region.t, Diag.t) Stdlib.result =
   match Elaborate.design design with
-  | exception Hls_frontend.Desugar.Error m -> err "frontend" "%s" m
+  | exception Hls_frontend.Desugar.Error m ->
+      Diag.error ~phase:Diag.Frontend ~code:"frontend" "%s" m
+  | exception Invalid_argument m ->
+      Diag.error ~phase:Diag.Frontend ~code:"invalid_design" "%s" m
+  | exception Failure m -> Diag.error ~phase:Diag.Frontend ~code:"internal" ~severity:Diag.Fatal "%s" m
   | elab -> (
-      let region =
-        Elaborate.main_region ?ii:options.ii ?min_latency:options.min_latency
-          ?max_latency:options.max_latency elab
-      in
-      (match Cdfg.validate elab.Elaborate.cdfg with
-      | [] -> Ok ()
-      | errs -> err "elaborate" "invalid CDFG: %s" (String.concat "; " errs))
-      |> function
-      | Error e -> Error e
-      | Ok () -> (
+      match Cdfg.validate elab.Elaborate.cdfg with
+      | _ :: _ as errs ->
+          Diag.error ~phase:Diag.Elaborate ~code:"invalid_cdfg" "invalid CDFG: %s"
+            (String.concat "; " errs)
+      | [] -> (
           match
-            Scheduler.schedule ~opts:options.sched ?trace ~lib:options.lib
-              ~clock_ps:options.clock_ps region
+            Elaborate.main_region ?ii:options.ii ?min_latency:options.min_latency
+              ?max_latency:options.max_latency elab
           with
-          | Error e ->
-              err "schedule" "%s (after %d passes: %s)" e.Scheduler.e_message e.Scheduler.e_passes
-                (String.concat " / " e.Scheduler.e_actions)
-          | Ok sched -> (
-              let fold = Pipeline.fold sched in
-              match Pipeline.validate sched fold with
-              | _ :: _ as errs -> err "fold" "folding invariants violated: %s" (String.concat "; " errs)
-              | [] ->
-                  let io_widths = List.map snd (design.Ast.d_ins @ design.Ast.d_outs) in
-                  let area = Hls_rtl.Stats.area ~io_widths sched in
-                  let equiv, activity, iters =
-                    if options.verify then begin
-                      let stim =
-                        Hls_sim.Stimulus.small_random ~seed:options.seed ~n_iters:options.sim_iters
-                          ~ports:design.Ast.d_ins
-                      in
-                      let golden = Hls_sim.Behav.run design stim in
-                      let sim = Hls_sim.Schedule_sim.run elab sched stim in
-                      let v = Hls_sim.Equiv.check ~out_ports:design.Ast.d_outs golden sim in
-                      (Some v, Some sim.Hls_sim.Schedule_sim.r_exec_counts, sim.Hls_sim.Schedule_sim.r_iters)
-                    end
-                    else (None, None, 1)
-                  in
-                  let power =
-                    Hls_rtl.Stats.power ?activity ~iters sched area ~clock_ps:options.clock_ps
-                  in
-                  let ii = Region.ii region in
-                  Ok
-                    {
-                      f_design = design;
-                      f_elab = elab;
-                      f_region = region;
-                      f_sched = sched;
-                      f_fold = fold;
-                      f_area = area;
-                      f_power_mw = power;
-                      f_equiv = equiv;
-                      f_cycles_per_iter = ii;
-                      f_delay_ps = float_of_int ii *. options.clock_ps;
-                      f_clock_ps = options.clock_ps;
-                    })))
+          | exception Invalid_argument m ->
+              Diag.error ~phase:Diag.Elaborate ~code:"invalid_bounds" "%s" m
+          | exception Failure m ->
+              Diag.error ~phase:Diag.Elaborate ~code:"internal" ~severity:Diag.Fatal "%s" m
+          | region -> Ok (elab, region)))
+
+(** Fold, audit, size, simulate — everything downstream of a successful
+    schedule, shared by all tiers.  [check_timing] is off for the
+    timing-naive baseline tier. *)
+let finish ~options ~tier ~check_timing (design : Ast.design) elab region (sched : Scheduler.t) :
+    (t, Diag.t) Stdlib.result =
+  let ( let* ) r f = match r with Stdlib.Error e -> Stdlib.Error e | Stdlib.Ok x -> f x in
+  let guard ~phase ~code f =
+    match f () with
+    | exception Invalid_argument m -> Diag.error ~phase ~code "%s" m
+    | exception Failure m -> Diag.error ~phase ~code ~severity:Diag.Fatal "%s" m
+    | x -> Stdlib.Ok x
+  in
+  let* fold = guard ~phase:Diag.Fold ~code:"internal" (fun () -> Pipeline.fold sched) in
+  let* () =
+    match Pipeline.validate sched fold with
+    | [] -> Stdlib.Ok ()
+    | errs ->
+        Diag.error ~phase:Diag.Fold ~code:"fold_invariants" "folding invariants violated: %s"
+          (String.concat "; " errs)
+  in
+  let* () =
+    if not options.paranoid then Stdlib.Ok ()
+    else
+      let* viols =
+        guard ~phase:Diag.Check ~code:"internal" (fun () ->
+            Hls_check.Audit.run ~check_timing region sched fold)
+      in
+      match viols with
+      | [] -> Stdlib.Ok ()
+      | vs ->
+          Diag.error ~phase:Diag.Check ~code:"audit" "paranoid audit found %d violation(s): %s"
+            (List.length vs)
+            (String.concat "; " (Hls_check.Audit.to_strings vs))
+  in
+  let* area =
+    guard ~phase:Diag.Report ~code:"internal" (fun () ->
+        let io_widths = List.map snd (design.Ast.d_ins @ design.Ast.d_outs) in
+        Hls_rtl.Stats.area ~io_widths sched)
+  in
+  let* equiv, activity, iters =
+    if not options.verify then Stdlib.Ok (None, None, 1)
+    else
+      guard ~phase:Diag.Verify ~code:"internal" (fun () ->
+          let stim =
+            Hls_sim.Stimulus.small_random ~seed:options.seed ~n_iters:options.sim_iters
+              ~ports:design.Ast.d_ins
+          in
+          let golden = Hls_sim.Behav.run design stim in
+          let sim = Hls_sim.Schedule_sim.run elab sched stim in
+          let v = Hls_sim.Equiv.check ~out_ports:design.Ast.d_outs golden sim in
+          (Some v, Some sim.Hls_sim.Schedule_sim.r_exec_counts, sim.Hls_sim.Schedule_sim.r_iters))
+  in
+  let* power =
+    guard ~phase:Diag.Report ~code:"internal" (fun () ->
+        Hls_rtl.Stats.power ?activity ~iters sched area ~clock_ps:options.clock_ps)
+  in
+  let ii = Region.ii region in
+  Stdlib.Ok
+    {
+      f_design = design;
+      f_elab = elab;
+      f_region = region;
+      f_sched = sched;
+      f_fold = fold;
+      f_area = area;
+      f_power_mw = power;
+      f_equiv = equiv;
+      f_cycles_per_iter = ii;
+      f_delay_ps = float_of_int ii *. options.clock_ps;
+      f_clock_ps = options.clock_ps;
+      f_tier = tier;
+      f_notes = [];
+    }
+
+(** One complete attempt with the unified scheduler at [options.ii].
+    Elaboration is always fresh (scheduling mutates speculation flags and
+    the region latency), so one [Ast.design] value can be explored under
+    many configurations. *)
+let run_unified ~options ~trace ~tier (design : Ast.design) : (t, Diag.t) Stdlib.result =
+  match elaborate_guarded ~options design with
+  | Stdlib.Error d -> Stdlib.Error d
+  | Stdlib.Ok (elab, region) -> (
+      match
+        Scheduler.schedule ~opts:options.sched ?trace ~lib:options.lib ~clock_ps:options.clock_ps
+          region
+      with
+      | exception Invalid_argument m ->
+          Diag.error ~phase:Diag.Schedule ~code:"internal" ~severity:Diag.Fatal "%s" m
+      | exception Failure m ->
+          Diag.error ~phase:Diag.Schedule ~code:"internal" ~severity:Diag.Fatal "%s" m
+      | Stdlib.Error e -> Stdlib.Error (diag_of_sched_error e)
+      | Stdlib.Ok sched ->
+          let check_timing = not options.sched.Scheduler.tolerate_scc_slack in
+          finish ~options ~tier ~check_timing design elab region sched)
+
+(** The last rung: the decoupled schedule-then-fold baseline on a
+    sequential region.  Structurally valid by construction (and audited
+    like any other tier), but timing-naive — the area report carries any
+    residual negative slack as post-synthesis upsizing/WNS. *)
+let run_baseline ~options (design : Ast.design) : (t, Diag.t) Stdlib.result =
+  (* Sehwa folds at a fixed II with LI in (II, max_steps]; sweep the II
+     upward from the request and serve the first configuration that folds.
+     Each attempt elaborates fresh, as everywhere else in the flow. *)
+  let attempt ii : (t, Diag.t) Stdlib.result =
+    match elaborate_guarded ~options:{ options with ii = None } design with
+    | Stdlib.Error d -> Stdlib.Error d
+    | Stdlib.Ok (elab, region) -> (
+        match Hls_baseline.Sehwa.schedule ~ii ~lib:options.lib ~clock_ps:options.clock_ps region with
+        | exception Invalid_argument m ->
+            Diag.error ~phase:Diag.Schedule ~code:"baseline_internal" ~severity:Diag.Fatal "%s" m
+        | exception Failure m ->
+            Diag.error ~phase:Diag.Schedule ~code:"baseline_internal" ~severity:Diag.Fatal "%s" m
+        | Stdlib.Error e ->
+            Diag.error ~phase:Diag.Schedule ~code:"baseline_failed" "baseline scheduler failed: %s"
+              e.Hls_baseline.Sehwa.s_message
+        | Stdlib.Ok b ->
+            let sched =
+              {
+                Scheduler.s_region = region;
+                s_li = b.Hls_baseline.Sehwa.s_li;
+                s_binding = b.Hls_baseline.Sehwa.s_binding;
+                s_passes = b.Hls_baseline.Sehwa.s_attempts;
+                s_actions = [ "degraded to the baseline schedule-then-fold engine" ];
+                s_scc_stages = List.map (fun scc -> (scc, 0)) (Region.sccs region);
+                s_sched_time_s = b.Hls_baseline.Sehwa.s_time_s;
+              }
+            in
+            finish ~options ~tier:Tier_baseline ~check_timing:false design elab region sched)
+  in
+  match elaborate_guarded ~options:{ options with ii = None } design with
+  | Stdlib.Error d -> Stdlib.Error d
+  | Stdlib.Ok (_, region0) ->
+      let max_ii = max 1 (region0.Region.max_steps - 1) in
+      let start = match options.ii with Some i when i >= 1 -> min i max_ii | _ -> 1 in
+      let rec sweep ii last =
+        if ii > max_ii then last
+        else
+          match attempt ii with
+          | Stdlib.Ok r -> Stdlib.Ok r
+          | Stdlib.Error d -> sweep (ii + 1) (Stdlib.Error d)
+      in
+      sweep start
+        (Diag.error ~phase:Diag.Schedule ~code:"baseline_failed"
+           "baseline scheduler has no feasible II in [%d, %d]" start max_ii)
+
+(* ------------------------------------------------------------------ *)
+
+(** Phases whose failure the degradation ladder can do something about:
+    a weaker configuration may still schedule, fold and audit clean.
+    Frontend/elaboration faults and simulation mismatches are not
+    recoverable by relaxing performance constraints. *)
+let degradable (d : Diag.t) =
+  match d.Diag.d_phase with
+  | Diag.Schedule | Diag.Fold | Diag.Check -> true
+  | Diag.Frontend | Diag.Elaborate | Diag.Report | Diag.Verify -> false
+
+let run ?(options = default_options) ?trace (design : Ast.design) : (t, Diag.t) Stdlib.result =
+  match run_unified ~options ~trace ~tier:Tier_requested design with
+  | Stdlib.Ok r -> Stdlib.Ok r
+  | Stdlib.Error d0 when (not options.degrade) || not (degradable d0) -> Stdlib.Error d0
+  | Stdlib.Error d0 ->
+      let rungs =
+        (match options.ii with
+        | Some i ->
+            let relaxed =
+              List.sort_uniq compare [ i + 1; i * 2 ] |> List.filter (fun j -> j > i)
+            in
+            List.map
+              (fun j ->
+                ( Tier_relaxed_ii j,
+                  fun () ->
+                    run_unified ~options:{ options with ii = Some j } ~trace
+                      ~tier:(Tier_relaxed_ii j) design ))
+              relaxed
+            @ [
+                ( Tier_sequential,
+                  fun () ->
+                    run_unified ~options:{ options with ii = None } ~trace ~tier:Tier_sequential
+                      design );
+              ]
+        | None -> [])
+        @ [ (Tier_baseline, fun () -> run_baseline ~options design) ]
+      in
+      let note_of tier (d : Diag.t) =
+        Diag.make ~phase:d.Diag.d_phase ~severity:Diag.Warning ~code:"degraded"
+          ?budget:d.Diag.d_budget ~passes:d.Diag.d_passes
+          "%s tier failed (%s: %s); degrading" (tier_to_string tier) d.Diag.d_code
+          d.Diag.d_message
+      in
+      let rec walk notes = function
+        | [] -> Stdlib.Error d0  (* every rung failed: report the original fault *)
+        | (tier, attempt) :: rest -> (
+            match attempt () with
+            | Stdlib.Ok r -> Stdlib.Ok { r with f_notes = List.rev notes @ r.f_notes }
+            | Stdlib.Error d -> walk (note_of tier d :: notes) rest)
+      in
+      walk [ note_of Tier_requested d0 ] rungs
 
 (** Convenience: run and raise on error (used by examples and benches). *)
 let run_exn ?options ?trace design =
   match run ?options ?trace design with
-  | Ok r -> r
-  | Error e -> failwith (Printf.sprintf "[%s] %s" e.err_phase e.err_message)
+  | Stdlib.Ok r -> r
+  | Stdlib.Error e -> failwith (Diag.to_string e)
 
 let summary (r : t) =
-  Printf.sprintf "%s: LI=%d II=%d clock=%.0fps delay=%.0fps area=%.0f power=%.2fmW%s" r.f_design.Ast.d_name
-    r.f_sched.Scheduler.s_li r.f_cycles_per_iter r.f_clock_ps r.f_delay_ps r.f_area.Hls_rtl.Stats.a_total
-    r.f_power_mw
+  Printf.sprintf "%s: LI=%d II=%d clock=%.0fps delay=%.0fps area=%.0f power=%.2fmW%s%s"
+    r.f_design.Ast.d_name r.f_sched.Scheduler.s_li r.f_cycles_per_iter r.f_clock_ps r.f_delay_ps
+    r.f_area.Hls_rtl.Stats.a_total r.f_power_mw
+    (match r.f_tier with
+    | Tier_requested -> ""
+    | t -> Printf.sprintf " [degraded: %s]" (tier_to_string t))
     (match r.f_equiv with
     | Some v when v.Hls_sim.Equiv.equivalent -> " [verified]"
     | Some _ -> " [MISMATCH]"

@@ -1,8 +1,23 @@
 (** End-to-end HLS flow: elaborate → schedule+bind → fold → area/power →
     functional verification — one call per micro-architectural
-    configuration, returning everything the paper's evaluation reports. *)
+    configuration, returning everything the paper's evaluation reports.
+
+    Robustness contract: {!run} never raises and always terminates within
+    the scheduler budgets; failures are typed {!Hls_diag.Diag.t} values,
+    and (with [degrade] on) an overconstrained or budget-exhausted request
+    degrades down a ladder — relaxed II, then sequential scheduling, then
+    the baseline engine — recording the tier served. *)
 
 open Hls_frontend
+module Diag = Hls_diag.Diag
+
+type tier =
+  | Tier_requested  (** the configuration the caller asked for *)
+  | Tier_relaxed_ii of int  (** pipelined, but at this larger II *)
+  | Tier_sequential  (** non-pipelined scheduling of the same design *)
+  | Tier_baseline  (** the decoupled schedule-then-fold baseline engine *)
+
+val tier_to_string : tier -> string
 
 type options = {
   lib : Hls_techlib.Library.t;
@@ -14,6 +29,8 @@ type options = {
   verify : bool;  (** simulate and check equivalence *)
   sim_iters : int;
   seed : int;
+  degrade : bool;  (** walk the degradation ladder instead of failing *)
+  paranoid : bool;  (** audit every schedule with {!Hls_check.Audit} *)
 }
 
 val default_options : options
@@ -30,13 +47,13 @@ type t = {
   f_cycles_per_iter : int;  (** steady-state initiation interval *)
   f_delay_ps : float;  (** inverse throughput, II × Tclk (Figs. 10/11 x-axis) *)
   f_clock_ps : float;
+  f_tier : tier;  (** which degradation tier served this result *)
+  f_notes : Diag.t list;  (** warnings accumulated on the way (degradations) *)
 }
 
-type error = { err_phase : string; err_message : string }
-
-val run : ?options:options -> ?trace:Hls_core.Trace.t -> Ast.design -> (t, error) result
+val run : ?options:options -> ?trace:Hls_core.Trace.t -> Ast.design -> (t, Diag.t) result
 (** Elaboration is always fresh, so one design value can be explored under
-    many configurations. *)
+    many configurations.  Never raises; always terminates. *)
 
 val run_exn : ?options:options -> ?trace:Hls_core.Trace.t -> Ast.design -> t
 val summary : t -> string

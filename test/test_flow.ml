@@ -1,10 +1,11 @@
 (** End-to-end flow and design-library checks. *)
 
 open Hls_frontend
+module Diag = Hls_diag.Diag
 
 let test_flow_example1 () =
   match Hls_flow.Flow.run (Hls_designs.Example1.design ()) with
-  | Error e -> Alcotest.fail e.Hls_flow.Flow.err_message
+  | Error e -> Alcotest.fail (Diag.to_string e)
   | Ok r ->
       Alcotest.(check bool) "verified" true
         (match r.Hls_flow.Flow.f_equiv with Some v -> v.Hls_sim.Equiv.equivalent | None -> false);
@@ -16,14 +17,19 @@ let test_flow_reports_frontend_errors () =
     Dsl.(design "bad" ~ins:[ in_port "a" 8 ] ~outs:[] ~vars:[] [ "x" := port "nope" ])
   in
   match Hls_flow.Flow.run bad with
-  | Error e -> Alcotest.(check string) "frontend phase" "frontend" e.Hls_flow.Flow.err_phase
+  | Error e ->
+      Alcotest.(check bool) "frontend phase" true (e.Diag.d_phase = Diag.Frontend)
   | Ok _ -> Alcotest.fail "must fail in the frontend"
 
 let test_flow_reports_schedule_errors () =
-  (* impossible clock: even a single multiplication cannot fit *)
-  let options = { Hls_flow.Flow.default_options with clock_ps = 400.0 } in
+  (* impossible clock: even a single multiplication cannot fit.  Degradation
+     is off so the typed diagnostic itself surfaces. *)
+  let options =
+    { Hls_flow.Flow.default_options with clock_ps = 400.0; degrade = false }
+  in
   match Hls_flow.Flow.run ~options (Hls_designs.Example1.design ()) with
-  | Error e -> Alcotest.(check string) "schedule phase" "schedule" e.Hls_flow.Flow.err_phase
+  | Error e ->
+      Alcotest.(check bool) "schedule phase" true (e.Diag.d_phase = Diag.Schedule)
   | Ok _ -> Alcotest.fail "400 ps must be unschedulable"
 
 let test_flow_rerunnable () =
@@ -32,7 +38,7 @@ let test_flow_rerunnable () =
   let run ii =
     match Hls_flow.Flow.run ~options:{ Hls_flow.Flow.default_options with ii } d with
     | Ok r -> r.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total
-    | Error e -> Alcotest.fail e.Hls_flow.Flow.err_message
+    | Error e -> Alcotest.fail (Diag.to_string e)
   in
   let a1 = run None in
   let _ = run (Some 1) in
@@ -42,7 +48,7 @@ let test_flow_rerunnable () =
 let test_delay_is_ii_times_clock () =
   let options = { Hls_flow.Flow.default_options with ii = Some 2; clock_ps = 2000.0 } in
   match Hls_flow.Flow.run ~options (Hls_designs.Example1.design ()) with
-  | Error e -> Alcotest.fail e.Hls_flow.Flow.err_message
+  | Error e -> Alcotest.fail (Diag.to_string e)
   | Ok r -> Alcotest.(check (float 0.01)) "delay" 4000.0 r.Hls_flow.Flow.f_delay_ps
 
 (* ---- design library sanity ---- *)

@@ -29,4 +29,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("sched_props", Test_sched_props.suite);
       ("kernel_sim", Test_kernel_sim.suite);
+      ("faults", Test_faults.suite);
     ]

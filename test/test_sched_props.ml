@@ -7,80 +7,17 @@ open Hls_core
 
 let lib = Hls_techlib.Library.artisan90
 
-(** All invariants of a successful schedule:
-    - every region member is placed within [0, LI);
-    - dependencies are ordered (same-step chaining allowed for
-      single-cycle producers; multi-cycle producers finish strictly
-      earlier);
-    - loop-carried edges satisfy the modulo constraint;
-    - no two ops share an instance on equivalent steps unless their guards
-      are mutually exclusive;
-    - the accurate netlist view reports no negative endpoint slack;
-    - folding invariants hold. *)
+(** All invariants of a successful schedule — delegated to the
+    post-schedule validator the flow itself runs under [--paranoid]
+    ({!Hls_check.Audit}), so the property tests and the production audit
+    can never drift apart. *)
 let check_schedule (region : Region.t) (s : Scheduler.t) =
-  let dfg = region.Region.dfg in
-  let li = s.Scheduler.s_li in
-  let ii = Region.ii region in
-  let binding = s.Scheduler.s_binding in
-  let ok = ref true in
-  let fail _msg = ok := false in
-  List.iter
-    (fun op ->
-      match Binding.placement binding op.Dfg.id with
-      | None -> fail "unplaced member"
-      | Some pl ->
-          if pl.Binding.pl_step < 0 || pl.Binding.pl_finish > li - 1 then fail "out of range")
-    (Region.member_ops region);
-  (* dependency ordering *)
-  Dfg.iter_ops dfg (fun op ->
-      List.iter
-        (fun e ->
-          if Region.mem region e.Dfg.src && Region.mem region e.Dfg.dst then
-            match (Binding.placement binding e.Dfg.src, Binding.placement binding e.Dfg.dst) with
-            | Some sp, Some dp ->
-                if e.Dfg.distance = 0 then begin
-                  let p_op = Dfg.find dfg e.Dfg.src in
-                  let min_step =
-                    if Hls_techlib.Library.op_latency lib p_op.Dfg.kind > 1 then
-                      sp.Binding.pl_finish + 1
-                    else sp.Binding.pl_finish
-                  in
-                  if dp.Binding.pl_step < min_step then fail "dependency order"
-                end
-                else if dp.Binding.pl_step < sp.Binding.pl_finish - (e.Dfg.distance * ii) + 1 then
-                  fail "modulo constraint"
-            | _ -> ())
-        (Dfg.in_edges dfg op.Dfg.id));
-  (* busy discipline on equivalence classes *)
-  List.iter
-    (fun (inst : Binding.inst) ->
-      let by_slot = Hashtbl.create 8 in
-      List.iter
-        (fun o ->
-          match Binding.placement binding o with
-          | Some pl ->
-              for st = pl.Binding.pl_step to pl.Binding.pl_finish do
-                let slot = if Region.is_pipelined region then st mod ii else st in
-                let prev = Option.value (Hashtbl.find_opt by_slot slot) ~default:[] in
-                List.iter
-                  (fun o' ->
-                    if
-                      not
-                        (Guard.mutually_exclusive (Dfg.find dfg o).Dfg.guard
-                           (Dfg.find dfg o').Dfg.guard)
-                    then fail "slot collision")
-                  prev;
-                Hashtbl.replace by_slot slot (o :: prev)
-              done
-          | None -> ())
-        inst.Binding.bound)
-    binding.Binding.insts;
-  (* accurate timing is met *)
-  if Binding.worst_slack binding < -0.001 then fail "negative slack";
-  (* folding invariants *)
   let f = Pipeline.fold s in
-  if Pipeline.validate s f <> [] then fail "fold invariants";
-  !ok
+  match Hls_check.Audit.run region s f with
+  | [] -> true
+  | vs ->
+      List.iter (fun m -> Printf.eprintf "audit: %s\n" m) (Hls_check.Audit.to_strings vs);
+      false
 
 let prop_random_designs pipelined =
   QCheck.Test.make
@@ -131,9 +68,40 @@ let prop_equivalence_random =
           let sim = Hls_sim.Schedule_sim.run e s stim in
           (Hls_sim.Equiv.check ~out_ports:d.Hls_frontend.Ast.d_outs golden sim).Hls_sim.Equiv.equivalent)
 
+(** The flow's robustness contract, exercised on random designs under
+    randomly tight configurations: {!Hls_flow.Flow.run} returns [Ok] or a
+    typed diagnostic, and never raises. *)
+let prop_flow_never_raises =
+  QCheck.Test.make ~name:"Flow.run never raises on random designs" ~count:12
+    QCheck.(int_range 1 10000)
+    (fun seed ->
+      let profile =
+        {
+          Hls_designs.Synthetic.default_profile with
+          Hls_designs.Synthetic.p_ops = 20 + (seed mod 50);
+          p_seed = seed;
+          p_tightness = 0.2 +. (float_of_int (seed mod 5) /. 10.0);
+        }
+      in
+      let d = Hls_designs.Synthetic.design ~profile () in
+      let options =
+        {
+          Hls_flow.Flow.default_options with
+          ii = (if seed mod 3 = 0 then Some (1 + (seed mod 2)) else None);
+          clock_ps = (if seed mod 4 = 0 then 900.0 else 1600.0);
+          verify = false;
+          paranoid = seed mod 2 = 0;
+        }
+      in
+      match Hls_flow.Flow.run ~options d with
+      | Ok _ | Error _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "Flow.run raised: %s" (Printexc.to_string e))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest (prop_random_designs false);
     QCheck_alcotest.to_alcotest (prop_random_designs true);
     QCheck_alcotest.to_alcotest prop_equivalence_random;
+    QCheck_alcotest.to_alcotest prop_flow_never_raises;
   ]
