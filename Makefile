@@ -1,4 +1,4 @@
-.PHONY: all build test faults check bench clean
+.PHONY: all build test faults dse check bench bench-dse clean
 
 all: build
 
@@ -13,13 +13,23 @@ test:
 faults:
 	dune exec test/test_main.exe -- test faults
 
-# the one target CI needs: everything builds (lib/diag and lib/check with
-# warnings-as-errors, see their dune files), the full suite passes, and
-# the fault suite is re-run on its own so its output is visible
+# just the design-space-exploration suite (determinism across worker
+# counts, memo-cache behaviour, Pareto-front dominance property)
+dse:
+	dune exec test/test_main.exe -- test dse
+
+# the one target CI needs: everything builds (lib/diag, lib/check and
+# lib/dse with warnings-as-errors, see their dune files), the full suite
+# passes, and the fault suite is re-run on its own so its output is visible
 check: build test faults
 
 bench:
 	dune exec bench/main.exe
+
+# the DSE throughput experiment: sweeps the IDCT grid at --jobs 1 and
+# --jobs 4 plus a cached re-sweep, and writes BENCH_dse.json
+bench-dse:
+	dune exec bench/main.exe -- dse
 
 clean:
 	dune clean

@@ -261,37 +261,55 @@ let fig9 ?(n = 40) ?(hi = 1000) () =
 (* Figs. 10 and 11: area/delay and power/delay for the IDCT              *)
 (* ------------------------------------------------------------------ *)
 
-let idct_sweep () =
-  (* each curve = a micro-architecture (loop latency, pipelined or not);
-     points along a curve = different clock periods at that latency *)
+(* the Fig. 10/11 sweep as a DSE point list: each curve = a
+   micro-architecture (loop latency, pipelined or not); points along a
+   curve = different clock periods at that latency *)
+let idct_points () =
   let latencies = [ 8; 16; 24; 32 ] in
   let clocks = [ 1200.0; 1600.0; 2400.0 ] in
   List.concat_map
     (fun l ->
       List.concat_map
         (fun pipelined ->
-          List.filter_map
+          List.map
             (fun clk ->
-              let ii = if pipelined then Some (l / 2) else None in
-              let options =
-                flow_opts ?ii ~min_latency:l ~max_latency:l ~clock_ps:clk ()
-              in
-              let options = { options with Hls_flow.Flow.verify = false } in
-              match Hls_flow.Flow.run ~options (Hls_designs.Idct.design ()) with
-              | Ok r ->
-                  Some
-                    ( (if pipelined then Printf.sprintf "Pipelined %d" l
-                       else Printf.sprintf "Non-Pipelined %d" l),
-                      r )
-              | Error _ -> None)
+              Hls_dse.Dse.point
+                ?ii:(if pipelined then Some (l / 2) else None)
+                ~min_latency:l ~max_latency:l ~clock_ps:clk ())
             clocks)
         [ false; true ])
     latencies
 
+let idct_point_name (p : Hls_dse.Dse.point) =
+  let l = Option.value p.Hls_dse.Dse.pt_min_latency ~default:0 in
+  match p.Hls_dse.Dse.pt_ii with
+  | Some _ -> Printf.sprintf "Pipelined %d" l
+  | None -> Printf.sprintf "Non-Pipelined %d" l
+
+let idct_sweep_options =
+  { (flow_opts ()) with Hls_flow.Flow.verify = false }
+
+let idct_sweep ?(jobs = Domain.recommended_domain_count ()) ?max_workers
+    ?(engine = Hls_dse.Dse.create ()) () =
+  let sw =
+    Hls_dse.Dse.sweep ~jobs ?max_workers engine ~options:idct_sweep_options
+      (Hls_designs.Idct.design ()) (idct_points ())
+  in
+  let runs =
+    List.filter_map
+      (fun (r : Hls_dse.Dse.result) ->
+        match r.Hls_dse.Dse.r_flow with
+        | Ok f -> Some (idct_point_name r.Hls_dse.Dse.r_point, f)
+        | Error _ -> None)
+      sw.Hls_dse.Dse.sw_results
+  in
+  (runs, sw)
+
 let fig10_11 () =
   section "FIG 10 / FIG 11 — area/delay and power/delay for the IDCT design space";
-  let runs = idct_sweep () in
-  Printf.printf "%d HLS runs (paper: 25 runs)\n" (List.length runs);
+  let runs, sw = idct_sweep () in
+  Printf.printf "%d HLS runs (paper: 25 runs) — %s\n" (List.length runs)
+    (Hls_dse.Dse.stats_to_string (Hls_dse.Dse.stats sw));
   Hls_report.Table.print
     ([ "curve"; "clock (ps)"; "II"; "delay (ns)"; "area"; "power (mW)" ]
     :: List.map
@@ -353,6 +371,46 @@ let fig10_11 () =
                  be achieved only by pipelining\")\n"
     (String.length fastest.Hls_report.Pareto.p_tag >= 4
     && String.sub fastest.Hls_report.Pareto.p_tag 0 4 = "Pipe")
+
+(* ------------------------------------------------------------------ *)
+(* DSE engine benchmark: exploration throughput and parallel speedup    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_dse () =
+  section "DSE — exploration throughput on the IDCT sweep (BENCH_dse.json)";
+  let requested_jobs = 4 in
+  (* fresh engine per timing run: the cache must not serve the second run *)
+  (* max_workers lifted to the request so the domain pool really runs even
+     when the host reports fewer cores (the speedup is then ~1x, recorded
+     honestly together with the core count) *)
+  let _, sw1 = idct_sweep ~jobs:1 ~engine:(Hls_dse.Dse.create ()) () in
+  let _, swn =
+    idct_sweep ~jobs:requested_jobs ~max_workers:requested_jobs ~engine:(Hls_dse.Dse.create ()) ()
+  in
+  (* and a cache-hit pass on a shared engine, to show the memoization *)
+  let engine = Hls_dse.Dse.create () in
+  let _ = idct_sweep ~jobs:1 ~engine () in
+  let _, sw_cached = idct_sweep ~jobs:1 ~engine () in
+  let s1 = Hls_dse.Dse.stats sw1 and sn = Hls_dse.Dse.stats swn in
+  let sc = Hls_dse.Dse.stats sw_cached in
+  let speedup = if sn.Hls_dse.Dse.s_wall_s > 0.0 then s1.Hls_dse.Dse.s_wall_s /. sn.Hls_dse.Dse.s_wall_s else 0.0 in
+  Printf.printf "jobs=1: %s\n" (Hls_dse.Dse.stats_to_string s1);
+  Printf.printf "jobs=%d (effective %d): %s\n" requested_jobs sn.Hls_dse.Dse.s_jobs
+    (Hls_dse.Dse.stats_to_string sn);
+  Printf.printf "cached re-sweep: %s\n" (Hls_dse.Dse.stats_to_string sc);
+  Printf.printf "speedup jobs=%d vs jobs=1: %.2fx (%d core(s) available)\n" requested_jobs speedup
+    (Domain.recommended_domain_count ());
+  let oc = open_out "BENCH_dse.json" in
+  Printf.fprintf oc
+    {|{"design":"idct","points":%d,"requested_jobs":%d,"effective_jobs":%d,"cores":%d,"jobs_1":%s,"jobs_n":%s,"cached_resweep":%s,"points_per_s_jobs_1":%.3f,"points_per_s_jobs_n":%.3f,"speedup":%.3f}
+|}
+    s1.Hls_dse.Dse.s_points requested_jobs sn.Hls_dse.Dse.s_jobs
+    (Domain.recommended_domain_count ())
+    (Hls_dse.Dse.stats_to_json s1) (Hls_dse.Dse.stats_to_json sn)
+    (Hls_dse.Dse.stats_to_json sc)
+    s1.Hls_dse.Dse.s_points_per_s sn.Hls_dse.Dse.s_points_per_s speedup;
+  close_out oc;
+  print_endline "wrote BENCH_dse.json"
 
 (* ------------------------------------------------------------------ *)
 (* Worked examples 1-3 narratives                                       *)
@@ -551,6 +609,7 @@ let experiments =
     ("fig9", fun () -> fig9 ());
     ("fig10", fig10_11);
     ("fig11", fig10_11);
+    ("dse", bench_dse);
     ("examples", examples);
     ("baselines", baselines);
     ("ablation-timing", ablation_timing);

@@ -7,6 +7,8 @@
       hlsc pipeline example1 --ii 2        # ... and the folded kernel (Fig. 5 view)
       hlsc flow idct --latency 8..8 --clock 1200   # full flow with verification
       hlsc emit example1 --ii 2 -o out.v   # generate Verilog
+      hlsc explore idct --grid "ii=none,8;latency=16;clock=1200,1600" --jobs 4
+                                           # parallel design-space sweep
       hlsc compile my.bhv                  # any command also accepts .bhv files
     v}
 *)
@@ -284,7 +286,83 @@ let emit_cmd =
   Cmd.v (Cmd.info "emit" ~doc)
     Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ out_arg $ opt_arg $ robust_term)
 
+let explore_cmd =
+  let doc =
+    "Design-space exploration: sweep a parameter grid through the flow on a worker pool and \
+     report the swept points, profiling and the area/delay Pareto front."
+  in
+  let grid_arg =
+    Arg.(
+      value
+      & opt string "ii=none;latency=none;clock=1600"
+      & info [ "grid" ] ~docv:"SPEC"
+          ~doc:
+            "Parameter grid, e.g. $(b,ii=none,2,4;latency=8..8,16;clock=1200,1600).  Dimensions \
+             are semicolon-separated, values comma-separated; $(b,none) means sequential (for \
+             ii) or designer bounds (for latency); a bare latency $(b,n) means $(b,n..n).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker-pool size (capped at the machine's recommended domain count; results are \
+             identical for every N).")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the sweep as JSON to $(docv).")
+  in
+  let run name grid_spec jobs json robust =
+    guarded @@ fun () ->
+    let design = or_die (load_design name) in
+    let grid = or_die (Hls_dse.Dse.parse_grid grid_spec) in
+    let options =
+      {
+        Hls_flow.Flow.default_options with
+        verify = false;
+        degrade = not robust.no_degrade;
+        paranoid = robust.paranoid;
+        sched =
+          {
+            Hls_core.Scheduler.default_options with
+            max_passes =
+              Option.value robust.max_passes
+                ~default:Hls_core.Scheduler.default_options.Hls_core.Scheduler.max_passes;
+            timeout_s = robust.timeout;
+          };
+      }
+    in
+    let engine = Hls_dse.Dse.create () in
+    let sw = Hls_dse.Dse.sweep ~jobs engine ~options design (Hls_dse.Dse.grid_points grid) in
+    Hls_report.Table.print (Hls_dse.Dse.table sw.Hls_dse.Dse.sw_results);
+    let pts = Hls_dse.Dse.pareto_points sw.Hls_dse.Dse.sw_results in
+    (match Hls_report.Pareto.front pts with
+    | [] -> print_endline "area/delay Pareto front: (no successful points)"
+    | front ->
+        Printf.printf "area/delay Pareto front: %s\n"
+          (String.concat ", "
+             (List.map
+                (fun p -> Hls_dse.Dse.point_label p.Hls_report.Pareto.p_tag.Hls_dse.Dse.r_point)
+                front)));
+    print_endline (Hls_dse.Dse.stats_to_string (Hls_dse.Dse.stats sw));
+    match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Hls_dse.Dse.sweep_to_json sw);
+        output_string oc "\n";
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(const run $ design_arg $ grid_arg $ jobs_arg $ json_arg $ robust_term)
+
 let () =
   let doc = "performance-constrained pipelining HLS flow (Kondratyev et al., DATE'11 reproduction)" in
   let info = Cmd.info "hlsc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ designs_cmd; compile_cmd; schedule_cmd; pipeline_cmd; flow_cmd; emit_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ designs_cmd; compile_cmd; schedule_cmd; pipeline_cmd; flow_cmd; emit_cmd; explore_cmd ]))

@@ -1,56 +1,36 @@
 (** The Section VI design-space exploration on the IDCT: sweep loop
-    latency and pipelining, plot area/delay, extract the Pareto front, and
+    latency and pipelining through the parallel DSE engine, print the
+    per-point table (with profiling), extract the Pareto front, and
     confirm that the best point needs pipelining.
 
     Run with: [dune exec examples/idct_explore.exe]
     (a reduced sweep; [bench/main.exe fig10] runs the full one) *)
 
+module Dse = Hls_dse.Dse
+
 let () =
   print_endline "IDCT design-space exploration (reduced sweep)\n";
-  let runs =
+  let points =
     List.concat_map
       (fun latency ->
-        List.filter_map
+        List.map
           (fun pipelined ->
-            let ii = if pipelined then Some (latency / 2) else None in
-            let options =
-              {
-                Hls_flow.Flow.default_options with
-                ii;
-                min_latency = Some latency;
-                max_latency = Some latency;
-                verify = false;
-              }
-            in
-            match Hls_flow.Flow.run ~options (Hls_designs.Idct.design ()) with
-            | Ok r ->
-                Some
-                  ( (if pipelined then Printf.sprintf "pipe-%d" latency
-                     else Printf.sprintf "seq-%d" latency),
-                    r )
-            | Error _ -> None)
+            Dse.point
+              ?ii:(if pipelined then Some (latency / 2) else None)
+              ~min_latency:latency ~max_latency:latency ~clock_ps:1600.0 ())
           [ false; true ])
       [ 16; 24; 32 ]
   in
-  Hls_report.Table.print
-    ([ "config"; "II"; "delay (ns)"; "area"; "power (mW)" ]
-    :: List.map
-         (fun (name, (r : Hls_flow.Flow.t)) ->
-           [
-             name;
-             string_of_int r.Hls_flow.Flow.f_cycles_per_iter;
-             Printf.sprintf "%.1f" (r.Hls_flow.Flow.f_delay_ps /. 1000.0);
-             Printf.sprintf "%.0f" r.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total;
-             Printf.sprintf "%.2f" r.Hls_flow.Flow.f_power_mw;
-           ])
-         runs);
-  let pts =
-    List.map
-      (fun (n, (r : Hls_flow.Flow.t)) ->
-        Hls_report.Pareto.point ~x:r.Hls_flow.Flow.f_delay_ps
-          ~y:r.Hls_flow.Flow.f_area.Hls_rtl.Stats.a_total n)
-      runs
+  let options = { Hls_flow.Flow.default_options with verify = false } in
+  let engine = Dse.create () in
+  let sw =
+    Dse.sweep ~jobs:(Domain.recommended_domain_count ()) engine ~options
+      (Hls_designs.Idct.design ()) points
   in
+  Hls_report.Table.print (Dse.table sw.Dse.sw_results);
+  let front = Hls_report.Pareto.front (Dse.pareto_points sw.Dse.sw_results) in
   Printf.printf "\narea/delay Pareto front: %s\n"
-    (String.concat ", " (Hls_report.Pareto.front_tags pts));
+    (String.concat ", "
+       (List.map (fun p -> Dse.point_label p.Hls_report.Pareto.p_tag.Dse.r_point) front));
+  print_endline (Dse.stats_to_string (Dse.stats sw));
   print_endline "(the fastest Pareto point is pipelined, as in the paper's Fig. 10)"

@@ -111,7 +111,7 @@ let reset_pass t =
       i.bound <- [];
       i.mux_cache <- None)
     t.insts;
-  Hashtbl.reset t.chain.Hls_timing.Cycle_detector.succs;
+  Hls_timing.Cycle_detector.clear t.chain;
   (* mark shared instances: a class with more candidate ops than instances
      will be shared, so its input muxes are pre-allocated (Fig. 8a) *)
   let ops_by_class inst =

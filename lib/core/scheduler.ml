@@ -77,6 +77,21 @@ type error = {
   e_budget : Hls_diag.Diag.budget option;  (** which budget tripped, if any *)
 }
 
+type stats = {
+  st_passes : int;
+  st_actions : int;
+  st_queries : int;  (** netlist timing queries — the paper's hottest query *)
+  st_sched_s : float;
+}
+
+let stats t =
+  {
+    st_passes = t.s_passes;
+    st_actions = List.length t.s_actions;
+    st_queries = t.s_binding.Binding.query_count;
+    st_sched_s = t.s_sched_time_s;
+  }
+
 (* internal: unwinds the relaxation loop into a typed error *)
 exception Give_up of { g_code : string; g_budget : Hls_diag.Diag.budget option; g_message : string }
 

@@ -54,6 +54,19 @@ type error = {
   e_budget : Hls_diag.Diag.budget option;  (** which budget tripped, if any *)
 }
 
+type stats = {
+  st_passes : int;  (** scheduling passes run by the relaxation loop *)
+  st_actions : int;  (** expert relaxation actions applied *)
+  st_queries : int;
+      (** netlist timing-engine queries issued by the binder — the
+          paper's "hottest query of the timing engine" *)
+  st_sched_s : float;  (** wall-clock seconds inside the scheduler *)
+}
+
+val stats : t -> stats
+(** Profiling counters of a completed schedule (consumed by the
+    design-space exploration engine). *)
+
 val placement : t -> int -> Binding.placement option
 val step_of : t -> int -> int
 val ops_on_step : t -> int -> int list

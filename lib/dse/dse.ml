@@ -1,0 +1,400 @@
+(** Parallel design-space exploration engine.  See the interface for the
+    contract; the implementation notes here cover the two load-bearing
+    choices.
+
+    {b Parallelism.}  Every grid point is an independent [Flow.run]
+    (elaboration is always fresh, and the flow touches no global mutable
+    state), so the sweep is an embarrassingly-parallel map.  Workers are
+    OCaml 5 domains pulling point indices from an atomic counter; results
+    land in per-index slots, so the output order — and therefore the
+    result list — is independent of the worker count and of scheduling
+    interleavings.  [Domain.join] publishes the slot writes to the
+    spawning domain.
+
+    {b Memoization.}  The cache key is a digest of the marshalled
+    (design, effective options) pair — both are pure data, so the digest
+    is a stable fingerprint of everything that can influence a run.  The
+    cache is read and written only by the spawning domain (workers see a
+    pre-deduplicated work list), which keeps the engine lock-free. *)
+
+module Flow = Hls_flow.Flow
+module Diag = Hls_diag.Diag
+
+(* ------------------------------------------------------------------ *)
+(* Grid *)
+
+type point = {
+  pt_ii : int option;
+  pt_min_latency : int option;
+  pt_max_latency : int option;
+  pt_clock_ps : float;
+}
+
+let point ?ii ?min_latency ?max_latency ~clock_ps () =
+  { pt_ii = ii; pt_min_latency = min_latency; pt_max_latency = max_latency; pt_clock_ps = clock_ps }
+
+let point_label p =
+  let lat =
+    match (p.pt_min_latency, p.pt_max_latency) with
+    | None, None -> "auto"
+    | lo, hi ->
+        let s = function None -> "_" | Some v -> string_of_int v in
+        s lo ^ ".." ^ s hi
+  in
+  Printf.sprintf "%s lat=%s clk=%.0f"
+    (match p.pt_ii with None -> "seq" | Some ii -> Printf.sprintf "ii=%d" ii)
+    lat p.pt_clock_ps
+
+type grid = {
+  g_iis : int option list;
+  g_latencies : (int option * int option) list;
+  g_clocks : float list;
+}
+
+let grid ?(iis = [ None ]) ?(latencies = [ (None, None) ]) ?(clocks = [ 1600.0 ]) () =
+  { g_iis = iis; g_latencies = latencies; g_clocks = clocks }
+
+let grid_points g =
+  List.concat_map
+    (fun ii ->
+      List.concat_map
+        (fun (lo, hi) ->
+          List.map
+            (fun clk ->
+              { pt_ii = ii; pt_min_latency = lo; pt_max_latency = hi; pt_clock_ps = clk })
+            g.g_clocks)
+        g.g_latencies)
+    g.g_iis
+
+let split_on_string ~sep s =
+  (* only single-char separators needed *)
+  String.split_on_char sep s |> List.map String.trim |> List.filter (fun x -> x <> "")
+
+let parse_grid spec =
+  let ( let* ) r f = match r with Error e -> Error e | Ok x -> f x in
+  let parse_int what s =
+    match int_of_string_opt s with
+    | Some v when v >= 1 -> Ok v
+    | _ -> Error (Printf.sprintf "bad %s value '%s' (expected a positive integer)" what s)
+  in
+  let parse_ii s = if s = "none" then Ok None else Result.map Option.some (parse_int "ii" s) in
+  let parse_latency s =
+    if s = "none" then Ok (None, None)
+    else
+      match String.index_opt s '.' with
+      | Some i when i + 1 < String.length s && s.[i + 1] = '.' ->
+          let* lo = parse_int "latency" (String.sub s 0 i) in
+          let* hi = parse_int "latency" (String.sub s (i + 2) (String.length s - i - 2)) in
+          if lo > hi then Error (Printf.sprintf "empty latency range '%s'" s)
+          else Ok (Some lo, Some hi)
+      | _ ->
+          let* n = parse_int "latency" s in
+          Ok (Some n, Some n)
+  in
+  let parse_clock s =
+    match float_of_string_opt s with
+    | Some v when v > 0.0 -> Ok v
+    | _ -> Error (Printf.sprintf "bad clock value '%s' (expected a positive number)" s)
+  in
+  let rec map_m f = function
+    | [] -> Ok []
+    | x :: xs ->
+        let* y = f x in
+        let* ys = map_m f xs in
+        Ok (y :: ys)
+  in
+  let parse_dim acc dim =
+    match String.index_opt dim '=' with
+    | None -> Error (Printf.sprintf "bad grid dimension '%s' (expected key=v1,v2,...)" dim)
+    | Some i -> (
+        let key = String.trim (String.sub dim 0 i) in
+        let vals = split_on_string ~sep:',' (String.sub dim (i + 1) (String.length dim - i - 1)) in
+        if vals = [] then Error (Printf.sprintf "empty value list for '%s'" key)
+        else
+          match key with
+          | "ii" ->
+              let* iis = map_m parse_ii vals in
+              Ok { acc with g_iis = iis }
+          | "latency" | "lat" ->
+              let* ls = map_m parse_latency vals in
+              Ok { acc with g_latencies = ls }
+          | "clock" | "clk" ->
+              let* cs = map_m parse_clock vals in
+              Ok { acc with g_clocks = cs }
+          | _ -> Error (Printf.sprintf "unknown grid dimension '%s' (ii, latency, clock)" key))
+  in
+  List.fold_left
+    (fun acc dim ->
+      let* g = acc in
+      parse_dim g dim)
+    (Ok (grid ()))
+    (split_on_string ~sep:';' spec)
+
+(* ------------------------------------------------------------------ *)
+(* Results *)
+
+type profile = {
+  pr_wall_s : float;
+  pr_passes : int;
+  pr_actions : int;
+  pr_queries : int;
+  pr_cached : bool;
+}
+
+type result = {
+  r_point : point;
+  r_flow : (Flow.t, Diag.t) Stdlib.result;
+  r_profile : profile;
+}
+
+type sweep = {
+  sw_results : result list;
+  sw_wall_s : float;
+  sw_jobs : int;
+  sw_new_runs : int;
+  sw_cache_hits : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+type t = {
+  cache : (string, (Flow.t, Diag.t) Stdlib.result * profile) Hashtbl.t;
+  mutable runs : int;
+}
+
+let create () = { cache = Hashtbl.create 64; runs = 0 }
+
+let runs_performed t = t.runs
+
+let options_of ~(options : Flow.options) p =
+  {
+    options with
+    Flow.ii = p.pt_ii;
+    min_latency = p.pt_min_latency;
+    max_latency = p.pt_max_latency;
+    clock_ps = p.pt_clock_ps;
+  }
+
+let fingerprint ~options (design : Hls_frontend.Ast.design) p =
+  (* design and options are pure data (no closures), so the marshalled
+     bytes are a complete, stable description of the run *)
+  Digest.to_hex (Digest.string (Marshal.to_string (design, options_of ~options p) []))
+
+let run_point ~options design p : (Flow.t, Diag.t) Stdlib.result * profile =
+  let t0 = Unix.gettimeofday () in
+  let r = Flow.run ~options:(options_of ~options p) design in
+  let wall = Unix.gettimeofday () -. t0 in
+  let profile =
+    match r with
+    | Ok f ->
+        let st = f.Flow.f_stats in
+        {
+          pr_wall_s = wall;
+          pr_passes = st.Hls_core.Scheduler.st_passes;
+          pr_actions = st.Hls_core.Scheduler.st_actions;
+          pr_queries = st.Hls_core.Scheduler.st_queries;
+          pr_cached = false;
+        }
+    | Error d ->
+        { pr_wall_s = wall; pr_passes = d.Diag.d_passes; pr_actions = 0; pr_queries = 0;
+          pr_cached = false }
+  in
+  (r, profile)
+
+let sweep ?(jobs = 1) ?max_workers t ~options design points =
+  let max_workers =
+    match max_workers with Some m -> max 1 m | None -> Domain.recommended_domain_count ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let pts = Array.of_list points in
+  let fps = Array.map (fingerprint ~options design) pts in
+  (* unique uncached fingerprints, in first-occurrence order *)
+  let owner = Hashtbl.create 16 in
+  let todo = ref [] in
+  Array.iteri
+    (fun i fp ->
+      if not (Hashtbl.mem t.cache fp) && not (Hashtbl.mem owner fp) then begin
+        Hashtbl.replace owner fp ();
+        todo := (fp, pts.(i)) :: !todo
+      end)
+    fps;
+  let todo = Array.of_list (List.rev !todo) in
+  let n = Array.length todo in
+  let out = Array.make n None in
+  let workers = max 1 (min jobs (min n max_workers)) in
+  if n > 0 then
+    if workers <= 1 then
+      Array.iteri (fun i (_, p) -> out.(i) <- Some (run_point ~options design p)) todo
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            let _, p = todo.(i) in
+            out.(i) <- Some (run_point ~options design p);
+            loop ()
+          end
+        in
+        loop ()
+      in
+      List.init workers (fun _ -> Domain.spawn worker) |> List.iter Domain.join
+    end;
+  Array.iteri
+    (fun i (fp, _) -> match out.(i) with Some rp -> Hashtbl.replace t.cache fp rp | None -> ())
+    todo;
+  t.runs <- t.runs + n;
+  (* assemble in input order; the first occurrence of a fresh fingerprint
+     reports the live profile, every other occurrence is cache-served *)
+  let fresh = Hashtbl.create 16 in
+  Array.iteri (fun _ (fp, _) -> Hashtbl.replace fresh fp ()) todo;
+  let results =
+    Array.to_list
+      (Array.mapi
+         (fun i fp ->
+           let flow, profile = Hashtbl.find t.cache fp in
+           let cached = not (Hashtbl.mem fresh fp) in
+           if not cached then Hashtbl.remove fresh fp;
+           { r_point = pts.(i); r_flow = flow; r_profile = { profile with pr_cached = cached } })
+         fps)
+  in
+  {
+    sw_results = results;
+    sw_wall_s = Unix.gettimeofday () -. t0;
+    sw_jobs = workers;
+    sw_new_runs = n;
+    sw_cache_hits = Array.length fps - n;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+type stats = {
+  s_points : int;
+  s_ok : int;
+  s_failed : int;
+  s_cache_hits : int;
+  s_new_runs : int;
+  s_jobs : int;
+  s_wall_s : float;
+  s_points_per_s : float;
+  s_cpu_s : float;
+  s_passes : int;
+  s_actions : int;
+  s_queries : int;
+}
+
+let stats sw =
+  let rs = sw.sw_results in
+  let count f = List.length (List.filter f rs) in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 rs in
+  {
+    s_points = List.length rs;
+    s_ok = count (fun r -> Result.is_ok r.r_flow);
+    s_failed = count (fun r -> Result.is_error r.r_flow);
+    s_cache_hits = sw.sw_cache_hits;
+    s_new_runs = sw.sw_new_runs;
+    s_jobs = sw.sw_jobs;
+    s_wall_s = sw.sw_wall_s;
+    s_points_per_s =
+      (if sw.sw_wall_s > 0.0 then float_of_int (List.length rs) /. sw.sw_wall_s else 0.0);
+    s_cpu_s =
+      List.fold_left
+        (fun acc r -> if r.r_profile.pr_cached then acc else acc +. r.r_profile.pr_wall_s)
+        0.0 rs;
+    s_passes = sum (fun r -> r.r_profile.pr_passes);
+    s_actions = sum (fun r -> r.r_profile.pr_actions);
+    s_queries = sum (fun r -> r.r_profile.pr_queries);
+  }
+
+let stats_to_string s =
+  Printf.sprintf
+    "%d point(s): %d ok, %d failed; %d fresh run(s), %d cache hit(s); %d job(s), %.2fs wall \
+     (%.1f points/s, %.2fs cpu); %d pass(es), %d action(s), %d timing queries"
+    s.s_points s.s_ok s.s_failed s.s_new_runs s.s_cache_hits s.s_jobs s.s_wall_s s.s_points_per_s
+    s.s_cpu_s s.s_passes s.s_actions s.s_queries
+
+let table rs =
+  [ "config"; "tier"; "II"; "LI"; "delay (ns)"; "area"; "power (mW)"; "passes"; "queries";
+    "wall (s)"; "cache" ]
+  :: List.map
+       (fun r ->
+         let pr = r.r_profile in
+         let base label rest =
+           (point_label r.r_point :: label :: rest)
+           @ [ string_of_int pr.pr_passes; string_of_int pr.pr_queries;
+               Printf.sprintf "%.3f" pr.pr_wall_s; (if pr.pr_cached then "hit" else "-") ]
+         in
+         match r.r_flow with
+         | Ok f ->
+             base
+               (Flow.tier_to_string f.Flow.f_tier)
+               [ string_of_int f.Flow.f_cycles_per_iter;
+                 string_of_int f.Flow.f_sched.Hls_core.Scheduler.s_li;
+                 Printf.sprintf "%.1f" (f.Flow.f_delay_ps /. 1000.0);
+                 Printf.sprintf "%.0f" f.Flow.f_area.Hls_rtl.Stats.a_total;
+                 Printf.sprintf "%.2f" f.Flow.f_power_mw ]
+         | Error d -> base ("FAILED: " ^ d.Diag.d_code) [ "-"; "-"; "-"; "-"; "-" ])
+       rs
+
+let pareto_points rs =
+  List.filter_map
+    (fun r ->
+      match r.r_flow with
+      | Ok f ->
+          Some
+            (Hls_report.Pareto.point ~x:f.Flow.f_delay_ps ~y:f.Flow.f_area.Hls_rtl.Stats.a_total r)
+      | Error _ -> None)
+    rs
+
+(* minimal JSON emission, same hand-rolled style as Hls_diag *)
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_str s = "\"" ^ json_escape s ^ "\""
+
+let json_opt_int = function None -> "null" | Some v -> string_of_int v
+
+let point_to_json p =
+  Printf.sprintf {|{"ii":%s,"min_latency":%s,"max_latency":%s,"clock_ps":%.1f}|}
+    (json_opt_int p.pt_ii) (json_opt_int p.pt_min_latency) (json_opt_int p.pt_max_latency)
+    p.pt_clock_ps
+
+let result_to_json r =
+  let pr = r.r_profile in
+  let profile =
+    Printf.sprintf {|"passes":%d,"actions":%d,"queries":%d,"wall_s":%.6f,"cached":%b|}
+      pr.pr_passes pr.pr_actions pr.pr_queries pr.pr_wall_s pr.pr_cached
+  in
+  match r.r_flow with
+  | Ok f ->
+      Printf.sprintf
+        {|{"point":%s,"status":"ok","tier":%s,"ii":%d,"li":%d,"delay_ps":%.1f,"area":%.1f,"power_mw":%.4f,%s}|}
+        (point_to_json r.r_point)
+        (json_str (Flow.tier_to_string f.Flow.f_tier))
+        f.Flow.f_cycles_per_iter f.Flow.f_sched.Hls_core.Scheduler.s_li f.Flow.f_delay_ps
+        f.Flow.f_area.Hls_rtl.Stats.a_total f.Flow.f_power_mw profile
+  | Error d ->
+      Printf.sprintf {|{"point":%s,"status":"error","code":%s,"message":%s,%s}|}
+        (point_to_json r.r_point) (json_str d.Diag.d_code) (json_str d.Diag.d_message) profile
+
+let stats_to_json s =
+  Printf.sprintf
+    {|{"points":%d,"ok":%d,"failed":%d,"cache_hits":%d,"new_runs":%d,"jobs":%d,"wall_s":%.6f,"points_per_s":%.3f,"cpu_s":%.6f,"passes":%d,"actions":%d,"queries":%d}|}
+    s.s_points s.s_ok s.s_failed s.s_cache_hits s.s_new_runs s.s_jobs s.s_wall_s s.s_points_per_s
+    s.s_cpu_s s.s_passes s.s_actions s.s_queries
+
+let sweep_to_json sw =
+  Printf.sprintf {|{"stats":%s,"results":[%s]}|}
+    (stats_to_json (stats sw))
+    (String.concat "," (List.map result_to_json sw.sw_results))

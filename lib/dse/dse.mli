@@ -1,0 +1,153 @@
+(** Parallel design-space exploration engine (Section VI).
+
+    The paper's evaluation sweeps micro-architectural parameters — II,
+    latency bounds, clock period — over one design and reports the
+    area/performance Pareto front (Figures 9–11).  This engine takes a
+    design plus a parameter {!grid}, runs every point through
+    {!Hls_flow.Flow.run} on a pool of OCaml 5 domains, and returns
+    per-point results with profiling (wall time, scheduler passes, expert
+    actions, and the binder's timing-query count — the paper's "hottest
+    query of the timing engine").
+
+    Results are memoized in the engine across sweeps, keyed by a stable
+    fingerprint of (design digest, effective flow options): repeated or
+    overlapping sweeps never re-schedule the same point, and duplicate
+    points within one sweep are scheduled once.
+
+    Determinism: a sweep's results depend only on the design, the base
+    options and the point list — never on the worker count — so
+    [~jobs:n] produces identical point results to [~jobs:1]. *)
+
+(** {2 Grid} *)
+
+(** One micro-architectural configuration: the fields of
+    {!Hls_flow.Flow.options} the evaluation sweeps. *)
+type point = {
+  pt_ii : int option;  (** pipeline II; [None] = sequential *)
+  pt_min_latency : int option;
+  pt_max_latency : int option;
+  pt_clock_ps : float;
+}
+
+val point :
+  ?ii:int -> ?min_latency:int -> ?max_latency:int -> clock_ps:float -> unit -> point
+
+val point_label : point -> string
+(** Compact human label, e.g. ["ii=2 lat=8..8 clk=1200"]. *)
+
+(** A cartesian parameter grid: II values × latency-bound pairs × clock
+    periods. *)
+type grid = {
+  g_iis : int option list;
+  g_latencies : (int option * int option) list;
+  g_clocks : float list;
+}
+
+val grid :
+  ?iis:int option list ->
+  ?latencies:(int option * int option) list ->
+  ?clocks:float list ->
+  unit ->
+  grid
+(** Defaults: sequential only, designer latency bounds, 1600 ps. *)
+
+val grid_points : grid -> point list
+(** The cartesian product in a deterministic order (iis outermost, clocks
+    innermost). *)
+
+val parse_grid : string -> (grid, string) result
+(** Parse the [--grid] specification language:
+    ["ii=none,1,2;latency=8..8,16;clock=1200,1600"] — semicolon-separated
+    dimensions, comma-separated values; [none] for sequential / designer
+    bounds, a bare latency [n] meaning [n..n]. *)
+
+(** {2 Results} *)
+
+(** Per-point profiling record. *)
+type profile = {
+  pr_wall_s : float;  (** wall-clock seconds inside [Flow.run] *)
+  pr_passes : int;  (** scheduler relaxation passes *)
+  pr_actions : int;  (** expert actions applied *)
+  pr_queries : int;  (** binder netlist timing queries *)
+  pr_cached : bool;  (** served from the memo cache, not a fresh run *)
+}
+
+type result = {
+  r_point : point;
+  r_flow : (Hls_flow.Flow.t, Hls_diag.Diag.t) Stdlib.result;
+  r_profile : profile;
+}
+
+(** One sweep's outcome: results in input-point order plus sweep-level
+    accounting. *)
+type sweep = {
+  sw_results : result list;
+  sw_wall_s : float;  (** wall-clock of the whole sweep *)
+  sw_jobs : int;  (** effective worker-pool size used *)
+  sw_new_runs : int;  (** points actually run (not cache-served) *)
+  sw_cache_hits : int;
+}
+
+(** {2 Engine} *)
+
+type t
+(** An exploration engine: a memo cache shared by every sweep run on it. *)
+
+val create : unit -> t
+
+val runs_performed : t -> int
+(** Total [Flow.run] invocations over the engine's lifetime (cache misses
+    only) — the observable for cache-hit tests. *)
+
+val fingerprint : options:Hls_flow.Flow.options -> Hls_frontend.Ast.design -> point -> string
+(** The stable memoization key: a digest of the design and the effective
+    flow options of the point. *)
+
+val sweep :
+  ?jobs:int ->
+  ?max_workers:int ->
+  t ->
+  options:Hls_flow.Flow.options ->
+  Hls_frontend.Ast.design ->
+  point list ->
+  sweep
+(** Run every point through the flow on a pool of [jobs] domains.
+    [jobs] is capped at [max_workers], which defaults to
+    [Domain.recommended_domain_count ()]; pass it explicitly to allow
+    deliberate oversubscription (e.g. exercising the pool on a small
+    machine).  Pool size 1 runs sequentially on the calling domain.
+    Results come back in input order regardless of [jobs]. *)
+
+(** {2 Reporting} *)
+
+(** Sweep-level summary for [Dse.stats]. *)
+type stats = {
+  s_points : int;
+  s_ok : int;
+  s_failed : int;
+  s_cache_hits : int;
+  s_new_runs : int;
+  s_jobs : int;
+  s_wall_s : float;
+  s_points_per_s : float;
+  s_cpu_s : float;  (** sum of per-point wall over fresh runs *)
+  s_passes : int;
+  s_actions : int;
+  s_queries : int;
+}
+
+val stats : sweep -> stats
+val stats_to_string : stats -> string
+val stats_to_json : stats -> string
+
+val table : result list -> string list list
+(** Rows for {!Hls_report.Table}: config, tier, II, LI, delay, area,
+    power, passes, queries, wall, cache flag. *)
+
+val pareto_points : result list -> result Hls_report.Pareto.point list
+(** Delay (II × Tclk) vs area points of the successful results, tagged
+    with their result — feed to {!Hls_report.Pareto.front}. *)
+
+val sweep_to_json : sweep -> string
+(** Machine-readable dump of a sweep: per-point configuration, outcome,
+    metrics and profile, plus the {!stats} summary. *)

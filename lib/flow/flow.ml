@@ -78,6 +78,7 @@ type t = {
   f_clock_ps : float;
   f_tier : tier;  (** which degradation tier served this result *)
   f_notes : Diag.t list;  (** warnings accumulated on the way (degradations) *)
+  f_stats : Scheduler.stats;  (** pass/action/query profiling counters *)
 }
 
 let diag_of_sched_error (e : Scheduler.error) : Diag.t =
@@ -189,6 +190,7 @@ let finish ~options ~tier ~check_timing (design : Ast.design) elab region (sched
       f_clock_ps = options.clock_ps;
       f_tier = tier;
       f_notes = [];
+      f_stats = Scheduler.stats sched;
     }
 
 (** One complete attempt with the unified scheduler at [options.ii].

@@ -49,6 +49,9 @@ type t = {
   f_clock_ps : float;
   f_tier : tier;  (** which degradation tier served this result *)
   f_notes : Diag.t list;  (** warnings accumulated on the way (degradations) *)
+  f_stats : Hls_core.Scheduler.stats;
+      (** pass/action/timing-query profiling counters of the schedule that
+          served this result (see {!Hls_core.Scheduler.stats}) *)
 }
 
 val run : ?options:options -> ?trace:Hls_core.Trace.t -> Ast.design -> (t, Diag.t) result

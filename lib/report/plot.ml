@@ -12,16 +12,26 @@ let series ?(glyph = '*') label points = { s_label = label; s_glyph = glyph; s_p
 
 let default_glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
 
-let transform = function
-  | Linear -> fun v -> v
-  | Log10 -> fun v -> if v <= 0.0 then 0.0 else log10 v
+let transform = function Linear -> fun v -> v | Log10 -> log10
 
 (** Render the plot as a string.  [width]/[height] are the grid size in
-    characters. *)
+    characters.  Values ≤ 0 on a log-scaled axis have no finite image and
+    are dropped from the plot (with a one-line warning) instead of being
+    silently collapsed onto the cell of value 1. *)
 let render ?(width = 64) ?(height = 20) ?(x_scale = Linear) ?(y_scale = Linear) ~title ~x_label
     ~y_label (ss : series list) : string =
+  let plottable (x, y) =
+    (x_scale = Linear || x > 0.0) && (y_scale = Linear || y > 0.0)
+  in
+  let n_raw = List.fold_left (fun n s -> n + List.length s.s_points) 0 ss in
+  let ss = List.map (fun s -> { s with s_points = List.filter plottable s.s_points }) ss in
+  let dropped = n_raw - List.fold_left (fun n s -> n + List.length s.s_points) 0 ss in
+  let warning =
+    if dropped = 0 then ""
+    else Printf.sprintf "  (warning: %d non-positive point(s) dropped from log axes)\n" dropped
+  in
   let pts = List.concat_map (fun s -> s.s_points) ss in
-  if pts = [] then title ^ ": (no data)\n"
+  if pts = [] then title ^ ": (no data)\n" ^ warning
   else begin
     let tx = transform x_scale and ty = transform y_scale in
     let xs = List.map (fun (x, _) -> tx x) pts and ys = List.map (fun (_, y) -> ty y) pts in
@@ -29,14 +39,14 @@ let render ?(width = 64) ?(height = 20) ?(x_scale = Linear) ?(y_scale = Linear) 
     let x0 = fmin xs and x1 = fmax xs and y0 = fmin ys and y1 = fmax ys in
     let xr = if x1 -. x0 < 1e-9 then 1.0 else x1 -. x0 in
     let yr = if y1 -. y0 < 1e-9 then 1.0 else y1 -. y0 in
+    let cell v v0 vr n = int_of_float (Float.round ((v -. v0) /. vr *. float_of_int (n - 1))) in
     let grid = Array.make_matrix height width ' ' in
     List.iter
       (fun s ->
         List.iter
           (fun (x, y) ->
-            let cx = int_of_float ((tx x -. x0) /. xr *. float_of_int (width - 1)) in
-            let cy = int_of_float ((ty y -. y0) /. yr *. float_of_int (height - 1)) in
-            let cy = height - 1 - cy in
+            let cx = cell (tx x) x0 xr width in
+            let cy = height - 1 - cell (ty y) y0 yr height in
             if cx >= 0 && cx < width && cy >= 0 && cy < height then grid.(cy).(cx) <- s.s_glyph)
           s.s_points)
       ss;
@@ -59,6 +69,7 @@ let render ?(width = 64) ?(height = 20) ?(x_scale = Linear) ?(y_scale = Linear) 
     List.iter
       (fun s -> Buffer.add_string buf (Printf.sprintf "  %c = %s\n" s.s_glyph s.s_label))
       ss;
+    Buffer.add_string buf warning;
     Buffer.contents buf
   end
 

@@ -1,6 +1,9 @@
 (** ASCII scatter/line plots for the figure-reproducing benches: multiple
     glyph-coded series on one grid, linear or log10 axes — enough to show
-    the {e shape} of the paper's Figures 9–11 in bench output. *)
+    the {e shape} of the paper's Figures 9–11 in bench output.
+
+    Values ≤ 0 on a log-scaled axis are dropped from the render (with a
+    one-line warning) rather than silently plotted at the cell of 1. *)
 
 type scale = Linear | Log10
 

@@ -48,6 +48,13 @@ let add_edge t ~src ~dst =
     t.n_edges <- t.n_edges + 1
   end
 
+(** Drop every edge, returning the detector to its freshly-created state.
+    Resets the successor table {e and} the edge count together — clearing
+    [succs] alone would leave [n_edges] stale. *)
+let clear t =
+  Hashtbl.reset t.succs;
+  t.n_edges <- 0
+
 let remove_edge t ~src ~dst =
   match Hashtbl.find_opt t.succs src with
   | None -> ()

@@ -19,5 +19,8 @@ val add_edge : t -> src:int -> dst:int -> unit
     cycle — callers must test first. *)
 
 val remove_edge : t -> src:int -> dst:int -> unit
+
+(** Drop every edge and reset the edge count — the fresh-detector state. *)
+val clear : t -> unit
 val copy : t -> t
 val n_edges : t -> int

@@ -168,6 +168,35 @@ let test_comb_cycle_fig6 () =
   | Ok () -> Alcotest.fail "binding must be rejected: structural comb cycle"
   | Error f -> Alcotest.failf "expected cycle rejection, got %s" (Restraint.fail_to_string f))
 
+let test_reset_pass_clears_chain () =
+  (* regression: reset_pass used to empty the chain detector's adjacency
+     table but leave n_edges stale, so a detector that had ever seen
+     max_chain_edges edges rejected every chained binding in later passes *)
+  let dfg = Dfg.create () in
+  let read p = (Dfg.add_op dfg (Opkind.Read p) ~width:16 ~name:p).Dfg.id in
+  let a = read "a" and bb = read "b" and c = read "c" in
+  let x = (Dfg.add_op dfg (Opkind.Bin Opkind.Add) ~width:16 ~name:"x").Dfg.id in
+  let y = (Dfg.add_op dfg (Opkind.Bin Opkind.Add) ~width:16 ~name:"y").Dfg.id in
+  Dfg.connect dfg ~src:a ~dst:x ~port:0;
+  Dfg.connect dfg ~src:bb ~dst:x ~port:1;
+  Dfg.connect dfg ~src:x ~dst:y ~port:0;
+  Dfg.connect dfg ~src:c ~dst:y ~port:1;
+  let region = Region.create ~min_steps:1 ~max_steps:1 ~name:"chain" dfg in
+  let b = Binding.create ~lib ~clock_ps:clock region in
+  let rt = { Resource.rclass = Opkind.R_addsub; in_widths = [ 16; 16 ]; out_width = 16 } in
+  let ia = Binding.add_inst b rt and ib = Binding.add_inst b rt in
+  Binding.reset_pass b;
+  List.iter
+    (fun o -> match o.Dfg.kind with Opkind.Read _ -> bind_ok b o ~step:0 ~inst_opt:None | _ -> ())
+    (Dfg.ops dfg);
+  bind_ok b (Dfg.find dfg x) ~step:0 ~inst_opt:(Some ia.Binding.inst_id);
+  bind_ok b (Dfg.find dfg y) ~step:0 ~inst_opt:(Some ib.Binding.inst_id);
+  Alcotest.(check bool) "chaining x into y recorded an instance edge" true
+    (Hls_timing.Cycle_detector.n_edges b.Binding.chain > 0);
+  Binding.reset_pass b;
+  Alcotest.(check int) "reset_pass leaves a fresh detector: zero edges" 0
+    (Hls_timing.Cycle_detector.n_edges b.Binding.chain)
+
 let test_forbidden_pair () =
   let region, _, _, mul1, _, _ = fig8_region () in
   let dfg = dfg_of region in
@@ -207,6 +236,7 @@ let suite =
     Alcotest.test_case "busy within a step" `Quick test_busy_and_equivalence;
     Alcotest.test_case "equivalence-class busy (II=2)" `Quick test_pipelined_equivalence_busy;
     Alcotest.test_case "Fig. 6 comb-cycle rejection" `Quick test_comb_cycle_fig6;
+    Alcotest.test_case "reset_pass clears chain detector" `Quick test_reset_pass_clears_chain;
     Alcotest.test_case "forbidden pairs" `Quick test_forbidden_pair;
     Alcotest.test_case "rollback on failure" `Quick test_rollback_on_failure;
   ]

@@ -30,4 +30,5 @@ let () =
       ("sched_props", Test_sched_props.suite);
       ("kernel_sim", Test_kernel_sim.suite);
       ("faults", Test_faults.suite);
+      ("dse", Test_dse.suite);
     ]
