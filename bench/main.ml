@@ -211,7 +211,7 @@ let fig9 ?(n = 40) ?(hi = 1000) () =
         | Ok s ->
             Printf.printf "  %-22s %5d ops  clk %4.0f  %7.2f s  (%d passes, %d insts)\n%!"
               d.Ast.d_name ops clock s.Scheduler.s_sched_time_s s.Scheduler.s_passes
-              (List.length s.Scheduler.s_binding.Binding.insts);
+              (List.length s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.insts);
             Some ((float_of_int ops, float_of_int s.Scheduler.s_passes), s.Scheduler.s_sched_time_s)
         | Error err ->
             Printf.printf "  %-22s %5d ops  clk %4.0f  FAILED (%s)\n%!" d.Ast.d_name ops clock
@@ -457,7 +457,7 @@ let baselines () =
           let region = Elaborate.main_region ~ii e in
           match Scheduler.schedule ~lib ~clock_ps:clock region with
           | Ok s ->
-              let rep = Binding.timing_report s.Scheduler.s_binding in
+              let rep = Hls_netlist.Netlist.timing_report s.Scheduler.s_binding.Binding.net in
               let syn = Hls_timing.Synthesize.run lib rep in
               [ [ name ^ " / ours"; string_of_int s.Scheduler.s_li;
                   Printf.sprintf "%.0f" syn.Hls_timing.Synthesize.s_wns;
@@ -472,7 +472,7 @@ let baselines () =
           let region = Elaborate.main_region ~ii e in
           match Hls_baseline.Modulo.schedule ~lib ~clock_ps:clock region with
           | Ok m ->
-              let rep = Binding.timing_report m.Hls_baseline.Modulo.m_binding in
+              let rep = Hls_netlist.Netlist.timing_report m.Hls_baseline.Modulo.m_binding.Binding.net in
               let syn = Hls_timing.Synthesize.run lib rep in
               [ [ Printf.sprintf "%s / modulo (reaches II=%d)" name m.Hls_baseline.Modulo.m_ii;
                   string_of_int m.Hls_baseline.Modulo.m_li;
@@ -486,7 +486,7 @@ let baselines () =
           let region = Elaborate.main_region ~ii e in
           match Hls_baseline.Sehwa.schedule ~ii ~lib ~clock_ps:clock region with
           | Ok m ->
-              let rep = Binding.timing_report m.Hls_baseline.Sehwa.s_binding in
+              let rep = Hls_netlist.Netlist.timing_report m.Hls_baseline.Sehwa.s_binding.Binding.net in
               let syn = Hls_timing.Synthesize.run lib rep in
               [ [ name ^ " / schedule-then-fold";
                   Printf.sprintf "%d (%d attempts)" m.Hls_baseline.Sehwa.s_li m.Hls_baseline.Sehwa.s_attempts;
@@ -597,6 +597,69 @@ let micro () =
   List.iter benchmark tests
 
 (* ------------------------------------------------------------------ *)
+(* Netlist engine benchmark: incremental-timing query throughput and    *)
+(* trial/rollback transaction throughput (BENCH_netlist.json)           *)
+(* ------------------------------------------------------------------ *)
+
+let bench_netlist () =
+  section "NETLIST — incremental timing engine throughput (BENCH_netlist.json)";
+  let module Netlist = Hls_netlist.Netlist in
+  let profile =
+    { Hls_designs.Synthetic.default_profile with Hls_designs.Synthetic.p_ops = 350; p_seed = 7 }
+  in
+  let d = Hls_designs.Synthetic.design ~profile () in
+  let e = Elaborate.design d in
+  let region = Elaborate.main_region e in
+  match Scheduler.schedule ~lib ~clock_ps:clock region with
+  | Error err -> Printf.printf "synthetic-350 failed to schedule: %s\n" err.Scheduler.e_message
+  | Ok s ->
+      let net = s.Scheduler.s_binding.Hls_core.Binding.net in
+      let st = Scheduler.stats s in
+      let ns = Netlist.stats net in
+      let sched_queries_per_s =
+        if st.Scheduler.st_sched_s > 0.0 then
+          float_of_int ns.Netlist.s_queries /. st.Scheduler.st_sched_s
+        else 0.0
+      in
+      (* micro-loop: a full what-if transaction (open, recompute the seed
+         ops, roll back) — the unit of work a candidate binding costs *)
+      let seeds =
+        Hashtbl.fold (fun op _ acc -> op :: acc) net.Netlist.placements [] |> fun l ->
+        List.filteri (fun i _ -> i < 32) (List.sort compare l)
+      in
+      let iters = 2000 in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        Netlist.begin_trial net;
+        List.iter (fun op -> ignore (Netlist.recompute_arrival net op)) seeds;
+        Netlist.rollback net
+      done;
+      let trial_s = Unix.gettimeofday () -. t0 in
+      let trial_per_s = if trial_s > 0.0 then float_of_int iters /. trial_s else 0.0 in
+      let micro_queries_per_s =
+        if trial_s > 0.0 then float_of_int (iters * List.length seeds) /. trial_s else 0.0
+      in
+      let deviation = Netlist.reference_deviation net in
+      Printf.printf "schedule: %d ops, LI=%d, %.3f s in the scheduler\n"
+        (Hashtbl.length net.Netlist.placements) s.Scheduler.s_li st.Scheduler.st_sched_s;
+      Printf.printf "scheduling run: %d queries, %d trials (%d commits / %d rollbacks), %.0f queries/s\n"
+        ns.Netlist.s_queries ns.Netlist.s_trials ns.Netlist.s_commits ns.Netlist.s_rollbacks
+        sched_queries_per_s;
+      Printf.printf "micro trial/rollback: %d iters x %d seeds in %.3f s = %.0f transactions/s, %.0f queries/s\n"
+        iters (List.length seeds) trial_s trial_per_s micro_queries_per_s;
+      Printf.printf "oracle deviation vs reference evaluator: %.6f ps\n" deviation;
+      let oc = open_out "BENCH_netlist.json" in
+      Printf.fprintf oc
+        {|{"design":"synthetic-350","ops":%d,"li":%d,"sched_s":%.6f,"queries":%d,"trials":%d,"commits":%d,"rollbacks":%d,"sched_queries_per_s":%.1f,"trial_rollback_iters":%d,"trial_rollback_s":%.6f,"trial_rollback_per_s":%.1f,"micro_queries_per_s":%.1f,"oracle_max_deviation_ps":%.6f}
+|}
+        (Hashtbl.length net.Netlist.placements)
+        s.Scheduler.s_li st.Scheduler.st_sched_s ns.Netlist.s_queries ns.Netlist.s_trials
+        ns.Netlist.s_commits ns.Netlist.s_rollbacks sched_queries_per_s iters trial_s trial_per_s
+        micro_queries_per_s deviation;
+      close_out oc;
+      print_endline "wrote BENCH_netlist.json"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -610,6 +673,7 @@ let experiments =
     ("fig10", fig10_11);
     ("fig11", fig10_11);
     ("dse", bench_dse);
+    ("netlist", bench_netlist);
     ("examples", examples);
     ("baselines", baselines);
     ("ablation-timing", ablation_timing);

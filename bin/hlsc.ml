@@ -316,6 +316,14 @@ let explore_cmd =
   in
   let run name grid_spec jobs json robust =
     guarded @@ fun () ->
+    let jobs =
+      match Hls_dse.Dse.validate_jobs jobs with
+      | Ok j -> j
+      | Error d ->
+          if robust.diag_json then prerr_endline (Hls_diag.Diag.to_json d)
+          else prerr_endline ("hlsc: " ^ Hls_diag.Diag.to_string d);
+          exit 1
+    in
     let design = or_die (load_design name) in
     let grid = or_die (Hls_dse.Dse.parse_grid grid_spec) in
     let options =

@@ -5,6 +5,7 @@
 
 open Hls_ir
 open Hls_core
+module Netlist = Hls_netlist.Netlist
 
 type violation = { v_rule : string; v_message : string }
 
@@ -15,8 +16,8 @@ let run ?(check_timing = true) (region : Region.t) (s : Scheduler.t) (fold : Pip
   let dfg = region.Region.dfg in
   let li = s.Scheduler.s_li in
   let ii = Region.ii region in
-  let binding = s.Scheduler.s_binding in
-  let lib = binding.Binding.lib in
+  let nl = s.Scheduler.s_binding.Binding.net in
+  let lib = nl.Netlist.lib in
   let viols = ref [] in
   let fail rule fmt =
     Printf.ksprintf (fun m -> viols := { v_rule = rule; v_message = m } :: !viols) fmt
@@ -24,45 +25,45 @@ let run ?(check_timing = true) (region : Region.t) (s : Scheduler.t) (fold : Pip
   (* placement: every member placed, within the latency interval *)
   List.iter
     (fun op ->
-      match Binding.placement binding op.Dfg.id with
+      match Netlist.placement nl op.Dfg.id with
       | None -> fail "placement" "op %d (%s) is not placed" op.Dfg.id op.Dfg.name
       | Some pl ->
-          if pl.Binding.pl_step < 0 || pl.Binding.pl_finish > li - 1 then
+          if pl.Netlist.pl_step < 0 || pl.Netlist.pl_finish > li - 1 then
             fail "placement" "op %d (%s) at steps %d..%d outside [0,%d)" op.Dfg.id op.Dfg.name
-              pl.Binding.pl_step pl.Binding.pl_finish li)
+              pl.Netlist.pl_step pl.Netlist.pl_finish li)
     (Region.member_ops region);
   (* dependency ordering and modulo constraints *)
   Dfg.iter_ops dfg (fun op ->
       List.iter
         (fun e ->
           if Region.mem region e.Dfg.src && Region.mem region e.Dfg.dst then
-            match (Binding.placement binding e.Dfg.src, Binding.placement binding e.Dfg.dst) with
+            match (Netlist.placement nl e.Dfg.src, Netlist.placement nl e.Dfg.dst) with
             | Some sp, Some dp ->
                 if e.Dfg.distance = 0 then begin
                   let p_op = Dfg.find dfg e.Dfg.src in
                   let min_step =
                     if Hls_techlib.Library.op_latency lib p_op.Dfg.kind > 1 then
-                      sp.Binding.pl_finish + 1
-                    else sp.Binding.pl_finish
+                      sp.Netlist.pl_finish + 1
+                    else sp.Netlist.pl_finish
                   in
-                  if dp.Binding.pl_step < min_step then
+                  if dp.Netlist.pl_step < min_step then
                     fail "dep-order" "edge %d->%d: consumer at step %d before producer finish %d"
-                      e.Dfg.src e.Dfg.dst dp.Binding.pl_step min_step
+                      e.Dfg.src e.Dfg.dst dp.Netlist.pl_step min_step
                 end
-                else if dp.Binding.pl_step < sp.Binding.pl_finish - (e.Dfg.distance * ii) + 1 then
+                else if dp.Netlist.pl_step < sp.Netlist.pl_finish - (e.Dfg.distance * ii) + 1 then
                   fail "modulo" "loop-carried edge %d->%d (distance %d) violates the modulo constraint"
                     e.Dfg.src e.Dfg.dst e.Dfg.distance
             | _ -> ())
         (Dfg.in_edges dfg op.Dfg.id));
   (* busy discipline on equivalence classes of steps *)
   List.iter
-    (fun (inst : Binding.inst) ->
+    (fun (inst : Netlist.inst) ->
       let by_slot = Hashtbl.create 8 in
       List.iter
         (fun o ->
-          match Binding.placement binding o with
+          match Netlist.placement nl o with
           | Some pl ->
-              for st = pl.Binding.pl_step to pl.Binding.pl_finish do
+              for st = pl.Netlist.pl_step to pl.Netlist.pl_finish do
                 let slot = if Region.is_pipelined region then st mod ii else st in
                 let prev = Option.value (Hashtbl.find_opt by_slot slot) ~default:[] in
                 List.iter
@@ -73,16 +74,16 @@ let run ?(check_timing = true) (region : Region.t) (s : Scheduler.t) (fold : Pip
                            (Dfg.find dfg o').Dfg.guard)
                     then
                       fail "slot-collision" "ops %d and %d share instance %d on equivalent step %d"
-                        o o' inst.Binding.inst_id slot)
+                        o o' inst.Netlist.inst_id slot)
                   prev;
                 Hashtbl.replace by_slot slot (o :: prev)
               done
           | None -> ())
-        inst.Binding.bound)
-    binding.Binding.insts;
+        inst.Netlist.bound)
+    nl.Netlist.insts;
   (* accurate timing is met *)
   if check_timing then begin
-    let wns = Binding.worst_slack binding in
+    let wns = Netlist.worst_slack nl in
     if wns < -0.001 then fail "timing" "negative endpoint slack: %.0f ps" wns
   end;
   (* folding invariants *)

@@ -1,372 +1,86 @@
-(** Simultaneous scheduling-and-binding state (Section IV.B).
+(** Simultaneous scheduling-and-binding policy (Section IV.B).
 
     Binding an operation assigns it both a control step and a resource
-    instance.  Every candidate binding is evaluated against the datapath
-    netlist built so far: input sharing muxes (sized by the number of
-    distinct sources feeding each instance port, pre-allocated as soon as an
-    instance may be shared — Fig. 8a), register launch/setup and the
-    register-input sharing mux, combinational chaining across ops bound to
-    the same step, multi-cycle black boxes, guard (register-enable) arrival
-    for predicated ops, and structural combinational cycles through the
-    sharing network (Fig. 6), which are rejected rather than reported as
-    false paths.
+    instance.  The structural netlist — instances, sharing muxes, busy
+    tables, placements, both arrival views — and the incremental timing
+    engine live in [Hls_netlist.Netlist]; this module layers the paper's
+    {e policy} on top of that mechanism:
 
-    The module maintains two arrival-time views of every bound op:
+    - the restraint checks gating a candidate binding (scheduling window,
+      anchors, modulo/inter-iteration dependencies, forbidden pairs,
+      user-dedicated instances, busy-table conflicts honouring predicate
+      orthogonality, structural combinational cycles),
+    - the cheap {!quick_slack} endpoint screen that skips the expensive
+      trial when the op's own path cannot possibly close,
+    - the trial protocol itself: a candidate binding runs inside a netlist
+      transaction ([begin_trial] / mutate / [propagate]) and is committed
+      or rolled back on the resulting worst slack, and
+    - the estimation hooks the expert system uses after a failed pass.
 
-    - the {e accurate} view including all mux delays (what the paper's
-      netlist queries return), and
-    - the {e naive} view with pure operator delays (what a timing-unaware
-      scheduler would believe).
-
-    The [timing_aware] flag selects which view gates binding decisions; the
-    accurate view always feeds the final timing report, so the
-    [~timing_aware:false] ablation shows the negative slack a naive
+    The [timing_aware] flag selects which arrival view gates binding
+    decisions; the accurate view always feeds the final timing report, so
+    the [~timing_aware:false] ablation shows the negative slack a naive
     scheduler hands to logic synthesis. *)
 
 open Hls_ir
 open Hls_techlib
+module Netlist = Hls_netlist.Netlist
 
-type inst = {
+type inst = Netlist.inst = {
   inst_id : int;
   mutable rtype : Resource.t;
-  mutable bound : int list;  (** op ids, most recent first *)
+  mutable bound : int list;
   mutable prealloc_shared : bool;
-      (** instantiate input muxes even before a second op arrives *)
   added_by_expert : bool;
-  mutable mux_cache : int array option;
-      (** per-port distinct-source counts, invalidated when [bound]
-          changes (the hottest query of the timing engine) *)
+  mutable mux_cache : int list array option;
+  mutable mux_delays : float array option;
 }
 
-type placement = { pl_step : int; pl_finish : int; pl_inst : int option }
+type placement = Netlist.placement = { pl_step : int; pl_finish : int; pl_inst : int option }
 
 type t = {
+  net : Netlist.t;  (** the datapath netlist + incremental timing engine *)
   region : Region.t;
   lib : Library.t;
   clock_ps : float;
   dfg : Dfg.t;
-  mutable insts : inst list;
-  inst_tbl : (int, inst) Hashtbl.t;  (** id -> instance, O(1) lookup *)
-  mutable next_inst_id : int;
-  placements : (int, placement) Hashtbl.t;
-  busy : (int * int, int list ref) Hashtbl.t;  (** (inst, slot) -> bound ops *)
-  arr_true : (int, float) Hashtbl.t;
-  arr_naive : (int, float) Hashtbl.t;
-  chain : Hls_timing.Cycle_detector.t;
   forbidden : (int * int, unit) Hashtbl.t;  (** (op, inst) pairs excluded by restraints *)
   dedicated : (int, unit) Hashtbl.t;
       (** user constraint (Section IV.B item 4): these ops must own their
           resource instance outright — no sharing in any state *)
   timing_aware : bool;
-  mutable query_count : int;  (** number of netlist timing queries issued *)
-  mutable journal : (int * float option * float option) list;
-      (** undo log of arrival changes during a trial binding *)
-  mutable journal_active : bool;
 }
 
 let create ?(timing_aware = true) ~lib ~clock_ps (region : Region.t) =
   {
+    net = Netlist.create ~lib ~clock_ps region;
     region;
     lib;
     clock_ps;
     dfg = region.Region.dfg;
-    insts = [];
-    inst_tbl = Hashtbl.create 16;
-    next_inst_id = 0;
-    placements = Hashtbl.create 64;
-    busy = Hashtbl.create 64;
-    arr_true = Hashtbl.create 64;
-    arr_naive = Hashtbl.create 64;
-    chain = Hls_timing.Cycle_detector.create ();
     forbidden = Hashtbl.create 8;
     dedicated = Hashtbl.create 4;
     timing_aware;
-    query_count = 0;
-    journal = [];
-    journal_active = false;
   }
 
-let add_inst ?(added_by_expert = false) t rtype =
-  let inst =
-    { inst_id = t.next_inst_id; rtype; bound = []; prealloc_shared = false; added_by_expert;
-      mux_cache = None }
-  in
-  t.next_inst_id <- t.next_inst_id + 1;
-  t.insts <- t.insts @ [ inst ];
-  Hashtbl.replace t.inst_tbl inst.inst_id inst;
-  inst
+(** The arrival view that gates this binder's decisions. *)
+let decision_view t = if t.timing_aware then Netlist.Accurate else Netlist.Naive
 
-let find_inst t id = Hashtbl.find t.inst_tbl id
+let add_inst ?added_by_expert t rtype = Netlist.add_inst ?added_by_expert t.net rtype
+let find_inst t id = Netlist.find_inst t.net id
 
-(** Reset all pass-local state (placements, busy tables, arrivals, chain
-    graph) while keeping the resource set and forbidden pairs — the state
-    carried between scheduling passes. *)
-let reset_pass t =
-  Hashtbl.reset t.placements;
-  Hashtbl.reset t.busy;
-  Hashtbl.reset t.arr_true;
-  Hashtbl.reset t.arr_naive;
-  List.iter
-    (fun i ->
-      i.bound <- [];
-      i.mux_cache <- None)
-    t.insts;
-  Hls_timing.Cycle_detector.clear t.chain;
-  (* mark shared instances: a class with more candidate ops than instances
-     will be shared, so its input muxes are pre-allocated (Fig. 8a) *)
-  let ops_by_class inst =
-    List.length
-      (List.filter
-         (fun op ->
-           match Resource.of_op t.dfg op with
-           | Some rt -> Resource.can_merge rt inst.rtype
-           | None -> false)
-         (Region.member_ops t.region))
-  in
-  List.iter
-    (fun inst ->
-      let n_insts =
-        List.length (List.filter (fun i -> Resource.can_merge i.rtype inst.rtype) t.insts)
-      in
-      inst.prealloc_shared <- ops_by_class inst > n_insts)
-    t.insts
+(** Reset all pass-local netlist state while keeping the resource set and
+    forbidden pairs — the state carried between scheduling passes. *)
+let reset_pass t = Netlist.reset_pass t.net
 
-let placement t op_id = Hashtbl.find_opt t.placements op_id
+let placement t op_id = Netlist.placement t.net op_id
+let is_placed t op_id = Netlist.is_placed t.net op_id
+let slot t step = Netlist.slot t.net step
+let op_latency t op = Netlist.op_latency t.net op
+let is_multicycle t op = Netlist.is_multicycle t.net op
 
-let is_placed t op_id = Hashtbl.mem t.placements op_id
-
-let slot t step = if Region.is_pipelined t.region then step mod Region.ii t.region else step
-
-let busy_ref t inst step =
-  let key = (inst, slot t step) in
-  match Hashtbl.find_opt t.busy key with
-  | Some r -> r
-  | None ->
-      let r = ref [] in
-      Hashtbl.replace t.busy key r;
-      r
-
-let op_latency t (op : Dfg.op) = Library.op_latency t.lib op.Dfg.kind
-
-let is_multicycle t op = op_latency t op > 1
-
-(** Distinct sources feeding input [port] of [inst] over its bound ops.
-    Cached per instance; every [bound]/[rtype] mutation must clear
-    [mux_cache]. *)
-let mux_inputs t (inst : inst) ~port =
-  let counts =
-    match inst.mux_cache with
-    | Some c when port < Array.length c -> c
-    | _ ->
-        let n_ports = max (port + 1) (List.length inst.rtype.Resource.in_widths) in
-        let c =
-          Array.init n_ports (fun p ->
-              List.filter_map
-                (fun o -> Option.map (fun e -> e.Dfg.src) (Dfg.input t.dfg o ~port:p))
-                inst.bound
-              |> List.sort_uniq compare |> List.length)
-        in
-        inst.mux_cache <- Some c;
-        c
-  in
-  let n = if port < Array.length counts then counts.(port) else 0 in
-  if inst.prealloc_shared then max n 2 else n
-
-let in_mux_delay t inst ~port = Library.mux_delay t.lib ~inputs:(mux_inputs t inst ~port)
-
-(** The register-input sharing mux every registered result passes (the
-    second mux of the paper's Fig. 8 arithmetic).  With II = 1 every value
-    is live on every cycle, so registers cannot be shared and the mux
-    disappears — which is what lets the paper's Example 3 close timing. *)
-let reg_mux_delay t =
-  if Region.is_pipelined t.region && Region.ii t.region = 1 then 0.0
-  else Library.mux_delay t.lib ~inputs:2
-
-(** {2 Arrival computation} *)
-
-(** Arrival of the value carried by edge [e] at the inputs of an op placed
-    at [step], before any input mux.  [naive] selects the mux-free view. *)
-let source_arrival t ~step ~naive e =
-  let arr_tbl = if naive then t.arr_naive else t.arr_true in
-  let p = e.Dfg.src in
-  if e.Dfg.distance > 0 then t.lib.Library.ff_clk_q
-  else if not (Region.mem t.region p) then t.lib.Library.ff_clk_q
-  else
-    match Hashtbl.find_opt t.placements p with
-    | None -> t.lib.Library.ff_clk_q (* should not happen: scheduler orders by readiness *)
-    | Some pl ->
-        let p_op = Dfg.find t.dfg p in
-        if is_multicycle t p_op then t.lib.Library.ff_clk_q
-        else if pl.pl_finish = step then
-          Option.value (Hashtbl.find_opt arr_tbl p) ~default:t.lib.Library.ff_clk_q
-        else t.lib.Library.ff_clk_q
-
-let guard_arrival t ~step ~naive (op : Dfg.op) =
-  if op.Dfg.speculated || Guard.is_always op.Dfg.guard then 0.0
-  else
-    let arr_tbl = if naive then t.arr_naive else t.arr_true in
-    List.fold_left
-      (fun acc p ->
-        if not (Region.mem t.region p) then max acc t.lib.Library.ff_clk_q
-        else
-          match Hashtbl.find_opt t.placements p with
-          | Some pl when pl.pl_finish = step ->
-              max acc (Option.value (Hashtbl.find_opt arr_tbl p) ~default:t.lib.Library.ff_clk_q)
-          | Some _ -> max acc t.lib.Library.ff_clk_q
-          | None -> max acc t.lib.Library.ff_clk_q)
-      0.0 (Guard.preds op.Dfg.guard)
-
-(** Combinational delay of [op] when executed on [inst_opt]. *)
-let exec_delay t (op : Dfg.op) inst_opt =
-  match inst_opt with
-  | Some i -> Library.delay t.lib (find_inst t i).rtype
-  | None -> (
-      match Resource.of_op t.dfg op with None -> 0.0 | Some rt -> Library.delay t.lib rt)
-
-(** Recompute both arrival views of a placed op; returns true if either
-    changed.  The guard does not serialize with the datapath — it drives
-    the commit register's enable pin in parallel and is accounted for in
-    {!endpoint_slack}. *)
-let recompute_arrival t op_id =
-  t.query_count <- t.query_count + 1;
-  let op = Dfg.find t.dfg op_id in
-  let pl = Hashtbl.find t.placements op_id in
-  let step = pl.pl_step in
-  let compute ~naive =
-    let ins = Dfg.in_edges t.dfg op_id in
-    let data =
-      List.fold_left
-        (fun acc e ->
-          let a = source_arrival t ~step ~naive e in
-          let a =
-            if naive then a
-            else
-              match pl.pl_inst with
-              | Some i -> a +. in_mux_delay t (find_inst t i) ~port:e.Dfg.port
-              | None -> a
-          in
-          max acc a)
-        (match op.Dfg.kind with
-        | Opkind.Const _ -> 0.0
-        | Opkind.Read _ -> t.lib.Library.ff_clk_q
-        | _ -> if ins = [] then t.lib.Library.ff_clk_q else 0.0)
-        ins
-    in
-    data +. exec_delay t op pl.pl_inst
-  in
-  let new_true = compute ~naive:false and new_naive = compute ~naive:true in
-  let old_true = Hashtbl.find_opt t.arr_true op_id in
-  if t.journal_active then
-    t.journal <- (op_id, old_true, Hashtbl.find_opt t.arr_naive op_id) :: t.journal;
-  Hashtbl.replace t.arr_true op_id new_true;
-  Hashtbl.replace t.arr_naive op_id new_naive;
-  (match old_true with Some v -> abs_float (v -. new_true) > 0.001 | None -> true)
-
-(** Same-step combinational consumers of a placed op (data or guard),
-    i.e. the ops whose arrivals depend on this op's arrival. *)
-let chained_consumers t op_id =
-  match Hashtbl.find_opt t.placements op_id with
-  | None -> []
-  | Some pl ->
-      let step = pl.pl_finish in
-      let data =
-        List.filter_map
-          (fun e ->
-            if e.Dfg.distance <> 0 then None
-            else
-              match Hashtbl.find_opt t.placements e.Dfg.dst with
-              | Some cpl when cpl.pl_step = step -> Some e.Dfg.dst
-              | _ -> None)
-          (Dfg.out_edges t.dfg op_id)
-      in
-      data
-
-(** Worst-case registered-endpoint slack of a placed op: its result must
-    traverse the register-input mux and meet setup, and its commit enable
-    (the guard, unless speculated) must also settle in time. *)
 let endpoint_slack t ~naive op_id =
-  let arr_tbl = if naive then t.arr_naive else t.arr_true in
-  let arr = Option.value (Hashtbl.find_opt arr_tbl op_id) ~default:0.0 in
-  let op = Dfg.find t.dfg op_id in
-  let pl = Hashtbl.find_opt t.placements op_id in
-  let g =
-    match pl with Some pl -> guard_arrival t ~step:pl.pl_finish ~naive op | None -> 0.0
-  in
-  let reg_path = if naive then 0.0 else reg_mux_delay t in
-  t.clock_ps -. (max arr g +. reg_path +. t.lib.Library.ff_setup)
-
-(** Propagate arrival changes from [seeds] through same-step chains.
-    Returns the worst endpoint slack seen (in the decision view) together
-    with the op carrying it — so the caller can tell a failure of the new
-    binding itself from collateral damage to ops already bound (a saturated
-    instance). *)
-let propagate t seeds =
-  let worst = ref infinity in
-  let worst_op = ref (-1) in
-  let queue = Queue.create () in
-  List.iter (fun s -> Queue.add s queue) seeds;
-  let guard_deps = lazy (
-    (* ops guarded by some op: reverse index built on demand *)
-    let tbl = Hashtbl.create 16 in
-    Hashtbl.iter
-      (fun id _ ->
-        let op = Dfg.find t.dfg id in
-        List.iter
-          (fun p ->
-            let r = match Hashtbl.find_opt tbl p with Some r -> r | None -> let r = ref [] in Hashtbl.replace tbl p r; r in
-            r := id :: !r)
-          (Guard.preds op.Dfg.guard))
-      t.placements;
-    tbl)
-  in
-  while not (Queue.is_empty queue) do
-    let id = Queue.pop queue in
-    if Hashtbl.mem t.placements id then begin
-      let changed = recompute_arrival t id in
-      let slack = endpoint_slack t ~naive:(not t.timing_aware) id in
-      if slack < !worst then begin
-        worst := slack;
-        worst_op := id
-      end;
-      if changed then begin
-        List.iter (fun c -> Queue.add c queue) (chained_consumers t id);
-        (match Hashtbl.find_opt (Lazy.force guard_deps) id with
-        | Some r ->
-            let pl = Hashtbl.find t.placements id in
-            List.iter
-              (fun g ->
-                match Hashtbl.find_opt t.placements g with
-                | Some gpl when gpl.pl_step = pl.pl_finish -> Queue.add g queue
-                | _ -> ())
-              !r
-        | None -> ())
-      end
-    end
-  done;
-  (!worst, !worst_op)
-
-(** Resource instances that combinationally feed [op] when placed at
-    [step], tracing through same-step wire ops (for the structural-cycle
-    check). *)
-let chain_source_insts t op_id ~step =
-  let acc = ref [] in
-  let seen = Hashtbl.create 16 in
-  let rec visit id =
-    if not (Hashtbl.mem seen id) then begin
-      Hashtbl.replace seen id ();
-      match Hashtbl.find_opt t.placements id with
-      | Some pl when pl.pl_finish = step && not (is_multicycle t (Dfg.find t.dfg id)) -> (
-          match pl.pl_inst with
-          | Some j -> acc := j :: !acc
-          | None ->
-              List.iter
-                (fun e -> if e.Dfg.distance = 0 then visit e.Dfg.src)
-                (Dfg.in_edges t.dfg id))
-      | _ -> ()
-    end
-  in
-  List.iter (fun e -> if e.Dfg.distance = 0 then visit e.Dfg.src) (Dfg.in_edges t.dfg op_id);
-  List.sort_uniq compare !acc
+  Netlist.endpoint_slack t.net ~view:(if naive then Netlist.Naive else Netlist.Accurate) op_id
 
 (** {2 Binding} *)
 
@@ -380,7 +94,7 @@ let modulo_ok t ~op_id ~step ~finish =
       (fun e ->
         e.Dfg.distance = 0
         ||
-        match Hashtbl.find_opt t.placements e.Dfg.src with
+        match Netlist.placement t.net e.Dfg.src with
         | Some pl -> step >= pl.pl_finish - (e.Dfg.distance * ii) + 1
         | None -> true)
       (Dfg.in_edges t.dfg op_id)
@@ -390,7 +104,7 @@ let modulo_ok t ~op_id ~step ~finish =
       (fun e ->
         e.Dfg.distance = 0
         ||
-        match Hashtbl.find_opt t.placements e.Dfg.dst with
+        match Netlist.placement t.net e.Dfg.dst with
         | Some pl -> pl.pl_step >= finish - (e.Dfg.distance * ii) + 1
         | None -> true)
       (Dfg.out_edges t.dfg op_id)
@@ -404,26 +118,30 @@ let modulo_ok t ~op_id ~step ~finish =
     Collateral effects on other bound ops are not screened — the trial
     still catches those. *)
 let quick_slack t (op : Dfg.op) ~step ~inst_id =
-  let i = find_inst t inst_id in
+  let i = Netlist.find_inst t.net inst_id in
   let d = Library.delay t.lib i.rtype in
   let data =
     List.fold_left
       (fun acc e ->
-        let a = source_arrival t ~step ~naive:false e in
-        let mux = Library.mux_delay t.lib ~inputs:(mux_inputs t i ~port:e.Dfg.port + 1) in
-        max acc (a +. mux))
+        let a = Netlist.source_arrival t.net ~step ~view:Netlist.Accurate e in
+        (* size the mux by the port's distinct sources after the
+           hypothetical bind — a source already feeding this port on the
+           instance adds no mux input *)
+        let inputs = Netlist.mux_inputs_with t.net i ~port:e.Dfg.port ~src:e.Dfg.src in
+        max acc (a +. Library.mux_delay t.lib ~inputs))
       t.lib.Library.ff_clk_q
       (Dfg.in_edges t.dfg op.Dfg.id)
   in
-  let g = guard_arrival t ~step ~naive:false op in
-  t.clock_ps -. (max (data +. d) g +. reg_mux_delay t +. t.lib.Library.ff_setup)
+  let g = Netlist.guard_arrival t.net ~step ~view:Netlist.Accurate op in
+  t.clock_ps -. (max (data +. d) g +. Netlist.reg_mux_delay t.net +. t.lib.Library.ff_setup)
 
 exception Fail of Restraint.fail
 
 (** Attempt to bind [op] at [step] on [inst_opt] ([None] for wire and port
-    ops).  On failure the state is left untouched and the failure reason is
-    returned. *)
+    ops).  The candidate runs inside a netlist transaction: on failure the
+    trial is rolled back and the state is left untouched. *)
 let try_bind t (op : Dfg.op) ~step ~inst_opt : (unit, Restraint.fail) result =
+  let net = t.net in
   let lat = op_latency t op in
   let finish = step + lat - 1 in
   try
@@ -433,7 +151,7 @@ let try_bind t (op : Dfg.op) ~step ~inst_opt : (unit, Restraint.fail) result =
     | _ -> ());
     if not (modulo_ok t ~op_id:op.Dfg.id ~step ~finish) then raise (Fail Restraint.F_dep);
     (* resource-specific checks *)
-    let inst = Option.map (find_inst t) inst_opt in
+    let inst = Option.map (Netlist.find_inst net) inst_opt in
     (match inst with
     | Some i ->
         if Hashtbl.mem t.forbidden (op.Dfg.id, i.inst_id) then raise (Fail Restraint.F_forbidden);
@@ -452,7 +170,7 @@ let try_bind t (op : Dfg.op) ~step ~inst_opt : (unit, Restraint.fail) result =
         (* busy check across occupied steps, honouring edge equivalence and
            predicate orthogonality *)
         for s = step to finish do
-          let others = !(busy_ref t i.inst_id s) in
+          let others = Netlist.busy_ops net i.inst_id s in
           if
             List.exists
               (fun o ->
@@ -470,75 +188,53 @@ let try_bind t (op : Dfg.op) ~step ~inst_opt : (unit, Restraint.fail) result =
         if lat = 1 then
           List.iter
             (fun j ->
-              if
-                Hls_timing.Cycle_detector.would_close_cycle t.chain ~src:j ~dst:i.inst_id
-              then raise (Fail (Restraint.F_cycle i.inst_id)))
-            (chain_source_insts t op.Dfg.id ~step)
+              if Netlist.would_close_cycle net ~src:j ~dst:i.inst_id then
+                raise (Fail (Restraint.F_cycle i.inst_id)))
+            (Netlist.chain_source_insts net op.Dfg.id ~step)
     | None -> ());
-    (* --- trial placement with journaled rollback --- *)
-    let old_rtype = Option.map (fun i -> i.rtype) inst in
-    t.journal <- [];
-    t.journal_active <- true;
-    Hashtbl.replace t.placements op.Dfg.id { pl_step = step; pl_finish = finish; pl_inst = inst_opt };
+    (* --- trial placement inside a netlist transaction --- *)
+    Netlist.begin_trial net;
+    Netlist.place net op.Dfg.id ~step ~finish ~inst_opt;
     (match inst with
     | Some i ->
         (match Resource.of_op t.dfg op with
         | Some need when not (Resource.fits ~need ~have:i.rtype) ->
-            i.rtype <- Resource.merge need i.rtype
+            Netlist.set_rtype net i (Resource.merge need i.rtype)
         | _ -> ());
-        i.bound <- op.Dfg.id :: i.bound;
-        i.mux_cache <- None;
-        for s = step to finish do
-          let r = busy_ref t i.inst_id s in
-          r := op.Dfg.id :: !r
-        done
+        Netlist.attach net i op.Dfg.id;
+        Netlist.occupy net ~inst_id:i.inst_id ~step ~finish op.Dfg.id
     | None -> ());
     (* arrivals: the new op, then everything sharing its instance (mux
        growth), then downstream chains *)
     let seeds =
-      op.Dfg.id :: (match inst with Some i -> List.filter (fun o -> o <> op.Dfg.id) i.bound | None -> [])
+      op.Dfg.id
+      :: (match inst with Some i -> List.filter (fun o -> o <> op.Dfg.id) i.bound | None -> [])
     in
-    let worst_slack, worst_op = propagate t seeds in
-    t.journal_active <- false;
+    let worst_slack, worst_op = Netlist.propagate net ~decision:(decision_view t) seeds in
     if worst_slack < -0.001 then begin
-      (* rollback: undo placement, busy tables and journaled arrivals *)
-      Hashtbl.remove t.placements op.Dfg.id;
-      (match inst with
-      | Some i ->
-          i.bound <- List.filter (fun o -> o <> op.Dfg.id) i.bound;
-          i.mux_cache <- None;
-          (match old_rtype with Some rt -> i.rtype <- rt | None -> ());
-          for s = step to finish do
-            let r = busy_ref t i.inst_id s in
-            r := List.filter (fun o -> o <> op.Dfg.id) !r
-          done
-      | None -> ());
-      List.iter
-        (fun (id, ot, on) ->
-          (match ot with Some v -> Hashtbl.replace t.arr_true id v | None -> Hashtbl.remove t.arr_true id);
-          match on with Some v -> Hashtbl.replace t.arr_naive id v | None -> Hashtbl.remove t.arr_naive id)
-        t.journal;
-      t.journal <- [];
+      Netlist.rollback net;
       (* a violation on an op already bound means this instance cannot
          absorb one more source: the resource, not the timing of the new
          op, is the limiting factor *)
       if worst_op <> op.Dfg.id then
         Error
           (Restraint.F_busy
-             (match inst with Some i -> i.rtype | None -> Option.value (Resource.of_op t.dfg op) ~default:{ Resource.rclass = Opkind.R_wire; in_widths = []; out_width = 1 }))
+             (match inst with
+             | Some i -> i.rtype
+             | None ->
+                 Option.value (Resource.of_op t.dfg op)
+                   ~default:{ Resource.rclass = Opkind.R_wire; in_widths = []; out_width = 1 }))
       else Error (Restraint.F_slack worst_slack)
     end
     else begin
-      t.journal <- [];
+      Netlist.commit net;
       (* commit chain edges *)
       (match inst with
       | Some i ->
           if lat = 1 then
             List.iter
-              (fun j ->
-                if not (Hls_timing.Cycle_detector.mem_edge t.chain ~src:j ~dst:i.inst_id) then
-                  Hls_timing.Cycle_detector.add_edge t.chain ~src:j ~dst:i.inst_id)
-              (chain_source_insts t op.Dfg.id ~step)
+              (fun j -> Netlist.add_chain_edge net ~src:j ~dst:i.inst_id)
+              (Netlist.chain_source_insts net op.Dfg.id ~step)
       | None -> ());
       Ok ()
     end
@@ -549,40 +245,32 @@ let try_bind t (op : Dfg.op) ~step ~inst_opt : (unit, Restraint.fail) result =
     schedules produced by external engines — the baseline comparators —
     into the accurate timing/area reporting machinery. *)
 let force_bind t (op : Dfg.op) ~step ~inst_opt =
+  let net = t.net in
   let lat = op_latency t op in
   let finish = step + lat - 1 in
-  Hashtbl.replace t.placements op.Dfg.id { pl_step = step; pl_finish = finish; pl_inst = inst_opt };
+  Netlist.place net op.Dfg.id ~step ~finish ~inst_opt;
   (match inst_opt with
   | Some i ->
-      let inst = find_inst t i in
+      let inst = Netlist.find_inst net i in
       (match Resource.of_op t.dfg op with
       | Some need when not (Resource.fits ~need ~have:inst.rtype) ->
-          if Resource.can_merge need inst.rtype then inst.rtype <- Resource.merge need inst.rtype
+          if Resource.can_merge need inst.rtype then
+            Netlist.set_rtype net inst (Resource.merge need inst.rtype)
           else
-            inst.rtype <-
+            Netlist.set_rtype net inst
               {
                 Resource.rclass = inst.rtype.Resource.rclass;
                 in_widths = List.map2 max inst.rtype.Resource.in_widths need.Resource.in_widths;
                 out_width = max inst.rtype.Resource.out_width need.Resource.out_width;
               }
       | _ -> ());
-      inst.bound <- op.Dfg.id :: inst.bound;
-      inst.mux_cache <- None;
-      for s = step to finish do
-        let r = busy_ref t i s in
-        r := op.Dfg.id :: !r
-      done
+      Netlist.attach net inst op.Dfg.id;
+      Netlist.occupy net ~inst_id:i ~step ~finish op.Dfg.id
   | None -> ());
-  ignore (propagate t [ op.Dfg.id ])
+  ignore (Netlist.propagate net ~decision:(decision_view t) [ op.Dfg.id ])
 
-(** Refresh every arrival after a batch of [force_bind]s (processing in
-    step order so chained arrivals settle). *)
-let recompute_all t =
-  let by_step =
-    Hashtbl.fold (fun id pl acc -> (pl.pl_step, id) :: acc) t.placements []
-    |> List.sort compare |> List.map snd
-  in
-  ignore (propagate t by_step)
+(** Refresh every arrival after a batch of [force_bind]s. *)
+let recompute_all t = Netlist.recompute_all t.net
 
 (** Instances compatible with [op]: an instance already wide enough always
     qualifies ([fits]); otherwise the width-merge rule decides whether the
@@ -592,107 +280,14 @@ let compatible_insts t (op : Dfg.op) =
   match Resource.of_op t.dfg op with
   | None -> []
   | Some need ->
-      t.insts
+      t.net.Netlist.insts
       |> List.filter (fun i -> Resource.fits ~need ~have:i.rtype || Resource.can_merge need i.rtype)
       |> List.stable_sort (fun a b ->
              let fit i = if Resource.fits ~need ~have:i.rtype then 0 else 1 in
              compare (fit a, List.length a.bound) (fit b, List.length b.bound))
 
-(** {2 Reporting} *)
-
-(** Values that must live in registers: results consumed in a later step,
-    loop-carried values, and port writes. *)
-let registered_ops t =
-  Hashtbl.fold
-    (fun id pl acc ->
-      let op = Dfg.find t.dfg id in
-      let crosses =
-        List.exists
-          (fun e ->
-            e.Dfg.distance > 0
-            || (not (Region.mem t.region e.Dfg.dst))
-            ||
-            match Hashtbl.find_opt t.placements e.Dfg.dst with
-            | Some cpl -> cpl.pl_step > pl.pl_finish
-            | None -> true)
-          (Dfg.out_edges t.dfg id)
-      in
-      let is_write = match op.Dfg.kind with Opkind.Write _ -> true | _ -> false in
-      if crosses || is_write then id :: acc else acc)
-    t.placements []
-  |> List.sort compare
-
-(** Critical-path decomposition for the downstream-synthesis model: one
-    path per registered endpoint, tracing the argmax chain backwards. *)
-let timing_report t : Hls_timing.Synthesize.report =
-  let paths =
-    List.filter_map
-      (fun endpoint ->
-        let pl = Hashtbl.find t.placements endpoint in
-        let step = pl.pl_finish in
-        let fixed = ref (reg_mux_delay t +. t.lib.Library.ff_setup) in
-        let elems = ref [] in
-        let rec back id =
-          let op = Dfg.find t.dfg id in
-          let opl = Hashtbl.find t.placements id in
-          (match opl.pl_inst with
-          | Some i ->
-              let inst = find_inst t i in
-              elems :=
-                {
-                  Hls_timing.Synthesize.pe_inst = i;
-                  pe_rtype = inst.rtype;
-                  pe_nominal = Library.delay t.lib inst.rtype;
-                }
-                :: !elems
-          | None -> ());
-          (* find dominant input *)
-          let best = ref None in
-          List.iter
-            (fun e ->
-              let a = source_arrival t ~step ~naive:false e in
-              let mux =
-                match opl.pl_inst with
-                | Some i -> in_mux_delay t (find_inst t i) ~port:e.Dfg.port
-                | None -> 0.0
-              in
-              let tot = a +. mux in
-              match !best with
-              | Some (_, _, bt) when bt >= tot -> ()
-              | _ -> best := Some (e, mux, tot))
-            (Dfg.in_edges t.dfg id);
-          match !best with
-          | None -> fixed := !fixed +. (match op.Dfg.kind with Opkind.Const _ -> 0.0 | _ -> t.lib.Library.ff_clk_q)
-          | Some (e, mux, _) ->
-              fixed := !fixed +. mux;
-              let p = e.Dfg.src in
-              let chained =
-                e.Dfg.distance = 0
-                && Region.mem t.region p
-                &&
-                match Hashtbl.find_opt t.placements p with
-                | Some ppl -> ppl.pl_finish = step && not (is_multicycle t (Dfg.find t.dfg p))
-                | None -> false
-              in
-              if chained then back p else fixed := !fixed +. t.lib.Library.ff_clk_q
-        in
-        back endpoint;
-        if !elems = [] then None
-        else
-          Some
-            {
-              Hls_timing.Synthesize.p_endpoint = (Dfg.find t.dfg endpoint).Dfg.name;
-              p_step = step;
-              p_fixed = !fixed;
-              p_elems = !elems;
-            })
-      (registered_ops t)
-  in
-  { Hls_timing.Synthesize.r_clock_ps = t.clock_ps; r_paths = paths }
-
 (** Worst accurate endpoint slack over all placed ops. *)
-let worst_slack t =
-  Hashtbl.fold (fun id _ acc -> min acc (endpoint_slack t ~naive:false id)) t.placements infinity
+let worst_slack t = Netlist.worst_slack t.net
 
 (** {2 Estimation hooks for the expert system}
 
@@ -717,19 +312,23 @@ let estimate t (op : Dfg.op) ~step =
                  | None -> false)
                (Region.member_ops t.region))
         in
-        let n_insts = List.length (List.filter (fun i -> Resource.can_merge i.rtype need) t.insts) in
+        let n_insts =
+          List.length
+            (List.filter (fun i -> Resource.can_merge i.rtype need) t.net.Netlist.insts)
+        in
         n_ops > n_insts
   in
   let mux = if shared then Library.mux_delay t.lib ~inputs:2 else 0.0 in
   let data =
     List.fold_left
-      (fun acc e -> max acc (source_arrival t ~step ~naive:false e +. mux))
+      (fun acc e ->
+        max acc (Netlist.source_arrival t.net ~step ~view:Netlist.Accurate e +. mux))
       (match op.Dfg.kind with Opkind.Const _ -> 0.0 | _ -> t.lib.Library.ff_clk_q)
       (Dfg.in_edges t.dfg op.Dfg.id)
   in
-  let guard = guard_arrival t ~step ~naive:false op in
-  let d = exec_delay t op None in
-  let overhead = reg_mux_delay t +. t.lib.Library.ff_setup in
+  let guard = Netlist.guard_arrival t.net ~step ~view:Netlist.Accurate op in
+  let d = Netlist.exec_delay t.net op None in
+  let overhead = Netlist.reg_mux_delay t.net +. t.lib.Library.ff_setup in
   (data, guard, d, overhead)
 
 (** Would [op] meet timing at [step] on a fresh resource instance?
@@ -748,9 +347,11 @@ let guard_dominated t (op : Dfg.op) ~step =
 (** Would [op] meet timing on some {e existing} compatible instance if all
     its inputs were registered (i.e. at a fresh later step)?  False when
     every compatible instance's sharing muxes are already too slow — the
-    case where adding states cannot help and adding a resource can. *)
+    case where adding states cannot help and adding a resource can.
+    Deliberately conservative: the hypothetical step is unknown, so every
+    port is charged one extra mux input regardless of source identity. *)
 let would_fit_existing t (op : Dfg.op) =
-  let overhead = reg_mux_delay t +. t.lib.Library.ff_setup in
+  let overhead = Netlist.reg_mux_delay t.net +. t.lib.Library.ff_setup in
   match Resource.of_op t.dfg op with
   | None -> true
   | Some need ->
@@ -759,13 +360,13 @@ let would_fit_existing t (op : Dfg.op) =
           (Resource.fits ~need ~have:i.rtype || Resource.can_merge need i.rtype)
           &&
           let d = Library.delay t.lib i.rtype in
-          (* binding the op itself adds one more source to the muxes *)
           let worst_mux =
             List.fold_left
               (fun acc port ->
-                max acc (Library.mux_delay t.lib ~inputs:(mux_inputs t i ~port + 1)))
+                max acc
+                  (Library.mux_delay t.lib ~inputs:(Netlist.mux_inputs t.net i ~port + 1)))
               0.0
               (List.init (List.length i.rtype.Resource.in_widths) Fun.id)
           in
           t.lib.Library.ff_clk_q +. worst_mux +. d +. overhead <= t.clock_ps +. 0.001)
-        t.insts
+        t.net.Netlist.insts

@@ -1,14 +1,13 @@
-(** Simultaneous scheduling-and-binding state (Section IV.B).
+(** Simultaneous scheduling-and-binding policy (Section IV.B).
 
     Binding assigns an operation both a control step and a resource
-    instance, and every candidate is evaluated against the datapath
-    netlist built so far: input sharing muxes (sized by distinct sources
-    per port, pre-allocated on shared resources — Fig. 8a), register
-    launch/setup plus the register-input sharing mux, combinational
-    chaining within a step, multi-cycle black boxes, guard
-    (register-enable) arrival, and structural combinational cycles through
-    the sharing network (Fig. 6), which are rejected rather than reported
-    as false paths.
+    instance.  The structural netlist and the incremental timing engine
+    live in [Hls_netlist.Netlist]; this module layers the paper's policy on
+    top: restraint checks (window, anchors, modulo dependencies, forbidden
+    pairs, dedication, busy-table conflicts, structural cycles), the cheap
+    {!quick_slack} screen, the trial protocol (each candidate binding runs
+    inside a netlist transaction, committed or rolled back on the worst
+    slack it produces), and the expert system's estimation hooks.
 
     Two arrival views are kept per bound op: the accurate one (all mux
     delays — what the paper's netlist queries return) and a naive additive
@@ -18,48 +17,45 @@
 
 open Hls_ir
 open Hls_techlib
+module Netlist = Hls_netlist.Netlist
 
-type inst = {
+type inst = Netlist.inst = {
   inst_id : int;
   mutable rtype : Resource.t;
   mutable bound : int list;  (** bound op ids, most recent first *)
   mutable prealloc_shared : bool;
   added_by_expert : bool;
-  mutable mux_cache : int array option;
+  mutable mux_cache : int list array option;
+  mutable mux_delays : float array option;
 }
 
-type placement = { pl_step : int; pl_finish : int; pl_inst : int option }
+type placement = Netlist.placement = { pl_step : int; pl_finish : int; pl_inst : int option }
 
 type t = {
+  net : Netlist.t;  (** the datapath netlist + incremental timing engine *)
   region : Region.t;
   lib : Library.t;
   clock_ps : float;
   dfg : Dfg.t;
-  mutable insts : inst list;
-  inst_tbl : (int, inst) Hashtbl.t;
-  mutable next_inst_id : int;
-  placements : (int, placement) Hashtbl.t;
-  busy : (int * int, int list ref) Hashtbl.t;
-  arr_true : (int, float) Hashtbl.t;
-  arr_naive : (int, float) Hashtbl.t;
-  chain : Hls_timing.Cycle_detector.t;
   forbidden : (int * int, unit) Hashtbl.t;  (** (op, inst) exclusions *)
   dedicated : (int, unit) Hashtbl.t;
       (** user constraint: these ops own their instance outright *)
   timing_aware : bool;
-  mutable query_count : int;
-  mutable journal : (int * float option * float option) list;
-  mutable journal_active : bool;
 }
 
 val create : ?timing_aware:bool -> lib:Library.t -> clock_ps:float -> Region.t -> t
+
+val decision_view : t -> Netlist.view
+(** The arrival view gating this binder's decisions ([Accurate] unless the
+    timing-awareness ablation is on). *)
+
 val add_inst : ?added_by_expert:bool -> t -> Resource.t -> inst
 val find_inst : t -> int -> inst
 
 val reset_pass : t -> unit
-(** Clear pass-local state (placements, busy, arrivals, chain graph) while
-    keeping the resource set and forbidden pairs; recompute which
-    instances pre-allocate sharing muxes. *)
+(** Clear pass-local netlist state (placements, busy, arrivals, chain
+    graph) while keeping the resource set and forbidden pairs; recompute
+    which instances pre-allocate sharing muxes. *)
 
 val placement : t -> int -> placement option
 val is_placed : t -> int -> bool
@@ -67,28 +63,21 @@ val slot : t -> int -> int
 val op_latency : t -> Dfg.op -> int
 val is_multicycle : t -> Dfg.op -> bool
 
-val mux_inputs : t -> inst -> port:int -> int
-(** Distinct sources feeding an instance port (≥ 2 when pre-allocated). *)
-
-val in_mux_delay : t -> inst -> port:int -> float
-
-val reg_mux_delay : t -> float
-(** The register-input sharing mux of Fig. 8; vanishes at II = 1 where no
-    register can be shared (what closes the paper's Example 3). *)
-
-val source_arrival : t -> step:int -> naive:bool -> Dfg.edge -> float
-val guard_arrival : t -> step:int -> naive:bool -> Dfg.op -> float
-val exec_delay : t -> Dfg.op -> int option -> float
 val endpoint_slack : t -> naive:bool -> int -> float
-val chained_consumers : t -> int -> int list
-val chain_source_insts : t -> int -> step:int -> int list
+(** Registered-endpoint slack of a placed op in the chosen view (thin
+    wrapper over [Netlist.endpoint_slack]). *)
+
 val modulo_ok : t -> op_id:int -> step:int -> finish:int -> bool
 val quick_slack : t -> Dfg.op -> step:int -> inst_id:int -> float
+(** Cheap endpoint screen before the full trial: the op's own path on the
+    instance, with each input mux sized by the port's distinct sources
+    after the hypothetical bind. *)
 
 val try_bind : t -> Dfg.op -> step:int -> inst_opt:int option -> (unit, Restraint.fail) result
-(** Attempt a binding; on failure the state is untouched and the reason
-    returned.  A trial that breaks an {e already-bound} op's timing (the
-    sharing mux grew) reports [F_busy] — the instance is saturated. *)
+(** Attempt a binding; on failure the netlist transaction is rolled back
+    and the reason returned.  A trial that breaks an {e already-bound} op's
+    timing (the sharing mux grew) reports [F_busy] — the instance is
+    saturated. *)
 
 val force_bind : t -> Dfg.op -> step:int -> inst_opt:int option -> unit
 (** Record a placement unconditionally (imports of external schedules and
@@ -98,13 +87,6 @@ val recompute_all : t -> unit
 
 val compatible_insts : t -> Dfg.op -> inst list
 (** Candidate instances, exact-fit then least-loaded first. *)
-
-val registered_ops : t -> int list
-(** Ops whose results need registers (cross-step, loop-carried, writes). *)
-
-val timing_report : t -> Hls_timing.Synthesize.report
-(** Critical-path decomposition per registered endpoint for the
-    downstream-synthesis sizing model. *)
 
 val worst_slack : t -> float
 

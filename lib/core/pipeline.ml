@@ -35,7 +35,7 @@ let fold (s : Scheduler.t) : t =
     (fun op pl ->
       let step = pl.Binding.pl_step in
       Hashtbl.replace kernel op (step mod ii, step / ii))
-    s.Scheduler.s_binding.Binding.placements;
+    s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.placements;
   { f_ii = ii; f_li = li; f_stages = (li + ii - 1) / ii; f_kernel = kernel }
 
 let kernel_state t op = Hashtbl.find_opt t.f_kernel op
@@ -78,7 +78,7 @@ let validate (s : Scheduler.t) (t : t) : string list =
               Hashtbl.replace by_state st (op :: prev)
           | None -> err "op %d bound to instance %d but not folded" op inst.Binding.inst_id)
         inst.Binding.bound)
-    binding.Binding.insts;
+    binding.Binding.net.Hls_netlist.Netlist.insts;
   (* SCC stage confinement *)
   List.iter
     (fun scc ->

@@ -81,14 +81,21 @@ type stats = {
   st_passes : int;
   st_actions : int;
   st_queries : int;  (** netlist timing queries — the paper's hottest query *)
+  st_trials : int;  (** netlist what-if transactions opened *)
+  st_commits : int;
+  st_rollbacks : int;
   st_sched_s : float;
 }
 
 let stats t =
+  let ns = Hls_netlist.Netlist.stats t.s_binding.Binding.net in
   {
     st_passes = t.s_passes;
     st_actions = List.length t.s_actions;
-    st_queries = t.s_binding.Binding.query_count;
+    st_queries = ns.Hls_netlist.Netlist.s_queries;
+    st_trials = ns.Hls_netlist.Netlist.s_trials;
+    st_commits = ns.Hls_netlist.Netlist.s_commits;
+    st_rollbacks = ns.Hls_netlist.Netlist.s_rollbacks;
     st_sched_s = t.s_sched_time_s;
   }
 
@@ -104,7 +111,7 @@ let step_of t op =
 let ops_on_step t step =
   Hashtbl.fold
     (fun id pl acc -> if pl.Binding.pl_step = step then id :: acc else acc)
-    t.s_binding.Binding.placements []
+    t.s_binding.Binding.net.Hls_netlist.Netlist.placements []
   |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
@@ -341,7 +348,10 @@ let run_pass ~opts ~trace ~(binding : Binding.t) ~(aa : Asap_alap.t) ~scc_of
                               ^ "#" ^ string_of_int i
                    | None -> "wire")
                    e
-                   (Option.value (Hashtbl.find_opt binding.Binding.arr_true op.Dfg.id) ~default:0.0)
+                   (Option.value
+                      (Hls_netlist.Netlist.arrival binding.Binding.net
+                         ~view:Hls_netlist.Netlist.Accurate op.Dfg.id)
+                      ~default:0.0)
                    (Binding.endpoint_slack binding ~naive:false op.Dfg.id));
               (* pass-local SCC stage assignment on first placement *)
               (match scc_of op.Dfg.id with
@@ -549,7 +559,7 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
        in
        let aa = Asap_alap.compute ~lib ~clock_ps ~scc_window region in
        Trace.logf trace "pass %d: LI=%d, %d resources" !passes region.Region.n_steps
-         (List.length binding.Binding.insts);
+         (List.length binding.Binding.net.Hls_netlist.Netlist.insts);
        let outcome =
          run_pass ~opts ~trace ~binding ~aa ~scc_of ~scc_members:sccs
            ~scc_stage_base:(fun k -> scc_persist.(k))
@@ -701,7 +711,7 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
 let to_table (t : t) : string list list =
   let binding = t.s_binding in
   let dfg = binding.Binding.dfg in
-  let insts = binding.Binding.insts in
+  let insts = binding.Binding.net.Hls_netlist.Netlist.insts in
   let header =
     "res \\ state" :: List.init t.s_li (fun i -> Printf.sprintf "s%d" (i + 1))
   in

@@ -60,6 +60,9 @@ type stats = {
   st_queries : int;
       (** netlist timing-engine queries issued by the binder — the
           paper's "hottest query of the timing engine" *)
+  st_trials : int;  (** netlist what-if transactions opened *)
+  st_commits : int;  (** trials that ended in a commit *)
+  st_rollbacks : int;  (** trials rolled back by a slack violation *)
   st_sched_s : float;  (** wall-clock seconds inside the scheduler *)
 }
 

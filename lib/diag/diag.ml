@@ -1,7 +1,7 @@
 (** Typed diagnostics for the HLS flow.  See the interface for the
     contract: the flow returns these instead of raising. *)
 
-type phase = Frontend | Elaborate | Schedule | Fold | Check | Report | Verify
+type phase = Frontend | Elaborate | Schedule | Fold | Check | Report | Verify | Explore
 
 type severity = Info | Warning | Error | Fatal
 
@@ -52,6 +52,7 @@ let phase_to_string = function
   | Check -> "check"
   | Report -> "report"
   | Verify -> "verify"
+  | Explore -> "explore"
 
 let severity_to_string = function
   | Info -> "info"

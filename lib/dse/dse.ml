@@ -202,6 +202,12 @@ let run_point ~options design p : (Flow.t, Diag.t) Stdlib.result * profile =
   in
   (r, profile)
 
+let validate_jobs jobs =
+  if jobs < 1 then
+    Diag.error ~phase:Diag.Explore ~code:"bad_jobs"
+      "--jobs must be a positive worker count, got %d" jobs
+  else Ok jobs
+
 let sweep ?(jobs = 1) ?max_workers t ~options design points =
   let max_workers =
     match max_workers with Some m -> max 1 m | None -> Domain.recommended_domain_count ()

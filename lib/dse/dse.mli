@@ -103,6 +103,12 @@ val fingerprint : options:Hls_flow.Flow.options -> Hls_frontend.Ast.design -> po
 (** The stable memoization key: a digest of the design and the effective
     flow options of the point. *)
 
+val validate_jobs : int -> (int, Hls_diag.Diag.t) Stdlib.result
+(** Reject non-positive worker counts with a typed [Explore]-phase
+    diagnostic (code ["bad_jobs"]); the valid count passes through
+    unchanged.  [sweep] itself silently clamps, so drivers call this
+    first to surface user errors instead of masking them. *)
+
 val sweep :
   ?jobs:int ->
   ?max_workers:int ->

@@ -1,0 +1,753 @@
+(** Explicit datapath-netlist value with an incremental timing engine
+    (Section IV.B's "logic-synthesis-grade" query model).
+
+    This layer owns everything structural about the datapath being grown by
+    simultaneous scheduling-and-binding: the resource instances, the port
+    sharing/mux structure, the busy/occupancy tables, the placements, and
+    the two arrival-time views of every bound op:
+
+    - the {e accurate} view including all mux delays (what the paper's
+      netlist queries return), and
+    - the {e naive} view with pure operator delays (what a timing-unaware
+      scheduler would believe).
+
+    Mutations happen through a transactional what-if API:
+    {!begin_trial} opens a trial, every mutation ({!place}, {!attach},
+    {!set_rtype}, {!occupy}) is journaled in a structural undo log, and
+    arrival writes land in generation-stamped trial slots of each arrival
+    cell.  {!commit} folds the trial arrivals into the committed view in
+    O(touched ops); {!rollback} replays the undo log and simply abandons
+    the trial generation — stale trial stamps can never be read again
+    because the next trial bumps the generation.
+
+    Policy (modulo constraints, dedication, forbidden pairs, restraint
+    failures) lives above this layer in [Hls_core.Binding]; everything
+    here is mechanism.  A from-scratch {!reference_arrivals} evaluator
+    recomputes both views ignoring all incremental state and serves as the
+    test oracle for the transaction machinery. *)
+
+open Hls_ir
+open Hls_techlib
+
+type view = Accurate | Naive
+
+type inst = {
+  inst_id : int;
+  mutable rtype : Resource.t;
+  mutable bound : int list;  (** op ids, most recent first *)
+  mutable prealloc_shared : bool;
+      (** instantiate input muxes even before a second op arrives *)
+  added_by_expert : bool;
+  mutable mux_cache : int list array option;
+      (** per-port distinct sources, invalidated when [bound]/[rtype]
+          change (the hottest query of the timing engine) *)
+  mutable mux_delays : float array option;
+      (** memoized per-port mux delay, derived from [mux_cache] *)
+}
+
+type placement = { pl_step : int; pl_finish : int; pl_inst : int option }
+
+(** One arrival value with a generation-stamped trial slot.  Read rule:
+    during a trial, a cell stamped with the current generation shows its
+    trial value; otherwise the committed value (if any) shows through. *)
+type cell = {
+  mutable a_committed : float;
+  mutable a_live : bool;  (** committed value present *)
+  mutable a_trial : float;
+  mutable a_gen : int;  (** trial generation that wrote [a_trial] *)
+}
+
+(** Structural undo log entry: each records the absolute prior value, so
+    replaying the log newest-first leaves the oldest (pre-trial) value in
+    place for every mutated location. *)
+type undo =
+  | U_place of int  (** placement was absent before the trial *)
+  | U_replace of int * placement
+  | U_bound of inst * int list
+  | U_rtype of inst * Resource.t
+  | U_mux of inst * int list array option * float array option
+  | U_busy of int list ref * int list
+
+type stats = {
+  s_queries : int;  (** netlist timing queries (arrival recomputations) *)
+  s_trials : int;
+  s_commits : int;
+  s_rollbacks : int;
+}
+
+type t = {
+  region : Region.t;
+  lib : Library.t;
+  clock_ps : float;
+  dfg : Dfg.t;
+  mutable insts : inst list;
+  inst_tbl : (int, inst) Hashtbl.t;  (** id -> instance, O(1) lookup *)
+  mutable next_inst_id : int;
+  placements : (int, placement) Hashtbl.t;
+  busy : (int * int, int list ref) Hashtbl.t;  (** (inst, slot) -> bound ops *)
+  arr_true : (int, cell) Hashtbl.t;
+  arr_naive : (int, cell) Hashtbl.t;
+  chain : Hls_timing.Cycle_detector.t;
+  mutable generation : int;
+  mutable trial_on : bool;
+  mutable touched : int list;  (** ops whose arrivals this trial wrote *)
+  mutable undo_log : undo list;
+  mutable n_queries : int;
+  mutable n_trials : int;
+  mutable n_commits : int;
+  mutable n_rollbacks : int;
+}
+
+let create ~lib ~clock_ps (region : Region.t) =
+  {
+    region;
+    lib;
+    clock_ps;
+    dfg = region.Region.dfg;
+    insts = [];
+    inst_tbl = Hashtbl.create 16;
+    next_inst_id = 0;
+    placements = Hashtbl.create 64;
+    busy = Hashtbl.create 64;
+    arr_true = Hashtbl.create 64;
+    arr_naive = Hashtbl.create 64;
+    chain = Hls_timing.Cycle_detector.create ();
+    generation = 0;
+    trial_on = false;
+    touched = [];
+    undo_log = [];
+    n_queries = 0;
+    n_trials = 0;
+    n_commits = 0;
+    n_rollbacks = 0;
+  }
+
+let stats t =
+  { s_queries = t.n_queries; s_trials = t.n_trials; s_commits = t.n_commits;
+    s_rollbacks = t.n_rollbacks }
+
+let add_inst ?(added_by_expert = false) t rtype =
+  let inst =
+    { inst_id = t.next_inst_id; rtype; bound = []; prealloc_shared = false; added_by_expert;
+      mux_cache = None; mux_delays = None }
+  in
+  t.next_inst_id <- t.next_inst_id + 1;
+  t.insts <- t.insts @ [ inst ];
+  Hashtbl.replace t.inst_tbl inst.inst_id inst;
+  inst
+
+let find_inst t id = Hashtbl.find t.inst_tbl id
+
+(** Reset all pass-local state (placements, busy tables, arrivals, chain
+    graph, any dangling trial) while keeping the resource set — the state
+    carried between scheduling passes. *)
+let reset_pass t =
+  Hashtbl.reset t.placements;
+  Hashtbl.reset t.busy;
+  Hashtbl.reset t.arr_true;
+  Hashtbl.reset t.arr_naive;
+  List.iter
+    (fun i ->
+      i.bound <- [];
+      i.mux_cache <- None;
+      i.mux_delays <- None)
+    t.insts;
+  Hls_timing.Cycle_detector.clear t.chain;
+  t.trial_on <- false;
+  t.touched <- [];
+  t.undo_log <- [];
+  (* mark shared instances: a class with more candidate ops than instances
+     will be shared, so its input muxes are pre-allocated (Fig. 8a) *)
+  let ops_by_class inst =
+    List.length
+      (List.filter
+         (fun op ->
+           match Resource.of_op t.dfg op with
+           | Some rt -> Resource.can_merge rt inst.rtype
+           | None -> false)
+         (Region.member_ops t.region))
+  in
+  List.iter
+    (fun inst ->
+      let n_insts =
+        List.length (List.filter (fun i -> Resource.can_merge i.rtype inst.rtype) t.insts)
+      in
+      inst.prealloc_shared <- ops_by_class inst > n_insts)
+    t.insts
+
+let placement t op_id = Hashtbl.find_opt t.placements op_id
+
+let is_placed t op_id = Hashtbl.mem t.placements op_id
+
+let slot t step = if Region.is_pipelined t.region then step mod Region.ii t.region else step
+
+let busy_ref t inst step =
+  let key = (inst, slot t step) in
+  match Hashtbl.find_opt t.busy key with
+  | Some r -> r
+  | None ->
+      let r = ref [] in
+      Hashtbl.replace t.busy key r;
+      r
+
+let busy_ops t inst step = !(busy_ref t inst step)
+
+let op_latency t (op : Dfg.op) = Library.op_latency t.lib op.Dfg.kind
+
+let is_multicycle t op = op_latency t op > 1
+
+(** {2 Transactions} *)
+
+let in_trial t = t.trial_on
+
+let begin_trial t =
+  if t.trial_on then invalid_arg "Netlist.begin_trial: trial already active";
+  t.generation <- t.generation + 1;
+  t.trial_on <- true;
+  t.touched <- [];
+  t.undo_log <- [];
+  t.n_trials <- t.n_trials + 1
+
+let commit t =
+  if not t.trial_on then invalid_arg "Netlist.commit: no active trial";
+  List.iter
+    (fun op ->
+      let fold tbl =
+        match Hashtbl.find_opt tbl op with
+        | Some c when c.a_gen = t.generation ->
+            c.a_committed <- c.a_trial;
+            c.a_live <- true
+        | _ -> ()
+      in
+      fold t.arr_true;
+      fold t.arr_naive)
+    t.touched;
+  t.trial_on <- false;
+  t.touched <- [];
+  t.undo_log <- [];
+  t.n_commits <- t.n_commits + 1
+
+let rollback t =
+  if not t.trial_on then invalid_arg "Netlist.rollback: no active trial";
+  (* newest-first replay: the oldest entry for a location lands last and
+     carries the pre-trial value.  Trial arrivals are simply abandoned —
+     their generation stamp can never match again. *)
+  List.iter
+    (function
+      | U_place op -> Hashtbl.remove t.placements op
+      | U_replace (op, pl) -> Hashtbl.replace t.placements op pl
+      | U_bound (i, b) -> i.bound <- b
+      | U_rtype (i, rt) -> i.rtype <- rt
+      | U_mux (i, mc, md) ->
+          i.mux_cache <- mc;
+          i.mux_delays <- md
+      | U_busy (r, l) -> r := l)
+    t.undo_log;
+  t.trial_on <- false;
+  t.touched <- [];
+  t.undo_log <- [];
+  t.n_rollbacks <- t.n_rollbacks + 1
+
+(** {2 Structural mutators} — journaled while a trial is active *)
+
+let place t op_id ~step ~finish ~inst_opt =
+  if t.trial_on then
+    (match Hashtbl.find_opt t.placements op_id with
+    | Some pl -> t.undo_log <- U_replace (op_id, pl) :: t.undo_log
+    | None -> t.undo_log <- U_place op_id :: t.undo_log);
+  Hashtbl.replace t.placements op_id { pl_step = step; pl_finish = finish; pl_inst = inst_opt }
+
+let invalidate_mux t i =
+  if t.trial_on then t.undo_log <- U_mux (i, i.mux_cache, i.mux_delays) :: t.undo_log;
+  i.mux_cache <- None;
+  i.mux_delays <- None
+
+let attach t i op_id =
+  if t.trial_on then t.undo_log <- U_bound (i, i.bound) :: t.undo_log;
+  i.bound <- op_id :: i.bound;
+  invalidate_mux t i
+
+let set_rtype t i rt =
+  if rt <> i.rtype then begin
+    if t.trial_on then t.undo_log <- U_rtype (i, i.rtype) :: t.undo_log;
+    i.rtype <- rt;
+    invalidate_mux t i
+  end
+
+let occupy t ~inst_id ~step ~finish op_id =
+  for s = step to finish do
+    let r = busy_ref t inst_id s in
+    if t.trial_on then t.undo_log <- U_busy (r, !r) :: t.undo_log;
+    r := op_id :: !r
+  done
+
+(** {2 Mux structure} *)
+
+(** Distinct sources feeding input [port] of [inst] over its bound ops.
+    Cached per instance; every [bound]/[rtype] mutation clears the cache. *)
+let port_srcs t (inst : inst) ~port =
+  let srcs =
+    match inst.mux_cache with
+    | Some c when port < Array.length c -> c
+    | _ ->
+        let n_ports = max (port + 1) (List.length inst.rtype.Resource.in_widths) in
+        let c =
+          Array.init n_ports (fun p ->
+              List.filter_map
+                (fun o -> Option.map (fun e -> e.Dfg.src) (Dfg.input t.dfg o ~port:p))
+                inst.bound
+              |> List.sort_uniq compare)
+        in
+        (* derived state: rebuilding reflects the current bound/rtype, so a
+           rebuild during a trial needs no journal entry of its own — the
+           attach/set_rtype that changed the inputs already journaled the
+           pre-trial caches *)
+        inst.mux_cache <- Some c;
+        inst.mux_delays <- None;
+        c
+  in
+  if port < Array.length srcs then srcs.(port) else []
+
+let mux_inputs t inst ~port =
+  let n = List.length (port_srcs t inst ~port) in
+  if inst.prealloc_shared then max n 2 else n
+
+(** Mux inputs of [port] after a hypothetical bind of an op whose [port]
+    input comes from [src]: a source already feeding the port adds no mux
+    input. *)
+let mux_inputs_with t inst ~port ~src =
+  let l = port_srcs t inst ~port in
+  let n = if List.mem src l then List.length l else List.length l + 1 in
+  if inst.prealloc_shared then max n 2 else n
+
+let in_mux_delay t inst ~port =
+  match inst.mux_delays with
+  | Some d when port < Array.length d -> d.(port)
+  | _ ->
+      ignore (port_srcs t inst ~port);
+      (* the call above guarantees mux_cache covers [port] *)
+      let c = match inst.mux_cache with Some c -> c | None -> [||] in
+      let d =
+        Array.init (Array.length c) (fun p ->
+            Library.mux_delay t.lib ~inputs:(mux_inputs t inst ~port:p))
+      in
+      inst.mux_delays <- Some d;
+      if port < Array.length d then d.(port)
+      else Library.mux_delay t.lib ~inputs:(mux_inputs t inst ~port)
+
+(** The register-input sharing mux every registered result passes (the
+    second mux of the paper's Fig. 8 arithmetic).  With II = 1 every value
+    is live on every cycle, so registers cannot be shared and the mux
+    disappears — which is what lets the paper's Example 3 close timing. *)
+let reg_mux_delay t =
+  if Region.is_pipelined t.region && Region.ii t.region = 1 then 0.0
+  else Library.mux_delay t.lib ~inputs:2
+
+(** {2 Arrival state} *)
+
+let table t = function Accurate -> t.arr_true | Naive -> t.arr_naive
+
+(** Current visible arrival of a placed op in [view]: the trial value when
+    the active trial has written it, the committed value otherwise. *)
+let arrival t ~view op_id =
+  match Hashtbl.find_opt (table t view) op_id with
+  | None -> None
+  | Some c ->
+      if t.trial_on && c.a_gen = t.generation then Some c.a_trial
+      else if c.a_live then Some c.a_committed
+      else None
+
+let find_cell tbl op_id =
+  match Hashtbl.find_opt tbl op_id with
+  | Some c -> c
+  | None ->
+      let c = { a_committed = 0.0; a_live = false; a_trial = 0.0; a_gen = min_int } in
+      Hashtbl.replace tbl op_id c;
+      c
+
+let set_arrivals t op_id ~tv ~nv =
+  if t.trial_on then begin
+    let ct = find_cell t.arr_true op_id in
+    if ct.a_gen <> t.generation then t.touched <- op_id :: t.touched;
+    ct.a_gen <- t.generation;
+    ct.a_trial <- tv;
+    let cn = find_cell t.arr_naive op_id in
+    cn.a_gen <- t.generation;
+    cn.a_trial <- nv
+  end
+  else begin
+    let ct = find_cell t.arr_true op_id in
+    ct.a_committed <- tv;
+    ct.a_live <- true;
+    let cn = find_cell t.arr_naive op_id in
+    cn.a_committed <- nv;
+    cn.a_live <- true
+  end
+
+(** {2 Arrival computation}
+
+    The formula is written once, parameterized over the producer-arrival
+    [lookup], so the incremental engine and the from-scratch reference
+    evaluator cannot drift apart. *)
+
+(** Arrival of the value carried by edge [e] at the inputs of an op placed
+    at [step], before any input mux. *)
+let source_arrival_with t ~step ~lookup e =
+  let ff = t.lib.Library.ff_clk_q in
+  let p = e.Dfg.src in
+  if e.Dfg.distance > 0 then ff
+  else if not (Region.mem t.region p) then ff
+  else
+    match Hashtbl.find_opt t.placements p with
+    | None -> ff (* should not happen: scheduler orders by readiness *)
+    | Some pl ->
+        let p_op = Dfg.find t.dfg p in
+        if is_multicycle t p_op then ff
+        else if pl.pl_finish = step then Option.value (lookup p) ~default:ff
+        else ff
+
+let source_arrival t ~step ~view e =
+  source_arrival_with t ~step ~lookup:(fun p -> arrival t ~view p) e
+
+let guard_arrival_with t ~step ~lookup (op : Dfg.op) =
+  if op.Dfg.speculated || Guard.is_always op.Dfg.guard then 0.0
+  else
+    let ff = t.lib.Library.ff_clk_q in
+    List.fold_left
+      (fun acc p ->
+        if not (Region.mem t.region p) then max acc ff
+        else
+          match Hashtbl.find_opt t.placements p with
+          | Some pl when pl.pl_finish = step -> max acc (Option.value (lookup p) ~default:ff)
+          | Some _ -> max acc ff
+          | None -> max acc ff)
+      0.0 (Guard.preds op.Dfg.guard)
+
+let guard_arrival t ~step ~view op =
+  guard_arrival_with t ~step ~lookup:(fun p -> arrival t ~view p) op
+
+(** Combinational delay of [op] when executed on [inst_opt]. *)
+let exec_delay t (op : Dfg.op) inst_opt =
+  match inst_opt with
+  | Some i -> Library.delay t.lib (find_inst t i).rtype
+  | None -> (
+      match Resource.of_op t.dfg op with None -> 0.0 | Some rt -> Library.delay t.lib rt)
+
+(** One full arrival evaluation of [op] at its placement; [with_mux]
+    selects the accurate (mux-laden) formula. *)
+let compute_arrival_with t ~lookup ~with_mux (op : Dfg.op) (pl : placement) =
+  let step = pl.pl_step in
+  let ins = Dfg.in_edges t.dfg op.Dfg.id in
+  let data =
+    List.fold_left
+      (fun acc e ->
+        let a = source_arrival_with t ~step ~lookup e in
+        let a =
+          if not with_mux then a
+          else
+            match pl.pl_inst with
+            | Some i -> a +. in_mux_delay t (find_inst t i) ~port:e.Dfg.port
+            | None -> a
+        in
+        max acc a)
+      (match op.Dfg.kind with
+      | Opkind.Const _ -> 0.0
+      | Opkind.Read _ -> t.lib.Library.ff_clk_q
+      | _ -> if ins = [] then t.lib.Library.ff_clk_q else 0.0)
+      ins
+  in
+  data +. exec_delay t op pl.pl_inst
+
+(** Recompute both arrival views of a placed op; returns true if the
+    accurate view moved by more than 1 fs.  The guard does not serialize
+    with the datapath — it drives the commit register's enable pin in
+    parallel and is accounted for in {!endpoint_slack}. *)
+let recompute_arrival t op_id =
+  t.n_queries <- t.n_queries + 1;
+  let op = Dfg.find t.dfg op_id in
+  let pl = Hashtbl.find t.placements op_id in
+  let new_true =
+    compute_arrival_with t ~lookup:(fun p -> arrival t ~view:Accurate p) ~with_mux:true op pl
+  in
+  let new_naive =
+    compute_arrival_with t ~lookup:(fun p -> arrival t ~view:Naive p) ~with_mux:false op pl
+  in
+  let old_true = arrival t ~view:Accurate op_id in
+  set_arrivals t op_id ~tv:new_true ~nv:new_naive;
+  (match old_true with Some v -> abs_float (v -. new_true) > 0.001 | None -> true)
+
+(** Same-step combinational consumers of a placed op (data or guard),
+    i.e. the ops whose arrivals depend on this op's arrival. *)
+let chained_consumers t op_id =
+  match Hashtbl.find_opt t.placements op_id with
+  | None -> []
+  | Some pl ->
+      let step = pl.pl_finish in
+      List.filter_map
+        (fun e ->
+          if e.Dfg.distance <> 0 then None
+          else
+            match Hashtbl.find_opt t.placements e.Dfg.dst with
+            | Some cpl when cpl.pl_step = step -> Some e.Dfg.dst
+            | _ -> None)
+        (Dfg.out_edges t.dfg op_id)
+
+(** Worst-case registered-endpoint slack of a placed op: its result must
+    traverse the register-input mux and meet setup, and its commit enable
+    (the guard, unless speculated) must also settle in time. *)
+let endpoint_slack t ~view op_id =
+  let arr = Option.value (arrival t ~view op_id) ~default:0.0 in
+  let op = Dfg.find t.dfg op_id in
+  let g =
+    match Hashtbl.find_opt t.placements op_id with
+    | Some pl -> guard_arrival t ~step:pl.pl_finish ~view op
+    | None -> 0.0
+  in
+  let reg_path = match view with Naive -> 0.0 | Accurate -> reg_mux_delay t in
+  t.clock_ps -. (max arr g +. reg_path +. t.lib.Library.ff_setup)
+
+(** Propagate arrival changes from [seeds] through same-step chains.
+    [decision] selects the view whose slack gates the result.  Returns the
+    worst endpoint slack seen together with the op carrying it — so the
+    caller can tell a failure of the new binding itself from collateral
+    damage to ops already bound (a saturated instance). *)
+let propagate t ~decision seeds =
+  let worst = ref infinity in
+  let worst_op = ref (-1) in
+  let queue = Queue.create () in
+  List.iter (fun s -> Queue.add s queue) seeds;
+  let guard_deps =
+    lazy
+      ((* ops guarded by some op: reverse index built on demand *)
+       let tbl = Hashtbl.create 16 in
+       Hashtbl.iter
+         (fun id _ ->
+           let op = Dfg.find t.dfg id in
+           List.iter
+             (fun p ->
+               let r =
+                 match Hashtbl.find_opt tbl p with
+                 | Some r -> r
+                 | None ->
+                     let r = ref [] in
+                     Hashtbl.replace tbl p r;
+                     r
+               in
+               r := id :: !r)
+             (Guard.preds op.Dfg.guard))
+         t.placements;
+       tbl)
+  in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    if Hashtbl.mem t.placements id then begin
+      let changed = recompute_arrival t id in
+      let slack = endpoint_slack t ~view:decision id in
+      if slack < !worst then begin
+        worst := slack;
+        worst_op := id
+      end;
+      if changed then begin
+        List.iter (fun c -> Queue.add c queue) (chained_consumers t id);
+        match Hashtbl.find_opt (Lazy.force guard_deps) id with
+        | Some r ->
+            let pl = Hashtbl.find t.placements id in
+            List.iter
+              (fun g ->
+                match Hashtbl.find_opt t.placements g with
+                | Some gpl when gpl.pl_step = pl.pl_finish -> Queue.add g queue
+                | _ -> ())
+              !r
+        | None -> ()
+      end
+    end
+  done;
+  (!worst, !worst_op)
+
+(** Refresh every arrival from scratch through the incremental engine
+    (processing in step order so chained arrivals settle). *)
+let recompute_all t =
+  let by_step =
+    Hashtbl.fold (fun id pl acc -> (pl.pl_step, id) :: acc) t.placements []
+    |> List.sort compare |> List.map snd
+  in
+  ignore (propagate t ~decision:Accurate by_step)
+
+(** Resource instances that combinationally feed [op] when placed at
+    [step], tracing through same-step wire ops (for the structural-cycle
+    check). *)
+let chain_source_insts t op_id ~step =
+  let acc = ref [] in
+  let seen = Hashtbl.create 16 in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      match Hashtbl.find_opt t.placements id with
+      | Some pl when pl.pl_finish = step && not (is_multicycle t (Dfg.find t.dfg id)) -> (
+          match pl.pl_inst with
+          | Some j -> acc := j :: !acc
+          | None ->
+              List.iter
+                (fun e -> if e.Dfg.distance = 0 then visit e.Dfg.src)
+                (Dfg.in_edges t.dfg id))
+      | _ -> ()
+    end
+  in
+  List.iter (fun e -> if e.Dfg.distance = 0 then visit e.Dfg.src) (Dfg.in_edges t.dfg op_id);
+  List.sort_uniq compare !acc
+
+let would_close_cycle t ~src ~dst = Hls_timing.Cycle_detector.would_close_cycle t.chain ~src ~dst
+
+let add_chain_edge t ~src ~dst =
+  if not (Hls_timing.Cycle_detector.mem_edge t.chain ~src ~dst) then
+    Hls_timing.Cycle_detector.add_edge t.chain ~src ~dst
+
+(** {2 Reporting} *)
+
+(** Values that must live in registers: results consumed in a later step,
+    loop-carried values, and port writes. *)
+let registered_ops t =
+  Hashtbl.fold
+    (fun id pl acc ->
+      let op = Dfg.find t.dfg id in
+      let crosses =
+        List.exists
+          (fun e ->
+            e.Dfg.distance > 0
+            || (not (Region.mem t.region e.Dfg.dst))
+            ||
+            match Hashtbl.find_opt t.placements e.Dfg.dst with
+            | Some cpl -> cpl.pl_step > pl.pl_finish
+            | None -> true)
+          (Dfg.out_edges t.dfg id)
+      in
+      let is_write = match op.Dfg.kind with Opkind.Write _ -> true | _ -> false in
+      if crosses || is_write then id :: acc else acc)
+    t.placements []
+  |> List.sort compare
+
+(** Critical-path decomposition for the downstream-synthesis model: one
+    path per registered endpoint, tracing the argmax chain backwards. *)
+let timing_report t : Hls_timing.Synthesize.report =
+  let paths =
+    List.filter_map
+      (fun endpoint ->
+        let pl = Hashtbl.find t.placements endpoint in
+        let step = pl.pl_finish in
+        let fixed = ref (reg_mux_delay t +. t.lib.Library.ff_setup) in
+        let elems = ref [] in
+        let rec back id =
+          let op = Dfg.find t.dfg id in
+          let opl = Hashtbl.find t.placements id in
+          (match opl.pl_inst with
+          | Some i ->
+              let inst = find_inst t i in
+              elems :=
+                {
+                  Hls_timing.Synthesize.pe_inst = i;
+                  pe_rtype = inst.rtype;
+                  pe_nominal = Library.delay t.lib inst.rtype;
+                }
+                :: !elems
+          | None -> ());
+          (* find dominant input *)
+          let best = ref None in
+          List.iter
+            (fun e ->
+              let a = source_arrival t ~step ~view:Accurate e in
+              let mux =
+                match opl.pl_inst with
+                | Some i -> in_mux_delay t (find_inst t i) ~port:e.Dfg.port
+                | None -> 0.0
+              in
+              let tot = a +. mux in
+              match !best with
+              | Some (_, _, bt) when bt >= tot -> ()
+              | _ -> best := Some (e, mux, tot))
+            (Dfg.in_edges t.dfg id);
+          match !best with
+          | None ->
+              fixed :=
+                !fixed +. (match op.Dfg.kind with Opkind.Const _ -> 0.0 | _ -> t.lib.Library.ff_clk_q)
+          | Some (e, mux, _) ->
+              fixed := !fixed +. mux;
+              let p = e.Dfg.src in
+              let chained =
+                e.Dfg.distance = 0
+                && Region.mem t.region p
+                &&
+                match Hashtbl.find_opt t.placements p with
+                | Some ppl -> ppl.pl_finish = step && not (is_multicycle t (Dfg.find t.dfg p))
+                | None -> false
+              in
+              if chained then back p else fixed := !fixed +. t.lib.Library.ff_clk_q
+        in
+        back endpoint;
+        if !elems = [] then None
+        else
+          Some
+            {
+              Hls_timing.Synthesize.p_endpoint = (Dfg.find t.dfg endpoint).Dfg.name;
+              p_step = step;
+              p_fixed = !fixed;
+              p_elems = !elems;
+            })
+      (registered_ops t)
+  in
+  { Hls_timing.Synthesize.r_clock_ps = t.clock_ps; r_paths = paths }
+
+(** Worst accurate endpoint slack over all placed ops. *)
+let worst_slack t =
+  Hashtbl.fold (fun id _ acc -> min acc (endpoint_slack t ~view:Accurate id)) t.placements infinity
+
+(** {2 Reference evaluator — the oracle} *)
+
+(** From-scratch recomputation of both arrival views, ignoring every
+    incremental structure (cells, journal, propagation order).  Sweeps the
+    placed ops in (step, id) order to a fixpoint so same-step chains settle
+    regardless of id order.  Does not touch the query counters. *)
+let reference_arrivals t =
+  let rt : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let rn : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let ids =
+    Hashtbl.fold (fun id pl acc -> ((pl.pl_step, id), id) :: acc) t.placements []
+    |> List.sort compare |> List.map snd
+  in
+  let sweep () =
+    List.fold_left
+      (fun changed id ->
+        let op = Dfg.find t.dfg id in
+        let pl = Hashtbl.find t.placements id in
+        let v_true = compute_arrival_with t ~lookup:(Hashtbl.find_opt rt) ~with_mux:true op pl in
+        let v_naive = compute_arrival_with t ~lookup:(Hashtbl.find_opt rn) ~with_mux:false op pl in
+        let moved tbl v =
+          match Hashtbl.find_opt tbl id with
+          | Some o -> abs_float (o -. v) > 1e-9
+          | None -> true
+        in
+        let c = moved rt v_true || moved rn v_naive in
+        Hashtbl.replace rt id v_true;
+        Hashtbl.replace rn id v_naive;
+        changed || c)
+      false ids
+  in
+  let rec fix n = if n > 0 && sweep () then fix (n - 1) in
+  fix (List.length ids + 2);
+  (rt, rn)
+
+(** Worst absolute difference between the incremental arrival state and
+    {!reference_arrivals}, over all placed ops and both views.  Zero (up
+    to float noise) whenever the transaction machinery is correct. *)
+let reference_deviation t =
+  let rt, rn = reference_arrivals t in
+  Hashtbl.fold
+    (fun id _ acc ->
+      let dev tbl view =
+        match (Hashtbl.find_opt tbl id, arrival t ~view id) with
+        | Some r, Some a -> abs_float (r -. a)
+        | Some r, None -> abs_float r
+        | None, Some a -> abs_float a
+        | None, None -> 0.0
+      in
+      max acc (max (dev rt Accurate) (dev rn Naive)))
+    t.placements 0.0

@@ -1,0 +1,177 @@
+(** Explicit datapath-netlist value with an incremental timing engine and a
+    transactional what-if API ({!begin_trial} / {!commit} / {!rollback}).
+
+    This layer owns the structural netlist state built by simultaneous
+    scheduling-and-binding — instances, port sharing/mux structure,
+    busy/occupancy tables, placements — and both arrival-time views
+    (accurate with mux delays, naive without).  Policy (modulo constraints,
+    dedication, forbidden pairs) lives above it in [Hls_core.Binding]. *)
+
+open Hls_ir
+open Hls_techlib
+
+(** Which arrival view a query reads: [Accurate] includes every sharing-mux
+    delay (the paper's netlist queries); [Naive] is the mux-free view a
+    timing-unaware scheduler would believe. *)
+type view = Accurate | Naive
+
+type inst = {
+  inst_id : int;
+  mutable rtype : Resource.t;
+  mutable bound : int list;  (** op ids, most recent first *)
+  mutable prealloc_shared : bool;
+      (** instantiate input muxes even before a second op arrives *)
+  added_by_expert : bool;
+  mutable mux_cache : int list array option;
+      (** per-port distinct sources, invalidated when [bound]/[rtype] change *)
+  mutable mux_delays : float array option;
+      (** memoized per-port mux delay, derived from [mux_cache] *)
+}
+
+type placement = { pl_step : int; pl_finish : int; pl_inst : int option }
+
+(** One arrival value with a generation-stamped trial slot. *)
+type cell = {
+  mutable a_committed : float;
+  mutable a_live : bool;  (** committed value present *)
+  mutable a_trial : float;
+  mutable a_gen : int;  (** trial generation that wrote [a_trial] *)
+}
+
+type stats = {
+  s_queries : int;  (** netlist timing queries (arrival recomputations) *)
+  s_trials : int;
+  s_commits : int;
+  s_rollbacks : int;
+}
+
+type undo
+(** Structural undo-log entry (opaque; managed by the trial machinery). *)
+
+type t = {
+  region : Region.t;
+  lib : Library.t;
+  clock_ps : float;
+  dfg : Dfg.t;
+  mutable insts : inst list;
+  inst_tbl : (int, inst) Hashtbl.t;
+  mutable next_inst_id : int;
+  placements : (int, placement) Hashtbl.t;
+  busy : (int * int, int list ref) Hashtbl.t;  (** (inst, slot) -> bound ops *)
+  arr_true : (int, cell) Hashtbl.t;
+  arr_naive : (int, cell) Hashtbl.t;
+  chain : Hls_timing.Cycle_detector.t;
+  mutable generation : int;
+  mutable trial_on : bool;
+  mutable touched : int list;
+  mutable undo_log : undo list;
+  mutable n_queries : int;
+  mutable n_trials : int;
+  mutable n_commits : int;
+  mutable n_rollbacks : int;
+}
+
+val create : lib:Library.t -> clock_ps:float -> Region.t -> t
+val stats : t -> stats
+val add_inst : ?added_by_expert:bool -> t -> Resource.t -> inst
+val find_inst : t -> int -> inst
+
+val reset_pass : t -> unit
+(** Reset all pass-local state (placements, busy tables, arrivals, chain
+    graph, any dangling trial) while keeping the resource set; recomputes
+    each instance's [prealloc_shared] flag. *)
+
+val placement : t -> int -> placement option
+val is_placed : t -> int -> bool
+
+val slot : t -> int -> int
+(** Modulo slot of a control step ([step mod II] when pipelined). *)
+
+val busy_ops : t -> int -> int -> int list
+(** [busy_ops t inst_id step] — ops occupying the instance in the step's slot. *)
+
+val op_latency : t -> Dfg.op -> int
+val is_multicycle : t -> Dfg.op -> bool
+
+(** {2 Transactions} *)
+
+val in_trial : t -> bool
+
+val begin_trial : t -> unit
+(** Open a trial: subsequent mutations are journaled and arrival writes
+    land in generation-stamped trial slots.  Raises [Invalid_argument] if a
+    trial is already active. *)
+
+val commit : t -> unit
+(** Fold the trial arrivals into the committed view (O(touched ops)) and
+    drop the undo log. *)
+
+val rollback : t -> unit
+(** Replay the structural undo log and abandon the trial arrivals (their
+    generation stamp can never be read again). *)
+
+(** {2 Structural mutators} — journaled while a trial is active *)
+
+val place : t -> int -> step:int -> finish:int -> inst_opt:int option -> unit
+val attach : t -> inst -> int -> unit
+(** Bind an op id onto an instance (prepends to [bound], invalidates the
+    mux caches). *)
+
+val set_rtype : t -> inst -> Resource.t -> unit
+val occupy : t -> inst_id:int -> step:int -> finish:int -> int -> unit
+
+(** {2 Mux structure} *)
+
+val port_srcs : t -> inst -> port:int -> int list
+(** Distinct sources feeding the port over the instance's bound ops
+    (cached). *)
+
+val mux_inputs : t -> inst -> port:int -> int
+val mux_inputs_with : t -> inst -> port:int -> src:int -> int
+(** Mux inputs of the port after a hypothetical bind of an op whose input
+    on this port comes from [src]: a source already feeding the port adds
+    no mux input. *)
+
+val in_mux_delay : t -> inst -> port:int -> float
+val reg_mux_delay : t -> float
+
+(** {2 Timing queries} *)
+
+val arrival : t -> view:view -> int -> float option
+(** Current visible arrival of a placed op: the trial value when the
+    active trial has written it, the committed value otherwise. *)
+
+val source_arrival : t -> step:int -> view:view -> Dfg.edge -> float
+val guard_arrival : t -> step:int -> view:view -> Dfg.op -> float
+val exec_delay : t -> Dfg.op -> int option -> float
+val recompute_arrival : t -> int -> bool
+(** Recompute both arrival views of a placed op; true if the accurate view
+    moved.  Counts as one netlist timing query. *)
+
+val chained_consumers : t -> int -> int list
+val endpoint_slack : t -> view:view -> int -> float
+val propagate : t -> decision:view -> int list -> float * int
+(** Propagate arrival changes from the seed ops through same-step chains;
+    returns the worst endpoint slack in the [decision] view and the op
+    carrying it. *)
+
+val recompute_all : t -> unit
+val chain_source_insts : t -> int -> step:int -> int list
+val would_close_cycle : t -> src:int -> dst:int -> bool
+val add_chain_edge : t -> src:int -> dst:int -> unit
+
+(** {2 Reporting} *)
+
+val registered_ops : t -> int list
+val timing_report : t -> Hls_timing.Synthesize.report
+val worst_slack : t -> float
+
+(** {2 Reference evaluator — the oracle} *)
+
+val reference_arrivals : t -> (int, float) Hashtbl.t * (int, float) Hashtbl.t
+(** From-scratch recomputation of both arrival views (accurate, naive),
+    ignoring all incremental state.  Does not touch the query counters. *)
+
+val reference_deviation : t -> float
+(** Worst absolute difference between the incremental arrival state and
+    {!reference_arrivals} over all placed ops and both views. *)

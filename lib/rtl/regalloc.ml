@@ -17,6 +17,7 @@
 
 open Hls_ir
 open Hls_core
+module Netlist = Hls_netlist.Netlist
 
 type value_info = {
   v_op : int;
@@ -32,7 +33,7 @@ type reg = { r_width : int; r_values : value_info list; r_copies : int }
 type t = { values : value_info list; regs : reg list }
 
 let analyze (s : Scheduler.t) : t =
-  let binding = s.Scheduler.s_binding in
+  let nl = s.Scheduler.s_binding.Binding.net in
   let region = s.Scheduler.s_region in
   let dfg = region.Region.dfg in
   let ii = Region.ii region in
@@ -41,10 +42,10 @@ let analyze (s : Scheduler.t) : t =
     List.filter_map
       (fun id ->
         let op = Dfg.find dfg id in
-        match Binding.placement binding id with
+        match Netlist.placement nl id with
         | None -> None
         | Some pl ->
-            let def = pl.Binding.pl_finish in
+            let def = pl.Netlist.pl_finish in
             let dedicated = ref false in
             let last_use = ref def in
             List.iter
@@ -58,8 +59,8 @@ let analyze (s : Scheduler.t) : t =
                   last_use := max !last_use (li - 1)
                 end
                 else
-                  match Binding.placement binding e.Dfg.dst with
-                  | Some cpl -> last_use := max !last_use cpl.Binding.pl_step
+                  match Netlist.placement nl e.Dfg.dst with
+                  | Some cpl -> last_use := max !last_use cpl.Netlist.pl_step
                   | None -> ())
               (Dfg.out_edges dfg id);
             let is_write = match op.Dfg.kind with Opkind.Write _ -> true | _ -> false in
@@ -76,7 +77,7 @@ let analyze (s : Scheduler.t) : t =
                   v_copies = copies;
                   v_dedicated = !dedicated || is_write || Region.is_pipelined region;
                 })
-      (Binding.registered_ops binding)
+      (Netlist.registered_ops nl)
   in
   (* greedy interval sharing for non-dedicated values *)
   let shareable = List.filter (fun v -> not v.v_dedicated) values in

@@ -9,6 +9,7 @@
 open Hls_ir
 open Hls_techlib
 open Hls_core
+module Netlist = Hls_netlist.Netlist
 
 type breakdown = {
   a_resources : float;
@@ -29,30 +30,30 @@ type breakdown = {
     register. *)
 let area ?(synth : Hls_timing.Synthesize.result option) ?(io_widths : int list = [])
     (s : Scheduler.t) : breakdown =
-  let binding = s.Scheduler.s_binding in
-  let lib = binding.Binding.lib in
+  let net = s.Scheduler.s_binding.Binding.net in
+  let lib = net.Netlist.lib in
   let region = s.Scheduler.s_region in
   let synth =
     match synth with
     | Some r -> r
-    | None -> Hls_timing.Synthesize.run lib (Binding.timing_report binding)
+    | None -> Hls_timing.Synthesize.run lib (Netlist.timing_report net)
   in
-  let used_insts = List.filter (fun i -> i.Binding.bound <> []) binding.Binding.insts in
+  let used_insts = List.filter (fun i -> i.Netlist.bound <> []) net.Netlist.insts in
   let sized_area inst =
     match
-      List.find_opt (fun (i, _, _, _) -> i = inst.Binding.inst_id) synth.Hls_timing.Synthesize.s_per_inst
+      List.find_opt (fun (i, _, _, _) -> i = inst.Netlist.inst_id) synth.Hls_timing.Synthesize.s_per_inst
     with
     | Some (_, _, _, a) -> a
-    | None -> Library.area lib inst.Binding.rtype
+    | None -> Library.area lib inst.Netlist.rtype
   in
   let a_resources = List.fold_left (fun acc i -> acc +. sized_area i) 0.0 used_insts in
   let a_input_muxes =
     List.fold_left
       (fun acc inst ->
-        let ports = List.length inst.Binding.rtype.Resource.in_widths in
+        let ports = List.length inst.Netlist.rtype.Resource.in_widths in
         let per_port p =
-          let k = Binding.mux_inputs binding inst ~port:p in
-          let w = List.nth inst.Binding.rtype.Resource.in_widths p in
+          let k = Netlist.mux_inputs net inst ~port:p in
+          let w = List.nth inst.Netlist.rtype.Resource.in_widths p in
           Library.mux_area lib ~inputs:k ~width:w
         in
         acc +. List.fold_left (fun a p -> a +. per_port p) 0.0 (List.init ports Fun.id))
@@ -106,8 +107,8 @@ let area ?(synth : Hls_timing.Synthesize.result option) ?(io_widths : int list =
     [II * clock_ps]. *)
 let power ?(activity : (int, int) Hashtbl.t option) ?(iters = 1) (s : Scheduler.t)
     (bd : breakdown) ~clock_ps : float =
-  let binding = s.Scheduler.s_binding in
-  let lib = binding.Binding.lib in
+  let net = s.Scheduler.s_binding.Binding.net in
+  let lib = net.Netlist.lib in
   let region = s.Scheduler.s_region in
   let dfg = region.Region.dfg in
   let ii = Region.ii region in
@@ -126,7 +127,7 @@ let power ?(activity : (int, int) Hashtbl.t option) ?(iters = 1) (s : Scheduler.
         | Some rt when Opkind.is_resource_op op.Dfg.kind ->
             acc +. (Library.energy lib rt *. execs_per_iter op_id)
         | _ -> acc)
-      binding.Binding.placements 0.0
+      net.Netlist.placements 0.0
   in
   let ra = Regalloc.analyze s in
   let reg_energy =

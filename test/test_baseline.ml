@@ -28,7 +28,7 @@ let check_valid (region : Region.t) (binding : Binding.t) ~ii =
             false (Hashtbl.mem seen key);
           Hashtbl.replace seen key op
       | None -> ())
-    binding.Binding.placements;
+    binding.Binding.net.Hls_netlist.Netlist.placements;
   Dfg.iter_ops dfg (fun op ->
       List.iter
         (fun e ->
@@ -85,7 +85,7 @@ let test_modulo_naive_timing_shows () =
   match Hls_baseline.Modulo.schedule ~lib ~clock_ps:1600.0 region with
   | Error e -> Alcotest.fail e.Hls_baseline.Modulo.m_message
   | Ok m ->
-      let rep = Binding.timing_report m.Hls_baseline.Modulo.m_binding in
+      let rep = Hls_netlist.Netlist.timing_report m.Hls_baseline.Modulo.m_binding.Binding.net in
       let syn = Hls_timing.Synthesize.run lib rep in
       (* just assert the report machinery runs end to end on imported
          schedules; sign of slack depends on the MRT outcome *)

@@ -5,6 +5,7 @@
 open Hls_ir
 open Hls_core
 open Hls_techlib
+module Netlist = Hls_netlist.Netlist
 
 let lib = Library.artisan90
 let clock = 1600.0
@@ -68,11 +69,11 @@ let test_fig8_clean () =
     (Dfg.ops dfg);
   bind_ok b (Dfg.find dfg mul1) ~step:0 ~inst_opt:(Some mi);
   Alcotest.(check (float 0.5)) "Fig 8a: mul arrival 1080" 1080.0
-    (Hashtbl.find b.Binding.arr_true mul1);
+    (Option.get (Netlist.arrival b.Binding.net ~view:Netlist.Accurate mul1));
   bind_ok b (Dfg.find dfg add) ~step:0 ~inst_opt:(Some ai);
   (* Fig 8b: 40 + 110 + 930 + 350 = 1430; endpoint 1430+110+40 = 1580 *)
   Alcotest.(check (float 0.5)) "Fig 8b: add arrival 1430" 1430.0
-    (Hashtbl.find b.Binding.arr_true add);
+    (Option.get (Netlist.arrival b.Binding.net ~view:Netlist.Accurate add));
   Alcotest.(check (float 0.5)) "Fig 8b: add slack 20" 20.0
     (Binding.endpoint_slack b ~naive:false add);
   (* Fig 8c: gt would land at 1800 -> slack -200: the binder rejects it *)
@@ -192,10 +193,10 @@ let test_reset_pass_clears_chain () =
   bind_ok b (Dfg.find dfg x) ~step:0 ~inst_opt:(Some ia.Binding.inst_id);
   bind_ok b (Dfg.find dfg y) ~step:0 ~inst_opt:(Some ib.Binding.inst_id);
   Alcotest.(check bool) "chaining x into y recorded an instance edge" true
-    (Hls_timing.Cycle_detector.n_edges b.Binding.chain > 0);
+    (Hls_timing.Cycle_detector.n_edges b.Binding.net.Netlist.chain > 0);
   Binding.reset_pass b;
   Alcotest.(check int) "reset_pass leaves a fresh detector: zero edges" 0
-    (Hls_timing.Cycle_detector.n_edges b.Binding.chain)
+    (Hls_timing.Cycle_detector.n_edges b.Binding.net.Netlist.chain)
 
 let test_forbidden_pair () =
   let region, _, _, mul1, _, _ = fig8_region () in
@@ -221,18 +222,46 @@ let test_rollback_on_failure () =
   let mul1 = List.find (fun o -> o.Dfg.name = "mul1") (Dfg.ops dfg) in
   bind_ok b mul1 ~step:0 ~inst_opt:(Some mi);
   bind_ok b (Dfg.find dfg add) ~step:0 ~inst_opt:(Some ai);
-  let placements_before = Hashtbl.length b.Binding.placements in
+  let placements_before = Hashtbl.length b.Binding.net.Netlist.placements in
   let gt_op = Dfg.find dfg gt in
   (match Binding.try_bind b gt_op ~step:0 ~inst_opt:(Some (Binding.add_inst b { Resource.rclass = Opkind.R_cmp_rel; in_widths = [ 32; 32 ]; out_width = 1 }).Binding.inst_id) with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "expected failure");
   Alcotest.(check int) "placement count unchanged after rollback" placements_before
-    (Hashtbl.length b.Binding.placements);
+    (Hashtbl.length b.Binding.net.Netlist.placements);
   Alcotest.(check bool) "gt not placed" true (Binding.placement b gt = None)
+
+(* Regression for the quick_slack mux overcounting bug: the screen used to
+   charge [mux_inputs + 1] per input port even when the candidate op's
+   source already fed that port on the instance.  Here mul1 and mul2 read
+   the same (chrome, mask) pair, so sharing the multiplier adds no mux
+   input — yet the old screen sized a 3-input mux (115 ps instead of 110)
+   and rejected a binding whose true endpoint path is 40 + 110 + 930 +
+   110 + 40 = 1230 ps.  At a 1232 ps clock the spurious 5 ps pushed the
+   estimate to -3 ps, a false F_slack. *)
+let test_quick_slack_shared_source () =
+  let region, _, _, mul1, _, _ = fig8_region () in
+  let dfg = dfg_of region in
+  let b = Binding.create ~lib ~clock_ps:1232.0 region in
+  let mi =
+    (Binding.add_inst b { Resource.rclass = Opkind.R_mul; in_widths = [ 32; 32 ]; out_width = 32 })
+      .Binding.inst_id
+  in
+  Binding.reset_pass b;
+  List.iter
+    (fun o -> match o.Dfg.kind with Opkind.Read _ -> bind_ok b o ~step:0 ~inst_opt:None | _ -> ())
+    (Dfg.ops dfg);
+  bind_ok b (Dfg.find dfg mul1) ~step:0 ~inst_opt:(Some mi);
+  let mul2 = List.find (fun o -> o.Dfg.name = "mul2") (Dfg.ops dfg) in
+  Alcotest.(check bool)
+    "screen accepts a same-source cohabitant" true
+    (Binding.quick_slack b mul2 ~step:1 ~inst_id:mi >= 0.0);
+  bind_ok b mul2 ~step:1 ~inst_opt:(Some mi)
 
 let suite =
   [
     Alcotest.test_case "Fig. 8 delay arithmetic" `Quick test_fig8_clean;
+    Alcotest.test_case "quick_slack counts distinct sources" `Quick test_quick_slack_shared_source;
     Alcotest.test_case "busy within a step" `Quick test_busy_and_equivalence;
     Alcotest.test_case "equivalence-class busy (II=2)" `Quick test_pipelined_equivalence_busy;
     Alcotest.test_case "Fig. 6 comb-cycle rejection" `Quick test_comb_cycle_fig6;

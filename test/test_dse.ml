@@ -113,9 +113,29 @@ let prop_front_dominates_sweep =
             front)
         swept)
 
+(* [--jobs 0] and negative counts are user errors, not something to clamp
+   silently: the driver surfaces a typed Explore-phase diagnostic. *)
+let test_validate_jobs () =
+  let check_bad n =
+    match Dse.validate_jobs n with
+    | Ok _ -> Alcotest.failf "jobs=%d accepted" n
+    | Error d ->
+        Alcotest.(check string) "code" "bad_jobs" d.Hls_diag.Diag.d_code;
+        Alcotest.(check bool) "phase" true (d.Hls_diag.Diag.d_phase = Hls_diag.Diag.Explore)
+  in
+  check_bad 0;
+  check_bad (-3);
+  List.iter
+    (fun n ->
+      match Dse.validate_jobs n with
+      | Ok m -> Alcotest.(check int) "passes through" n m
+      | Error _ -> Alcotest.failf "jobs=%d rejected" n)
+    [ 1; 4 ]
+
 let suite =
   [
     Alcotest.test_case "determinism across worker counts" `Quick test_determinism_across_jobs;
+    Alcotest.test_case "--jobs validation" `Quick test_validate_jobs;
     Alcotest.test_case "memo cache: zero re-runs" `Quick test_cache_hits;
     Alcotest.test_case "overlapping and duplicated sweeps" `Quick test_overlapping_sweep;
     Alcotest.test_case "grid parsing" `Quick test_grid_parse;

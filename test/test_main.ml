@@ -31,4 +31,5 @@ let () =
       ("kernel_sim", Test_kernel_sim.suite);
       ("faults", Test_faults.suite);
       ("dse", Test_dse.suite);
+      ("netlist", Test_netlist.suite);
     ]

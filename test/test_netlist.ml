@@ -1,0 +1,201 @@
+(** The transactional netlist layer: trial/commit/rollback semantics, the
+    failed-bind isolation property (a rejected [try_bind] leaves every
+    observable bit-identical), and the reference-evaluator oracle (the
+    incremental arrival state never drifts from a from-scratch
+    recomputation, whatever sequence of trials the scheduler ran). *)
+
+open Hls_ir
+open Hls_core
+open Hls_techlib
+module Netlist = Hls_netlist.Netlist
+
+let lib = Library.artisan90
+
+(** Every observable of the netlist, in canonical (sorted) form: placements,
+    non-empty busy slots, per-instance structure with the mux projections,
+    the committed arrivals of both views, and the chain-graph edge count.
+    Derived caches (mux_cache / mux_delays) are observed through their
+    projections, not their representation — a rolled-back trial may leave
+    them rebuilt or invalidated, which must be indistinguishable. *)
+let snapshot (net : Netlist.t) =
+  let placements =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) net.Netlist.placements [] |> List.sort compare
+  in
+  let busy =
+    Hashtbl.fold
+      (fun k v acc -> if !v = [] then acc else (k, List.sort compare !v) :: acc)
+      net.Netlist.busy []
+    |> List.sort compare
+  in
+  let insts =
+    List.map
+      (fun (i : Netlist.inst) ->
+        let ports = List.length i.Netlist.rtype.Resource.in_widths in
+        ( i.Netlist.inst_id,
+          i.Netlist.rtype,
+          List.sort compare i.Netlist.bound,
+          List.init ports (fun p -> Netlist.mux_inputs net i ~port:p),
+          List.init ports (fun p -> Netlist.in_mux_delay net i ~port:p) ))
+      net.Netlist.insts
+    |> List.sort compare
+  in
+  let arrivals tbl =
+    Hashtbl.fold
+      (fun k (c : Netlist.cell) acc ->
+        if c.Netlist.a_live then (k, c.Netlist.a_committed) :: acc else acc)
+      tbl []
+    |> List.sort compare
+  in
+  ( placements,
+    busy,
+    insts,
+    arrivals net.Netlist.arr_true,
+    arrivals net.Netlist.arr_naive,
+    Hls_timing.Cycle_detector.n_edges net.Netlist.chain )
+
+let scheduled_example1 () =
+  let e = Hls_frontend.Elaborate.design (Hls_designs.Example1.design ()) in
+  let region = Hls_frontend.Elaborate.main_region e in
+  match Scheduler.schedule ~lib ~clock_ps:1600.0 region with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "example1 failed to schedule: %s" e.Scheduler.e_message
+
+(* A rolled-back trial — including structural mutations and arrival
+   recomputations — restores every observable of a scheduled netlist. *)
+let test_rollback_restores () =
+  let s = scheduled_example1 () in
+  let net = s.Scheduler.s_binding.Hls_core.Binding.net in
+  let before = snapshot net in
+  let op_id, pl =
+    Hashtbl.fold
+      (fun k v acc -> match v.Netlist.pl_inst with Some _ -> (k, v) | None -> acc)
+      net.Netlist.placements (-1, { Netlist.pl_step = 0; pl_finish = 0; pl_inst = None })
+  in
+  Alcotest.(check bool) "found a bound op" true (op_id >= 0);
+  Netlist.begin_trial net;
+  Alcotest.(check bool) "trial open" true (Netlist.in_trial net);
+  Netlist.place net op_id ~step:(pl.Netlist.pl_step + 1) ~finish:(pl.Netlist.pl_finish + 1)
+    ~inst_opt:pl.Netlist.pl_inst;
+  ignore (Netlist.recompute_arrival net op_id);
+  (match pl.Netlist.pl_inst with
+  | Some i -> Netlist.set_rtype net (Netlist.find_inst net i) { (Netlist.find_inst net i).Netlist.rtype with Resource.out_width = 64 }
+  | None -> ());
+  Netlist.rollback net;
+  Alcotest.(check bool) "trial closed" true (not (Netlist.in_trial net));
+  Alcotest.(check bool) "all observables restored" true (snapshot net = before)
+
+(* An idempotent trial (recompute everything, change nothing) commits to
+   exactly the same committed state, and the committed state matches the
+   from-scratch reference evaluator. *)
+let test_commit_idempotent_and_reference () =
+  let s = scheduled_example1 () in
+  let net = s.Scheduler.s_binding.Hls_core.Binding.net in
+  let before = snapshot net in
+  Netlist.begin_trial net;
+  Hashtbl.iter (fun op _ -> ignore (Netlist.recompute_arrival net op)) net.Netlist.placements;
+  Netlist.commit net;
+  Alcotest.(check bool) "commit of a no-op trial is a no-op" true (snapshot net = before);
+  Alcotest.(check bool) "incremental state matches the reference evaluator" true
+    (Netlist.reference_deviation net < 1e-6)
+
+let test_nested_trial_rejected () =
+  let s = scheduled_example1 () in
+  let net = s.Scheduler.s_binding.Hls_core.Binding.net in
+  Netlist.begin_trial net;
+  Alcotest.check_raises "no nested trials" (Invalid_argument "Netlist.begin_trial: trial already active")
+    (fun () -> Netlist.begin_trial net);
+  Netlist.rollback net
+
+let synthetic_region seed ~ops =
+  let profile =
+    {
+      Hls_designs.Synthetic.default_profile with
+      Hls_designs.Synthetic.p_ops = ops;
+      p_seed = seed;
+      p_tightness = 0.2 +. (float_of_int (seed mod 5) /. 10.0);
+    }
+  in
+  let d = Hls_designs.Synthetic.design ~profile () in
+  let e = Hls_frontend.Elaborate.design d in
+  Hls_frontend.Elaborate.main_region e
+
+(* Satellite property: a FAILED try_bind — whatever the failure (window,
+   busy, slack, cycle) and wherever it aborts (pre-check or rolled-back
+   trial) — leaves every netlist observable bit-identical.  One instance
+   per resource class plus a tight clock maximizes contention, so slack
+   and busy rejections actually occur. *)
+let prop_failed_bind_is_invisible =
+  QCheck.Test.make ~name:"failed try_bind leaves the netlist bit-identical" ~count:12
+    QCheck.(int_range 1 10000)
+    (fun seed ->
+      let region = synthetic_region seed ~ops:(30 + (seed mod 40)) in
+      let dfg = region.Region.dfg in
+      let b = Binding.create ~lib ~clock_ps:1250.0 region in
+      let class_inst = Hashtbl.create 8 in
+      Dfg.iter_ops dfg (fun op ->
+          match Resource.of_op dfg op with
+          | Some rt when Opkind.is_resource_op op.Dfg.kind ->
+              if not (Hashtbl.mem class_inst rt.Resource.rclass) then
+                Hashtbl.replace class_inst rt.Resource.rclass
+                  (Binding.add_inst b rt).Binding.inst_id
+          | _ -> ());
+      Binding.reset_pass b;
+      let failures = ref 0 and violations = ref 0 in
+      List.iter
+        (fun op ->
+          let inst_opt =
+            match Resource.of_op dfg op with
+            | Some rt when Opkind.is_resource_op op.Dfg.kind ->
+                Hashtbl.find_opt class_inst rt.Resource.rclass
+            | _ -> None
+          in
+          let rec go step =
+            if step <= region.Region.n_steps - 1 then begin
+              let before = snapshot b.Binding.net in
+              match Binding.try_bind b op ~step ~inst_opt with
+              | Ok () -> ()
+              | Error _ ->
+                  incr failures;
+                  if snapshot b.Binding.net <> before then incr violations;
+                  go (step + 1)
+            end
+          in
+          go 0)
+        (Dfg.ops dfg);
+      if !violations > 0 then
+        QCheck.Test.fail_reportf "%d of %d failed binds mutated the netlist" !violations !failures
+      else true)
+
+(* Oracle property: after a real scheduling run — an arbitrary sequence of
+   trials, commits and rollbacks — the incremental arrival tables agree
+   with a from-scratch reference recomputation; and extra no-op
+   trial/rollback and trial/commit cycles keep it that way. *)
+let prop_incremental_matches_reference =
+  QCheck.Test.make ~name:"incremental arrivals match the reference evaluator" ~count:10
+    QCheck.(int_range 1 10000)
+    (fun seed ->
+      let region = synthetic_region seed ~ops:(30 + (seed mod 60)) in
+      match Scheduler.schedule ~lib ~clock_ps:1600.0 region with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok s ->
+          let net = s.Scheduler.s_binding.Hls_core.Binding.net in
+          let dev0 = Netlist.reference_deviation net in
+          Netlist.begin_trial net;
+          Hashtbl.iter (fun op _ -> ignore (Netlist.recompute_arrival net op)) net.Netlist.placements;
+          Netlist.rollback net;
+          Netlist.begin_trial net;
+          Hashtbl.iter (fun op _ -> ignore (Netlist.recompute_arrival net op)) net.Netlist.placements;
+          Netlist.commit net;
+          let dev1 = Netlist.reference_deviation net in
+          if dev0 > 0.05 || dev1 > 0.05 then
+            QCheck.Test.fail_reportf "deviation %.6f / %.6f ps exceeds tolerance" dev0 dev1
+          else true)
+
+let suite =
+  [
+    Alcotest.test_case "rollback restores all observables" `Quick test_rollback_restores;
+    Alcotest.test_case "no-op trial commit is idempotent" `Quick test_commit_idempotent_and_reference;
+    Alcotest.test_case "nested trials rejected" `Quick test_nested_trial_rejected;
+    QCheck_alcotest.to_alcotest prop_failed_bind_is_invisible;
+    QCheck_alcotest.to_alcotest prop_incremental_matches_reference;
+  ]

@@ -28,7 +28,7 @@ let test_fig5_fold () =
           Alcotest.(check int) "kernel state" (pl.Binding.pl_step mod 2) st;
           Alcotest.(check int) "stage" (pl.Binding.pl_step / 2) sg
       | None -> Alcotest.fail "placed op missing from fold")
-    s.Scheduler.s_binding.Binding.placements
+    s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.placements
 
 let test_sequential_identity_fold () =
   let s = schedule (Hls_designs.Example1.design ~max_latency:3 ()) in

@@ -20,7 +20,7 @@ let test_regalloc_example1 () =
   let covered = List.map (fun v -> v.Hls_rtl.Regalloc.v_op) ra.Hls_rtl.Regalloc.values in
   List.iter
     (fun id -> Alcotest.(check bool) "registered op covered" true (List.mem id covered))
-    (Binding.registered_ops s.Scheduler.s_binding)
+    (Hls_netlist.Netlist.registered_ops s.Scheduler.s_binding.Binding.net)
 
 let test_regalloc_pipeline_copies () =
   (* a value produced in stage 1 and consumed in stage 2 of an II=1

@@ -26,7 +26,7 @@ let step_of_kind e s k =
   let matches =
     Hashtbl.fold
       (fun id pl acc -> if kind_of e id = k then (id, pl.Binding.pl_step) :: acc else acc)
-      s.Scheduler.s_binding.Binding.placements []
+      s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.placements []
   in
   List.sort compare (List.map snd matches)
 
@@ -39,7 +39,7 @@ let test_table2_sequential () =
     List.filter
       (fun (i : Binding.inst) ->
         i.Binding.rtype.Hls_techlib.Resource.rclass = Opkind.R_mul && i.Binding.bound <> [])
-      s.Scheduler.s_binding.Binding.insts
+      s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.insts
   in
   Alcotest.(check int) "single multiplier" 1 (List.length muls);
   Alcotest.(check int) "it executes all three multiplications" 3
@@ -63,7 +63,7 @@ let test_example2_ii2 () =
     List.filter
       (fun (i : Binding.inst) ->
         i.Binding.rtype.Hls_techlib.Resource.rclass = Opkind.R_mul && i.Binding.bound <> [])
-      s.Scheduler.s_binding.Binding.insts
+      s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.insts
   in
   (* "two mul resources must be created" *)
   Alcotest.(check int) "two multipliers" 2 (List.length muls);
@@ -81,7 +81,7 @@ let test_example3_ii1 () =
     List.filter
       (fun (i : Binding.inst) ->
         i.Binding.rtype.Hls_techlib.Resource.rclass = Opkind.R_mul && i.Binding.bound <> [])
-      s.Scheduler.s_binding.Binding.insts
+      s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.insts
   in
   (* "no resource is shareable ... hence 3 multipliers" *)
   Alcotest.(check int) "three multipliers" 3 (List.length muls);
@@ -144,7 +144,7 @@ let test_anchor_respected () =
           match (Dfg.find dfg id).Dfg.anchor with
           | Some a -> Alcotest.(check int) "anchored op at its step" a pl.Binding.pl_step
           | None -> ())
-        s.Scheduler.s_binding.Binding.placements
+        s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.placements
   | Error err -> Alcotest.failf "timed schedule failed: %s" err.Scheduler.e_message
 
 let test_all_members_placed () =
@@ -179,7 +179,7 @@ let test_busy_exclusivity () =
               Hashtbl.replace by_step pl.Binding.pl_step (o :: prev)
           | None -> ())
         i.Binding.bound)
-    s.Scheduler.s_binding.Binding.insts
+    s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.insts
 
 let test_table_rendering () =
   let _, s = schedule_example1 () in
