@@ -1,4 +1,4 @@
-.PHONY: all build test faults dse check fmt ci bench bench-dse bench-netlist clean
+.PHONY: all build test faults dse check fmt ci bench bench-dse bench-netlist bench-sched bench-smoke golden clean
 
 all: build
 
@@ -50,6 +50,23 @@ bench-dse:
 # trial/rollback transaction throughput, written to BENCH_netlist.json
 bench-netlist:
 	dune exec bench/main.exe -- netlist
+
+# the scheduler warm-start experiment: relaxation-loop wall clock with and
+# without warm-start on synthetic-350 (pipelined + sequential) and idct,
+# written to BENCH_sched.json
+bench-sched:
+	dune exec bench/main.exe -- sched
+
+# regenerate-and-compare gate for the committed paper artifacts
+golden:
+	./scripts/check_golden.sh
+
+# what CI's bench-smoke job runs: one-rep sched + reduced-iteration
+# netlist benches (so the experiment code paths stay alive) plus the
+# golden byte-identity gate on Tables 1-4 / Fig 10-11
+bench-smoke:
+	dune exec bench/main.exe -- sched netlist --smoke
+	./scripts/check_golden.sh
 
 clean:
 	dune clean

@@ -18,6 +18,10 @@ open Hls_frontend
 let lib = Hls_techlib.Library.artisan90
 let clock = 1600.0
 
+(* --smoke: shrink iteration counts so CI can run the benches as a fast
+   correctness check (the numbers are then meaningless as measurements) *)
+let smoke = ref false
+
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
@@ -376,41 +380,201 @@ let fig10_11 () =
 (* DSE engine benchmark: exploration throughput and parallel speedup    *)
 (* ------------------------------------------------------------------ *)
 
+(* per-point orchestration overhead: wall-clock the sweep spent outside
+   the flow runs themselves (fingerprinting, dedup, domain spawn/handoff),
+   spread over the points *)
+let overhead_per_point (s : Hls_dse.Dse.stats) =
+  if s.Hls_dse.Dse.s_points > 0 then
+    (s.Hls_dse.Dse.s_wall_s -. s.Hls_dse.Dse.s_cpu_s) /. float_of_int s.Hls_dse.Dse.s_points
+  else 0.0
+
 let bench_dse () =
   section "DSE — exploration throughput on the IDCT sweep (BENCH_dse.json)";
   let requested_jobs = 4 in
-  (* fresh engine per timing run: the cache must not serve the second run *)
-  (* max_workers lifted to the request so the domain pool really runs even
-     when the host reports fewer cores (the speedup is then ~1x, recorded
-     honestly together with the core count) *)
+  (* fresh engine per timing run: the cache must not serve the second run.
+     max_workers is NOT lifted past the host's core count any more —
+     oversubscribing domains on a small machine measured the scheduler
+     thrash, not the engine (the old 0.32x "speedup") — so on a single-core
+     host the parallel run degrades to sequential and says so *)
   let _, sw1 = idct_sweep ~jobs:1 ~engine:(Hls_dse.Dse.create ()) () in
-  let _, swn =
-    idct_sweep ~jobs:requested_jobs ~max_workers:requested_jobs ~engine:(Hls_dse.Dse.create ()) ()
+  let par_engine = Hls_dse.Dse.create () in
+  let _, swn = idct_sweep ~jobs:requested_jobs ~engine:par_engine () in
+  (* second parallel sweep on the same engine over a disjoint point set:
+     the resident pool is already spawned, so the wall difference against
+     the first sweep is the amortized domain-startup cost *)
+  let warm_points =
+    List.map
+      (fun (p : Hls_dse.Dse.point) ->
+        { p with Hls_dse.Dse.pt_clock_ps = p.Hls_dse.Dse.pt_clock_ps +. 8.0 })
+      (idct_points ())
+  in
+  let sw_pool =
+    Hls_dse.Dse.sweep ~jobs:requested_jobs par_engine ~options:idct_sweep_options
+      (Hls_designs.Idct.design ()) warm_points
   in
   (* and a cache-hit pass on a shared engine, to show the memoization *)
   let engine = Hls_dse.Dse.create () in
   let _ = idct_sweep ~jobs:1 ~engine () in
   let _, sw_cached = idct_sweep ~jobs:1 ~engine () in
   let s1 = Hls_dse.Dse.stats sw1 and sn = Hls_dse.Dse.stats swn in
+  let sp = Hls_dse.Dse.stats sw_pool in
   let sc = Hls_dse.Dse.stats sw_cached in
   let speedup = if sn.Hls_dse.Dse.s_wall_s > 0.0 then s1.Hls_dse.Dse.s_wall_s /. sn.Hls_dse.Dse.s_wall_s else 0.0 in
   Printf.printf "jobs=1: %s\n" (Hls_dse.Dse.stats_to_string s1);
   Printf.printf "jobs=%d (effective %d): %s\n" requested_jobs sn.Hls_dse.Dse.s_jobs
     (Hls_dse.Dse.stats_to_string sn);
+  Printf.printf "jobs=%d warm pool: %s\n" requested_jobs (Hls_dse.Dse.stats_to_string sp);
   Printf.printf "cached re-sweep: %s\n" (Hls_dse.Dse.stats_to_string sc);
+  Printf.printf
+    "per-point overhead: %.1f us (jobs=1), %.1f us (jobs=%d cold pool), %.1f us (jobs=%d warm \
+     pool)\n"
+    (overhead_per_point s1 *. 1e6)
+    (overhead_per_point sn *. 1e6)
+    requested_jobs
+    (overhead_per_point sp *. 1e6)
+    requested_jobs;
   Printf.printf "speedup jobs=%d vs jobs=1: %.2fx (%d core(s) available)\n" requested_jobs speedup
     (Domain.recommended_domain_count ());
+  Hls_dse.Dse.shutdown par_engine;
   let oc = open_out "BENCH_dse.json" in
   Printf.fprintf oc
-    {|{"design":"idct","points":%d,"requested_jobs":%d,"effective_jobs":%d,"cores":%d,"jobs_1":%s,"jobs_n":%s,"cached_resweep":%s,"points_per_s_jobs_1":%.3f,"points_per_s_jobs_n":%.3f,"speedup":%.3f}
+    {|{"design":"idct","points":%d,"requested_jobs":%d,"effective_jobs":%d,"cores":%d,"jobs_1":%s,"jobs_n":%s,"jobs_n_warm_pool":%s,"cached_resweep":%s,"points_per_s_jobs_1":%.3f,"points_per_s_jobs_n":%.3f,"overhead_per_point_s_jobs_1":%.6f,"overhead_per_point_s_jobs_n":%.6f,"overhead_per_point_s_warm_pool":%.6f,"speedup":%.3f}
 |}
     s1.Hls_dse.Dse.s_points requested_jobs sn.Hls_dse.Dse.s_jobs
     (Domain.recommended_domain_count ())
     (Hls_dse.Dse.stats_to_json s1) (Hls_dse.Dse.stats_to_json sn)
+    (Hls_dse.Dse.stats_to_json sp)
     (Hls_dse.Dse.stats_to_json sc)
-    s1.Hls_dse.Dse.s_points_per_s sn.Hls_dse.Dse.s_points_per_s speedup;
+    s1.Hls_dse.Dse.s_points_per_s sn.Hls_dse.Dse.s_points_per_s (overhead_per_point s1)
+    (overhead_per_point sn) (overhead_per_point sp) speedup;
   close_out oc;
   print_endline "wrote BENCH_dse.json"
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler benchmark: warm-start relaxation throughput                *)
+(* (BENCH_sched.json)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bench_sched () =
+  section "SCHED — warm-start relaxation-loop throughput (BENCH_sched.json)";
+  let reps = if !smoke then 1 else 3 in
+  (* the headline synthetic-350 run pipelines at II=2: its long relaxation
+     loop (40+ passes) works through SCC moves and speculation — the local
+     actions prefix replay warm-starts from.  The -seq variant relaxes
+     through global actions only (add state / add resource, which force a
+     cold restart by design), so it isolates what the pass-invariant
+     context, the heap and the ASAP/ALAP cache buy on their own; idct is
+     the paper's worked example. *)
+  let synth_profile tightness =
+    { Hls_designs.Synthetic.default_profile with
+      Hls_designs.Synthetic.p_ops = 350; p_seed = 7; p_tightness = tightness }
+  in
+  let designs =
+    [
+      ("synthetic-350",
+       (fun () -> Hls_designs.Synthetic.design ~profile:(synth_profile 0.5) ()), Some 2, 3200.0);
+      ("synthetic-350-seq",
+       (fun () -> Hls_designs.Synthetic.design ~profile:(synth_profile 0.4) ()), None, clock);
+      ("idct", (fun () -> Hls_designs.Idct.design ()), None, clock);
+    ]
+  in
+  let measure ~warm_start (mk : unit -> Ast.design) ii clk =
+    (* fresh elaboration per run — the scheduler mutates the region *)
+    let best = ref infinity in
+    let last = ref None in
+    for _ = 1 to reps do
+      let e = Elaborate.design (mk ()) in
+      let region = Elaborate.main_region ?ii e in
+      let opts = { Scheduler.default_options with warm_start } in
+      let t0 = Unix.gettimeofday () in
+      let r = Scheduler.schedule ~opts ~lib ~clock_ps:clk region in
+      let w = Unix.gettimeofday () -. t0 in
+      if w < !best then best := w;
+      last := Some r
+    done;
+    match !last with
+    | Some (Ok s) -> (!best, Some (Scheduler.stats s))
+    | _ -> (!best, None)
+  in
+  let flow_wall ~warm_start (mk : unit -> Ast.design) ii clk =
+    let options =
+      { (flow_opts ?ii ~clock_ps:clk ~sched:{ Scheduler.default_options with warm_start } ()) with
+        Hls_flow.Flow.verify = false }
+    in
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (Hls_flow.Flow.run ~options (mk ()));
+      let w = Unix.gettimeofday () -. t0 in
+      if w < !best then best := w
+    done;
+    !best
+  in
+  let rows =
+    List.map
+      (fun (name, mk, ii, clk) ->
+        let wall_legacy, st_legacy = measure ~warm_start:false mk ii clk in
+        let wall_warm, st_warm = measure ~warm_start:true mk ii clk in
+        let fw_legacy = flow_wall ~warm_start:false mk ii clk in
+        let fw_warm = flow_wall ~warm_start:true mk ii clk in
+        let speedup = if wall_warm > 0.0 then wall_legacy /. wall_warm else 0.0 in
+        (match (st_legacy, st_warm) with
+        | Some l, Some w ->
+            let pps wall (st : Scheduler.stats) =
+              if wall > 0.0 then float_of_int st.Scheduler.st_passes /. wall else 0.0
+            in
+            Printf.printf
+              "  %-14s legacy %.3f s (%d passes, %.1f passes/s, %d queries) | warm %.3f s (%.1f \
+               passes/s, %d queries, %d warm / %d cold) | speedup %.2fx | flow %.3f -> %.3f s\n%!"
+              name wall_legacy l.Scheduler.st_passes (pps wall_legacy l) l.Scheduler.st_queries
+              wall_warm (pps wall_warm w) w.Scheduler.st_queries w.Scheduler.st_warm_passes
+              w.Scheduler.st_cold_passes speedup fw_legacy fw_warm
+        | _ -> Printf.printf "  %-14s FAILED to schedule\n%!" name);
+        (name, wall_legacy, wall_warm, speedup, fw_legacy, fw_warm, st_legacy, st_warm))
+      designs
+  in
+  let json_row (name, wl, ww, sp, fl, fw, stl, stw) =
+    let stats_part tag (st : Scheduler.stats option) =
+      match st with
+      | None -> Printf.sprintf {|"%s_passes":0,"%s_queries":0|} tag tag
+      | Some s ->
+          Printf.sprintf {|"%s_passes":%d,"%s_queries":%d|} tag s.Scheduler.st_passes tag
+            s.Scheduler.st_queries
+    in
+    let warm_counts =
+      match stw with
+      | None -> {|"warm_start_passes":0,"cold_start_passes":0|}
+      | Some s ->
+          Printf.sprintf {|"warm_start_passes":%d,"cold_start_passes":%d|}
+            s.Scheduler.st_warm_passes s.Scheduler.st_cold_passes
+    in
+    let queries_saved =
+      match (stl, stw) with
+      | Some l, Some w -> l.Scheduler.st_queries - w.Scheduler.st_queries
+      | _ -> 0
+    in
+    Printf.sprintf
+      {|{"design":"%s","wall_legacy_s":%.6f,"wall_warm_s":%.6f,"speedup":%.3f,"flow_wall_legacy_s":%.6f,"flow_wall_warm_s":%.6f,%s,%s,%s,"queries_saved":%d}|}
+      name wl ww sp fl fw (stats_part "legacy" stl) (stats_part "warm" stw) warm_counts
+      queries_saved
+  in
+  let speedup_of name =
+    match List.find_opt (fun (n, _, _, _, _, _, _, _) -> n = name) rows with
+    | Some (_, _, _, sp, _, _, _, _) -> sp
+    | None -> 0.0
+  in
+  let synth_speedup = speedup_of "synthetic-350" in
+  let oc = open_out "BENCH_sched.json" in
+  Printf.fprintf oc
+    {|{"reps":%d,"speedup_synthetic_350":%.3f,"speedup_synthetic_350_seq":%.3f,"designs":[%s]}
+|}
+    reps synth_speedup
+    (speedup_of "synthetic-350-seq")
+    (String.concat "," (List.map json_row rows));
+  close_out oc;
+  Printf.printf "synthetic-350 relaxation-loop speedup (warm vs legacy): %.2fx (target >= 1.5x)\n"
+    synth_speedup;
+  print_endline "wrote BENCH_sched.json"
 
 (* ------------------------------------------------------------------ *)
 (* Worked examples 1-3 narratives                                       *)
@@ -627,7 +791,7 @@ let bench_netlist () =
         Hashtbl.fold (fun op _ acc -> op :: acc) net.Netlist.placements [] |> fun l ->
         List.filteri (fun i _ -> i < 32) (List.sort compare l)
       in
-      let iters = 2000 in
+      let iters = if !smoke then 50 else 2000 in
       let t0 = Unix.gettimeofday () in
       for _ = 1 to iters do
         Netlist.begin_trial net;
@@ -673,6 +837,7 @@ let experiments =
     ("fig10", fig10_11);
     ("fig11", fig10_11);
     ("dse", bench_dse);
+    ("sched", bench_sched);
     ("netlist", bench_netlist);
     ("examples", examples);
     ("baselines", baselines);
@@ -682,6 +847,16 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--smoke" then begin
+          smoke := true;
+          false
+        end
+        else true)
+      args
+  in
   match args with
   | [ "--list" ] -> List.iter (fun (n, _) -> print_endline n) experiments
   | [] ->

@@ -70,8 +70,10 @@ let add_inst ?added_by_expert t rtype = Netlist.add_inst ?added_by_expert t.net 
 let find_inst t id = Netlist.find_inst t.net id
 
 (** Reset all pass-local netlist state while keeping the resource set and
-    forbidden pairs — the state carried between scheduling passes. *)
-let reset_pass t = Netlist.reset_pass t.net
+    forbidden pairs — the state carried between scheduling passes.
+    [keep_prealloc] skips the [prealloc_shared] recompute (sound when no
+    instance was added since the previous pass). *)
+let reset_pass ?keep_prealloc t = Netlist.reset_pass ?keep_prealloc t.net
 
 let placement t op_id = Netlist.placement t.net op_id
 let is_placed t op_id = Netlist.is_placed t.net op_id
@@ -240,6 +242,36 @@ let try_bind t (op : Dfg.op) ~step ~inst_opt : (unit, Restraint.fail) result =
     end
   with Fail f -> Error f
 
+(** Re-apply a binding already vetted and committed by an earlier pass,
+    skipping every feasibility check and the trial protocol.  [rtype] is
+    the instance type the original bind left behind (after any width
+    merge), so replay reproduces the widening without re-deriving it.  The
+    arrival propagation seeds and the chain-edge recording are exactly
+    those of the committing [try_bind], so the incremental timing state
+    after a replayed prefix is bit-identical to the cold pass's. *)
+let replay_bind t (op : Dfg.op) ~step ~finish ~inst_opt ~rtype =
+  let net = t.net in
+  Netlist.place net op.Dfg.id ~step ~finish ~inst_opt;
+  let inst = Option.map (Netlist.find_inst net) inst_opt in
+  (match inst with
+  | Some i ->
+      (match rtype with Some rt -> Netlist.set_rtype net i rt | None -> ());
+      Netlist.attach net i op.Dfg.id;
+      Netlist.occupy net ~inst_id:i.inst_id ~step ~finish op.Dfg.id
+  | None -> ());
+  let seeds =
+    op.Dfg.id
+    :: (match inst with Some i -> List.filter (fun o -> o <> op.Dfg.id) i.bound | None -> [])
+  in
+  ignore (Netlist.propagate net ~decision:(decision_view t) seeds);
+  match inst with
+  | Some i ->
+      if op_latency t op = 1 then
+        List.iter
+          (fun j -> Netlist.add_chain_edge net ~src:j ~dst:i.inst_id)
+          (Netlist.chain_source_insts net op.Dfg.id ~step)
+  | None -> ()
+
 (** Unconditionally record a placement, skipping every feasibility check
     (timing, busy tables still maintained, cycles ignored).  Used to import
     schedules produced by external engines — the baseline comparators —
@@ -280,11 +312,17 @@ let compatible_insts t (op : Dfg.op) =
   match Resource.of_op t.dfg op with
   | None -> []
   | Some need ->
+      (* decorate-sort-undecorate: [fits] and the load are evaluated once
+         per instance, not once per comparison; the stable sort on equal
+         keys preserves the instance-list order, as before *)
       t.net.Netlist.insts
-      |> List.filter (fun i -> Resource.fits ~need ~have:i.rtype || Resource.can_merge need i.rtype)
-      |> List.stable_sort (fun a b ->
-             let fit i = if Resource.fits ~need ~have:i.rtype then 0 else 1 in
-             compare (fit a, List.length a.bound) (fit b, List.length b.bound))
+      |> List.filter_map (fun i ->
+             let fits = Resource.fits ~need ~have:i.rtype in
+             if fits || Resource.can_merge need i.rtype then
+               Some (((if fits then 0 else 1), List.length i.bound), i)
+             else None)
+      |> List.stable_sort (fun (ka, _) (kb, _) -> compare ka kb)
+      |> List.map snd
 
 (** Worst accurate endpoint slack over all placed ops. *)
 let worst_slack t = Netlist.worst_slack t.net

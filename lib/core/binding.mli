@@ -52,7 +52,7 @@ val decision_view : t -> Netlist.view
 val add_inst : ?added_by_expert:bool -> t -> Resource.t -> inst
 val find_inst : t -> int -> inst
 
-val reset_pass : t -> unit
+val reset_pass : ?keep_prealloc:bool -> t -> unit
 (** Clear pass-local netlist state (placements, busy, arrivals, chain
     graph) while keeping the resource set and forbidden pairs; recompute
     which instances pre-allocate sharing muxes. *)
@@ -78,6 +78,13 @@ val try_bind : t -> Dfg.op -> step:int -> inst_opt:int option -> (unit, Restrain
     and the reason returned.  A trial that breaks an {e already-bound} op's
     timing (the sharing mux grew) reports [F_busy] — the instance is
     saturated. *)
+
+val replay_bind :
+  t -> Dfg.op -> step:int -> finish:int -> inst_opt:int option -> rtype:Resource.t option -> unit
+(** Re-apply a binding vetted and committed by an earlier pass (warm-start
+    prefix replay): no feasibility checks, no trial — structural mutation
+    plus the same arrival propagation the committing bind performed.
+    [rtype] is the instance type the original bind left behind. *)
 
 val force_bind : t -> Dfg.op -> step:int -> inst_opt:int option -> unit
 (** Record a placement unconditionally (imports of external schedules and

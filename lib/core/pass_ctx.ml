@@ -1,0 +1,77 @@
+(** Pass-invariant scheduling context.  See the interface for what is
+    cached and why it is safe: everything here except the priority scores
+    is a pure function of the region's DFG, and the scores are tied to the
+    physical identity of the interval analysis they were computed from. *)
+
+open Hls_ir
+open Hls_techlib
+
+type t = {
+  ctx_members : Dfg.op list;
+  ctx_n_members : int;
+  ctx_preds : (int, int list) Hashtbl.t;
+  ctx_deps : (int, int list) Hashtbl.t;
+  ctx_fanout : int -> int;
+  ctx_class_key : (int, (Opkind.rclass * int list) option) Hashtbl.t;
+  ctx_scores : (int, float) Hashtbl.t;
+  mutable ctx_scores_aa : Asap_alap.t option;
+}
+
+let class_key dfg op =
+  match Resource.of_op dfg op with
+  | Some rt ->
+      Some
+        ( rt.Resource.rclass,
+          List.map
+            (fun w -> if w <= 8 then 8 else if w <= 16 then 16 else if w <= 32 then 32 else 64)
+            rt.Resource.in_widths )
+  | None -> None
+
+let create (region : Region.t) =
+  let dfg = region.Region.dfg in
+  let members = Region.member_ops region in
+  let n = List.length members in
+  let preds = Hashtbl.create n in
+  let deps_acc = Hashtbl.create n in
+  List.iter
+    (fun o ->
+      let ps = Asap_alap.sched_preds region o in
+      Hashtbl.replace preds o.Dfg.id ps;
+      List.iter
+        (fun p ->
+          let r =
+            match Hashtbl.find_opt deps_acc p with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.replace deps_acc p r;
+                r
+          in
+          r := o.Dfg.id :: !r)
+        ps)
+    members;
+  let deps = Hashtbl.create (Hashtbl.length deps_acc) in
+  Hashtbl.iter (fun p r -> Hashtbl.replace deps p !r) deps_acc;
+  let class_keys = Hashtbl.create n in
+  List.iter (fun o -> Hashtbl.replace class_keys o.Dfg.id (class_key dfg o)) members;
+  {
+    ctx_members = members;
+    ctx_n_members = n;
+    ctx_preds = preds;
+    ctx_deps = deps;
+    ctx_fanout = Priority.fanout_table dfg;
+    ctx_class_key = class_keys;
+    ctx_scores = Hashtbl.create n;
+    ctx_scores_aa = None;
+  }
+
+let refresh_scores t ~weights ~aa =
+  match t.ctx_scores_aa with
+  | Some prev when prev == aa -> ()
+  | _ ->
+      List.iter
+        (fun o ->
+          Hashtbl.replace t.ctx_scores o.Dfg.id
+            (Priority.score ~weights ~fanout:t.ctx_fanout aa o))
+        t.ctx_members;
+      t.ctx_scores_aa <- Some aa

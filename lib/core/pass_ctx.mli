@@ -1,0 +1,36 @@
+(** Pass-invariant scheduling context, computed once per region and reused
+    across every relaxation pass.
+
+    A relaxation pass re-runs the whole SCHEDULE_PASS after each expert
+    action (Fig. 7), but most of what the pass consults never changes
+    between passes: the member list, the scheduling-predecessor and
+    dependent graphs, fanout-cone sizes, and resource class keys are pure
+    functions of the region's DFG.  Priority scores depend additionally on
+    the ASAP/ALAP intervals, which only move when the latency interval or
+    an SCC window moves (add-state / move-SCC actions) — so they are cached
+    too and refreshed only when the interval analysis itself is refreshed
+    ({!refresh_scores} keys on the physical identity of the [aa] value). *)
+
+open Hls_ir
+
+type t = {
+  ctx_members : Dfg.op list;
+  ctx_n_members : int;
+  ctx_preds : (int, int list) Hashtbl.t;
+      (** op -> distance-0 scheduling predecessors (data + guard) *)
+  ctx_deps : (int, int list) Hashtbl.t;  (** reverse of [ctx_preds] *)
+  ctx_fanout : int -> int;  (** fanout-cone size, precomputed per op *)
+  ctx_class_key : (int, (Opkind.rclass * int list) option) Hashtbl.t;
+      (** bucketed resource-class key for the busy-class memo *)
+  ctx_scores : (int, float) Hashtbl.t;  (** priority scores under the last aa *)
+  mutable ctx_scores_aa : Asap_alap.t option;
+      (** the aa value [ctx_scores] was computed from (physical identity) *)
+}
+
+val create : Region.t -> t
+(** Build every aa-independent table.  Scores are left empty until the
+    first {!refresh_scores}. *)
+
+val refresh_scores : t -> weights:Priority.weights -> aa:Asap_alap.t -> unit
+(** Recompute priority scores from [aa]; a no-op when [aa] is physically
+    the value the scores already reflect. *)

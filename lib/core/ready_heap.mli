@@ -1,0 +1,26 @@
+(** Lazy-deletion binary max-heap over (score, -id) for the pass
+    scheduler's ready pool.
+
+    The pass inner loop repeatedly extracts the highest-priority ready
+    operation; the heap replaces the previous O(|ready|) fold per pick.
+    Ordering is lexicographic on (score, -id) — exactly the fold's
+    tie-break, so pick sequences are identical.
+
+    Deletion is lazy: the heap never removes an entry in place.  Callers
+    keep their own membership set (the [ready] table) and discard stale
+    popped entries; an op may therefore appear more than once, and each
+    copy is vetted against the membership set on extraction. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val clear : t -> unit
+val is_empty : t -> bool
+val length : t -> int
+
+val push : t -> score:float -> int -> unit
+(** Insert an (score, op id) entry; O(log n). *)
+
+val pop : t -> (float * int) option
+(** Extract the maximum entry under lexicographic (score, -id); O(log n).
+    [None] when empty. *)

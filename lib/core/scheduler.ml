@@ -29,6 +29,13 @@ type options = {
   dedicated_ops : int list;
       (** user constraint (Section IV.B item 4): ops that must not share
           their resource instance with anything *)
+  warm_start : bool;
+      (** reuse pass-invariant analysis across relaxation passes, pick ready
+          ops through the lazy-deletion heap, and replay the unaffected
+          schedule prefix after a local expert action.  Disabling restores
+          the pre-optimization cold-restart loop (the benchmark baseline):
+          every pass rebuilds its tables, recomputes ASAP/ALAP and re-vets
+          every binding from step 0. *)
   tolerate_scc_slack : bool;
       (** Table 4 ablation: when the SCC-move action is disabled, bind SCC
           members at their window even with negative slack and leave the
@@ -52,6 +59,7 @@ let default_options =
     max_passes = 200;
     priority_weights = Priority.default_weights;
     dedicated_ops = [];
+    warm_start = true;
     tolerate_scc_slack = false;
     seed_latency_floor = true;
     max_actions = 2000;
@@ -66,6 +74,8 @@ type t = {
   s_actions : string list;  (** relaxation actions applied, oldest first *)
   s_scc_stages : (int list * int) list;  (** each SCC's ops with its stage *)
   s_sched_time_s : float;
+  s_warm_passes : int;  (** passes that replayed a schedule prefix *)
+  s_cold_passes : int;  (** passes re-vetted from step 0 *)
 }
 
 type error = {
@@ -85,6 +95,8 @@ type stats = {
   st_commits : int;
   st_rollbacks : int;
   st_sched_s : float;
+  st_warm_passes : int;  (** passes served by warm-start prefix replay *)
+  st_cold_passes : int;  (** passes run from a cold restart *)
 }
 
 let stats t =
@@ -97,6 +109,8 @@ let stats t =
     st_commits = ns.Hls_netlist.Netlist.s_commits;
     st_rollbacks = ns.Hls_netlist.Netlist.s_rollbacks;
     st_sched_s = t.s_sched_time_s;
+    st_warm_passes = t.s_warm_passes;
+    st_cold_passes = t.s_cold_passes;
   }
 
 (* internal: unwinds the relaxation loop into a typed error *)
@@ -107,74 +121,81 @@ let placement t op = Binding.placement t.s_binding op
 let step_of t op =
   match placement t op with Some pl -> pl.Binding.pl_step | None -> invalid_arg "step_of: unplaced"
 
-(** Ops scheduled on a given step, sorted by id. *)
-let ops_on_step t step =
-  Hashtbl.fold
-    (fun id pl acc -> if pl.Binding.pl_step = step then id :: acc else acc)
-    t.s_binding.Binding.net.Hls_netlist.Netlist.placements []
-  |> List.sort compare
+(** Ops scheduled on a given step, sorted by id — served by the netlist's
+    per-step reverse index instead of a fold over all placements. *)
+let ops_on_step t step = Hls_netlist.Netlist.ops_on_step t.s_binding.Binding.net step
 
 (* ------------------------------------------------------------------ *)
 
 type pass_outcome = Pass_ok | Pass_failed of Restraint.t list
 
-let run_pass ~opts ~trace ~(binding : Binding.t) ~(aa : Asap_alap.t) ~scc_of
-    ?(scc_members = ([] : int list list)) ~scc_stage_base ~scc_stage_local (region : Region.t) :
-    pass_outcome =
+(** One pass-log entry: enough to re-apply the event structurally on a
+    warm start.  Binds record the placement the vetted trial committed
+    (including the post-merge instance type); restraints record the fail
+    so a fresh {!Restraint.t} can be minted (weights are mutated by the
+    expert's proximity pass, so the original values must not be reused). *)
+type pass_event =
+  | Ev_bind of {
+      ev_op : int;
+      ev_step : int;
+      ev_finish : int;
+      ev_inst : int option;
+      ev_rtype : Resource.t option;
+    }
+  | Ev_restraint of { ev_op : int; ev_step : int; ev_fail : Restraint.fail; ev_fatal : bool }
+
+let event_step = function Ev_bind e -> e.ev_step | Ev_restraint e -> e.ev_step
+
+let run_pass ~opts ~trace ~(ctx : Pass_ctx.t) ~(binding : Binding.t) ~(aa : Asap_alap.t) ~scc_of
+    ?(scc_members = ([] : int list list)) ?warm ?(keep_prealloc = false) ~scc_stage_base
+    ~scc_stage_local (region : Region.t) : pass_outcome * pass_event list =
   let n_sccs = List.length scc_members in
   let dfg = region.Region.dfg in
   let li = region.Region.n_steps in
   let ii = Region.ii region in
-  Binding.reset_pass binding;
-  let fanout = Priority.fanout_table dfg in
+  Binding.reset_pass ~keep_prealloc binding;
   Array.iteri (fun k _ -> scc_stage_local.(k) <- scc_stage_base k) scc_stage_local;
   let restraints = ref [] in
+  let log = ref [] in
   let add_restraint ~op ~step ~fail ~fatal =
     restraints := Restraint.make ~op ~step ~fail ~fatal :: !restraints
   in
+  (* step-loop restraints enter the pass log (a warm start replays them);
+     the up-front window failures and the end-of-pass F_blocked markers are
+     recomputed fresh instead, so they are kept out of the log *)
+  let add_logged_restraint ~op ~step ~fail ~fatal =
+    add_restraint ~op ~step ~fail ~fatal;
+    log := Ev_restraint { ev_op = op; ev_step = step; ev_fail = fail; ev_fatal = fatal } :: !log
+  in
   let failed = Hashtbl.create 8 in
-  let members = Region.member_ops region in
-  let unplaced = Hashtbl.create (List.length members) in
+  let members = ctx.Pass_ctx.ctx_members in
+  let unplaced = Hashtbl.create ctx.Pass_ctx.ctx_n_members in
   List.iter (fun o -> Hashtbl.replace unplaced o.Dfg.id o) members;
   (* --- incremental readiness ---
      [pending.(op)] counts unplaced scheduling predecessors; an op enters
      the ready pool when it reaches zero.  [min_step] tracks the earliest
      step allowed by the placed predecessors (finish step; +1 after a
      multi-cycle producer). *)
-  let preds_of = Hashtbl.create (List.length members) in
-  let deps_of = Hashtbl.create (List.length members) in
-  List.iter
-    (fun o ->
-      let ps = Asap_alap.sched_preds region o in
-      Hashtbl.replace preds_of o.Dfg.id ps;
-      List.iter
-        (fun p ->
-          let r =
-            match Hashtbl.find_opt deps_of p with
-            | Some r -> r
-            | None ->
-                let r = ref [] in
-                Hashtbl.replace deps_of p r;
-                r
-          in
-          r := o.Dfg.id :: !r)
-        ps)
-    members;
-  let pending = Hashtbl.create (List.length members) in
-  let min_step = Hashtbl.create (List.length members) in
+  let preds_of = ctx.Pass_ctx.ctx_preds in
+  let deps_of = ctx.Pass_ctx.ctx_deps in
+  let scores = ctx.Pass_ctx.ctx_scores in
+  let pending = Hashtbl.create ctx.Pass_ctx.ctx_n_members in
+  let min_step = Hashtbl.create ctx.Pass_ctx.ctx_n_members in
   let ready = Hashtbl.create 64 in
+  (* the heap mirrors [ready] under lazy deletion: [ready] stays the truth
+     set, stale heap entries are discarded on pop *)
+  let use_heap = opts.warm_start in
+  let heap = Ready_heap.create ~capacity:(max 16 ctx.Pass_ctx.ctx_n_members) () in
+  let enter_ready id op =
+    Hashtbl.replace ready id op;
+    if use_heap then Ready_heap.push heap ~score:(Hashtbl.find scores id) id
+  in
   List.iter
     (fun o ->
       let n = List.length (Hashtbl.find preds_of o.Dfg.id) in
       Hashtbl.replace pending o.Dfg.id n;
       Hashtbl.replace min_step o.Dfg.id 0;
-      if n = 0 then Hashtbl.replace ready o.Dfg.id o)
-    members;
-  let scores = Hashtbl.create (List.length members) in
-  List.iter
-    (fun o ->
-      Hashtbl.replace scores o.Dfg.id
-        (Priority.score ~weights:opts.priority_weights ~fanout aa o))
+      if n = 0 then enter_ready o.Dfg.id o)
     members;
   let on_placed op_id =
     Hashtbl.remove ready op_id;
@@ -187,16 +208,16 @@ let run_pass ~opts ~trace ~(binding : Binding.t) ~(aa : Asap_alap.t) ~scc_of
     in
     match Hashtbl.find_opt deps_of op_id with
     | None -> ()
-    | Some r ->
+    | Some deps ->
         List.iter
           (fun d ->
             if Hashtbl.mem unplaced d then begin
               Hashtbl.replace min_step d (max avail (Hashtbl.find min_step d));
               let n = Hashtbl.find pending d - 1 in
               Hashtbl.replace pending d n;
-              if n = 0 then Hashtbl.replace ready d (Dfg.find dfg d)
+              if n = 0 then enter_ready d (Dfg.find dfg d)
             end)
-          !r
+          deps
   in
   let drop_failed op_id =
     Hashtbl.replace failed op_id ();
@@ -269,148 +290,241 @@ let run_pass ~opts ~trace ~(binding : Binding.t) ~(aa : Asap_alap.t) ~scc_of
   (* big-design fast path: when every instance of a resource class is busy
      (or mux-saturated) at a step, sibling unguarded ops of the same class
      defer immediately instead of re-probing each instance *)
-  let use_class_memo = List.length members > 500 in
-  let class_key op =
-    match Resource.of_op dfg op with
-    | Some rt ->
-        Some
-          ( rt.Resource.rclass,
-            List.map (fun w -> if w <= 8 then 8 else if w <= 16 then 16 else if w <= 32 then 32 else 64)
-              rt.Resource.in_widths )
-    | None -> None
+  let use_class_memo = ctx.Pass_ctx.ctx_n_members > 500 in
+  let class_key (op : Dfg.op) =
+    match Hashtbl.find_opt ctx.Pass_ctx.ctx_class_key op.Dfg.id with Some k -> k | None -> None
   in
-  for e = 0 to li - 1 do
+  let log_bind op_id =
+    let pl = Option.get (Binding.placement binding op_id) in
+    let rt =
+      match pl.Binding.pl_inst with
+      | Some i -> Some (Binding.find_inst binding i).Binding.rtype
+      | None -> None
+    in
+    log :=
+      Ev_bind
+        {
+          ev_op = op_id;
+          ev_step = pl.Binding.pl_step;
+          ev_finish = pl.Binding.pl_finish;
+          ev_inst = pl.Binding.pl_inst;
+          ev_rtype = rt;
+        }
+      :: !log
+  in
+  (* pass-local SCC stage assignment on first placement; true when a stage
+     was assigned (the heap's ineligible stash is then re-examined — under
+     [tolerate_scc_slack] a fresh window can make a member eligible) *)
+  let note_scc_placement op_id step =
+    match scc_of op_id with
+    | Some k when scc_stage_local.(k) = None ->
+        scc_stage_local.(k) <- Some (Region.stage_of_step region step);
+        true
+    | _ -> false
+  in
+  (* attempt [op] at step [e], updating the pass state exactly as the
+     historic inner loop did; true when the bind landed and assigned an
+     SCC stage *)
+  let try_place (op : Dfg.op) e deferred blocked_class =
+    let attempt () =
+      if Opkind.is_resource_op op.Dfg.kind then begin
+        match Binding.compatible_insts binding op with
+        | [] -> (
+            match Resource.of_op dfg op with
+            | Some rt -> [ Restraint.F_no_resource rt ]
+            | None -> [])
+        | insts ->
+            let fails = ref [] in
+            let rec go = function
+              | [] -> !fails
+              | (i : Binding.inst) :: rest -> (
+                  match
+                    Binding.try_bind binding op ~step:e ~inst_opt:(Some i.Binding.inst_id)
+                  with
+                  | Ok () -> []
+                  | Error f ->
+                      fails := f :: !fails;
+                      go rest)
+            in
+            let remaining = go insts in
+            if remaining = [] && Binding.is_placed binding op.Dfg.id then [] else remaining
+      end
+      else
+        match Binding.try_bind binding op ~step:e ~inst_opt:None with
+        | Ok () -> []
+        | Error f -> [ f ]
+    in
+    match attempt () with
+    | [] ->
+        on_placed op.Dfg.id;
+        log_bind op.Dfg.id;
+        (if Opkind.is_resource_op op.Dfg.kind then
+           let pl = Option.get (Binding.placement binding op.Dfg.id) in
+           Trace.logf ~level:Trace.Debug trace
+             "    bound %s to %s at step %d: arrival %.0f ps, slack %.0f ps"
+             op.Dfg.name
+             (match pl.Binding.pl_inst with
+             | Some i -> Resource.to_string (Binding.find_inst binding i).Binding.rtype
+                        ^ "#" ^ string_of_int i
+             | None -> "wire")
+             e
+             (Option.value
+                (Hls_netlist.Netlist.arrival binding.Binding.net
+                   ~view:Hls_netlist.Netlist.Accurate op.Dfg.id)
+                ~default:0.0)
+             (Binding.endpoint_slack binding ~naive:false op.Dfg.id));
+        note_scc_placement op.Dfg.id e
+    | fails
+      when opts.tolerate_scc_slack && scc_of op.Dfg.id <> None && last_chance op e
+           && List.exists (function Restraint.F_slack _ -> true | _ -> false) fails ->
+        (* ablation mode: accept the violating binding; the negative
+           slack surfaces in the timing report and Table 4's area
+           penalty *)
+        let inst_opt =
+          match Binding.compatible_insts binding op with
+          | i :: _ -> Some i.Binding.inst_id
+          | [] -> None
+        in
+        Binding.force_bind binding op ~step:e ~inst_opt;
+        on_placed op.Dfg.id;
+        log_bind op.Dfg.id;
+        note_scc_placement op.Dfg.id e
+    | fails ->
+        (if
+           use_class_memo
+           && Guard.is_always op.Dfg.guard
+           && List.for_all (function Restraint.F_busy _ -> true | _ -> false) fails
+         then
+           match class_key op with
+           | Some k -> Hashtbl.replace blocked_class k ()
+           | None -> ());
+        let fatal = last_chance op e in
+        (* record the most informative failure of the attempts *)
+        let best_fail =
+          let score = function
+            | Restraint.F_slack _ -> 5
+            | Restraint.F_cycle _ -> 4
+            | Restraint.F_window | Restraint.F_dep -> 3
+            | Restraint.F_busy _ -> 2
+            | Restraint.F_no_resource _ -> 2
+            | Restraint.F_forbidden -> 1
+            | Restraint.F_anchor -> 1
+            | Restraint.F_blocked -> 0
+          in
+          List.fold_left (fun a b -> if score b > score a then b else a) (List.hd fails)
+            (List.tl fails)
+        in
+        add_logged_restraint ~op:op.Dfg.id ~step:e ~fail:best_fail ~fatal;
+        if fatal then begin
+          Trace.logf ~level:Trace.Warn trace "    op %d (%s) FAILED at step %d: %s" op.Dfg.id
+            op.Dfg.name e
+            (Restraint.fail_to_string best_fail);
+          drop_failed op.Dfg.id
+        end
+        else Hashtbl.replace deferred op.Dfg.id ();
+        false
+  in
+  (* --- warm start: replay the unaffected prefix of the previous pass ---
+     Every event strictly before the first step the expert's actions can
+     touch is re-applied structurally: binds skip vetting entirely (they
+     were vetted when first committed, and nothing before the dirty step
+     changed), restraints are minted fresh (their weights are mutated by
+     the expert's proximity pass).  The replayed binds run the same arrival
+     propagation as the committing binds did, so the timing state entering
+     the live steps is bit-identical to a cold pass's. *)
+  let start_step =
+    match warm with
+    | None -> 0
+    | Some (events, s) ->
+        List.iter
+          (fun ev ->
+            if event_step ev < s then
+              match ev with
+              | Ev_bind { ev_op; ev_step; ev_finish; ev_inst; ev_rtype } ->
+                  if Hashtbl.mem unplaced ev_op then begin
+                    Binding.replay_bind binding (Dfg.find dfg ev_op) ~step:ev_step
+                      ~finish:ev_finish ~inst_opt:ev_inst ~rtype:ev_rtype;
+                    log := ev :: !log;
+                    on_placed ev_op;
+                    ignore (note_scc_placement ev_op ev_step)
+                  end
+              | Ev_restraint { ev_op; ev_step; ev_fail; ev_fatal } ->
+                  add_logged_restraint ~op:ev_op ~step:ev_step ~fail:ev_fail ~fatal:ev_fatal;
+                  if ev_fatal then drop_failed ev_op)
+          events;
+        s
+  in
+  for e = start_step to li - 1 do
     let deferred = Hashtbl.create 8 in
     let blocked_class = Hashtbl.create 8 in
-    let continue_step = ref true in
-    while !continue_step do
-      let best =
-        Hashtbl.fold
-          (fun id op acc ->
-            if (not (Hashtbl.mem deferred id)) && ready_at op e then
-              let s = Hashtbl.find scores id in
-              match acc with
-              | Some (bs, bop) when (bs, -bop.Dfg.id) >= (s, -id) -> acc
-              | _ -> Some (s, op)
-            else acc)
-          ready None
+    if use_heap then begin
+      (* heap pick: pop in descending (score, -id); stale entries (no
+         longer ready) are discarded, entries ineligible at this step are
+         stashed and pushed back when the step ends.  The first eligible
+         pop is exactly the fold's maximum. *)
+      let stash = ref [] in
+      let flush_stash () =
+        List.iter (fun (s, id) -> Ready_heap.push heap ~score:s id) !stash;
+        stash := []
       in
-      match best with
-      | None -> continue_step := false
-      | Some (_, op)
-        when use_class_memo
-             && Guard.is_always op.Dfg.guard
-             && (match class_key op with
-                | Some k -> Hashtbl.mem blocked_class k
-                | None -> false)
-             && not (last_chance op e) ->
-          Hashtbl.replace deferred op.Dfg.id ()
-      | Some (_, op) -> (
-          let attempt () =
-            if Opkind.is_resource_op op.Dfg.kind then begin
-              match Binding.compatible_insts binding op with
-              | [] -> (
-                  match Resource.of_op dfg op with
-                  | Some rt -> [ Restraint.F_no_resource rt ]
-                  | None -> [])
-              | insts ->
-                  let fails = ref [] in
-                  let rec go = function
-                    | [] -> !fails
-                    | (i : Binding.inst) :: rest -> (
-                        match
-                          Binding.try_bind binding op ~step:e ~inst_opt:(Some i.Binding.inst_id)
-                        with
-                        | Ok () -> []
-                        | Error f ->
-                            fails := f :: !fails;
-                            go rest)
-                  in
-                  let remaining = go insts in
-                  if remaining = [] && Binding.is_placed binding op.Dfg.id then [] else remaining
-            end
-            else
-              match Binding.try_bind binding op ~step:e ~inst_opt:None with
-              | Ok () -> []
-              | Error f -> [ f ]
-          in
-          match attempt () with
-          | [] ->
-              on_placed op.Dfg.id;
-              ignore scc_asap_stage;
-              (if Opkind.is_resource_op op.Dfg.kind then
-                 let pl = Option.get (Binding.placement binding op.Dfg.id) in
-                 Trace.logf ~level:Trace.Debug trace
-                   "    bound %s to %s at step %d: arrival %.0f ps, slack %.0f ps"
-                   op.Dfg.name
-                   (match pl.Binding.pl_inst with
-                   | Some i -> Resource.to_string (Binding.find_inst binding i).Binding.rtype
-                              ^ "#" ^ string_of_int i
-                   | None -> "wire")
-                   e
-                   (Option.value
-                      (Hls_netlist.Netlist.arrival binding.Binding.net
-                         ~view:Hls_netlist.Netlist.Accurate op.Dfg.id)
-                      ~default:0.0)
-                   (Binding.endpoint_slack binding ~naive:false op.Dfg.id));
-              (* pass-local SCC stage assignment on first placement *)
-              (match scc_of op.Dfg.id with
-              | Some k when scc_stage_local.(k) = None ->
-                  scc_stage_local.(k) <- Some (Region.stage_of_step region e)
-              | _ -> ())
-          | fails
-            when opts.tolerate_scc_slack && scc_of op.Dfg.id <> None && last_chance op e
-                 && List.exists (function Restraint.F_slack _ -> true | _ -> false) fails ->
-              (* ablation mode: accept the violating binding; the negative
-                 slack surfaces in the timing report and Table 4's area
-                 penalty *)
-              let inst_opt =
-                match Binding.compatible_insts binding op with
-                | i :: _ -> Some i.Binding.inst_id
-                | [] -> None
-              in
-              Binding.force_bind binding op ~step:e ~inst_opt;
-              on_placed op.Dfg.id;
-              (match scc_of op.Dfg.id with
-              | Some k when scc_stage_local.(k) = None ->
-                  scc_stage_local.(k) <- Some (Region.stage_of_step region e)
-              | _ -> ())
-          | fails ->
-              (if
-                 use_class_memo
-                 && Guard.is_always op.Dfg.guard
-                 && List.for_all
-                      (function Restraint.F_busy _ -> true | _ -> false)
-                      fails
-               then
-                 match class_key op with
-                 | Some k -> Hashtbl.replace blocked_class k ()
-                 | None -> ());
-              let fatal = last_chance op e in
-              (* record the most informative failure of the attempts *)
-              let best_fail =
-                let score = function
-                  | Restraint.F_slack _ -> 5
-                  | Restraint.F_cycle _ -> 4
-                  | Restraint.F_window | Restraint.F_dep -> 3
-                  | Restraint.F_busy _ -> 2
-                  | Restraint.F_no_resource _ -> 2
-                  | Restraint.F_forbidden -> 1
-                  | Restraint.F_anchor -> 1
-                  | Restraint.F_blocked -> 0
-                in
-                List.fold_left (fun a b -> if score b > score a then b else a) (List.hd fails)
-                  (List.tl fails)
-              in
-              add_restraint ~op:op.Dfg.id ~step:e ~fail:best_fail ~fatal;
-              if fatal then begin
-                Trace.logf ~level:Trace.Warn trace "    op %d (%s) FAILED at step %d: %s" op.Dfg.id
-                  op.Dfg.name e
-                  (Restraint.fail_to_string best_fail);
-                drop_failed op.Dfg.id
-              end
-              else Hashtbl.replace deferred op.Dfg.id ())
-    done
+      let continue_step = ref true in
+      while !continue_step do
+        match Ready_heap.pop heap with
+        | None -> continue_step := false
+        | Some (s, id) ->
+            if Hashtbl.mem ready id then
+              if Hashtbl.mem deferred id then stash := (s, id) :: !stash
+              else
+                let op = Hashtbl.find ready id in
+                if not (ready_at op e) then stash := (s, id) :: !stash
+                else if
+                  use_class_memo
+                  && Guard.is_always op.Dfg.guard
+                  && (match class_key op with
+                     | Some k -> Hashtbl.mem blocked_class k
+                     | None -> false)
+                  && not (last_chance op e)
+                then begin
+                  Hashtbl.replace deferred id ();
+                  stash := (s, id) :: !stash
+                end
+                else begin
+                  let scc_assigned = try_place op e deferred blocked_class in
+                  if Hashtbl.mem deferred id then stash := (s, id) :: !stash;
+                  if scc_assigned then flush_stash ()
+                end
+      done;
+      flush_stash ()
+    end
+    else begin
+      (* legacy pick: one O(|ready|) fold per extraction — the benchmark
+         baseline ([warm_start = false]) *)
+      let continue_step = ref true in
+      while !continue_step do
+        let best =
+          Hashtbl.fold
+            (fun id op acc ->
+              if (not (Hashtbl.mem deferred id)) && ready_at op e then
+                let s = Hashtbl.find scores id in
+                match acc with
+                | Some (bs, bop) when (bs, -bop.Dfg.id) >= (s, -id) -> acc
+                | _ -> Some (s, op)
+              else acc)
+            ready None
+        in
+        match best with
+        | None -> continue_step := false
+        | Some (_, op)
+          when use_class_memo
+               && Guard.is_always op.Dfg.guard
+               && (match class_key op with
+                  | Some k -> Hashtbl.mem blocked_class k
+                  | None -> false)
+               && not (last_chance op e) ->
+            Hashtbl.replace deferred op.Dfg.id ()
+        | Some (_, op) -> ignore (try_place op e deferred blocked_class)
+      done
+    end
   done;
   (* ops never placed and never directly failed were blocked upstream *)
   Hashtbl.iter
@@ -419,13 +533,16 @@ let run_pass ~opts ~trace ~(binding : Binding.t) ~(aa : Asap_alap.t) ~scc_of
       r.Restraint.r_weight <- 0.5;
       restraints := r :: !restraints)
     unplaced;
-  if Hashtbl.length failed = 0 && Hashtbl.length unplaced = 0 then Pass_ok
-  else
-    (* deferral restraints of ops that eventually placed are noise: the
-       relaxation decision is driven by the ops the pass actually lost *)
-    Pass_failed
-      (List.rev !restraints
-      |> List.filter (fun (r : Restraint.t) -> not (Binding.is_placed binding r.Restraint.r_op)))
+  let outcome =
+    if Hashtbl.length failed = 0 && Hashtbl.length unplaced = 0 then Pass_ok
+    else
+      (* deferral restraints of ops that eventually placed are noise: the
+         relaxation decision is driven by the ops the pass actually lost *)
+      Pass_failed
+        (List.rev !restraints
+        |> List.filter (fun (r : Restraint.t) -> not (Binding.is_placed binding r.Restraint.r_op)))
+  in
+  (outcome, List.rev !log)
 
 (* ------------------------------------------------------------------ *)
 
@@ -506,6 +623,21 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
   let n_actions = ref 0 in
   let result = ref None in
   let passes = ref 0 in
+  (* --- warm-start state (tentpole) ---
+     [ctx0] is the pass-invariant analysis, hoisted out of the pass; the
+     aa cache keeps ASAP/ALAP across passes whose actions cannot move it
+     (speculate / forbid / add-resource); [prev_log]+[next_warm] carry the
+     previous pass's event log and the first step the latest actions can
+     affect, enabling prefix replay.  With [warm_start = false] none of
+     this is consulted: every pass rebuilds its tables and recomputes the
+     interval analysis — the pre-optimization baseline. *)
+  let ctx0 = if opts.warm_start then Some (Pass_ctx.create region) else None in
+  let aa_cache = ref None in
+  let prev_log = ref None in
+  let next_warm = ref None in
+  let warm_passes = ref 0 in
+  let cold_passes = ref 0 in
+  let last_insts = ref (-1) in
   (* escalation guard: when repeated add_state stops shrinking the set of
      fatal restraints, force the expert toward a different action *)
   let consecutive_add_state = ref 0 in
@@ -557,14 +689,39 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
                  let ii = Region.ii region in
                  Some (stage * ii, (stage * ii) + ii - 1))
        in
-       let aa = Asap_alap.compute ~lib ~clock_ps ~scc_window region in
+       let aa =
+         if opts.warm_start then (
+           match !aa_cache with
+           | Some aa -> aa
+           | None ->
+               let aa = Asap_alap.compute ~lib ~clock_ps ~scc_window region in
+               aa_cache := Some aa;
+               aa)
+         else Asap_alap.compute ~lib ~clock_ps ~scc_window region
+       in
+       let ctx = match ctx0 with Some c -> c | None -> Pass_ctx.create region in
+       Pass_ctx.refresh_scores ctx ~weights:opts.priority_weights ~aa;
+       let warm =
+         match (!next_warm, !prev_log) with
+         | Some s, Some events -> Some (events, s)
+         | _ -> None
+       in
+       next_warm := None;
+       (match warm with Some _ -> incr warm_passes | None -> incr cold_passes);
+       (* the prealloc-shared flags depend only on the (static) region
+          membership and the instance set, so they survive every pass that
+          added no instance *)
+       let insts_now = binding.Binding.net.Hls_netlist.Netlist.next_inst_id in
+       let keep_prealloc = opts.warm_start && !last_insts = insts_now in
+       last_insts := insts_now;
        Trace.logf trace "pass %d: LI=%d, %d resources" !passes region.Region.n_steps
          (List.length binding.Binding.net.Hls_netlist.Netlist.insts);
-       let outcome =
-         run_pass ~opts ~trace ~binding ~aa ~scc_of ~scc_members:sccs
+       let outcome, pass_log =
+         run_pass ~opts ~trace ~ctx ~binding ~aa ~scc_of ~scc_members:sccs ?warm ~keep_prealloc
            ~scc_stage_base:(fun k -> scc_persist.(k))
            ~scc_stage_local region
        in
+       prev_log := Some pass_log;
        match outcome with
        | Pass_ok ->
            Trace.logf trace "pass %d: SUCCESS (LI=%d)" !passes region.Region.n_steps;
@@ -583,6 +740,8 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
                           (ops, Option.value scc_stage_local.(k) ~default:0))
                         sccs;
                     s_sched_time_s = Unix.gettimeofday () -. t0;
+                    s_warm_passes = !warm_passes;
+                    s_cold_passes = !cold_passes;
                   })
        | Pass_failed restraints -> (
            Trace.logf trace "pass %d: failed with %d restraints" !passes (List.length restraints);
@@ -622,6 +781,27 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
                         e_budget = None;
                       })
            | chosen ->
+             (* classify the round's actions for warm-start eligibility:
+                global actions (add-state / add-resource) change what every
+                op can do and force a cold pass; local actions (speculate /
+                forbid / move-SCC) dirty only identifiable ops or windows *)
+             let dirty_ops = ref [] in
+             let moved_sccs = ref [] in
+             let global = ref false in
+             let aa_dirty = ref false in
+             List.iter
+               (fun (action, _) ->
+                 match action with
+                 | Expert.Add_state ->
+                     global := true;
+                     aa_dirty := true
+                 | Expert.Add_resource _ -> global := true
+                 | Expert.Speculate op -> dirty_ops := op :: !dirty_ops
+                 | Expert.Move_scc k ->
+                     aa_dirty := true;
+                     moved_sccs := k :: !moved_sccs
+                 | Expert.Forbid (op, _) -> dirty_ops := op :: !dirty_ops)
+               chosen;
              List.iter (fun (action, why) ->
                incr n_actions;
                if !n_actions > opts.max_actions then
@@ -674,7 +854,67 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
                    scc_moves.(k) <- scc_moves.(k) + 1;
                    scc_persist.(k) <- Some (scc_stage k + 1)
                | Expert.Forbid (op, inst) -> Hashtbl.replace binding.Binding.forbidden (op, inst) ())
-               chosen)
+               chosen;
+             if !aa_dirty then aa_cache := None;
+             (* --- first dirty step: the earliest control step the actions
+                just applied can influence.  Everything strictly before it
+                is replayable.  A dirtied op can never act before its ASAP
+                (old or new), so S = min over the dirty set of
+                min(asap_old, asap_new).  When the interval analysis moved
+                (SCC move), any member whose range changed — and any SCC
+                whose pre-pin stage estimate changed — joins the dirty
+                set. *)
+             if
+               opts.warm_start && !result = None && (not !global)
+               && not opts.tolerate_scc_slack
+             then begin
+               let aa_old = aa in
+               let aa_new =
+                 if !aa_dirty then begin
+                   let aa' = Asap_alap.compute ~lib ~clock_ps ~scc_window region in
+                   aa_cache := Some aa';
+                   aa'
+                 end
+                 else aa_old
+               in
+               let s = ref max_int in
+               let consider id =
+                 let r_old = Asap_alap.range aa_old id in
+                 let r_new = Asap_alap.range aa_new id in
+                 s := min !s (min r_old.Asap_alap.asap r_new.Asap_alap.asap)
+               in
+               List.iter consider !dirty_ops;
+               List.iter (fun k -> List.iter consider (List.nth sccs k)) !moved_sccs;
+               if aa_new != aa_old then begin
+                 List.iter
+                   (fun (o : Dfg.op) ->
+                     let id = o.Dfg.id in
+                     if Asap_alap.range aa_old id <> Asap_alap.range aa_new id then consider id)
+                   ctx.Pass_ctx.ctx_members;
+                 (* the pass pre-pins persist-less SCC stages from ASAP when
+                    there are many SCCs; a stage estimate that moves dirties
+                    the whole SCC even if individual ranges look stable *)
+                 if List.length sccs > 4 then begin
+                   let li = region.Region.n_steps in
+                   let stage_of aa members =
+                     let m =
+                       List.fold_left
+                         (fun acc o -> max acc (Asap_alap.range aa o).Asap_alap.asap)
+                         0 members
+                     in
+                     Region.stage_of_step region (min m (li - 1))
+                   in
+                   List.iteri
+                     (fun k members ->
+                       if
+                         scc_persist.(k) = None
+                         && stage_of aa_old members <> stage_of aa_new members
+                       then List.iter consider members)
+                     sccs
+                 end
+               end;
+               if !s > 0 && !s < max_int then next_warm := Some !s
+             end)
      done
    with
   | Give_up g ->

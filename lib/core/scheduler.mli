@@ -18,6 +18,11 @@ type options = {
   priority_weights : Priority.weights;
   dedicated_ops : int list;
       (** user constraint: ops that must own their resource instance *)
+  warm_start : bool;
+      (** reuse pass-invariant analysis across relaxation passes, pick
+          ready ops through the lazy-deletion heap, and replay the
+          unaffected schedule prefix after a local expert action; disable
+          for the cold-restart baseline *)
   tolerate_scc_slack : bool;
       (** Table 4 ablation: with SCC moves disabled, force-bind SCC members
           at their window and let downstream sizing absorb the slack *)
@@ -40,6 +45,8 @@ type t = {
   s_actions : string list;  (** relaxations applied, oldest first *)
   s_scc_stages : (int list * int) list;  (** each SCC's ops and stage *)
   s_sched_time_s : float;
+  s_warm_passes : int;  (** passes that replayed a schedule prefix *)
+  s_cold_passes : int;  (** passes re-vetted from step 0 *)
 }
 
 type error = {
@@ -64,6 +71,8 @@ type stats = {
   st_commits : int;  (** trials that ended in a commit *)
   st_rollbacks : int;  (** trials rolled back by a slack violation *)
   st_sched_s : float;  (** wall-clock seconds inside the scheduler *)
+  st_warm_passes : int;  (** passes served by warm-start prefix replay *)
+  st_cold_passes : int;  (** passes run from a cold restart *)
 }
 
 val stats : t -> stats
@@ -76,18 +85,41 @@ val ops_on_step : t -> int -> int list
 
 type pass_outcome = Pass_ok | Pass_failed of Restraint.t list
 
+(** One pass-log entry: enough to re-apply the event structurally on a
+    warm start (binds carry the committed placement and post-merge
+    instance type; restraints carry the fail so a fresh weight-mutable
+    {!Restraint.t} can be minted on replay). *)
+type pass_event =
+  | Ev_bind of {
+      ev_op : int;
+      ev_step : int;
+      ev_finish : int;
+      ev_inst : int option;
+      ev_rtype : Resource.t option;
+    }
+  | Ev_restraint of { ev_op : int; ev_step : int; ev_fail : Restraint.fail; ev_fatal : bool }
+
 val run_pass :
   opts:options ->
   trace:Trace.t option ->
+  ctx:Pass_ctx.t ->
   binding:Binding.t ->
   aa:Asap_alap.t ->
   scc_of:(int -> int option) ->
   ?scc_members:int list list ->
+  ?warm:pass_event list * int ->
+  ?keep_prealloc:bool ->
   scc_stage_base:(int -> int option) ->
   scc_stage_local:int option array ->
   Region.t ->
-  pass_outcome
-(** One SCHEDULE_PASS (exposed for tests and custom drivers). *)
+  pass_outcome * pass_event list
+(** One SCHEDULE_PASS (exposed for tests and custom drivers).  [ctx] is
+    the region's pass-invariant context with scores already refreshed for
+    [aa].  [warm] is [(previous pass's event log, first dirty step)]:
+    events strictly before the dirty step are replayed structurally
+    instead of re-vetted.  [keep_prealloc] skips the per-pass
+    prealloc-shared recompute (sound when no instance was added since the
+    previous pass).  Returns the outcome and this pass's event log. *)
 
 val schedule :
   ?opts:options ->

@@ -11,11 +11,21 @@
     interleavings.  [Domain.join] publishes the slot writes to the
     spawning domain.
 
-    {b Memoization.}  The cache key is a digest of the marshalled
-    (design, effective options) pair — both are pure data, so the digest
-    is a stable fingerprint of everything that can influence a run.  The
-    cache is read and written only by the spawning domain (workers see a
-    pre-deduplicated work list), which keeps the engine lock-free. *)
+    {b Memoization.}  The cache key is two-level: one digest of the
+    marshalled (design, point-neutralized options) pair per {e sweep} (the
+    base fingerprint — both are pure data, so the digest is a stable
+    description of everything outside the grid), paired with the point
+    itself under structural equality.  A sweep therefore marshals the
+    design once, not once per point.  The cache is read and written only
+    by the spawning domain (workers see a pre-deduplicated work list),
+    which keeps the memoization lock-free.
+
+    {b Worker pool.}  Domains are expensive to spawn relative to a small
+    point's flow run, so the engine keeps its workers alive across sweeps:
+    the first multi-worker sweep spawns them, later sweeps hand the pool a
+    fresh job (an atomic work-stealing counter over the todo array) under
+    a mutex/condition pair, and {!shutdown} — also registered with
+    [at_exit] — joins them. *)
 
 module Flow = Hls_flow.Flow
 module Diag = Hls_diag.Diag
@@ -138,6 +148,8 @@ type profile = {
   pr_passes : int;
   pr_actions : int;
   pr_queries : int;
+  pr_warm_passes : int;
+  pr_cold_passes : int;
   pr_cached : bool;
 }
 
@@ -158,12 +170,135 @@ type sweep = {
 (* ------------------------------------------------------------------ *)
 (* Engine *)
 
-type t = {
-  cache : (string, (Flow.t, Diag.t) Stdlib.result * profile) Hashtbl.t;
-  mutable runs : int;
+(* persistent worker pool: domains survive across sweeps, parked on a
+   condition variable between jobs.  A job is an index-stealing loop over
+   [0, p_n); the epoch counter distinguishes "new job posted" from a
+   spurious wakeup, and the submitting domain always works the job too, so
+   a pool of k domains serves k+1 workers. *)
+type pool = {
+  p_mutex : Mutex.t;
+  p_work : Condition.t;  (** signalled when a job is posted (or on stop) *)
+  p_done : Condition.t;  (** signalled when the last worker drains out *)
+  mutable p_domains : unit Domain.t list;
+  mutable p_epoch : int;
+  mutable p_job : (int -> unit) option;
+  mutable p_next : int Atomic.t;
+  mutable p_n : int;
+  mutable p_remaining : int;  (** pool domains still draining this epoch *)
+  mutable p_admit : int;
+      (** pool domains allowed to work this epoch — caps concurrency at the
+          sweep's requested worker count even when the resident pool is
+          larger *)
+  mutable p_stop : bool;
 }
 
-let create () = { cache = Hashtbl.create 64; runs = 0 }
+let rec worker_loop pool my_epoch =
+  Mutex.lock pool.p_mutex;
+  while (not pool.p_stop) && pool.p_epoch = my_epoch do
+    Condition.wait pool.p_work pool.p_mutex
+  done;
+  if pool.p_stop then Mutex.unlock pool.p_mutex
+  else begin
+    let epoch = pool.p_epoch in
+    let job = Option.get pool.p_job in
+    let next = pool.p_next in
+    let n = pool.p_n in
+    let participate = pool.p_admit > 0 in
+    if participate then pool.p_admit <- pool.p_admit - 1;
+    Mutex.unlock pool.p_mutex;
+    (if participate then
+       let rec drain () =
+         let i = Atomic.fetch_and_add next 1 in
+         if i < n then begin
+           job i;
+           drain ()
+         end
+       in
+       drain ());
+    Mutex.lock pool.p_mutex;
+    pool.p_remaining <- pool.p_remaining - 1;
+    if pool.p_remaining = 0 then Condition.broadcast pool.p_done;
+    Mutex.unlock pool.p_mutex;
+    worker_loop pool epoch
+  end
+
+let pool_create () =
+  {
+    p_mutex = Mutex.create ();
+    p_work = Condition.create ();
+    p_done = Condition.create ();
+    p_domains = [];
+    p_epoch = 0;
+    p_job = None;
+    p_next = Atomic.make 0;
+    p_n = 0;
+    p_remaining = 0;
+    p_admit = 0;
+    p_stop = false;
+  }
+
+(* grow the pool to [k] domains (never shrinks between sweeps); only
+   called between jobs, from the owning domain *)
+let pool_ensure pool k =
+  Mutex.lock pool.p_mutex;
+  let epoch = pool.p_epoch in
+  for _ = List.length pool.p_domains + 1 to k do
+    pool.p_domains <- Domain.spawn (fun () -> worker_loop pool epoch) :: pool.p_domains
+  done;
+  Mutex.unlock pool.p_mutex
+
+(* run [job] over [0, n): posts the job, works it on the calling domain,
+   then waits for every pool domain to drain.  The mutex hand-off
+   publishes the workers' writes to the caller. *)
+let pool_run pool ~n ~admit job =
+  Mutex.lock pool.p_mutex;
+  pool.p_job <- Some job;
+  pool.p_admit <- admit;
+  pool.p_next <- Atomic.make 0;
+  pool.p_n <- n;
+  pool.p_remaining <- List.length pool.p_domains;
+  pool.p_epoch <- pool.p_epoch + 1;
+  Condition.broadcast pool.p_work;
+  let next = pool.p_next in
+  Mutex.unlock pool.p_mutex;
+  let rec drain () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n then begin
+      job i;
+      drain ()
+    end
+  in
+  drain ();
+  Mutex.lock pool.p_mutex;
+  while pool.p_remaining > 0 do
+    Condition.wait pool.p_done pool.p_mutex
+  done;
+  pool.p_job <- None;
+  Mutex.unlock pool.p_mutex
+
+type t = {
+  cache : (string * point, (Flow.t, Diag.t) Stdlib.result * profile) Hashtbl.t;
+      (** keyed by (base fingerprint, point) — see the module comment *)
+  mutable runs : int;
+  mutable pool : pool option;
+}
+
+let shutdown t =
+  match t.pool with
+  | None -> ()
+  | Some pool ->
+      Mutex.lock pool.p_mutex;
+      pool.p_stop <- true;
+      Condition.broadcast pool.p_work;
+      Mutex.unlock pool.p_mutex;
+      List.iter Domain.join pool.p_domains;
+      pool.p_domains <- [];
+      t.pool <- None
+
+let create () =
+  let t = { cache = Hashtbl.create 64; runs = 0; pool = None } in
+  at_exit (fun () -> shutdown t);
+  t
 
 let runs_performed t = t.runs
 
@@ -181,6 +316,16 @@ let fingerprint ~options (design : Hls_frontend.Ast.design) p =
      bytes are a complete, stable description of the run *)
   Digest.to_hex (Digest.string (Marshal.to_string (design, options_of ~options p) []))
 
+(* the per-sweep half of the cache key: everything that can influence a
+   run except the swept point itself.  The four point-carried fields are
+   pinned to fixed values so the digest is point-independent — the point
+   joins the key structurally, sparing one Marshal+Digest per point. *)
+let base_fingerprint ~(options : Flow.options) (design : Hls_frontend.Ast.design) =
+  let neutral =
+    { options with Flow.ii = None; min_latency = None; max_latency = None; clock_ps = 0.0 }
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string (design, neutral) []))
+
 let run_point ~options design p : (Flow.t, Diag.t) Stdlib.result * profile =
   let t0 = Unix.gettimeofday () in
   let r = Flow.run ~options:(options_of ~options p) design in
@@ -194,11 +339,13 @@ let run_point ~options design p : (Flow.t, Diag.t) Stdlib.result * profile =
           pr_passes = st.Hls_core.Scheduler.st_passes;
           pr_actions = st.Hls_core.Scheduler.st_actions;
           pr_queries = st.Hls_core.Scheduler.st_queries;
+          pr_warm_passes = st.Hls_core.Scheduler.st_warm_passes;
+          pr_cold_passes = st.Hls_core.Scheduler.st_cold_passes;
           pr_cached = false;
         }
     | Error d ->
         { pr_wall_s = wall; pr_passes = d.Diag.d_passes; pr_actions = 0; pr_queries = 0;
-          pr_cached = false }
+          pr_warm_passes = 0; pr_cold_passes = d.Diag.d_passes; pr_cached = false }
   in
   (r, profile)
 
@@ -214,17 +361,19 @@ let sweep ?(jobs = 1) ?max_workers t ~options design points =
   in
   let t0 = Unix.gettimeofday () in
   let pts = Array.of_list points in
-  let fps = Array.map (fingerprint ~options design) pts in
-  (* unique uncached fingerprints, in first-occurrence order *)
+  (* one Marshal+Digest for the whole sweep; each point keys structurally *)
+  let base = base_fingerprint ~options design in
+  let keys = Array.map (fun p -> (base, p)) pts in
+  (* unique uncached keys, in first-occurrence order *)
   let owner = Hashtbl.create 16 in
   let todo = ref [] in
   Array.iteri
-    (fun i fp ->
-      if not (Hashtbl.mem t.cache fp) && not (Hashtbl.mem owner fp) then begin
-        Hashtbl.replace owner fp ();
-        todo := (fp, pts.(i)) :: !todo
+    (fun i key ->
+      if not (Hashtbl.mem t.cache key) && not (Hashtbl.mem owner key) then begin
+        Hashtbl.replace owner key ();
+        todo := (key, pts.(i)) :: !todo
       end)
-    fps;
+    keys;
   let todo = Array.of_list (List.rev !todo) in
   let n = Array.length todo in
   let out = Array.make n None in
@@ -233,44 +382,46 @@ let sweep ?(jobs = 1) ?max_workers t ~options design points =
     if workers <= 1 then
       Array.iteri (fun i (_, p) -> out.(i) <- Some (run_point ~options design p)) todo
     else begin
-      let next = Atomic.make 0 in
-      let worker () =
-        let rec loop () =
-          let i = Atomic.fetch_and_add next 1 in
-          if i < n then begin
-            let _, p = todo.(i) in
-            out.(i) <- Some (run_point ~options design p);
-            loop ()
-          end
-        in
-        loop ()
+      (* reuse (and grow if needed) the engine's resident domain pool; the
+         calling domain is one of the workers, so [workers - 1] domains
+         suffice *)
+      let pool =
+        match t.pool with
+        | Some p when not p.p_stop -> p
+        | _ ->
+            let p = pool_create () in
+            t.pool <- Some p;
+            p
       in
-      List.init workers (fun _ -> Domain.spawn worker) |> List.iter Domain.join
+      pool_ensure pool (workers - 1);
+      pool_run pool ~n ~admit:(workers - 1) (fun i ->
+          let _, p = todo.(i) in
+          out.(i) <- Some (run_point ~options design p))
     end;
   Array.iteri
-    (fun i (fp, _) -> match out.(i) with Some rp -> Hashtbl.replace t.cache fp rp | None -> ())
+    (fun i (key, _) -> match out.(i) with Some rp -> Hashtbl.replace t.cache key rp | None -> ())
     todo;
   t.runs <- t.runs + n;
-  (* assemble in input order; the first occurrence of a fresh fingerprint
-     reports the live profile, every other occurrence is cache-served *)
+  (* assemble in input order; the first occurrence of a fresh key reports
+     the live profile, every other occurrence is cache-served *)
   let fresh = Hashtbl.create 16 in
-  Array.iteri (fun _ (fp, _) -> Hashtbl.replace fresh fp ()) todo;
+  Array.iteri (fun _ (key, _) -> Hashtbl.replace fresh key ()) todo;
   let results =
     Array.to_list
       (Array.mapi
-         (fun i fp ->
-           let flow, profile = Hashtbl.find t.cache fp in
-           let cached = not (Hashtbl.mem fresh fp) in
-           if not cached then Hashtbl.remove fresh fp;
+         (fun i key ->
+           let flow, profile = Hashtbl.find t.cache key in
+           let cached = not (Hashtbl.mem fresh key) in
+           if not cached then Hashtbl.remove fresh key;
            { r_point = pts.(i); r_flow = flow; r_profile = { profile with pr_cached = cached } })
-         fps)
+         keys)
   in
   {
     sw_results = results;
     sw_wall_s = Unix.gettimeofday () -. t0;
     sw_jobs = workers;
     sw_new_runs = n;
-    sw_cache_hits = Array.length fps - n;
+    sw_cache_hits = Array.length keys - n;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -289,6 +440,8 @@ type stats = {
   s_passes : int;
   s_actions : int;
   s_queries : int;
+  s_warm_passes : int;
+  s_cold_passes : int;
 }
 
 let stats sw =
@@ -312,6 +465,8 @@ let stats sw =
     s_passes = sum (fun r -> r.r_profile.pr_passes);
     s_actions = sum (fun r -> r.r_profile.pr_actions);
     s_queries = sum (fun r -> r.r_profile.pr_queries);
+    s_warm_passes = sum (fun r -> r.r_profile.pr_warm_passes);
+    s_cold_passes = sum (fun r -> r.r_profile.pr_cold_passes);
   }
 
 let stats_to_string s =
@@ -379,8 +534,10 @@ let point_to_json p =
 let result_to_json r =
   let pr = r.r_profile in
   let profile =
-    Printf.sprintf {|"passes":%d,"actions":%d,"queries":%d,"wall_s":%.6f,"cached":%b|}
-      pr.pr_passes pr.pr_actions pr.pr_queries pr.pr_wall_s pr.pr_cached
+    Printf.sprintf
+      {|"passes":%d,"actions":%d,"queries":%d,"warm_passes":%d,"cold_passes":%d,"wall_s":%.6f,"cached":%b|}
+      pr.pr_passes pr.pr_actions pr.pr_queries pr.pr_warm_passes pr.pr_cold_passes pr.pr_wall_s
+      pr.pr_cached
   in
   match r.r_flow with
   | Ok f ->
@@ -396,9 +553,9 @@ let result_to_json r =
 
 let stats_to_json s =
   Printf.sprintf
-    {|{"points":%d,"ok":%d,"failed":%d,"cache_hits":%d,"new_runs":%d,"jobs":%d,"wall_s":%.6f,"points_per_s":%.3f,"cpu_s":%.6f,"passes":%d,"actions":%d,"queries":%d}|}
+    {|{"points":%d,"ok":%d,"failed":%d,"cache_hits":%d,"new_runs":%d,"jobs":%d,"wall_s":%.6f,"points_per_s":%.3f,"cpu_s":%.6f,"passes":%d,"actions":%d,"queries":%d,"warm_passes":%d,"cold_passes":%d}|}
     s.s_points s.s_ok s.s_failed s.s_cache_hits s.s_new_runs s.s_jobs s.s_wall_s s.s_points_per_s
-    s.s_cpu_s s.s_passes s.s_actions s.s_queries
+    s.s_cpu_s s.s_passes s.s_actions s.s_queries s.s_warm_passes s.s_cold_passes
 
 let sweep_to_json sw =
   Printf.sprintf {|{"stats":%s,"results":[%s]}|}

@@ -69,6 +69,8 @@ type profile = {
   pr_passes : int;  (** scheduler relaxation passes *)
   pr_actions : int;  (** expert actions applied *)
   pr_queries : int;  (** binder netlist timing queries *)
+  pr_warm_passes : int;  (** passes served by warm-start prefix replay *)
+  pr_cold_passes : int;  (** passes re-vetted from a cold restart *)
   pr_cached : bool;  (** served from the memo cache, not a fresh run *)
 }
 
@@ -100,8 +102,19 @@ val runs_performed : t -> int
     only) — the observable for cache-hit tests. *)
 
 val fingerprint : options:Hls_flow.Flow.options -> Hls_frontend.Ast.design -> point -> string
-(** The stable memoization key: a digest of the design and the effective
-    flow options of the point. *)
+(** A stable per-point digest of the design and the effective flow options
+    — the fully-collapsed form of the engine's two-level cache key, kept
+    for external tooling that wants one string per run. *)
+
+val base_fingerprint : options:Hls_flow.Flow.options -> Hls_frontend.Ast.design -> string
+(** The per-sweep half of the memo key: a digest of the design and the
+    point-neutralized options.  [sweep] computes this once and keys the
+    cache on [(base, point)], sparing one marshal+digest per point. *)
+
+val shutdown : t -> unit
+(** Join the engine's resident worker domains (no-op when none were ever
+    spawned).  Also registered with [at_exit]; safe to call more than
+    once — a later sweep simply spawns a fresh pool. *)
 
 val validate_jobs : int -> (int, Hls_diag.Diag.t) Stdlib.result
 (** Reject non-positive worker counts with a typed [Explore]-phase
@@ -117,12 +130,14 @@ val sweep :
   Hls_frontend.Ast.design ->
   point list ->
   sweep
-(** Run every point through the flow on a pool of [jobs] domains.
-    [jobs] is capped at [max_workers], which defaults to
-    [Domain.recommended_domain_count ()]; pass it explicitly to allow
-    deliberate oversubscription (e.g. exercising the pool on a small
-    machine).  Pool size 1 runs sequentially on the calling domain.
-    Results come back in input order regardless of [jobs]. *)
+(** Run every point through the flow on a pool of [jobs] workers (the
+    calling domain plus [jobs - 1] resident domains, spawned on first use
+    and reused by every later sweep on this engine).  [jobs] is capped at
+    [max_workers], which defaults to [Domain.recommended_domain_count ()];
+    pass it explicitly to allow deliberate oversubscription (e.g.
+    exercising the pool on a small machine).  Pool size 1 runs
+    sequentially on the calling domain.  Results come back in input order
+    regardless of [jobs]. *)
 
 (** {2 Reporting} *)
 
@@ -140,6 +155,8 @@ type stats = {
   s_passes : int;
   s_actions : int;
   s_queries : int;
+  s_warm_passes : int;  (** sum of warm-started passes over fresh runs *)
+  s_cold_passes : int;  (** sum of cold passes over fresh runs *)
 }
 
 val stats : sweep -> stats

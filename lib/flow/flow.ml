@@ -244,6 +244,8 @@ let run_baseline ~options (design : Ast.design) : (t, Diag.t) Stdlib.result =
                 s_actions = [ "degraded to the baseline schedule-then-fold engine" ];
                 s_scc_stages = List.map (fun scc -> (scc, 0)) (Region.sccs region);
                 s_sched_time_s = b.Hls_baseline.Sehwa.s_time_s;
+                s_warm_passes = 0;
+                s_cold_passes = b.Hls_baseline.Sehwa.s_attempts;
               }
             in
             finish ~options ~tier:Tier_baseline ~check_timing:false design elab region sched)

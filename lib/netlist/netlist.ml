@@ -84,6 +84,13 @@ type t = {
   inst_tbl : (int, inst) Hashtbl.t;  (** id -> instance, O(1) lookup *)
   mutable next_inst_id : int;
   placements : (int, placement) Hashtbl.t;
+  step_index : (int, int list ref) Hashtbl.t;
+      (** step -> ops placed there (unsorted); kept in lockstep with
+          [placements] so per-step queries avoid a full fold *)
+  guard_index : (int, int list ref) Hashtbl.t;
+      (** guard predecessor -> placed ops whose guard reads it; kept in
+          lockstep with [placements] so [propagate] needs no per-call
+          rebuild of the reverse guard map *)
   busy : (int * int, int list ref) Hashtbl.t;  (** (inst, slot) -> bound ops *)
   arr_true : (int, cell) Hashtbl.t;
   arr_naive : (int, cell) Hashtbl.t;
@@ -108,6 +115,8 @@ let create ~lib ~clock_ps (region : Region.t) =
     inst_tbl = Hashtbl.create 16;
     next_inst_id = 0;
     placements = Hashtbl.create 64;
+    step_index = Hashtbl.create 64;
+    guard_index = Hashtbl.create 16;
     busy = Hashtbl.create 64;
     arr_true = Hashtbl.create 64;
     arr_naive = Hashtbl.create 64;
@@ -141,8 +150,10 @@ let find_inst t id = Hashtbl.find t.inst_tbl id
 (** Reset all pass-local state (placements, busy tables, arrivals, chain
     graph, any dangling trial) while keeping the resource set — the state
     carried between scheduling passes. *)
-let reset_pass t =
+let reset_pass ?(keep_prealloc = false) t =
   Hashtbl.reset t.placements;
+  Hashtbl.reset t.step_index;
+  Hashtbl.reset t.guard_index;
   Hashtbl.reset t.busy;
   Hashtbl.reset t.arr_true;
   Hashtbl.reset t.arr_naive;
@@ -157,23 +168,25 @@ let reset_pass t =
   t.touched <- [];
   t.undo_log <- [];
   (* mark shared instances: a class with more candidate ops than instances
-     will be shared, so its input muxes are pre-allocated (Fig. 8a) *)
-  let ops_by_class inst =
-    List.length
-      (List.filter
-         (fun op ->
-           match Resource.of_op t.dfg op with
-           | Some rt -> Resource.can_merge rt inst.rtype
-           | None -> false)
-         (Region.member_ops t.region))
-  in
-  List.iter
-    (fun inst ->
-      let n_insts =
-        List.length (List.filter (fun i -> Resource.can_merge i.rtype inst.rtype) t.insts)
-      in
-      inst.prealloc_shared <- ops_by_class inst > n_insts)
-    t.insts
+     will be shared, so its input muxes are pre-allocated (Fig. 8a).  The
+     flags depend only on the region's membership and the instance set, so
+     a caller that knows no instance was added since the last pass skips
+     the recompute with [keep_prealloc]. *)
+  if not keep_prealloc then begin
+    let member_needs =
+      List.filter_map (fun op -> Resource.of_op t.dfg op) (Region.member_ops t.region)
+    in
+    let ops_by_class inst =
+      List.length (List.filter (fun rt -> Resource.can_merge rt inst.rtype) member_needs)
+    in
+    List.iter
+      (fun inst ->
+        let n_insts =
+          List.length (List.filter (fun i -> Resource.can_merge i.rtype inst.rtype) t.insts)
+        in
+        inst.prealloc_shared <- ops_by_class inst > n_insts)
+      t.insts
+  end
 
 let placement t op_id = Hashtbl.find_opt t.placements op_id
 
@@ -227,6 +240,44 @@ let commit t =
   t.undo_log <- [];
   t.n_commits <- t.n_commits + 1
 
+(* step-index maintenance: [remove] consults the op's *current* placement,
+   so it must run before the [placements] entry is changed *)
+let step_index_remove t op_id =
+  match Hashtbl.find_opt t.placements op_id with
+  | None -> ()
+  | Some pl -> (
+      match Hashtbl.find_opt t.step_index pl.pl_step with
+      | Some r -> r := List.filter (fun o -> o <> op_id) !r
+      | None -> ())
+
+let step_index_add t op_id step =
+  match Hashtbl.find_opt t.step_index step with
+  | Some r -> r := op_id :: !r
+  | None -> Hashtbl.replace t.step_index step (ref [ op_id ])
+
+let ops_on_step t step =
+  match Hashtbl.find_opt t.step_index step with
+  | None -> []
+  | Some r -> List.sort compare !r
+
+(* guard-index maintenance: membership depends only on the op being placed
+   (the guard structure is static), so a re-placement needs no update *)
+let guard_index_add t op_id =
+  List.iter
+    (fun p ->
+      match Hashtbl.find_opt t.guard_index p with
+      | Some r -> r := op_id :: !r
+      | None -> Hashtbl.replace t.guard_index p (ref [ op_id ]))
+    (Guard.preds (Dfg.find t.dfg op_id).Dfg.guard)
+
+let guard_index_remove t op_id =
+  List.iter
+    (fun p ->
+      match Hashtbl.find_opt t.guard_index p with
+      | Some r -> r := List.filter (fun o -> o <> op_id) !r
+      | None -> ())
+    (Guard.preds (Dfg.find t.dfg op_id).Dfg.guard)
+
 let rollback t =
   if not t.trial_on then invalid_arg "Netlist.rollback: no active trial";
   (* newest-first replay: the oldest entry for a location lands last and
@@ -234,8 +285,14 @@ let rollback t =
      their generation stamp can never match again. *)
   List.iter
     (function
-      | U_place op -> Hashtbl.remove t.placements op
-      | U_replace (op, pl) -> Hashtbl.replace t.placements op pl
+      | U_place op ->
+          step_index_remove t op;
+          guard_index_remove t op;
+          Hashtbl.remove t.placements op
+      | U_replace (op, pl) ->
+          step_index_remove t op;
+          Hashtbl.replace t.placements op pl;
+          step_index_add t op pl.pl_step
       | U_bound (i, b) -> i.bound <- b
       | U_rtype (i, rt) -> i.rtype <- rt
       | U_mux (i, mc, md) ->
@@ -251,11 +308,15 @@ let rollback t =
 (** {2 Structural mutators} — journaled while a trial is active *)
 
 let place t op_id ~step ~finish ~inst_opt =
+  let fresh = not (Hashtbl.mem t.placements op_id) in
   if t.trial_on then
     (match Hashtbl.find_opt t.placements op_id with
     | Some pl -> t.undo_log <- U_replace (op_id, pl) :: t.undo_log
     | None -> t.undo_log <- U_place op_id :: t.undo_log);
-  Hashtbl.replace t.placements op_id { pl_step = step; pl_finish = finish; pl_inst = inst_opt }
+  if fresh then guard_index_add t op_id;
+  step_index_remove t op_id;
+  Hashtbl.replace t.placements op_id { pl_step = step; pl_finish = finish; pl_inst = inst_opt };
+  step_index_add t op_id step
 
 let invalidate_mux t i =
   if t.trial_on then t.undo_log <- U_mux (i, i.mux_cache, i.mux_delays) :: t.undo_log;
@@ -516,28 +577,6 @@ let propagate t ~decision seeds =
   let worst_op = ref (-1) in
   let queue = Queue.create () in
   List.iter (fun s -> Queue.add s queue) seeds;
-  let guard_deps =
-    lazy
-      ((* ops guarded by some op: reverse index built on demand *)
-       let tbl = Hashtbl.create 16 in
-       Hashtbl.iter
-         (fun id _ ->
-           let op = Dfg.find t.dfg id in
-           List.iter
-             (fun p ->
-               let r =
-                 match Hashtbl.find_opt tbl p with
-                 | Some r -> r
-                 | None ->
-                     let r = ref [] in
-                     Hashtbl.replace tbl p r;
-                     r
-               in
-               r := id :: !r)
-             (Guard.preds op.Dfg.guard))
-         t.placements;
-       tbl)
-  in
   while not (Queue.is_empty queue) do
     let id = Queue.pop queue in
     if Hashtbl.mem t.placements id then begin
@@ -549,7 +588,7 @@ let propagate t ~decision seeds =
       end;
       if changed then begin
         List.iter (fun c -> Queue.add c queue) (chained_consumers t id);
-        match Hashtbl.find_opt (Lazy.force guard_deps) id with
+        match Hashtbl.find_opt t.guard_index id with
         | Some r ->
             let pl = Hashtbl.find t.placements id in
             List.iter

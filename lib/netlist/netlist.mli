@@ -57,6 +57,12 @@ type t = {
   inst_tbl : (int, inst) Hashtbl.t;
   mutable next_inst_id : int;
   placements : (int, placement) Hashtbl.t;
+  step_index : (int, int list ref) Hashtbl.t;
+      (** step -> ops placed there (unsorted), kept in lockstep with
+          [placements] *)
+  guard_index : (int, int list ref) Hashtbl.t;
+      (** guard predecessor -> placed ops whose guard reads it, kept in
+          lockstep with [placements] *)
   busy : (int * int, int list ref) Hashtbl.t;  (** (inst, slot) -> bound ops *)
   arr_true : (int, cell) Hashtbl.t;
   arr_naive : (int, cell) Hashtbl.t;
@@ -76,13 +82,20 @@ val stats : t -> stats
 val add_inst : ?added_by_expert:bool -> t -> Resource.t -> inst
 val find_inst : t -> int -> inst
 
-val reset_pass : t -> unit
+val reset_pass : ?keep_prealloc:bool -> t -> unit
 (** Reset all pass-local state (placements, busy tables, arrivals, chain
     graph, any dangling trial) while keeping the resource set; recomputes
-    each instance's [prealloc_shared] flag. *)
+    each instance's [prealloc_shared] flag.  [~keep_prealloc:true] skips
+    that recompute — sound only when no instance was added since the flags
+    were last computed (region membership is static). *)
 
 val placement : t -> int -> placement option
 val is_placed : t -> int -> bool
+
+val ops_on_step : t -> int -> int list
+(** Ops placed on a step, sorted ascending by id — O(k log k) in the
+    step's population via the per-step reverse index, not a fold over all
+    placements. *)
 
 val slot : t -> int -> int
 (** Modulo slot of a control step ([step mod II] when pipelined). *)

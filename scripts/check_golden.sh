@@ -1,0 +1,28 @@
+#!/bin/sh
+# Golden-output gate for the paper artifacts: regenerates Tables 1-4 and
+# the Fig 10/11 sweep and requires the output to be byte-identical to the
+# committed reference, except for the one wall-clock line the fig10 run
+# prints (normalized away below).  Run from the repository root; CI runs
+# it in the bench-smoke job so perf work cannot silently change schedules.
+set -eu
+
+ref="bench/golden/tables_fig10_11.txt"
+[ -f "$ref" ] || { echo "missing $ref" >&2; exit 1; }
+
+out=$(mktemp)
+trap 'rm -f "$out" "$out.norm" "$ref.norm"' EXIT
+
+dune exec bench/main.exe -- table1 table2 table3 table4 fig10 > "$out"
+
+# the only volatile line: "<n> HLS runs (paper: 25 runs) — <wall s, points/s>"
+norm='s/^[0-9]* HLS runs (paper: 25 runs) — .*//'
+sed "$norm" "$ref" > "$ref.norm"
+sed "$norm" "$out" > "$out.norm"
+
+if diff -u "$ref.norm" "$out.norm"; then
+  echo "golden check OK: Tables 1-4 and Fig 10/11 match $ref"
+else
+  echo "golden check FAILED: regenerate deliberately with" >&2
+  echo "  dune exec bench/main.exe -- table1 table2 table3 table4 fig10 > $ref" >&2
+  exit 1
+fi

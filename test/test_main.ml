@@ -28,6 +28,7 @@ let () =
       ("asap_alap", Test_asap_alap.suite);
       ("extensions", Test_extensions.suite);
       ("sched_props", Test_sched_props.suite);
+      ("sched_perf", Test_sched_perf.suite);
       ("kernel_sim", Test_kernel_sim.suite);
       ("faults", Test_faults.suite);
       ("dse", Test_dse.suite);
