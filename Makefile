@@ -1,4 +1,4 @@
-.PHONY: all build test faults dse check fmt ci bench bench-dse bench-netlist bench-sched bench-smoke golden clean
+.PHONY: all build test faults dse check fmt ci bench bench-dse bench-netlist bench-sched bench-smoke bench-serve serve-smoke exit-codes golden clean
 
 all: build
 
@@ -56,6 +56,28 @@ bench-netlist:
 # written to BENCH_sched.json
 bench-sched:
 	dune exec bench/main.exe -- sched
+
+# the compile-service experiment: start a daemon, drive it with 8
+# concurrent clients x 4 requests (cold then warm phase), write
+# BENCH_serve.json, drain the daemon
+bench-serve:
+	dune build bin/hlsc.exe
+	@rm -f /tmp/hlsc_bench.sock
+	@dune exec --no-build bin/hlsc.exe -- serve --socket /tmp/hlsc_bench.sock --jobs 4 & \
+	pid=$$!; \
+	for i in $$(seq 50); do [ -S /tmp/hlsc_bench.sock ] && break; sleep 0.1; done; \
+	dune exec --no-build bin/hlsc.exe -- bench-serve --socket /tmp/hlsc_bench.sock \
+	  --clients 8 --requests 4 --design fir8 --cmd schedule --json BENCH_serve.json; \
+	rc=$$?; kill -TERM $$pid; wait $$pid; exit $$rc
+
+# daemon round trip: submit vs offline byte-identity, cache hits, SIGTERM
+# drain without a leaked socket (what CI's serve-smoke job runs)
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# the CLI exit-code contract: 0 ok / 1 typed diagnostic / 124 CLI misuse
+exit-codes:
+	./scripts/exit_codes.sh
 
 # regenerate-and-compare gate for the committed paper artifacts
 golden:

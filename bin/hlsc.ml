@@ -9,46 +9,26 @@
       hlsc emit example1 --ii 2 -o out.v   # generate Verilog
       hlsc explore idct --grid "ii=none,8;latency=16;clock=1200,1600" --jobs 4
                                            # parallel design-space sweep
+      hlsc serve --socket hlsc.sock --jobs 4       # compile-service daemon
+      hlsc submit schedule example1 --ii 2         # compile via the daemon
       hlsc compile my.bhv                  # any command also accepts .bhv files
     v}
 *)
 
 open Cmdliner
 open Hls_frontend
+module Proto = Hls_server.Protocol
+module Design_db = Hls_server.Design_db
+module Render = Hls_server.Render
+module Client = Hls_server.Client
+module Server = Hls_server.Server
 
-
-
-(* ---- design lookup ---- *)
-
-let builtin_designs =
-  [
-    ("example1", fun () -> Hls_designs.Example1.design ());
-    ("fir8", fun () -> Hls_designs.Fir.design ());
-    ("fir16", fun () -> Hls_designs.Fir.design ~taps:16 ());
-    ("fft", fun () -> Hls_designs.Fft.design ());
-    ("idct", fun () -> Hls_designs.Idct.design ());
-    ("sobel", fun () -> Hls_designs.Conv.design ());
-    ("dotprod", fun () -> Hls_designs.Dotprod.design ());
-    ("agc", fun () -> Hls_designs.Agc.design ());
-    ("matvec4", fun () -> Hls_designs.Matmul.design ());
-    ("matvec8", fun () -> Hls_designs.Matmul.design ~n:8 ());
-    ("idct8x8", fun () -> Hls_designs.Idct2d.design ());
-  ]
+(* ---- design lookup (shared with the daemon, see Hls_server.Design_db) ---- *)
 
 let load_design name =
-  match List.assoc_opt name builtin_designs with
-  | Some f -> Ok (f ())
-  | None ->
-      if Filename.check_suffix name ".bhv" then
-        if Sys.file_exists name then
-          try Ok (Parser.parse_file name) with
-          | Parser.Error { line; message } | Lexer.Error { line; message } ->
-              Error (Printf.sprintf "%s:%d: %s" name line message)
-          | Sys_error m -> Error m
-        else Error (Printf.sprintf "no such file: %s" name)
-      else
-        Error
-          (Printf.sprintf "unknown design '%s' (try 'hlsc designs' or pass a .bhv file)" name)
+  match Design_db.local_spec name with
+  | Error _ as e -> e
+  | Ok spec -> Design_db.load spec
 
 (** Run a command body under a catch-all: a bad input file or an internal
     fault exits with code 1 and a one-line diagnostic, never a backtrace. *)
@@ -181,7 +161,7 @@ let designs_cmd =
   Cmd.v (Cmd.info "designs" ~doc)
     Term.(
       const (fun () ->
-          List.iter (fun (n, _) -> print_endline n) builtin_designs)
+          List.iter (fun (n, _) -> print_endline n) Design_db.builtins)
       $ const ())
 
 let compile_cmd =
@@ -231,9 +211,7 @@ let schedule_cmd =
   let run name ii clock latency trace optimize robust =
     guarded @@ fun () ->
     let r = flow_result ~ii ~clock ~latency ~optimize ~trace ~robust name in
-    Hls_report.Table.print (Hls_core.Scheduler.to_table r.Hls_flow.Flow.f_sched);
-    Printf.printf "%s\n" (Hls_flow.Flow.summary r);
-    List.iter (Printf.printf "  relaxation: %s\n") r.Hls_flow.Flow.f_sched.Hls_core.Scheduler.s_actions
+    print_string (Render.schedule r)
   in
   Cmd.v (Cmd.info "schedule" ~doc)
     Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term)
@@ -243,8 +221,7 @@ let pipeline_cmd =
   let run name ii clock latency trace optimize robust =
     guarded @@ fun () ->
     let r = flow_result ~ii ~clock ~latency ~optimize ~trace ~robust name in
-    Hls_report.Table.print (Hls_core.Pipeline.to_table r.Hls_flow.Flow.f_sched r.Hls_flow.Flow.f_fold);
-    Printf.printf "%s\n" (Hls_flow.Flow.summary r)
+    print_string (Render.pipeline r)
   in
   Cmd.v (Cmd.info "pipeline" ~doc)
     Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term)
@@ -254,11 +231,7 @@ let flow_cmd =
   let run name ii clock latency trace optimize robust =
     guarded @@ fun () ->
     let r = flow_result ~ii ~clock ~latency ~optimize ~trace ~robust name in
-    print_endline (Hls_flow.Flow.summary r);
-    Format.printf "%a@." Hls_rtl.Stats.pp_breakdown r.Hls_flow.Flow.f_area;
-    match r.Hls_flow.Flow.f_equiv with
-    | Some v -> print_endline (Hls_sim.Equiv.verdict_to_string v)
-    | None -> ()
+    print_string (Render.flow r)
   in
   Cmd.v (Cmd.info "flow" ~doc)
     Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term)
@@ -274,7 +247,9 @@ let emit_cmd =
     let src = Hls_rtl.Verilog.emit r.Hls_flow.Flow.f_elab r.Hls_flow.Flow.f_sched r.Hls_flow.Flow.f_fold in
     (match Hls_rtl.Verilog.lint src with
     | [] -> ()
-    | errs -> List.iter (fun m -> prerr_endline ("lint: " ^ m)) errs);
+    | errs ->
+        List.iter (fun m -> prerr_endline ("lint: " ^ m)) errs;
+        exit 1);
     match out with
     | Some path ->
         let oc = open_out path in
@@ -343,6 +318,7 @@ let explore_cmd =
       }
     in
     let engine = Hls_dse.Dse.create () in
+    at_exit (fun () -> Hls_dse.Dse.shutdown engine);
     let sw = Hls_dse.Dse.sweep ~jobs engine ~options design (Hls_dse.Dse.grid_points grid) in
     Hls_report.Table.print (Hls_dse.Dse.table sw.Hls_dse.Dse.sw_results);
     let pts = Hls_dse.Dse.pareto_points sw.Hls_dse.Dse.sw_results in
@@ -367,10 +343,204 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(const run $ design_arg $ grid_arg $ jobs_arg $ json_arg $ robust_term)
 
+(* ---- compile service ---- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string Server.default_config.Server.socket
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket of the daemon (default hlsc.sock).")
+
+let serve_cmd =
+  let doc =
+    "Run the compile-service daemon: a persistent process with a shared compile cache and a \
+     worker-domain pool, accepting framed JSON jobs over a Unix-domain socket.  SIGTERM drains \
+     gracefully: in-flight and queued jobs finish, then every domain is joined and the socket \
+     unlinked."
+  in
+  let tcp_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT" ~doc:"Also listen on 127.0.0.1:$(docv).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int Server.default_config.Server.workers
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker-domain count (default 2).")
+  in
+  let capacity_arg =
+    Arg.(
+      value & opt int Server.default_config.Server.queue_capacity
+      & info [ "queue-capacity" ] ~docv:"N"
+          ~doc:"Admission limit on queued-but-not-started jobs (default 64).")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log connection and job lifecycle to stderr.")
+  in
+  let run socket tcp_port jobs queue_capacity verbose =
+    guarded @@ fun () ->
+    if jobs < 1 then or_die (Error "at least one worker domain is required (--jobs)");
+    or_die
+      (Server.run { Server.socket; tcp_port; workers = jobs; queue_capacity; verbose })
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ socket_arg $ tcp_arg $ jobs_arg $ capacity_arg $ verbose_arg)
+
+let cmd_of_name s =
+  match Proto.cmd_of_string s with
+  | Some c -> Ok c
+  | None -> Error (Printf.sprintf "unknown command '%s' (expected schedule, pipeline or flow)" s)
+
+let submit_cmd =
+  let doc =
+    "Submit a compile job to a running daemon and print the result — byte-identical on stdout \
+     to the offline $(b,schedule)/$(b,pipeline)/$(b,flow) commands."
+  in
+  let cmd_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"CMD" ~doc:"One of $(b,schedule), $(b,pipeline), $(b,flow).")
+  in
+  let design_pos1 =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DESIGN" ~doc:"Built-in design name or .bhv file.")
+  in
+  let max_passes_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-passes" ] ~docv:"N" ~doc:"Relaxation pass budget (default 200).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "timeout" ] ~docv:"SEC" ~doc:"Per-job wall-clock budget in seconds.")
+  in
+  let no_verify_arg =
+    Arg.(value & flag & info [ "no-verify" ] ~doc:"Skip RTL-vs-reference verification.")
+  in
+  let diag_json_arg =
+    Arg.(
+      value & flag
+      & info [ "diag-json" ] ~doc:"On failure, print the diagnostic as a JSON object on stderr.")
+  in
+  let run cmdname name socket ii clock latency trace max_passes timeout no_verify diag_json =
+    guarded @@ fun () ->
+    let cmd = or_die (cmd_of_name cmdname) in
+    let min_latency, max_latency = or_die (parse_latency latency) in
+    let spec_design = or_die (Design_db.local_spec name) in
+    let spec =
+      Proto.job_spec ?ii ?min_latency ?max_latency ?max_passes ?timeout_s:timeout
+        ~verify:(not no_verify) ~trace ~clock_ps:clock cmd spec_design
+    in
+    let client = or_die (Client.connect ~socket ()) in
+    let on_event ~level text = Printf.eprintf "[%s] %s\n%!" level text in
+    let outcome = or_die (Client.submit ~on_event client spec) in
+    Client.close client;
+    List.iter (fun n -> prerr_endline ("hlsc: " ^ n)) outcome.Proto.o_notes;
+    match outcome.Proto.o_status with
+    | Proto.S_ok -> print_string outcome.Proto.o_output
+    | Proto.S_cancelled ->
+        prerr_endline "hlsc: job cancelled";
+        exit 1
+    | Proto.S_error ->
+        (match (diag_json, outcome.Proto.o_diag_json, outcome.Proto.o_diag) with
+        | true, Some j, _ -> prerr_endline j
+        | _, _, Some d -> prerr_endline ("hlsc: " ^ d)
+        | _, Some j, None -> prerr_endline j
+        | _ -> prerr_endline "hlsc: job failed");
+        exit 1
+  in
+  Cmd.v (Cmd.info "submit" ~doc)
+    Term.(
+      const run $ cmd_arg $ design_pos1 $ socket_arg $ ii_arg $ clock_arg $ latency_arg
+      $ trace_arg $ max_passes_arg $ timeout_arg $ no_verify_arg $ diag_json_arg)
+
+let stats_cmd =
+  let doc = "Print a running daemon's metrics snapshot (queue, cache, scheduler counters)." in
+  let run socket =
+    guarded @@ fun () ->
+    let client = or_die (Client.connect ~socket ()) in
+    let j = or_die (Client.stats client) in
+    Client.close client;
+    print_endline (Proto.to_string j)
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ socket_arg)
+
+let bench_serve_cmd =
+  let doc =
+    "Load-test a running daemon: K concurrent clients, each submitting M distinct compiles \
+     (cold phase) and then the same M again (warm phase, pure cache service); report p50/p95 \
+     latency, throughput, cache hit rate and warm speedup."
+  in
+  let clients_arg =
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"K" ~doc:"Concurrent clients (default 8).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "requests" ] ~docv:"M" ~doc:"Requests per client per phase (default 4).")
+  in
+  let design_opt_arg =
+    Arg.(
+      value & opt string "fir8"
+      & info [ "design" ] ~docv:"NAME" ~doc:"Built-in design to compile (default fir8).")
+  in
+  let cmd_opt_arg =
+    Arg.(
+      value & opt string "schedule"
+      & info [ "cmd" ] ~docv:"CMD" ~doc:"schedule, pipeline or flow (default schedule).")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the result as JSON to $(docv).")
+  in
+  let run socket clients requests design cmdname json =
+    guarded @@ fun () ->
+    let cmd = or_die (cmd_of_name cmdname) in
+    let b = or_die (Client.bench ~socket ~clients ~requests ~design ~cmd ()) in
+    Printf.printf
+      "%d clients x %d requests: cold p50 %.1f ms p95 %.1f ms (%.1f req/s), warm p50 %.2f ms \
+       p95 %.2f ms (%.1f req/s), speedup %.1fx, cache hit rate %.1f%%, errors %d\n"
+      b.Client.b_clients b.Client.b_requests b.Client.b_cold_p50_ms b.Client.b_cold_p95_ms
+      b.Client.b_cold_throughput b.Client.b_warm_p50_ms b.Client.b_warm_p95_ms
+      b.Client.b_warm_throughput b.Client.b_speedup
+      (100.0 *. b.Client.b_cache_hit_rate)
+      b.Client.b_errors;
+    (match json with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Client.bench_to_json b);
+        output_string oc "\n";
+        close_out oc;
+        Printf.printf "wrote %s\n" path);
+    if b.Client.b_errors > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "bench-serve" ~doc)
+    Term.(
+      const run $ socket_arg $ clients_arg $ requests_arg $ design_opt_arg $ cmd_opt_arg
+      $ json_arg)
+
+let version_cmd =
+  let doc = "Print the binary and wire-protocol versions." in
+  Cmd.v (Cmd.info "version" ~doc)
+    Term.(
+      const (fun () ->
+          Printf.printf "hlsc %s (wire protocol %d)\n" Proto.binary_version Proto.version)
+      $ const ())
+
 let () =
   let doc = "performance-constrained pipelining HLS flow (Kondratyev et al., DATE'11 reproduction)" in
-  let info = Cmd.info "hlsc" ~version:"1.0.0" ~doc in
+  let version = Printf.sprintf "%s (wire protocol %d)" Proto.binary_version Proto.version in
+  let info = Cmd.info "hlsc" ~version ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ designs_cmd; compile_cmd; schedule_cmd; pipeline_cmd; flow_cmd; emit_cmd; explore_cmd ]))
+          [
+            designs_cmd; compile_cmd; schedule_cmd; pipeline_cmd; flow_cmd; emit_cmd; explore_cmd;
+            serve_cmd; submit_cmd; stats_cmd; bench_serve_cmd; version_cmd;
+          ]))

@@ -12,9 +12,15 @@
 
 type level = Debug | Info | Warn
 
-type t = { mutable events : (level * string) list; echo : bool }
+type t = {
+  mutable events : (level * string) list;
+  echo : bool;
+  sink : (level -> string -> unit) option;
+      (** live consumer — the compile daemon streams events to the
+          submitting client through this while the job runs *)
+}
 
-let create ?(echo = false) () = { events = []; echo }
+let create ?(echo = false) ?sink () = { events = []; echo; sink }
 
 let level_to_string = function Debug -> "debug" | Info -> "info" | Warn -> "warn"
 
@@ -24,7 +30,8 @@ let log_at t level fmt =
   Printf.ksprintf
     (fun s ->
       t.events <- (level, s) :: t.events;
-      if t.echo then print_endline s)
+      if t.echo then print_endline s;
+      match t.sink with None -> () | Some f -> f level s)
     fmt
 
 let log t fmt = log_at t Info fmt

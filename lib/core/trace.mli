@@ -7,7 +7,10 @@ type level = Debug | Info | Warn
 
 type t
 
-val create : ?echo:bool -> unit -> t
+val create : ?echo:bool -> ?sink:(level -> string -> unit) -> unit -> t
+(** [sink] is invoked synchronously on every event as it is recorded —
+    the live streaming hook used by the compile-service daemon to forward
+    scheduling events to the submitting client while the job runs. *)
 
 val log : t -> ('a, unit, string, unit) format4 -> 'a
 (** Records at level [Info] (the historical behaviour). *)

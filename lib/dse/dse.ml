@@ -168,131 +168,128 @@ type sweep = {
 }
 
 (* ------------------------------------------------------------------ *)
-(* Engine *)
+(* Worker pool *)
 
-(* persistent worker pool: domains survive across sweeps, parked on a
-   condition variable between jobs.  A job is an index-stealing loop over
-   [0, p_n); the epoch counter distinguishes "new job posted" from a
-   spurious wakeup, and the submitting domain always works the job too, so
-   a pool of k domains serves k+1 workers. *)
-type pool = {
-  p_mutex : Mutex.t;
-  p_work : Condition.t;  (** signalled when a job is posted (or on stop) *)
-  p_done : Condition.t;  (** signalled when the last worker drains out *)
-  mutable p_domains : unit Domain.t list;
-  mutable p_epoch : int;
-  mutable p_job : (int -> unit) option;
-  mutable p_next : int Atomic.t;
-  mutable p_n : int;
-  mutable p_remaining : int;  (** pool domains still draining this epoch *)
-  mutable p_admit : int;
-      (** pool domains allowed to work this epoch — caps concurrency at the
-          sweep's requested worker count even when the resident pool is
-          larger *)
-  mutable p_stop : bool;
-}
-
-let rec worker_loop pool my_epoch =
-  Mutex.lock pool.p_mutex;
-  while (not pool.p_stop) && pool.p_epoch = my_epoch do
-    Condition.wait pool.p_work pool.p_mutex
-  done;
-  if pool.p_stop then Mutex.unlock pool.p_mutex
-  else begin
-    let epoch = pool.p_epoch in
-    let job = Option.get pool.p_job in
-    let next = pool.p_next in
-    let n = pool.p_n in
-    let participate = pool.p_admit > 0 in
-    if participate then pool.p_admit <- pool.p_admit - 1;
-    Mutex.unlock pool.p_mutex;
-    (if participate then
-       let rec drain () =
-         let i = Atomic.fetch_and_add next 1 in
-         if i < n then begin
-           job i;
-           drain ()
-         end
-       in
-       drain ());
-    Mutex.lock pool.p_mutex;
-    pool.p_remaining <- pool.p_remaining - 1;
-    if pool.p_remaining = 0 then Condition.broadcast pool.p_done;
-    Mutex.unlock pool.p_mutex;
-    worker_loop pool epoch
-  end
-
-let pool_create () =
-  {
-    p_mutex = Mutex.create ();
-    p_work = Condition.create ();
-    p_done = Condition.create ();
-    p_domains = [];
-    p_epoch = 0;
-    p_job = None;
-    p_next = Atomic.make 0;
-    p_n = 0;
-    p_remaining = 0;
-    p_admit = 0;
-    p_stop = false;
+(* Persistent task-queue pool with an explicit lifecycle: domains survive
+   across jobs, parked on a condition variable while the queue is empty.
+   [shutdown] is a graceful drain — already-queued tasks still run, then
+   every domain exits and is joined — so callers (the DSE engine's
+   [at_exit] hook, the compile daemon's SIGTERM drain) never leak parked
+   domains.  All state is guarded by one mutex; the lock hand-offs give
+   the usual happens-before edges, so a task's writes are published to
+   whoever observes its completion via [wait]. *)
+module Pool = struct
+  type t = {
+    mutex : Mutex.t;
+    nonempty : Condition.t;  (** signalled on submit and on shutdown *)
+    drained : Condition.t;  (** signalled when queue empties and no task runs *)
+    queue : (unit -> unit) Queue.t;
+    mutable domains : unit Domain.t list;
+    mutable stop : bool;
+    mutable running : int;  (** tasks currently executing *)
   }
 
-(* grow the pool to [k] domains (never shrinks between sweeps); only
-   called between jobs, from the owning domain *)
-let pool_ensure pool k =
-  Mutex.lock pool.p_mutex;
-  let epoch = pool.p_epoch in
-  for _ = List.length pool.p_domains + 1 to k do
-    pool.p_domains <- Domain.spawn (fun () -> worker_loop pool epoch) :: pool.p_domains
-  done;
-  Mutex.unlock pool.p_mutex
-
-(* run [job] over [0, n): posts the job, works it on the calling domain,
-   then waits for every pool domain to drain.  The mutex hand-off
-   publishes the workers' writes to the caller. *)
-let pool_run pool ~n ~admit job =
-  Mutex.lock pool.p_mutex;
-  pool.p_job <- Some job;
-  pool.p_admit <- admit;
-  pool.p_next <- Atomic.make 0;
-  pool.p_n <- n;
-  pool.p_remaining <- List.length pool.p_domains;
-  pool.p_epoch <- pool.p_epoch + 1;
-  Condition.broadcast pool.p_work;
-  let next = pool.p_next in
-  Mutex.unlock pool.p_mutex;
-  let rec drain () =
-    let i = Atomic.fetch_and_add next 1 in
-    if i < n then begin
-      job i;
-      drain ()
+  let rec worker t =
+    Mutex.lock t.mutex;
+    while (not t.stop) && Queue.is_empty t.queue do
+      Condition.wait t.nonempty t.mutex
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stop && drained *)
+    else begin
+      let task = Queue.pop t.queue in
+      t.running <- t.running + 1;
+      Mutex.unlock t.mutex;
+      (try task () with _ -> ());
+      Mutex.lock t.mutex;
+      t.running <- t.running - 1;
+      if t.running = 0 && Queue.is_empty t.queue then Condition.broadcast t.drained;
+      Mutex.unlock t.mutex;
+      worker t
     end
-  in
-  drain ();
-  Mutex.lock pool.p_mutex;
-  while pool.p_remaining > 0 do
-    Condition.wait pool.p_done pool.p_mutex
-  done;
-  pool.p_job <- None;
-  Mutex.unlock pool.p_mutex
+
+  let spawn_locked t k =
+    for _ = List.length t.domains + 1 to k do
+      t.domains <- Domain.spawn (fun () -> worker t) :: t.domains
+    done
+
+  let create ?(workers = 1) () =
+    let t =
+      {
+        mutex = Mutex.create ();
+        nonempty = Condition.create ();
+        drained = Condition.create ();
+        queue = Queue.create ();
+        domains = [];
+        stop = false;
+        running = 0;
+      }
+    in
+    Mutex.lock t.mutex;
+    spawn_locked t (max 1 workers);
+    Mutex.unlock t.mutex;
+    t
+
+  let ensure t k =
+    Mutex.lock t.mutex;
+    if not t.stop then spawn_locked t k;
+    Mutex.unlock t.mutex
+
+  let size t =
+    Mutex.lock t.mutex;
+    let n = List.length t.domains in
+    Mutex.unlock t.mutex;
+    n
+
+  let alive t =
+    Mutex.lock t.mutex;
+    let a = not t.stop in
+    Mutex.unlock t.mutex;
+    a
+
+  let submit t task =
+    Mutex.lock t.mutex;
+    let accepted = not t.stop in
+    if accepted then begin
+      Queue.push task t.queue;
+      Condition.signal t.nonempty
+    end;
+    Mutex.unlock t.mutex;
+    accepted
+
+  let wait t =
+    Mutex.lock t.mutex;
+    while t.running > 0 || not (Queue.is_empty t.queue) do
+      Condition.wait t.drained t.mutex
+    done;
+    Mutex.unlock t.mutex
+
+  let shutdown t =
+    Mutex.lock t.mutex;
+    t.stop <- true;
+    (* claim the domain list under the lock: a concurrent second shutdown
+       (server drain racing at_exit) sees [] and joins nothing *)
+    let doomed = t.domains in
+    t.domains <- [];
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join doomed
+end
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
 
 type t = {
   cache : (string * point, (Flow.t, Diag.t) Stdlib.result * profile) Hashtbl.t;
       (** keyed by (base fingerprint, point) — see the module comment *)
   mutable runs : int;
-  mutable pool : pool option;
+  mutable pool : Pool.t option;
 }
 
 let shutdown t =
   match t.pool with
   | None -> ()
   | Some pool ->
-      Mutex.lock pool.p_mutex;
-      pool.p_stop <- true;
-      Condition.broadcast pool.p_work;
-      Mutex.unlock pool.p_mutex;
-      List.iter Domain.join pool.p_domains;
-      pool.p_domains <- [];
+      Pool.shutdown pool;
       t.pool <- None
 
 let create () =
@@ -384,19 +381,61 @@ let sweep ?(jobs = 1) ?max_workers t ~options design points =
     else begin
       (* reuse (and grow if needed) the engine's resident domain pool; the
          calling domain is one of the workers, so [workers - 1] domains
-         suffice *)
+         suffice.  Concurrency is capped at [workers] regardless of the
+         resident pool's size by submitting [workers - 1] driver tasks,
+         each an index-stealing loop over the todo array; extra resident
+         domains simply stay parked. *)
       let pool =
         match t.pool with
-        | Some p when not p.p_stop -> p
+        | Some p when Pool.alive p -> p
         | _ ->
-            let p = pool_create () in
+            let p = Pool.create ~workers:(workers - 1) () in
             t.pool <- Some p;
             p
       in
-      pool_ensure pool (workers - 1);
-      pool_run pool ~n ~admit:(workers - 1) (fun i ->
-          let _, p = todo.(i) in
-          out.(i) <- Some (run_point ~options design p))
+      Pool.ensure pool (workers - 1);
+      let next = Atomic.make 0 in
+      let drive () =
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            let _, p = todo.(i) in
+            out.(i) <- Some (run_point ~options design p);
+            go ()
+          end
+        in
+        go ()
+      in
+      (* per-sweep completion latch: [Pool.wait] would also wait on
+         unrelated tasks if the pool were shared, so each sweep counts its
+         own drivers down *)
+      let m = Mutex.create () in
+      let c = Condition.create () in
+      let left = ref 0 in
+      for _ = 2 to workers do
+        Mutex.lock m;
+        incr left;
+        Mutex.unlock m;
+        let accepted =
+          Pool.submit pool (fun () ->
+              drive ();
+              Mutex.lock m;
+              decr left;
+              if !left = 0 then Condition.broadcast c;
+              Mutex.unlock m)
+        in
+        if not accepted then begin
+          Mutex.lock m;
+          decr left;
+          Mutex.unlock m
+        end
+      done;
+      drive ();
+      Mutex.lock m;
+      while !left > 0 do
+        Condition.wait c m
+      done;
+      Mutex.unlock m
     end;
   Array.iteri
     (fun i (key, _) -> match out.(i) with Some rp -> Hashtbl.replace t.cache key rp | None -> ())

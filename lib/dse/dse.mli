@@ -90,6 +90,42 @@ type sweep = {
   sw_cache_hits : int;
 }
 
+(** {2 Worker pool} *)
+
+(** A persistent task-queue pool of OCaml 5 domains with an explicit
+    lifecycle.  The DSE engine schedules its sweeps on one, and the
+    compile-service daemon ([hlsc serve]) runs its job queue on one.
+    Domains park on a condition variable while the queue is empty and are
+    all joined by {!Pool.shutdown} — nothing is ever left parked forever. *)
+module Pool : sig
+  type t
+
+  val create : ?workers:int -> unit -> t
+  (** Spawn a pool of [workers] (≥ 1, default 1) resident domains. *)
+
+  val ensure : t -> int -> unit
+  (** Grow the pool to at least this many domains (never shrinks; no-op
+      after {!shutdown}). *)
+
+  val size : t -> int
+  (** Resident domain count (0 after {!shutdown}). *)
+
+  val alive : t -> bool
+  (** [false] once {!shutdown} has begun; {!submit} then refuses work. *)
+
+  val submit : t -> (unit -> unit) -> bool
+  (** Enqueue a task; returns [false] (task dropped) after {!shutdown}.
+      A task that raises is swallowed — wrap tasks that must report. *)
+
+  val wait : t -> unit
+  (** Block until the queue is empty and no task is executing. *)
+
+  val shutdown : t -> unit
+  (** Graceful drain: stop admitting, run every already-queued task,
+      then join all domains.  Idempotent and safe to race (e.g. a server
+      drain racing an [at_exit] hook). *)
+end
+
 (** {2 Engine} *)
 
 type t

@@ -1,0 +1,74 @@
+(** Client half of the compile-service protocol: connection + handshake,
+    blocking submit with live event streaming, job cancellation, stats,
+    and the [bench-serve] load generator. *)
+
+type t
+(** One connection to a daemon (handshake already verified). *)
+
+val connect : ?tcp:string * int -> socket:string -> unit -> (t, string) result
+(** Connect over the Unix-domain [socket] (or [tcp] when given), perform
+    the hello handshake and verify the daemon speaks {!Protocol.version};
+    a mismatched daemon is refused with a one-line error. *)
+
+val close : t -> unit
+
+val submit_nowait : t -> Protocol.job_spec -> (int, string) result
+(** Send a submit request and return the daemon-assigned job id as soon
+    as the [accepted] frame arrives (admission errors come back as
+    [Error]).  Follow with {!await}. *)
+
+val await :
+  ?on_event:(level:string -> string -> unit) -> t -> (Protocol.outcome, string) result
+(** Read frames until this connection's next [result] frame; [on_event]
+    fires for each streamed scheduling event in arrival order. *)
+
+val submit :
+  ?on_event:(level:string -> string -> unit) ->
+  t ->
+  Protocol.job_spec ->
+  (Protocol.outcome, string) result
+(** {!submit_nowait} then {!await}. *)
+
+val cancel : t -> int -> (bool, string) result
+(** Ask the daemon to cancel a job; [Ok found] reflects whether the job
+    was still known (queued or running). *)
+
+val stats : t -> (Protocol.json, string) result
+(** Fetch the daemon's metrics snapshot (the raw [stats] frame). *)
+
+val shutdown_server : t -> (unit, string) result
+(** Ask the daemon to drain (the SIGTERM path, but over the wire). *)
+
+(** {2 Load generator ([hlsc bench-serve])} *)
+
+type bench_result = {
+  b_clients : int;
+  b_requests : int;  (** per client, per phase *)
+  b_cold_wall_s : float;  (** wall clock of the cold phase (distinct points) *)
+  b_warm_wall_s : float;  (** wall clock of the warm phase (repeat requests) *)
+  b_cold_p50_ms : float;
+  b_cold_p95_ms : float;
+  b_warm_p50_ms : float;
+  b_warm_p95_ms : float;
+  b_cold_throughput : float;  (** requests per second, cold phase *)
+  b_warm_throughput : float;
+  b_cache_hit_rate : float;  (** cache-served fraction over both phases *)
+  b_speedup : float;  (** cold p50 / warm p50 *)
+  b_errors : int;
+}
+
+val bench :
+  socket:string ->
+  clients:int ->
+  requests:int ->
+  design:string ->
+  cmd:Protocol.cmd ->
+  unit ->
+  (bench_result, string) result
+(** Run [clients] concurrent client threads, each with its own
+    connection, through two phases: a {e cold} phase of [requests]
+    distinct configurations per client (every request a fresh compile)
+    and a {e warm} phase repeating exactly the same configurations
+    (every request a cache hit).  Latencies are per-request round trips. *)
+
+val bench_to_json : bench_result -> string

@@ -1,0 +1,42 @@
+open Hls_frontend
+
+let builtins =
+  [
+    ("example1", fun () -> Hls_designs.Example1.design ());
+    ("fir8", fun () -> Hls_designs.Fir.design ());
+    ("fir16", fun () -> Hls_designs.Fir.design ~taps:16 ());
+    ("fft", fun () -> Hls_designs.Fft.design ());
+    ("idct", fun () -> Hls_designs.Idct.design ());
+    ("sobel", fun () -> Hls_designs.Conv.design ());
+    ("dotprod", fun () -> Hls_designs.Dotprod.design ());
+    ("agc", fun () -> Hls_designs.Agc.design ());
+    ("matvec4", fun () -> Hls_designs.Matmul.design ());
+    ("matvec8", fun () -> Hls_designs.Matmul.design ~n:8 ());
+    ("idct8x8", fun () -> Hls_designs.Idct2d.design ());
+  ]
+
+let load = function
+  | `Builtin name -> (
+      match List.assoc_opt name builtins with
+      | Some f -> Ok (f ())
+      | None -> Error (Printf.sprintf "unknown design '%s' (try 'hlsc designs')" name))
+  | `Source src -> (
+      try Ok (Parser.parse_string src) with
+      | Parser.Error { line; message } | Lexer.Error { line; message } ->
+          Error (Printf.sprintf "line %d: %s" line message)
+      | Desugar.Error m | Failure m -> Error m)
+
+let local_spec name =
+  if List.mem_assoc name builtins then Ok (`Builtin name)
+  else if Filename.check_suffix name ".bhv" then
+    if Sys.file_exists name then (
+      try
+        let ic = open_in_bin name in
+        let len = in_channel_length ic in
+        let src = really_input_string ic len in
+        close_in ic;
+        Ok (`Source src)
+      with Sys_error m -> Error m)
+    else Error (Printf.sprintf "no such file: %s" name)
+  else
+    Error (Printf.sprintf "unknown design '%s' (try 'hlsc designs' or pass a .bhv file)" name)

@@ -1,0 +1,16 @@
+(** The built-in design table plus request-side design loading — shared
+    by the offline CLI and the compile-service daemon so both resolve
+    exactly the same designs. *)
+
+val builtins : (string * (unit -> Hls_frontend.Ast.design)) list
+(** Name → constructor, in the order [hlsc designs] lists them. *)
+
+val load : [ `Builtin of string | `Source of string ] -> (Hls_frontend.Ast.design, string) result
+(** Resolve a job spec's design: a built-in by name, or inline [.bhv]
+    source text parsed with the ordinary frontend.  Parse and lookup
+    failures come back as one-line messages (never raises). *)
+
+val local_spec : string -> ([ `Builtin of string | `Source of string ], string) result
+(** CLI-side resolution of a DESIGN argument for [hlsc submit]: a
+    built-in name passes through; a [.bhv] path is read so its {e
+    contents} ship to the daemon (daemon and client share no cwd). *)

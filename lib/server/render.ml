@@ -1,0 +1,26 @@
+module Flow = Hls_flow.Flow
+
+let schedule (r : Flow.t) =
+  Hls_report.Table.render (Hls_core.Scheduler.to_table r.Flow.f_sched)
+  ^ Flow.summary r ^ "\n"
+  ^ String.concat ""
+      (List.map
+         (fun a -> "  relaxation: " ^ a ^ "\n")
+         r.Flow.f_sched.Hls_core.Scheduler.s_actions)
+
+let pipeline (r : Flow.t) =
+  Hls_report.Table.render (Hls_core.Pipeline.to_table r.Flow.f_sched r.Flow.f_fold)
+  ^ Flow.summary r ^ "\n"
+
+let flow (r : Flow.t) =
+  Flow.summary r ^ "\n"
+  ^ Format.asprintf "%a@." Hls_rtl.Stats.pp_breakdown r.Flow.f_area
+  ^ (match r.Flow.f_equiv with
+    | Some v -> Hls_sim.Equiv.verdict_to_string v ^ "\n"
+    | None -> "")
+
+let output cmd r =
+  match cmd with
+  | Protocol.C_schedule -> schedule r
+  | Protocol.C_pipeline -> pipeline r
+  | Protocol.C_flow -> flow r

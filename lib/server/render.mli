@@ -1,0 +1,19 @@
+(** Canonical stdout rendering of the CLI's result-bearing commands.
+
+    [hlsc schedule]/[pipeline]/[flow] and the daemon's [submit] path both
+    print through these functions, so the served output is byte-identical
+    to the offline CLI by construction (the CI [serve-smoke] job and
+    [test_server] both enforce it). *)
+
+val schedule : Hls_flow.Flow.t -> string
+(** Binding table, flow summary line, then one ["  relaxation: ..."] line
+    per relaxation action. *)
+
+val pipeline : Hls_flow.Flow.t -> string
+(** Folded-kernel table (the Fig. 5 view) then the flow summary line. *)
+
+val flow : Hls_flow.Flow.t -> string
+(** Summary line, area/power breakdown, and the verification verdict when
+    the run verified. *)
+
+val output : Protocol.cmd -> Hls_flow.Flow.t -> string

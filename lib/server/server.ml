@@ -1,0 +1,573 @@
+(** Daemon implementation.  See the interface for the threading model;
+    the invariants that matter here:
+
+    - [t.mutex] guards the job table, admission counters, statistics and
+      the memo cache.  Rendering of results (which touches the netlist's
+      internal memo tables) happens either on the worker domain that owns
+      the fresh result or under [t.mutex] for cache hits, so no two
+      domains ever mutate one netlist concurrently.
+    - Every frame write goes through [send] (per-connection writer mutex
+      + dead-peer latch), so a client that disconnects mid-stream turns
+      into silently dropped frames, never an unhandled [EPIPE].
+    - [stop] is just an atomic flag plus one self-pipe byte: safe from a
+      signal handler.  The listener thread notices and runs the drain. *)
+
+module Flow = Hls_flow.Flow
+module Diag = Hls_diag.Diag
+module Dse = Hls_dse.Dse
+module P = Protocol
+
+type config = {
+  socket : string;
+  tcp_port : int option;
+  workers : int;
+  queue_capacity : int;
+  verbose : bool;
+}
+
+let default_config =
+  { socket = "hlsc.sock"; tcp_port = None; workers = 2; queue_capacity = 64; verbose = false }
+
+type conn = {
+  c_id : int;
+  c_fd : Unix.file_descr;
+  c_wmutex : Mutex.t;
+  mutable c_alive : bool;  (** cleared on the first failed write *)
+}
+
+type job_state = J_queued | J_running | J_done
+
+type job = {
+  j_id : int;
+  j_spec : P.job_spec;
+  j_conn : conn;
+  mutable j_state : job_state;  (** guarded by [t.mutex] *)
+  mutable j_cancelled : bool;  (** guarded by [t.mutex] *)
+}
+
+(* one memo-cache entry: the flow result plus lazily rendered per-command
+   output (rendered on the worker domain that produced the result, or
+   under [t.mutex] on a hit with a new command) *)
+type entry = {
+  e_flow : (Flow.t, Diag.t) result;
+  e_wall : float;
+  e_rendered : (P.cmd, string) Hashtbl.t;
+}
+
+type t = {
+  cfg : config;
+  listeners : Unix.file_descr list;
+  pool : Dse.Pool.t;
+  mutex : Mutex.t;
+  cache : (string * Dse.point, entry) Hashtbl.t;
+  jobs : (int, job) Hashtbl.t;
+  mutable next_job : int;
+  mutable next_conn : int;
+  mutable queued : int;
+  mutable in_flight : int;
+  mutable conns : (Thread.t * conn) list;
+  (* statistics *)
+  mutable n_submitted : int;
+  mutable n_ok : int;
+  mutable n_failed : int;
+  mutable n_cancelled : int;
+  mutable n_rejected : int;
+  mutable n_cache_hits : int;
+  mutable n_conns_total : int;
+  mutable st_passes : int;
+  mutable st_warm : int;
+  mutable st_cold : int;
+  mutable st_queries : int;
+  mutable st_actions : int;
+  started : float;
+  stop_flag : bool Atomic.t;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+}
+
+let logv t fmt =
+  Printf.ksprintf (fun s -> if t.cfg.verbose then Printf.eprintf "hlsc serve: %s\n%!" s) fmt
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* ------------------------------------------------------------------ *)
+(* Frame output *)
+
+let send conn frame =
+  Mutex.lock conn.c_wmutex;
+  (if conn.c_alive then
+     try P.write_frame conn.c_fd frame
+     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) | Sys_error _ ->
+       conn.c_alive <- false);
+  Mutex.unlock conn.c_wmutex
+
+let error_frame ?job ~code msg =
+  P.Obj
+    ((match job with Some id -> [ ("job", P.Int id) ] | None -> [])
+    @ [ ("type", P.String "error"); ("code", P.String code); ("message", P.String msg) ])
+
+(* ------------------------------------------------------------------ *)
+(* Job execution *)
+
+let options_of_spec (js : P.job_spec) =
+  {
+    Flow.default_options with
+    Flow.ii = js.P.js_ii;
+    clock_ps = js.P.js_clock_ps;
+    min_latency = js.P.js_min_latency;
+    max_latency = js.P.js_max_latency;
+    verify = js.P.js_verify;
+    sched =
+      {
+        Hls_core.Scheduler.default_options with
+        max_passes =
+          Option.value js.P.js_max_passes
+            ~default:Hls_core.Scheduler.default_options.Hls_core.Scheduler.max_passes;
+        timeout_s = js.P.js_timeout_s;
+      };
+  }
+
+let point_of_spec (js : P.job_spec) =
+  Dse.point ?ii:js.P.js_ii ?min_latency:js.P.js_min_latency ?max_latency:js.P.js_max_latency
+    ~clock_ps:js.P.js_clock_ps ()
+
+(* render under the caller's exclusivity guarantee (worker domain owning a
+   fresh result, or [t.mutex] held for a shared cached one) *)
+let rendered entry cmd =
+  match Hashtbl.find_opt entry.e_rendered cmd with
+  | Some s -> s
+  | None ->
+      let s = match entry.e_flow with Ok f -> Render.output cmd f | Error _ -> "" in
+      Hashtbl.replace entry.e_rendered cmd s;
+      s
+
+let result_frame t job ~cached ~wall entry =
+  let base = [ ("type", P.String "result"); ("job", P.Int job.j_id) ] in
+  match entry.e_flow with
+  | Ok f ->
+      let output = rendered entry job.j_spec.P.js_cmd in
+      P.Obj
+        (base
+        @ [
+            ("status", P.String "ok");
+            ("output", P.String output);
+            ("summary", P.String (Flow.summary f));
+            ("tier", P.String (Flow.tier_to_string f.Flow.f_tier));
+            ("notes", P.List (List.map (fun n -> P.String (Diag.to_string n)) f.Flow.f_notes));
+            ("cached", P.Bool cached);
+            ("wall_s", P.Float wall);
+            ("li", P.Int f.Flow.f_sched.Hls_core.Scheduler.s_li);
+            ("ii", P.Int f.Flow.f_cycles_per_iter);
+            ("delay_ps", P.Float f.Flow.f_delay_ps);
+            ("area", P.Float f.Flow.f_area.Hls_rtl.Stats.a_total);
+            ("power_mw", P.Float f.Flow.f_power_mw);
+          ])
+  | Error d ->
+      ignore t;
+      P.Obj
+        (base
+        @ [
+            ("status", P.String "error");
+            ("diag", P.String (Diag.to_string d));
+            ("diag_json", P.String (Diag.to_json d));
+            ("code", P.String d.Diag.d_code);
+            ("cached", P.Bool cached);
+            ("wall_s", P.Float wall);
+          ])
+
+let cancelled_frame job =
+  P.Obj
+    [
+      ("type", P.String "result");
+      ("job", P.Int job.j_id);
+      ("status", P.String "cancelled");
+      ("cached", P.Bool false);
+      ("wall_s", P.Float 0.0);
+    ]
+
+let account t = function
+  | Ok (f : Flow.t) ->
+      let st = f.Flow.f_stats in
+      t.n_ok <- t.n_ok + 1;
+      t.st_passes <- t.st_passes + st.Hls_core.Scheduler.st_passes;
+      t.st_warm <- t.st_warm + st.Hls_core.Scheduler.st_warm_passes;
+      t.st_cold <- t.st_cold + st.Hls_core.Scheduler.st_cold_passes;
+      t.st_queries <- t.st_queries + st.Hls_core.Scheduler.st_queries;
+      t.st_actions <- t.st_actions + st.Hls_core.Scheduler.st_actions
+  | Error _ -> t.n_failed <- t.n_failed + 1
+
+(* runs on a worker domain *)
+let exec_job t job =
+  let finish_state () =
+    locked t (fun () ->
+        job.j_state <- J_done;
+        t.in_flight <- t.in_flight - 1;
+        Hashtbl.remove t.jobs job.j_id)
+  in
+  let cancelled_at_start =
+    locked t (fun () ->
+        t.queued <- t.queued - 1;
+        t.in_flight <- t.in_flight + 1;
+        if job.j_cancelled then true
+        else begin
+          job.j_state <- J_running;
+          false
+        end)
+  in
+  if cancelled_at_start then begin
+    locked t (fun () -> t.n_cancelled <- t.n_cancelled + 1);
+    send job.j_conn (cancelled_frame job);
+    finish_state ()
+  end
+  else begin
+    let spec = job.j_spec in
+    match Design_db.load spec.P.js_design with
+    | Error m ->
+        locked t (fun () -> t.n_failed <- t.n_failed + 1);
+        send job.j_conn (error_frame ~job:job.j_id ~code:"bad_design" m);
+        finish_state ()
+    | Ok design ->
+        let options = options_of_spec spec in
+        let key = (Dse.base_fingerprint ~options design, point_of_spec spec) in
+        let hit = locked t (fun () -> Hashtbl.find_opt t.cache key) in
+        (match hit with
+        | Some entry ->
+            let frame =
+              locked t (fun () ->
+                  t.n_cache_hits <- t.n_cache_hits + 1;
+                  (* outcome counters track served results; the st_* pass
+                     counters stay untouched — no scheduling ran *)
+                  (match entry.e_flow with
+                  | Ok _ -> t.n_ok <- t.n_ok + 1
+                  | Error _ -> t.n_failed <- t.n_failed + 1);
+                  result_frame t job ~cached:true ~wall:entry.e_wall entry)
+            in
+            send job.j_conn frame
+        | None ->
+            let trace =
+              if spec.P.js_trace then
+                Some
+                  (Hls_core.Trace.create
+                     ~sink:(fun level text ->
+                       send job.j_conn
+                         (P.Obj
+                            [
+                              ("type", P.String "event");
+                              ("job", P.Int job.j_id);
+                              ("level", P.String (Hls_core.Trace.level_to_string level));
+                              ("text", P.String text);
+                            ]))
+                     ())
+              else None
+            in
+            let t0 = Unix.gettimeofday () in
+            let flow = Flow.run ~options ?trace design in
+            let wall = Unix.gettimeofday () -. t0 in
+            let entry = { e_flow = flow; e_wall = wall; e_rendered = Hashtbl.create 4 } in
+            (* render on this domain while we exclusively own the result *)
+            ignore (rendered entry spec.P.js_cmd);
+            let was_cancelled =
+              locked t (fun () ->
+                  Hashtbl.replace t.cache key entry;
+                  account t flow;
+                  job.j_cancelled)
+            in
+            if was_cancelled then begin
+              locked t (fun () -> t.n_cancelled <- t.n_cancelled + 1);
+              send job.j_conn (cancelled_frame job)
+            end
+            else send job.j_conn (result_frame t job ~cached:false ~wall entry));
+        finish_state ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Request handling (connection threads) *)
+
+let stats_frame t =
+  locked t (fun () ->
+      P.Obj
+        [
+          ("type", P.String "stats");
+          ("proto", P.Int P.version);
+          ("version", P.String P.binary_version);
+          ("uptime_s", P.Float (Unix.gettimeofday () -. t.started));
+          ("workers", P.Int t.cfg.workers);
+          ("queue_depth", P.Int t.queued);
+          ("in_flight", P.Int t.in_flight);
+          ("queue_capacity", P.Int t.cfg.queue_capacity);
+          ("draining", P.Bool (Atomic.get t.stop_flag));
+          ("connections_active", P.Int (List.length t.conns));
+          ("connections_total", P.Int t.n_conns_total);
+          ( "jobs",
+            P.Obj
+              [
+                ("submitted", P.Int t.n_submitted);
+                ("ok", P.Int t.n_ok);
+                ("failed", P.Int t.n_failed);
+                ("cancelled", P.Int t.n_cancelled);
+                ("rejected", P.Int t.n_rejected);
+              ] );
+          ( "cache",
+            P.Obj [ ("entries", P.Int (Hashtbl.length t.cache)); ("hits", P.Int t.n_cache_hits) ]
+          );
+          ( "sched",
+            P.Obj
+              [
+                ("passes", P.Int t.st_passes);
+                ("warm_passes", P.Int t.st_warm);
+                ("cold_passes", P.Int t.st_cold);
+                ("queries", P.Int t.st_queries);
+                ("actions", P.Int t.st_actions);
+              ] );
+        ])
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then
+    (* one byte down the self-pipe wakes the listener's select; writing
+       to a pipe is async-signal-safe, so this is the SIGTERM body *)
+    try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1) with Unix.Unix_error _ -> ()
+
+let handle_submit t conn spec =
+  let verdict =
+    locked t (fun () ->
+        if Atomic.get t.stop_flag then Error ("draining", "daemon is draining; resubmit elsewhere")
+        else if t.queued >= t.cfg.queue_capacity then
+          Error
+            ( "queue_full",
+              Printf.sprintf "admission queue is full (%d job(s) pending)" t.queued )
+        else begin
+          let id = t.next_job in
+          t.next_job <- t.next_job + 1;
+          t.n_submitted <- t.n_submitted + 1;
+          t.queued <- t.queued + 1;
+          let job = { j_id = id; j_spec = spec; j_conn = conn; j_state = J_queued; j_cancelled = false } in
+          Hashtbl.replace t.jobs id job;
+          Ok job
+        end)
+  in
+  match verdict with
+  | Error (code, msg) ->
+      locked t (fun () -> t.n_rejected <- t.n_rejected + 1);
+      send conn (error_frame ~code msg)
+  | Ok job ->
+      send conn (P.Obj [ ("type", P.String "accepted"); ("job", P.Int job.j_id) ]);
+      let accepted = Dse.Pool.submit t.pool (fun () -> exec_job t job) in
+      if not accepted then begin
+        (* pool already draining: roll the admission back *)
+        locked t (fun () ->
+            t.queued <- t.queued - 1;
+            Hashtbl.remove t.jobs job.j_id);
+        send conn (error_frame ~job:job.j_id ~code:"draining" "daemon is draining")
+      end
+
+let handle_cancel t conn id =
+  let found =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.jobs id with
+        | Some job ->
+            job.j_cancelled <- true;
+            true
+        | None -> false)
+  in
+  send conn (P.Obj [ ("type", P.String "cancelling"); ("job", P.Int id); ("found", P.Bool found) ])
+
+let hello_frame =
+  P.Obj
+    [
+      ("type", P.String "hello");
+      ("proto", P.Int P.version);
+      ("version", P.String P.binary_version);
+    ]
+
+let conn_loop t conn =
+  let greeted = ref false in
+  let continue = ref true in
+  while !continue && conn.c_alive do
+    match P.read_frame conn.c_fd with
+    | Error P.F_eof -> continue := false
+    | Error (P.F_oversized n) ->
+        send conn
+          (error_frame ~code:"frame_too_large"
+             (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n P.max_frame))
+    | Error (P.F_bad_json m) -> send conn (error_frame ~code:"bad_json" m)
+    | Ok json -> (
+        match P.request_of_json json with
+        | Error m -> send conn (error_frame ~code:"bad_request" m)
+        | Ok (P.Hello v) ->
+            if v = P.version then begin
+              greeted := true;
+              send conn hello_frame
+            end
+            else begin
+              send conn
+                (error_frame ~code:"proto_mismatch"
+                   (Printf.sprintf "daemon speaks protocol %d, client sent %d" P.version v));
+              continue := false
+            end
+        | Ok _ when not !greeted ->
+            send conn (error_frame ~code:"hello_required" "open the session with a hello frame")
+        | Ok (P.Submit spec) -> handle_submit t conn spec
+        | Ok (P.Cancel id) -> handle_cancel t conn id
+        | Ok P.Stats -> send conn (stats_frame t)
+        | Ok P.Shutdown ->
+            send conn (P.Obj [ ("type", P.String "draining") ]);
+            stop t)
+  done;
+  conn.c_alive <- false;
+  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+  locked t (fun () -> t.conns <- List.filter (fun (_, c) -> c.c_id <> conn.c_id) t.conns);
+  logv t "connection %d closed" conn.c_id
+
+(* ------------------------------------------------------------------ *)
+(* Listener + lifecycle *)
+
+let bind_unix path =
+  if Sys.file_exists path then begin
+    (* a previous daemon may have crashed without unlinking; refuse only
+       if something is still accepting there *)
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      try
+        Unix.connect probe (Unix.ADDR_UNIX path);
+        true
+      with Unix.Unix_error _ -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    if live then failwith (Printf.sprintf "socket %s is already served by a live daemon" path);
+    Sys.remove path
+  end;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let bind_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+let create cfg =
+  try
+    let unix_l = bind_unix cfg.socket in
+    let listeners =
+      match cfg.tcp_port with
+      | None -> [ unix_l ]
+      | Some port -> (
+          try [ unix_l; bind_tcp port ]
+          with e ->
+            (try Unix.close unix_l with Unix.Unix_error _ -> ());
+            (try Sys.remove cfg.socket with Sys_error _ -> ());
+            raise e)
+    in
+    let stop_r, stop_w = Unix.pipe () in
+    Ok
+      {
+        cfg = { cfg with workers = max 1 cfg.workers };
+        listeners;
+        pool = Dse.Pool.create ~workers:(max 1 cfg.workers) ();
+        mutex = Mutex.create ();
+        cache = Hashtbl.create 64;
+        jobs = Hashtbl.create 16;
+        next_job = 1;
+        next_conn = 1;
+        queued = 0;
+        in_flight = 0;
+        conns = [];
+        n_submitted = 0;
+        n_ok = 0;
+        n_failed = 0;
+        n_cancelled = 0;
+        n_rejected = 0;
+        n_cache_hits = 0;
+        n_conns_total = 0;
+        st_passes = 0;
+        st_warm = 0;
+        st_cold = 0;
+        st_queries = 0;
+        st_actions = 0;
+        started = Unix.gettimeofday ();
+        stop_flag = Atomic.make false;
+        stop_r;
+        stop_w;
+      }
+  with
+  | Failure m -> Error m
+  | Unix.Unix_error (e, fn, arg) ->
+      Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+  | Sys_error m -> Error m
+
+let accept_one t listener =
+  match Unix.accept listener with
+  | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.ECONNABORTED), _, _) -> ()
+  | fd, _ ->
+      let conn =
+        locked t (fun () ->
+            let id = t.next_conn in
+            t.next_conn <- t.next_conn + 1;
+            t.n_conns_total <- t.n_conns_total + 1;
+            { c_id = id; c_fd = fd; c_wmutex = Mutex.create (); c_alive = true })
+      in
+      logv t "connection %d accepted" conn.c_id;
+      let th = Thread.create (fun () -> conn_loop t conn) () in
+      locked t (fun () -> t.conns <- (th, conn) :: t.conns)
+
+let drain t =
+  logv t "draining: %d queued, %d in flight"
+    (locked t (fun () -> t.queued))
+    (locked t (fun () -> t.in_flight));
+  (* 1. no new connections *)
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+  (try Sys.remove t.cfg.socket with Sys_error _ -> ());
+  (* 2. finish queued + in-flight jobs, join every worker domain *)
+  Dse.Pool.shutdown t.pool;
+  (* 3. unblock and join the connection threads *)
+  let conns = locked t (fun () -> t.conns) in
+  List.iter
+    (fun (_, c) -> try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  List.iter (fun (th, _) -> Thread.join th) conns;
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+  (* 4. flush the cache/job statistics *)
+  Printf.eprintf
+    "hlsc serve: drained after %.1fs — %d job(s): %d ok, %d failed, %d cancelled, %d rejected; \
+     cache: %d entries, %d hit(s); passes: %d (%d warm / %d cold)\n%!"
+    (Unix.gettimeofday () -. t.started)
+    t.n_submitted t.n_ok t.n_failed t.n_cancelled t.n_rejected (Hashtbl.length t.cache)
+    t.n_cache_hits t.st_passes t.st_warm t.st_cold
+
+let serve t =
+  let rec loop () =
+    if not (Atomic.get t.stop_flag) then begin
+      match Unix.select (t.stop_r :: t.listeners) [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | readable, _, _ ->
+          if List.mem t.stop_r readable then () (* drain request *)
+          else begin
+            List.iter (fun l -> if List.mem l readable then accept_one t l) t.listeners;
+            loop ()
+          end
+    end
+  in
+  loop ();
+  Atomic.set t.stop_flag true;
+  drain t
+
+let run cfg =
+  match create cfg with
+  | Error m -> Error m
+  | Ok t ->
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop t));
+      Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop t));
+      Printf.eprintf "hlsc serve: listening on %s%s (%d worker(s), protocol %d)\n%!" cfg.socket
+        (match cfg.tcp_port with
+        | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+        | None -> "")
+        (max 1 cfg.workers) P.version;
+      serve t;
+      Ok ()

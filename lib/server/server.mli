@@ -1,0 +1,50 @@
+(** The compile-service daemon behind [hlsc serve].
+
+    A persistent process that accepts framed JSON requests (see
+    {!Protocol}) over a Unix-domain socket (and optionally loopback TCP),
+    schedules compile jobs onto a {!Hls_dse.Dse.Pool} of resident worker
+    domains, shares one memo cache across every client for the process
+    lifetime (the PR 4 two-level fingerprint key), streams scheduling
+    events to the submitting client while a job runs, and drains
+    gracefully on SIGTERM — stop admitting, finish in-flight and queued
+    jobs, flush cache statistics, join every domain, unlink the socket.
+
+    Concurrency model: one listener thread (the caller of {!serve}), one
+    thread per client connection doing framed I/O, and [workers] domains
+    executing jobs.  A per-connection writer mutex serializes frames, so
+    events of concurrent jobs interleave only at frame granularity. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path (created; unlinked on drain) *)
+  tcp_port : int option;  (** also listen on 127.0.0.1:port *)
+  workers : int;  (** worker-domain count (≥ 1) *)
+  queue_capacity : int;
+      (** admission control: jobs queued-but-not-started beyond this are
+          refused with a typed [queue_full] error *)
+  verbose : bool;  (** log connection/job lifecycle to stderr *)
+}
+
+val default_config : config
+(** [{socket = "hlsc.sock"; tcp_port = None; workers = 2;
+     queue_capacity = 64; verbose = false}] *)
+
+type t
+
+val create : config -> (t, string) result
+(** Bind the listening sockets and spawn the worker pool.  Fails (with a
+    one-line message) if a socket cannot be bound — e.g. the path is
+    already in use by a live daemon. *)
+
+val serve : t -> unit
+(** Run the accept loop until {!stop} (or a handled signal) triggers the
+    drain; returns only after the drain completes: all jobs finished,
+    every domain joined, sockets closed and unlinked. *)
+
+val stop : t -> unit
+(** Request a graceful drain.  Async-signal-safe (a flag plus a self-pipe
+    write), so it is also the SIGTERM/SIGINT handler body; callable from
+    any thread.  Idempotent. *)
+
+val run : config -> (unit, string) result
+(** [create], install SIGTERM/SIGINT handlers (and ignore SIGPIPE), log
+    the listening address, then {!serve}. *)

@@ -1,0 +1,44 @@
+#!/bin/sh
+# Exit-code contract of the hlsc CLI:
+#   0   — success
+#   1   — typed diagnostic or bad input (unknown design, parse error,
+#         overconstrained spec with --no-degrade, lint failure on emit)
+#   124 — command-line misuse (cmdliner's CLI-error code: bad flag,
+#         missing argument, unknown subcommand)
+# Run from the repository root.
+set -u
+
+HLSC="dune exec --no-build bin/hlsc.exe --"
+dune build bin/hlsc.exe || exit 1
+
+fail=0
+expect() {
+  want=$1; label=$2; shift 2
+  $HLSC "$@" >/dev/null 2>&1
+  got=$?
+  if [ "$got" -eq "$want" ]; then
+    echo "ok   $label -> $got"
+  else
+    echo "FAIL $label: expected exit $want, got $got" >&2
+    fail=1
+  fi
+}
+
+# success paths
+expect 0 "schedule ok"            schedule example1 --ii 2
+expect 0 "designs ok"             designs
+expect 0 "version ok"             version
+
+# typed diagnostics and bad inputs -> 1
+expect 1 "unknown design"         schedule no_such_design
+expect 1 "missing .bhv file"      schedule missing_file.bhv
+expect 1 "overconstrained spec"   schedule example1 --ii 1 --latency 1..1 --no-degrade
+expect 1 "bad latency bounds"     schedule example1 --latency nonsense
+expect 1 "bad --jobs"             explore example1 --jobs 0
+
+# command-line misuse -> cmdliner's 124
+expect 124 "bad flag"             schedule example1 --no-such-flag
+expect 124 "unknown subcommand"   frobnicate
+expect 124 "missing argument"     schedule
+
+[ "$fail" -eq 0 ] && echo "exit-code contract OK" || exit 1

@@ -1,0 +1,69 @@
+#!/bin/sh
+# End-to-end smoke test of the compile-service daemon: start `hlsc serve`,
+# submit a spread of designs through `hlsc submit`, require the streamed
+# results to be byte-identical to the offline CLI, then drain with SIGTERM
+# and check nothing leaked (exit 0, socket unlinked).  Run from the
+# repository root; CI runs it in the serve-smoke job.
+set -eu
+
+HLSC="dune exec --no-build bin/hlsc.exe --"
+dune build bin/hlsc.exe
+
+dir=$(mktemp -d)
+sock="$dir/hlsc.sock"
+trap 'rm -rf "$dir"' EXIT
+
+$HLSC serve --socket "$sock" --jobs 2 >"$dir/serve.log" 2>&1 &
+serve_pid=$!
+
+# wait for the socket to appear (the daemon binds before accepting)
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  [ "$i" -le 50 ] || { echo "daemon never bound $sock" >&2; cat "$dir/serve.log" >&2; exit 1; }
+  sleep 0.1
+done
+
+fail=0
+check_identical() {
+  # $1 = label, rest = command + design + flags
+  label=$1; shift
+  $HLSC submit "$@" --socket "$sock" >"$dir/sub.out" 2>"$dir/sub.err" || {
+    echo "FAIL $label: submit exited $?" >&2; sed 's/^/  /' "$dir/sub.err" >&2; fail=1; return
+  }
+  $HLSC "$@" >"$dir/off.out" 2>/dev/null || { echo "FAIL $label: offline exited $?" >&2; fail=1; return; }
+  if diff -u "$dir/off.out" "$dir/sub.out" >"$dir/diff.out"; then
+    echo "ok   $label"
+  else
+    echo "FAIL $label: submit differs from offline CLI" >&2
+    sed 's/^/  /' "$dir/diff.out" >&2
+    fail=1
+  fi
+}
+
+check_identical "schedule example1 --ii 2"   schedule example1 --ii 2
+check_identical "schedule fir8"              schedule fir8
+check_identical "pipeline fir8 --ii 1"       pipeline fir8 --ii 1
+check_identical "pipeline dotprod --ii 2"    pipeline dotprod --ii 2
+check_identical "flow fft"                   flow fft
+check_identical "flow idct --latency 8..8 --clock 1200" flow idct --latency 8..8 --clock 1200
+check_identical "schedule examples/satacc.bhv --ii 2" schedule examples/satacc.bhv --ii 2
+
+# second pass: every request must now be a cache hit with identical bytes
+check_identical "schedule example1 --ii 2 (cached)" schedule example1 --ii 2
+check_identical "flow fft (cached)"                 flow fft
+
+stats=$($HLSC stats --socket "$sock")
+echo "stats: $stats"
+case $stats in
+  *'"hits":0'*) echo "FAIL: cache served no hits after repeat submits" >&2; fail=1 ;;
+esac
+
+# graceful drain: SIGTERM, clean exit, socket unlinked
+kill -TERM "$serve_pid"
+serve_rc=0
+wait "$serve_pid" || serve_rc=$?
+[ "$serve_rc" -eq 0 ] || { echo "FAIL: daemon exited $serve_rc on SIGTERM" >&2; cat "$dir/serve.log" >&2; fail=1; }
+[ ! -e "$sock" ] || { echo "FAIL: socket still bound after drain" >&2; fail=1; }
+
+[ "$fail" -eq 0 ] && echo "serve smoke OK" || exit 1

@@ -132,9 +132,72 @@ let test_validate_jobs () =
       | Error _ -> Alcotest.failf "jobs=%d rejected" n)
     [ 1; 4 ]
 
+(* Pool lifecycle: shutdown joins every domain, refuses late work, and is
+   idempotent; wait drains without stopping. *)
+let test_pool_lifecycle () =
+  let pool = Hls_dse.Dse.Pool.create ~workers:3 () in
+  Alcotest.(check int) "resident domains" 3 (Hls_dse.Dse.Pool.size pool);
+  Alcotest.(check bool) "alive" true (Hls_dse.Dse.Pool.alive pool);
+  let hits = Atomic.make 0 in
+  for _ = 1 to 32 do
+    let accepted = Hls_dse.Dse.Pool.submit pool (fun () -> Atomic.incr hits) in
+    Alcotest.(check bool) "submit accepted while alive" true accepted
+  done;
+  Hls_dse.Dse.Pool.wait pool;
+  Alcotest.(check int) "all tasks ran" 32 (Atomic.get hits);
+  Alcotest.(check bool) "still alive after wait" true (Hls_dse.Dse.Pool.alive pool);
+  Hls_dse.Dse.Pool.shutdown pool;
+  Alcotest.(check bool) "dead after shutdown" false (Hls_dse.Dse.Pool.alive pool);
+  Alcotest.(check int) "no resident domains" 0 (Hls_dse.Dse.Pool.size pool);
+  Alcotest.(check bool) "late submit refused" false
+    (Hls_dse.Dse.Pool.submit pool (fun () -> Atomic.incr hits));
+  Hls_dse.Dse.Pool.shutdown pool;
+  Alcotest.(check int) "late task never ran" 32 (Atomic.get hits)
+
+(* Queued tasks still run during a drain: shutdown finishes the backlog
+   rather than dropping it. *)
+let test_pool_drains_backlog () =
+  let pool = Hls_dse.Dse.Pool.create ~workers:1 () in
+  let ran = Atomic.make 0 in
+  let gate = Mutex.create () in
+  Mutex.lock gate;
+  ignore
+    (Hls_dse.Dse.Pool.submit pool (fun () ->
+         Mutex.lock gate;
+         Mutex.unlock gate;
+         Atomic.incr ran));
+  for _ = 1 to 5 do
+    ignore (Hls_dse.Dse.Pool.submit pool (fun () -> Atomic.incr ran))
+  done;
+  (* backlog of 6 with the first task blocked; release and drain *)
+  Mutex.unlock gate;
+  Hls_dse.Dse.Pool.shutdown pool;
+  Alcotest.(check int) "backlog completed during shutdown" 6 (Atomic.get ran)
+
+(* Engine shutdown tears the resident pool down and a later sweep
+   transparently rebuilds it. *)
+let test_engine_pool_rebuild () =
+  let engine = Dse.create () in
+  let design = Hls_designs.Example1.design () in
+  let options = { Hls_flow.Flow.default_options with verify = false } in
+  let grid =
+    match Dse.parse_grid "ii=2,4;latency=none;clock=1600" with
+    | Ok g -> g
+    | Error m -> Alcotest.fail m
+  in
+  let s1 = Dse.sweep ~jobs:2 engine ~options design (Dse.grid_points grid) in
+  Dse.shutdown engine;
+  let s2 = Dse.sweep ~jobs:2 engine ~options design (Dse.grid_points grid) in
+  Dse.shutdown engine;
+  Alcotest.(check int) "same point count after rebuild"
+    (List.length s1.Dse.sw_results) (List.length s2.Dse.sw_results)
+
 let suite =
   [
     Alcotest.test_case "determinism across worker counts" `Quick test_determinism_across_jobs;
+    Alcotest.test_case "pool lifecycle" `Quick test_pool_lifecycle;
+    Alcotest.test_case "pool drains its backlog" `Quick test_pool_drains_backlog;
+    Alcotest.test_case "engine pool rebuild after shutdown" `Quick test_engine_pool_rebuild;
     Alcotest.test_case "--jobs validation" `Quick test_validate_jobs;
     Alcotest.test_case "memo cache: zero re-runs" `Quick test_cache_hits;
     Alcotest.test_case "overlapping and duplicated sweeps" `Quick test_overlapping_sweep;

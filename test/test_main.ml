@@ -33,4 +33,5 @@ let () =
       ("faults", Test_faults.suite);
       ("dse", Test_dse.suite);
       ("netlist", Test_netlist.suite);
+      ("server", Test_server.suite);
     ]

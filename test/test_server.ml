@@ -1,0 +1,366 @@
+(** Compile-service daemon tests: run a real [Server.t] in-process on a
+    throwaway Unix socket and exercise it through [Client] plus raw
+    frames — byte-identity with the offline CLI rendering, cache-hit
+    determinism, cancellation, and the protocol fault matrix (malformed
+    frame, oversized frame, version mismatch). *)
+
+module Server = Hls_server.Server
+module Client = Hls_server.Client
+module P = Hls_server.Protocol
+module Render = Hls_server.Render
+module Design_db = Hls_server.Design_db
+module Flow = Hls_flow.Flow
+
+let sock_counter = ref 0
+
+let fresh_socket () =
+  incr sock_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "hlsc_test_%d_%d.sock" (Unix.getpid ()) !sock_counter)
+
+let with_server ?(workers = 2) ?(queue_capacity = 64) f =
+  let socket = fresh_socket () in
+  let cfg = { Server.default_config with Server.socket; workers; queue_capacity } in
+  match Server.create cfg with
+  | Error m -> Alcotest.failf "server create: %s" m
+  | Ok srv ->
+      let th = Thread.create Server.serve srv in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop srv;
+          Thread.join th;
+          if Sys.file_exists socket then Alcotest.fail "socket left bound after drain")
+        (fun () -> f socket)
+
+let connect socket =
+  match Client.connect ~socket () with
+  | Ok c -> c
+  | Error m -> Alcotest.failf "connect: %s" m
+
+let ok_outcome = function
+  | Ok (o : P.outcome) ->
+      if o.P.o_status <> P.S_ok then
+        Alcotest.failf "job %d not ok: %s" o.P.o_job
+          (Option.value o.P.o_diag ~default:(P.status_to_string o.P.o_status));
+      o
+  | Error m -> Alcotest.failf "submit: %s" m
+
+(* the offline CLI's stdout for a spec: same options the daemon derives,
+   same shared renderer — what [hlsc schedule/pipeline/flow] prints *)
+let offline_output (spec : P.job_spec) =
+  let design =
+    match Design_db.load spec.P.js_design with
+    | Ok d -> d
+    | Error m -> Alcotest.failf "load: %s" m
+  in
+  let options =
+    {
+      Flow.default_options with
+      Flow.ii = spec.P.js_ii;
+      clock_ps = spec.P.js_clock_ps;
+      min_latency = spec.P.js_min_latency;
+      max_latency = spec.P.js_max_latency;
+      verify = spec.P.js_verify;
+    }
+  in
+  match Flow.run ~options design with
+  | Ok r -> Render.output spec.P.js_cmd r
+  | Error d -> Alcotest.failf "offline flow failed: %s" (Hls_diag.Diag.to_string d)
+
+let test_byte_identity () =
+  with_server @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  List.iter
+    (fun (cmd, design, ii) ->
+      let spec = P.job_spec ?ii cmd (`Builtin design) in
+      let o = ok_outcome (Client.submit c spec) in
+      Alcotest.(check string)
+        (Printf.sprintf "%s %s" (P.cmd_to_string cmd) design)
+        (offline_output spec) o.P.o_output)
+    [ (P.C_schedule, "example1", Some 2); (P.C_pipeline, "fir8", Some 1); (P.C_flow, "fft", None) ]
+
+let test_cache_hit_determinism () =
+  with_server @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let spec = P.job_spec ~ii:2 P.C_schedule (`Builtin "example1") in
+  let first = ok_outcome (Client.submit c spec) in
+  Alcotest.(check bool) "first is a cold compile" false first.P.o_cached;
+  let second = ok_outcome (Client.submit c spec) in
+  Alcotest.(check bool) "second served from cache" true second.P.o_cached;
+  Alcotest.(check string) "identical bytes" first.P.o_output second.P.o_output;
+  (* same design, different command: flow reuses the cached schedule entry *)
+  let flow_spec = P.job_spec ~ii:2 P.C_flow (`Builtin "example1") in
+  let third = ok_outcome (Client.submit c flow_spec) in
+  Alcotest.(check bool) "other command re-renders the cached flow" true third.P.o_cached
+
+let test_inline_source () =
+  with_server @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let src =
+    "design wire_acc {\n" ^ "  in  sample : 12;\n" ^ "  out total  : 16;\n"
+    ^ "  var acc    : 16;\n" ^ "  acc = 0;\n" ^ "  wait();\n"
+    ^ "  do [name=main, latency=1..6, ii=2] {\n" ^ "    acc = acc + $sample;\n"
+    ^ "    wait();\n" ^ "    $total = acc;\n" ^ "  } while (1);\n" ^ "}\n"
+  in
+  let spec = P.job_spec P.C_schedule (`Source src) in
+  match Client.submit c spec with
+  | Ok o ->
+      Alcotest.(check bool)
+        ("inline source compiles: " ^ Option.value o.P.o_diag ~default:"")
+        true (o.P.o_status = P.S_ok)
+  | Error m -> Alcotest.failf "inline submit: %s" m
+
+let test_bad_design () =
+  with_server @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match Client.submit c (P.job_spec P.C_schedule (`Builtin "no_such_design")) with
+  | Ok _ -> Alcotest.fail "unknown design accepted"
+  | Error m ->
+      Alcotest.(check bool) ("typed bad_design error: " ^ m) true
+        (String.length m >= 10 && String.sub m 0 10 = "bad_design");
+      (* the daemon must still be serving *)
+      ignore (ok_outcome (Client.submit c (P.job_spec ~ii:2 P.C_schedule (`Builtin "example1"))))
+
+let test_cancellation () =
+  (* one worker: the first job occupies it, the second sits in the queue
+     where cancellation is deterministic *)
+  with_server ~workers:1 @@ fun socket ->
+  let c1 = connect socket in
+  let c2 = connect socket in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close c1;
+      Client.close c2)
+  @@ fun () ->
+  let long = P.job_spec ~verify:true P.C_flow (`Builtin "idct") in
+  let quick = P.job_spec ~ii:2 P.C_schedule (`Builtin "example1") in
+  let id1 =
+    match Client.submit_nowait c1 long with
+    | Ok id -> id
+    | Error m -> Alcotest.failf "submit long: %s" m
+  in
+  ignore id1;
+  let id2 =
+    match Client.submit_nowait c1 quick with
+    | Ok id -> id
+    | Error m -> Alcotest.failf "submit queued: %s" m
+  in
+  (match Client.cancel c2 id2 with
+  | Ok found -> Alcotest.(check bool) "queued job was found" true found
+  | Error m -> Alcotest.failf "cancel: %s" m);
+  let o1 = match Client.await c1 with Ok o -> o | Error m -> Alcotest.failf "await 1: %s" m in
+  let o2 = match Client.await c1 with Ok o -> o | Error m -> Alcotest.failf "await 2: %s" m in
+  (* results arrive in completion order on this connection; sort by id *)
+  let long_o, quick_o = if o1.P.o_job = id2 then (o2, o1) else (o1, o2) in
+  Alcotest.(check bool) "long job completed" true (long_o.P.o_status = P.S_ok);
+  Alcotest.(check bool) "queued job cancelled" true (quick_o.P.o_status = P.S_cancelled);
+  (* daemon keeps serving after a cancellation *)
+  ignore (ok_outcome (Client.submit c2 quick))
+
+let test_concurrent_clients () =
+  with_server ~workers:2 @@ fun socket ->
+  let errors = Atomic.make 0 in
+  let worker i =
+    match Client.connect ~socket () with
+    | Error _ -> Atomic.incr errors
+    | Ok c ->
+        Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+        let spec =
+          P.job_spec ~ii:2 ~verify:false
+            ~clock_ps:(1600.0 +. float_of_int i)
+            P.C_schedule (`Builtin "example1")
+        in
+        (match Client.submit c spec with
+        | Ok o when o.P.o_status = P.S_ok -> ()
+        | _ -> Atomic.incr errors)
+  in
+  let threads = List.init 6 (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  Alcotest.(check int) "no client failed" 0 (Atomic.get errors)
+
+(* ---- raw-frame fault matrix ---- *)
+
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let raw_hello fd =
+  P.write_frame fd (P.request_to_json (P.Hello P.version));
+  match P.read_frame fd with
+  | Ok j when P.member "type" j = Some (P.String "hello") -> ()
+  | _ -> Alcotest.fail "no hello answer"
+
+let expect_error_code fd expected =
+  match P.read_frame fd with
+  | Ok j -> (
+      match (P.member "type" j, Option.bind (P.member "code" j) P.get_string) with
+      | Some (P.String "error"), Some code -> Alcotest.(check string) "error code" expected code
+      | _ -> Alcotest.failf "expected %s error, got %s" expected (P.to_string j))
+  | Error e -> Alcotest.failf "expected %s error, got frame error %s" expected
+                 (P.frame_error_to_string e)
+
+let write_raw_frame fd payload =
+  let n = String.length payload in
+  let hdr = Bytes.create 4 in
+  Bytes.set_uint8 hdr 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 hdr 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 hdr 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 hdr 3 (n land 0xff);
+  ignore (Unix.write fd hdr 0 4);
+  ignore (Unix.write_substring fd payload 0 n)
+
+let test_malformed_frame () =
+  with_server @@ fun socket ->
+  let fd = raw_connect socket in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  raw_hello fd;
+  write_raw_frame fd "{this is not json";
+  expect_error_code fd "bad_json";
+  (* the stream stays framed: a well-formed request still works *)
+  P.write_frame fd (P.request_to_json P.Stats);
+  match P.read_frame fd with
+  | Ok j -> Alcotest.(check bool) "stats after bad frame" true
+              (P.member "type" j = Some (P.String "stats"))
+  | Error e -> Alcotest.failf "stats after bad frame: %s" (P.frame_error_to_string e)
+
+let test_oversized_frame () =
+  with_server @@ fun socket ->
+  let fd = raw_connect socket in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  raw_hello fd;
+  (* declare an over-limit length; ship the payload so the daemon can
+     drain it and keep the connection framed *)
+  let n = P.max_frame + 1 in
+  let hdr = Bytes.create 4 in
+  Bytes.set_uint8 hdr 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 hdr 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 hdr 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 hdr 3 (n land 0xff);
+  ignore (Unix.write fd hdr 0 4);
+  (* the daemon discards the payload as it arrives, so shipping the whole
+     oversized body cannot deadlock *)
+  let chunk = Bytes.make 65536 ' ' in
+  let rec ship left =
+    if left > 0 then begin
+      let k = min left (Bytes.length chunk) in
+      ignore (Unix.write fd chunk 0 k);
+      ship (left - k)
+    end
+  in
+  ship n;
+  expect_error_code fd "frame_too_large";
+  (* connection survives *)
+  P.write_frame fd (P.request_to_json P.Stats);
+  match P.read_frame fd with
+  | Ok j -> Alcotest.(check bool) "stats after oversized frame" true
+              (P.member "type" j = Some (P.String "stats"))
+  | Error e -> Alcotest.failf "stats after oversized: %s" (P.frame_error_to_string e)
+
+let test_proto_mismatch_and_hello_required () =
+  with_server @@ fun socket ->
+  (* wrong protocol version is refused and the connection closed *)
+  let fd = raw_connect socket in
+  P.write_frame fd (P.request_to_json (P.Hello 9999));
+  expect_error_code fd "proto_mismatch";
+  (match P.read_frame fd with
+  | Error P.F_eof -> ()
+  | Ok j -> Alcotest.failf "expected close after mismatch, got %s" (P.to_string j)
+  | Error e -> Alcotest.failf "expected clean close, got %s" (P.frame_error_to_string e));
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* requests before hello are refused *)
+  let fd2 = raw_connect socket in
+  Fun.protect ~finally:(fun () -> try Unix.close fd2 with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  P.write_frame fd2 (P.request_to_json P.Stats);
+  expect_error_code fd2 "hello_required"
+
+let test_disconnect_mid_stream () =
+  with_server ~workers:1 @@ fun socket ->
+  (* submit with trace streaming, then vanish mid-job: the daemon must
+     swallow the dead peer and keep serving *)
+  let fd = raw_connect socket in
+  raw_hello fd;
+  P.write_frame fd
+    (P.request_to_json (P.Submit (P.job_spec ~trace:true P.C_flow (`Builtin "idct"))));
+  (match P.read_frame fd with
+  | Ok j when P.member "type" j = Some (P.String "accepted") -> ()
+  | _ -> Alcotest.fail "no accepted frame");
+  Unix.close fd;
+  (* a fresh client still gets served, after the orphaned job finishes *)
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  ignore (ok_outcome (Client.submit c (P.job_spec ~ii:2 P.C_schedule (`Builtin "example1"))))
+
+let test_stats_shape () =
+  with_server @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  ignore (ok_outcome (Client.submit c (P.job_spec ~ii:2 P.C_schedule (`Builtin "example1"))));
+  let j = match Client.stats c with Ok j -> j | Error m -> Alcotest.failf "stats: %s" m in
+  let geti path =
+    match Option.bind (P.member path j) P.get_int with
+    | Some n -> n
+    | None -> Alcotest.failf "stats field %s missing" path
+  in
+  Alcotest.(check int) "proto" P.version (geti "proto");
+  Alcotest.(check bool) "workers >= 1" true (geti "workers" >= 1);
+  let jobs = Option.get (P.member "jobs" j) in
+  Alcotest.(check bool) "submitted >= 1" true
+    (match Option.bind (P.member "submitted" jobs) P.get_int with Some n -> n >= 1 | None -> false);
+  let cache = Option.get (P.member "cache" j) in
+  Alcotest.(check bool) "cache entries >= 1" true
+    (match Option.bind (P.member "entries" cache) P.get_int with Some n -> n >= 1 | None -> false)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      {|{"a":1,"b":[true,false,null],"c":"x\"y\\z","d":-2.5,"e":{"nested":"é\n"}}|};
+      {|[1,2,3]|};
+      {|"just a string"|};
+      {|-42|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      match P.of_string s with
+      | Error m -> Alcotest.failf "parse %s: %s" s m
+      | Ok j -> (
+          match P.of_string (P.to_string j) with
+          | Ok j2 -> Alcotest.(check bool) ("roundtrip " ^ s) true (j = j2)
+          | Error m -> Alcotest.failf "reparse: %s" m))
+    samples;
+  (match P.of_string "{broken" with
+  | Ok _ -> Alcotest.fail "accepted broken json"
+  | Error _ -> ());
+  let spec =
+    P.job_spec ~ii:3 ~min_latency:4 ~max_latency:9 ~max_passes:50 ~timeout_s:1.5 ~verify:false
+      ~trace:true ~clock_ps:1200.0 P.C_pipeline (`Source "design d {}")
+  in
+  match P.request_of_json (P.request_to_json (P.Submit spec)) with
+  | Ok (P.Submit spec2) -> Alcotest.(check bool) "job_spec roundtrip" true (spec = spec2)
+  | Ok _ -> Alcotest.fail "roundtrip changed the request kind"
+  | Error m -> Alcotest.failf "request roundtrip: %s" m
+
+let suite =
+  [
+    Alcotest.test_case "json + request roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "submit is byte-identical to offline CLI" `Quick test_byte_identity;
+    Alcotest.test_case "cache hits are deterministic" `Quick test_cache_hit_determinism;
+    Alcotest.test_case "inline .bhv source over the wire" `Quick test_inline_source;
+    Alcotest.test_case "unknown design: typed error, daemon survives" `Quick test_bad_design;
+    Alcotest.test_case "cancellation leaves the daemon serving" `Quick test_cancellation;
+    Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+    Alcotest.test_case "malformed frame: typed error, stream survives" `Quick test_malformed_frame;
+    Alcotest.test_case "oversized frame: typed error, stream survives" `Quick test_oversized_frame;
+    Alcotest.test_case "version mismatch + hello-first" `Quick test_proto_mismatch_and_hello_required;
+    Alcotest.test_case "disconnect mid-stream" `Quick test_disconnect_mid_stream;
+    Alcotest.test_case "stats shape" `Quick test_stats_shape;
+  ]
