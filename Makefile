@@ -1,4 +1,4 @@
-.PHONY: all build test faults dse check fmt ci bench bench-dse bench-netlist bench-sched bench-smoke bench-serve serve-smoke exit-codes golden clean
+.PHONY: all build test faults dse check fmt ci bench bench-dse bench-netlist bench-sched bench-smoke bench-serve serve-smoke chaos-smoke exit-codes golden clean
 
 all: build
 
@@ -57,23 +57,44 @@ bench-netlist:
 bench-sched:
 	dune exec bench/main.exe -- sched
 
-# the compile-service experiment: start a daemon, drive it with 8
-# concurrent clients x 4 requests (cold then warm phase), write
-# BENCH_serve.json, drain the daemon
+# the compile-service experiment, two phases written to BENCH_serve.json
+# as {"load":…,"chaos":…}: (1) a clean daemon driven by 8 concurrent
+# clients x 4 requests (cold then warm), (2) a fault-injected daemon
+# (workers killed, store entries corrupted; fixed seed) driven through
+# the retrying client, recording retry rates and recovery latencies
 bench-serve:
 	dune build bin/hlsc.exe
 	@rm -f /tmp/hlsc_bench.sock
+	@rm -rf /tmp/hlsc_bench_store
 	@dune exec --no-build bin/hlsc.exe -- serve --socket /tmp/hlsc_bench.sock --jobs 4 & \
 	pid=$$!; \
 	for i in $$(seq 50); do [ -S /tmp/hlsc_bench.sock ] && break; sleep 0.1; done; \
 	dune exec --no-build bin/hlsc.exe -- bench-serve --socket /tmp/hlsc_bench.sock \
-	  --clients 8 --requests 4 --design fir8 --cmd schedule --json BENCH_serve.json; \
-	rc=$$?; kill -TERM $$pid; wait $$pid; exit $$rc
+	  --clients 8 --requests 4 --design fir8 --cmd schedule --json /tmp/hlsc_bench_load.json; \
+	rc=$$?; kill -TERM $$pid; wait $$pid; [ $$rc -eq 0 ] || exit $$rc
+	@dune exec --no-build bin/hlsc.exe -- serve --socket /tmp/hlsc_bench.sock --jobs 4 \
+	  --store-dir /tmp/hlsc_bench_store --chaos-seed 1 --chaos-kill 0.3 --chaos-corrupt 0.3 & \
+	pid=$$!; \
+	for i in $$(seq 50); do [ -S /tmp/hlsc_bench.sock ] && break; sleep 0.1; done; \
+	dune exec --no-build bin/hlsc.exe -- bench-chaos --socket /tmp/hlsc_bench.sock \
+	  --requests 24 --retries 8 --json /tmp/hlsc_bench_chaos.json; \
+	rc=$$?; kill -TERM $$pid; wait $$pid; [ $$rc -eq 0 ] || exit $$rc; \
+	printf '{"load":%s,"chaos":%s}\n' \
+	  "$$(cat /tmp/hlsc_bench_load.json)" "$$(cat /tmp/hlsc_bench_chaos.json)" \
+	  > BENCH_serve.json; \
+	rm -rf /tmp/hlsc_bench_store; \
+	echo "wrote BENCH_serve.json"
 
 # daemon round trip: submit vs offline byte-identity, cache hits, SIGTERM
 # drain without a leaked socket (what CI's serve-smoke job runs)
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# the chaos acceptance gate: kill/stall/corrupt injection with a fixed
+# seed, byte-identity through the retrying client, graceful drain, and
+# quarantine-on-restart of corrupt store entries (CI's chaos-smoke job)
+chaos-smoke:
+	./scripts/chaos_smoke.sh
 
 # the CLI exit-code contract: 0 ok / 1 typed diagnostic / 124 CLI misuse
 exit-codes:

@@ -353,10 +353,13 @@ let socket_arg =
 
 let serve_cmd =
   let doc =
-    "Run the compile-service daemon: a persistent process with a shared compile cache and a \
-     worker-domain pool, accepting framed JSON jobs over a Unix-domain socket.  SIGTERM drains \
-     gracefully: in-flight and queued jobs finish, then every domain is joined and the socket \
-     unlinked."
+    "Run the compile-service daemon: a supervising acceptor process over a fleet of forked \
+     worker processes (crash isolation), a shared in-memory artifact cache, and optionally a \
+     crash-safe on-disk artifact store ($(b,--store-dir)).  Workers that crash, hang (missed \
+     heartbeats) or blow a job's wall deadline are killed and respawned with backoff; their \
+     jobs are re-queued or answered with typed $(b,worker_lost)/$(b,deadline_exceeded) errors. \
+     SIGTERM drains gracefully: queued and in-flight jobs finish, the store index is flushed, \
+     and the final stats line reports queued-vs-completed counts."
   in
   let tcp_arg =
     Arg.(
@@ -366,7 +369,7 @@ let serve_cmd =
   let jobs_arg =
     Arg.(
       value & opt int Server.default_config.Server.workers
-      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker-domain count (default 2).")
+      & info [ "workers"; "jobs"; "j" ] ~docv:"N" ~doc:"Worker-process count (default 2).")
   in
   let capacity_arg =
     Arg.(
@@ -374,17 +377,93 @@ let serve_cmd =
       & info [ "queue-capacity" ] ~docv:"N"
           ~doc:"Admission limit on queued-but-not-started jobs (default 64).")
   in
+  let watermark_arg =
+    Arg.(
+      value & opt int 48
+      & info [ "watermark" ] ~docv:"N"
+          ~doc:
+            "Shed watermark: queued jobs at or beyond $(docv) are refused with a typed \
+             $(b,overloaded) error before the hard queue limit (default 48; 0 disables \
+             shedding).")
+  in
+  let store_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "store-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist compile artifacts in a content-addressed store under $(docv): results \
+             survive daemon restarts, corrupt entries are quarantined, writes are atomic.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt float Server.default_config.Server.deadline_s
+      & info [ "deadline" ] ~docv:"SEC"
+          ~doc:
+            "Default hard per-job wall deadline: the worker is killed and the job answered \
+             with $(b,deadline_exceeded) (default 300; a submit's own deadline overrides).")
+  in
+  let hb_timeout_arg =
+    Arg.(
+      value & opt float Server.default_config.Server.hb_timeout_s
+      & info [ "hb-timeout" ] ~docv:"SEC"
+          ~doc:"Heartbeat staleness before a worker counts as wedged (default 2).")
+  in
+  let chaos_seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "chaos-seed" ] ~docv:"N" ~doc:"Fault-injection RNG seed (testing only).")
+  in
+  let chaos_kill_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-kill" ] ~docv:"P"
+          ~doc:"Per-job probability of the worker dying before work (testing only).")
+  in
+  let chaos_stall_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-stall" ] ~docv:"P"
+          ~doc:"Per-job probability of the worker hanging silently (testing only).")
+  in
+  let chaos_corrupt_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "chaos-corrupt" ] ~docv:"P"
+          ~doc:"Per-compile probability of corrupting the stored artifact (testing only).")
+  in
+  let run socket tcp_port jobs queue_capacity watermark store_dir deadline hb_timeout cz_seed
+      cz_kill cz_stall cz_corrupt verbose =
+    guarded @@ fun () ->
+    if jobs < 1 then or_die (Error "at least one worker process is required (--workers)");
+    let chaos =
+      if cz_kill > 0.0 || cz_stall > 0.0 || cz_corrupt > 0.0 then
+        Some { Hls_server.Worker.cz_seed; cz_kill; cz_stall; cz_corrupt }
+      else None
+    in
+    or_die
+      (Server.run
+         {
+           Server.default_config with
+           Server.socket;
+           tcp_port;
+           workers = jobs;
+           queue_capacity;
+           shed_watermark = (if watermark <= 0 then None else Some watermark);
+           store_dir;
+           deadline_s = deadline;
+           hb_timeout_s = hb_timeout;
+           chaos;
+           verbose;
+         })
+  in
   let verbose_arg =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Log connection and job lifecycle to stderr.")
   in
-  let run socket tcp_port jobs queue_capacity verbose =
-    guarded @@ fun () ->
-    if jobs < 1 then or_die (Error "at least one worker domain is required (--jobs)");
-    or_die
-      (Server.run { Server.socket; tcp_port; workers = jobs; queue_capacity; verbose })
-  in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(const run $ socket_arg $ tcp_arg $ jobs_arg $ capacity_arg $ verbose_arg)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ jobs_arg $ capacity_arg $ watermark_arg $ store_arg
+      $ deadline_arg $ hb_timeout_arg $ chaos_seed_arg $ chaos_kill_arg $ chaos_stall_arg
+      $ chaos_corrupt_arg $ verbose_arg)
 
 let cmd_of_name s =
   match Proto.cmd_of_string s with
@@ -426,19 +505,49 @@ let submit_cmd =
       value & flag
       & info [ "diag-json" ] ~doc:"On failure, print the diagnostic as a JSON object on stderr.")
   in
-  let run cmdname name socket ii clock latency trace max_passes timeout no_verify diag_json =
+  let deadline_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SEC"
+          ~doc:
+            "Hard per-job wall deadline: the daemon kills the worker and answers \
+             $(b,deadline_exceeded) when it trips.")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry up to $(docv) times with jittered exponential backoff on transport faults \
+             and transient typed errors ($(b,worker_lost), $(b,overloaded), $(b,queue_full)); \
+             jobs are idempotent by fingerprint (default 0).")
+  in
+  let run cmdname name socket ii clock latency trace max_passes timeout deadline retries
+      no_verify diag_json =
     guarded @@ fun () ->
     let cmd = or_die (cmd_of_name cmdname) in
     let min_latency, max_latency = or_die (parse_latency latency) in
     let spec_design = or_die (Design_db.local_spec name) in
     let spec =
       Proto.job_spec ?ii ?min_latency ?max_latency ?max_passes ?timeout_s:timeout
-        ~verify:(not no_verify) ~trace ~clock_ps:clock cmd spec_design
+        ?deadline_s:deadline ~verify:(not no_verify) ~trace ~clock_ps:clock cmd spec_design
     in
-    let client = or_die (Client.connect ~socket ()) in
     let on_event ~level text = Printf.eprintf "[%s] %s\n%!" level text in
-    let outcome = or_die (Client.submit ~on_event client spec) in
-    Client.close client;
+    let outcome =
+      if retries > 0 then
+        let connect () = Client.connect ~socket () in
+        match Client.submit_retrying ~on_event ~retries ~connect spec with
+        | Ok (o, _attempts) -> o
+        | Error m ->
+            prerr_endline ("hlsc: " ^ m);
+            exit 1
+      else begin
+        let client = or_die (Client.connect ~socket ()) in
+        let o = or_die (Client.submit ~on_event client spec) in
+        Client.close client;
+        o
+      end
+    in
     List.iter (fun n -> prerr_endline ("hlsc: " ^ n)) outcome.Proto.o_notes;
     match outcome.Proto.o_status with
     | Proto.S_ok -> print_string outcome.Proto.o_output
@@ -456,7 +565,8 @@ let submit_cmd =
   Cmd.v (Cmd.info "submit" ~doc)
     Term.(
       const run $ cmd_arg $ design_pos1 $ socket_arg $ ii_arg $ clock_arg $ latency_arg
-      $ trace_arg $ max_passes_arg $ timeout_arg $ no_verify_arg $ diag_json_arg)
+      $ trace_arg $ max_passes_arg $ timeout_arg $ deadline_arg $ retries_arg $ no_verify_arg
+      $ diag_json_arg)
 
 let stats_cmd =
   let doc = "Print a running daemon's metrics snapshot (queue, cache, scheduler counters)." in
@@ -468,6 +578,182 @@ let stats_cmd =
     print_endline (Proto.to_string j)
   in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ socket_arg)
+
+let health_cmd =
+  let doc =
+    "Probe a running daemon's health: prints the supervision snapshot (per-worker liveness, \
+     queue depths, store health) and exits 0 when every worker is alive, 1 when the daemon is \
+     degraded or unreachable — suitable as a liveness/readiness check."
+  in
+  let run socket =
+    guarded @@ fun () ->
+    let client = or_die (Client.connect ~socket ()) in
+    let j = or_die (Client.health client) in
+    Client.close client;
+    print_endline (Proto.to_string j);
+    match Option.bind (Proto.member "status" j) Proto.get_string with
+    | Some "ok" -> ()
+    | _ -> exit 1
+  in
+  Cmd.v (Cmd.info "health" ~doc) Term.(const run $ socket_arg)
+
+let bench_chaos_cmd =
+  let doc =
+    "Chaos acceptance run against a (fault-injected) daemon: submit distinct compiles through \
+     the retrying client, verify every completed job byte-identical to the offline compiler, \
+     and report retry/shed/recovery statistics.  Exits nonzero on any wrong bytes or if the \
+     daemon died."
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 24 & info [ "requests" ] ~docv:"N" ~doc:"Distinct compiles (default 24).")
+  in
+  let design_opt_arg =
+    Arg.(
+      value & opt string "fir8"
+      & info [ "design" ] ~docv:"NAME" ~doc:"Built-in design to compile (default fir8).")
+  in
+  let cmd_opt_arg =
+    Arg.(
+      value & opt string "schedule"
+      & info [ "cmd" ] ~docv:"CMD" ~doc:"schedule, pipeline or flow (default schedule).")
+  in
+  let retries_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "retries" ] ~docv:"N" ~doc:"Client retry budget per request (default 6).")
+  in
+  let json_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the result as JSON to $(docv).")
+  in
+  let run socket requests design cmdname retries json =
+    guarded @@ fun () ->
+    let cmd = or_die (cmd_of_name cmdname) in
+    let design_ast = or_die (load_design design) in
+    let spec_of i =
+      Proto.job_spec ~verify:false ~clock_ps:(1600.0 +. float_of_int i) cmd (`Builtin design)
+    in
+    (* ground truth: the offline flow through the same render path the
+       worker uses — byte-identity is the acceptance criterion *)
+    let expected spec =
+      let options = Hls_server.Artifact.options_of_spec spec in
+      match Hls_flow.Flow.run ~options design_ast with
+      | Ok r -> Some (Render.output cmd r)
+      | Error _ -> None
+    in
+    let ok = ref 0 and wrong = ref 0 and typed = ref 0 and hard = ref 0 in
+    let attempts_total = ref 0 and retried_jobs = ref 0 in
+    let recovery = ref [] in
+    let codes = Hashtbl.create 4 in
+    for i = 0 to requests - 1 do
+      let spec = spec_of i in
+      let t0 = Unix.gettimeofday () in
+      match
+        Client.submit_retrying ~retries ~seed:i ~connect:(fun () -> Client.connect ~socket ())
+          spec
+      with
+      | Ok (o, attempts) -> (
+          attempts_total := !attempts_total + attempts;
+          if attempts > 1 then begin
+            incr retried_jobs;
+            recovery := (Unix.gettimeofday () -. t0) :: !recovery
+          end;
+          match o.Proto.o_status with
+          | Proto.S_ok -> (
+              match expected spec with
+              | Some want when want = o.Proto.o_output -> incr ok
+              | Some _ ->
+                  incr wrong;
+                  Printf.eprintf "hlsc bench-chaos: WRONG BYTES for request %d\n%!" i
+              | None ->
+                  (* offline failed but daemon succeeded: count as wrong *)
+                  incr wrong)
+          | Proto.S_error ->
+              incr typed;
+              let c = Option.value o.Proto.o_code ~default:"unknown" in
+              Hashtbl.replace codes c (1 + Option.value (Hashtbl.find_opt codes c) ~default:0)
+          | Proto.S_cancelled -> incr typed)
+      | Error m ->
+          incr hard;
+          Printf.eprintf "hlsc bench-chaos: request %d failed hard: %s\n%!" i m
+    done;
+    let daemon_alive, shed, crashes, respawns =
+      match Client.connect ~socket () with
+      | Error _ -> (false, -1, -1, -1)
+      | Ok c ->
+          let stat = Client.stats c in
+          Client.close c;
+          let geti path j =
+            match path with
+            | [ a; b ] ->
+                Option.value
+                  (Option.bind (Proto.member a j) (fun o ->
+                       Option.bind (Proto.member b o) Proto.get_int))
+                  ~default:(-1)
+            | _ -> -1
+          in
+          (match stat with
+          | Ok j ->
+              (true, geti [ "jobs"; "shed" ] j, geti [ "supervisor"; "crashes" ] j,
+               geti [ "supervisor"; "respawns" ] j)
+          | Error _ -> (false, -1, -1, -1))
+    in
+    let recovery_arr = Array.of_list !recovery in
+    Array.sort compare recovery_arr;
+    let pct p =
+      match Array.length recovery_arr with
+      | 0 -> 0.0
+      | n -> recovery_arr.(min (n - 1) (int_of_float (p *. float_of_int n))) *. 1000.0
+    in
+    let retry_rate = float_of_int !retried_jobs /. float_of_int (max 1 requests) in
+    Printf.printf
+      "chaos: %d request(s): %d ok (byte-identical), %d wrong-byte, %d typed failure(s), %d \
+       hard error(s); %d attempt(s) total, %d job(s) retried (rate %.2f), recovery p50 %.0f ms \
+       max %.0f ms; daemon %s, %d shed, %d crash(es), %d respawn(s)\n"
+      requests !ok !wrong !typed !hard !attempts_total !retried_jobs retry_rate (pct 0.5)
+      (pct 1.0)
+      (if daemon_alive then "alive" else "DEAD")
+      shed crashes respawns;
+    Hashtbl.iter (fun c n -> Printf.printf "chaos: typed failure %s: %d\n" c n) codes;
+    (match json with
+    | None -> ()
+    | Some path ->
+        let code_fields =
+          Hashtbl.fold (fun c n acc -> (c, Proto.Int n) :: acc) codes []
+        in
+        let j =
+          Proto.Obj
+            [
+              ("requests", Proto.Int requests);
+              ("ok_byte_identical", Proto.Int !ok);
+              ("wrong_bytes", Proto.Int !wrong);
+              ("typed_failures", Proto.Obj code_fields);
+              ("typed_failures_total", Proto.Int !typed);
+              ("hard_errors", Proto.Int !hard);
+              ("attempts_total", Proto.Int !attempts_total);
+              ("jobs_retried", Proto.Int !retried_jobs);
+              ("retry_rate", Proto.Float retry_rate);
+              ("recovery_p50_ms", Proto.Float (pct 0.5));
+              ("recovery_max_ms", Proto.Float (pct 1.0));
+              ("daemon_alive", Proto.Bool daemon_alive);
+              ("shed", Proto.Int shed);
+              ("crashes", Proto.Int crashes);
+              ("respawns", Proto.Int respawns);
+            ]
+        in
+        let oc = open_out path in
+        output_string oc (Proto.to_string j);
+        output_string oc "\n";
+        close_out oc;
+        Printf.printf "wrote %s\n" path);
+    if !wrong > 0 || !hard > 0 || not daemon_alive then exit 1
+  in
+  Cmd.v (Cmd.info "bench-chaos" ~doc)
+    Term.(
+      const run $ socket_arg $ requests_arg $ design_opt_arg $ cmd_opt_arg $ retries_arg
+      $ json_arg)
 
 let bench_serve_cmd =
   let doc =
@@ -542,5 +828,6 @@ let () =
        (Cmd.group info
           [
             designs_cmd; compile_cmd; schedule_cmd; pipeline_cmd; flow_cmd; emit_cmd; explore_cmd;
-            serve_cmd; submit_cmd; stats_cmd; bench_serve_cmd; version_cmd;
+            serve_cmd; submit_cmd; stats_cmd; health_cmd; bench_serve_cmd; bench_chaos_cmd;
+            version_cmd;
           ]))

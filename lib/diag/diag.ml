@@ -1,7 +1,7 @@
 (** Typed diagnostics for the HLS flow.  See the interface for the
     contract: the flow returns these instead of raising. *)
 
-type phase = Frontend | Elaborate | Schedule | Fold | Check | Report | Verify | Explore
+type phase = Frontend | Elaborate | Schedule | Fold | Check | Report | Verify | Explore | Serve
 
 type severity = Info | Warning | Error | Fatal
 
@@ -53,6 +53,7 @@ let phase_to_string = function
   | Report -> "report"
   | Verify -> "verify"
   | Explore -> "explore"
+  | Serve -> "serve"
 
 let severity_to_string = function
   | Info -> "info"

@@ -8,7 +8,7 @@
     the pass count and which budget tripped.  The flow never raises; it
     returns these. *)
 
-type phase = Frontend | Elaborate | Schedule | Fold | Check | Report | Verify | Explore
+type phase = Frontend | Elaborate | Schedule | Fold | Check | Report | Verify | Explore | Serve
 
 type severity = Info | Warning | Error | Fatal
 

@@ -185,13 +185,17 @@ module Pool = struct
     drained : Condition.t;  (** signalled when queue empties and no task runs *)
     queue : (unit -> unit) Queue.t;
     mutable domains : unit Domain.t list;
-    mutable stop : bool;
+    stop : bool Atomic.t;
+        (** the shutdown latch: atomic so {!shutdown} can decide whether
+            it is the first caller without taking the mutex — repeat
+            calls (a signal-context drain racing an [at_exit] hook)
+            return immediately and never double-join a domain *)
     mutable running : int;  (** tasks currently executing *)
   }
 
   let rec worker t =
     Mutex.lock t.mutex;
-    while (not t.stop) && Queue.is_empty t.queue do
+    while (not (Atomic.get t.stop)) && Queue.is_empty t.queue do
       Condition.wait t.nonempty t.mutex
     done;
     if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stop && drained *)
@@ -220,7 +224,7 @@ module Pool = struct
         drained = Condition.create ();
         queue = Queue.create ();
         domains = [];
-        stop = false;
+        stop = Atomic.make false;
         running = 0;
       }
     in
@@ -231,7 +235,7 @@ module Pool = struct
 
   let ensure t k =
     Mutex.lock t.mutex;
-    if not t.stop then spawn_locked t k;
+    if not (Atomic.get t.stop) then spawn_locked t k;
     Mutex.unlock t.mutex
 
   let size t =
@@ -240,15 +244,11 @@ module Pool = struct
     Mutex.unlock t.mutex;
     n
 
-  let alive t =
-    Mutex.lock t.mutex;
-    let a = not t.stop in
-    Mutex.unlock t.mutex;
-    a
+  let alive t = not (Atomic.get t.stop)
 
   let submit t task =
     Mutex.lock t.mutex;
-    let accepted = not t.stop in
+    let accepted = not (Atomic.get t.stop) in
     if accepted then begin
       Queue.push task t.queue;
       Condition.signal t.nonempty
@@ -264,15 +264,20 @@ module Pool = struct
     Mutex.unlock t.mutex
 
   let shutdown t =
-    Mutex.lock t.mutex;
-    t.stop <- true;
-    (* claim the domain list under the lock: a concurrent second shutdown
-       (server drain racing at_exit) sees [] and joins nothing *)
-    let doomed = t.domains in
-    t.domains <- [];
-    Condition.broadcast t.nonempty;
-    Mutex.unlock t.mutex;
-    List.iter Domain.join doomed
+    (* the exchange makes every call after the first a lock-free no-op:
+       idempotent, and safe from the shallow context a signal handler
+       body runs in (one atomic read-modify-write, no mutex, no join).
+       Only the winning caller drains and joins. *)
+    if not (Atomic.exchange t.stop true) then begin
+      Mutex.lock t.mutex;
+      (* claim the domain list under the lock so nothing else (ensure,
+         a racing spawn) can see or grow it once shutdown has begun *)
+      let doomed = t.domains in
+      t.domains <- [];
+      Condition.broadcast t.nonempty;
+      Mutex.unlock t.mutex;
+      List.iter Domain.join doomed
+    end
 end
 
 (* ------------------------------------------------------------------ *)

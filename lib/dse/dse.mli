@@ -122,8 +122,11 @@ module Pool : sig
 
   val shutdown : t -> unit
   (** Graceful drain: stop admitting, run every already-queued task,
-      then join all domains.  Idempotent and safe to race (e.g. a server
-      drain racing an [at_exit] hook). *)
+      then join all domains.  Idempotent via an atomic latch: exactly
+      one caller (the first) drains and joins; every other call — a
+      server drain racing an [at_exit] hook, a repeat from a signal
+      handler body — returns immediately without touching the mutex,
+      so no domain is ever joined twice. *)
 end
 
 (** {2 Engine} *)

@@ -275,7 +275,8 @@ let run_baseline ~options (design : Ast.design) : (t, Diag.t) Stdlib.result =
 let degradable (d : Diag.t) =
   match d.Diag.d_phase with
   | Diag.Schedule | Diag.Fold | Diag.Check -> true
-  | Diag.Frontend | Diag.Elaborate | Diag.Report | Diag.Verify | Diag.Explore -> false
+  | Diag.Frontend | Diag.Elaborate | Diag.Report | Diag.Verify | Diag.Explore | Diag.Serve ->
+      false
 
 let run ?(options = default_options) ?trace (design : Ast.design) : (t, Diag.t) Stdlib.result =
   match run_unified ~options ~trace ~tier:Tier_requested design with

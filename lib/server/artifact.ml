@@ -1,0 +1,268 @@
+(** Serializable compile artifacts.  See the interface for the role; the
+    encoding notes that matter here:
+
+    - [to_json]/[of_json] are a strict pair: every field is explicit, and
+      decode fails loudly on anything missing or mistyped, because store
+      entries travel through disk and worker pipes where partial writes
+      and corruption are expected events (the store's checksum catches
+      byte damage; this codec catches schema damage).
+    - Renders are stored per command under the wire command names, so a
+      store entry is self-describing and survives binary restarts. *)
+
+module Flow = Hls_flow.Flow
+module Diag = Hls_diag.Diag
+module Dse = Hls_dse.Dse
+module P = Protocol
+
+type t = {
+  a_ok : bool;
+  a_renders : (P.cmd * string) list;
+  a_summary : string;
+  a_tier : string;
+  a_notes : string list;
+  a_li : int;
+  a_ii : int;
+  a_delay_ps : float;
+  a_area : float;
+  a_power_mw : float;
+  a_diag : string option;
+  a_diag_json : string option;
+  a_code : string option;
+  a_wall_s : float;
+  a_passes : int;
+  a_warm : int;
+  a_cold : int;
+  a_queries : int;
+  a_actions : int;
+}
+
+let all_cmds = [ P.C_schedule; P.C_pipeline; P.C_flow ]
+
+let of_flow ~wall_s = function
+  | Ok (f : Flow.t) ->
+      let st = f.Flow.f_stats in
+      {
+        a_ok = true;
+        a_renders = List.map (fun cmd -> (cmd, Render.output cmd f)) all_cmds;
+        a_summary = Flow.summary f;
+        a_tier = Flow.tier_to_string f.Flow.f_tier;
+        a_notes = List.map Diag.to_string f.Flow.f_notes;
+        a_li = f.Flow.f_sched.Hls_core.Scheduler.s_li;
+        a_ii = f.Flow.f_cycles_per_iter;
+        a_delay_ps = f.Flow.f_delay_ps;
+        a_area = f.Flow.f_area.Hls_rtl.Stats.a_total;
+        a_power_mw = f.Flow.f_power_mw;
+        a_diag = None;
+        a_diag_json = None;
+        a_code = None;
+        a_wall_s = wall_s;
+        a_passes = st.Hls_core.Scheduler.st_passes;
+        a_warm = st.Hls_core.Scheduler.st_warm_passes;
+        a_cold = st.Hls_core.Scheduler.st_cold_passes;
+        a_queries = st.Hls_core.Scheduler.st_queries;
+        a_actions = st.Hls_core.Scheduler.st_actions;
+      }
+  | Error (d : Diag.t) ->
+      {
+        a_ok = false;
+        a_renders = [];
+        a_summary = "";
+        a_tier = "";
+        a_notes = [];
+        a_li = 0;
+        a_ii = 0;
+        a_delay_ps = 0.0;
+        a_area = 0.0;
+        a_power_mw = 0.0;
+        a_diag = Some (Diag.to_string d);
+        a_diag_json = Some (Diag.to_json d);
+        a_code = Some d.Diag.d_code;
+        a_wall_s = wall_s;
+        a_passes = 0;
+        a_warm = 0;
+        a_cold = 0;
+        a_queries = 0;
+        a_actions = 0;
+      }
+
+let render a cmd = match List.assoc_opt cmd a.a_renders with Some s -> s | None -> ""
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec *)
+
+let opt_str = function Some s -> P.String s | None -> P.Null
+
+let to_json a =
+  P.Obj
+    [
+      ("ok", P.Bool a.a_ok);
+      ( "renders",
+        P.Obj (List.map (fun (cmd, s) -> (P.cmd_to_string cmd, P.String s)) a.a_renders) );
+      ("summary", P.String a.a_summary);
+      ("tier", P.String a.a_tier);
+      ("notes", P.List (List.map (fun n -> P.String n) a.a_notes));
+      ("li", P.Int a.a_li);
+      ("ii", P.Int a.a_ii);
+      ("delay_ps", P.Float a.a_delay_ps);
+      ("area", P.Float a.a_area);
+      ("power_mw", P.Float a.a_power_mw);
+      ("diag", opt_str a.a_diag);
+      ("diag_json", opt_str a.a_diag_json);
+      ("code", opt_str a.a_code);
+      ("wall_s", P.Float a.a_wall_s);
+      ("passes", P.Int a.a_passes);
+      ("warm", P.Int a.a_warm);
+      ("cold", P.Int a.a_cold);
+      ("queries", P.Int a.a_queries);
+      ("actions", P.Int a.a_actions);
+    ]
+
+let of_json json =
+  let ( let* ) = Result.bind in
+  let field name conv =
+    match Option.bind (P.member name json) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "artifact: missing or mistyped field %S" name)
+  in
+  let opt_field name =
+    match P.member name json with
+    | Some P.Null | None -> Ok None
+    | Some (P.String s) -> Ok (Some s)
+    | Some _ -> Error (Printf.sprintf "artifact: mistyped field %S" name)
+  in
+  let* a_ok = field "ok" P.get_bool in
+  let* a_renders =
+    match P.member "renders" json with
+    | Some (P.Obj kvs) ->
+        List.fold_left
+          (fun acc (k, v) ->
+            let* acc = acc in
+            match (P.cmd_of_string k, P.get_string v) with
+            | Some cmd, Some s -> Ok ((cmd, s) :: acc)
+            | _ -> Error (Printf.sprintf "artifact: bad render entry %S" k))
+          (Ok []) kvs
+        |> Result.map List.rev
+    | _ -> Error "artifact: missing renders object"
+  in
+  let* a_summary = field "summary" P.get_string in
+  let* a_tier = field "tier" P.get_string in
+  let* a_notes =
+    match P.member "notes" json with
+    | Some (P.List items) ->
+        List.fold_left
+          (fun acc n ->
+            let* acc = acc in
+            match P.get_string n with
+            | Some s -> Ok (s :: acc)
+            | None -> Error "artifact: non-string note")
+          (Ok []) items
+        |> Result.map List.rev
+    | _ -> Error "artifact: missing notes list"
+  in
+  let* a_li = field "li" P.get_int in
+  let* a_ii = field "ii" P.get_int in
+  let* a_delay_ps = field "delay_ps" P.get_float in
+  let* a_area = field "area" P.get_float in
+  let* a_power_mw = field "power_mw" P.get_float in
+  let* a_diag = opt_field "diag" in
+  let* a_diag_json = opt_field "diag_json" in
+  let* a_code = opt_field "code" in
+  let* a_wall_s = field "wall_s" P.get_float in
+  let* a_passes = field "passes" P.get_int in
+  let* a_warm = field "warm" P.get_int in
+  let* a_cold = field "cold" P.get_int in
+  let* a_queries = field "queries" P.get_int in
+  let* a_actions = field "actions" P.get_int in
+  Ok
+    {
+      a_ok;
+      a_renders;
+      a_summary;
+      a_tier;
+      a_notes;
+      a_li;
+      a_ii;
+      a_delay_ps;
+      a_area;
+      a_power_mw;
+      a_diag;
+      a_diag_json;
+      a_code;
+      a_wall_s;
+      a_passes;
+      a_warm;
+      a_cold;
+      a_queries;
+      a_actions;
+    }
+
+let to_store a = P.to_string (to_json a)
+
+let of_store text =
+  match P.of_string text with Error m -> Error ("artifact: " ^ m) | Ok json -> of_json json
+
+(* ------------------------------------------------------------------ *)
+(* Job-spec derivations *)
+
+let options_of_spec (js : P.job_spec) =
+  {
+    Flow.default_options with
+    Flow.ii = js.P.js_ii;
+    clock_ps = js.P.js_clock_ps;
+    min_latency = js.P.js_min_latency;
+    max_latency = js.P.js_max_latency;
+    verify = js.P.js_verify;
+    sched =
+      {
+        Hls_core.Scheduler.default_options with
+        max_passes =
+          Option.value js.P.js_max_passes
+            ~default:Hls_core.Scheduler.default_options.Hls_core.Scheduler.max_passes;
+        timeout_s = js.P.js_timeout_s;
+      };
+  }
+
+let point_of_spec (js : P.job_spec) =
+  Dse.point ?ii:js.P.js_ii ?min_latency:js.P.js_min_latency ?max_latency:js.P.js_max_latency
+    ~clock_ps:js.P.js_clock_ps ()
+
+let key_of_spec ~design (js : P.job_spec) =
+  let options = options_of_spec js in
+  let base = Dse.base_fingerprint ~options design in
+  let pt = point_of_spec js in
+  base ^ "/" ^ Digest.to_hex (Digest.string (Marshal.to_string pt []))
+
+(* ------------------------------------------------------------------ *)
+(* Client-facing result frame — the exact field set of the single-process
+   daemon this tier replaced, so existing clients decode unchanged *)
+
+let result_frame ~job ~cmd ~cached a =
+  let base = [ ("type", P.String "result"); ("job", P.Int job) ] in
+  if a.a_ok then
+    P.Obj
+      (base
+      @ [
+          ("status", P.String "ok");
+          ("output", P.String (render a cmd));
+          ("summary", P.String a.a_summary);
+          ("tier", P.String a.a_tier);
+          ("notes", P.List (List.map (fun n -> P.String n) a.a_notes));
+          ("cached", P.Bool cached);
+          ("wall_s", P.Float a.a_wall_s);
+          ("li", P.Int a.a_li);
+          ("ii", P.Int a.a_ii);
+          ("delay_ps", P.Float a.a_delay_ps);
+          ("area", P.Float a.a_area);
+          ("power_mw", P.Float a.a_power_mw);
+        ])
+  else
+    P.Obj
+      (base
+      @ [
+          ("status", P.String "error");
+          ("diag", P.String (Option.value a.a_diag ~default:""));
+          ("diag_json", P.String (Option.value a.a_diag_json ~default:"{}"));
+          ("code", P.String (Option.value a.a_code ~default:"unknown"));
+          ("cached", P.Bool cached);
+          ("wall_s", P.Float a.a_wall_s);
+        ])

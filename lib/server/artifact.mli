@@ -1,0 +1,64 @@
+(** A compile artifact: the complete, serializable outcome of one
+    [Flow.run] — every command's rendered output plus the summary
+    metrics a result frame carries.
+
+    This is the unit of persistence and of worker→acceptor transfer.  A
+    fresh compile renders {e all} commands eagerly (rendering is string
+    formatting, negligible next to scheduling), so an artifact can later
+    answer any command byte-identically without the [Flow.t] it came
+    from — which is what lets results cross process boundaries and
+    daemon restarts while preserving the byte-identity guarantee. *)
+
+type t = {
+  a_ok : bool;
+  a_renders : (Protocol.cmd * string) list;  (** all commands, when [a_ok] *)
+  a_summary : string;
+  a_tier : string;
+  a_notes : string list;
+  a_li : int;
+  a_ii : int;
+  a_delay_ps : float;
+  a_area : float;
+  a_power_mw : float;
+  a_diag : string option;  (** human diagnostic, when not [a_ok] *)
+  a_diag_json : string option;
+  a_code : string option;
+  a_wall_s : float;
+  (* scheduler counters of the producing run (zero on failures) *)
+  a_passes : int;
+  a_warm : int;
+  a_cold : int;
+  a_queries : int;
+  a_actions : int;
+}
+
+val of_flow : wall_s:float -> (Hls_flow.Flow.t, Hls_diag.Diag.t) result -> t
+
+val render : t -> Protocol.cmd -> string
+(** The rendered output for one command (empty string on error
+    artifacts, mirroring the offline CLI which prints nothing on
+    failure). *)
+
+val to_json : t -> Protocol.json
+val of_json : Protocol.json -> (t, string) result
+
+val to_store : t -> string
+(** Serialize for {!Hls_store.Store.put} (compact JSON text). *)
+
+val of_store : string -> (t, string) result
+
+(** {2 Job-spec derivations} — shared by acceptor and workers so both
+    sides compute identical flow options and cache keys. *)
+
+val options_of_spec : Protocol.job_spec -> Hls_flow.Flow.options
+
+val point_of_spec : Protocol.job_spec -> Hls_dse.Dse.point
+
+val key_of_spec : design:Hls_frontend.Ast.design -> Protocol.job_spec -> string
+(** The two-level fingerprint collapsed to one store/cache key:
+    [base_fingerprint(design, options) ^ "/" ^ digest(point)]. *)
+
+val result_frame : job:int -> cmd:Protocol.cmd -> cached:bool -> t -> Protocol.json
+(** The client-facing [result] frame for this artifact — the same field
+    set the PR 5 daemon emitted, so clients decode it with
+    {!Protocol.outcome_of_json} unchanged. *)

@@ -141,6 +141,62 @@ let shutdown_server t =
     | Ok _ -> Ok ()
   with Unix.Unix_error (e, fn, _) -> Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
 
+let health t =
+  try
+    P.write_frame t.fd (P.request_to_json P.Health);
+    match next_matching t (fun ty -> ty = "health" || ty = "error") with
+    | Error m -> Error m
+    | Ok j when frame_type j = Some "error" -> Error (error_of_frame j)
+    | Ok j -> Ok j
+  with Unix.Unix_error (e, fn, _) -> Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+
+(* ------------------------------------------------------------------ *)
+(* Retrying submit *)
+
+(* [Error] strings from this module are ["<code>: <message>"] for daemon
+   error frames and ["<syscall>: <reason>"] / ["connection closed"] for
+   transport faults.  Retryable: transient daemon rejects and transport
+   faults.  NOT retryable: the daemon is healthy and said no ([draining],
+   [proto_mismatch], [bad_*]) — retrying cannot change its answer. *)
+let retryable_error msg =
+  let has_prefix p =
+    String.length msg >= String.length p && String.sub msg 0 (String.length p) = p
+  in
+  has_prefix "overloaded:" || has_prefix "queue_full:" || has_prefix "worker_lost:"
+  || msg = "connection closed"
+  || has_prefix "connect:" || has_prefix "read:" || has_prefix "write:"
+  || has_prefix "recv:" || has_prefix "send:"
+
+(* a service-tier loss comes back as a [result] frame with this code —
+   idempotent by fingerprint, so re-submitting is always safe *)
+let retryable_outcome (o : P.outcome) =
+  o.P.o_status = P.S_error && o.P.o_code = Some "worker_lost"
+
+let submit_retrying ?on_event ?(retries = 3) ?(backoff_s = 0.05) ?(max_backoff_s = 2.0) ?seed
+    ~connect spec =
+  let rng = Random.State.make (match seed with Some s -> [| s |] | None -> [| 0x5eed |]) in
+  let jittered d = d *. (0.5 +. Random.State.float rng 1.0) in
+  let rec attempt n delay =
+    let verdict =
+      match connect () with
+      | Error m -> Error m
+      | Ok conn ->
+          let r = submit ?on_event conn spec in
+          close conn;
+          r
+    in
+    match verdict with
+    | Ok o when retryable_outcome o && n < retries ->
+        Unix.sleepf (jittered delay);
+        attempt (n + 1) (Float.min max_backoff_s (delay *. 2.0))
+    | Ok o -> Ok (o, n + 1)
+    | Error m when retryable_error m && n < retries ->
+        Unix.sleepf (jittered delay);
+        attempt (n + 1) (Float.min max_backoff_s (delay *. 2.0))
+    | Error m -> Error m
+  in
+  attempt 0 backoff_s
+
 (* ------------------------------------------------------------------ *)
 (* Load generator *)
 

@@ -39,6 +39,31 @@ val stats : t -> (Protocol.json, string) result
 val shutdown_server : t -> (unit, string) result
 (** Ask the daemon to drain (the SIGTERM path, but over the wire). *)
 
+val health : t -> (Protocol.json, string) result
+(** Fetch the daemon's supervision snapshot (the raw [health] frame):
+    overall [status] ("ok"/"degraded"), per-worker liveness, queue
+    depths and store health. *)
+
+val submit_retrying :
+  ?on_event:(level:string -> string -> unit) ->
+  ?retries:int ->
+  ?backoff_s:float ->
+  ?max_backoff_s:float ->
+  ?seed:int ->
+  connect:(unit -> (t, string) result) ->
+  Protocol.job_spec ->
+  (Protocol.outcome * int, string) result
+(** Submit with automatic retries over a fresh connection per attempt
+    (the daemon, or the worker under it, may have died mid-flight).
+    Retries — up to [retries] (default 3) extra attempts with jittered
+    exponential backoff (start [backoff_s], cap [max_backoff_s]) — fire
+    on transport faults and on the transient typed answers
+    [overloaded], [queue_full] and [worker_lost].  Jobs are idempotent
+    by design fingerprint, so re-submitting is always safe.  Typed
+    answers retrying cannot change — [bad_design], [draining],
+    [deadline_exceeded], a compile failure — are returned as-is.
+    [Ok (outcome, attempts)] reports how many attempts were spent. *)
+
 (** {2 Load generator ([hlsc bench-serve])} *)
 
 type bench_result = {

@@ -2,8 +2,8 @@
     the frame and session contract; this file is the JSON codec (both
     directions, no external dependency) plus the blocking frame I/O. *)
 
-let version = 1
-let binary_version = "1.1.0"
+let version = 2
+let binary_version = "1.2.0"
 
 (* ------------------------------------------------------------------ *)
 (* JSON values *)
@@ -307,11 +307,12 @@ type job_spec = {
   js_max_latency : int option;
   js_max_passes : int option;
   js_timeout_s : float option;
+  js_deadline_s : float option;
   js_verify : bool;
   js_trace : bool;
 }
 
-let job_spec ?ii ?min_latency ?max_latency ?max_passes ?timeout_s ?(verify = true)
+let job_spec ?ii ?min_latency ?max_latency ?max_passes ?timeout_s ?deadline_s ?(verify = true)
     ?(trace = false) ?(clock_ps = 1600.0) cmd design =
   {
     js_design = design;
@@ -322,11 +323,12 @@ let job_spec ?ii ?min_latency ?max_latency ?max_passes ?timeout_s ?(verify = tru
     js_max_latency = max_latency;
     js_max_passes = max_passes;
     js_timeout_s = timeout_s;
+    js_deadline_s = deadline_s;
     js_verify = verify;
     js_trace = trace;
   }
 
-type request = Hello of int | Submit of job_spec | Cancel of int | Stats | Shutdown
+type request = Hello of int | Submit of job_spec | Cancel of int | Stats | Health | Shutdown
 
 let opt_int = function None -> Null | Some i -> Int i
 let opt_float = function None -> Null | Some f -> Float f
@@ -344,6 +346,7 @@ let job_spec_to_json js =
       ("max_latency", opt_int js.js_max_latency);
       ("max_passes", opt_int js.js_max_passes);
       ("timeout_s", opt_float js.js_timeout_s);
+      ("deadline_s", opt_float js.js_deadline_s);
       ("verify", Bool js.js_verify);
       ("trace", Bool js.js_trace);
     ]
@@ -356,6 +359,7 @@ let request_to_json = function
       | _ -> assert false)
   | Cancel id -> Obj [ ("type", String "cancel"); ("job", Int id) ]
   | Stats -> Obj [ ("type", String "stats") ]
+  | Health -> Obj [ ("type", String "health") ]
   | Shutdown -> Obj [ ("type", String "shutdown") ]
 
 let field_int j k = Option.bind (member k j) get_int
@@ -386,6 +390,7 @@ let job_spec_of_json j =
               js_max_latency = field_int j "max_latency";
               js_max_passes = field_int j "max_passes";
               js_timeout_s = field_float j "timeout_s";
+              js_deadline_s = field_float j "deadline_s";
               js_verify = Option.value (field_bool j "verify") ~default:true;
               js_trace = Option.value (field_bool j "trace") ~default:false;
             })
@@ -402,9 +407,19 @@ let request_of_json j =
       | Some id -> Ok (Cancel id)
       | None -> Error "cancel needs an integer 'job'")
   | Some "stats" -> Ok Stats
+  | Some "health" -> Ok Health
   | Some "shutdown" -> Ok Shutdown
   | Some t -> Error (Printf.sprintf "unknown request type '%s'" t)
   | None -> Error "request needs a 'type'"
+
+(* ------------------------------------------------------------------ *)
+(* Typed error frames *)
+
+let error_frame ?job ?(extra = []) ~code msg =
+  Obj
+    ((match job with Some id -> [ ("job", Int id) ] | None -> [])
+    @ [ ("type", String "error"); ("code", String code); ("message", String msg) ]
+    @ extra)
 
 (* ------------------------------------------------------------------ *)
 (* Outcomes *)

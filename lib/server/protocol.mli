@@ -90,14 +90,18 @@ type job_spec = {
   js_min_latency : int option;
   js_max_latency : int option;
   js_max_passes : int option;
-  js_timeout_s : float option;  (** per-job wall-clock budget *)
+  js_timeout_s : float option;  (** scheduler wall-clock budget (soft: typed failure) *)
+  js_deadline_s : float option;
+      (** hard per-job wall deadline: the supervisor kills the worker at
+          this age and answers with a typed [deadline_exceeded] error;
+          [None] falls back to the daemon's configured default *)
   js_verify : bool;
   js_trace : bool;  (** stream scheduling events while the job runs *)
 }
 
 val job_spec : ?ii:int -> ?min_latency:int -> ?max_latency:int -> ?max_passes:int ->
-  ?timeout_s:float -> ?verify:bool -> ?trace:bool -> ?clock_ps:float -> cmd ->
-  [ `Builtin of string | `Source of string ] -> job_spec
+  ?timeout_s:float -> ?deadline_s:float -> ?verify:bool -> ?trace:bool -> ?clock_ps:float ->
+  cmd -> [ `Builtin of string | `Source of string ] -> job_spec
 (** [clock_ps] defaults to 1600; [verify] to [true] (the CLI default);
     [trace] to [false]. *)
 
@@ -106,10 +110,21 @@ type request =
   | Submit of job_spec
   | Cancel of int  (** job id *)
   | Stats
+  | Health  (** liveness + supervision snapshot (workers, queue, store) *)
   | Shutdown  (** ask the daemon to drain (same path as SIGTERM) *)
 
 val request_to_json : request -> json
 val request_of_json : json -> (request, string) result
+
+val error_frame : ?job:int -> ?extra:(string * json) list -> code:string -> string -> json
+(** The daemon's typed error frame:
+    [{"type":"error","code":C,"message":M}] plus the job id and any
+    [extra] fields (e.g. [retry_after_ms] on [overloaded] rejects).
+    Stable codes include [bad_json], [frame_too_large], [proto_mismatch],
+    [hello_required], [bad_request], [bad_design], [queue_full],
+    [overloaded], [draining]; job results that failed inside the service
+    tier come back as [result] frames with [code] [worker_lost] or
+    [deadline_exceeded]. *)
 
 (** {2 Job outcome (client-side decoded result frame)} *)
 

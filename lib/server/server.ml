@@ -1,20 +1,24 @@
-(** Daemon implementation.  See the interface for the threading model;
+(** Daemon implementation.  See the interface for the process model;
     the invariants that matter here:
 
-    - [t.mutex] guards the job table, admission counters, statistics and
-      the memo cache.  Rendering of results (which touches the netlist's
-      internal memo tables) happens either on the worker domain that owns
-      the fresh result or under [t.mutex] for cache hits, so no two
-      domains ever mutate one netlist concurrently.
-    - Every frame write goes through [send] (per-connection writer mutex
-      + dead-peer latch), so a client that disconnects mid-stream turns
-      into silently dropped frames, never an unhandled [EPIPE].
+    - [t.mutex] guards the job table, the slot array, admission counters,
+      statistics and the in-memory artifact cache.  Lock order is
+      [t.mutex] → [conn.c_wmutex]; nothing takes them the other way.
+    - Every frame write to a client goes through [send] (per-connection
+      writer mutex + dead-peer latch), so a client that disconnects
+      mid-stream turns into silently dropped frames, never an unhandled
+      [EPIPE].  Writes to a worker pipe may fail when the worker just
+      died; they are deliberately ignored — the slot's reader thread
+      owns the death and will re-queue the job.
+    - Exactly one thread retires a worker: its reader.  The supervisor
+      only ever SIGKILLs (recording why in [s_kill_reason]); the kill
+      surfaces to the reader as EOF, which closes the fd, reaps the pid,
+      re-queues or fails the in-hand job, and schedules the respawn.
     - [stop] is just an atomic flag plus one self-pipe byte: safe from a
       signal handler.  The listener thread notices and runs the drain. *)
 
-module Flow = Hls_flow.Flow
 module Diag = Hls_diag.Diag
-module Dse = Hls_dse.Dse
+module Store = Hls_store.Store
 module P = Protocol
 
 type config = {
@@ -22,11 +26,35 @@ type config = {
   tcp_port : int option;
   workers : int;
   queue_capacity : int;
+  shed_watermark : int option;
+  store_dir : string option;
+  deadline_s : float;
+  hb_interval_s : float;
+  hb_timeout_s : float;
+  max_requeues : int;
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  chaos : Worker.chaos option;
   verbose : bool;
 }
 
 let default_config =
-  { socket = "hlsc.sock"; tcp_port = None; workers = 2; queue_capacity = 64; verbose = false }
+  {
+    socket = "hlsc.sock";
+    tcp_port = None;
+    workers = 2;
+    queue_capacity = 64;
+    shed_watermark = Some 48;
+    store_dir = None;
+    deadline_s = 300.0;
+    hb_interval_s = 0.05;
+    hb_timeout_s = 2.0;
+    max_requeues = 1;
+    backoff_base_s = 0.05;
+    backoff_cap_s = 2.0;
+    chaos = None;
+    verbose = false;
+  }
 
 type conn = {
   c_id : int;
@@ -35,45 +63,67 @@ type conn = {
   mutable c_alive : bool;  (** cleared on the first failed write *)
 }
 
-type job_state = J_queued | J_running | J_done
-
 type job = {
   j_id : int;
   j_spec : P.job_spec;
   j_conn : conn;
-  mutable j_state : job_state;  (** guarded by [t.mutex] *)
+  j_key : string;  (** two-level fingerprint: cache and store key *)
   mutable j_cancelled : bool;  (** guarded by [t.mutex] *)
+  mutable j_requeues : int;  (** re-dispatches after a lost worker *)
+  mutable j_started : float;  (** when last dispatched *)
+  mutable j_deadline : float;  (** absolute kill deadline once dispatched *)
 }
 
-(* one memo-cache entry: the flow result plus lazily rendered per-command
-   output (rendered on the worker domain that produced the result, or
-   under [t.mutex] on a hit with a new command) *)
-type entry = {
-  e_flow : (Flow.t, Diag.t) result;
-  e_wall : float;
-  e_rendered : (P.cmd, string) Hashtbl.t;
+type slot_state = W_idle | W_busy of job | W_dead
+type kill_reason = K_none | K_deadline | K_hang
+
+(* one supervised worker process; all fields guarded by [t.mutex] *)
+type slot = {
+  s_idx : int;
+  s_queue : job Queue.t;  (** jobs with affinity to this slot *)
+  mutable s_state : slot_state;
+  mutable s_pid : int;  (** 0 when no process *)
+  mutable s_fd : Unix.file_descr;  (** meaningful only when [s_pid <> 0] *)
+  mutable s_gen : int;  (** respawn generation *)
+  mutable s_last_beat : float;
+  mutable s_crashes : int;  (** consecutive losses; reset on a completion *)
+  mutable s_respawn_at : float;  (** earliest respawn when [W_dead] *)
+  mutable s_kill_reason : kill_reason;  (** why the supervisor shot it *)
 }
 
 type t = {
   cfg : config;
   listeners : Unix.file_descr list;
-  pool : Dse.Pool.t;
+  store : Store.t option;
   mutex : Mutex.t;
-  cache : (string * Dse.point, entry) Hashtbl.t;
-  jobs : (int, job) Hashtbl.t;
+  drain_cv : Condition.t;  (** signalled whenever a job leaves the system *)
+  cache : (string, Artifact.t) Hashtbl.t;
+  jobs : (int, job) Hashtbl.t;  (** queued or in flight *)
+  slots : slot array;
   mutable next_job : int;
   mutable next_conn : int;
   mutable queued : int;
   mutable in_flight : int;
   mutable conns : (Thread.t * conn) list;
+  mutable readers : Thread.t list;
+  mutable supervisor : Thread.t option;
+  mutable stopping_workers : bool;  (** drain: readers stop respawn bookkeeping *)
+  sup_stop : bool Atomic.t;
   (* statistics *)
   mutable n_submitted : int;
   mutable n_ok : int;
   mutable n_failed : int;
   mutable n_cancelled : int;
   mutable n_rejected : int;
+  mutable n_shed : int;
   mutable n_cache_hits : int;
+  mutable n_store_hits : int;
   mutable n_conns_total : int;
+  mutable n_crashes : int;
+  mutable n_respawns : int;
+  mutable n_requeued : int;
+  mutable n_deadline_kills : int;
+  mutable n_hang_kills : int;
   mutable st_passes : int;
   mutable st_warm : int;
   mutable st_cold : int;
@@ -92,6 +142,8 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+let quiet_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
 (* ------------------------------------------------------------------ *)
 (* Frame output *)
 
@@ -103,190 +155,331 @@ let send conn frame =
        conn.c_alive <- false);
   Mutex.unlock conn.c_wmutex
 
-let error_frame ?job ~code msg =
-  P.Obj
-    ((match job with Some id -> [ ("job", P.Int id) ] | None -> [])
-    @ [ ("type", P.String "error"); ("code", P.String code); ("message", P.String msg) ])
-
-(* ------------------------------------------------------------------ *)
-(* Job execution *)
-
-let options_of_spec (js : P.job_spec) =
-  {
-    Flow.default_options with
-    Flow.ii = js.P.js_ii;
-    clock_ps = js.P.js_clock_ps;
-    min_latency = js.P.js_min_latency;
-    max_latency = js.P.js_max_latency;
-    verify = js.P.js_verify;
-    sched =
-      {
-        Hls_core.Scheduler.default_options with
-        max_passes =
-          Option.value js.P.js_max_passes
-            ~default:Hls_core.Scheduler.default_options.Hls_core.Scheduler.max_passes;
-        timeout_s = js.P.js_timeout_s;
-      };
-  }
-
-let point_of_spec (js : P.job_spec) =
-  Dse.point ?ii:js.P.js_ii ?min_latency:js.P.js_min_latency ?max_latency:js.P.js_max_latency
-    ~clock_ps:js.P.js_clock_ps ()
-
-(* render under the caller's exclusivity guarantee (worker domain owning a
-   fresh result, or [t.mutex] held for a shared cached one) *)
-let rendered entry cmd =
-  match Hashtbl.find_opt entry.e_rendered cmd with
-  | Some s -> s
-  | None ->
-      let s = match entry.e_flow with Ok f -> Render.output cmd f | Error _ -> "" in
-      Hashtbl.replace entry.e_rendered cmd s;
-      s
-
-let result_frame t job ~cached ~wall entry =
-  let base = [ ("type", P.String "result"); ("job", P.Int job.j_id) ] in
-  match entry.e_flow with
-  | Ok f ->
-      let output = rendered entry job.j_spec.P.js_cmd in
-      P.Obj
-        (base
-        @ [
-            ("status", P.String "ok");
-            ("output", P.String output);
-            ("summary", P.String (Flow.summary f));
-            ("tier", P.String (Flow.tier_to_string f.Flow.f_tier));
-            ("notes", P.List (List.map (fun n -> P.String (Diag.to_string n)) f.Flow.f_notes));
-            ("cached", P.Bool cached);
-            ("wall_s", P.Float wall);
-            ("li", P.Int f.Flow.f_sched.Hls_core.Scheduler.s_li);
-            ("ii", P.Int f.Flow.f_cycles_per_iter);
-            ("delay_ps", P.Float f.Flow.f_delay_ps);
-            ("area", P.Float f.Flow.f_area.Hls_rtl.Stats.a_total);
-            ("power_mw", P.Float f.Flow.f_power_mw);
-          ])
-  | Error d ->
-      ignore t;
-      P.Obj
-        (base
-        @ [
-            ("status", P.String "error");
-            ("diag", P.String (Diag.to_string d));
-            ("diag_json", P.String (Diag.to_json d));
-            ("code", P.String d.Diag.d_code);
-            ("cached", P.Bool cached);
-            ("wall_s", P.Float wall);
-          ])
-
-let cancelled_frame job =
+let cancelled_frame job_id =
   P.Obj
     [
       ("type", P.String "result");
-      ("job", P.Int job.j_id);
+      ("job", P.Int job_id);
       ("status", P.String "cancelled");
       ("cached", P.Bool false);
       ("wall_s", P.Float 0.0);
     ]
 
-let account t = function
-  | Ok (f : Flow.t) ->
-      let st = f.Flow.f_stats in
-      t.n_ok <- t.n_ok + 1;
-      t.st_passes <- t.st_passes + st.Hls_core.Scheduler.st_passes;
-      t.st_warm <- t.st_warm + st.Hls_core.Scheduler.st_warm_passes;
-      t.st_cold <- t.st_cold + st.Hls_core.Scheduler.st_cold_passes;
-      t.st_queries <- t.st_queries + st.Hls_core.Scheduler.st_queries;
-      t.st_actions <- t.st_actions + st.Hls_core.Scheduler.st_actions
-  | Error _ -> t.n_failed <- t.n_failed + 1
+(* a service-tier failure is still a [result] frame (the job was accepted
+   and has an answer) — just one whose diagnostic the daemon authored *)
+let failed_result_frame ~job_id ~wall ~code msg =
+  let d = Diag.make ~phase:Diag.Serve ~code "%s" msg in
+  P.Obj
+    [
+      ("type", P.String "result");
+      ("job", P.Int job_id);
+      ("status", P.String "error");
+      ("diag", P.String (Diag.to_string d));
+      ("diag_json", P.String (Diag.to_json d));
+      ("code", P.String code);
+      ("cached", P.Bool false);
+      ("wall_s", P.Float wall);
+    ]
 
-(* runs on a worker domain *)
-let exec_job t job =
-  let finish_state () =
-    locked t (fun () ->
-        job.j_state <- J_done;
-        t.in_flight <- t.in_flight - 1;
-        Hashtbl.remove t.jobs job.j_id)
-  in
-  let cancelled_at_start =
-    locked t (fun () ->
-        t.queued <- t.queued - 1;
-        t.in_flight <- t.in_flight + 1;
-        if job.j_cancelled then true
-        else begin
-          job.j_state <- J_running;
-          false
-        end)
-  in
-  if cancelled_at_start then begin
-    locked t (fun () -> t.n_cancelled <- t.n_cancelled + 1);
-    send job.j_conn (cancelled_frame job);
-    finish_state ()
+(* ------------------------------------------------------------------ *)
+(* Accounting *)
+
+let account t (a : Artifact.t) ~store_hit =
+  if a.Artifact.a_ok then begin
+    t.n_ok <- t.n_ok + 1;
+    if not store_hit then begin
+      (* the st_* pass counters track scheduling actually performed *)
+      t.st_passes <- t.st_passes + a.Artifact.a_passes;
+      t.st_warm <- t.st_warm + a.Artifact.a_warm;
+      t.st_cold <- t.st_cold + a.Artifact.a_cold;
+      t.st_queries <- t.st_queries + a.Artifact.a_queries;
+      t.st_actions <- t.st_actions + a.Artifact.a_actions
+    end
   end
-  else begin
-    let spec = job.j_spec in
-    match Design_db.load spec.P.js_design with
-    | Error m ->
-        locked t (fun () -> t.n_failed <- t.n_failed + 1);
-        send job.j_conn (error_frame ~job:job.j_id ~code:"bad_design" m);
-        finish_state ()
-    | Ok design ->
-        let options = options_of_spec spec in
-        let key = (Dse.base_fingerprint ~options design, point_of_spec spec) in
-        let hit = locked t (fun () -> Hashtbl.find_opt t.cache key) in
-        (match hit with
-        | Some entry ->
-            let frame =
-              locked t (fun () ->
-                  t.n_cache_hits <- t.n_cache_hits + 1;
-                  (* outcome counters track served results; the st_* pass
-                     counters stay untouched — no scheduling ran *)
-                  (match entry.e_flow with
-                  | Ok _ -> t.n_ok <- t.n_ok + 1
-                  | Error _ -> t.n_failed <- t.n_failed + 1);
-                  result_frame t job ~cached:true ~wall:entry.e_wall entry)
+  else t.n_failed <- t.n_failed + 1
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch (all _locked functions require [t.mutex] held) *)
+
+let job_frame job =
+  P.Obj
+    [
+      ("type", P.String "job");
+      ("job", P.Int job.j_id);
+      ("spec", P.request_to_json (P.Submit job.j_spec));
+    ]
+
+let dispatch_locked t slot job =
+  let now = Unix.gettimeofday () in
+  slot.s_state <- W_busy job;
+  t.queued <- t.queued - 1;
+  t.in_flight <- t.in_flight + 1;
+  job.j_started <- now;
+  job.j_deadline <-
+    now +. Option.value job.j_spec.P.js_deadline_s ~default:t.cfg.deadline_s;
+  (* a failed write means the worker just died: leave the job in
+     [W_busy] — the slot's reader owns the death and will re-queue it *)
+  try P.write_frame slot.s_fd (job_frame job)
+  with Unix.Unix_error _ | Sys_error _ -> ()
+
+let rec pump_locked t slot =
+  match slot.s_state with
+  | W_busy _ | W_dead -> ()
+  | W_idle -> (
+      match Queue.take_opt slot.s_queue with
+      | None -> ()
+      | Some job ->
+          if job.j_cancelled then begin
+            t.queued <- t.queued - 1;
+            t.n_cancelled <- t.n_cancelled + 1;
+            Hashtbl.remove t.jobs job.j_id;
+            send job.j_conn (cancelled_frame job.j_id);
+            Condition.broadcast t.drain_cv;
+            pump_locked t slot
+          end
+          else dispatch_locked t slot job)
+
+let requeue_locked t slot job =
+  job.j_requeues <- job.j_requeues + 1;
+  t.n_requeued <- t.n_requeued + 1;
+  t.in_flight <- t.in_flight - 1;
+  t.queued <- t.queued + 1;
+  (* move off the crashed slot: the design may be what killed it *)
+  let target = t.slots.((slot.s_idx + 1) mod Array.length t.slots) in
+  Queue.push job target.s_queue;
+  pump_locked t target
+
+let fail_inflight_locked t job ~code msg =
+  t.in_flight <- t.in_flight - 1;
+  t.n_failed <- t.n_failed + 1;
+  Hashtbl.remove t.jobs job.j_id;
+  let wall = Unix.gettimeofday () -. job.j_started in
+  send job.j_conn (failed_result_frame ~job_id:job.j_id ~wall ~code msg)
+
+(* ------------------------------------------------------------------ *)
+(* Worker frames (reader threads, one per live worker generation) *)
+
+let handle_wresult t slot frame =
+  let job_id = Option.value (Option.bind (P.member "job" frame) P.get_int) ~default:(-1) in
+  let store_hit =
+    Option.value (Option.bind (P.member "store_hit" frame) P.get_bool) ~default:false
+  in
+  let artifact =
+    match P.member "artifact" frame with
+    | Some j -> Artifact.of_json j
+    | None -> Error "wresult frame without artifact"
+  in
+  locked t (fun () ->
+      slot.s_crashes <- 0;
+      (match slot.s_state with
+      | W_busy j when j.j_id = job_id -> slot.s_state <- W_idle
+      | _ -> ());
+      (match Hashtbl.find_opt t.jobs job_id with
+      | None -> ()
+      | Some job -> (
+          t.in_flight <- t.in_flight - 1;
+          Hashtbl.remove t.jobs job_id;
+          match artifact with
+          | Error m ->
+              t.n_failed <- t.n_failed + 1;
+              send job.j_conn
+                (failed_result_frame ~job_id ~wall:(Unix.gettimeofday () -. job.j_started)
+                   ~code:"worker_lost" ("worker returned an undecodable artifact: " ^ m))
+          | Ok a ->
+              Hashtbl.replace t.cache job.j_key a;
+              if store_hit then t.n_store_hits <- t.n_store_hits + 1;
+              if job.j_cancelled then begin
+                t.n_cancelled <- t.n_cancelled + 1;
+                send job.j_conn (cancelled_frame job_id)
+              end
+              else begin
+                account t a ~store_hit;
+                send job.j_conn
+                  (Artifact.result_frame ~job:job_id ~cmd:job.j_spec.P.js_cmd ~cached:store_hit a)
+              end));
+      pump_locked t slot;
+      Condition.broadcast t.drain_cv)
+
+let handle_worker_death t slot ~gen ~pid ~fd =
+  Mutex.lock t.mutex;
+  if slot.s_gen = gen then begin
+    quiet_close fd;
+    let status =
+      match Unix.waitpid [] pid with
+      | _, st -> st
+      | exception Unix.Unix_error _ -> Unix.WEXITED 0
+    in
+    let reason = slot.s_kill_reason in
+    slot.s_kill_reason <- K_none;
+    slot.s_pid <- 0;
+    let busy = match slot.s_state with W_busy j -> Some j | _ -> None in
+    slot.s_state <- W_dead;
+    if t.stopping_workers then () (* drain retirement: nothing to book-keep *)
+    else begin
+      t.n_crashes <- t.n_crashes + 1;
+      slot.s_crashes <- slot.s_crashes + 1;
+      let backoff =
+        Float.min t.cfg.backoff_cap_s
+          (t.cfg.backoff_base_s *. (2.0 ** float_of_int (slot.s_crashes - 1)))
+      in
+      slot.s_respawn_at <- Unix.gettimeofday () +. backoff;
+      let status_str =
+        match status with
+        | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+        | Unix.WSIGNALED n -> Printf.sprintf "signal %d" n
+        | Unix.WSTOPPED n -> Printf.sprintf "stopped %d" n
+      in
+      (match busy with
+      | None -> ()
+      | Some job -> (
+          match reason with
+          | K_deadline ->
+              t.n_deadline_kills <- t.n_deadline_kills + 1;
+              fail_inflight_locked t job ~code:"deadline_exceeded"
+                (Printf.sprintf "job exceeded its %.1fs wall deadline and its worker was killed"
+                   (job.j_deadline -. job.j_started))
+          | K_hang | K_none ->
+              if reason = K_hang then t.n_hang_kills <- t.n_hang_kills + 1;
+              if job.j_cancelled then begin
+                t.in_flight <- t.in_flight - 1;
+                t.n_cancelled <- t.n_cancelled + 1;
+                Hashtbl.remove t.jobs job.j_id;
+                send job.j_conn (cancelled_frame job.j_id)
+              end
+              else if job.j_requeues < t.cfg.max_requeues then
+                requeue_locked t slot job
+              else
+                fail_inflight_locked t job ~code:"worker_lost"
+                  (Printf.sprintf
+                     "worker died %d time(s) running this job (%s); giving up after %d \
+                      re-dispatch(es)"
+                     (job.j_requeues + 1) status_str job.j_requeues)));
+      logv t "slot %d worker (pid %d) lost: %s, %s; respawn in %.0f ms" slot.s_idx pid
+        status_str
+        (match reason with
+        | K_deadline -> "deadline kill"
+        | K_hang -> "hang kill"
+        | K_none -> "crash")
+        (backoff *. 1000.0)
+    end;
+    Condition.broadcast t.drain_cv
+  end;
+  Mutex.unlock t.mutex
+
+let reader t slot ~gen ~pid ~fd =
+  let rec loop () =
+    match P.read_frame fd with
+    | Error (P.F_eof | P.F_oversized _ | P.F_bad_json _) ->
+        handle_worker_death t slot ~gen ~pid ~fd
+    | Ok frame -> (
+        (match Option.bind (P.member "type" frame) P.get_string with
+        | Some "heartbeat" | Some "ready" ->
+            locked t (fun () -> slot.s_last_beat <- Unix.gettimeofday ())
+        | Some "event" -> (
+            let job_id =
+              Option.value (Option.bind (P.member "job" frame) P.get_int) ~default:(-1)
             in
-            send job.j_conn frame
-        | None ->
-            let trace =
-              if spec.P.js_trace then
-                Some
-                  (Hls_core.Trace.create
-                     ~sink:(fun level text ->
-                       send job.j_conn
-                         (P.Obj
-                            [
-                              ("type", P.String "event");
-                              ("job", P.Int job.j_id);
-                              ("level", P.String (Hls_core.Trace.level_to_string level));
-                              ("text", P.String text);
-                            ]))
-                     ())
-              else None
-            in
-            let t0 = Unix.gettimeofday () in
-            let flow = Flow.run ~options ?trace design in
-            let wall = Unix.gettimeofday () -. t0 in
-            let entry = { e_flow = flow; e_wall = wall; e_rendered = Hashtbl.create 4 } in
-            (* render on this domain while we exclusively own the result *)
-            ignore (rendered entry spec.P.js_cmd);
-            let was_cancelled =
-              locked t (fun () ->
-                  Hashtbl.replace t.cache key entry;
-                  account t flow;
-                  job.j_cancelled)
-            in
-            if was_cancelled then begin
-              locked t (fun () -> t.n_cancelled <- t.n_cancelled + 1);
-              send job.j_conn (cancelled_frame job)
-            end
-            else send job.j_conn (result_frame t job ~cached:false ~wall entry));
-        finish_state ()
-  end
+            match locked t (fun () -> Hashtbl.find_opt t.jobs job_id) with
+            | Some job -> send job.j_conn frame
+            | None -> ())
+        | Some "wresult" -> handle_wresult t slot frame
+        | Some _ | None -> ());
+        loop ())
+  in
+  loop ()
+
+(* requires [t.mutex] held (or a single-threaded process, in [create]).
+   The child inherits the parent image mid-lock: it must touch nothing of
+   [t] beyond reading the snapshot of descriptors to close, and must
+   leave through [Worker.main]'s [_exit] paths only. *)
+let spawn_locked t slot =
+  let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.fork () with
+  | 0 ->
+      quiet_close parent_fd;
+      List.iter quiet_close t.listeners;
+      quiet_close t.stop_r;
+      quiet_close t.stop_w;
+      Array.iter (fun s -> if s.s_pid <> 0 then quiet_close s.s_fd) t.slots;
+      List.iter (fun (_, c) -> quiet_close c.c_fd) t.conns;
+      Worker.main
+        {
+          Worker.w_slot = slot.s_idx;
+          w_gen = slot.s_gen + 1;
+          w_hb_interval_s = t.cfg.hb_interval_s;
+          w_store_dir = t.cfg.store_dir;
+          w_chaos = t.cfg.chaos;
+        }
+        child_fd
+  | pid ->
+      Unix.close child_fd;
+      slot.s_gen <- slot.s_gen + 1;
+      slot.s_pid <- pid;
+      slot.s_fd <- parent_fd;
+      slot.s_state <- W_idle;
+      slot.s_last_beat <- Unix.gettimeofday ();
+      slot.s_kill_reason <- K_none;
+      let gen = slot.s_gen in
+      let th = Thread.create (fun () -> reader t slot ~gen ~pid ~fd:parent_fd) () in
+      t.readers <- th :: t.readers;
+      logv t "slot %d worker spawned (pid %d, gen %d)" slot.s_idx pid gen
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor *)
+
+let supervise t =
+  while not (Atomic.get t.sup_stop) do
+    Unix.sleepf 0.02;
+    locked t (fun () ->
+        let now = Unix.gettimeofday () in
+        Array.iter
+          (fun slot ->
+            match slot.s_state with
+            | W_busy job when slot.s_kill_reason = K_none && now > job.j_deadline ->
+                slot.s_kill_reason <- K_deadline;
+                logv t "slot %d: job %d blew its deadline; killing pid %d" slot.s_idx job.j_id
+                  slot.s_pid;
+                (try Unix.kill slot.s_pid Sys.sigkill with Unix.Unix_error _ -> ())
+            | W_busy _ | W_idle ->
+                if
+                  slot.s_kill_reason = K_none
+                  && now -. slot.s_last_beat > t.cfg.hb_timeout_s
+                then begin
+                  slot.s_kill_reason <- K_hang;
+                  logv t "slot %d: heartbeat %.2fs stale; killing pid %d" slot.s_idx
+                    (now -. slot.s_last_beat) slot.s_pid;
+                  try Unix.kill slot.s_pid Sys.sigkill with Unix.Unix_error _ -> ()
+                end
+            | W_dead ->
+                if (not t.stopping_workers) && slot.s_pid = 0 && now >= slot.s_respawn_at
+                then begin
+                  t.n_respawns <- t.n_respawns + 1;
+                  spawn_locked t slot;
+                  pump_locked t slot
+                end)
+          t.slots;
+        if Atomic.get t.stop_flag then Condition.broadcast t.drain_cv)
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Request handling (connection threads) *)
 
 let stats_frame t =
   locked t (fun () ->
+      let store_json =
+        match t.store with
+        | None -> P.Obj [ ("enabled", P.Bool false) ]
+        | Some st ->
+            let s = Store.stats st in
+            P.Obj
+              [
+                ("enabled", P.Bool true);
+                ("entries", P.Int s.Store.st_entries);
+                ("bytes", P.Int s.Store.st_bytes);
+                ("quarantined", P.Int s.Store.st_quarantined);
+                ("hits", P.Int t.n_store_hits);
+              ]
+      in
       P.Obj
         [
           ("type", P.String "stats");
@@ -297,6 +490,8 @@ let stats_frame t =
           ("queue_depth", P.Int t.queued);
           ("in_flight", P.Int t.in_flight);
           ("queue_capacity", P.Int t.cfg.queue_capacity);
+          ( "shed_watermark",
+            match t.cfg.shed_watermark with Some w -> P.Int w | None -> P.Null );
           ("draining", P.Bool (Atomic.get t.stop_flag));
           ("connections_active", P.Int (List.length t.conns));
           ("connections_total", P.Int t.n_conns_total);
@@ -308,10 +503,25 @@ let stats_frame t =
                 ("failed", P.Int t.n_failed);
                 ("cancelled", P.Int t.n_cancelled);
                 ("rejected", P.Int t.n_rejected);
+                ("shed", P.Int t.n_shed);
               ] );
           ( "cache",
-            P.Obj [ ("entries", P.Int (Hashtbl.length t.cache)); ("hits", P.Int t.n_cache_hits) ]
-          );
+            P.Obj
+              [
+                ("entries", P.Int (Hashtbl.length t.cache));
+                ("hits", P.Int t.n_cache_hits);
+                ("store_hits", P.Int t.n_store_hits);
+              ] );
+          ("store", store_json);
+          ( "supervisor",
+            P.Obj
+              [
+                ("crashes", P.Int t.n_crashes);
+                ("respawns", P.Int t.n_respawns);
+                ("requeued", P.Int t.n_requeued);
+                ("deadline_kills", P.Int t.n_deadline_kills);
+                ("hang_kills", P.Int t.n_hang_kills);
+              ] );
           ( "sched",
             P.Obj
               [
@@ -323,44 +533,160 @@ let stats_frame t =
               ] );
         ])
 
+let health_frame t =
+  locked t (fun () ->
+      let now = Unix.gettimeofday () in
+      let degraded = ref false in
+      let workers =
+        Array.to_list t.slots
+        |> List.map (fun s ->
+               let state, inflight =
+                 match s.s_state with
+                 | W_idle -> ("idle", 0)
+                 | W_busy _ -> ("busy", 1)
+                 | W_dead ->
+                     degraded := true;
+                     ("dead", 0)
+               in
+               P.Obj
+                 [
+                   ("slot", P.Int s.s_idx);
+                   ("pid", P.Int s.s_pid);
+                   ("alive", P.Bool (s.s_pid <> 0));
+                   ("state", P.String state);
+                   ("inflight", P.Int inflight);
+                   ("crashes", P.Int s.s_crashes);
+                   ("queue", P.Int (Queue.length s.s_queue));
+                   ( "heartbeat_age_s",
+                     P.Float (if s.s_pid = 0 then -1.0 else now -. s.s_last_beat) );
+                 ])
+      in
+      let store_json =
+        match t.store with
+        | None -> P.Obj [ ("enabled", P.Bool false) ]
+        | Some st ->
+            let s = Store.stats st in
+            P.Obj
+              [
+                ("enabled", P.Bool true);
+                ("entries", P.Int s.Store.st_entries);
+                ("quarantined", P.Int s.Store.st_quarantined);
+              ]
+      in
+      P.Obj
+        [
+          ("type", P.String "health");
+          ("status", P.String (if !degraded then "degraded" else "ok"));
+          ("draining", P.Bool (Atomic.get t.stop_flag));
+          ("workers", P.List workers);
+          ( "queue",
+            P.Obj
+              [
+                ("depth", P.Int t.queued);
+                ("in_flight", P.Int t.in_flight);
+                ("capacity", P.Int t.cfg.queue_capacity);
+                ( "watermark",
+                  match t.cfg.shed_watermark with Some w -> P.Int w | None -> P.Null );
+              ] );
+          ("store", store_json);
+        ])
+
 let stop t =
   if not (Atomic.exchange t.stop_flag true) then
     (* one byte down the self-pipe wakes the listener's select; writing
        to a pipe is async-signal-safe, so this is the SIGTERM body *)
     try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1) with Unix.Unix_error _ -> ()
 
+type admission =
+  | A_hit of int * Artifact.t
+  | A_queued of int
+  | A_rejected of string * string * (string * P.json) list
+
 let handle_submit t conn spec =
-  let verdict =
-    locked t (fun () ->
-        if Atomic.get t.stop_flag then Error ("draining", "daemon is draining; resubmit elsewhere")
-        else if t.queued >= t.cfg.queue_capacity then
-          Error
-            ( "queue_full",
-              Printf.sprintf "admission queue is full (%d job(s) pending)" t.queued )
-        else begin
-          let id = t.next_job in
-          t.next_job <- t.next_job + 1;
-          t.n_submitted <- t.n_submitted + 1;
-          t.queued <- t.queued + 1;
-          let job = { j_id = id; j_spec = spec; j_conn = conn; j_state = J_queued; j_cancelled = false } in
-          Hashtbl.replace t.jobs id job;
-          Ok job
-        end)
-  in
-  match verdict with
-  | Error (code, msg) ->
-      locked t (fun () -> t.n_rejected <- t.n_rejected + 1);
-      send conn (error_frame ~code msg)
-  | Ok job ->
-      send conn (P.Obj [ ("type", P.String "accepted"); ("job", P.Int job.j_id) ]);
-      let accepted = Dse.Pool.submit t.pool (fun () -> exec_job t job) in
-      if not accepted then begin
-        (* pool already draining: roll the admission back *)
+  match Design_db.load spec.P.js_design with
+  | Error m ->
+      (* still a per-job answer: accept, then fail with a typed code, so
+         the client's submit/await pair sees the same sequence as any
+         other failing job *)
+      let id =
         locked t (fun () ->
-            t.queued <- t.queued - 1;
-            Hashtbl.remove t.jobs job.j_id);
-        send conn (error_frame ~job:job.j_id ~code:"draining" "daemon is draining")
-      end
+            let id = t.next_job in
+            t.next_job <- t.next_job + 1;
+            t.n_submitted <- t.n_submitted + 1;
+            t.n_failed <- t.n_failed + 1;
+            id)
+      in
+      send conn (P.Obj [ ("type", P.String "accepted"); ("job", P.Int id) ]);
+      send conn (P.error_frame ~job:id ~code:"bad_design" m)
+  | Ok design -> (
+      let key = Artifact.key_of_spec ~design spec in
+      let verdict =
+        locked t (fun () ->
+            if Atomic.get t.stop_flag then
+              A_rejected ("draining", "daemon is draining; resubmit elsewhere", [])
+            else
+              match Hashtbl.find_opt t.cache key with
+              | Some a ->
+                  (* cache hits are served even beyond the shed watermark:
+                     they cost microseconds and relieve pressure *)
+                  let id = t.next_job in
+                  t.next_job <- t.next_job + 1;
+                  t.n_submitted <- t.n_submitted + 1;
+                  t.n_cache_hits <- t.n_cache_hits + 1;
+                  if a.Artifact.a_ok then t.n_ok <- t.n_ok + 1
+                  else t.n_failed <- t.n_failed + 1;
+                  A_hit (id, a)
+              | None ->
+                  if t.queued >= t.cfg.queue_capacity then
+                    A_rejected
+                      ( "queue_full",
+                        Printf.sprintf "admission queue is full (%d job(s) pending)" t.queued,
+                        [] )
+                  else if
+                    match t.cfg.shed_watermark with
+                    | Some w -> t.queued >= w
+                    | None -> false
+                  then begin
+                    t.n_shed <- t.n_shed + 1;
+                    A_rejected
+                      ( "overloaded",
+                        Printf.sprintf
+                          "daemon is shedding load (%d job(s) pending); retry with backoff"
+                          t.queued,
+                        [ ("retry_after_ms", P.Int 200) ] )
+                  end
+                  else begin
+                    let id = t.next_job in
+                    t.next_job <- t.next_job + 1;
+                    t.n_submitted <- t.n_submitted + 1;
+                    t.queued <- t.queued + 1;
+                    let job =
+                      {
+                        j_id = id;
+                        j_spec = spec;
+                        j_conn = conn;
+                        j_key = key;
+                        j_cancelled = false;
+                        j_requeues = 0;
+                        j_started = 0.0;
+                        j_deadline = 0.0;
+                      }
+                    in
+                    Hashtbl.replace t.jobs id job;
+                    let slot = t.slots.(Hashtbl.hash key mod Array.length t.slots) in
+                    Queue.push job slot.s_queue;
+                    pump_locked t slot;
+                    A_queued id
+                  end)
+      in
+      match verdict with
+      | A_rejected (code, msg, extra) ->
+          locked t (fun () -> t.n_rejected <- t.n_rejected + 1);
+          send conn (P.error_frame ~extra ~code msg)
+      | A_hit (id, a) ->
+          send conn (P.Obj [ ("type", P.String "accepted"); ("job", P.Int id) ]);
+          send conn (Artifact.result_frame ~job:id ~cmd:spec.P.js_cmd ~cached:true a)
+      | A_queued id -> send conn (P.Obj [ ("type", P.String "accepted"); ("job", P.Int id) ]))
 
 let handle_cancel t conn id =
   let found =
@@ -389,12 +715,12 @@ let conn_loop t conn =
     | Error P.F_eof -> continue := false
     | Error (P.F_oversized n) ->
         send conn
-          (error_frame ~code:"frame_too_large"
+          (P.error_frame ~code:"frame_too_large"
              (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n P.max_frame))
-    | Error (P.F_bad_json m) -> send conn (error_frame ~code:"bad_json" m)
+    | Error (P.F_bad_json m) -> send conn (P.error_frame ~code:"bad_json" m)
     | Ok json -> (
         match P.request_of_json json with
-        | Error m -> send conn (error_frame ~code:"bad_request" m)
+        | Error m -> send conn (P.error_frame ~code:"bad_request" m)
         | Ok (P.Hello v) ->
             if v = P.version then begin
               greeted := true;
@@ -402,21 +728,22 @@ let conn_loop t conn =
             end
             else begin
               send conn
-                (error_frame ~code:"proto_mismatch"
+                (P.error_frame ~code:"proto_mismatch"
                    (Printf.sprintf "daemon speaks protocol %d, client sent %d" P.version v));
               continue := false
             end
         | Ok _ when not !greeted ->
-            send conn (error_frame ~code:"hello_required" "open the session with a hello frame")
+            send conn (P.error_frame ~code:"hello_required" "open the session with a hello frame")
         | Ok (P.Submit spec) -> handle_submit t conn spec
         | Ok (P.Cancel id) -> handle_cancel t conn id
         | Ok P.Stats -> send conn (stats_frame t)
+        | Ok P.Health -> send conn (health_frame t)
         | Ok P.Shutdown ->
             send conn (P.Obj [ ("type", P.String "draining") ]);
             stop t)
   done;
   conn.c_alive <- false;
-  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+  quiet_close conn.c_fd;
   locked t (fun () -> t.conns <- List.filter (fun (_, c) -> c.c_id <> conn.c_id) t.conns);
   logv t "connection %d closed" conn.c_id
 
@@ -434,7 +761,7 @@ let bind_unix path =
         true
       with Unix.Unix_error _ -> false
     in
-    (try Unix.close probe with Unix.Unix_error _ -> ());
+    quiet_close probe;
     if live then failwith (Printf.sprintf "socket %s is already served by a live daemon" path);
     Sys.remove path
   end;
@@ -452,6 +779,16 @@ let bind_tcp port =
 
 let create cfg =
   try
+    let cfg = { cfg with workers = max 1 cfg.workers } in
+    let store =
+      match cfg.store_dir with
+      | None -> None
+      | Some dir -> (
+          (* recovery scan: wipe stale tmp files, quarantine damage *)
+          match Store.open_ dir with
+          | Ok st -> Some st
+          | Error m -> failwith (Printf.sprintf "artifact store %s: %s" dir m))
+    in
     let unix_l = bind_unix cfg.socket in
     let listeners =
       match cfg.tcp_port with
@@ -459,41 +796,78 @@ let create cfg =
       | Some port -> (
           try [ unix_l; bind_tcp port ]
           with e ->
-            (try Unix.close unix_l with Unix.Unix_error _ -> ());
+            quiet_close unix_l;
             (try Sys.remove cfg.socket with Sys_error _ -> ());
             raise e)
     in
     let stop_r, stop_w = Unix.pipe () in
-    Ok
+    let now = Unix.gettimeofday () in
+    let slots =
+      Array.init cfg.workers (fun i ->
+          {
+            s_idx = i;
+            s_queue = Queue.create ();
+            s_state = W_dead;
+            s_pid = 0;
+            s_fd = Unix.stdin (* placeholder; meaningless while s_pid = 0 *);
+            s_gen = 0;
+            s_last_beat = now;
+            s_crashes = 0;
+            s_respawn_at = now;
+            s_kill_reason = K_none;
+          })
+    in
+    let t =
       {
-        cfg = { cfg with workers = max 1 cfg.workers };
+        cfg;
         listeners;
-        pool = Dse.Pool.create ~workers:(max 1 cfg.workers) ();
+        store;
         mutex = Mutex.create ();
+        drain_cv = Condition.create ();
         cache = Hashtbl.create 64;
         jobs = Hashtbl.create 16;
+        slots;
         next_job = 1;
         next_conn = 1;
         queued = 0;
         in_flight = 0;
         conns = [];
+        readers = [];
+        supervisor = None;
+        stopping_workers = false;
+        sup_stop = Atomic.make false;
         n_submitted = 0;
         n_ok = 0;
         n_failed = 0;
         n_cancelled = 0;
         n_rejected = 0;
+        n_shed = 0;
         n_cache_hits = 0;
+        n_store_hits = 0;
         n_conns_total = 0;
+        n_crashes = 0;
+        n_respawns = 0;
+        n_requeued = 0;
+        n_deadline_kills = 0;
+        n_hang_kills = 0;
         st_passes = 0;
         st_warm = 0;
         st_cold = 0;
         st_queries = 0;
         st_actions = 0;
-        started = Unix.gettimeofday ();
+        started = now;
         stop_flag = Atomic.make false;
         stop_r;
         stop_w;
       }
+    in
+    (* the first worker generation forks here, before any other thread
+       exists, so the children are born from a single-threaded image
+       (respawn forks later come from the supervisor thread — those
+       children touch nothing but their own pipe before [_exit]) *)
+    Array.iter (fun slot -> spawn_locked t slot) t.slots;
+    t.supervisor <- Some (Thread.create supervise t);
+    Ok t
   with
   | Failure m -> Error m
   | Unix.Unix_error (e, fn, arg) ->
@@ -516,29 +890,69 @@ let accept_one t listener =
       locked t (fun () -> t.conns <- (th, conn) :: t.conns)
 
 let drain t =
-  logv t "draining: %d queued, %d in flight"
-    (locked t (fun () -> t.queued))
-    (locked t (fun () -> t.in_flight));
+  (* 0. snapshot what the signal interrupted, for the final report *)
+  let outstanding, done_before =
+    locked t (fun () -> (t.queued + t.in_flight, t.n_ok + t.n_failed + t.n_cancelled))
+  in
+  logv t "draining: %d job(s) outstanding" outstanding;
   (* 1. no new connections *)
-  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+  List.iter quiet_close t.listeners;
   (try Sys.remove t.cfg.socket with Sys_error _ -> ());
-  (* 2. finish queued + in-flight jobs, join every worker domain *)
-  Dse.Pool.shutdown t.pool;
-  (* 3. unblock and join the connection threads *)
+  (* 2. let the supervised fleet answer every queued and in-flight job
+     (the supervisor keeps respawning crashed workers meanwhile) *)
+  Mutex.lock t.mutex;
+  while t.queued > 0 || t.in_flight > 0 do
+    Condition.wait t.drain_cv t.mutex
+  done;
+  t.stopping_workers <- true;
+  Mutex.unlock t.mutex;
+  (* 3. stop the supervisor, then retire the workers: half-close their
+     pipes so they read EOF and [_exit 0]; each reader reaps its pid *)
+  Atomic.set t.sup_stop true;
+  (match t.supervisor with Some th -> Thread.join th | None -> ());
+  locked t (fun () ->
+      Array.iter
+        (fun s ->
+          if s.s_pid <> 0 then
+            try Unix.shutdown s.s_fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ())
+        t.slots);
+  List.iter Thread.join (locked t (fun () -> t.readers));
+  (* 4. persist the store index *)
+  (match t.store with
+  | None -> ()
+  | Some st -> (
+      match Store.flush_index st with
+      | Ok () -> ()
+      | Error m -> Printf.eprintf "hlsc serve: store index flush failed: %s\n%!" m));
+  (* 5. unblock and join the connection threads *)
   let conns = locked t (fun () -> t.conns) in
   List.iter
     (fun (_, c) -> try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
     conns;
   List.iter (fun (th, _) -> Thread.join th) conns;
-  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
-  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
-  (* 4. flush the cache/job statistics *)
+  quiet_close t.stop_r;
+  quiet_close t.stop_w;
+  (* 6. final report: queued-vs-completed across the drain, plus store
+     and supervision accounting *)
+  let done_during = t.n_ok + t.n_failed + t.n_cancelled - done_before in
+  let store_line =
+    match t.store with
+    | None -> "store: disabled"
+    | Some st ->
+        let s = Store.stats st in
+        Printf.sprintf "store: %d entr(ies), %d quarantined, %d hit(s), index flushed"
+          s.Store.st_entries s.Store.st_quarantined t.n_store_hits
+  in
   Printf.eprintf
-    "hlsc serve: drained after %.1fs — %d job(s): %d ok, %d failed, %d cancelled, %d rejected; \
-     cache: %d entries, %d hit(s); passes: %d (%d warm / %d cold)\n%!"
+    "hlsc serve: drained after %.1fs — %d job(s) outstanding at signal, %d completed during \
+     drain; %d job(s): %d ok, %d failed, %d cancelled, %d rejected (%d shed); cache: %d \
+     entries, %d hit(s); %s; supervision: %d crash(es), %d respawn(s), %d requeue(s), %d \
+     deadline kill(s), %d hang kill(s); passes: %d (%d warm / %d cold)\n\
+     %!"
     (Unix.gettimeofday () -. t.started)
-    t.n_submitted t.n_ok t.n_failed t.n_cancelled t.n_rejected (Hashtbl.length t.cache)
-    t.n_cache_hits t.st_passes t.st_warm t.st_cold
+    outstanding done_during t.n_submitted t.n_ok t.n_failed t.n_cancelled t.n_rejected t.n_shed
+    (Hashtbl.length t.cache) t.n_cache_hits store_line t.n_crashes t.n_respawns t.n_requeued
+    t.n_deadline_kills t.n_hang_kills t.st_passes t.st_warm t.st_cold
 
 let serve t =
   let rec loop () =
@@ -564,10 +978,15 @@ let run cfg =
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
       Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop t));
       Sys.set_signal Sys.sigint (Sys.Signal_handle (fun _ -> stop t));
-      Printf.eprintf "hlsc serve: listening on %s%s (%d worker(s), protocol %d)\n%!" cfg.socket
+      Printf.eprintf
+        "hlsc serve: listening on %s%s (%d worker process(es), protocol %d%s%s)\n%!" cfg.socket
         (match cfg.tcp_port with
         | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
         | None -> "")
-        (max 1 cfg.workers) P.version;
+        (max 1 cfg.workers) P.version
+        (match cfg.store_dir with
+        | Some d -> Printf.sprintf ", store %s" d
+        | None -> "")
+        (match cfg.chaos with Some _ -> ", CHAOS INJECTION ON" | None -> "");
       serve t;
       Ok ()

@@ -1,44 +1,91 @@
-(** The compile-service daemon behind [hlsc serve].
+(** The compile-service daemon behind [hlsc serve] — crash-only,
+    supervised edition.
 
-    A persistent process that accepts framed JSON requests (see
-    {!Protocol}) over a Unix-domain socket (and optionally loopback TCP),
-    schedules compile jobs onto a {!Hls_dse.Dse.Pool} of resident worker
-    domains, shares one memo cache across every client for the process
-    lifetime (the PR 4 two-level fingerprint key), streams scheduling
-    events to the submitting client while a job runs, and drains
-    gracefully on SIGTERM — stop admitting, finish in-flight and queued
-    jobs, flush cache statistics, join every domain, unlink the socket.
+    The daemon is split across process boundaries so that no compile
+    job, however pathological, can take the service down:
 
-    Concurrency model: one listener thread (the caller of {!serve}), one
-    thread per client connection doing framed I/O, and [workers] domains
-    executing jobs.  A per-connection writer mutex serializes frames, so
-    events of concurrent jobs interleave only at frame granularity. *)
+    - The {b acceptor} (this process) owns the listening sockets, one
+      thread per client connection, admission control, the in-memory
+      artifact cache, and the supervisor.  It never runs a compile.
+    - [workers] forked {b worker processes} (see {!Worker}) each own one
+      socketpair to the acceptor and run jobs one at a time.  Jobs are
+      dispatched by design-fingerprint affinity (same key → same slot),
+      so a hot design's warm scheduler state stays in one process.
+    - A {b supervisor thread} watches every slot: a worker that misses
+      heartbeats for [hb_timeout_s] (wedged) or blows its per-job wall
+      deadline is SIGKILLed; the dead slot is respawned after an
+      exponential backoff.  The victim's job is re-queued once (crash,
+      hang) or failed with a typed [deadline_exceeded]/[worker_lost]
+      result — clients always get an answer.
+    - An optional {b on-disk artifact store} ({!Hls_store.Store}) keyed
+      by the two-level design fingerprint makes results survive daemon
+      restarts: workers consult it before compiling and publish after;
+      the acceptor scans it for damage at startup and flushes its index
+      on drain.
+
+    Admission control is two-level: beyond [queue_capacity] queued jobs
+    a submit is refused with [queue_full]; beyond the (lower)
+    [shed_watermark] it is shed with a typed [overloaded] reject
+    carrying [retry_after_ms] — except that in-memory cache hits are
+    always served (they cost microseconds and relieve pressure).
+
+    Drain (SIGTERM/SIGINT/shutdown verb): stop accepting, let the
+    supervised fleet finish every queued and in-flight job (respawning
+    crashed workers as needed), retire the workers, flush the store
+    index, close connections, and report queued-vs-completed counts in
+    the final stats line. *)
 
 type config = {
   socket : string;  (** Unix-domain socket path (created; unlinked on drain) *)
   tcp_port : int option;  (** also listen on 127.0.0.1:port *)
-  workers : int;  (** worker-domain count (≥ 1) *)
+  workers : int;  (** worker-process count (≥ 1) *)
   queue_capacity : int;
       (** admission control: jobs queued-but-not-started beyond this are
           refused with a typed [queue_full] error *)
-  verbose : bool;  (** log connection/job lifecycle to stderr *)
+  shed_watermark : int option;
+      (** shed load before the hard limit: queued jobs at or beyond this
+          are refused with a typed [overloaded] error carrying a
+          [retry_after_ms] hint; [None] disables shedding *)
+  store_dir : string option;
+      (** root of the persistent artifact store; [None] = memory only *)
+  deadline_s : float;
+      (** default hard per-job wall deadline (a submit's [deadline_s]
+          overrides); the worker is killed and the job answered with
+          [deadline_exceeded] when it trips *)
+  hb_interval_s : float;  (** worker heartbeat period *)
+  hb_timeout_s : float;
+      (** heartbeats older than this mark the worker wedged: SIGKILL,
+          re-queue the job, respawn the slot *)
+  max_requeues : int;
+      (** how many times one job may be re-dispatched after losing its
+          worker before it is failed with [worker_lost] *)
+  backoff_base_s : float;  (** first respawn delay after a crash *)
+  backoff_cap_s : float;  (** respawn delay ceiling (doubles per crash) *)
+  chaos : Worker.chaos option;  (** fault injection (tests only) *)
+  verbose : bool;  (** log connection/job/supervision lifecycle to stderr *)
 }
 
 val default_config : config
 (** [{socket = "hlsc.sock"; tcp_port = None; workers = 2;
-     queue_capacity = 64; verbose = false}] *)
+     queue_capacity = 64; shed_watermark = Some 48; store_dir = None;
+     deadline_s = 300.0; hb_interval_s = 0.05; hb_timeout_s = 2.0;
+     max_requeues = 1; backoff_base_s = 0.05; backoff_cap_s = 2.0;
+     chaos = None; verbose = false}] *)
 
 type t
 
 val create : config -> (t, string) result
-(** Bind the listening sockets and spawn the worker pool.  Fails (with a
-    one-line message) if a socket cannot be bound — e.g. the path is
-    already in use by a live daemon. *)
+(** Bind the listening sockets, open (and recovery-scan) the artifact
+    store, and fork the initial worker fleet — before any thread exists,
+    so the first generation of workers is born from a single-threaded
+    image.  Fails with a one-line message if a socket cannot be bound or
+    the store is unusable. *)
 
 val serve : t -> unit
 (** Run the accept loop until {!stop} (or a handled signal) triggers the
-    drain; returns only after the drain completes: all jobs finished,
-    every domain joined, sockets closed and unlinked. *)
+    drain; returns only after the drain completes: all jobs answered,
+    workers retired and reaped, store index flushed, sockets closed and
+    unlinked. *)
 
 val stop : t -> unit
 (** Request a graceful drain.  Async-signal-safe (a flag plus a self-pipe

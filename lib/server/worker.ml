@@ -1,0 +1,158 @@
+(** Worker-process main loop.  See the interface for the wire contract
+    and the crash-only discipline; the invariants that matter here:
+
+    - Every write to the acceptor pipe goes through [send] (one writer
+      mutex shared by the main loop, the heartbeat thread and the trace
+      sink).  A failed write means the acceptor is gone, and the only
+      sane response is [_exit 0] — there is nobody left to answer.
+    - The heartbeat thread runs across compiles (the systhread tick
+      keeps it scheduled under compute-bound OCaml code), so a stale
+      heartbeat observed by the supervisor really means a wedged or
+      chaos-stalled worker, not merely a long job.
+    - Store reads/writes happen worker-side: the store's atomic puts
+      make concurrent writers from sibling workers safe, and a decode
+      or checksum failure on read is a miss (the store quarantines),
+      never an error surfaced to the client. *)
+
+module Flow = Hls_flow.Flow
+module Diag = Hls_diag.Diag
+module Store = Hls_store.Store
+module P = Protocol
+
+type chaos = { cz_seed : int; cz_kill : float; cz_stall : float; cz_corrupt : float }
+
+type config = {
+  w_slot : int;
+  w_gen : int;
+  w_hb_interval_s : float;
+  w_store_dir : string option;
+  w_chaos : chaos option;
+}
+
+let wresult ~job ~store_hit artifact =
+  P.Obj
+    [
+      ("type", P.String "wresult");
+      ("job", P.Int job);
+      ("store_hit", P.Bool store_hit);
+      ("artifact", Artifact.to_json artifact);
+    ]
+
+let run_job cfg ~send ~silence store rng ~job (spec : P.job_spec) =
+  (match cfg.w_chaos with
+  | None -> ()
+  | Some cz ->
+      if cz.cz_kill > 0.0 && Random.State.float rng 1.0 < cz.cz_kill then Unix._exit 70;
+      if cz.cz_stall > 0.0 && Random.State.float rng 1.0 < cz.cz_stall then begin
+        silence ();
+        (* wedge silently: the supervisor's heartbeat timeout must find
+           and SIGKILL us — that detection path is what this exercises *)
+        while true do
+          Unix.sleepf 3600.0
+        done
+      end);
+  match Design_db.load spec.P.js_design with
+  | Error m ->
+      let d = Diag.make ~phase:Diag.Serve ~code:"bad_design" "%s" m in
+      send (wresult ~job ~store_hit:false (Artifact.of_flow ~wall_s:0.0 (Error d)))
+  | Ok design -> (
+      let key = Artifact.key_of_spec ~design spec in
+      let hit =
+        match store with
+        | None -> None
+        | Some st -> (
+            match Store.find st key with
+            | None -> None
+            | Some text -> (
+                (* schema damage decodes as a miss — recompile, never serve *)
+                match Artifact.of_store text with Ok a -> Some a | Error _ -> None))
+      in
+      match hit with
+      | Some a -> send (wresult ~job ~store_hit:true a)
+      | None ->
+          let trace =
+            if spec.P.js_trace then
+              Some
+                (Hls_core.Trace.create
+                   ~sink:(fun level text ->
+                     send
+                       (P.Obj
+                          [
+                            ("type", P.String "event");
+                            ("job", P.Int job);
+                            ("level", P.String (Hls_core.Trace.level_to_string level));
+                            ("text", P.String text);
+                          ]))
+                   ())
+            else None
+          in
+          let options = Artifact.options_of_spec spec in
+          let t0 = Unix.gettimeofday () in
+          let flow = Flow.run ~options ?trace design in
+          let a = Artifact.of_flow ~wall_s:(Unix.gettimeofday () -. t0) flow in
+          (match store with
+          | None -> ()
+          | Some st -> (
+              (match Store.put st key (Artifact.to_store a) with
+              | Ok () -> ()
+              | Error _ -> () (* a full/broken disk must not fail the job *));
+              match cfg.w_chaos with
+              | Some cz when cz.cz_corrupt > 0.0 && Random.State.float rng 1.0 < cz.cz_corrupt ->
+                  ignore
+                    (Store.corrupt st key (if Random.State.bool rng then `Truncate else `Flip))
+              | _ -> ()));
+          send (wresult ~job ~store_hit:false a))
+
+let main cfg fd =
+  (* we are a fresh fork: no parent signal handlers apply to our pipes *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Sys.set_signal Sys.sigterm Sys.Signal_default;
+  Sys.set_signal Sys.sigint Sys.Signal_ignore;
+  let wmutex = Mutex.create () in
+  let send frame =
+    Mutex.lock wmutex;
+    (try P.write_frame fd frame
+     with Unix.Unix_error _ | Sys_error _ ->
+       (* acceptor is gone; nothing left to answer *)
+       Unix._exit 0);
+    Mutex.unlock wmutex
+  in
+  let silenced = Atomic.make false in
+  let store =
+    match cfg.w_store_dir with
+    | None -> None
+    | Some dir -> (
+        (* the acceptor already ran the recovery scan; workers attach *)
+        match Store.open_ ~scan:false dir with Ok st -> Some st | Error _ -> None)
+  in
+  let rng = Random.State.make
+      (match cfg.w_chaos with
+      | Some cz -> [| cz.cz_seed; cfg.w_slot; cfg.w_gen |]
+      | None -> [| 0; cfg.w_slot; cfg.w_gen |])
+  in
+  send (P.Obj [ ("type", P.String "ready"); ("pid", P.Int (Unix.getpid ())) ]);
+  let _hb =
+    Thread.create
+      (fun () ->
+        while true do
+          Unix.sleepf cfg.w_hb_interval_s;
+          if not (Atomic.get silenced) then send (P.Obj [ ("type", P.String "heartbeat") ])
+        done)
+      ()
+  in
+  let rec loop () =
+    (match P.read_frame fd with
+    | Error P.F_eof -> Unix._exit 0 (* acceptor closed us out: clean death *)
+    | Error (P.F_oversized _ | P.F_bad_json _) -> Unix._exit 1
+    | Ok frame -> (
+        match (P.member "type" frame, P.member "job" frame, P.member "spec" frame) with
+        | Some (P.String "job"), Some (P.Int job), Some spec_json -> (
+            match P.request_of_json spec_json with
+            | Ok (P.Submit spec) ->
+                run_job cfg ~send ~silence:(fun () -> Atomic.set silenced true) store rng ~job
+                  spec
+            | Ok _ | Error _ -> Unix._exit 1)
+        | _ -> Unix._exit 1));
+    loop ()
+  in
+  loop ()

@@ -1,0 +1,270 @@
+(** On-disk content-addressed blob store.  See the interface for the
+    crash-safety contract; the layout:
+
+    {v
+      root/VERSION            "hlsc-store <layout_version>\n"
+      root/objects/ab/abcdef… one file per entry, name = MD5(key) hex
+      root/tmp/               private write staging (wiped at open)
+      root/quarantine/        corrupt entries, renamed aside on detection
+      root/index.json         informational summary (flush_index)
+    v}
+
+    Entry bytes: ["hlsc-art <v>\n<md5-hex-of-payload>\n<len>\n"] followed
+    by exactly [len] payload bytes. *)
+
+let layout_version = 1
+
+type stats = {
+  st_entries : int;
+  st_bytes : int;
+  st_quarantined : int;
+  st_puts : int;
+  st_hits : int;
+  st_misses : int;
+}
+
+type t = {
+  root : string;
+  mutable tmp_seq : int;
+  mutable n_puts : int;
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_quarantined : int;  (** quarantines performed by this handle *)
+}
+
+let ( // ) = Filename.concat
+let objects t = t.root // "objects"
+let tmp_dir t = t.root // "tmp"
+let quarantine_dir t = t.root // "quarantine"
+let version_file root = root // "VERSION"
+let fresh_handle root = { root; tmp_seq = 0; n_puts = 0; n_hits = 0; n_misses = 0; n_quarantined = 0 }
+let version_stamp = Printf.sprintf "hlsc-store %d\n" layout_version
+
+let hashed_name key = Digest.to_hex (Digest.string key)
+let path_of_hash t h = objects t // String.sub h 0 2 // h
+let path_of_key t key = path_of_hash t (hashed_name key)
+
+let mkdir_p path =
+  let rec go p =
+    if not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      try Unix.mkdir p 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+    end
+  in
+  go path
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let list_dir path = try Array.to_list (Sys.readdir path) with Sys_error _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Entry codec *)
+
+let entry_magic = Printf.sprintf "hlsc-art %d" layout_version
+
+let encode_entry payload =
+  Printf.sprintf "%s\n%s\n%d\n%s" entry_magic
+    (Digest.to_hex (Digest.string payload))
+    (String.length payload) payload
+
+(* [None] = corrupt (bad magic, torn header, short payload, checksum
+   mismatch) — the caller quarantines *)
+let decode_entry bytes =
+  let line_end from = String.index_from_opt bytes from '\n' in
+  match line_end 0 with
+  | None -> None
+  | Some l1 when String.sub bytes 0 l1 <> entry_magic -> None
+  | Some l1 -> (
+      match line_end (l1 + 1) with
+      | None -> None
+      | Some l2 -> (
+          let digest = String.sub bytes (l1 + 1) (l2 - l1 - 1) in
+          match line_end (l2 + 1) with
+          | None -> None
+          | Some l3 -> (
+              match int_of_string_opt (String.sub bytes (l2 + 1) (l3 - l2 - 1)) with
+              | None -> None
+              | Some len ->
+                  if String.length bytes - l3 - 1 <> len then None
+                  else
+                    let payload = String.sub bytes (l3 + 1) len in
+                    if Digest.to_hex (Digest.string payload) <> digest then None
+                    else Some payload)))
+
+(* ------------------------------------------------------------------ *)
+(* Quarantine *)
+
+let quarantine t path =
+  t.n_quarantined <- t.n_quarantined + 1;
+  let dst =
+    Printf.sprintf "%s.%d.%d"
+      (quarantine_dir t // Filename.basename path)
+      (Unix.getpid ()) t.n_quarantined
+  in
+  try Sys.rename path dst
+  with Sys_error _ -> ( (* a concurrent handle beat us to it *)
+    try Sys.remove path with Sys_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Open + recovery scan *)
+
+let iter_entries t f =
+  List.iter
+    (fun shard ->
+      let sdir = objects t // shard in
+      if try Sys.is_directory sdir with Sys_error _ -> false then
+        List.iter (fun name -> f (sdir // name)) (list_dir sdir))
+    (list_dir (objects t))
+
+let recovery_scan t =
+  (* a crash can only leave garbage in tmp/ (unpublished writes) or a
+     corrupt published entry (torn by the filesystem, or chaos) *)
+  List.iter
+    (fun name -> try Sys.remove (tmp_dir t // name) with Sys_error _ -> ())
+    (list_dir (tmp_dir t));
+  iter_entries t (fun path ->
+      match decode_entry (read_file path) with
+      | Some _ -> ()
+      | None | (exception Sys_error _) -> quarantine t path)
+
+let open_ ?(scan = true) root =
+  try
+    let t = fresh_handle root in
+    mkdir_p (objects t);
+    mkdir_p (tmp_dir t);
+    mkdir_p (quarantine_dir t);
+    let vf = version_file root in
+    if Sys.file_exists vf then begin
+      let stamp = read_file vf in
+      if stamp <> version_stamp then
+        Error
+          (Printf.sprintf "store %s has incompatible layout %S (this build writes %S)" root
+             (String.trim stamp) (String.trim version_stamp))
+      else begin
+        if scan then recovery_scan t;
+        Ok t
+      end
+    end
+    else begin
+      let oc = open_out_bin vf in
+      output_string oc version_stamp;
+      close_out oc;
+      Ok t
+    end
+  with
+  | Sys_error m -> Error m
+  | Unix.Unix_error (e, fn, arg) ->
+      Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+
+let dir t = t.root
+
+(* ------------------------------------------------------------------ *)
+(* Read / write *)
+
+let put t key payload =
+  try
+    t.tmp_seq <- t.tmp_seq + 1;
+    let tmp = tmp_dir t // Printf.sprintf "put.%d.%d" (Unix.getpid ()) t.tmp_seq in
+    let oc = open_out_bin tmp in
+    output_string oc (encode_entry payload);
+    close_out oc;
+    let dst = path_of_key t key in
+    mkdir_p (Filename.dirname dst);
+    Sys.rename tmp dst;
+    t.n_puts <- t.n_puts + 1;
+    Ok ()
+  with Sys_error m -> Error m
+
+let find t key =
+  let path = path_of_key t key in
+  match read_file path with
+  | exception Sys_error _ ->
+      t.n_misses <- t.n_misses + 1;
+      None
+  | bytes -> (
+      match decode_entry bytes with
+      | Some payload ->
+          t.n_hits <- t.n_hits + 1;
+          Some payload
+      | None ->
+          quarantine t path;
+          t.n_misses <- t.n_misses + 1;
+          None)
+
+let mem t key = Sys.file_exists (path_of_key t key)
+
+let keys t =
+  let acc = ref [] in
+  iter_entries t (fun path -> acc := Filename.basename path :: !acc);
+  List.sort compare !acc
+
+let scan_totals t =
+  let entries = ref 0 and bytes = ref 0 in
+  iter_entries t (fun path ->
+      incr entries;
+      bytes := !bytes + (try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0));
+  (!entries, !bytes)
+
+let stats t =
+  let entries, bytes = scan_totals t in
+  {
+    st_entries = entries;
+    st_bytes = bytes;
+    st_quarantined = List.length (list_dir (quarantine_dir t));
+    st_puts = t.n_puts;
+    st_hits = t.n_hits;
+    st_misses = t.n_misses;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Index *)
+
+let flush_index t =
+  try
+    let s = stats t in
+    let names = keys t in
+    let buf = Buffer.create 256 in
+    Printf.bprintf buf
+      {|{"layout_version":%d,"entries":%d,"payload_file_bytes":%d,"quarantined":%d,"keys":[|}
+      layout_version s.st_entries s.st_bytes s.st_quarantined;
+    List.iteri
+      (fun i n -> Printf.bprintf buf "%s\"%s\"" (if i = 0 then "" else ",") n)
+      names;
+    Buffer.add_string buf "]}\n";
+    t.tmp_seq <- t.tmp_seq + 1;
+    let tmp = tmp_dir t // Printf.sprintf "idx.%d.%d" (Unix.getpid ()) t.tmp_seq in
+    let oc = open_out_bin tmp in
+    Buffer.output_buffer oc buf;
+    close_out oc;
+    Sys.rename tmp (t.root // "index.json");
+    Ok ()
+  with Sys_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Chaos hook *)
+
+let corrupt t key how =
+  let path = path_of_key t key in
+  match read_file path with
+  | exception Sys_error _ -> false
+  | bytes -> (
+      let damaged =
+        match how with
+        | `Truncate -> String.sub bytes 0 (String.length bytes / 2)
+        | `Flip ->
+            let b = Bytes.of_string bytes in
+            let i = Bytes.length b - 1 in
+            (* flip a payload byte (the last one), not the header *)
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0xff));
+            Bytes.to_string b
+      in
+      try
+        let oc = open_out_bin path in
+        output_string oc damaged;
+        close_out oc;
+        true
+      with Sys_error _ -> false)

@@ -1,0 +1,81 @@
+(** Crash-safe on-disk content-addressed blob store.
+
+    The compile-service daemon persists rendered compile artifacts here,
+    keyed by the two-level design fingerprint, so warm state survives
+    daemon restarts and is shared by every worker process.  The store is
+    deliberately generic: keys are arbitrary strings (hashed to file
+    names), payloads are opaque bytes — serialization belongs to the
+    caller.
+
+    Crash-only discipline:
+    - every write lands in a private temp file and is published with an
+      atomic [rename], so a crash mid-write can never leave a torn entry
+      under a live name;
+    - every entry carries a header with a layout magic, an MD5 checksum
+      and the payload length; a read that fails any of the three moves
+      the file into [quarantine/] (never served, kept for post-mortem)
+      and reports a miss;
+    - the root directory is version-stamped ([VERSION]); opening a store
+      written by an incompatible layout fails loudly instead of
+      misreading it;
+    - {!open_} runs a recovery scan: leftover temp files are deleted and
+      (by default) every entry is checksum-verified, quarantining any
+      that a crash or bit-rot corrupted.
+
+    Concurrency: many processes may share one store.  Writers never
+    collide (unique temp names, atomic rename, last-writer-wins on
+    identical keys); readers verify checksums so a reader can never
+    observe a torn entry. *)
+
+type t
+
+val layout_version : int
+(** Bumped on any incompatible change to the on-disk layout. *)
+
+(** Counters of one handle (not global across processes). *)
+type stats = {
+  st_entries : int;  (** entries on disk right now (directory scan) *)
+  st_bytes : int;  (** payload bytes of those entries *)
+  st_quarantined : int;  (** files in [quarantine/] right now *)
+  st_puts : int;  (** successful {!put}s through this handle *)
+  st_hits : int;  (** verified {!find} hits through this handle *)
+  st_misses : int;  (** {!find} misses (absent or quarantined) *)
+}
+
+val open_ : ?scan:bool -> string -> (t, string) result
+(** Open (creating if needed) the store rooted at a directory.  Stamps or
+    checks [VERSION], deletes leftover temp files, and — unless
+    [~scan:false] — verifies every entry's checksum, quarantining corrupt
+    ones.  Fails on a version mismatch or an unusable directory. *)
+
+val dir : t -> string
+
+val put : t -> string -> string -> (unit, string) result
+(** [put t key payload] durably publishes [payload] under [key] via the
+    temp-file + atomic-rename protocol, replacing any previous entry. *)
+
+val find : t -> string -> string option
+(** Verified read: [None] when absent, or when the entry failed its
+    magic/length/checksum check — in which case the file has been moved
+    to [quarantine/] so it is never served again. *)
+
+val mem : t -> string -> bool
+(** Existence check (no verification, no quarantine). *)
+
+val keys : t -> string list
+(** Hashed entry names currently on disk, sorted (a directory scan). *)
+
+val stats : t -> stats
+
+val flush_index : t -> (unit, string) result
+(** Rescan the store and atomically write [index.json] — a one-object
+    summary (layout version, entry count/bytes, quarantine count, entry
+    list) — so operators and the next daemon boot can see what survived
+    without re-hashing anything.  The index is informational: recovery
+    always trusts the entries themselves. *)
+
+val corrupt : t -> string -> [ `Truncate | `Flip ] -> bool
+(** Chaos/test hook: damage the stored file for [key] in place — truncate
+    it to half, or flip one payload byte.  Returns [false] when the key
+    has no entry.  Exists so fault-injection harnesses can prove that
+    corrupt entries are quarantined, never served. *)

@@ -1,0 +1,127 @@
+#!/bin/sh
+# Chaos acceptance gate for the supervised compile service, with a fixed
+# fault-injection seed so CI runs are reproducible:
+#
+#   1. start `hlsc serve` with chaos armed (workers randomly killed
+#      before jobs, fresh store entries randomly corrupted after the
+#      atomic publish) over a persistent artifact store;
+#   2. drive it with `hlsc bench-chaos` through the retrying client —
+#      every completed job must be byte-identical to the offline
+#      compiler, losses must be typed, the daemon must stay alive;
+#   3. corrupt a published store entry by hand, SIGTERM-drain (clean
+#      exit, socket unlinked, index.json flushed);
+#   4. cold-restart on the same store with chaos off: recovery must
+#      quarantine the damage, repeat requests must be served correctly,
+#      and at least one artifact must come back from the store.
+#
+# Run from the repository root; CI runs it in the chaos-smoke job.
+set -eu
+
+HLSC="dune exec --no-build bin/hlsc.exe --"
+dune build bin/hlsc.exe
+
+dir=$(mktemp -d)
+sock="$dir/hlsc.sock"
+store="$dir/store"
+serve_pid=""
+trap '{ [ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null; } || true; rm -rf "$dir"' EXIT
+
+fail=0
+
+wait_socket() {
+  i=0
+  while [ ! -S "$sock" ]; do
+    i=$((i + 1))
+    [ "$i" -le 50 ] || { echo "daemon never bound $sock" >&2; cat "$dir/serve.log" >&2; exit 1; }
+    sleep 0.1
+  done
+}
+
+# ---- phase 1+2: chaos armed, fixed seed ----------------------------------
+
+$HLSC serve --socket "$sock" --jobs 2 --store-dir "$store" \
+  --chaos-seed 1 --chaos-kill 0.3 --chaos-corrupt 0.3 \
+  >"$dir/serve.log" 2>&1 &
+serve_pid=$!
+wait_socket
+
+if $HLSC bench-chaos --socket "$sock" --requests 16 --retries 8 \
+     --json "$dir/chaos.json"; then
+  echo "ok   bench-chaos under kill/corrupt injection"
+else
+  echo "FAIL bench-chaos reported wrong bytes, hard errors or a dead daemon" >&2
+  fail=1
+fi
+
+# the daemon must still answer its health endpoint (a respawn may be
+# mid-backoff, so tolerate a few degraded answers before giving up)
+i=0
+until $HLSC health --socket "$sock" >/dev/null 2>&1; do
+  i=$((i + 1))
+  [ "$i" -le 20 ] || { echo "FAIL health never returned ok after chaos" >&2; fail=1; break; }
+  sleep 0.1
+done
+[ "$i" -le 20 ] && echo "ok   health ok after chaos run"
+
+# ---- phase 3: manual corruption + graceful drain -------------------------
+
+# damage one published entry behind the daemon's back (truncate to half)
+victim=$(find "$store/objects" -type f | head -n 1)
+if [ -n "$victim" ]; then
+  size=$(wc -c <"$victim")
+  dd if="$victim" of="$victim.tmp" bs=1 count=$((size / 2)) 2>/dev/null
+  mv "$victim.tmp" "$victim"
+  echo "ok   manually corrupted $(basename "$victim")"
+else
+  echo "FAIL store has no published entries to corrupt" >&2
+  fail=1
+fi
+
+kill -TERM "$serve_pid"
+serve_rc=0
+wait "$serve_pid" || serve_rc=$?
+[ "$serve_rc" -eq 0 ] || { echo "FAIL: daemon exited $serve_rc on SIGTERM" >&2; cat "$dir/serve.log" >&2; fail=1; }
+[ ! -e "$sock" ] || { echo "FAIL: socket still bound after drain" >&2; fail=1; }
+[ -f "$store/index.json" ] || { echo "FAIL: store index not flushed on drain" >&2; fail=1; }
+grep -q "drained after" "$dir/serve.log" || { echo "FAIL: no drain report in the final stats line" >&2; fail=1; }
+echo "ok   SIGTERM drain (socket unlinked, index flushed)"
+
+# ---- phase 4: cold restart, chaos off, recovery --------------------------
+
+$HLSC serve --socket "$sock" --jobs 2 --store-dir "$store" \
+  >"$dir/serve2.log" 2>&1 &
+serve_pid=$!
+wait_socket
+
+# repeat a prefix of the same request set: bytes must still be identical
+# and nothing may be served from the damaged entry
+if $HLSC bench-chaos --socket "$sock" --requests 4 --retries 2 \
+     --json "$dir/chaos_restart.json"; then
+  echo "ok   repeat requests correct after cold restart"
+else
+  echo "FAIL repeat requests after restart" >&2
+  fail=1
+fi
+
+# recovery must have quarantined the manual damage (and any chaos damage)
+quarantined=$(find "$store/quarantine" -type f 2>/dev/null | wc -l)
+if [ "$quarantined" -ge 1 ]; then
+  echo "ok   $quarantined corrupt entr(ies) quarantined, never served"
+else
+  echo "FAIL corrupt entry was not quarantined on restart" >&2
+  fail=1
+fi
+
+# at least one artifact must have come back from the persistent store
+stats=$($HLSC stats --socket "$sock")
+case $stats in
+  *'"store_hits":0'*) echo "FAIL: restart served no store hits" >&2; fail=1 ;;
+  *) echo "ok   store hits after restart" ;;
+esac
+
+kill -TERM "$serve_pid"
+serve_rc=0
+wait "$serve_pid" || serve_rc=$?
+[ "$serve_rc" -eq 0 ] || { echo "FAIL: restarted daemon exited $serve_rc on SIGTERM" >&2; fail=1; }
+
+[ "$fail" -eq 0 ] && echo "chaos smoke OK" || exit 1

@@ -41,4 +41,32 @@ expect 124 "bad flag"             schedule example1 --no-such-flag
 expect 124 "unknown subcommand"   frobnicate
 expect 124 "missing argument"     schedule
 
+# service-tier typed errors -> 1
+# no daemon behind the socket: a transport failure, not a crash
+expect 1 "submit: no daemon"      submit schedule example1 --socket /tmp/hlsc_no_such.sock --retries 0
+expect 1 "health: no daemon"      health --socket /tmp/hlsc_no_such.sock
+
+# a daemon whose workers stall forever: the per-job deadline trips and
+# the client exits 1 on the typed deadline_exceeded result
+dir=$(mktemp -d)
+sock="$dir/hlsc.sock"
+$HLSC serve --socket "$sock" --jobs 1 --chaos-seed 1 --chaos-stall 1.0 --hb-timeout 30 \
+  >"$dir/serve.log" 2>&1 &
+serve_pid=$!
+i=0
+while [ ! -S "$sock" ]; do
+  i=$((i + 1))
+  [ "$i" -le 50 ] || { echo "FAIL: stall daemon never bound" >&2; fail=1; break; }
+  sleep 0.1
+done
+if [ -S "$sock" ]; then
+  # health first: after the deadline kill below the slot is briefly dead
+  # (mid-respawn backoff) and health legitimately reports degraded
+  expect 0 "health: daemon up"    health --socket "$sock"
+  expect 1 "deadline exceeded"    submit schedule example1 --ii 2 --socket "$sock" --deadline 0.2
+fi
+kill -TERM "$serve_pid" 2>/dev/null
+wait "$serve_pid" 2>/dev/null
+rm -rf "$dir"
+
 [ "$fail" -eq 0 ] && echo "exit-code contract OK" || exit 1

@@ -1,0 +1,283 @@
+(** Chaos harness: run a real supervised daemon in-process with fault
+    injection armed — workers killed or stalled mid-job, store entries
+    corrupted after publication — and prove the service contract holds:
+    the daemon never dies, completed jobs are byte-identical to the
+    offline CLI, losses surface as typed [worker_lost] /
+    [deadline_exceeded] results, retries are bounded, and a cold restart
+    quarantines damaged store entries instead of serving them. *)
+
+module Server = Hls_server.Server
+module Client = Hls_server.Client
+module Worker = Hls_server.Worker
+module P = Hls_server.Protocol
+module Render = Hls_server.Render
+module Design_db = Hls_server.Design_db
+module Store = Hls_store.Store
+module Flow = Hls_flow.Flow
+
+let counter = ref 0
+
+let fresh_path tag =
+  incr counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "hlsc_chaos_%s_%d_%d" tag (Unix.getpid ()) !counter)
+
+let chaos ?(seed = 1) ?(kill = 0.0) ?(stall = 0.0) ?(corrupt = 0.0) () =
+  { Worker.cz_seed = seed; cz_kill = kill; cz_stall = stall; cz_corrupt = corrupt }
+
+(* one daemon lifetime; [f socket] runs against it.  Unlike the plain
+   server tests this helper is also used twice on one [store_dir] to
+   exercise restart recovery. *)
+let with_server ?(workers = 2) ?store_dir ?chaos ?deadline_s ?hb_timeout_s ?max_requeues f =
+  let socket = fresh_path "sock" in
+  let cfg =
+    {
+      Server.default_config with
+      Server.socket;
+      workers;
+      store_dir;
+      chaos;
+      deadline_s = Option.value deadline_s ~default:Server.default_config.Server.deadline_s;
+      hb_timeout_s = Option.value hb_timeout_s ~default:Server.default_config.Server.hb_timeout_s;
+      max_requeues = Option.value max_requeues ~default:Server.default_config.Server.max_requeues;
+      (* quick respawns keep the fault tests fast *)
+      backoff_base_s = 0.01;
+      backoff_cap_s = 0.05;
+    }
+  in
+  match Server.create cfg with
+  | Error m -> Alcotest.failf "server create: %s" m
+  | Ok srv ->
+      let th = Thread.create Server.serve srv in
+      Fun.protect
+        ~finally:(fun () ->
+          Server.stop srv;
+          Thread.join th)
+        (fun () -> f socket)
+
+let connect socket =
+  match Client.connect ~socket () with
+  | Ok c -> c
+  | Error m -> Alcotest.failf "connect: %s" m
+
+let offline_output (spec : P.job_spec) =
+  let design =
+    match Design_db.load spec.P.js_design with
+    | Ok d -> d
+    | Error m -> Alcotest.failf "load: %s" m
+  in
+  match Flow.run ~options:(Hls_server.Artifact.options_of_spec spec) design with
+  | Ok r -> Render.output spec.P.js_cmd r
+  | Error d -> Alcotest.failf "offline flow failed: %s" (Hls_diag.Diag.to_string d)
+
+let quick_spec ?(clock = 1600.0) () =
+  P.job_spec ~ii:2 ~verify:false ~clock_ps:clock P.C_schedule (`Builtin "example1")
+
+(* supervision counters move on the supervisor's own tick (respawns wait
+   out the backoff), so assertions on them poll with a deadline *)
+let rec wait_stats_at_least socket path sub n ~deadline =
+  if stats_int socket path sub >= n then ()
+  else if Unix.gettimeofday () > deadline then
+    Alcotest.failf "stats %s.%s never reached %d" path sub n
+  else begin
+    Unix.sleepf 0.02;
+    wait_stats_at_least socket path sub n ~deadline
+  end
+
+and stats_int socket path sub =
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  match Client.stats c with
+  | Error m -> Alcotest.failf "stats: %s" m
+  | Ok j -> (
+      match Option.bind (P.member path j) (fun o -> Option.bind (P.member sub o) P.get_int) with
+      | Some n -> n
+      | None -> Alcotest.failf "stats field %s.%s missing" path sub)
+
+(* ---- every worker dies on every job: the client still gets a typed
+   answer and the daemon keeps serving ---- *)
+
+let test_kill_storm_typed_loss () =
+  with_server ~workers:2 ~chaos:(chaos ~kill:1.0 ()) @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match Client.submit c (quick_spec ()) with
+  | Error m -> Alcotest.failf "submit during kill storm must answer, got transport error: %s" m
+  | Ok o ->
+      Alcotest.(check bool) "status is error" true (o.P.o_status = P.S_error);
+      Alcotest.(check (option string)) "typed worker_lost" (Some "worker_lost") o.P.o_code);
+  (* the acceptor survived two worker deaths and respawned the fleet *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  wait_stats_at_least socket "supervisor" "crashes" 2 ~deadline;
+  wait_stats_at_least socket "supervisor" "respawns" 1 ~deadline;
+  (* health still answers (possibly degraded mid-respawn) *)
+  let c2 = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c2) @@ fun () ->
+  match Client.health c2 with
+  | Error m -> Alcotest.failf "health during storm: %s" m
+  | Ok j -> (
+      match Option.bind (P.member "status" j) P.get_string with
+      | Some ("ok" | "degraded") -> ()
+      | other -> Alcotest.failf "unexpected health status %s" (Option.value other ~default:"?"))
+
+(* ---- partial kills + client retries: correct bytes, bounded attempts ---- *)
+
+let test_retry_beats_partial_kills () =
+  with_server ~workers:2 ~chaos:(chaos ~seed:7 ~kill:0.4 ()) @@ fun socket ->
+  let spec = quick_spec () in
+  let expected = offline_output spec in
+  let retries = 10 in
+  match
+    Client.submit_retrying ~retries ~backoff_s:0.01 ~max_backoff_s:0.05 ~seed:42
+      ~connect:(fun () -> Client.connect ~socket ())
+      spec
+  with
+  | Error m -> Alcotest.failf "retrying submit lost to 40%% kill rate: %s" m
+  | Ok (o, attempts) ->
+      Alcotest.(check bool) "eventually ok" true (o.P.o_status = P.S_ok);
+      Alcotest.(check string) "bytes identical to offline CLI" expected o.P.o_output;
+      Alcotest.(check bool)
+        (Printf.sprintf "attempts bounded (%d <= %d)" attempts (retries + 1))
+        true
+        (attempts >= 1 && attempts <= retries + 1)
+
+(* ---- wedged worker: heartbeat staleness trips, the job is answered ---- *)
+
+let test_stall_detected () =
+  with_server ~workers:1 ~chaos:(chaos ~stall:1.0 ()) ~hb_timeout_s:0.3 ~max_requeues:0
+  @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  (match Client.submit c (quick_spec ()) with
+  | Error m -> Alcotest.failf "stalled job must still answer: %s" m
+  | Ok o ->
+      Alcotest.(check bool) "status is error" true (o.P.o_status = P.S_error);
+      Alcotest.(check (option string)) "typed worker_lost" (Some "worker_lost") o.P.o_code);
+  let wall = Unix.gettimeofday () -. t0 in
+  (* the hang was detected by heartbeat timeout, not by a 300 s deadline *)
+  Alcotest.(check bool) (Printf.sprintf "answered promptly (%.2fs)" wall) true (wall < 10.0);
+  Alcotest.(check bool) "hang kill counted" true (stats_int socket "supervisor" "hang_kills" >= 1)
+
+(* ---- per-job deadline: a job that will never finish is killed and
+   typed.  A chaos stall (infinite sleep in the worker) stands in for
+   the arbitrarily slow compile; the heartbeat timeout is pushed far out
+   so the per-job deadline — not hang detection — is what trips. *)
+
+let test_deadline_exceeded () =
+  with_server ~workers:1 ~chaos:(chaos ~stall:1.0 ()) ~hb_timeout_s:30.0 @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let doomed () = P.job_spec ~ii:2 ~verify:false ~deadline_s:0.2 P.C_schedule (`Builtin "example1") in
+  (match Client.submit c (doomed ()) with
+  | Error m -> Alcotest.failf "deadline job must answer: %s" m
+  | Ok o ->
+      Alcotest.(check bool) "status is error" true (o.P.o_status = P.S_error);
+      Alcotest.(check (option string)) "typed deadline_exceeded" (Some "deadline_exceeded")
+        o.P.o_code);
+  Alcotest.(check bool) "deadline kill counted" true
+    (stats_int socket "supervisor" "deadline_kills" >= 1);
+  (* the slot respawned: a second doomed job is admitted, dispatched and
+     deadline-killed again rather than waiting behind a corpse *)
+  match Client.submit c (doomed ()) with
+  | Error m -> Alcotest.failf "second deadline job must answer: %s" m
+  | Ok o ->
+      Alcotest.(check (option string)) "deadline enforced again after respawn"
+        (Some "deadline_exceeded") o.P.o_code
+
+(* ---- store corruption: clients never see wrong bytes; the restart
+   quarantines the damage instead of serving it ---- *)
+
+let test_corrupt_store_quarantined_across_restart () =
+  let store_dir = fresh_path "store" in
+  let spec = quick_spec () in
+  let expected = offline_output spec in
+  (* phase 1: every fresh compile damages its own store entry after the
+     atomic publish — the in-hand artifact must still be correct *)
+  with_server ~workers:1 ~store_dir ~chaos:(chaos ~corrupt:1.0 ()) (fun socket ->
+      let c = connect socket in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      match Client.submit c spec with
+      | Error m -> Alcotest.failf "submit: %s" m
+      | Ok o ->
+          Alcotest.(check bool) "compile ok" true (o.P.o_status = P.S_ok);
+          Alcotest.(check string) "corrupting the store cannot corrupt the answer" expected
+            o.P.o_output);
+  (* phase 2: cold restart on the same store — recovery must quarantine
+     the damaged entry, recompile, and still serve correct bytes *)
+  with_server ~workers:1 ~store_dir (fun socket ->
+      Alcotest.(check bool) "restart quarantined the damaged entry" true
+        (stats_int socket "store" "quarantined" >= 1);
+      let c = connect socket in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      match Client.submit c spec with
+      | Error m -> Alcotest.failf "submit after restart: %s" m
+      | Ok o ->
+          Alcotest.(check bool) "recompiled ok" true (o.P.o_status = P.S_ok);
+          Alcotest.(check bool) "not served from the damaged entry" false o.P.o_cached;
+          Alcotest.(check string) "bytes correct after recovery" expected o.P.o_output)
+
+(* ---- warm restart: artifacts persist and come back as store hits ---- *)
+
+let test_store_survives_restart () =
+  let store_dir = fresh_path "store" in
+  let spec = quick_spec () in
+  let expected = offline_output spec in
+  with_server ~workers:1 ~store_dir (fun socket ->
+      let c = connect socket in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      match Client.submit c spec with
+      | Error m -> Alcotest.failf "cold submit: %s" m
+      | Ok o ->
+          Alcotest.(check bool) "cold compile" false o.P.o_cached;
+          Alcotest.(check string) "cold bytes" expected o.P.o_output);
+  (* the drain flushed index.json for the next boot *)
+  Alcotest.(check bool) "index flushed on drain" true
+    (Sys.file_exists (Filename.concat store_dir "index.json"));
+  with_server ~workers:1 ~store_dir (fun socket ->
+      let c = connect socket in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      match Client.submit c spec with
+      | Error m -> Alcotest.failf "warm submit: %s" m
+      | Ok o ->
+          Alcotest.(check bool) "served from the persistent store" true o.P.o_cached;
+          Alcotest.(check string) "warm bytes identical" expected o.P.o_output;
+          Alcotest.(check bool) "store hit counted" true
+            (stats_int socket "cache" "store_hits" >= 1))
+
+(* ---- property: under randomized specs with kills armed, every request
+   either completes with offline-identical bytes or fails typed; the
+   daemon answers every time.  One chaos daemon serves all iterations
+   (the socket is captured in the closure), so the property stays cheap. *)
+
+let test_prop_never_wrong_bytes () =
+  with_server ~workers:2 ~chaos:(chaos ~seed:3 ~kill:0.3 ()) @@ fun socket ->
+  let prop =
+    QCheck.Test.make ~name:"chaos kills never produce wrong bytes" ~count:8
+      QCheck.(int_range 0 1000)
+      (fun clock_off ->
+        let spec = quick_spec ~clock:(1600.0 +. float_of_int clock_off) () in
+        match
+          Client.submit_retrying ~retries:8 ~backoff_s:0.01 ~max_backoff_s:0.05 ~seed:clock_off
+            ~connect:(fun () -> Client.connect ~socket ())
+            spec
+        with
+        | Ok (o, _) when o.P.o_status = P.S_ok -> o.P.o_output = offline_output spec
+        | Ok (o, _) -> o.P.o_code <> None (* losses must be typed *)
+        | Error _ -> false (* the daemon must always answer *))
+  in
+  QCheck.Test.check_exn prop
+
+let suite =
+  [
+    Alcotest.test_case "kill storm: typed loss, daemon survives" `Quick test_kill_storm_typed_loss;
+    Alcotest.test_case "client retries beat partial kills" `Quick test_retry_beats_partial_kills;
+    Alcotest.test_case "wedged worker detected by heartbeat" `Quick test_stall_detected;
+    Alcotest.test_case "per-job deadline enforced" `Quick test_deadline_exceeded;
+    Alcotest.test_case "corrupt store quarantined across restart" `Quick
+      test_corrupt_store_quarantined_across_restart;
+    Alcotest.test_case "artifact store survives restart" `Quick test_store_survives_restart;
+    Alcotest.test_case "property: never wrong bytes under chaos" `Quick
+      test_prop_never_wrong_bytes;
+  ]

@@ -29,9 +29,11 @@ let test_determinism_across_jobs () =
   let sw1 = Dse.sweep ~jobs:1 (Dse.create ()) ~options:base_options (design ()) pts in
   (* max_workers lifted so the domain pool genuinely runs multi-domain
      even on a single-core host *)
-  let sw4 =
-    Dse.sweep ~jobs:4 ~max_workers:4 (Dse.create ()) ~options:base_options (design ()) pts
-  in
+  let engine4 = Dse.create () in
+  let sw4 = Dse.sweep ~jobs:4 ~max_workers:4 engine4 ~options:base_options (design ()) pts in
+  (* join the resident domains: later suites fork worker processes, and
+     [Unix.fork] is illegal while sibling domains run *)
+  Dse.shutdown engine4;
   Alcotest.(check int) "parallel pool actually used" 4 sw4.Dse.sw_jobs;
   Alcotest.(check (list string))
     "jobs=4 point results byte-identical to jobs=1"
@@ -102,6 +104,10 @@ let prop_front_dominates_sweep =
         List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list pool)
       in
       let sw = Dse.sweep ~jobs:2 ~max_workers:2 engine ~options:base_options d pts in
+      (* join the pool between iterations: the memo cache lives in the
+         engine (so repeats stay hits), but resident domains would make
+         [Unix.fork] in the later server suites illegal *)
+      Dse.shutdown engine;
       let swept = Dse.pareto_points sw.Dse.sw_results in
       let front = Hls_report.Pareto.front swept in
       List.for_all
@@ -154,6 +160,30 @@ let test_pool_lifecycle () =
   Hls_dse.Dse.Pool.shutdown pool;
   Alcotest.(check int) "late task never ran" 32 (Atomic.get hits)
 
+(* Shutdown is idempotent and safe to race: concurrent callers (as a
+   signal handler and a drain thread might) each return cleanly, exactly
+   one performs the join, and the pool ends dead with no resident
+   domains. *)
+let test_pool_shutdown_idempotent () =
+  let pool = Hls_dse.Dse.Pool.create ~workers:2 () in
+  let ran = Atomic.make 0 in
+  for _ = 1 to 8 do
+    ignore (Hls_dse.Dse.Pool.submit pool (fun () -> Atomic.incr ran))
+  done;
+  let racers =
+    List.init 4 (fun _ -> Thread.create (fun () -> Hls_dse.Dse.Pool.shutdown pool) ())
+  in
+  List.iter Thread.join racers;
+  (* …and again, serially, after it is already dead *)
+  Hls_dse.Dse.Pool.shutdown pool;
+  Hls_dse.Dse.Pool.shutdown pool;
+  Alcotest.(check bool) "dead" false (Hls_dse.Dse.Pool.alive pool);
+  Alcotest.(check int) "no resident domains" 0 (Hls_dse.Dse.Pool.size pool);
+  Alcotest.(check int) "backlog completed exactly once" 8 (Atomic.get ran);
+  Alcotest.(check bool) "submit after shutdown refused" false
+    (Hls_dse.Dse.Pool.submit pool (fun () -> Atomic.incr ran));
+  Alcotest.(check int) "refused task never ran" 8 (Atomic.get ran)
+
 (* Queued tasks still run during a drain: shutdown finishes the backlog
    rather than dropping it. *)
 let test_pool_drains_backlog () =
@@ -196,6 +226,7 @@ let suite =
   [
     Alcotest.test_case "determinism across worker counts" `Quick test_determinism_across_jobs;
     Alcotest.test_case "pool lifecycle" `Quick test_pool_lifecycle;
+    Alcotest.test_case "pool shutdown idempotent under races" `Quick test_pool_shutdown_idempotent;
     Alcotest.test_case "pool drains its backlog" `Quick test_pool_drains_backlog;
     Alcotest.test_case "engine pool rebuild after shutdown" `Quick test_engine_pool_rebuild;
     Alcotest.test_case "--jobs validation" `Quick test_validate_jobs;

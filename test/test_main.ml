@@ -31,7 +31,13 @@ let () =
       ("sched_perf", Test_sched_perf.suite);
       ("kernel_sim", Test_kernel_sim.suite);
       ("faults", Test_faults.suite);
-      ("dse", Test_dse.suite);
       ("netlist", Test_netlist.suite);
+      ("store", Test_store.suite);
+      (* the server/chaos suites fork worker processes, and OCaml forbids
+         [Unix.fork] once any domain has EVER been created in the process
+         — so they must run before the dse suite, whose sweeps spawn
+         domains (the ban is sticky: joining the domains doesn't lift it) *)
       ("server", Test_server.suite);
+      ("chaos", Test_chaos.suite);
+      ("dse", Test_dse.suite);
     ]

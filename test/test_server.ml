@@ -19,9 +19,14 @@ let fresh_socket () =
     (Filename.get_temp_dir_name ())
     (Printf.sprintf "hlsc_test_%d_%d.sock" (Unix.getpid ()) !sock_counter)
 
-let with_server ?(workers = 2) ?(queue_capacity = 64) f =
+let with_server ?(workers = 2) ?(queue_capacity = 64) ?shed_watermark f =
   let socket = fresh_socket () in
-  let cfg = { Server.default_config with Server.socket; workers; queue_capacity } in
+  let shed_watermark =
+    match shed_watermark with Some w -> w | None -> Server.default_config.Server.shed_watermark
+  in
+  let cfg =
+    { Server.default_config with Server.socket; workers; queue_capacity; shed_watermark }
+  in
   match Server.create cfg with
   | Error m -> Alcotest.failf "server create: %s" m
   | Ok srv ->
@@ -299,6 +304,157 @@ let test_disconnect_mid_stream () =
   Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
   ignore (ok_outcome (Client.submit c (P.job_spec ~ii:2 P.C_schedule (`Builtin "example1"))))
 
+(* ---- admission-control error paths, observed by a real client ---- *)
+
+let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* poll until the single worker has picked up the long job, so queue
+   depth is deterministic for the admission tests *)
+let wait_in_flight socket n =
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    let infl =
+      match Client.stats c with
+      | Ok j -> Option.value (Option.bind (P.member "in_flight" j) P.get_int) ~default:0
+      | Error m -> Alcotest.failf "stats: %s" m
+    in
+    if infl >= n then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "worker never reached %d in-flight job(s)" n
+    else begin
+      Thread.yield ();
+      Unix.sleepf 0.01;
+      go ()
+    end
+  in
+  go ()
+
+let long_spec ?(clock = 1600.0) () =
+  P.job_spec ~verify:true ~clock_ps:clock P.C_flow (`Builtin "idct")
+
+let test_queue_full () =
+  with_server ~workers:1 ~queue_capacity:1 @@ fun socket ->
+  let c1 = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c1) @@ fun () ->
+  (match Client.submit_nowait c1 (long_spec ()) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "submit long: %s" m);
+  wait_in_flight socket 1;
+  (match Client.submit_nowait c1 (long_spec ~clock:1601.0 ()) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "submit queued: %s" m);
+  (* queue is now at capacity: the next submit is refused, typed *)
+  let c2 = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c2) @@ fun () ->
+  (match Client.submit c2 (long_spec ~clock:1602.0 ()) with
+  | Ok _ -> Alcotest.fail "over-capacity submit accepted"
+  | Error m -> Alcotest.(check bool) ("typed queue_full: " ^ m) true (has_prefix "queue_full" m));
+  (* both admitted jobs still complete *)
+  let o1 = match Client.await c1 with Ok o -> o | Error m -> Alcotest.failf "await 1: %s" m in
+  let o2 = match Client.await c1 with Ok o -> o | Error m -> Alcotest.failf "await 2: %s" m in
+  Alcotest.(check bool) "admitted jobs completed" true
+    (o1.P.o_status = P.S_ok && o2.P.o_status = P.S_ok)
+
+let test_overloaded_shed_but_cache_served () =
+  with_server ~workers:1 ~shed_watermark:(Some 1) @@ fun socket ->
+  let c1 = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c1) @@ fun () ->
+  (* warm the cache before saturating the daemon *)
+  let quick = P.job_spec ~ii:2 P.C_schedule (`Builtin "example1") in
+  ignore (ok_outcome (Client.submit c1 quick));
+  (match Client.submit_nowait c1 (long_spec ()) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "submit long: %s" m);
+  wait_in_flight socket 1;
+  (match Client.submit_nowait c1 (long_spec ~clock:1601.0 ()) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "submit queued: %s" m);
+  (* at the watermark: fresh work is shed with the typed reject… *)
+  let c2 = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c2) @@ fun () ->
+  (match Client.submit c2 (long_spec ~clock:1602.0 ()) with
+  | Ok _ -> Alcotest.fail "shed-watermark submit accepted"
+  | Error m -> Alcotest.(check bool) ("typed overloaded: " ^ m) true (has_prefix "overloaded" m));
+  (* …but a cache hit is served even while overloaded *)
+  (match Client.submit c2 quick with
+  | Ok o ->
+      Alcotest.(check bool) "cache hit served under shed" true
+        (o.P.o_status = P.S_ok && o.P.o_cached)
+  | Error m -> Alcotest.failf "cache hit shed: %s" m);
+  ignore (Client.await c1);
+  ignore (Client.await c1)
+
+let test_draining_observed () =
+  with_server ~workers:1 @@ fun socket ->
+  let c1 = connect socket in
+  let c2 = connect socket in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close c1;
+      Client.close c2)
+  @@ fun () ->
+  (match Client.submit_nowait c1 (long_spec ()) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "submit long: %s" m);
+  wait_in_flight socket 1;
+  (match Client.shutdown_server c2 with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "shutdown verb: %s" m);
+  (* the daemon is now draining: established connections get the typed
+     refusal on new work… *)
+  (match Client.submit c2 (P.job_spec ~ii:2 P.C_schedule (`Builtin "example1")) with
+  | Ok _ -> Alcotest.fail "submit accepted while draining"
+  | Error m -> Alcotest.(check bool) ("typed draining: " ^ m) true (has_prefix "draining" m));
+  (* …while the in-flight job still completes *)
+  match Client.await c1 with
+  | Ok o -> Alcotest.(check bool) "in-flight job finished during drain" true (o.P.o_status = P.S_ok)
+  | Error m -> Alcotest.failf "await during drain: %s" m
+
+(* ---- wire-shape roundtrips for the new frames ---- *)
+
+let test_new_frame_roundtrips () =
+  (* health request *)
+  (match P.request_of_json (P.request_to_json P.Health) with
+  | Ok P.Health -> ()
+  | Ok _ -> Alcotest.fail "health roundtrip changed the request kind"
+  | Error m -> Alcotest.failf "health roundtrip: %s" m);
+  (* deadline_s travels with the spec *)
+  let spec = P.job_spec ~deadline_s:1.5 P.C_schedule (`Builtin "example1") in
+  (match P.request_of_json (P.request_to_json (P.Submit spec)) with
+  | Ok (P.Submit spec2) ->
+      Alcotest.(check (option (float 1e-9))) "deadline_s preserved" (Some 1.5) spec2.P.js_deadline_s
+  | Ok _ -> Alcotest.fail "roundtrip changed the request kind"
+  | Error m -> Alcotest.failf "deadline roundtrip: %s" m);
+  (* service-tier failures are result frames a stock client decodes *)
+  List.iter
+    (fun code ->
+      let frame =
+        P.Obj
+          [
+            ("type", P.String "result");
+            ("job", P.Int 7);
+            ("status", P.String "error");
+            ("diag", P.String ("serve error [" ^ code ^ "]: lost it"));
+            ("code", P.String code);
+            ("cached", P.Bool false);
+            ("wall_s", P.Float 0.25);
+          ]
+      in
+      match P.outcome_of_json frame with
+      | Ok o ->
+          Alcotest.(check bool) (code ^ " decodes as error") true (o.P.o_status = P.S_error);
+          Alcotest.(check (option string)) (code ^ " code survives") (Some code) o.P.o_code
+      | Error m -> Alcotest.failf "%s outcome: %s" code m)
+    [ "worker_lost"; "deadline_exceeded" ];
+  (* the overloaded reject carries its retry hint *)
+  let j = P.error_frame ~job:3 ~extra:[ ("retry_after_ms", P.Int 200) ] ~code:"overloaded" "shed" in
+  Alcotest.(check (option int)) "retry_after_ms" (Some 200)
+    (Option.bind (P.member "retry_after_ms" j) P.get_int);
+  Alcotest.(check (option string)) "code" (Some "overloaded")
+    (Option.bind (P.member "code" j) P.get_string)
+
 let test_stats_shape () =
   with_server @@ fun socket ->
   let c = connect socket in
@@ -362,5 +518,10 @@ let suite =
     Alcotest.test_case "oversized frame: typed error, stream survives" `Quick test_oversized_frame;
     Alcotest.test_case "version mismatch + hello-first" `Quick test_proto_mismatch_and_hello_required;
     Alcotest.test_case "disconnect mid-stream" `Quick test_disconnect_mid_stream;
+    Alcotest.test_case "queue_full observed by a client" `Quick test_queue_full;
+    Alcotest.test_case "overloaded shed; cache hits still served" `Quick
+      test_overloaded_shed_but_cache_served;
+    Alcotest.test_case "draining observed by a client" `Quick test_draining_observed;
+    Alcotest.test_case "new frame roundtrips" `Quick test_new_frame_roundtrips;
     Alcotest.test_case "stats shape" `Quick test_stats_shape;
   ]

@@ -1,0 +1,167 @@
+(** The crash-safe artifact store: durable roundtrips, checksum
+    verification with quarantine-on-read, the open-time recovery scan
+    (tmp cleanup + corrupt-entry sweep), layout-version enforcement and
+    the [index.json] flush. *)
+
+module Store = Hls_store.Store
+module P = Hls_server.Protocol
+
+let dir_counter = ref 0
+
+let fresh_dir () =
+  incr dir_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "hlsc_store_test_%d_%d" (Unix.getpid ()) !dir_counter)
+  in
+  (* [Store.open_] creates the tree itself; only the root must not be a file *)
+  d
+
+let open_ok ?scan dir =
+  match Store.open_ ?scan dir with
+  | Ok t -> t
+  | Error m -> Alcotest.failf "open %s: %s" dir m
+
+let test_roundtrip () =
+  let st = open_ok (fresh_dir ()) in
+  Alcotest.(check (option string)) "empty store misses" None (Store.find st "k");
+  (match Store.put st "k" "payload-1" with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "put: %s" m);
+  Alcotest.(check (option string)) "roundtrip" (Some "payload-1") (Store.find st "k");
+  Alcotest.(check bool) "mem sees it" true (Store.mem st "k");
+  (* overwrite: last writer wins, atomically *)
+  (match Store.put st "k" "payload-2" with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "overwrite: %s" m);
+  Alcotest.(check (option string)) "overwrite visible" (Some "payload-2") (Store.find st "k");
+  Alcotest.(check int) "overwrite is still one entry" 1 (List.length (Store.keys st));
+  (* binary-hostile payloads survive byte-exactly *)
+  let nasty = "\x00\xff\nhlsc-art 1\n\x01 binary \\ \" bytes" in
+  (match Store.put st "nasty" nasty with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "put nasty: %s" m);
+  Alcotest.(check (option string)) "binary payload intact" (Some nasty) (Store.find st "nasty");
+  let s = Store.stats st in
+  Alcotest.(check int) "entries" 2 s.Store.st_entries;
+  Alcotest.(check int) "puts counted" 3 s.Store.st_puts;
+  Alcotest.(check int) "no quarantine yet" 0 s.Store.st_quarantined
+
+let test_corrupt_quarantined_on_read () =
+  List.iter
+    (fun how ->
+      let st = open_ok (fresh_dir ()) in
+      (match Store.put st "k" "the payload bytes" with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "put: %s" m);
+      Alcotest.(check bool) "corrupt hook found the entry" true (Store.corrupt st "k" how);
+      (* the damaged entry is a miss, moved aside, never served *)
+      Alcotest.(check (option string)) "corrupt entry not served" None (Store.find st "k");
+      Alcotest.(check bool) "entry gone from objects/" false (Store.mem st "k");
+      let s = Store.stats st in
+      Alcotest.(check int) "quarantined" 1 s.Store.st_quarantined;
+      Alcotest.(check int) "no live entries" 0 s.Store.st_entries;
+      (* a re-put re-publishes a good copy under the same key *)
+      (match Store.put st "k" "fresh copy" with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "re-put: %s" m);
+      Alcotest.(check (option string)) "key usable again" (Some "fresh copy") (Store.find st "k"))
+    [ `Truncate; `Flip ]
+
+let test_recovery_scan () =
+  let dir = fresh_dir () in
+  let st = open_ok dir in
+  (match Store.put st "good" "good bytes" with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "put good: %s" m);
+  (match Store.put st "bad" "doomed bytes" with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "put bad: %s" m);
+  ignore (Store.corrupt st "bad" `Truncate);
+  (* a crash mid-write leaves garbage in tmp/ under a live root *)
+  let tmp_leftover = Filename.concat (Filename.concat dir "tmp") "put.999.1" in
+  let oc = open_out_bin tmp_leftover in
+  output_string oc "torn half-written entry";
+  close_out oc;
+  (* a cold re-open runs recovery: tmp wiped, corrupt entry quarantined *)
+  let st2 = open_ok dir in
+  Alcotest.(check bool) "tmp leftover deleted" false (Sys.file_exists tmp_leftover);
+  Alcotest.(check (option string)) "good entry survives" (Some "good bytes") (Store.find st2 "good");
+  Alcotest.(check (option string)) "corrupt entry quarantined at open" None (Store.find st2 "bad");
+  let s = Store.stats st2 in
+  Alcotest.(check int) "one live entry" 1 s.Store.st_entries;
+  Alcotest.(check int) "one quarantined file" 1 s.Store.st_quarantined;
+  (* opening with the scan disabled must not quarantine — the read does *)
+  let dir3 = fresh_dir () in
+  let st3 = open_ok dir3 in
+  (match Store.put st3 "k" "x" with Ok () -> () | Error m -> Alcotest.failf "put: %s" m);
+  ignore (Store.corrupt st3 "k" `Flip);
+  let st4 = open_ok ~scan:false dir3 in
+  Alcotest.(check int) "no-scan open leaves the damage in place" 0
+    (Store.stats st4).Store.st_quarantined;
+  Alcotest.(check (option string)) "verified read still refuses it" None (Store.find st4 "k");
+  Alcotest.(check int) "…and quarantines it" 1 (Store.stats st4).Store.st_quarantined
+
+let test_version_mismatch () =
+  let dir = fresh_dir () in
+  ignore (open_ok dir);
+  (* rewrite the stamp as a future layout *)
+  let vf = Filename.concat dir "VERSION" in
+  let oc = open_out_bin vf in
+  output_string oc (Printf.sprintf "hlsc-store %d\n" (Store.layout_version + 1));
+  close_out oc;
+  (match Store.open_ dir with
+  | Ok _ -> Alcotest.fail "incompatible layout accepted"
+  | Error m ->
+      Alcotest.(check bool) ("mentions incompatibility: " ^ m) true
+        (String.length m > 0));
+  (* garbage stamp is refused too *)
+  let oc = open_out_bin vf in
+  output_string oc "not a store\n";
+  close_out oc;
+  match Store.open_ dir with
+  | Ok _ -> Alcotest.fail "garbage VERSION accepted"
+  | Error _ -> ()
+
+let test_flush_index () =
+  let dir = fresh_dir () in
+  let st = open_ok dir in
+  (match Store.put st "a" "aaaa" with Ok () -> () | Error m -> Alcotest.failf "put: %s" m);
+  (match Store.put st "b" "bb" with Ok () -> () | Error m -> Alcotest.failf "put: %s" m);
+  (match Store.flush_index st with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "flush_index: %s" m);
+  let idx = Filename.concat dir "index.json" in
+  let ic = open_in_bin idx in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match P.of_string text with
+  | Error m -> Alcotest.failf "index.json unparseable: %s" m
+  | Ok j ->
+      let geti f =
+        match Option.bind (P.member f j) P.get_int with
+        | Some n -> n
+        | None -> Alcotest.failf "index field %s missing" f
+      in
+      Alcotest.(check int) "layout_version" Store.layout_version (geti "layout_version");
+      Alcotest.(check int) "entries" 2 (geti "entries");
+      Alcotest.(check int) "quarantined" 0 (geti "quarantined");
+      let keys =
+        match P.member "keys" j with
+        | Some (P.List l) -> List.filter_map P.get_string l
+        | _ -> Alcotest.fail "keys array missing"
+      in
+      Alcotest.(check int) "two hashed keys listed" 2 (List.length keys);
+      Alcotest.(check (list string)) "index keys match directory scan" (Store.keys st)
+        (List.sort compare keys)
+
+let suite =
+  [
+    Alcotest.test_case "put/find roundtrip + overwrite" `Quick test_roundtrip;
+    Alcotest.test_case "corrupt entries quarantined on read" `Quick
+      test_corrupt_quarantined_on_read;
+    Alcotest.test_case "open-time recovery scan" `Quick test_recovery_scan;
+    Alcotest.test_case "layout version enforced" `Quick test_version_mismatch;
+    Alcotest.test_case "index flush is parseable" `Quick test_flush_index;
+  ]
