@@ -394,6 +394,14 @@ let serve_cmd =
             "Persist compile artifacts in a content-addressed store under $(docv): results \
              survive daemon restarts, corrupt entries are quarantined, writes are atomic.")
   in
+  let cache_cap_arg =
+    Arg.(
+      value & opt int Server.default_config.Server.cache_cap
+      & info [ "cache-cap" ] ~docv:"N"
+          ~doc:
+            "In-memory artifact-cache entry bound (default 512, minimum 1); oldest entries \
+             are evicted first, falling back to the store when one is configured.")
+  in
   let deadline_arg =
     Arg.(
       value & opt float Server.default_config.Server.deadline_s
@@ -431,10 +439,11 @@ let serve_cmd =
       & info [ "chaos-corrupt" ] ~docv:"P"
           ~doc:"Per-compile probability of corrupting the stored artifact (testing only).")
   in
-  let run socket tcp_port jobs queue_capacity watermark store_dir deadline hb_timeout cz_seed
-      cz_kill cz_stall cz_corrupt verbose =
+  let run socket tcp_port jobs queue_capacity watermark store_dir cache_cap deadline hb_timeout
+      cz_seed cz_kill cz_stall cz_corrupt verbose =
     guarded @@ fun () ->
     if jobs < 1 then or_die (Error "at least one worker process is required (--workers)");
+    if cache_cap < 1 then or_die (Error "the cache needs room for at least one entry (--cache-cap)");
     let chaos =
       if cz_kill > 0.0 || cz_stall > 0.0 || cz_corrupt > 0.0 then
         Some { Hls_server.Worker.cz_seed; cz_kill; cz_stall; cz_corrupt }
@@ -450,6 +459,7 @@ let serve_cmd =
            queue_capacity;
            shed_watermark = (if watermark <= 0 then None else Some watermark);
            store_dir;
+           cache_cap;
            deadline_s = deadline;
            hb_timeout_s = hb_timeout;
            chaos;
@@ -462,8 +472,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ socket_arg $ tcp_arg $ jobs_arg $ capacity_arg $ watermark_arg $ store_arg
-      $ deadline_arg $ hb_timeout_arg $ chaos_seed_arg $ chaos_kill_arg $ chaos_stall_arg
-      $ chaos_corrupt_arg $ verbose_arg)
+      $ cache_cap_arg $ deadline_arg $ hb_timeout_arg $ chaos_seed_arg $ chaos_kill_arg
+      $ chaos_stall_arg $ chaos_corrupt_arg $ verbose_arg)
 
 let cmd_of_name s =
   match Proto.cmd_of_string s with

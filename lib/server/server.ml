@@ -4,10 +4,15 @@
     - [t.mutex] guards the job table, the slot array, admission counters,
       statistics and the in-memory artifact cache.  Lock order is
       [t.mutex] → [conn.c_wmutex]; nothing takes them the other way.
-    - Every frame write to a client goes through [send] (per-connection
-      writer mutex + dead-peer latch), so a client that disconnects
+    - No thread ever performs socket I/O to a client while holding
+      [t.mutex].  [send] only enqueues the frame on the connection's
+      bounded outbox (an O(1) step under [c_wmutex]); a per-connection
+      writer thread drains the outbox and does the actual (possibly
+      blocking, multi-MB) [write_frame].  A client that disconnects
       mid-stream turns into silently dropped frames, never an unhandled
-      [EPIPE].  Writes to a worker pipe may fail when the worker just
+      [EPIPE]; a client that stops *reading* fills its outbox and is
+      evicted (socket shut down, frames dropped) instead of wedging the
+      daemon.  Writes to a worker pipe may fail when the worker just
       died; they are deliberately ignored — the slot's reader thread
       owns the death and will re-queue the job.
     - Exactly one thread retires a worker: its reader.  The supervisor
@@ -34,6 +39,7 @@ type config = {
   max_requeues : int;
   backoff_base_s : float;
   backoff_cap_s : float;
+  cache_cap : int;
   chaos : Worker.chaos option;
   verbose : bool;
 }
@@ -52,6 +58,7 @@ let default_config =
     max_requeues = 1;
     backoff_base_s = 0.05;
     backoff_cap_s = 2.0;
+    cache_cap = 512;
     chaos = None;
     verbose = false;
   }
@@ -59,8 +66,12 @@ let default_config =
 type conn = {
   c_id : int;
   c_fd : Unix.file_descr;
-  c_wmutex : Mutex.t;
-  mutable c_alive : bool;  (** cleared on the first failed write *)
+  c_wmutex : Mutex.t;  (** guards [c_outq], [c_alive], [c_closing] *)
+  c_wcv : Condition.t;  (** outbox activity (frame queued, state change) *)
+  c_outq : P.json Queue.t;  (** bounded outbox, drained by [c_writer] *)
+  mutable c_alive : bool;  (** cleared on write failure or outbox overflow *)
+  mutable c_closing : bool;  (** read side done; writer exits once drained *)
+  mutable c_writer : Thread.t option;
 }
 
 type job = {
@@ -98,6 +109,7 @@ type t = {
   mutex : Mutex.t;
   drain_cv : Condition.t;  (** signalled whenever a job leaves the system *)
   cache : (string, Artifact.t) Hashtbl.t;
+  cache_order : string Queue.t;  (** insertion order, for FIFO eviction *)
   jobs : (int, job) Hashtbl.t;  (** queued or in flight *)
   slots : slot array;
   mutable next_job : int;
@@ -145,15 +157,82 @@ let locked t f =
 let quiet_close fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* ------------------------------------------------------------------ *)
-(* Frame output *)
+(* Frame output.
+
+   Result frames can carry multi-MB renders, and a client is free to
+   stop reading; if the daemon wrote frames synchronously from whatever
+   thread produced them (often while holding [t.mutex]), one such client
+   would wedge dispatch, supervision and every other connection.  So
+   [send] never touches the socket: it enqueues on a bounded outbox and
+   the connection's writer thread performs the blocking writes.  A peer
+   whose outbox overflows [outbox_cap] is declared dead and its socket
+   shut down — eviction, not backpressure, because nothing upstream of a
+   result frame can usefully wait. *)
+
+let outbox_cap = 256
+
+let mark_dead_locked conn =
+  conn.c_alive <- false;
+  Queue.clear conn.c_outq;
+  Condition.broadcast conn.c_wcv
 
 let send conn frame =
   Mutex.lock conn.c_wmutex;
-  (if conn.c_alive then
-     try P.write_frame conn.c_fd frame
-     with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) | Sys_error _ ->
-       conn.c_alive <- false);
+  (if conn.c_alive && not conn.c_closing then
+     if Queue.length conn.c_outq >= outbox_cap then begin
+       mark_dead_locked conn;
+       (* unwedge the writer (blocked on a full socket buffer) and the
+          reader (blocked on a peer that sends nothing either) *)
+       try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+     end
+     else begin
+       Queue.push frame conn.c_outq;
+       Condition.broadcast conn.c_wcv
+     end);
   Mutex.unlock conn.c_wmutex
+
+(* the writer thread: drains the outbox in order; exits when the peer is
+   dead or the connection is closing with nothing left to flush *)
+let conn_writer conn =
+  let rec loop () =
+    Mutex.lock conn.c_wmutex;
+    while Queue.is_empty conn.c_outq && conn.c_alive && not conn.c_closing do
+      Condition.wait conn.c_wcv conn.c_wmutex
+    done;
+    match Queue.take_opt conn.c_outq with
+    | None -> Mutex.unlock conn.c_wmutex
+    | Some frame ->
+        Mutex.unlock conn.c_wmutex;
+        (try P.write_frame conn.c_fd frame
+         with
+        | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) | Sys_error _ ->
+          Mutex.lock conn.c_wmutex;
+          mark_dead_locked conn;
+          Mutex.unlock conn.c_wmutex);
+        loop ()
+  in
+  loop ()
+
+(* retire a connection: give the writer a bounded grace to flush what a
+   live peer is still owed, then shut the socket (unwedging a writer
+   blocked on a peer that stopped reading), join the writer, close *)
+let close_conn conn =
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  Mutex.lock conn.c_wmutex;
+  conn.c_closing <- true;
+  Condition.broadcast conn.c_wcv;
+  (* poll, not [Condition.wait]: there is no timed wait, and a writer
+     wedged inside [write_frame] would never signal *)
+  while conn.c_alive && (not (Queue.is_empty conn.c_outq)) && Unix.gettimeofday () < deadline do
+    Mutex.unlock conn.c_wmutex;
+    Thread.delay 0.005;
+    Mutex.lock conn.c_wmutex
+  done;
+  mark_dead_locked conn;
+  Mutex.unlock conn.c_wmutex;
+  (try Unix.shutdown conn.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (match conn.c_writer with Some th -> Thread.join th | None -> ());
+  quiet_close conn.c_fd
 
 let cancelled_frame job_id =
   P.Obj
@@ -180,6 +259,26 @@ let failed_result_frame ~job_id ~wall ~code msg =
       ("cached", P.Bool false);
       ("wall_s", P.Float wall);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* In-memory cache (guarded by [t.mutex]).
+
+   Bounded at [cache_cap] entries with FIFO eviction — artifacts carry
+   every rendered output and can run to megabytes, so an unbounded table
+   is a slow leak on any long-lived daemon.  FIFO (not LRU) is enough:
+   the persistent store keeps durable copies, so evicting a hot key only
+   costs a store read on its next submit. *)
+
+let cache_put_locked t key a =
+  if not (Hashtbl.mem t.cache key) then begin
+    while Hashtbl.length t.cache >= t.cfg.cache_cap do
+      match Queue.take_opt t.cache_order with
+      | Some victim -> Hashtbl.remove t.cache victim
+      | None -> Hashtbl.reset t.cache (* unreachable: order mirrors the table *)
+    done;
+    Queue.push key t.cache_order
+  end;
+  Hashtbl.replace t.cache key a
 
 (* ------------------------------------------------------------------ *)
 (* Accounting *)
@@ -225,6 +324,12 @@ let dispatch_locked t slot job =
 let rec pump_locked t slot =
   match slot.s_state with
   | W_busy _ | W_dead -> ()
+  (* the supervisor already SIGKILLed this worker (its wresult may still
+     have raced in and idled the slot): dispatching now would hand a job
+     to a corpse and get it mis-billed for the *previous* job's kill
+     reason when the death is processed.  Hold the queue until the
+     respawn, which resets [s_kill_reason]. *)
+  | W_idle when slot.s_kill_reason <> K_none -> ()
   | W_idle -> (
       match Queue.take_opt slot.s_queue with
       | None -> ()
@@ -286,7 +391,7 @@ let handle_wresult t slot frame =
                 (failed_result_frame ~job_id ~wall:(Unix.gettimeofday () -. job.j_started)
                    ~code:"worker_lost" ("worker returned an undecodable artifact: " ^ m))
           | Ok a ->
-              Hashtbl.replace t.cache job.j_key a;
+              cache_put_locked t job.j_key a;
               if store_hit then t.n_store_hits <- t.n_store_hits + 1;
               if job.j_cancelled then begin
                 t.n_cancelled <- t.n_cancelled + 1;
@@ -364,6 +469,12 @@ let handle_worker_death t slot ~gen ~pid ~fd =
     end;
     Condition.broadcast t.drain_cv
   end;
+  (* this reader is about to return: drop its handle so [t.readers] does
+     not grow by one thread per respawn for the daemon's lifetime (the
+     drain joins whatever is still listed; a thread that unlisted itself
+     here has nothing left to do but return) *)
+  (let self_id = Thread.id (Thread.self ()) in
+   t.readers <- List.filter (fun th -> Thread.id th <> self_id) t.readers);
   Mutex.unlock t.mutex
 
 let reader t slot ~gen ~pid ~fd =
@@ -464,22 +575,31 @@ let supervise t =
 (* ------------------------------------------------------------------ *)
 (* Request handling (connection threads) *)
 
+(* [Store.stats] walks the object tree on a cold scan (O(entries) stats;
+   the store caches the result, but even a cached miss is disk I/O):
+   take it OUTSIDE [t.mutex] so a monitoring poller can never stall
+   dispatch or supervision.  [t.n_store_hits] is a single immediate
+   field read — benign outside the lock for an advisory counter. *)
+let store_stats_unlocked t =
+  match t.store with
+  | None -> None
+  | Some st -> Some (Store.stats st)
+
 let stats_frame t =
+  let store_json =
+    match store_stats_unlocked t with
+    | None -> P.Obj [ ("enabled", P.Bool false) ]
+    | Some s ->
+        P.Obj
+          [
+            ("enabled", P.Bool true);
+            ("entries", P.Int s.Store.st_entries);
+            ("bytes", P.Int s.Store.st_bytes);
+            ("quarantined", P.Int s.Store.st_quarantined);
+            ("hits", P.Int t.n_store_hits);
+          ]
+  in
   locked t (fun () ->
-      let store_json =
-        match t.store with
-        | None -> P.Obj [ ("enabled", P.Bool false) ]
-        | Some st ->
-            let s = Store.stats st in
-            P.Obj
-              [
-                ("enabled", P.Bool true);
-                ("entries", P.Int s.Store.st_entries);
-                ("bytes", P.Int s.Store.st_bytes);
-                ("quarantined", P.Int s.Store.st_quarantined);
-                ("hits", P.Int t.n_store_hits);
-              ]
-      in
       P.Obj
         [
           ("type", P.String "stats");
@@ -534,6 +654,17 @@ let stats_frame t =
         ])
 
 let health_frame t =
+  let store_json =
+    match store_stats_unlocked t with
+    | None -> P.Obj [ ("enabled", P.Bool false) ]
+    | Some s ->
+        P.Obj
+          [
+            ("enabled", P.Bool true);
+            ("entries", P.Int s.Store.st_entries);
+            ("quarantined", P.Int s.Store.st_quarantined);
+          ]
+  in
   locked t (fun () ->
       let now = Unix.gettimeofday () in
       let degraded = ref false in
@@ -560,18 +691,6 @@ let health_frame t =
                    ( "heartbeat_age_s",
                      P.Float (if s.s_pid = 0 then -1.0 else now -. s.s_last_beat) );
                  ])
-      in
-      let store_json =
-        match t.store with
-        | None -> P.Obj [ ("enabled", P.Bool false) ]
-        | Some st ->
-            let s = Store.stats st in
-            P.Obj
-              [
-                ("enabled", P.Bool true);
-                ("entries", P.Int s.Store.st_entries);
-                ("quarantined", P.Int s.Store.st_quarantined);
-              ]
       in
       P.Obj
         [
@@ -742,8 +861,7 @@ let conn_loop t conn =
             send conn (P.Obj [ ("type", P.String "draining") ]);
             stop t)
   done;
-  conn.c_alive <- false;
-  quiet_close conn.c_fd;
+  close_conn conn;
   locked t (fun () -> t.conns <- List.filter (fun (_, c) -> c.c_id <> conn.c_id) t.conns);
   logv t "connection %d closed" conn.c_id
 
@@ -779,7 +897,7 @@ let bind_tcp port =
 
 let create cfg =
   try
-    let cfg = { cfg with workers = max 1 cfg.workers } in
+    let cfg = { cfg with workers = max 1 cfg.workers; cache_cap = max 1 cfg.cache_cap } in
     let store =
       match cfg.store_dir with
       | None -> None
@@ -825,6 +943,7 @@ let create cfg =
         mutex = Mutex.create ();
         drain_cv = Condition.create ();
         cache = Hashtbl.create 64;
+        cache_order = Queue.create ();
         jobs = Hashtbl.create 16;
         slots;
         next_job = 1;
@@ -862,9 +981,15 @@ let create cfg =
       }
     in
     (* the first worker generation forks here, before any other thread
-       exists, so the children are born from a single-threaded image
-       (respawn forks later come from the supervisor thread — those
-       children touch nothing but their own pipe before [_exit]) *)
+       exists, so these children are born from a single-threaded image.
+       Respawn forks later come from the supervisor thread of a
+       multi-threaded parent, and those children are NOT minimal: each
+       runs a full [Worker.main] — heartbeat thread, store I/O, whole
+       compiles.  That leans on the C library's atfork handling to leave
+       malloc/stdio usable in the child (the standard pre-fork-server
+       bargain, exercised heavily by the chaos suite).  If stronger
+       isolation is ever needed, respawn via fork+exec of the hlsc
+       binary in a worker mode so children start from a clean image. *)
     Array.iter (fun slot -> spawn_locked t slot) t.slots;
     t.supervisor <- Some (Thread.create supervise t);
     Ok t
@@ -883,9 +1008,19 @@ let accept_one t listener =
             let id = t.next_conn in
             t.next_conn <- t.next_conn + 1;
             t.n_conns_total <- t.n_conns_total + 1;
-            { c_id = id; c_fd = fd; c_wmutex = Mutex.create (); c_alive = true })
+            {
+              c_id = id;
+              c_fd = fd;
+              c_wmutex = Mutex.create ();
+              c_wcv = Condition.create ();
+              c_outq = Queue.create ();
+              c_alive = true;
+              c_closing = false;
+              c_writer = None;
+            })
       in
       logv t "connection %d accepted" conn.c_id;
+      conn.c_writer <- Some (Thread.create conn_writer conn);
       let th = Thread.create (fun () -> conn_loop t conn) () in
       locked t (fun () -> t.conns <- (th, conn) :: t.conns)
 
@@ -924,10 +1059,13 @@ let drain t =
       match Store.flush_index st with
       | Ok () -> ()
       | Error m -> Printf.eprintf "hlsc serve: store index flush failed: %s\n%!" m));
-  (* 5. unblock and join the connection threads *)
+  (* 5. unblock and join the connection threads.  Receive side only:
+     each [conn_loop] wakes on the EOF and runs [close_conn], which
+     still flushes the result frames its writer owes the client before
+     shutting the send side *)
   let conns = locked t (fun () -> t.conns) in
   List.iter
-    (fun (_, c) -> try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    (fun (_, c) -> try Unix.shutdown c.c_fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
     conns;
   List.iter (fun (th, _) -> Thread.join th) conns;
   quiet_close t.stop_r;

@@ -4,9 +4,12 @@
     The daemon is split across process boundaries so that no compile
     job, however pathological, can take the service down:
 
-    - The {b acceptor} (this process) owns the listening sockets, one
-      thread per client connection, admission control, the in-memory
-      artifact cache, and the supervisor.  It never runs a compile.
+    - The {b acceptor} (this process) owns the listening sockets, a
+      reader and a writer thread per client connection (outbound frames
+      queue on a bounded per-connection outbox, so a client that stops
+      reading is evicted rather than allowed to wedge the daemon),
+      admission control, the bounded in-memory artifact cache, and the
+      supervisor.  It never runs a compile.
     - [workers] forked {b worker processes} (see {!Worker}) each own one
       socketpair to the acceptor and run jobs one at a time.  Jobs are
       dispatched by design-fingerprint affinity (same key → same slot),
@@ -61,6 +64,11 @@ type config = {
           worker before it is failed with [worker_lost] *)
   backoff_base_s : float;  (** first respawn delay after a crash *)
   backoff_cap_s : float;  (** respawn delay ceiling (doubles per crash) *)
+  cache_cap : int;
+      (** in-memory artifact-cache entry bound (≥ 1); the oldest entry
+          is evicted first — with a store configured an evicted key is
+          one store read away, so the daemon's memory stays bounded
+          without losing durable warm state *)
   chaos : Worker.chaos option;  (** fault injection (tests only) *)
   verbose : bool;  (** log connection/job/supervision lifecycle to stderr *)
 }
@@ -70,7 +78,7 @@ val default_config : config
      queue_capacity = 64; shed_watermark = Some 48; store_dir = None;
      deadline_s = 300.0; hb_interval_s = 0.05; hb_timeout_s = 2.0;
      max_requeues = 1; backoff_base_s = 0.05; backoff_cap_s = 2.0;
-     chaos = None; verbose = false}] *)
+     cache_cap = 512; chaos = None; verbose = false}] *)
 
 type t
 

@@ -23,6 +23,15 @@ type stats = {
   st_misses : int;
 }
 
+(* cached directory-scan totals, so [stats] is not an O(entries) walk on
+   every call (the daemon answers stats/health from monitoring pollers) *)
+type scan_cache = {
+  sc_at : float;  (** when the scan ran *)
+  mutable sc_entries : int;
+  mutable sc_bytes : int;  (** entry *file* bytes (header + payload) *)
+  mutable sc_quarantined : int;
+}
+
 type t = {
   root : string;
   mutable tmp_seq : int;
@@ -30,6 +39,7 @@ type t = {
   mutable n_hits : int;
   mutable n_misses : int;
   mutable n_quarantined : int;  (** quarantines performed by this handle *)
+  mutable scan : scan_cache option;
 }
 
 let ( // ) = Filename.concat
@@ -37,7 +47,8 @@ let objects t = t.root // "objects"
 let tmp_dir t = t.root // "tmp"
 let quarantine_dir t = t.root // "quarantine"
 let version_file root = root // "VERSION"
-let fresh_handle root = { root; tmp_seq = 0; n_puts = 0; n_hits = 0; n_misses = 0; n_quarantined = 0 }
+let fresh_handle root =
+  { root; tmp_seq = 0; n_puts = 0; n_hits = 0; n_misses = 0; n_quarantined = 0; scan = None }
 let version_stamp = Printf.sprintf "hlsc-store %d\n" layout_version
 
 let hashed_name key = Digest.to_hex (Digest.string key)
@@ -100,14 +111,27 @@ let decode_entry bytes =
 
 let quarantine t path =
   t.n_quarantined <- t.n_quarantined + 1;
+  let size = try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0 in
   let dst =
     Printf.sprintf "%s.%d.%d"
       (quarantine_dir t // Filename.basename path)
       (Unix.getpid ()) t.n_quarantined
   in
-  try Sys.rename path dst
-  with Sys_error _ -> ( (* a concurrent handle beat us to it *)
-    try Sys.remove path with Sys_error _ -> ())
+  let renamed =
+    try
+      Sys.rename path dst;
+      true
+    with Sys_error _ ->
+      (* a concurrent handle beat us to it *)
+      (try Sys.remove path with Sys_error _ -> ());
+      false
+  in
+  match t.scan with
+  | None -> ()
+  | Some sc ->
+      sc.sc_entries <- sc.sc_entries - 1;
+      sc.sc_bytes <- sc.sc_bytes - size;
+      if renamed then sc.sc_quarantined <- sc.sc_quarantined + 1
 
 (* ------------------------------------------------------------------ *)
 (* Open + recovery scan *)
@@ -169,13 +193,27 @@ let put t key payload =
   try
     t.tmp_seq <- t.tmp_seq + 1;
     let tmp = tmp_dir t // Printf.sprintf "put.%d.%d" (Unix.getpid ()) t.tmp_seq in
+    let entry = encode_entry payload in
     let oc = open_out_bin tmp in
-    output_string oc (encode_entry payload);
+    output_string oc entry;
     close_out oc;
     let dst = path_of_key t key in
     mkdir_p (Filename.dirname dst);
+    let old_size =
+      match Unix.stat dst with
+      | s -> Some s.Unix.st_size
+      | exception Unix.Unix_error _ -> None
+    in
     Sys.rename tmp dst;
     t.n_puts <- t.n_puts + 1;
+    (match t.scan with
+    | None -> ()
+    | Some sc -> (
+        match old_size with
+        | None ->
+            sc.sc_entries <- sc.sc_entries + 1;
+            sc.sc_bytes <- sc.sc_bytes + String.length entry
+        | Some old -> sc.sc_bytes <- sc.sc_bytes - old + String.length entry));
     Ok ()
   with Sys_error m -> Error m
 
@@ -209,12 +247,36 @@ let scan_totals t =
       bytes := !bytes + (try (Unix.stat path).Unix.st_size with Unix.Unix_error _ -> 0));
   (!entries, !bytes)
 
-let stats t =
-  let entries, bytes = scan_totals t in
+let scan_ttl_s = 2.0
+
+(* The scan totals are cached: mutations through *this* handle keep the
+   cached numbers exact incrementally ([put]/[quarantine] above), and a
+   rescan no more often than [max_age] picks up other processes' writes.
+   This keeps a monitoring poller hammering stats/health from costing an
+   O(entries) tree walk per request. *)
+let refresh_scan ~max_age t =
+  let now = Unix.gettimeofday () in
+  match t.scan with
+  | Some sc when now -. sc.sc_at <= max_age -> sc
+  | _ ->
+      let entries, bytes = scan_totals t in
+      let sc =
+        {
+          sc_at = now;
+          sc_entries = entries;
+          sc_bytes = bytes;
+          sc_quarantined = List.length (list_dir (quarantine_dir t));
+        }
+      in
+      t.scan <- Some sc;
+      sc
+
+let stats ?(max_age = scan_ttl_s) t =
+  let sc = refresh_scan ~max_age t in
   {
-    st_entries = entries;
-    st_bytes = bytes;
-    st_quarantined = List.length (list_dir (quarantine_dir t));
+    st_entries = sc.sc_entries;
+    st_bytes = sc.sc_bytes;
+    st_quarantined = sc.sc_quarantined;
     st_puts = t.n_puts;
     st_hits = t.n_hits;
     st_misses = t.n_misses;
@@ -225,7 +287,8 @@ let stats t =
 
 let flush_index t =
   try
-    let s = stats t in
+    (* the index is a durable snapshot: bypass the scan cache *)
+    let s = stats ~max_age:0.0 t in
     let names = keys t in
     let buf = Buffer.create 256 in
     Printf.bprintf buf

@@ -34,9 +34,9 @@ val layout_version : int
 
 (** Counters of one handle (not global across processes). *)
 type stats = {
-  st_entries : int;  (** entries on disk right now (directory scan) *)
-  st_bytes : int;  (** payload bytes of those entries *)
-  st_quarantined : int;  (** files in [quarantine/] right now *)
+  st_entries : int;  (** entries on disk (cached directory scan) *)
+  st_bytes : int;  (** entry file bytes of those entries *)
+  st_quarantined : int;  (** files in [quarantine/] *)
   st_puts : int;  (** successful {!put}s through this handle *)
   st_hits : int;  (** verified {!find} hits through this handle *)
   st_misses : int;  (** {!find} misses (absent or quarantined) *)
@@ -65,7 +65,13 @@ val mem : t -> string -> bool
 val keys : t -> string list
 (** Hashed entry names currently on disk, sorted (a directory scan). *)
 
-val stats : t -> stats
+val stats : ?max_age:float -> t -> stats
+(** Handle counters plus directory-scan totals.  The scan is cached:
+    mutations through this handle adjust the cached totals exactly, and
+    the tree is rescanned only when the cache is older than [max_age]
+    (default 2 s) — so hammering [stats] never costs an O(entries) walk
+    per call, at the price of seeing *other* processes' writes with up
+    to [max_age] of lag.  Pass [~max_age:0.0] to force a fresh scan. *)
 
 val flush_index : t -> (unit, string) result
 (** Rescan the store and atomically write [index.json] — a one-object

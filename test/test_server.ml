@@ -19,13 +19,26 @@ let fresh_socket () =
     (Filename.get_temp_dir_name ())
     (Printf.sprintf "hlsc_test_%d_%d.sock" (Unix.getpid ()) !sock_counter)
 
-let with_server ?(workers = 2) ?(queue_capacity = 64) ?shed_watermark f =
+let with_server ?(workers = 2) ?(queue_capacity = 64) ?shed_watermark ?cache_cap f =
+  (* the daemon runs in-process: a test that makes it write to a reset
+     peer (e.g. slow-client eviction) must not die of SIGPIPE *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let socket = fresh_socket () in
   let shed_watermark =
     match shed_watermark with Some w -> w | None -> Server.default_config.Server.shed_watermark
   in
+  let cache_cap =
+    Option.value cache_cap ~default:Server.default_config.Server.cache_cap
+  in
   let cfg =
-    { Server.default_config with Server.socket; workers; queue_capacity; shed_watermark }
+    {
+      Server.default_config with
+      Server.socket;
+      workers;
+      queue_capacity;
+      shed_watermark;
+      cache_cap;
+    }
   in
   match Server.create cfg with
   | Error m -> Alcotest.failf "server create: %s" m
@@ -475,6 +488,60 @@ let test_stats_shape () =
   Alcotest.(check bool) "cache entries >= 1" true
     (match Option.bind (P.member "entries" cache) P.get_int with Some n -> n >= 1 | None -> false)
 
+(* a client that submits requests but never reads a reply must fill its
+   bounded outbox and be evicted — and the daemon must keep serving
+   everyone else meanwhile (regression: result writes used to happen
+   under the global mutex, so one such client wedged the whole tier) *)
+let test_slow_client_evicted () =
+  with_server @@ fun socket ->
+  let fd = raw_connect socket in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  raw_hello fd;
+  (* ~4000 stats replies ≫ socket buffers + the 256-frame outbox, so the
+     daemon is guaranteed to hit the overflow path; the eviction surfaces
+     to us as EPIPE/ECONNRESET on a later request write *)
+  let stats_req = P.to_string (P.request_to_json P.Stats) in
+  let evicted = ref false in
+  (try
+     for _ = 1 to 4000 do
+       write_raw_frame fd stats_req
+     done
+   with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> evicted := true);
+  Alcotest.(check bool) "never-reading client evicted" true !evicted;
+  (* the daemon must answer a well-behaved client promptly afterwards *)
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  (match Client.stats c with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "daemon wedged by a slow client: %s" m);
+  ignore (ok_outcome (Client.submit c (P.job_spec ~ii:2 P.C_schedule (`Builtin "example1"))))
+
+(* the in-memory cache is bounded: beyond [cache_cap] entries the oldest
+   is evicted, and an evicted key recompiles to byte-identical output *)
+let test_cache_bounded () =
+  with_server ~cache_cap:2 @@ fun socket ->
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+  let spec1 = P.job_spec ~ii:2 P.C_schedule (`Builtin "example1") in
+  let first = ok_outcome (Client.submit c spec1) in
+  ignore (ok_outcome (Client.submit c (P.job_spec ~ii:1 P.C_pipeline (`Builtin "fir8"))));
+  ignore (ok_outcome (Client.submit c (P.job_spec P.C_flow (`Builtin "fft"))));
+  let j = match Client.stats c with Ok j -> j | Error m -> Alcotest.failf "stats: %s" m in
+  let entries =
+    match
+      Option.bind (P.member "cache" j) (fun cj -> Option.bind (P.member "entries" cj) P.get_int)
+    with
+    | Some n -> n
+    | None -> Alcotest.fail "stats cache.entries missing"
+  in
+  Alcotest.(check int) "cache capped at 2 entries" 2 entries;
+  (* the first key was evicted: a resubmit is a cold compile again, and
+     its bytes are identical to the original answer *)
+  let again = ok_outcome (Client.submit c spec1) in
+  Alcotest.(check bool) "evicted key recompiles (not a cache hit)" false again.P.o_cached;
+  Alcotest.(check string) "recompile is byte-identical" first.P.o_output again.P.o_output
+
 let test_json_roundtrip () =
   let samples =
     [
@@ -524,4 +591,6 @@ let suite =
     Alcotest.test_case "draining observed by a client" `Quick test_draining_observed;
     Alcotest.test_case "new frame roundtrips" `Quick test_new_frame_roundtrips;
     Alcotest.test_case "stats shape" `Quick test_stats_shape;
+    Alcotest.test_case "slow client evicted, daemon unharmed" `Quick test_slow_client_evicted;
+    Alcotest.test_case "cache bounded with FIFO eviction" `Quick test_cache_bounded;
   ]

@@ -156,9 +156,29 @@ let test_flush_index () =
       Alcotest.(check (list string)) "index keys match directory scan" (Store.keys st)
         (List.sort compare keys)
 
+(* [stats] caches its directory scan: writes through the same handle
+   stay exact incrementally, other handles' writes show up only after a
+   rescan (TTL expiry or an explicit [~max_age:0.0]) *)
+let test_stats_scan_cache () =
+  let dir = fresh_dir () in
+  let st_a = open_ok dir in
+  (match Store.put st_a "one" "1" with Ok () -> () | Error m -> Alcotest.failf "put: %s" m);
+  Alcotest.(check int) "first stats scans" 1 (Store.stats st_a).Store.st_entries;
+  (match Store.put st_a "two" "22" with Ok () -> () | Error m -> Alcotest.failf "put: %s" m);
+  Alcotest.(check int) "own writes exact without a rescan" 2 (Store.stats st_a).Store.st_entries;
+  let st_b = open_ok ~scan:false dir in
+  Alcotest.(check int) "second handle sees both" 2 (Store.stats st_b).Store.st_entries;
+  (match Store.put st_a "three" "333" with Ok () -> () | Error m -> Alcotest.failf "put: %s" m);
+  Alcotest.(check int) "cached scan lags cross-handle writes" 2
+    (Store.stats st_b).Store.st_entries;
+  Alcotest.(check int) "max_age 0 forces a fresh scan" 3
+    (Store.stats ~max_age:0.0 st_b).Store.st_entries
+
 let suite =
   [
     Alcotest.test_case "put/find roundtrip + overwrite" `Quick test_roundtrip;
+    Alcotest.test_case "stats scan cache: exact own writes, bounded lag" `Quick
+      test_stats_scan_cache;
     Alcotest.test_case "corrupt entries quarantined on read" `Quick
       test_corrupt_quarantined_on_read;
     Alcotest.test_case "open-time recovery scan" `Quick test_recovery_scan;
