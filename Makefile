@@ -1,4 +1,4 @@
-.PHONY: all build test faults dse check fmt ci bench bench-dse bench-netlist bench-sched bench-smoke bench-serve serve-smoke chaos-smoke exit-codes golden clean
+.PHONY: all build test faults dse check fmt ci bench bench-dse bench-netlist bench-sched bench-scale scale-smoke bench-smoke bench-serve serve-smoke chaos-smoke exit-codes golden clean
 
 all: build
 
@@ -56,6 +56,17 @@ bench-netlist:
 # written to BENCH_sched.json
 bench-sched:
 	dune exec bench/main.exe -- sched
+
+# the design-size sweep: schedules seeded synthetic designs at ~350 / 1k
+# / 3k / 10k elaborated ops and writes the scaling curve (wall, queries,
+# queries/s, passes, peak heap words) to BENCH_scale.json
+bench-scale:
+	dune exec bench/main.exe -- scale
+
+# what CI's scale-smoke job runs: the ~350 and ~1k-op sweep points with a
+# generous wall-clock guard on the 1k point (MAX_WALL_1K to override)
+scale-smoke:
+	./scripts/scale_smoke.sh
 
 # the compile-service experiment, two phases written to BENCH_serve.json
 # as {"load":…,"chaos":…}: (1) a clean daemon driven by 8 concurrent

@@ -215,7 +215,7 @@ let fig9 ?(n = 40) ?(hi = 1000) () =
         | Ok s ->
             Printf.printf "  %-22s %5d ops  clk %4.0f  %7.2f s  (%d passes, %d insts)\n%!"
               d.Ast.d_name ops clock s.Scheduler.s_sched_time_s s.Scheduler.s_passes
-              (List.length s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.insts);
+              (Hls_netlist.Netlist.n_insts s.Scheduler.s_binding.Binding.net);
             Some ((float_of_int ops, float_of_int s.Scheduler.s_passes), s.Scheduler.s_sched_time_s)
         | Error err ->
             Printf.printf "  %-22s %5d ops  clk %4.0f  FAILED (%s)\n%!" d.Ast.d_name ops clock
@@ -788,7 +788,7 @@ let bench_netlist () =
       (* micro-loop: a full what-if transaction (open, recompute the seed
          ops, roll back) — the unit of work a candidate binding costs *)
       let seeds =
-        Hashtbl.fold (fun op _ acc -> op :: acc) net.Netlist.placements [] |> fun l ->
+        Netlist.fold_placements net (fun op _ acc -> op :: acc) [] |> fun l ->
         List.filteri (fun i _ -> i < 32) (List.sort compare l)
       in
       let iters = if !smoke then 50 else 2000 in
@@ -805,7 +805,7 @@ let bench_netlist () =
       in
       let deviation = Netlist.reference_deviation net in
       Printf.printf "schedule: %d ops, LI=%d, %.3f s in the scheduler\n"
-        (Hashtbl.length net.Netlist.placements) s.Scheduler.s_li st.Scheduler.st_sched_s;
+        (Netlist.n_placed net) s.Scheduler.s_li st.Scheduler.st_sched_s;
       Printf.printf "scheduling run: %d queries, %d trials (%d commits / %d rollbacks), %.0f queries/s\n"
         ns.Netlist.s_queries ns.Netlist.s_trials ns.Netlist.s_commits ns.Netlist.s_rollbacks
         sched_queries_per_s;
@@ -816,12 +816,90 @@ let bench_netlist () =
       Printf.fprintf oc
         {|{"design":"synthetic-350","ops":%d,"li":%d,"sched_s":%.6f,"queries":%d,"trials":%d,"commits":%d,"rollbacks":%d,"sched_queries_per_s":%.1f,"trial_rollback_iters":%d,"trial_rollback_s":%.6f,"trial_rollback_per_s":%.1f,"micro_queries_per_s":%.1f,"oracle_max_deviation_ps":%.6f}
 |}
-        (Hashtbl.length net.Netlist.placements)
+        (Netlist.n_placed net)
         s.Scheduler.s_li st.Scheduler.st_sched_s ns.Netlist.s_queries ns.Netlist.s_trials
         ns.Netlist.s_commits ns.Netlist.s_rollbacks sched_queries_per_s iters trial_s trial_per_s
         micro_queries_per_s deviation;
       close_out oc;
       print_endline "wrote BENCH_netlist.json"
+
+(* ------------------------------------------------------------------ *)
+(* Design-size scaling sweep: wall clock and query throughput vs op     *)
+(* count, tracked per PR (BENCH_scale.json)                             *)
+(* ------------------------------------------------------------------ *)
+
+let bench_scale () =
+  section "SCALE — scheduler wall clock vs design size (BENCH_scale.json)";
+  (* log-spaced sizes from the synthetic-350 reference up to production
+     scale; tightness is kept moderate so the relaxation loop terminates
+     in a comparable number of passes at every size and the curve
+     isolates per-pass cost growth *)
+  (* generator targets chosen so the *elaborated* op counts land at
+     ~350 / 1k / 3k / 10k (elaboration roughly doubles the source op
+     count with muxes and port plumbing) *)
+  let sizes = if !smoke then [ 175; 500 ] else [ 175; 500; 1500; 5000 ] in
+  let rows =
+    List.map
+      (fun ops ->
+        let profile =
+          { Hls_designs.Synthetic.default_profile with
+            Hls_designs.Synthetic.p_ops = ops; p_seed = 7; p_tightness = 0.3 }
+        in
+        let d = Hls_designs.Synthetic.design ~profile () in
+        let e = Elaborate.design d in
+        let region = Elaborate.main_region e in
+        let n = Region.n_members region in
+        Gc.compact ();
+        match Scheduler.schedule ~lib ~clock_ps:clock region with
+        | Ok s ->
+            let st = Scheduler.stats s in
+            let peak = (Gc.quick_stat ()).Gc.top_heap_words in
+            let qps =
+              if st.Scheduler.st_sched_s > 0.0 then
+                float_of_int st.Scheduler.st_queries /. st.Scheduler.st_sched_s
+              else 0.0
+            in
+            Printf.printf
+              "  %6d ops  %8.3f s  %9d queries  %8.0f queries/s  %3d passes  %9d visits  \
+               %7d trials (%d rb)  %10d peak words\n%!"
+              n st.Scheduler.st_sched_s st.Scheduler.st_queries qps st.Scheduler.st_passes
+              st.Scheduler.st_visits st.Scheduler.st_trials st.Scheduler.st_rollbacks peak;
+            Some (n, st, peak)
+        | Error err ->
+            Printf.printf "  %6d ops  FAILED: %s\n%!" n err.Scheduler.e_message;
+            None)
+      sizes
+  in
+  let rows = List.filter_map Fun.id rows in
+  let json_row (n, (st : Scheduler.stats), peak) =
+    let qps =
+      if st.Scheduler.st_sched_s > 0.0 then
+        float_of_int st.Scheduler.st_queries /. st.Scheduler.st_sched_s
+      else 0.0
+    in
+    Printf.sprintf
+      {|{"ops":%d,"wall_s":%.6f,"queries":%d,"queries_per_s":%.1f,"passes":%d,"visits":%d,"peak_heap_words":%d}|}
+      n st.Scheduler.st_sched_s st.Scheduler.st_queries qps st.Scheduler.st_passes
+      st.Scheduler.st_visits peak
+  in
+  (* the headline scaling exponent: slope of log(wall) over log(ops)
+     between the smallest and largest completed points *)
+  let exponent =
+    match (rows, List.rev rows) with
+    | (n0, st0, _) :: _, (n1, st1, _) :: _
+      when n1 > n0 && st0.Scheduler.st_sched_s > 0.0 && st1.Scheduler.st_sched_s > 0.0 ->
+        log (st1.Scheduler.st_sched_s /. st0.Scheduler.st_sched_s)
+        /. log (float_of_int n1 /. float_of_int n0)
+    | _ -> 0.0
+  in
+  Printf.printf "scaling exponent (log wall / log ops): %.2f\n" exponent;
+  let oc = open_out "BENCH_scale.json" in
+  Printf.fprintf oc {|{"design":"synthetic","clock_ps":%.0f,"scaling_exponent":%.3f,"points":[%s]}
+|}
+    clock exponent
+    (String.concat "," (List.map json_row rows));
+  close_out oc;
+  print_endline "wrote BENCH_scale.json"
 
 (* ------------------------------------------------------------------ *)
 
@@ -839,6 +917,7 @@ let experiments =
     ("dse", bench_dse);
     ("sched", bench_sched);
     ("netlist", bench_netlist);
+    ("scale", bench_scale);
     ("examples", examples);
     ("baselines", baselines);
     ("ablation-timing", ablation_timing);

@@ -299,6 +299,7 @@ let explore_cmd =
           else prerr_endline ("hlsc: " ^ Hls_diag.Diag.to_string d);
           exit 1
     in
+    Hls_core.Scheduler.set_jobs jobs;
     let design = or_die (load_design name) in
     let grid = or_die (Hls_dse.Dse.parse_grid grid_spec) in
     let options =

@@ -17,7 +17,7 @@ let run ?(check_timing = true) (region : Region.t) (s : Scheduler.t) (fold : Pip
   let li = s.Scheduler.s_li in
   let ii = Region.ii region in
   let nl = s.Scheduler.s_binding.Binding.net in
-  let lib = nl.Netlist.lib in
+  let lib = Netlist.lib nl in
   let viols = ref [] in
   let fail rule fmt =
     Printf.ksprintf (fun m -> viols := { v_rule = rule; v_message = m } :: !viols) fmt
@@ -80,7 +80,7 @@ let run ?(check_timing = true) (region : Region.t) (s : Scheduler.t) (fold : Pip
               done
           | None -> ())
         inst.Netlist.bound)
-    nl.Netlist.insts;
+    (Netlist.insts nl);
   (* accurate timing is met *)
   if check_timing then begin
     let wns = Netlist.worst_slack nl in

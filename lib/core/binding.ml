@@ -49,6 +49,15 @@ type t = {
       (** user constraint (Section IV.B item 4): these ops must own their
           resource instance outright — no sharing in any state *)
   timing_aware : bool;
+  mutable has_forced : bool;
+      (** a [force_bind] (baseline import, slack-tolerating ablation) may
+          have committed a negative-slack op, so the narrowed-seed fast
+          path in [try_bind] — which relies on every committed op being
+          slack-clean — is disabled for the rest of the pass history *)
+  class_ops_memo : (Resource.t, int) Hashtbl.t;
+      (** member-op count per resource need (the region membership is
+          static, so the counts never change) — keeps the expert's
+          per-restraint estimates from rescanning every member op *)
 }
 
 let create ?(timing_aware = true) ~lib ~clock_ps (region : Region.t) =
@@ -61,6 +70,8 @@ let create ?(timing_aware = true) ~lib ~clock_ps (region : Region.t) =
     forbidden = Hashtbl.create 8;
     dedicated = Hashtbl.create 4;
     timing_aware;
+    has_forced = false;
+    class_ops_memo = Hashtbl.create 8;
   }
 
 (** The arrival view that gates this binder's decisions. *)
@@ -73,7 +84,9 @@ let find_inst t id = Netlist.find_inst t.net id
     forbidden pairs — the state carried between scheduling passes.
     [keep_prealloc] skips the [prealloc_shared] recompute (sound when no
     instance was added since the previous pass). *)
-let reset_pass ?keep_prealloc t = Netlist.reset_pass ?keep_prealloc t.net
+let reset_pass ?keep_prealloc t =
+  t.has_forced <- false;
+  Netlist.reset_pass ?keep_prealloc t.net
 
 let placement t op_id = Netlist.placement t.net op_id
 let is_placed t op_id = Netlist.is_placed t.net op_id
@@ -194,6 +207,47 @@ let try_bind t (op : Dfg.op) ~step ~inst_opt : (unit, Restraint.fail) result =
                 raise (Fail (Restraint.F_cycle i.inst_id)))
             (Netlist.chain_source_insts net op.Dfg.id ~step)
     | None -> ());
+    (* which ports of the instance will gain an effective mux input from
+       this bind — measured against the committed mux caches BEFORE the
+       trial mutates them.  A port whose effective input count is
+       unchanged keeps its mux delay bit-identical, so ops reading only
+       such ports keep their arrivals and need no re-timing. *)
+    let widens =
+      match inst with
+      | None -> false
+      | Some i -> (
+          match Resource.of_op t.dfg op with
+          | Some need -> not (Resource.fits ~need ~have:i.rtype)
+          | None -> false)
+    in
+    let changed_ports =
+      match inst with
+      | Some i when not widens ->
+          (* first-edge-per-port semantics, any distance — exactly the
+             sources the attach cache update inserts *)
+          List.filter_map
+            (fun e ->
+              if
+                Dfg.input t.dfg op.Dfg.id ~port:e.Dfg.port = Some e
+                && Netlist.mux_inputs_with net i ~port:e.Dfg.port ~src:e.Dfg.src
+                   <> Netlist.mux_inputs net i ~port:e.Dfg.port
+              then Some e.Dfg.port
+              else None)
+            (Dfg.in_edges t.dfg op.Dfg.id)
+          |> List.sort_uniq compare
+      | _ -> []
+    in
+    (* saturation screen: when the grown mux provably pushes a cohabitant
+       below tolerance — and strictly below the new op's own slack — the
+       trial's busy rejection is already decided, so skip the whole
+       transaction *)
+    (match inst with
+    | Some i
+      when changed_ports <> []
+           && Netlist.screen_busy_reject net ~decision:(decision_view t) ~op ~step ~finish
+                ~inst:i ~changed_ports ->
+        raise (Fail (Restraint.F_busy i.rtype))
+    | _ -> ());
     (* --- trial placement inside a netlist transaction --- *)
     Netlist.begin_trial net;
     Netlist.place net op.Dfg.id ~step ~finish ~inst_opt;
@@ -206,11 +260,32 @@ let try_bind t (op : Dfg.op) ~step ~inst_opt : (unit, Restraint.fail) result =
         Netlist.attach net i op.Dfg.id;
         Netlist.occupy net ~inst_id:i.inst_id ~step ~finish op.Dfg.id
     | None -> ());
-    (* arrivals: the new op, then everything sharing its instance (mux
-       growth), then downstream chains *)
+    (* arrivals: the new op, then every cohabitant whose inputs the bind
+       actually re-times (a widened rtype re-times all of them; a grown
+       port mux re-times the ops reading that port), then downstream
+       chains via the propagation worklist.  Cohabitants whose ports are
+       untouched keep their committed arrivals — and, inductively, their
+       non-negative slack — so dropping them from the seeds changes
+       neither the worst slack nor the accept/reject decision.  The
+       induction breaks if a [force_bind] smuggled in a negative-slack op,
+       so [has_forced] falls back to full re-timing. *)
     let seeds =
-      op.Dfg.id
-      :: (match inst with Some i -> List.filter (fun o -> o <> op.Dfg.id) i.bound | None -> [])
+      match inst with
+      | None -> [ op.Dfg.id ]
+      | Some i when widens || t.has_forced -> (
+          match i.bound with
+          | o :: _ when o = op.Dfg.id -> i.bound
+          | b -> op.Dfg.id :: List.filter (fun o -> o <> op.Dfg.id) b)
+      | Some _ when changed_ports = [] -> [ op.Dfg.id ]
+      | Some i ->
+          op.Dfg.id
+          :: List.filter
+               (fun o ->
+                 o <> op.Dfg.id
+                 && List.exists
+                      (fun p -> Dfg.input t.dfg o ~port:p <> None)
+                      changed_ports)
+               i.bound
     in
     let worst_slack, worst_op = Netlist.propagate net ~decision:(decision_view t) seeds in
     if worst_slack < -0.001 then begin
@@ -248,8 +323,15 @@ let try_bind t (op : Dfg.op) ~step ~inst_opt : (unit, Restraint.fail) result =
     merge), so replay reproduces the widening without re-deriving it.  The
     arrival propagation seeds and the chain-edge recording are exactly
     those of the committing [try_bind], so the incremental timing state
-    after a replayed prefix is bit-identical to the cold pass's. *)
-let replay_bind t (op : Dfg.op) ~step ~finish ~inst_opt ~rtype =
+    after a replayed prefix is bit-identical to the cold pass's.
+
+    [propagate:false] applies only the structural mutation and leaves the
+    arrivals stale; the caller must run one {!recompute_all} after the
+    whole replayed batch.  Sound because the arrival fixpoint is unique
+    given the structure (combinational cycles are excluded by the cycle
+    detector), so one sweep over the final structure lands on the same
+    state as per-bind propagation. *)
+let replay_bind t ?(propagate = true) (op : Dfg.op) ~step ~finish ~inst_opt ~rtype =
   let net = t.net in
   Netlist.place net op.Dfg.id ~step ~finish ~inst_opt;
   let inst = Option.map (Netlist.find_inst net) inst_opt in
@@ -259,11 +341,17 @@ let replay_bind t (op : Dfg.op) ~step ~finish ~inst_opt ~rtype =
       Netlist.attach net i op.Dfg.id;
       Netlist.occupy net ~inst_id:i.inst_id ~step ~finish op.Dfg.id
   | None -> ());
-  let seeds =
-    op.Dfg.id
-    :: (match inst with Some i -> List.filter (fun o -> o <> op.Dfg.id) i.bound | None -> [])
-  in
-  ignore (Netlist.propagate net ~decision:(decision_view t) seeds);
+  if propagate then begin
+    let seeds =
+      match inst with
+      | None -> [ op.Dfg.id ]
+      | Some i -> (
+          match i.bound with
+          | o :: _ when o = op.Dfg.id -> i.bound
+          | b -> op.Dfg.id :: List.filter (fun o -> o <> op.Dfg.id) b)
+    in
+    ignore (Netlist.propagate net ~decision:(decision_view t) seeds)
+  end;
   match inst with
   | Some i ->
       if op_latency t op = 1 then
@@ -277,6 +365,7 @@ let replay_bind t (op : Dfg.op) ~step ~finish ~inst_opt ~rtype =
     schedules produced by external engines — the baseline comparators —
     into the accurate timing/area reporting machinery. *)
 let force_bind t (op : Dfg.op) ~step ~inst_opt =
+  t.has_forced <- true;
   let net = t.net in
   let lat = op_latency t op in
   let finish = step + lat - 1 in
@@ -315,7 +404,7 @@ let compatible_insts t (op : Dfg.op) =
       (* decorate-sort-undecorate: [fits] and the load are evaluated once
          per instance, not once per comparison; the stable sort on equal
          keys preserves the instance-list order, as before *)
-      t.net.Netlist.insts
+      (Netlist.insts t.net)
       |> List.filter_map (fun i ->
              let fits = Resource.fits ~need ~have:i.rtype in
              if fits || Resource.can_merge need i.rtype then
@@ -342,17 +431,24 @@ let estimate t (op : Dfg.op) ~step =
     | None -> false
     | Some need ->
         let n_ops =
-          List.length
-            (List.filter
-               (fun o ->
-                 match Resource.of_op t.dfg o with
-                 | Some rt -> Resource.can_merge rt need
-                 | None -> false)
-               (Region.member_ops t.region))
+          match Hashtbl.find_opt t.class_ops_memo need with
+          | Some n -> n
+          | None ->
+              let n =
+                List.length
+                  (List.filter
+                     (fun o ->
+                       match Resource.of_op t.dfg o with
+                       | Some rt -> Resource.can_merge rt need
+                       | None -> false)
+                     (Region.member_ops t.region))
+              in
+              Hashtbl.add t.class_ops_memo need n;
+              n
         in
         let n_insts =
           List.length
-            (List.filter (fun i -> Resource.can_merge i.rtype need) t.net.Netlist.insts)
+            (List.filter (fun i -> Resource.can_merge i.rtype need) (Netlist.insts t.net))
         in
         n_ops > n_insts
   in
@@ -407,4 +503,4 @@ let would_fit_existing t (op : Dfg.op) =
               (List.init (List.length i.rtype.Resource.in_widths) Fun.id)
           in
           t.lib.Library.ff_clk_q +. worst_mux +. d +. overhead <= t.clock_ps +. 0.001)
-        t.net.Netlist.insts
+        (Netlist.insts t.net)

@@ -41,6 +41,12 @@ type t = {
   dedicated : (int, unit) Hashtbl.t;
       (** user constraint: these ops own their instance outright *)
   timing_aware : bool;
+  mutable has_forced : bool;
+      (** a {!force_bind} ran since the last {!reset_pass}: committed ops
+          may carry negative slack, so the narrowed-seed fast path in
+          {!try_bind} is disabled for the rest of the pass *)
+  class_ops_memo : (Resource.t, int) Hashtbl.t;
+      (** member-op count per resource need (static region membership) *)
 }
 
 val create : ?timing_aware:bool -> lib:Library.t -> clock_ps:float -> Region.t -> t
@@ -80,11 +86,22 @@ val try_bind : t -> Dfg.op -> step:int -> inst_opt:int option -> (unit, Restrain
     saturated. *)
 
 val replay_bind :
-  t -> Dfg.op -> step:int -> finish:int -> inst_opt:int option -> rtype:Resource.t option -> unit
+  t ->
+  ?propagate:bool ->
+  Dfg.op ->
+  step:int ->
+  finish:int ->
+  inst_opt:int option ->
+  rtype:Resource.t option ->
+  unit
 (** Re-apply a binding vetted and committed by an earlier pass (warm-start
     prefix replay): no feasibility checks, no trial — structural mutation
     plus the same arrival propagation the committing bind performed.
-    [rtype] is the instance type the original bind left behind. *)
+    [rtype] is the instance type the original bind left behind.
+    [propagate] (default [true]): when [false], only the structural
+    mutation is applied — the caller batches the whole replayed prefix and
+    runs one {!recompute_all} at the end, reaching the same (unique)
+    arrival fixpoint in a single sweep. *)
 
 val force_bind : t -> Dfg.op -> step:int -> inst_opt:int option -> unit
 (** Record a placement unconditionally (imports of external schedules and

@@ -184,11 +184,20 @@ let choose ~allow_add_state ~(opts : options) ~(binding : Binding.t) ~(region : 
   (* --- Move_scc --- *)
   if opts.enable_scc_move && Region.is_pipelined region then begin
     let n_stages = Region.n_stages region in
+    (* the downstream cone is only consulted for F_blocked restraints, and
+       computing it is O(region) per SCC — build it lazily so the common
+       blocked-free pass costs O(restraints) per SCC, not O(region) *)
+    let has_blocked =
+      List.exists
+        (fun (r : Restraint.t) ->
+          match r.Restraint.r_fail with Restraint.F_blocked -> true | _ -> false)
+        restraints
+    in
     List.iteri
       (fun k scc_ops ->
         let stage = scc_stage k in
         if stage + 1 <= n_stages - 1 then begin
-          let cone = downstream dfg scc_ops in
+          let cone = if has_blocked then lazy (downstream dfg scc_ops) else lazy (Hashtbl.create 1) in
           let gain =
             List.fold_left
               (fun acc (r : Restraint.t) ->
@@ -197,7 +206,9 @@ let choose ~allow_add_state ~(opts : options) ~(binding : Binding.t) ~(region : 
                     if scc_of r.Restraint.r_op = Some k then acc +. (2.0 *. r.Restraint.r_weight)
                     else acc
                 | Restraint.F_blocked ->
-                    if Hashtbl.mem cone r.Restraint.r_op then acc +. r.Restraint.r_weight else acc
+                    if Hashtbl.mem (Lazy.force cone) r.Restraint.r_op then
+                      acc +. r.Restraint.r_weight
+                    else acc
                 | _ -> acc)
               0.0 restraints
           in

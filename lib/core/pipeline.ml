@@ -31,11 +31,9 @@ let fold (s : Scheduler.t) : t =
   let ii = Region.ii region in
   let li = s.Scheduler.s_li in
   let kernel = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun op pl ->
+  Hls_netlist.Netlist.iter_placements s.Scheduler.s_binding.Binding.net (fun op pl ->
       let step = pl.Binding.pl_step in
-      Hashtbl.replace kernel op (step mod ii, step / ii))
-    s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.placements;
+      Hashtbl.replace kernel op (step mod ii, step / ii));
   { f_ii = ii; f_li = li; f_stages = (li + ii - 1) / ii; f_kernel = kernel }
 
 let kernel_state t op = Hashtbl.find_opt t.f_kernel op
@@ -78,7 +76,7 @@ let validate (s : Scheduler.t) (t : t) : string list =
               Hashtbl.replace by_state st (op :: prev)
           | None -> err "op %d bound to instance %d but not folded" op inst.Binding.inst_id)
         inst.Binding.bound)
-    binding.Binding.net.Hls_netlist.Netlist.insts;
+    (Hls_netlist.Netlist.insts binding.Binding.net);
   (* SCC stage confinement *)
   List.iter
     (fun scc ->

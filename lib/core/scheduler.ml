@@ -21,6 +21,50 @@
 open Hls_ir
 open Hls_techlib
 
+(* --- region-parallel analysis ---------------------------------------
+   Independent SCC groups are analyzed on a shared domain pool.  The
+   per-SCC computation is pure (graph reads + library lookups only) and
+   results are merged in SCC index order, so the outcome is identical for
+   every worker count; a pool of size 1 degenerates to the sequential
+   path.  The pool is lazily created, shared across schedules, and
+   drained at exit. *)
+
+let analysis_jobs = Atomic.make 1
+
+let set_jobs n = Atomic.set analysis_jobs (max 1 n)
+
+let analysis_pool : Hls_pool.Pool.t option ref = ref None
+
+let analysis_pool_get ~workers =
+  match !analysis_pool with
+  | Some p when Hls_pool.Pool.alive p ->
+      Hls_pool.Pool.ensure p workers;
+      p
+  | _ ->
+      let p = Hls_pool.Pool.create ~workers () in
+      analysis_pool := Some p;
+      at_exit (fun () -> Hls_pool.Pool.shutdown p);
+      p
+
+(* fan a pure per-item analysis over the pool; deterministic because the
+   merge is by index.  Tasks that are dropped (pool shut down) or die are
+   recomputed inline — same pure function, same result. *)
+let parallel_map_array f items =
+  let n = Array.length items in
+  let jobs = Atomic.get analysis_jobs in
+  if jobs > 1 && n >= 8 then begin
+    let slots = Array.make n None in
+    let p = analysis_pool_get ~workers:(min jobs n) in
+    let all_submitted =
+      Array.for_all Fun.id
+        (Array.init n (fun k ->
+             Hls_pool.Pool.submit p (fun () -> slots.(k) <- Some (f items.(k)))))
+    in
+    if all_submitted then Hls_pool.Pool.wait p;
+    Array.mapi (fun k s -> match s with Some v -> v | None -> f items.(k)) slots
+  end
+  else Array.map f items
+
 type options = {
   timing_aware : bool;
   expert : Expert.options;
@@ -94,6 +138,7 @@ type stats = {
   st_trials : int;  (** netlist what-if transactions opened *)
   st_commits : int;
   st_rollbacks : int;
+  st_visits : int;  (** cells examined by bounded arrival propagation *)
   st_sched_s : float;
   st_warm_passes : int;  (** passes served by warm-start prefix replay *)
   st_cold_passes : int;  (** passes run from a cold restart *)
@@ -108,6 +153,7 @@ let stats t =
     st_trials = ns.Hls_netlist.Netlist.s_trials;
     st_commits = ns.Hls_netlist.Netlist.s_commits;
     st_rollbacks = ns.Hls_netlist.Netlist.s_rollbacks;
+    st_visits = ns.Hls_netlist.Netlist.s_visits;
     st_sched_s = t.s_sched_time_s;
     st_warm_passes = t.s_warm_passes;
     st_cold_passes = t.s_cold_passes;
@@ -431,19 +477,26 @@ let run_pass ~opts ~trace ~(ctx : Pass_ctx.t) ~(binding : Binding.t) ~(aa : Asap
      changed), restraints are minted fresh (their weights are mutated by
      the expert's proximity pass).  The replayed binds run the same arrival
      propagation as the committing binds did, so the timing state entering
-     the live steps is bit-identical to a cold pass's. *)
+     the live steps is bit-identical to a cold pass's — but instead of
+     propagating arrivals per bind (which re-times each instance's whole
+     bound list at every replayed event, a quadratic term on long
+     prefixes), the binds mutate structure only and one full fixpoint
+     recompute runs after the batch.  The arrival fixpoint is unique
+     given the structure, so the single sweep lands on the same state. *)
   let start_step =
     match warm with
     | None -> 0
     | Some (events, s) ->
+        let replayed_bind = ref false in
         List.iter
           (fun ev ->
             if event_step ev < s then
               match ev with
               | Ev_bind { ev_op; ev_step; ev_finish; ev_inst; ev_rtype } ->
                   if Hashtbl.mem unplaced ev_op then begin
-                    Binding.replay_bind binding (Dfg.find dfg ev_op) ~step:ev_step
-                      ~finish:ev_finish ~inst_opt:ev_inst ~rtype:ev_rtype;
+                    Binding.replay_bind binding ~propagate:false (Dfg.find dfg ev_op)
+                      ~step:ev_step ~finish:ev_finish ~inst_opt:ev_inst ~rtype:ev_rtype;
+                    replayed_bind := true;
                     log := ev :: !log;
                     on_placed ev_op;
                     ignore (note_scc_placement ev_op ev_step)
@@ -452,6 +505,7 @@ let run_pass ~opts ~trace ~(ctx : Pass_ctx.t) ~(binding : Binding.t) ~(aa : Asap
                   add_logged_restraint ~op:ev_op ~step:ev_step ~fail:ev_fail ~fatal:ev_fatal;
                   if ev_fatal then drop_failed ev_op)
           events;
+        if !replayed_bind then Binding.recompute_all binding;
         s
   in
   for e = start_step to li - 1 do
@@ -589,36 +643,37 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
   (* early recurrence feasibility (RecMII analogue): an SCC whose longest
      internal combinational chain cannot be registered apart within its
      II-state stage window can never be scheduled at this II *)
-  let rec_infeasible =
-    List.filteri
-      (fun _k scc ->
-        let member = Hashtbl.create 8 in
-        List.iter (fun o -> Hashtbl.replace member o ()) scc;
-        let succs id =
-          List.filter_map
-            (fun e ->
-              let is_select =
-                e.Dfg.port = 0 && (Dfg.find dfg e.Dfg.dst).Dfg.kind = Opkind.Mux
-              in
-              if e.Dfg.distance = 0 && Hashtbl.mem member e.Dfg.dst && not is_select then
-                Some e.Dfg.dst
-              else None)
-            (Dfg.out_edges dfg id)
+  let rec_check scc =
+    let member = Hashtbl.create 8 in
+    List.iter (fun o -> Hashtbl.replace member o ()) scc;
+    let succs id =
+      List.filter_map
+        (fun e ->
+          let is_select = e.Dfg.port = 0 && (Dfg.find dfg e.Dfg.dst).Dfg.kind = Opkind.Mux in
+          if e.Dfg.distance = 0 && Hashtbl.mem member e.Dfg.dst && not is_select then
+            Some e.Dfg.dst
+          else None)
+        (Dfg.out_edges dfg id)
+    in
+    let weight id = Asap_alap.op_delay lib dfg (Dfg.find dfg id) in
+    match Graph_algo.topo_sort ~nodes:scc ~succs with
+    | None -> false (* an internal distance-0 cycle is caught elsewhere *)
+    | Some _ ->
+        let dist = Graph_algo.longest_path ~nodes:scc ~succs ~weight in
+        let chain = Hashtbl.fold (fun _ v acc -> max acc v) dist 0.0 in
+        let usable =
+          clock_ps -. lib.Library.ff_clk_q -. lib.Library.ff_setup
+          -. (if Region.ii region = 1 then 0.0 else Library.mux_delay lib ~inputs:2)
         in
-        let weight id = Asap_alap.op_delay lib dfg (Dfg.find dfg id) in
-        match Graph_algo.topo_sort ~nodes:scc ~succs with
-        | None -> false (* an internal distance-0 cycle is caught elsewhere *)
-        | Some _ ->
-            let dist = Graph_algo.longest_path ~nodes:scc ~succs ~weight in
-            let chain = Hashtbl.fold (fun _ v acc -> max acc v) dist 0.0 in
-            let usable =
-              clock_ps -. lib.Library.ff_clk_q -. lib.Library.ff_setup
-              -. (if Region.ii region = 1 then 0.0 else Library.mux_delay lib ~inputs:2)
-            in
-            let min_states = int_of_float (ceil (chain /. max 1.0 usable)) in
-            min_states > Region.ii region)
-      sccs
+        let min_states = int_of_float (ceil (chain /. max 1.0 usable)) in
+        min_states > Region.ii region
   in
+  (* each SCC's recurrence check is independent of every other's, so the
+     checks fan out across the analysis pool; the filter below consumes
+     the flags in SCC index order, keeping the result (and every
+     downstream decision) identical for any worker count *)
+  let rec_flags = parallel_map_array rec_check (Array.of_list sccs) in
+  let rec_infeasible = List.filteri (fun k _ -> rec_flags.(k)) sccs in
   let actions = ref [] in
   let n_actions = ref 0 in
   let result = ref None in
@@ -711,11 +766,11 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
        (* the prealloc-shared flags depend only on the (static) region
           membership and the instance set, so they survive every pass that
           added no instance *)
-       let insts_now = binding.Binding.net.Hls_netlist.Netlist.next_inst_id in
+       let insts_now = Hls_netlist.Netlist.n_insts binding.Binding.net in
        let keep_prealloc = opts.warm_start && !last_insts = insts_now in
        last_insts := insts_now;
        Trace.logf trace "pass %d: LI=%d, %d resources" !passes region.Region.n_steps
-         (List.length binding.Binding.net.Hls_netlist.Netlist.insts);
+         (Hls_netlist.Netlist.n_insts binding.Binding.net);
        let outcome, pass_log =
          run_pass ~opts ~trace ~ctx ~binding ~aa ~scc_of ~scc_members:sccs ?warm ~keep_prealloc
            ~scc_stage_base:(fun k -> scc_persist.(k))
@@ -951,7 +1006,7 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
 let to_table (t : t) : string list list =
   let binding = t.s_binding in
   let dfg = binding.Binding.dfg in
-  let insts = binding.Binding.net.Hls_netlist.Netlist.insts in
+  let insts = Hls_netlist.Netlist.insts binding.Binding.net in
   let header =
     "res \\ state" :: List.init t.s_li (fun i -> Printf.sprintf "s%d" (i + 1))
   in

@@ -61,6 +61,12 @@ type error = {
   e_budget : Hls_diag.Diag.budget option;  (** which budget tripped, if any *)
 }
 
+val set_jobs : int -> unit
+(** Worker count for region-parallel analysis (independent SCC groups
+    checked on a shared domain pool).  Results are identical for every
+    count — the per-SCC computation is pure and the merge order is the
+    SCC index order; 1 (the default) runs fully sequentially. *)
+
 type stats = {
   st_passes : int;  (** scheduling passes run by the relaxation loop *)
   st_actions : int;  (** expert relaxation actions applied *)
@@ -70,6 +76,9 @@ type stats = {
   st_trials : int;  (** netlist what-if transactions opened *)
   st_commits : int;  (** trials that ended in a commit *)
   st_rollbacks : int;  (** trials rolled back by a slack violation *)
+  st_visits : int;
+      (** cells examined by bounded arrival propagation — stays well below
+          the fanout cone when arrivals are unchanged *)
   st_sched_s : float;  (** wall-clock seconds inside the scheduler *)
   st_warm_passes : int;  (** passes served by warm-start prefix replay *)
   st_cold_passes : int;  (** passes run from a cold restart *)

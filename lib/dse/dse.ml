@@ -170,115 +170,10 @@ type sweep = {
 (* ------------------------------------------------------------------ *)
 (* Worker pool *)
 
-(* Persistent task-queue pool with an explicit lifecycle: domains survive
-   across jobs, parked on a condition variable while the queue is empty.
-   [shutdown] is a graceful drain — already-queued tasks still run, then
-   every domain exits and is joined — so callers (the DSE engine's
-   [at_exit] hook, the compile daemon's SIGTERM drain) never leak parked
-   domains.  All state is guarded by one mutex; the lock hand-offs give
-   the usual happens-before edges, so a task's writes are published to
-   whoever observes its completion via [wait]. *)
-module Pool = struct
-  type t = {
-    mutex : Mutex.t;
-    nonempty : Condition.t;  (** signalled on submit and on shutdown *)
-    drained : Condition.t;  (** signalled when queue empties and no task runs *)
-    queue : (unit -> unit) Queue.t;
-    mutable domains : unit Domain.t list;
-    stop : bool Atomic.t;
-        (** the shutdown latch: atomic so {!shutdown} can decide whether
-            it is the first caller without taking the mutex — repeat
-            calls (a signal-context drain racing an [at_exit] hook)
-            return immediately and never double-join a domain *)
-    mutable running : int;  (** tasks currently executing *)
-  }
-
-  let rec worker t =
-    Mutex.lock t.mutex;
-    while (not (Atomic.get t.stop)) && Queue.is_empty t.queue do
-      Condition.wait t.nonempty t.mutex
-    done;
-    if Queue.is_empty t.queue then Mutex.unlock t.mutex (* stop && drained *)
-    else begin
-      let task = Queue.pop t.queue in
-      t.running <- t.running + 1;
-      Mutex.unlock t.mutex;
-      (try task () with _ -> ());
-      Mutex.lock t.mutex;
-      t.running <- t.running - 1;
-      if t.running = 0 && Queue.is_empty t.queue then Condition.broadcast t.drained;
-      Mutex.unlock t.mutex;
-      worker t
-    end
-
-  let spawn_locked t k =
-    for _ = List.length t.domains + 1 to k do
-      t.domains <- Domain.spawn (fun () -> worker t) :: t.domains
-    done
-
-  let create ?(workers = 1) () =
-    let t =
-      {
-        mutex = Mutex.create ();
-        nonempty = Condition.create ();
-        drained = Condition.create ();
-        queue = Queue.create ();
-        domains = [];
-        stop = Atomic.make false;
-        running = 0;
-      }
-    in
-    Mutex.lock t.mutex;
-    spawn_locked t (max 1 workers);
-    Mutex.unlock t.mutex;
-    t
-
-  let ensure t k =
-    Mutex.lock t.mutex;
-    if not (Atomic.get t.stop) then spawn_locked t k;
-    Mutex.unlock t.mutex
-
-  let size t =
-    Mutex.lock t.mutex;
-    let n = List.length t.domains in
-    Mutex.unlock t.mutex;
-    n
-
-  let alive t = not (Atomic.get t.stop)
-
-  let submit t task =
-    Mutex.lock t.mutex;
-    let accepted = not (Atomic.get t.stop) in
-    if accepted then begin
-      Queue.push task t.queue;
-      Condition.signal t.nonempty
-    end;
-    Mutex.unlock t.mutex;
-    accepted
-
-  let wait t =
-    Mutex.lock t.mutex;
-    while t.running > 0 || not (Queue.is_empty t.queue) do
-      Condition.wait t.drained t.mutex
-    done;
-    Mutex.unlock t.mutex
-
-  let shutdown t =
-    (* the exchange makes every call after the first a lock-free no-op:
-       idempotent, and safe from the shallow context a signal handler
-       body runs in (one atomic read-modify-write, no mutex, no join).
-       Only the winning caller drains and joins. *)
-    if not (Atomic.exchange t.stop true) then begin
-      Mutex.lock t.mutex;
-      (* claim the domain list under the lock so nothing else (ensure,
-         a racing spawn) can see or grow it once shutdown has begun *)
-      let doomed = t.domains in
-      t.domains <- [];
-      Condition.broadcast t.nonempty;
-      Mutex.unlock t.mutex;
-      List.iter Domain.join doomed
-    end
-end
+(* The pool implementation lives in [Hls_pool.Pool] so lower layers (the
+   scheduler's region-parallel SCC analysis) can share it; this alias
+   keeps the historical [Dse.Pool] entry point. *)
+module Pool = Hls_pool.Pool
 
 (* ------------------------------------------------------------------ *)
 (* Engine *)

@@ -20,6 +20,18 @@
     the trial generation — stale trial stamps can never be read again
     because the next trial bumps the generation.
 
+    {b Representation.}  Every hot table is a dense array indexed by op id
+    (op ids are small and near-contiguous after elaboration): placements,
+    both arrival-cell arrays, the per-step and per-guard reverse indexes,
+    and the propagation worklist's membership stamps.  Each entry carries a
+    pass stamp, so {!reset_pass} is O(1) on the per-op state — it bumps the
+    stamp and every stale entry reads as absent.  The step and guard
+    indexes use swap-remove with stored positions, so unplacing an op is
+    O(1) instead of O(step population).  {!propagate} runs a worklist
+    deduplicated by op id — an op already pending is not enqueued again —
+    and stops at cells whose arrival did not move, so the visit count
+    stays bounded by the changed region, not the full fanout cone.
+
     Policy (modulo constraints, dedication, forbidden pairs, restraint
     failures) lives above this layer in [Hls_core.Binding]; everything
     here is mechanism.  A from-scratch {!reference_arrivals} evaluator
@@ -47,14 +59,16 @@ type inst = {
 
 type placement = { pl_step : int; pl_finish : int; pl_inst : int option }
 
-(** One arrival value with a generation-stamped trial slot.  Read rule:
-    during a trial, a cell stamped with the current generation shows its
-    trial value; otherwise the committed value (if any) shows through. *)
+(** One arrival value with a generation-stamped trial slot and a pass
+    stamp.  Read rule: a cell whose pass stamp is stale is absent; during
+    a trial, a cell stamped with the current generation shows its trial
+    value; otherwise the committed value (if any) shows through. *)
 type cell = {
   mutable a_committed : float;
   mutable a_live : bool;  (** committed value present *)
   mutable a_trial : float;
   mutable a_gen : int;  (** trial generation that wrote [a_trial] *)
+  mutable a_pass : int;  (** pass stamp: stale means the cell is absent *)
 }
 
 (** Structural undo log entry: each records the absolute prior value, so
@@ -73,6 +87,21 @@ type stats = {
   s_trials : int;
   s_commits : int;
   s_rollbacks : int;
+  s_visits : int;
+      (** cells examined by {!propagate} — bounded propagation stops at
+          unchanged arrivals, so this stays well below the fanout cone *)
+}
+
+(** Growable per-step (or per-guard-pred) bucket of op ids, swap-removed
+    in O(1) via the positions stored in the owner's [si_pos]/[gpos]
+    arrays.  [b_gen] is the pass stamp: a stale bucket reads as empty.
+    [b_sorted]/[b_dirty] cache the ascending-id view for {!ops_on_step}. *)
+type bucket = {
+  mutable b_a : int array;
+  mutable b_len : int;
+  mutable b_gen : int;
+  mutable b_sorted : int list;
+  mutable b_dirty : bool;
 }
 
 type t = {
@@ -80,20 +109,31 @@ type t = {
   lib : Library.t;
   clock_ps : float;
   dfg : Dfg.t;
-  mutable insts : inst list;
+  mutable insts_rev : inst list;  (** newest first; see {!insts} *)
+  mutable insts_memo : inst list option;  (** registration order *)
   inst_tbl : (int, inst) Hashtbl.t;  (** id -> instance, O(1) lookup *)
   mutable next_inst_id : int;
-  placements : (int, placement) Hashtbl.t;
-  step_index : (int, int list ref) Hashtbl.t;
-      (** step -> ops placed there (unsorted); kept in lockstep with
-          [placements] so per-step queries avoid a full fold *)
-  guard_index : (int, int list ref) Hashtbl.t;
-      (** guard predecessor -> placed ops whose guard reads it; kept in
-          lockstep with [placements] so [propagate] needs no per-call
-          rebuild of the reverse guard map *)
-  busy : (int * int, int list ref) Hashtbl.t;  (** (inst, slot) -> bound ops *)
-  arr_true : (int, cell) Hashtbl.t;
-  arr_naive : (int, cell) Hashtbl.t;
+  mutable cap : int;  (** dense-array capacity: > every op id seen *)
+  mutable pass_stamp : int;
+      (** bumped by {!reset_pass}: per-op entries are live only when their
+          stamp matches, making the reset O(1) on the dense state *)
+  (* placements: op id -> (step, finish, inst or -1), live iff stamped *)
+  mutable pl_gen : int array;
+  mutable pl_step : int array;
+  mutable pl_finish : int array;
+  mutable pl_inst : int array;
+  mutable cell_true : cell array;
+  mutable cell_naive : cell array;
+  mutable steps : bucket array;  (** step -> ops placed there *)
+  mutable si_pos : int array;  (** op -> its position in its step bucket *)
+  mutable gslots : bucket array;
+      (** guard predecessor (op id) -> placed ops whose guard reads it *)
+  mutable gpreds_c : int array option array;  (** op -> guard preds (static) *)
+  mutable gpos : int array option array;
+      (** op -> positions in each pred's bucket, parallel to [gpreds_c] *)
+  busy : (int, int list ref) Hashtbl.t;
+      (** (inst lsl 21) lor slot -> bound ops; slots are control steps,
+          far below 2^21 *)
   chain : Hls_timing.Cycle_detector.t;
   mutable generation : int;
   mutable trial_on : bool;
@@ -103,23 +143,69 @@ type t = {
   mutable n_trials : int;
   mutable n_commits : int;
   mutable n_rollbacks : int;
+  mutable n_visits : int;
+  (* static DFG caches (the graph and guards do not change during
+     scheduling; only the [speculated] flag flips, which is read from the
+     op record, not from these) *)
+  mutable op_c : Dfg.op option array;
+  mutable ins_c : Dfg.edge list option array;  (** in-edges, port-sorted *)
+  mutable out0_c : int array option array;  (** distance-0 consumer ids *)
+  mutable lat_c : int array;  (** op latency, -1 = not computed *)
+  mutable rmem_c : int array;  (** region membership: 0 unknown / 1 in / 2 out *)
+  mutable opdelay_c : float array;  (** exec delay off-instance, nan = unknown *)
+  member_needs : Resource.t list;  (** static: resource needs of the members *)
+  class_ops_memo : (Resource.t, int) Hashtbl.t;
+      (** rtype -> members mergeable into it (static per region) *)
+  (* propagation worklist: ring buffer + membership stamps for dedup *)
+  mutable wl : int array;
+  mutable wl_head : int;
+  mutable wl_tail : int;
+  mutable in_wl : int array;
+  mutable prop_gen : int;
 }
 
+(* field accessors for the abstract [t] (the record itself stays private
+   so the dense tables can evolve without touching callers) *)
+let region t = t.region
+let lib t = t.lib
+let clock_ps t = t.clock_ps
+let dfg t = t.dfg
+
+let fresh_cell () =
+  { a_committed = 0.0; a_live = false; a_trial = 0.0; a_gen = min_int; a_pass = 0 }
+
+let fresh_bucket () = { b_a = [||]; b_len = 0; b_gen = 0; b_sorted = []; b_dirty = false }
+
 let create ~lib ~clock_ps (region : Region.t) =
+  let dfg = region.Region.dfg in
+  let cap = 1 + Dfg.fold_ops dfg (fun op m -> max m op.Dfg.id) (-1) in
+  let cap = max cap 16 in
+  let member_needs =
+    List.filter_map (fun op -> Resource.of_op dfg op) (Region.member_ops region)
+  in
   {
     region;
     lib;
     clock_ps;
-    dfg = region.Region.dfg;
-    insts = [];
+    dfg;
+    insts_rev = [];
+    insts_memo = Some [];
     inst_tbl = Hashtbl.create 16;
     next_inst_id = 0;
-    placements = Hashtbl.create 64;
-    step_index = Hashtbl.create 64;
-    guard_index = Hashtbl.create 16;
+    cap;
+    pass_stamp = 1;
+    pl_gen = Array.make cap 0;
+    pl_step = Array.make cap 0;
+    pl_finish = Array.make cap 0;
+    pl_inst = Array.make cap (-1);
+    cell_true = Array.init cap (fun _ -> fresh_cell ());
+    cell_naive = Array.init cap (fun _ -> fresh_cell ());
+    steps = Array.init 64 (fun _ -> fresh_bucket ());
+    si_pos = Array.make cap 0;
+    gslots = Array.init cap (fun _ -> fresh_bucket ());
+    gpreds_c = Array.make cap None;
+    gpos = Array.make cap None;
     busy = Hashtbl.create 64;
-    arr_true = Hashtbl.create 64;
-    arr_naive = Hashtbl.create 64;
     chain = Hls_timing.Cycle_detector.create ();
     generation = 0;
     trial_on = false;
@@ -129,11 +215,121 @@ let create ~lib ~clock_ps (region : Region.t) =
     n_trials = 0;
     n_commits = 0;
     n_rollbacks = 0;
+    n_visits = 0;
+    op_c = Array.make cap None;
+    ins_c = Array.make cap None;
+    out0_c = Array.make cap None;
+    lat_c = Array.make cap (-1);
+    rmem_c = Array.make cap 0;
+    opdelay_c = Array.make cap nan;
+    member_needs;
+    class_ops_memo = Hashtbl.create 8;
+    wl = Array.make 256 0;
+    wl_head = 0;
+    wl_tail = 0;
+    in_wl = Array.make cap 0;
+    prop_gen = 0;
   }
+
+let grow_arr a cap d =
+  let b = Array.make cap d in
+  Array.blit a 0 b 0 (Array.length a);
+  b
+
+let grow_with a cap f =
+  Array.init cap (fun i -> if i < Array.length a then a.(i) else f ())
+
+(* op ids are fixed before the netlist is created; this is a safety net
+   for callers querying ids outside the original graph *)
+let ensure_cap t id =
+  if id >= t.cap then begin
+    let cap = max (id + 1) (2 * t.cap) in
+    t.pl_gen <- grow_arr t.pl_gen cap 0;
+    t.pl_step <- grow_arr t.pl_step cap 0;
+    t.pl_finish <- grow_arr t.pl_finish cap 0;
+    t.pl_inst <- grow_arr t.pl_inst cap (-1);
+    t.cell_true <- grow_with t.cell_true cap fresh_cell;
+    t.cell_naive <- grow_with t.cell_naive cap fresh_cell;
+    t.si_pos <- grow_arr t.si_pos cap 0;
+    t.gslots <- grow_with t.gslots cap fresh_bucket;
+    t.gpreds_c <- grow_arr t.gpreds_c cap None;
+    t.gpos <- grow_arr t.gpos cap None;
+    t.op_c <- grow_arr t.op_c cap None;
+    t.ins_c <- grow_arr t.ins_c cap None;
+    t.out0_c <- grow_arr t.out0_c cap None;
+    t.lat_c <- grow_arr t.lat_c cap (-1);
+    t.rmem_c <- grow_arr t.rmem_c cap 0;
+    t.opdelay_c <- grow_arr t.opdelay_c cap nan;
+    t.in_wl <- grow_arr t.in_wl cap 0;
+    t.cap <- cap
+  end
+
+(* --- static DFG caches --- *)
+
+let op_of t id =
+  match t.op_c.(id) with
+  | Some op -> op
+  | None ->
+      let op = Dfg.find t.dfg id in
+      t.op_c.(id) <- Some op;
+      op
+
+let in_edges_of t id =
+  match t.ins_c.(id) with
+  | Some l -> l
+  | None ->
+      let l = Dfg.in_edges t.dfg id in
+      t.ins_c.(id) <- Some l;
+      l
+
+let out0_of t id =
+  match t.out0_c.(id) with
+  | Some a -> a
+  | None ->
+      let a =
+        Dfg.out_edges t.dfg id
+        |> List.filter_map (fun e -> if e.Dfg.distance = 0 then Some e.Dfg.dst else None)
+        |> Array.of_list
+      in
+      t.out0_c.(id) <- Some a;
+      a
+
+let gpreds_of t id =
+  match t.gpreds_c.(id) with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list (Guard.preds (op_of t id).Dfg.guard) in
+      t.gpreds_c.(id) <- Some a;
+      a
+
+let region_mem t id =
+  if id >= t.cap then Region.mem t.region id
+  else
+    match t.rmem_c.(id) with
+    | 1 -> true
+    | 2 -> false
+    | _ ->
+        let m = Region.mem t.region id in
+        t.rmem_c.(id) <- (if m then 1 else 2);
+        m
+
+let op_latency t (op : Dfg.op) =
+  let id = op.Dfg.id in
+  if id < t.cap then begin
+    if t.lat_c.(id) < 0 then t.lat_c.(id) <- Library.op_latency t.lib op.Dfg.kind;
+    t.lat_c.(id)
+  end
+  else Library.op_latency t.lib op.Dfg.kind
+
+let lat_of t id = op_latency t (op_of t id)
+
+let is_multicycle t op = op_latency t op > 1
+
+(* --- instances --- *)
 
 let stats t =
   { s_queries = t.n_queries; s_trials = t.n_trials; s_commits = t.n_commits;
-    s_rollbacks = t.n_rollbacks }
+    s_rollbacks = t.n_rollbacks; s_visits = t.n_visits }
 
 let add_inst ?(added_by_expert = false) t rtype =
   let inst =
@@ -141,28 +337,38 @@ let add_inst ?(added_by_expert = false) t rtype =
       mux_cache = None; mux_delays = None }
   in
   t.next_inst_id <- t.next_inst_id + 1;
-  t.insts <- t.insts @ [ inst ];
+  t.insts_rev <- inst :: t.insts_rev;
+  t.insts_memo <- None;
   Hashtbl.replace t.inst_tbl inst.inst_id inst;
   inst
+
+(** Instances in registration order (ascending id); memoized, so the
+    amortized cost of registering k instances is O(k), not O(k²). *)
+let insts t =
+  match t.insts_memo with
+  | Some l -> l
+  | None ->
+      let l = List.rev t.insts_rev in
+      t.insts_memo <- Some l;
+      l
+
+let n_insts t = t.next_inst_id
 
 let find_inst t id = Hashtbl.find t.inst_tbl id
 
 (** Reset all pass-local state (placements, busy tables, arrivals, chain
     graph, any dangling trial) while keeping the resource set — the state
-    carried between scheduling passes. *)
+    carried between scheduling passes.  O(1) on the dense per-op tables:
+    bumping [pass_stamp] makes every stale entry read as absent. *)
 let reset_pass ?(keep_prealloc = false) t =
-  Hashtbl.reset t.placements;
-  Hashtbl.reset t.step_index;
-  Hashtbl.reset t.guard_index;
+  t.pass_stamp <- t.pass_stamp + 1;
   Hashtbl.reset t.busy;
-  Hashtbl.reset t.arr_true;
-  Hashtbl.reset t.arr_naive;
   List.iter
     (fun i ->
       i.bound <- [];
       i.mux_cache <- None;
       i.mux_delays <- None)
-    t.insts;
+    t.insts_rev;
   Hls_timing.Cycle_detector.clear t.chain;
   t.trial_on <- false;
   t.touched <- [];
@@ -171,31 +377,81 @@ let reset_pass ?(keep_prealloc = false) t =
      will be shared, so its input muxes are pre-allocated (Fig. 8a).  The
      flags depend only on the region's membership and the instance set, so
      a caller that knows no instance was added since the last pass skips
-     the recompute with [keep_prealloc]. *)
+     the recompute with [keep_prealloc].  Both counts are memoized per
+     resource type — the member count permanently (membership is static),
+     the instance count for this call — so the recompute is
+     O(distinct types × (members + instances)), not O(instances²). *)
   if not keep_prealloc then begin
-    let member_needs =
-      List.filter_map (fun op -> Resource.of_op t.dfg op) (Region.member_ops t.region)
+    let all = insts t in
+    let n_insts_memo = Hashtbl.create 8 in
+    let insts_of_class rt =
+      match Hashtbl.find_opt n_insts_memo rt with
+      | Some n -> n
+      | None ->
+          let n = List.length (List.filter (fun i -> Resource.can_merge i.rtype rt) all) in
+          Hashtbl.add n_insts_memo rt n;
+          n
     in
-    let ops_by_class inst =
-      List.length (List.filter (fun rt -> Resource.can_merge rt inst.rtype) member_needs)
+    let ops_of_class rt =
+      match Hashtbl.find_opt t.class_ops_memo rt with
+      | Some n -> n
+      | None ->
+          let n = List.length (List.filter (fun m -> Resource.can_merge m rt) t.member_needs) in
+          Hashtbl.add t.class_ops_memo rt n;
+          n
     in
     List.iter
-      (fun inst ->
-        let n_insts =
-          List.length (List.filter (fun i -> Resource.can_merge i.rtype inst.rtype) t.insts)
-        in
-        inst.prealloc_shared <- ops_by_class inst > n_insts)
-      t.insts
+      (fun inst -> inst.prealloc_shared <- ops_of_class inst.rtype > insts_of_class inst.rtype)
+      all
   end
 
-let placement t op_id = Hashtbl.find_opt t.placements op_id
+(* --- placements --- *)
 
-let is_placed t op_id = Hashtbl.mem t.placements op_id
+let placed t op_id = op_id < t.cap && t.pl_gen.(op_id) = t.pass_stamp
+
+let placement t op_id =
+  if placed t op_id then
+    Some
+      {
+        pl_step = t.pl_step.(op_id);
+        pl_finish = t.pl_finish.(op_id);
+        pl_inst = (let i = t.pl_inst.(op_id) in if i < 0 then None else Some i);
+      }
+  else None
+
+let is_placed t op_id = placed t op_id
+
+let iter_placements t f =
+  for id = 0 to t.cap - 1 do
+    if t.pl_gen.(id) = t.pass_stamp then
+      f id
+        {
+          pl_step = t.pl_step.(id);
+          pl_finish = t.pl_finish.(id);
+          pl_inst = (let i = t.pl_inst.(id) in if i < 0 then None else Some i);
+        }
+  done
+
+let fold_placements t f acc =
+  let acc = ref acc in
+  iter_placements t (fun id pl -> acc := f id pl !acc);
+  !acc
+
+let n_placed t =
+  let n = ref 0 in
+  for id = 0 to t.cap - 1 do
+    if t.pl_gen.(id) = t.pass_stamp then incr n
+  done;
+  !n
 
 let slot t step = if Region.is_pipelined t.region then step mod Region.ii t.region else step
 
+(* busy keys pack (instance, slot) into one int: slots are control steps,
+   bounded far below 2^21 by the region's latency interval *)
+let busy_key inst s = (inst lsl 21) lor s
+
 let busy_ref t inst step =
-  let key = (inst, slot t step) in
+  let key = busy_key inst (slot t step) in
   match Hashtbl.find_opt t.busy key with
   | Some r -> r
   | None ->
@@ -205,11 +461,136 @@ let busy_ref t inst step =
 
 let busy_ops t inst step = !(busy_ref t inst step)
 
-let op_latency t (op : Dfg.op) = Library.op_latency t.lib op.Dfg.kind
+let dump_busy t =
+  Hashtbl.fold
+    (fun key r acc ->
+      if !r = [] then acc
+      else ((key lsr 21, key land 0x1fffff), List.sort compare !r) :: acc)
+    t.busy []
+  |> List.sort compare
 
-let is_multicycle t op = op_latency t op > 1
+(* --- step index: step -> ops placed there --- *)
 
-(** {2 Transactions} *)
+let step_bucket t step =
+  if step >= Array.length t.steps then
+    t.steps <- grow_with t.steps (max (step + 1) (2 * Array.length t.steps)) fresh_bucket;
+  let b = t.steps.(step) in
+  if b.b_gen <> t.pass_stamp then begin
+    b.b_gen <- t.pass_stamp;
+    b.b_len <- 0;
+    b.b_sorted <- [];
+    b.b_dirty <- false
+  end;
+  b
+
+let bucket_push b x =
+  if b.b_len = Array.length b.b_a then begin
+    let a = Array.make (max 4 (2 * Array.length b.b_a)) 0 in
+    Array.blit b.b_a 0 a 0 b.b_len;
+    b.b_a <- a
+  end;
+  b.b_a.(b.b_len) <- x;
+  b.b_len <- b.b_len + 1
+
+(* [remove] consults the op's *current* placement, so it must run before
+   the placement entry is changed *)
+let step_index_remove t op_id =
+  if placed t op_id then begin
+    let b = step_bucket t t.pl_step.(op_id) in
+    let p = t.si_pos.(op_id) in
+    let last = b.b_len - 1 in
+    if p <> last then begin
+      let moved = b.b_a.(last) in
+      b.b_a.(p) <- moved;
+      t.si_pos.(moved) <- p
+    end;
+    b.b_len <- last;
+    b.b_dirty <- true
+  end
+
+let step_index_add t op_id step =
+  let b = step_bucket t step in
+  bucket_push b op_id;
+  t.si_pos.(op_id) <- b.b_len - 1;
+  b.b_dirty <- true
+
+let ops_on_step t step =
+  if step >= Array.length t.steps then []
+  else
+    let b = t.steps.(step) in
+    if b.b_gen <> t.pass_stamp || b.b_len = 0 then []
+    else begin
+      if b.b_dirty then begin
+        b.b_sorted <- List.sort compare (Array.to_list (Array.sub b.b_a 0 b.b_len));
+        b.b_dirty <- false
+      end;
+      b.b_sorted
+    end
+
+(* --- guard index: guard predecessor -> placed ops whose guard reads it.
+   Membership depends only on the op being placed (the guard structure is
+   static), so a re-placement needs no update.  Removal is O(#preds) via
+   the positions stored in [gpos]. --- *)
+
+let guard_bucket t pred =
+  ensure_cap t pred;
+  let b = t.gslots.(pred) in
+  if b.b_gen <> t.pass_stamp then begin
+    b.b_gen <- t.pass_stamp;
+    b.b_len <- 0;
+    b.b_sorted <- [];
+    b.b_dirty <- false
+  end;
+  b
+
+let guard_index_add t op_id =
+  let gp = gpreds_of t op_id in
+  if Array.length gp > 0 then begin
+    let pos =
+      match t.gpos.(op_id) with
+      | Some a when Array.length a = Array.length gp -> a
+      | _ ->
+          let a = Array.make (Array.length gp) 0 in
+          t.gpos.(op_id) <- Some a;
+          a
+    in
+    Array.iteri
+      (fun k p ->
+        let b = guard_bucket t p in
+        bucket_push b op_id;
+        pos.(k) <- b.b_len - 1)
+      gp
+  end
+
+let guard_index_remove t op_id =
+  let gp = gpreds_of t op_id in
+  if Array.length gp > 0 then
+    match t.gpos.(op_id) with
+    | None -> ()
+    | Some pos ->
+        Array.iteri
+          (fun k p ->
+            let b = guard_bucket t p in
+            let i = pos.(k) in
+            let last = b.b_len - 1 in
+            if i <> last then begin
+              let moved = b.b_a.(last) in
+              b.b_a.(i) <- moved;
+              (* fix the moved op's stored position for this predecessor *)
+              match (t.gpos.(moved), t.gpreds_c.(moved)) with
+              | Some mpos, Some mgp ->
+                  let n = Array.length mgp in
+                  let rec fix k' =
+                    if k' < n then
+                      if mgp.(k') = p && mpos.(k') = last then mpos.(k') <- i else fix (k' + 1)
+                  in
+                  fix 0
+              | _ -> ()
+            end;
+            b.b_len <- last)
+          gp
+
+(* --- transactions --- *)
 
 let in_trial t = t.trial_on
 
@@ -221,62 +602,38 @@ let begin_trial t =
   t.undo_log <- [];
   t.n_trials <- t.n_trials + 1
 
+let cell_of t view id =
+  ensure_cap t id;
+  let c = (match view with Accurate -> t.cell_true | Naive -> t.cell_naive).(id) in
+  if c.a_pass <> t.pass_stamp then begin
+    c.a_pass <- t.pass_stamp;
+    c.a_live <- false;
+    c.a_gen <- min_int
+  end;
+  c
+
 let commit t =
   if not t.trial_on then invalid_arg "Netlist.commit: no active trial";
   List.iter
     (fun op ->
-      let fold tbl =
-        match Hashtbl.find_opt tbl op with
-        | Some c when c.a_gen = t.generation ->
-            c.a_committed <- c.a_trial;
-            c.a_live <- true
-        | _ -> ()
+      let fold c =
+        if c.a_pass = t.pass_stamp && c.a_gen = t.generation then begin
+          c.a_committed <- c.a_trial;
+          c.a_live <- true
+        end
       in
-      fold t.arr_true;
-      fold t.arr_naive)
+      fold t.cell_true.(op);
+      fold t.cell_naive.(op))
     t.touched;
   t.trial_on <- false;
   t.touched <- [];
   t.undo_log <- [];
   t.n_commits <- t.n_commits + 1
 
-(* step-index maintenance: [remove] consults the op's *current* placement,
-   so it must run before the [placements] entry is changed *)
-let step_index_remove t op_id =
-  match Hashtbl.find_opt t.placements op_id with
-  | None -> ()
-  | Some pl -> (
-      match Hashtbl.find_opt t.step_index pl.pl_step with
-      | Some r -> r := List.filter (fun o -> o <> op_id) !r
-      | None -> ())
-
-let step_index_add t op_id step =
-  match Hashtbl.find_opt t.step_index step with
-  | Some r -> r := op_id :: !r
-  | None -> Hashtbl.replace t.step_index step (ref [ op_id ])
-
-let ops_on_step t step =
-  match Hashtbl.find_opt t.step_index step with
-  | None -> []
-  | Some r -> List.sort compare !r
-
-(* guard-index maintenance: membership depends only on the op being placed
-   (the guard structure is static), so a re-placement needs no update *)
-let guard_index_add t op_id =
-  List.iter
-    (fun p ->
-      match Hashtbl.find_opt t.guard_index p with
-      | Some r -> r := op_id :: !r
-      | None -> Hashtbl.replace t.guard_index p (ref [ op_id ]))
-    (Guard.preds (Dfg.find t.dfg op_id).Dfg.guard)
-
-let guard_index_remove t op_id =
-  List.iter
-    (fun p ->
-      match Hashtbl.find_opt t.guard_index p with
-      | Some r -> r := List.filter (fun o -> o <> op_id) !r
-      | None -> ())
-    (Guard.preds (Dfg.find t.dfg op_id).Dfg.guard)
+let unplace t op_id =
+  step_index_remove t op_id;
+  guard_index_remove t op_id;
+  t.pl_gen.(op_id) <- 0
 
 let rollback t =
   if not t.trial_on then invalid_arg "Netlist.rollback: no active trial";
@@ -285,13 +642,13 @@ let rollback t =
      their generation stamp can never match again. *)
   List.iter
     (function
-      | U_place op ->
-          step_index_remove t op;
-          guard_index_remove t op;
-          Hashtbl.remove t.placements op
+      | U_place op -> unplace t op
       | U_replace (op, pl) ->
           step_index_remove t op;
-          Hashtbl.replace t.placements op pl;
+          t.pl_step.(op) <- pl.pl_step;
+          t.pl_finish.(op) <- pl.pl_finish;
+          t.pl_inst.(op) <- (match pl.pl_inst with Some i -> i | None -> -1);
+          t.pl_gen.(op) <- t.pass_stamp;
           step_index_add t op pl.pl_step
       | U_bound (i, b) -> i.bound <- b
       | U_rtype (i, rt) -> i.rtype <- rt
@@ -308,14 +665,18 @@ let rollback t =
 (** {2 Structural mutators} — journaled while a trial is active *)
 
 let place t op_id ~step ~finish ~inst_opt =
-  let fresh = not (Hashtbl.mem t.placements op_id) in
+  ensure_cap t op_id;
+  let fresh = not (placed t op_id) in
   if t.trial_on then
-    (match Hashtbl.find_opt t.placements op_id with
+    (match placement t op_id with
     | Some pl -> t.undo_log <- U_replace (op_id, pl) :: t.undo_log
     | None -> t.undo_log <- U_place op_id :: t.undo_log);
   if fresh then guard_index_add t op_id;
   step_index_remove t op_id;
-  Hashtbl.replace t.placements op_id { pl_step = step; pl_finish = finish; pl_inst = inst_opt };
+  t.pl_step.(op_id) <- step;
+  t.pl_finish.(op_id) <- finish;
+  t.pl_inst.(op_id) <- (match inst_opt with Some i -> i | None -> -1);
+  t.pl_gen.(op_id) <- t.pass_stamp;
   step_index_add t op_id step
 
 let invalidate_mux t i =
@@ -323,10 +684,61 @@ let invalidate_mux t i =
   i.mux_cache <- None;
   i.mux_delays <- None
 
+(** Insert [x] into an ascending duplicate-free list, keeping it so. *)
+let rec sorted_insert x = function
+  | [] -> [ x ]
+  | y :: _ as l when x < y -> x :: l
+  | y :: _ as l when x = y -> l
+  | y :: rest -> y :: sorted_insert x rest
+
+(** Bind an op onto an instance.  Re-attaching an op already bound to the
+    instance is a no-op — the mux structure cannot have changed, so the
+    caches survive and no arrival recomputation is triggered downstream.
+
+    A warm mux cache is updated in place rather than invalidated: the new
+    op contributes at most one source per port, so inserting each into the
+    cached (sorted, duplicate-free) source lists reproduces exactly what a
+    full rebuild over the grown bound list would compute — without the
+    O(bound × ports) rescan every trial attach would otherwise pay.  Ports
+    beyond the cached array stay uncached and fall back to the rebuild in
+    {!port_srcs}. *)
 let attach t i op_id =
-  if t.trial_on then t.undo_log <- U_bound (i, i.bound) :: t.undo_log;
-  i.bound <- op_id :: i.bound;
-  invalidate_mux t i
+  if not (List.mem op_id i.bound) then begin
+    if t.trial_on then t.undo_log <- U_bound (i, i.bound) :: t.undo_log;
+    i.bound <- op_id :: i.bound;
+    match i.mux_cache with
+    | None -> invalidate_mux t i
+    | Some c ->
+        if t.trial_on then t.undo_log <- U_mux (i, i.mux_cache, i.mux_delays) :: t.undo_log;
+        let c' = Array.copy c in
+        let changed = Array.make (Array.length c) false in
+        List.iter
+          (fun (e : Dfg.edge) ->
+            let p = e.Dfg.port in
+            if
+              p < Array.length c'
+              && (not (List.mem e.Dfg.src c'.(p)))
+              && Dfg.input t.dfg op_id ~port:p = Some e
+            then begin
+              c'.(p) <- sorted_insert e.Dfg.src c'.(p);
+              changed.(p) <- true
+            end)
+          (Dfg.in_edges t.dfg op_id);
+        i.mux_cache <- Some c';
+        (match i.mux_delays with
+        | None -> ()
+        | Some d ->
+            let d' = Array.copy d in
+            Array.iteri
+              (fun p ch ->
+                if ch && p < Array.length d' then begin
+                  let n = List.length c'.(p) in
+                  let n = if i.prealloc_shared then max n 2 else n in
+                  d'.(p) <- Library.mux_delay t.lib ~inputs:n
+                end)
+              changed;
+            i.mux_delays <- Some d')
+  end
 
 let set_rtype t i rt =
   if rt <> i.rtype then begin
@@ -406,41 +818,46 @@ let reg_mux_delay t =
 
 (** {2 Arrival state} *)
 
-let table t = function Accurate -> t.arr_true | Naive -> t.arr_naive
+(** Raw visible arrival in [view]: the trial value when the active trial
+    has written it, the committed value otherwise; [neg_infinity] when
+    absent (so the hot path needs no option allocation). *)
+let arrival_raw t view id =
+  if id >= t.cap then neg_infinity
+  else
+    let c = (match view with Accurate -> t.cell_true | Naive -> t.cell_naive).(id) in
+    if c.a_pass <> t.pass_stamp then neg_infinity
+    else if t.trial_on && c.a_gen = t.generation then c.a_trial
+    else if c.a_live then c.a_committed
+    else neg_infinity
 
-(** Current visible arrival of a placed op in [view]: the trial value when
-    the active trial has written it, the committed value otherwise. *)
 let arrival t ~view op_id =
-  match Hashtbl.find_opt (table t view) op_id with
-  | None -> None
-  | Some c ->
-      if t.trial_on && c.a_gen = t.generation then Some c.a_trial
-      else if c.a_live then Some c.a_committed
-      else None
+  let v = arrival_raw t view op_id in
+  if v = neg_infinity then None else Some v
 
-let find_cell tbl op_id =
-  match Hashtbl.find_opt tbl op_id with
-  | Some c -> c
-  | None ->
-      let c = { a_committed = 0.0; a_live = false; a_trial = 0.0; a_gen = min_int } in
-      Hashtbl.replace tbl op_id c;
-      c
+let committed_arrivals t view =
+  let arr = match view with Accurate -> t.cell_true | Naive -> t.cell_naive in
+  let acc = ref [] in
+  for id = t.cap - 1 downto 0 do
+    let c = arr.(id) in
+    if c.a_pass = t.pass_stamp && c.a_live then acc := (id, c.a_committed) :: !acc
+  done;
+  !acc
 
 let set_arrivals t op_id ~tv ~nv =
   if t.trial_on then begin
-    let ct = find_cell t.arr_true op_id in
+    let ct = cell_of t Accurate op_id in
     if ct.a_gen <> t.generation then t.touched <- op_id :: t.touched;
     ct.a_gen <- t.generation;
     ct.a_trial <- tv;
-    let cn = find_cell t.arr_naive op_id in
+    let cn = cell_of t Naive op_id in
     cn.a_gen <- t.generation;
     cn.a_trial <- nv
   end
   else begin
-    let ct = find_cell t.arr_true op_id in
+    let ct = cell_of t Accurate op_id in
     ct.a_committed <- tv;
     ct.a_live <- true;
-    let cn = find_cell t.arr_naive op_id in
+    let cn = cell_of t Naive op_id in
     cn.a_committed <- nv;
     cn.a_live <- true
   end
@@ -448,8 +865,8 @@ let set_arrivals t op_id ~tv ~nv =
 (** {2 Arrival computation}
 
     The formula is written once, parameterized over the producer-arrival
-    [lookup], so the incremental engine and the from-scratch reference
-    evaluator cannot drift apart. *)
+    [lookup] (returning [neg_infinity] for "absent"), so the incremental
+    engine and the from-scratch reference evaluator cannot drift apart. *)
 
 (** Arrival of the value carried by edge [e] at the inputs of an op placed
     at [step], before any input mux. *)
@@ -457,58 +874,69 @@ let source_arrival_with t ~step ~lookup e =
   let ff = t.lib.Library.ff_clk_q in
   let p = e.Dfg.src in
   if e.Dfg.distance > 0 then ff
-  else if not (Region.mem t.region p) then ff
-  else
-    match Hashtbl.find_opt t.placements p with
-    | None -> ff (* should not happen: scheduler orders by readiness *)
-    | Some pl ->
-        let p_op = Dfg.find t.dfg p in
-        if is_multicycle t p_op then ff
-        else if pl.pl_finish = step then Option.value (lookup p) ~default:ff
-        else ff
+  else if not (region_mem t p) then ff
+  else if not (placed t p) then ff (* should not happen: scheduler orders by readiness *)
+  else if lat_of t p > 1 then ff
+  else if t.pl_finish.(p) = step then (
+    let v = lookup p in
+    if v = neg_infinity then ff else v)
+  else ff
 
 let source_arrival t ~step ~view e =
-  source_arrival_with t ~step ~lookup:(fun p -> arrival t ~view p) e
+  source_arrival_with t ~step ~lookup:(fun p -> arrival_raw t view p) e
 
 let guard_arrival_with t ~step ~lookup (op : Dfg.op) =
   if op.Dfg.speculated || Guard.is_always op.Dfg.guard then 0.0
   else
     let ff = t.lib.Library.ff_clk_q in
-    List.fold_left
-      (fun acc p ->
-        if not (Region.mem t.region p) then max acc ff
-        else
-          match Hashtbl.find_opt t.placements p with
-          | Some pl when pl.pl_finish = step -> max acc (Option.value (lookup p) ~default:ff)
-          | Some _ -> max acc ff
-          | None -> max acc ff)
-      0.0 (Guard.preds op.Dfg.guard)
+    let gp = gpreds_of t op.Dfg.id in
+    let acc = ref 0.0 in
+    Array.iter
+      (fun p ->
+        let a =
+          if (not (region_mem t p)) || not (placed t p) then ff
+          else if t.pl_finish.(p) = step then (
+            let v = lookup p in
+            if v = neg_infinity then ff else v)
+          else ff
+        in
+        if a > !acc then acc := a)
+      gp;
+    !acc
 
 let guard_arrival t ~step ~view op =
-  guard_arrival_with t ~step ~lookup:(fun p -> arrival t ~view p) op
+  guard_arrival_with t ~step ~lookup:(fun p -> arrival_raw t view p) op
 
 (** Combinational delay of [op] when executed on [inst_opt]. *)
 let exec_delay t (op : Dfg.op) inst_opt =
   match inst_opt with
   | Some i -> Library.delay t.lib (find_inst t i).rtype
-  | None -> (
-      match Resource.of_op t.dfg op with None -> 0.0 | Some rt -> Library.delay t.lib rt)
+  | None ->
+      let id = op.Dfg.id in
+      if id < t.cap then begin
+        if Float.is_nan t.opdelay_c.(id) then
+          t.opdelay_c.(id) <-
+            (match Resource.of_op t.dfg op with
+            | None -> 0.0
+            | Some rt -> Library.delay t.lib rt);
+        t.opdelay_c.(id)
+      end
+      else
+        (match Resource.of_op t.dfg op with None -> 0.0 | Some rt -> Library.delay t.lib rt)
 
-(** One full arrival evaluation of [op] at its placement; [with_mux]
-    selects the accurate (mux-laden) formula. *)
-let compute_arrival_with t ~lookup ~with_mux (op : Dfg.op) (pl : placement) =
-  let step = pl.pl_step in
-  let ins = Dfg.in_edges t.dfg op.Dfg.id in
+(** One full arrival evaluation of [op] placed at [step] on instance
+    [inst] (-1 for none); [with_mux] selects the accurate (mux-laden)
+    formula. *)
+let compute_arrival_with t ~lookup ~with_mux (op : Dfg.op) ~step ~inst =
+  let ins = in_edges_of t op.Dfg.id in
   let data =
     List.fold_left
       (fun acc e ->
         let a = source_arrival_with t ~step ~lookup e in
         let a =
           if not with_mux then a
-          else
-            match pl.pl_inst with
-            | Some i -> a +. in_mux_delay t (find_inst t i) ~port:e.Dfg.port
-            | None -> a
+          else if inst >= 0 then a +. in_mux_delay t (find_inst t inst) ~port:e.Dfg.port
+          else a
         in
         max acc a)
       (match op.Dfg.kind with
@@ -517,7 +945,7 @@ let compute_arrival_with t ~lookup ~with_mux (op : Dfg.op) (pl : placement) =
       | _ -> if ins = [] then t.lib.Library.ff_clk_q else 0.0)
       ins
   in
-  data +. exec_delay t op pl.pl_inst
+  data +. exec_delay t op (if inst >= 0 then Some inst else None)
 
 (** Recompute both arrival views of a placed op; returns true if the
     accurate view moved by more than 1 fs.  The guard does not serialize
@@ -525,61 +953,259 @@ let compute_arrival_with t ~lookup ~with_mux (op : Dfg.op) (pl : placement) =
     parallel and is accounted for in {!endpoint_slack}. *)
 let recompute_arrival t op_id =
   t.n_queries <- t.n_queries + 1;
-  let op = Dfg.find t.dfg op_id in
-  let pl = Hashtbl.find t.placements op_id in
-  let new_true =
-    compute_arrival_with t ~lookup:(fun p -> arrival t ~view:Accurate p) ~with_mux:true op pl
+  let op = op_of t op_id in
+  let step = t.pl_step.(op_id) and inst = t.pl_inst.(op_id) in
+  (* fused two-view evaluation: one walk over the in-edges computes both
+     the accurate (mux-laden) and naive arrivals — same formulas as
+     {!compute_arrival_with}, with the instance lookup hoisted out of the
+     per-edge fold and no per-call lookup closures *)
+  let ins = in_edges_of t op_id in
+  let ff = t.lib.Library.ff_clk_q in
+  let base =
+    match op.Dfg.kind with
+    | Opkind.Const _ -> 0.0
+    | Opkind.Read _ -> ff
+    | _ -> if ins = [] then ff else 0.0
   in
-  let new_naive =
-    compute_arrival_with t ~lookup:(fun p -> arrival t ~view:Naive p) ~with_mux:false op pl
-  in
-  let old_true = arrival t ~view:Accurate op_id in
+  let io = if inst >= 0 then Some (find_inst t inst) else None in
+  let dt = ref base and dn = ref base in
+  List.iter
+    (fun (e : Dfg.edge) ->
+      let p = e.Dfg.src in
+      let live =
+        e.Dfg.distance = 0 && region_mem t p && placed t p
+        && not (lat_of t p > 1)
+        && t.pl_finish.(p) = step
+      in
+      let at, an =
+        if live then (
+          let vt = arrival_raw t Accurate p and vn = arrival_raw t Naive p in
+          ((if vt = neg_infinity then ff else vt), (if vn = neg_infinity then ff else vn)))
+        else (ff, ff)
+      in
+      let at = match io with Some i -> at +. in_mux_delay t i ~port:e.Dfg.port | None -> at in
+      dt := max !dt at;
+      dn := max !dn an)
+    ins;
+  let ex = exec_delay t op (if inst >= 0 then Some inst else None) in
+  let new_true = !dt +. ex in
+  let new_naive = !dn +. ex in
+  let old_true = arrival_raw t Accurate op_id in
   set_arrivals t op_id ~tv:new_true ~nv:new_naive;
-  (match old_true with Some v -> abs_float (v -. new_true) > 0.001 | None -> true)
+  if old_true = neg_infinity then true else abs_float (old_true -. new_true) > 0.001
 
 (** Same-step combinational consumers of a placed op (data or guard),
     i.e. the ops whose arrivals depend on this op's arrival. *)
 let chained_consumers t op_id =
-  match Hashtbl.find_opt t.placements op_id with
-  | None -> []
-  | Some pl ->
-      let step = pl.pl_finish in
-      List.filter_map
-        (fun e ->
-          if e.Dfg.distance <> 0 then None
-          else
-            match Hashtbl.find_opt t.placements e.Dfg.dst with
-            | Some cpl when cpl.pl_step = step -> Some e.Dfg.dst
-            | _ -> None)
-        (Dfg.out_edges t.dfg op_id)
+  if not (placed t op_id) then []
+  else begin
+    let step = t.pl_finish.(op_id) in
+    let acc = ref [] in
+    let outs = out0_of t op_id in
+    for k = Array.length outs - 1 downto 0 do
+      let dst = outs.(k) in
+      if placed t dst && t.pl_step.(dst) = step then acc := dst :: !acc
+    done;
+    !acc
+  end
 
 (** Worst-case registered-endpoint slack of a placed op: its result must
     traverse the register-input mux and meet setup, and its commit enable
     (the guard, unless speculated) must also settle in time. *)
 let endpoint_slack t ~view op_id =
-  let arr = Option.value (arrival t ~view op_id) ~default:0.0 in
-  let op = Dfg.find t.dfg op_id in
-  let g =
-    match Hashtbl.find_opt t.placements op_id with
-    | Some pl -> guard_arrival t ~step:pl.pl_finish ~view op
-    | None -> 0.0
+  let arr =
+    let v = arrival_raw t view op_id in
+    if v = neg_infinity then 0.0 else v
   in
+  let op = op_of t op_id in
+  let g = if placed t op_id then guard_arrival t ~step:t.pl_finish.(op_id) ~view op else 0.0 in
   let reg_path = match view with Naive -> 0.0 | Accurate -> reg_mux_delay t in
   t.clock_ps -. (max arr g +. reg_path +. t.lib.Library.ff_setup)
+
+(** {2 Saturation screen}
+
+    Price a hypothetical bind of [op] at [step]..[finish] on [inst]
+    against the committed state, without opening a transaction.
+    [changed_ports] are the instance input ports whose effective mux
+    input count the bind would grow (computed by the caller against the
+    committed caches, first-edge-per-port semantics).
+
+    Returns [true] when some already-bound cohabitant provably ends up
+    with endpoint slack below the -1 fs tolerance {e and} strictly below
+    the new op's own exact slack: the full trial is then guaranteed to
+    fail with [worst_op <> op] — a busy rejection — so the caller can
+    return [F_busy] without paying the transaction, the propagation and
+    the rollback.  Soundness: every quantity is computed with the same
+    formulas as {!recompute_arrival} / {!endpoint_slack}, with the grown
+    mux delays substituted, so a priced cohabitant's value equals its
+    settled in-trial slack; the trial's worst slack is at most that, and
+    the op itself — strictly above it — cannot carry the minimum.  Any
+    source or guard predecessor whose own arrival the bind might disturb
+    (it reads a grown port, or a same-step chain connects it to one — or
+    to the new op's result) makes the candidate unpriceable and the
+    screen answers [false] — "run the real trial" — never a wrong
+    verdict. *)
+let screen_busy_reject t ~decision ~(op : Dfg.op) ~step ~finish ~(inst : inst)
+    ~(changed_ports : int list) =
+  (* only the accurate view reacts to mux growth *)
+  if decision <> Accurate || changed_ports = [] then false
+  else begin
+    let ff = t.lib.Library.ff_clk_q in
+    let exec = Library.delay t.lib inst.rtype in
+    let grown =
+      List.map
+        (fun p ->
+          let n = List.length (port_srcs t inst ~port:p) + 1 in
+          let n = if inst.prealloc_shared then max n 2 else n in
+          (p, Library.mux_delay t.lib ~inputs:n))
+        changed_ports
+    in
+    let new_mux p =
+      match List.assoc_opt p grown with
+      | Some d -> d
+      | None -> in_mux_delay t inst ~port:p
+    in
+    let reads_changed o = List.exists (fun p -> Dfg.input t.dfg o ~port:p <> None) changed_ports in
+    (* would [id]'s committed arrival move under the hypothetical bind?
+       True when it reads a grown port on [inst] or when the change (or
+       the new op's result) reaches it through a same-step chain; deep
+       chains bail out conservatively *)
+    let rec affected depth id =
+      depth > 8
+      || (t.pl_inst.(id) = inst.inst_id && reads_changed id)
+      ||
+      let st = t.pl_step.(id) in
+      List.exists
+        (fun (e : Dfg.edge) ->
+          e.Dfg.distance = 0
+          &&
+          if e.Dfg.src = op.Dfg.id then finish = st
+          else
+            let p = e.Dfg.src in
+            region_mem t p && placed t p
+            && not (lat_of t p > 1)
+            && t.pl_finish.(p) = st
+            && affected (depth + 1) p)
+        (in_edges_of t id)
+    in
+    let guard_affected (o : Dfg.op) ~fstep =
+      (not (o.Dfg.speculated || Guard.is_always o.Dfg.guard))
+      && Array.exists
+           (fun g ->
+             if g = op.Dfg.id then finish = fstep
+             else region_mem t g && placed t g && t.pl_finish.(g) = fstep && affected 0 g)
+           (gpreds_of t o.Dfg.id)
+    in
+    let exception Unpriceable in
+    (* exact endpoint slack of [o] executing on [inst] at [st]..[fstep]
+       with the grown mux delays; raises when a committed input would
+       itself move *)
+    let hypo_slack (o : Dfg.op) ~st ~fstep =
+      let ins = in_edges_of t o.Dfg.id in
+      let base =
+        match o.Dfg.kind with
+        | Opkind.Const _ -> 0.0
+        | Opkind.Read _ -> ff
+        | _ -> if ins = [] then ff else 0.0
+      in
+      let data =
+        List.fold_left
+          (fun acc (e : Dfg.edge) ->
+            let s = e.Dfg.src in
+            let a =
+              if e.Dfg.distance <> 0 then ff
+              else if s = op.Dfg.id then
+                if finish = st then raise Unpriceable else ff
+              else if
+                region_mem t s && placed t s && not (lat_of t s > 1) && t.pl_finish.(s) = st
+              then begin
+                if affected 0 s then raise Unpriceable;
+                let v = arrival_raw t Accurate s in
+                if v = neg_infinity then ff else v
+              end
+              else ff
+            in
+            max acc (a +. new_mux e.Dfg.port))
+          base ins
+      in
+      let arr = data +. exec in
+      if guard_affected o ~fstep then raise Unpriceable;
+      let g = guard_arrival t ~step:fstep ~view:Accurate o in
+      t.clock_ps -. (max arr g +. reg_mux_delay t +. t.lib.Library.ff_setup)
+    in
+    match hypo_slack op ~st:step ~fstep:finish with
+    | exception Unpriceable -> false
+    | s_op ->
+        List.exists
+          (fun o_id ->
+            o_id <> op.Dfg.id && placed t o_id && reads_changed o_id
+            &&
+            match
+              hypo_slack (op_of t o_id) ~st:t.pl_step.(o_id) ~fstep:t.pl_finish.(o_id)
+            with
+            | exception Unpriceable -> false
+            | s -> s < -0.001 && s < s_op)
+          inst.bound
+  end
+
+(* --- propagation worklist: FIFO ring with membership stamps --- *)
+
+let wl_reset t =
+  t.wl_head <- 0;
+  t.wl_tail <- 0;
+  t.prop_gen <- t.prop_gen + 1
+
+let wl_push t id =
+  (* dedup: an op already pending is recomputed once, with its inputs
+     settled — the monotone max-fixpoint makes the result identical *)
+  if t.in_wl.(id) <> t.prop_gen then begin
+    t.in_wl.(id) <- t.prop_gen;
+    (if t.wl_tail = Array.length t.wl then
+       if t.wl_head > 0 then begin
+         Array.blit t.wl t.wl_head t.wl 0 (t.wl_tail - t.wl_head);
+         t.wl_tail <- t.wl_tail - t.wl_head;
+         t.wl_head <- 0
+       end
+       else begin
+         let a = Array.make (2 * Array.length t.wl) 0 in
+         Array.blit t.wl 0 a 0 t.wl_tail;
+         t.wl <- a
+       end);
+    t.wl.(t.wl_tail) <- id;
+    t.wl_tail <- t.wl_tail + 1
+  end
+
+let wl_pop t =
+  let id = t.wl.(t.wl_head) in
+  t.wl_head <- t.wl_head + 1;
+  t.in_wl.(id) <- 0;
+  id
 
 (** Propagate arrival changes from [seeds] through same-step chains.
     [decision] selects the view whose slack gates the result.  Returns the
     worst endpoint slack seen together with the op carrying it — so the
     caller can tell a failure of the new binding itself from collateral
-    damage to ops already bound (a saturated instance). *)
+    damage to ops already bound (a saturated instance).
+
+    The worklist is deduplicated by op id and propagation stops at ops
+    whose accurate arrival did not move, so the visited set is bounded by
+    the region the change actually reaches — not the transitive fanout
+    cone of the seeds.  Arrivals only grow inside a trial (mux growth and
+    new chains), so every op's last recomputation is its settled value
+    and the returned worst slack equals the full-fanout walk's. *)
 let propagate t ~decision seeds =
   let worst = ref infinity in
   let worst_op = ref (-1) in
-  let queue = Queue.create () in
-  List.iter (fun s -> Queue.add s queue) seeds;
-  while not (Queue.is_empty queue) do
-    let id = Queue.pop queue in
-    if Hashtbl.mem t.placements id then begin
+  wl_reset t;
+  List.iter
+    (fun s ->
+      ensure_cap t s;
+      wl_push t s)
+    seeds;
+  while t.wl_head < t.wl_tail do
+    let id = wl_pop t in
+    t.n_visits <- t.n_visits + 1;
+    if placed t id then begin
       let changed = recompute_arrival t id in
       let slack = endpoint_slack t ~view:decision id in
       if slack < !worst then begin
@@ -587,17 +1213,20 @@ let propagate t ~decision seeds =
         worst_op := id
       end;
       if changed then begin
-        List.iter (fun c -> Queue.add c queue) (chained_consumers t id);
-        match Hashtbl.find_opt t.guard_index id with
-        | Some r ->
-            let pl = Hashtbl.find t.placements id in
-            List.iter
-              (fun g ->
-                match Hashtbl.find_opt t.placements g with
-                | Some gpl when gpl.pl_step = pl.pl_finish -> Queue.add g queue
-                | _ -> ())
-              !r
-        | None -> ()
+        let fstep = t.pl_finish.(id) in
+        let outs = out0_of t id in
+        for k = 0 to Array.length outs - 1 do
+          let dst = outs.(k) in
+          if placed t dst && t.pl_step.(dst) = fstep then wl_push t dst
+        done;
+        if id < Array.length t.gslots then begin
+          let b = t.gslots.(id) in
+          if b.b_gen = t.pass_stamp then
+            for k = 0 to b.b_len - 1 do
+              let g = b.b_a.(k) in
+              if placed t g && t.pl_step.(g) = fstep then wl_push t g
+            done
+        end
       end
     end
   done;
@@ -607,7 +1236,7 @@ let propagate t ~decision seeds =
     (processing in step order so chained arrivals settle). *)
 let recompute_all t =
   let by_step =
-    Hashtbl.fold (fun id pl acc -> (pl.pl_step, id) :: acc) t.placements []
+    fold_placements t (fun id pl acc -> (pl.pl_step, id) :: acc) []
     |> List.sort compare |> List.map snd
   in
   ignore (propagate t ~decision:Accurate by_step)
@@ -621,21 +1250,21 @@ let chain_source_insts t op_id ~step =
   let rec visit id =
     if not (Hashtbl.mem seen id) then begin
       Hashtbl.replace seen id ();
-      match Hashtbl.find_opt t.placements id with
-      | Some pl when pl.pl_finish = step && not (is_multicycle t (Dfg.find t.dfg id)) -> (
-          match pl.pl_inst with
-          | Some j -> acc := j :: !acc
-          | None ->
-              List.iter
-                (fun e -> if e.Dfg.distance = 0 then visit e.Dfg.src)
-                (Dfg.in_edges t.dfg id))
-      | _ -> ()
+      if placed t id && t.pl_finish.(id) = step && lat_of t id <= 1 then
+        match t.pl_inst.(id) with
+        | -1 ->
+            List.iter
+              (fun e -> if e.Dfg.distance = 0 then visit e.Dfg.src)
+              (in_edges_of t id)
+        | j -> acc := j :: !acc
     end
   in
-  List.iter (fun e -> if e.Dfg.distance = 0 then visit e.Dfg.src) (Dfg.in_edges t.dfg op_id);
+  List.iter (fun e -> if e.Dfg.distance = 0 then visit e.Dfg.src) (in_edges_of t op_id);
   List.sort_uniq compare !acc
 
 let would_close_cycle t ~src ~dst = Hls_timing.Cycle_detector.would_close_cycle t.chain ~src ~dst
+
+let chain t = t.chain
 
 let add_chain_edge t ~src ~dst =
   if not (Hls_timing.Cycle_detector.mem_edge t.chain ~src ~dst) then
@@ -644,26 +1273,23 @@ let add_chain_edge t ~src ~dst =
 (** {2 Reporting} *)
 
 (** Values that must live in registers: results consumed in a later step,
-    loop-carried values, and port writes. *)
+    loop-carried values, and port writes.  Ascending id order. *)
 let registered_ops t =
-  Hashtbl.fold
-    (fun id pl acc ->
-      let op = Dfg.find t.dfg id in
-      let crosses =
-        List.exists
-          (fun e ->
-            e.Dfg.distance > 0
-            || (not (Region.mem t.region e.Dfg.dst))
-            ||
-            match Hashtbl.find_opt t.placements e.Dfg.dst with
-            | Some cpl -> cpl.pl_step > pl.pl_finish
-            | None -> true)
-          (Dfg.out_edges t.dfg id)
-      in
-      let is_write = match op.Dfg.kind with Opkind.Write _ -> true | _ -> false in
-      if crosses || is_write then id :: acc else acc)
-    t.placements []
-  |> List.sort compare
+  List.rev
+    (fold_placements t
+       (fun id pl acc ->
+         let op = op_of t id in
+         let crosses =
+           List.exists
+             (fun e ->
+               e.Dfg.distance > 0
+               || (not (region_mem t e.Dfg.dst))
+               || (if placed t e.Dfg.dst then t.pl_step.(e.Dfg.dst) > pl.pl_finish else true))
+             (Dfg.out_edges t.dfg id)
+         in
+         let is_write = match op.Dfg.kind with Opkind.Write _ -> true | _ -> false in
+         if crosses || is_write then id :: acc else acc)
+       [])
 
 (** Critical-path decomposition for the downstream-synthesis model: one
     path per registered endpoint, tracing the argmax chain backwards. *)
@@ -671,39 +1297,35 @@ let timing_report t : Hls_timing.Synthesize.report =
   let paths =
     List.filter_map
       (fun endpoint ->
-        let pl = Hashtbl.find t.placements endpoint in
-        let step = pl.pl_finish in
+        let step = t.pl_finish.(endpoint) in
         let fixed = ref (reg_mux_delay t +. t.lib.Library.ff_setup) in
         let elems = ref [] in
         let rec back id =
-          let op = Dfg.find t.dfg id in
-          let opl = Hashtbl.find t.placements id in
-          (match opl.pl_inst with
-          | Some i ->
-              let inst = find_inst t i in
-              elems :=
-                {
-                  Hls_timing.Synthesize.pe_inst = i;
-                  pe_rtype = inst.rtype;
-                  pe_nominal = Library.delay t.lib inst.rtype;
-                }
-                :: !elems
-          | None -> ());
+          let op = op_of t id in
+          let op_inst = t.pl_inst.(id) in
+          (if op_inst >= 0 then
+             let inst = find_inst t op_inst in
+             elems :=
+               {
+                 Hls_timing.Synthesize.pe_inst = op_inst;
+                 pe_rtype = inst.rtype;
+                 pe_nominal = Library.delay t.lib inst.rtype;
+               }
+               :: !elems);
           (* find dominant input *)
           let best = ref None in
           List.iter
             (fun e ->
               let a = source_arrival t ~step ~view:Accurate e in
               let mux =
-                match opl.pl_inst with
-                | Some i -> in_mux_delay t (find_inst t i) ~port:e.Dfg.port
-                | None -> 0.0
+                if op_inst >= 0 then in_mux_delay t (find_inst t op_inst) ~port:e.Dfg.port
+                else 0.0
               in
               let tot = a +. mux in
               match !best with
               | Some (_, _, bt) when bt >= tot -> ()
               | _ -> best := Some (e, mux, tot))
-            (Dfg.in_edges t.dfg id);
+            (in_edges_of t id);
           match !best with
           | None ->
               fixed :=
@@ -713,11 +1335,10 @@ let timing_report t : Hls_timing.Synthesize.report =
               let p = e.Dfg.src in
               let chained =
                 e.Dfg.distance = 0
-                && Region.mem t.region p
-                &&
-                match Hashtbl.find_opt t.placements p with
-                | Some ppl -> ppl.pl_finish = step && not (is_multicycle t (Dfg.find t.dfg p))
-                | None -> false
+                && region_mem t p
+                && placed t p
+                && t.pl_finish.(p) = step
+                && lat_of t p <= 1
               in
               if chained then back p else fixed := !fixed +. t.lib.Library.ff_clk_q
         in
@@ -726,7 +1347,7 @@ let timing_report t : Hls_timing.Synthesize.report =
         else
           Some
             {
-              Hls_timing.Synthesize.p_endpoint = (Dfg.find t.dfg endpoint).Dfg.name;
+              Hls_timing.Synthesize.p_endpoint = (op_of t endpoint).Dfg.name;
               p_step = step;
               p_fixed = !fixed;
               p_elems = !elems;
@@ -737,7 +1358,7 @@ let timing_report t : Hls_timing.Synthesize.report =
 
 (** Worst accurate endpoint slack over all placed ops. *)
 let worst_slack t =
-  Hashtbl.fold (fun id _ acc -> min acc (endpoint_slack t ~view:Accurate id)) t.placements infinity
+  fold_placements t (fun id _ acc -> min acc (endpoint_slack t ~view:Accurate id)) infinity
 
 (** {2 Reference evaluator — the oracle} *)
 
@@ -749,16 +1370,19 @@ let reference_arrivals t =
   let rt : (int, float) Hashtbl.t = Hashtbl.create 64 in
   let rn : (int, float) Hashtbl.t = Hashtbl.create 64 in
   let ids =
-    Hashtbl.fold (fun id pl acc -> ((pl.pl_step, id), id) :: acc) t.placements []
+    fold_placements t (fun id pl acc -> ((pl.pl_step, id), id) :: acc) []
     |> List.sort compare |> List.map snd
   in
+  let lookup tbl p = match Hashtbl.find_opt tbl p with Some v -> v | None -> neg_infinity in
   let sweep () =
     List.fold_left
       (fun changed id ->
-        let op = Dfg.find t.dfg id in
-        let pl = Hashtbl.find t.placements id in
-        let v_true = compute_arrival_with t ~lookup:(Hashtbl.find_opt rt) ~with_mux:true op pl in
-        let v_naive = compute_arrival_with t ~lookup:(Hashtbl.find_opt rn) ~with_mux:false op pl in
+        let op = op_of t id in
+        let step = t.pl_step.(id) and inst = t.pl_inst.(id) in
+        let v_true = compute_arrival_with t ~lookup:(lookup rt) ~with_mux:true op ~step ~inst in
+        let v_naive =
+          compute_arrival_with t ~lookup:(lookup rn) ~with_mux:false op ~step ~inst
+        in
         let moved tbl v =
           match Hashtbl.find_opt tbl id with
           | Some o -> abs_float (o -. v) > 1e-9
@@ -779,7 +1403,7 @@ let reference_arrivals t =
     to float noise) whenever the transaction machinery is correct. *)
 let reference_deviation t =
   let rt, rn = reference_arrivals t in
-  Hashtbl.fold
+  fold_placements t
     (fun id _ acc ->
       let dev tbl view =
         match (Hashtbl.find_opt tbl id, arrival t ~view id) with
@@ -789,4 +1413,4 @@ let reference_deviation t =
         | None, None -> 0.0
       in
       max acc (max (dev rt Accurate) (dev rn Naive)))
-    t.placements 0.0
+    0.0

@@ -5,7 +5,13 @@
     scheduling-and-binding — instances, port sharing/mux structure,
     busy/occupancy tables, placements — and both arrival-time views
     (accurate with mux delays, naive without).  Policy (modulo constraints,
-    dedication, forbidden pairs) lives above it in [Hls_core.Binding]. *)
+    dedication, forbidden pairs) lives above it in [Hls_core.Binding].
+
+    The representation is dense: every hot per-op table is an int-indexed
+    array with a pass stamp, so {!reset_pass} is O(1), unplacing an op is
+    O(1) swap-remove, and {!propagate} runs a worklist deduplicated by op
+    id that stops at unchanged arrivals.  [t] is abstract so the dense
+    tables can evolve without touching callers. *)
 
 open Hls_ir
 open Hls_techlib
@@ -30,78 +36,73 @@ type inst = {
 
 type placement = { pl_step : int; pl_finish : int; pl_inst : int option }
 
-(** One arrival value with a generation-stamped trial slot. *)
-type cell = {
-  mutable a_committed : float;
-  mutable a_live : bool;  (** committed value present *)
-  mutable a_trial : float;
-  mutable a_gen : int;  (** trial generation that wrote [a_trial] *)
-}
-
 type stats = {
   s_queries : int;  (** netlist timing queries (arrival recomputations) *)
   s_trials : int;
   s_commits : int;
   s_rollbacks : int;
+  s_visits : int;
+      (** cells examined by {!propagate} — bounded propagation stops at
+          unchanged arrivals, so this stays well below the fanout cone *)
 }
 
-type undo
-(** Structural undo-log entry (opaque; managed by the trial machinery). *)
-
-type t = {
-  region : Region.t;
-  lib : Library.t;
-  clock_ps : float;
-  dfg : Dfg.t;
-  mutable insts : inst list;
-  inst_tbl : (int, inst) Hashtbl.t;
-  mutable next_inst_id : int;
-  placements : (int, placement) Hashtbl.t;
-  step_index : (int, int list ref) Hashtbl.t;
-      (** step -> ops placed there (unsorted), kept in lockstep with
-          [placements] *)
-  guard_index : (int, int list ref) Hashtbl.t;
-      (** guard predecessor -> placed ops whose guard reads it, kept in
-          lockstep with [placements] *)
-  busy : (int * int, int list ref) Hashtbl.t;  (** (inst, slot) -> bound ops *)
-  arr_true : (int, cell) Hashtbl.t;
-  arr_naive : (int, cell) Hashtbl.t;
-  chain : Hls_timing.Cycle_detector.t;
-  mutable generation : int;
-  mutable trial_on : bool;
-  mutable touched : int list;
-  mutable undo_log : undo list;
-  mutable n_queries : int;
-  mutable n_trials : int;
-  mutable n_commits : int;
-  mutable n_rollbacks : int;
-}
+type t
 
 val create : lib:Library.t -> clock_ps:float -> Region.t -> t
 val stats : t -> stats
+
+(** {2 Accessors for the abstract state} *)
+
+val region : t -> Region.t
+val lib : t -> Library.t
+val clock_ps : t -> float
+val dfg : t -> Dfg.t
+val chain : t -> Hls_timing.Cycle_detector.t
+
+val insts : t -> inst list
+(** Instances in registration order (ascending id); memoized, so
+    registering k instances costs O(k) amortized, not O(k²). *)
+
+val n_insts : t -> int
+(** Number of registered instances (= the next instance id). *)
+
 val add_inst : ?added_by_expert:bool -> t -> Resource.t -> inst
 val find_inst : t -> int -> inst
 
 val reset_pass : ?keep_prealloc:bool -> t -> unit
 (** Reset all pass-local state (placements, busy tables, arrivals, chain
     graph, any dangling trial) while keeping the resource set; recomputes
-    each instance's [prealloc_shared] flag.  [~keep_prealloc:true] skips
-    that recompute — sound only when no instance was added since the flags
+    each instance's [prealloc_shared] flag.  O(1) on the dense per-op
+    tables (a pass-stamp bump).  [~keep_prealloc:true] skips the flag
+    recompute — sound only when no instance was added since the flags
     were last computed (region membership is static). *)
+
+(** {2 Placements} *)
 
 val placement : t -> int -> placement option
 val is_placed : t -> int -> bool
 
+val iter_placements : t -> (int -> placement -> unit) -> unit
+(** Visit every placed op in ascending id order. *)
+
+val fold_placements : t -> (int -> placement -> 'a -> 'a) -> 'a -> 'a
+(** Fold over placed ops in ascending id order. *)
+
+val n_placed : t -> int
+
 val ops_on_step : t -> int -> int list
-(** Ops placed on a step, sorted ascending by id — O(k log k) in the
-    step's population via the per-step reverse index, not a fold over all
-    placements. *)
+(** Ops placed on a step, sorted ascending by id — served from a per-step
+    bucket with a memoized sorted view, not a fold over all placements. *)
 
 val slot : t -> int -> int
 (** Modulo slot of a control step ([step mod II] when pipelined). *)
 
 val busy_ops : t -> int -> int -> int list
 (** [busy_ops t inst_id step] — ops occupying the instance in the step's slot. *)
+
+val dump_busy : t -> ((int * int) * int list) list
+(** Non-empty busy entries as [((inst, slot), sorted ops)], sorted — for
+    tests and debugging dumps. *)
 
 val op_latency : t -> Dfg.op -> int
 val is_multicycle : t -> Dfg.op -> bool
@@ -126,9 +127,11 @@ val rollback : t -> unit
 (** {2 Structural mutators} — journaled while a trial is active *)
 
 val place : t -> int -> step:int -> finish:int -> inst_opt:int option -> unit
+
 val attach : t -> inst -> int -> unit
 (** Bind an op id onto an instance (prepends to [bound], invalidates the
-    mux caches). *)
+    mux caches).  Re-attaching an op already bound to the instance is a
+    no-op: the mux structure cannot have changed, so the caches survive. *)
 
 val set_rtype : t -> inst -> Resource.t -> unit
 val occupy : t -> inst_id:int -> step:int -> finish:int -> int -> unit
@@ -140,6 +143,7 @@ val port_srcs : t -> inst -> port:int -> int list
     (cached). *)
 
 val mux_inputs : t -> inst -> port:int -> int
+
 val mux_inputs_with : t -> inst -> port:int -> src:int -> int
 (** Mux inputs of the port after a hypothetical bind of an op whose input
     on this port comes from [src]: a source already feeding the port adds
@@ -154,19 +158,43 @@ val arrival : t -> view:view -> int -> float option
 (** Current visible arrival of a placed op: the trial value when the
     active trial has written it, the committed value otherwise. *)
 
+val committed_arrivals : t -> view -> (int * float) list
+(** Committed arrivals of the view as [(op, arrival)], ascending by op id
+    — for snapshot tests. *)
+
 val source_arrival : t -> step:int -> view:view -> Dfg.edge -> float
 val guard_arrival : t -> step:int -> view:view -> Dfg.op -> float
 val exec_delay : t -> Dfg.op -> int option -> float
+
 val recompute_arrival : t -> int -> bool
 (** Recompute both arrival views of a placed op; true if the accurate view
     moved.  Counts as one netlist timing query. *)
 
 val chained_consumers : t -> int -> int list
 val endpoint_slack : t -> view:view -> int -> float
+
+val screen_busy_reject :
+  t ->
+  decision:view ->
+  op:Dfg.op ->
+  step:int ->
+  finish:int ->
+  inst:inst ->
+  changed_ports:int list ->
+  bool
+(** Saturation screen: [true] when binding [op] on [inst] provably breaks
+    an already-bound cohabitant's timing strictly below the op's own exact
+    slack — the full trial would reject with [F_busy] — all priced from
+    committed state.  [false] means "run the real trial", never a wrong
+    verdict.  [changed_ports] are the instance ports whose effective mux
+    input count the bind grows. *)
+
 val propagate : t -> decision:view -> int list -> float * int
 (** Propagate arrival changes from the seed ops through same-step chains;
     returns the worst endpoint slack in the [decision] view and the op
-    carrying it. *)
+    carrying it.  The worklist is deduplicated by op id and stops at ops
+    whose arrival did not move, so the visited set is bounded by the
+    region the change actually reaches, not the seeds' fanout cone. *)
 
 val recompute_all : t -> unit
 val chain_source_insts : t -> int -> step:int -> int list

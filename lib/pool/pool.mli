@@ -1,0 +1,34 @@
+(** Persistent domain worker pool with an explicit lifecycle: domains
+    survive across jobs, parked while the queue is empty.  Shared by the
+    DSE engine (as [Dse.Pool]), the compile daemon, and the scheduler's
+    region-parallel SCC analysis. *)
+
+type t
+
+val create : ?workers:int -> unit -> t
+(** Spawn a pool of [workers] (≥ 1, default 1) resident domains. *)
+
+val ensure : t -> int -> unit
+(** Grow the pool to at least this many domains (never shrinks; no-op
+    after {!shutdown}). *)
+
+val size : t -> int
+(** Resident domain count (0 after {!shutdown}). *)
+
+val alive : t -> bool
+(** [false] once {!shutdown} has begun; {!submit} then refuses work. *)
+
+val submit : t -> (unit -> unit) -> bool
+(** Enqueue a task; returns [false] (task dropped) after {!shutdown}.
+    A task that raises is swallowed — wrap tasks that must report. *)
+
+val wait : t -> unit
+(** Block until the queue is empty and no task is executing. *)
+
+val shutdown : t -> unit
+(** Graceful drain: stop admitting, run every already-queued task,
+    then join all domains.  Idempotent via an atomic latch: exactly
+    one caller (the first) drains and joins; every other call — a
+    server drain racing an [at_exit] hook, a repeat from a signal
+    handler body — returns immediately without touching the mutex,
+    so no domain is ever joined twice. *)

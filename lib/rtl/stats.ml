@@ -31,14 +31,14 @@ type breakdown = {
 let area ?(synth : Hls_timing.Synthesize.result option) ?(io_widths : int list = [])
     (s : Scheduler.t) : breakdown =
   let net = s.Scheduler.s_binding.Binding.net in
-  let lib = net.Netlist.lib in
+  let lib = Netlist.lib net in
   let region = s.Scheduler.s_region in
   let synth =
     match synth with
     | Some r -> r
     | None -> Hls_timing.Synthesize.run lib (Netlist.timing_report net)
   in
-  let used_insts = List.filter (fun i -> i.Netlist.bound <> []) net.Netlist.insts in
+  let used_insts = List.filter (fun i -> i.Netlist.bound <> []) (Netlist.insts net) in
   let sized_area inst =
     match
       List.find_opt (fun (i, _, _, _) -> i = inst.Netlist.inst_id) synth.Hls_timing.Synthesize.s_per_inst
@@ -108,7 +108,7 @@ let area ?(synth : Hls_timing.Synthesize.result option) ?(io_widths : int list =
 let power ?(activity : (int, int) Hashtbl.t option) ?(iters = 1) (s : Scheduler.t)
     (bd : breakdown) ~clock_ps : float =
   let net = s.Scheduler.s_binding.Binding.net in
-  let lib = net.Netlist.lib in
+  let lib = Netlist.lib net in
   let region = s.Scheduler.s_region in
   let dfg = region.Region.dfg in
   let ii = Region.ii region in
@@ -120,14 +120,14 @@ let power ?(activity : (int, int) Hashtbl.t option) ?(iters = 1) (s : Scheduler.
     | None -> 1.0
   in
   let op_energy =
-    Hashtbl.fold
+    Netlist.fold_placements net
       (fun op_id _pl acc ->
         let op = Dfg.find dfg op_id in
         match Resource.of_op dfg op with
         | Some rt when Opkind.is_resource_op op.Dfg.kind ->
             acc +. (Library.energy lib rt *. execs_per_iter op_id)
         | _ -> acc)
-      net.Netlist.placements 0.0
+      0.0
   in
   let ra = Regalloc.analyze s in
   let reg_energy =

@@ -18,8 +18,7 @@ let region_of ?ii design =
 let check_valid (region : Region.t) (binding : Binding.t) ~ii =
   let dfg = region.Region.dfg in
   let seen = Hashtbl.create 64 in
-  Hashtbl.iter
-    (fun op pl ->
+  Hls_netlist.Netlist.iter_placements binding.Binding.net (fun op pl ->
       match pl.Binding.pl_inst with
       | Some i ->
           let key = (i, pl.Binding.pl_step mod ii) in
@@ -27,8 +26,7 @@ let check_valid (region : Region.t) (binding : Binding.t) ~ii =
             (Printf.sprintf "op %d sole owner of inst %d slot" op i)
             false (Hashtbl.mem seen key);
           Hashtbl.replace seen key op
-      | None -> ())
-    binding.Binding.net.Hls_netlist.Netlist.placements;
+      | None -> ());
   Dfg.iter_ops dfg (fun op ->
       List.iter
         (fun e ->

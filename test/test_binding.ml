@@ -193,10 +193,10 @@ let test_reset_pass_clears_chain () =
   bind_ok b (Dfg.find dfg x) ~step:0 ~inst_opt:(Some ia.Binding.inst_id);
   bind_ok b (Dfg.find dfg y) ~step:0 ~inst_opt:(Some ib.Binding.inst_id);
   Alcotest.(check bool) "chaining x into y recorded an instance edge" true
-    (Hls_timing.Cycle_detector.n_edges b.Binding.net.Netlist.chain > 0);
+    (Hls_timing.Cycle_detector.n_edges (Netlist.chain b.Binding.net) > 0);
   Binding.reset_pass b;
   Alcotest.(check int) "reset_pass leaves a fresh detector: zero edges" 0
-    (Hls_timing.Cycle_detector.n_edges b.Binding.net.Netlist.chain)
+    (Hls_timing.Cycle_detector.n_edges (Netlist.chain b.Binding.net))
 
 let test_forbidden_pair () =
   let region, _, _, mul1, _, _ = fig8_region () in
@@ -222,13 +222,13 @@ let test_rollback_on_failure () =
   let mul1 = List.find (fun o -> o.Dfg.name = "mul1") (Dfg.ops dfg) in
   bind_ok b mul1 ~step:0 ~inst_opt:(Some mi);
   bind_ok b (Dfg.find dfg add) ~step:0 ~inst_opt:(Some ai);
-  let placements_before = Hashtbl.length b.Binding.net.Netlist.placements in
+  let placements_before = Netlist.n_placed b.Binding.net in
   let gt_op = Dfg.find dfg gt in
   (match Binding.try_bind b gt_op ~step:0 ~inst_opt:(Some (Binding.add_inst b { Resource.rclass = Opkind.R_cmp_rel; in_widths = [ 32; 32 ]; out_width = 1 }).Binding.inst_id) with
   | Error _ -> ()
   | Ok () -> Alcotest.fail "expected failure");
   Alcotest.(check int) "placement count unchanged after rollback" placements_before
-    (Hashtbl.length b.Binding.net.Netlist.placements);
+    (Netlist.n_placed b.Binding.net);
   Alcotest.(check bool) "gt not placed" true (Binding.placement b gt = None)
 
 (* Regression for the quick_slack mux overcounting bug: the screen used to

@@ -128,7 +128,7 @@ let test_dedicated_instance () =
         List.filter
           (fun (i : Binding.inst) ->
             i.Binding.rtype.Hls_techlib.Resource.rclass = Opkind.R_mul && i.Binding.bound <> [])
-          s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.insts
+          (Hls_netlist.Netlist.insts s.Scheduler.s_binding.Binding.net)
       in
       Alcotest.(check bool) "a second multiplier appears" true (List.length muls >= 2)
 

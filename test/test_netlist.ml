@@ -18,15 +18,8 @@ let lib = Library.artisan90
     projections, not their representation — a rolled-back trial may leave
     them rebuilt or invalidated, which must be indistinguishable. *)
 let snapshot (net : Netlist.t) =
-  let placements =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) net.Netlist.placements [] |> List.sort compare
-  in
-  let busy =
-    Hashtbl.fold
-      (fun k v acc -> if !v = [] then acc else (k, List.sort compare !v) :: acc)
-      net.Netlist.busy []
-    |> List.sort compare
-  in
+  let placements = Netlist.fold_placements net (fun k v acc -> (k, v) :: acc) [] in
+  let busy = Netlist.dump_busy net in
   let insts =
     List.map
       (fun (i : Netlist.inst) ->
@@ -36,22 +29,15 @@ let snapshot (net : Netlist.t) =
           List.sort compare i.Netlist.bound,
           List.init ports (fun p -> Netlist.mux_inputs net i ~port:p),
           List.init ports (fun p -> Netlist.in_mux_delay net i ~port:p) ))
-      net.Netlist.insts
-    |> List.sort compare
-  in
-  let arrivals tbl =
-    Hashtbl.fold
-      (fun k (c : Netlist.cell) acc ->
-        if c.Netlist.a_live then (k, c.Netlist.a_committed) :: acc else acc)
-      tbl []
+      (Netlist.insts net)
     |> List.sort compare
   in
   ( placements,
     busy,
     insts,
-    arrivals net.Netlist.arr_true,
-    arrivals net.Netlist.arr_naive,
-    Hls_timing.Cycle_detector.n_edges net.Netlist.chain )
+    Netlist.committed_arrivals net Netlist.Accurate,
+    Netlist.committed_arrivals net Netlist.Naive,
+    Hls_timing.Cycle_detector.n_edges (Netlist.chain net) )
 
 let scheduled_example1 () =
   let e = Hls_frontend.Elaborate.design (Hls_designs.Example1.design ()) in
@@ -67,9 +53,9 @@ let test_rollback_restores () =
   let net = s.Scheduler.s_binding.Hls_core.Binding.net in
   let before = snapshot net in
   let op_id, pl =
-    Hashtbl.fold
+    Netlist.fold_placements net
       (fun k v acc -> match v.Netlist.pl_inst with Some _ -> (k, v) | None -> acc)
-      net.Netlist.placements (-1, { Netlist.pl_step = 0; pl_finish = 0; pl_inst = None })
+      (-1, { Netlist.pl_step = 0; pl_finish = 0; pl_inst = None })
   in
   Alcotest.(check bool) "found a bound op" true (op_id >= 0);
   Netlist.begin_trial net;
@@ -92,7 +78,7 @@ let test_commit_idempotent_and_reference () =
   let net = s.Scheduler.s_binding.Hls_core.Binding.net in
   let before = snapshot net in
   Netlist.begin_trial net;
-  Hashtbl.iter (fun op _ -> ignore (Netlist.recompute_arrival net op)) net.Netlist.placements;
+  Netlist.iter_placements net (fun op _ -> ignore (Netlist.recompute_arrival net op));
   Netlist.commit net;
   Alcotest.(check bool) "commit of a no-op trial is a no-op" true (snapshot net = before);
   Alcotest.(check bool) "incremental state matches the reference evaluator" true
@@ -181,21 +167,142 @@ let prop_incremental_matches_reference =
           let net = s.Scheduler.s_binding.Hls_core.Binding.net in
           let dev0 = Netlist.reference_deviation net in
           Netlist.begin_trial net;
-          Hashtbl.iter (fun op _ -> ignore (Netlist.recompute_arrival net op)) net.Netlist.placements;
+          Netlist.iter_placements net (fun op _ -> ignore (Netlist.recompute_arrival net op));
           Netlist.rollback net;
           Netlist.begin_trial net;
-          Hashtbl.iter (fun op _ -> ignore (Netlist.recompute_arrival net op)) net.Netlist.placements;
+          Netlist.iter_placements net (fun op _ -> ignore (Netlist.recompute_arrival net op));
           Netlist.commit net;
           let dev1 = Netlist.reference_deviation net in
           if dev0 > 0.05 || dev1 > 0.05 then
             QCheck.Test.fail_reportf "deviation %.6f / %.6f ps exceeds tolerance" dev0 dev1
           else true)
 
+(* Scale oracle property: on ≥1k-op designs the scheduling run is
+   rollback-heavy (thousands of failed trials roll back their partial
+   propagations), and the bounded-incremental arrival state must still
+   match the from-scratch reference — including after an extra storm of
+   failed rebind trials against the finished schedule. *)
+let prop_large_design_matches_reference =
+  QCheck.Test.make ~name:"bounded propagation matches reference on 1k-op designs" ~count:2
+    QCheck.(int_range 1 10000)
+    (fun seed ->
+      let region = synthetic_region seed ~ops:500 in
+      let n_ops = Dfg.fold_ops region.Region.dfg (fun _ n -> n + 1) 0 in
+      if n_ops < 1000 then QCheck.Test.fail_reportf "generator produced only %d ops" n_ops;
+      match Scheduler.schedule ~lib ~clock_ps:1600.0 region with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok s ->
+          let st = Scheduler.stats s in
+          if st.Scheduler.st_rollbacks < 100 then
+            QCheck.Test.fail_reportf "run not rollback-heavy (%d rollbacks)"
+              st.Scheduler.st_rollbacks;
+          let net = s.Scheduler.s_binding.Hls_core.Binding.net in
+          let dev0 = Netlist.reference_deviation net in
+          (* rebind storm: re-trialing placed ops fails (their slot is
+             occupied) and every partial propagation rolls back *)
+          let b = s.Scheduler.s_binding in
+          let stormed = ref 0 in
+          Netlist.iter_placements net (fun op_id pl ->
+              if !stormed < 200 then
+                match pl.Netlist.pl_inst with
+                | Some i ->
+                    incr stormed;
+                    (match
+                       Binding.try_bind b (Dfg.find region.Region.dfg op_id)
+                         ~step:pl.Netlist.pl_step ~inst_opt:(Some i)
+                     with
+                    | Ok () -> QCheck.Test.fail_reportf "rebind of a placed op succeeded"
+                    | Error _ -> ())
+                | None -> ());
+          let dev1 = Netlist.reference_deviation net in
+          if dev0 > 0.05 || dev1 > 0.05 then
+            QCheck.Test.fail_reportf "deviation %.6f / %.6f ps exceeds tolerance" dev0 dev1
+          else true)
+
+(* Bounded propagation: re-propagating from a seed whose arrival is
+   already settled visits exactly the seed — strictly fewer cells than
+   the seed's fanout cone — because propagation stops at unchanged
+   arrivals instead of walking the cone. *)
+let test_propagation_bounded_by_change () =
+  let s = scheduled_example1 () in
+  let net = s.Scheduler.s_binding.Hls_core.Binding.net in
+  let dfg = Netlist.dfg net in
+  let seed =
+    Netlist.fold_placements net
+      (fun op _ acc -> if Dfg.fanout_cone_size dfg op > 1 then max acc op else acc)
+      (-1)
+  in
+  Alcotest.(check bool) "found a placed op with a fanout cone" true (seed >= 0);
+  let cone = Dfg.fanout_cone_size dfg seed in
+  let v0 = (Netlist.stats net).Netlist.s_visits in
+  Netlist.begin_trial net;
+  ignore (Netlist.propagate net ~decision:Netlist.Accurate [ seed ]);
+  Netlist.rollback net;
+  let visited = (Netlist.stats net).Netlist.s_visits - v0 in
+  Alcotest.(check int) "unchanged arrival: only the seed is visited" 1 visited;
+  Alcotest.(check bool)
+    (Printf.sprintf "visited %d < fanout cone %d" visited cone)
+    true (visited < cone)
+
+(* Satellite: rebinding an op already bound to the instance is a no-op —
+   the attach keeps the mux caches, and a storm of such rebinds issues no
+   netlist timing queries and perturbs no observable. *)
+let test_rebind_storm_is_free () =
+  let s = scheduled_example1 () in
+  let b = s.Scheduler.s_binding in
+  let net = b.Hls_core.Binding.net in
+  let before = snapshot net in
+  let q0 = (Scheduler.stats s).Scheduler.st_queries in
+  List.iter
+    (fun (i : Netlist.inst) ->
+      List.iter (fun op -> for _ = 1 to 50 do Netlist.attach net i op done) i.Netlist.bound)
+    (Netlist.insts net);
+  Netlist.iter_placements net (fun op_id pl ->
+      match pl.Netlist.pl_inst with
+      | Some i ->
+          (* a full rebind attempt of a placed op fails on the busy check,
+             before any trial opens *)
+          (match
+             Binding.try_bind b (Dfg.find (Netlist.dfg net) op_id) ~step:pl.Netlist.pl_step
+               ~inst_opt:(Some i)
+           with
+          | Ok () -> Alcotest.fail "rebind of a placed op succeeded"
+          | Error _ -> ())
+      | None -> ());
+  Alcotest.(check int) "no timing queries issued" q0 (Scheduler.stats s).Scheduler.st_queries;
+  Alcotest.(check bool) "all observables unchanged" true (snapshot net = before)
+
+(* Satellite: instance registration is linear-ish — 5k instances register
+   well under a generous wall bound (the former [insts @ [inst]] pattern
+   was quadratic), and the registration order is preserved. *)
+let test_inst_registration_linear () =
+  let region = synthetic_region 7 ~ops:100 in
+  let net = Netlist.create ~lib ~clock_ps:1600.0 region in
+  let rt =
+    { Resource.rclass = Opkind.R_addsub; in_widths = [ 32; 32 ]; out_width = 32 }
+  in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 5000 do
+    ignore (Netlist.add_inst net rt)
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "5000 instances registered" 5000 (Netlist.n_insts net);
+  let ids = List.map (fun (i : Netlist.inst) -> i.Netlist.inst_id) (Netlist.insts net) in
+  Alcotest.(check bool) "registration order (ascending ids)" true (ids = List.init 5000 Fun.id);
+  Alcotest.(check bool)
+    (Printf.sprintf "registration of 5k instances took %.3fs (< 1s)" dt)
+    true (dt < 1.0)
+
 let suite =
   [
     Alcotest.test_case "rollback restores all observables" `Quick test_rollback_restores;
     Alcotest.test_case "no-op trial commit is idempotent" `Quick test_commit_idempotent_and_reference;
     Alcotest.test_case "nested trials rejected" `Quick test_nested_trial_rejected;
+    Alcotest.test_case "propagation bounded by change, not fanout cone" `Quick
+      test_propagation_bounded_by_change;
+    Alcotest.test_case "rebind storm issues no queries" `Quick test_rebind_storm_is_free;
+    Alcotest.test_case "5k-instance registration stays linear" `Quick test_inst_registration_linear;
     QCheck_alcotest.to_alcotest prop_failed_bind_is_invisible;
     QCheck_alcotest.to_alcotest prop_incremental_matches_reference;
+    QCheck_alcotest.to_alcotest prop_large_design_matches_reference;
   ]

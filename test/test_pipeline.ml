@@ -21,14 +21,12 @@ let test_fig5_fold () =
   Alcotest.(check int) "two stages" 2 f.Pipeline.f_stages;
   Alcotest.(check (list string)) "fold invariants hold" [] (Pipeline.validate s f);
   (* every placed op folds to (step mod 2, step / 2) *)
-  Hashtbl.iter
-    (fun op pl ->
+  Hls_netlist.Netlist.iter_placements s.Scheduler.s_binding.Binding.net (fun op pl ->
       match Pipeline.kernel_state f op with
       | Some (st, sg) ->
           Alcotest.(check int) "kernel state" (pl.Binding.pl_step mod 2) st;
           Alcotest.(check int) "stage" (pl.Binding.pl_step / 2) sg
       | None -> Alcotest.fail "placed op missing from fold")
-    s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.placements
 
 let test_sequential_identity_fold () =
   let s = schedule (Hls_designs.Example1.design ~max_latency:3 ()) in

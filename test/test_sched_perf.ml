@@ -76,9 +76,9 @@ let test_ops_on_step_contract () =
     (* reference: the historic fold over every placement *)
     let reference =
       List.sort compare
-        (Hashtbl.fold
+        (Hls_netlist.Netlist.fold_placements net
            (fun op (pl : Binding.placement) acc -> if pl.Binding.pl_step = step then op :: acc else acc)
-           net.Hls_netlist.Netlist.placements [])
+           [])
     in
     let indexed = Scheduler.ops_on_step s step in
     Alcotest.(check (list int))
@@ -96,10 +96,10 @@ let observables (s : Scheduler.t) =
   let b = s.Scheduler.s_binding in
   let placements =
     List.sort compare
-      (Hashtbl.fold
+      (Hls_netlist.Netlist.fold_placements b.Binding.net
          (fun op (pl : Binding.placement) acc ->
            (op, pl.Binding.pl_step, pl.Binding.pl_finish, pl.Binding.pl_inst) :: acc)
-         b.Binding.net.Hls_netlist.Netlist.placements [])
+         [])
   in
   let insts =
     List.sort compare
@@ -107,7 +107,7 @@ let observables (s : Scheduler.t) =
          (fun (i : Binding.inst) ->
            (i.Binding.inst_id, Hls_techlib.Resource.to_string i.Binding.rtype,
             List.sort compare i.Binding.bound))
-         b.Binding.net.Hls_netlist.Netlist.insts)
+         (Hls_netlist.Netlist.insts b.Binding.net))
   in
   (s.Scheduler.s_li, s.Scheduler.s_passes, s.Scheduler.s_actions, placements, insts)
 
@@ -167,6 +167,44 @@ let test_pass_counters () =
           Alcotest.(check int) "legacy cold count = passes" stc.Scheduler.st_passes
             stc.Scheduler.st_cold_passes)
 
+(** Region-parallel analysis is deterministic: the same design scheduled
+    with 1 and 4 analysis workers yields bit-identical observables (SCC
+    results are merged in index order, so the worker count can only change
+    wall time, never the outcome). *)
+let prop_jobs_deterministic =
+  QCheck.Test.make ~name:"schedule observables identical across --jobs" ~count:20
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let profile =
+        {
+          Hls_designs.Synthetic.default_profile with
+          Hls_designs.Synthetic.p_ops = 40 + (seed mod 120);
+          p_seed = seed;
+          p_tightness = 0.2 +. (float_of_int (seed mod 5) /. 10.0);
+          p_accumulators = 1 + (seed mod 3);
+        }
+      in
+      let d = Hls_designs.Synthetic.design ~profile () in
+      let ii = if seed mod 3 = 0 then Some (1 + (seed mod 3)) else None in
+      let run jobs =
+        Scheduler.set_jobs jobs;
+        let r = schedule_design ?ii d |> snd in
+        Scheduler.set_jobs 1;
+        r
+      in
+      match (run 1, run 4) with
+      | Ok a, Ok b ->
+          if observables a = observables b then true
+          else QCheck.Test.fail_reportf "1-job and 4-job schedules diverge (seed %d)" seed
+      | Error a, Error b ->
+          if a.Scheduler.e_code = b.Scheduler.e_code then true
+          else
+            QCheck.Test.fail_reportf "jobs=1 error %s vs jobs=4 error %s (seed %d)"
+              a.Scheduler.e_code b.Scheduler.e_code seed
+      | Ok _, Error e | Error e, Ok _ ->
+          QCheck.Test.fail_reportf "jobs disagree on feasibility: %s (seed %d)" e.Scheduler.e_code
+            seed)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_heap_order;
@@ -174,4 +212,5 @@ let suite =
     Alcotest.test_case "ops_on_step matches placements fold" `Quick test_ops_on_step_contract;
     QCheck_alcotest.to_alcotest prop_warm_equals_cold;
     Alcotest.test_case "warm/cold pass counters" `Quick test_pass_counters;
+    QCheck_alcotest.to_alcotest prop_jobs_deterministic;
   ]

@@ -24,9 +24,9 @@ let kind_of (e : Hls_frontend.Elaborate.t) id =
 
 let step_of_kind e s k =
   let matches =
-    Hashtbl.fold
+    Hls_netlist.Netlist.fold_placements s.Scheduler.s_binding.Binding.net
       (fun id pl acc -> if kind_of e id = k then (id, pl.Binding.pl_step) :: acc else acc)
-      s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.placements []
+      []
   in
   List.sort compare (List.map snd matches)
 
@@ -39,7 +39,7 @@ let test_table2_sequential () =
     List.filter
       (fun (i : Binding.inst) ->
         i.Binding.rtype.Hls_techlib.Resource.rclass = Opkind.R_mul && i.Binding.bound <> [])
-      s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.insts
+      (Hls_netlist.Netlist.insts s.Scheduler.s_binding.Binding.net)
   in
   Alcotest.(check int) "single multiplier" 1 (List.length muls);
   Alcotest.(check int) "it executes all three multiplications" 3
@@ -63,7 +63,7 @@ let test_example2_ii2 () =
     List.filter
       (fun (i : Binding.inst) ->
         i.Binding.rtype.Hls_techlib.Resource.rclass = Opkind.R_mul && i.Binding.bound <> [])
-      s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.insts
+      (Hls_netlist.Netlist.insts s.Scheduler.s_binding.Binding.net)
   in
   (* "two mul resources must be created" *)
   Alcotest.(check int) "two multipliers" 2 (List.length muls);
@@ -81,7 +81,7 @@ let test_example3_ii1 () =
     List.filter
       (fun (i : Binding.inst) ->
         i.Binding.rtype.Hls_techlib.Resource.rclass = Opkind.R_mul && i.Binding.bound <> [])
-      s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.insts
+      (Hls_netlist.Netlist.insts s.Scheduler.s_binding.Binding.net)
   in
   (* "no resource is shareable ... hence 3 multipliers" *)
   Alcotest.(check int) "three multipliers" 3 (List.length muls);
@@ -139,12 +139,10 @@ let test_anchor_respected () =
   match Scheduler.schedule ~lib ~clock_ps:1600.0 region with
   | Ok s ->
       let dfg = e.Hls_frontend.Elaborate.cdfg.Cdfg.dfg in
-      Hashtbl.iter
-        (fun id pl ->
+      Hls_netlist.Netlist.iter_placements s.Scheduler.s_binding.Binding.net (fun id pl ->
           match (Dfg.find dfg id).Dfg.anchor with
           | Some a -> Alcotest.(check int) "anchored op at its step" a pl.Binding.pl_step
           | None -> ())
-        s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.placements
   | Error err -> Alcotest.failf "timed schedule failed: %s" err.Scheduler.e_message
 
 let test_all_members_placed () =
@@ -179,7 +177,7 @@ let test_busy_exclusivity () =
               Hashtbl.replace by_step pl.Binding.pl_step (o :: prev)
           | None -> ())
         i.Binding.bound)
-    s.Scheduler.s_binding.Binding.net.Hls_netlist.Netlist.insts
+    (Hls_netlist.Netlist.insts s.Scheduler.s_binding.Binding.net)
 
 let test_table_rendering () =
   let _, s = schedule_example1 () in
