@@ -1,4 +1,4 @@
-.PHONY: all build test faults dse check fmt ci bench bench-dse bench-netlist bench-sched bench-scale scale-smoke bench-smoke bench-serve serve-smoke chaos-smoke exit-codes golden clean
+.PHONY: all build test faults dse check fmt ci bench bench-dse bench-netlist bench-sched bench-scale bench-nest nest-smoke scale-smoke bench-smoke bench-serve serve-smoke chaos-smoke exit-codes golden clean
 
 all: build
 
@@ -67,6 +67,18 @@ bench-scale:
 # generous wall-clock guard on the 1k point (MAX_WALL_1K to override)
 scale-smoke:
 	./scripts/scale_smoke.sh
+
+# the loop-nest experiment: 1-D unroll baseline vs the flattened
+# multi-dimensional pipeline vs hierarchical composition on the two
+# checked-in nest examples, written to BENCH_nest.json
+bench-nest:
+	dune exec bench/main.exe -- nest
+
+# what CI's nest-smoke job runs: both nest examples through `hlsc flow`
+# with per-dimension IIs, the unroll_overflow refusal on stencil2d, and
+# the bench nest multi-D verdict
+nest-smoke:
+	./scripts/nest_smoke.sh
 
 # the compile-service experiment, two phases written to BENCH_serve.json
 # as {"load":…,"chaos":…}: (1) a clean daemon driven by 8 concurrent

@@ -287,8 +287,8 @@ let idct_points () =
 let idct_point_name (p : Hls_dse.Dse.point) =
   let l = Option.value p.Hls_dse.Dse.pt_min_latency ~default:0 in
   match p.Hls_dse.Dse.pt_ii with
-  | Some _ -> Printf.sprintf "Pipelined %d" l
-  | None -> Printf.sprintf "Non-Pipelined %d" l
+  | Hls_dse.Dse.Seq -> Printf.sprintf "Non-Pipelined %d" l
+  | _ -> Printf.sprintf "Pipelined %d" l
 
 let idct_sweep_options =
   { (flow_opts ()) with Hls_flow.Flow.verify = false }
@@ -902,6 +902,94 @@ let bench_scale () =
   print_endline "wrote BENCH_scale.json"
 
 (* ------------------------------------------------------------------ *)
+(* Loop-nest pipelining: unroll-based 1-D baseline vs the flattened     *)
+(* multi-dimensional pipeline vs hierarchical bottom-up composition     *)
+(* (BENCH_nest.json)                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_nest () =
+  section "NEST — 1-D unroll baseline vs multi-dimensional pipelining (BENCH_nest.json)";
+  let module Flow = Hls_flow.Flow in
+  let workloads =
+    [
+      ("matmul", "examples/matmul.bhv", [ 8; 1 ]);
+      ("stencil2d", "examples/stencil2d.bhv", [ 8400; 2 ]);
+    ]
+  in
+  let json_of_flow (r : Flow.t) =
+    let a = r.Flow.f_area in
+    Printf.sprintf
+      {|{"ok":true,"ii":%d,"ii_dims":[%s],"li":%d,"delay_ps":%.0f,"area":%.0f,"tier":"%s","verified":%b}|}
+      r.Flow.f_cycles_per_iter
+      (String.concat "," (List.map string_of_int (Flow.per_dim_iis r)))
+      r.Flow.f_sched.Scheduler.s_li r.Flow.f_delay_ps a.Hls_rtl.Stats.a_total
+      (Flow.tier_to_string r.Flow.f_tier)
+      (match r.Flow.f_equiv with Some v -> v.Hls_sim.Equiv.equivalent | None -> false)
+  in
+  let json_err (d : Hls_diag.Diag.t) =
+    Printf.sprintf {|{"ok":false,"code":"%s"}|} d.Hls_diag.Diag.d_code
+  in
+  let sim_iters = if !smoke then 20 else 60 in
+  let rows =
+    List.map
+      (fun (name, path, dims) ->
+        let design = Parser.parse_file path in
+        let run ~nest_mode ~ii ~ii_dims =
+          Flow.run
+            ~options:
+              { Flow.default_options with ii; ii_dims; nest_mode; sim_iters; degrade = false }
+            design
+        in
+        (* 1-D baseline: fully unroll the inner dimension, then pipeline
+           the single remaining loop as before this PR *)
+        let unroll = run ~nest_mode:`Unroll ~ii:(Some 1) ~ii_dims:None in
+        let unroll =
+          match unroll with Ok _ -> unroll | Error _ -> run ~nest_mode:`Unroll ~ii:(Some 2) ~ii_dims:None
+        in
+        (* flattened multi-dimensional pipeline at the per-dimension request *)
+        let flat = run ~nest_mode:`Flatten ~ii:None ~ii_dims:(Some dims) in
+        (* hierarchical bottom-up composition (inner kernel as super-op) *)
+        let hier = Nest_sched.compose ~lib ~clock_ps:clock design in
+        let show tag = function
+          | Ok r -> Printf.printf "  %-10s %-8s %s\n%!" name tag (Flow.summary r)
+          | Error d ->
+              Printf.printf "  %-10s %-8s infeasible (%s)\n%!" name tag d.Hls_diag.Diag.d_code
+        in
+        show "unroll" unroll;
+        show "flatten" flat;
+        (match hier with
+        | Ok h -> Printf.printf "  %-10s %-8s %s\n%!" name "hier" (Nest_sched.summary h)
+        | Error m -> Printf.printf "  %-10s %-8s infeasible (%s)\n%!" name "hier" m);
+        let hier_json =
+          match hier with
+          | Ok h ->
+              Printf.sprintf {|{"ok":true,"inner_ii":%d,"span":%d,"outer_ii":%d,"ii_dims":[%s]}|}
+                h.Nest_sched.ns_inner_ii h.Nest_sched.ns_span h.Nest_sched.ns_outer_ii
+                (String.concat "," (List.map string_of_int h.Nest_sched.ns_per_dim_iis))
+          | Error _ -> {|{"ok":false}|}
+        in
+        let flat_beats_unroll =
+          match (flat, unroll) with
+          | Ok _, Error _ -> true (* multi-D schedules a nest the 1-D baseline refuses *)
+          | Ok f, Ok u -> f.Flow.f_area.Hls_rtl.Stats.a_total < u.Flow.f_area.Hls_rtl.Stats.a_total
+          | _ -> false
+        in
+        Printf.sprintf
+          {|{"design":"%s","requested_ii_dims":[%s],"unroll":%s,"flatten":%s,"hier":%s,"multi_d_wins":%b}|}
+          name
+          (String.concat "," (List.map string_of_int dims))
+          (match unroll with Ok r -> json_of_flow r | Error d -> json_err d)
+          (match flat with Ok r -> json_of_flow r | Error d -> json_err d)
+          hier_json flat_beats_unroll)
+      workloads
+  in
+  let oc = open_out "BENCH_nest.json" in
+  Printf.fprintf oc {|{"clock_ps":%.0f,"workloads":[%s]}
+|} clock (String.concat "," rows);
+  close_out oc;
+  print_endline "wrote BENCH_nest.json"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -918,6 +1006,7 @@ let experiments =
     ("sched", bench_sched);
     ("netlist", bench_netlist);
     ("scale", bench_scale);
+    ("nest", bench_nest);
     ("examples", examples);
     ("baselines", baselines);
     ("ablation-timing", ablation_timing);

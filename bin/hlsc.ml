@@ -37,7 +37,10 @@ let guarded f =
   | Parser.Error { line; message } | Lexer.Error { line; message } ->
       prerr_endline (Printf.sprintf "hlsc: line %d: %s" line message);
       exit 1
-  | Desugar.Error m | Failure m | Invalid_argument m | Sys_error m ->
+  | Desugar.Error f ->
+      prerr_endline ("hlsc: " ^ Hls_frontend.Fault.message f);
+      exit 1
+  | Failure m | Invalid_argument m | Sys_error m ->
       prerr_endline ("hlsc: " ^ m);
       exit 1
 
@@ -47,7 +50,23 @@ let design_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DESIGN" ~doc:"Built-in design name or .bhv file.")
 
 let ii_arg =
-  Arg.(value & opt (some int) None & info [ "ii" ] ~docv:"N" ~doc:"Pipeline with initiation interval $(docv).")
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ii" ] ~docv:"N"
+        ~doc:
+          "Pipeline with initiation interval $(docv).  For a counted loop nest, a per-dimension \
+           spec $(b,AxB) (outermost first, e.g. $(b,4x1)) requests those IIs for the flattened \
+           nest.")
+
+let nest_arg =
+  Arg.(
+    value
+    & opt (enum [ ("flatten", `Flatten); ("unroll", `Unroll) ]) `Flatten
+    & info [ "nest" ] ~docv:"MODE"
+        ~doc:
+          "Counted-nest lowering: $(b,flatten) (default; one combined induction counter) or \
+           $(b,unroll) (the 1-D baseline that fully unrolls inner loops).")
 
 let clock_arg =
   Arg.(value & opt float 1600.0 & info [ "clock" ] ~docv:"PS" ~doc:"Clock period in picoseconds (default 1600).")
@@ -108,8 +127,25 @@ let robust_term =
         { diag_json; paranoid; max_passes; timeout; no_degrade })
     $ diag_json $ paranoid $ max_passes $ timeout $ no_degrade)
 
-let flow_result ~ii ~clock ~latency ~optimize ~trace ~robust design_name =
+(* "--ii 2" -> flat II; "--ii 4x1" -> per-dimension nest II *)
+let parse_ii = function
+  | None -> Ok (None, None)
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some v when v >= 1 -> Ok (Some v, None)
+      | Some _ -> Error (Printf.sprintf "bad --ii value '%s' (expected a positive integer)" s)
+      | None -> (
+          let parts = String.split_on_char 'x' s |> List.map String.trim in
+          let dims = List.filter_map int_of_string_opt parts in
+          match dims with
+          | _ :: _ :: _ when List.length dims = List.length parts && List.for_all (fun d -> d >= 1) dims
+            ->
+              Ok (None, Some dims)
+          | _ -> Error (Printf.sprintf "bad --ii value '%s' (expected N or AxB, e.g. 4x1)" s)))
+
+let flow_result ~ii ~clock ~latency ~optimize ~trace ~robust ?(nest = `Flatten) design_name =
   let design = or_die (load_design design_name) in
+  let ii, ii_dims = or_die (parse_ii ii) in
   let min_latency, max_latency = or_die (parse_latency latency) in
   let design =
     if optimize then design (* the optimizer runs on the elaborated form inside the flow below *)
@@ -129,6 +165,8 @@ let flow_result ~ii ~clock ~latency ~optimize ~trace ~robust design_name =
     {
       Hls_flow.Flow.default_options with
       ii;
+      ii_dims;
+      nest_mode = nest;
       clock_ps = clock;
       min_latency;
       max_latency;
@@ -170,7 +208,9 @@ let compile_cmd =
     guarded @@ fun () ->
     let design = or_die (load_design name) in
     match Elaborate.design design with
-    | exception Desugar.Error m -> prerr_endline ("hlsc: " ^ m); exit 1
+    | exception Desugar.Error f ->
+        prerr_endline ("hlsc: " ^ Hls_frontend.Fault.message f);
+        exit 1
     | e ->
         let e, stats_msg =
           if optimize then
@@ -208,33 +248,39 @@ let compile_cmd =
 
 let schedule_cmd =
   let doc = "Schedule and bind a design; print the resource/state table." in
-  let run name ii clock latency trace optimize robust =
+  let run name ii clock latency trace optimize robust nest =
     guarded @@ fun () ->
-    let r = flow_result ~ii ~clock ~latency ~optimize ~trace ~robust name in
+    let r = flow_result ~ii ~clock ~latency ~optimize ~trace ~robust ~nest name in
     print_string (Render.schedule r)
   in
   Cmd.v (Cmd.info "schedule" ~doc)
-    Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term)
+    Term.(
+      const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term
+      $ nest_arg)
 
 let pipeline_cmd =
   let doc = "Schedule, fold and print the pipeline kernel (the Fig. 5 view)." in
-  let run name ii clock latency trace optimize robust =
+  let run name ii clock latency trace optimize robust nest =
     guarded @@ fun () ->
-    let r = flow_result ~ii ~clock ~latency ~optimize ~trace ~robust name in
+    let r = flow_result ~ii ~clock ~latency ~optimize ~trace ~robust ~nest name in
     print_string (Render.pipeline r)
   in
   Cmd.v (Cmd.info "pipeline" ~doc)
-    Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term)
+    Term.(
+      const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term
+      $ nest_arg)
 
 let flow_cmd =
   let doc = "Run the full flow: schedule, fold, area/power, verification." in
-  let run name ii clock latency trace optimize robust =
+  let run name ii clock latency trace optimize robust nest =
     guarded @@ fun () ->
-    let r = flow_result ~ii ~clock ~latency ~optimize ~trace ~robust name in
+    let r = flow_result ~ii ~clock ~latency ~optimize ~trace ~robust ~nest name in
     print_string (Render.flow r)
   in
   Cmd.v (Cmd.info "flow" ~doc)
-    Term.(const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term)
+    Term.(
+      const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term
+      $ nest_arg)
 
 let emit_cmd =
   let doc = "Generate Verilog for a scheduled design." in
@@ -274,7 +320,9 @@ let explore_cmd =
           ~doc:
             "Parameter grid, e.g. $(b,ii=none,2,4;latency=8..8,16;clock=1200,1600).  Dimensions \
              are semicolon-separated, values comma-separated; $(b,none) means sequential (for \
-             ii) or designer bounds (for latency); a bare latency $(b,n) means $(b,n..n).")
+             ii) or designer bounds (for latency); a bare latency $(b,n) means $(b,n..n); an II \
+             of the form $(b,AxB) (e.g. $(b,4x1)) requests per-dimension IIs for a loop nest, \
+             outermost first.")
   in
   let jobs_arg =
     Arg.(
@@ -537,6 +585,11 @@ let submit_cmd =
       no_verify diag_json =
     guarded @@ fun () ->
     let cmd = or_die (cmd_of_name cmdname) in
+    let ii, ii_dims = or_die (parse_ii ii) in
+    (match ii_dims with
+    | Some _ ->
+        or_die (Error "per-dimension --ii (AxB) is not supported over the daemon protocol yet")
+    | None -> ());
     let min_latency, max_latency = or_die (parse_latency latency) in
     let spec_design = or_die (Design_db.local_spec name) in
     let spec =

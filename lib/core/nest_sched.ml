@@ -1,0 +1,122 @@
+(** Hierarchical bottom-up scheduling of counted loop nests.
+
+    The flattening path ({!Hls_frontend.Nest.flatten}) collapses a nest
+    into one kernel and lets the ordinary scheduler run; this module is
+    the {e conservative} alternative for imperfect nests whose prologue or
+    epilogue must not share the inner kernel's II: schedule the inner loop
+    first, then re-schedule the outer dimension with the whole inner loop
+    standing in as a fixed-latency multicycle super-op.
+
+    Bottom-up composition:
+
+    + {!Hls_frontend.Nest.split} the design into an inner design (the
+      inner loop in its natural surroundings) and an outer summary design
+      where the inner loop is the black-box call
+      [{!Hls_frontend.Nest.super_op_callee}];
+    + schedule the inner design's main region (pipelined at the inner
+      II); its {e span} — the cycles one full inner-loop execution
+      occupies — is [(trip-1)*II + LI];
+    + patch the super-op's latency to the span ({!Hls_ir.Dfg.set_kind})
+      and schedule the outer region sequentially, its latency bound
+      stretched to accommodate the span;
+    + validate both folds; the outer region carries the hierarchical
+      {!Hls_ir.Region.nest} annotation, and its loop-carried closure
+      edges are tagged with the outer dimension ([carried_dim]), so
+      {!Pipeline.validate} applies the per-dimension modulo constraint.
+
+    The achieved per-dimension IIs are [outer LI] (one outer initiation
+    per sequential body execution) and the inner kernel II.  Compare
+    {!Hls_ir.Region.per_dim_iis} on the flattened path, where the outer
+    dimension initiates every [kernel II x inner trip] cycles — flattening
+    wins whenever pre/post are cheap enough to fold into the kernel. *)
+
+open Hls_ir
+open Hls_frontend
+module Library = Hls_techlib.Library
+
+type t = {
+  ns_inner : Scheduler.t;
+  ns_outer : Scheduler.t;
+  ns_info : Nest.info;
+  ns_span : int;  (** cycles one full inner-loop execution occupies *)
+  ns_inner_ii : int;  (** inner kernel initiation interval *)
+  ns_outer_ii : int;  (** achieved outer initiation interval (= outer LI) *)
+  ns_per_dim_iis : int list;  (** outermost first: [outer; inner] *)
+  ns_latency : int;  (** total nest latency estimate, cycles *)
+}
+
+let span ~trip ~ii ~li = ((trip - 1) * ii) + li
+
+(** Schedule a 2-level nest bottom-up.  [inner_ii] overrides the inner
+    loop's source II request (default: that request, or 1). *)
+let compose ?inner_ii ?(opts = Scheduler.default_options) ~lib ~clock_ps (design : Ast.design) :
+    (t, string) result =
+  match Nest.split design with
+  | None -> Error "no eligible 2-level counted nest at the top level"
+  | Some (inner_d, outer_d, info) -> (
+      let outer_dim, inner_dim =
+        match info.Nest.ni_dims with
+        | [ o; i ] -> (o, i)
+        | _ -> invalid_arg "Nest_sched.compose: nest is not 2-level"
+      in
+      let ii =
+        match inner_ii with
+        | Some ii -> ii
+        | None -> Option.value inner_dim.Nest.d_ii ~default:1
+      in
+      let elab_in = Elaborate.design inner_d in
+      let region_in = Elaborate.main_region ~ii elab_in in
+      match Scheduler.schedule ~opts ~lib ~clock_ps region_in with
+      | Error e -> Error (Printf.sprintf "inner kernel: %s" e.Scheduler.e_message)
+      | Ok sched_in -> (
+          let inner_ii = Region.ii sched_in.Scheduler.s_region in
+          let sp = span ~trip:inner_dim.Nest.d_trip ~ii:inner_ii ~li:sched_in.Scheduler.s_li in
+          (* The outer summary: the inner loop is a fixed-latency super-op.
+             Loop-carried closures are tagged with the outer dimension. *)
+          let elab_out = Elaborate.design ~nest:`Unroll ~carried_dim:1 outer_d in
+          let dfg = elab_out.Elaborate.cdfg.Cdfg.dfg in
+          Dfg.iter_ops dfg (fun op ->
+              match op.Dfg.kind with
+              | Opkind.Call c when c.Opkind.callee = Nest.super_op_callee ->
+                  Dfg.set_kind dfg op.Dfg.id
+                    (Opkind.Call { c with Opkind.call_latency = sp })
+              | _ -> ());
+          match elab_out.Elaborate.loop with
+          | None -> Error "outer summary design lost its loop"
+          | Some li -> (
+              let region_out =
+                Region.create ~min_steps:1 ~max_steps:(sp + 64) ?continue_cond:li.Elaborate.li_continue
+                  ?stall_cond:li.Elaborate.li_stall ~is_loop:true
+                  ~source_waits:li.Elaborate.li_waits ~members:li.Elaborate.li_members
+                  ~nest:(Nest.region_nest info ~flattened:false)
+                  ~name:info.Nest.ni_flat_name dfg
+              in
+              match Scheduler.schedule ~opts ~lib ~clock_ps region_out with
+              | Error e -> Error (Printf.sprintf "outer summary: %s" e.Scheduler.e_message)
+              | Ok sched_out -> (
+                  let check sched =
+                    let fold = Pipeline.fold sched in
+                    Pipeline.validate sched fold
+                  in
+                  match check sched_in @ check sched_out with
+                  | _ :: _ as errs ->
+                      Error ("fold invariants: " ^ String.concat "; " errs)
+                  | [] ->
+                      let outer_ii = sched_out.Scheduler.s_li in
+                      Ok
+                        {
+                          ns_inner = sched_in;
+                          ns_outer = sched_out;
+                          ns_info = info;
+                          ns_span = sp;
+                          ns_inner_ii = inner_ii;
+                          ns_outer_ii = outer_ii;
+                          ns_per_dim_iis = [ outer_ii; inner_ii ];
+                          ns_latency = outer_dim.Nest.d_trip * outer_ii;
+                        }))))
+
+let summary t =
+  Printf.sprintf "nest %s: inner II=%d span=%d outer LI=%d per-dim II=[%s] latency=%d"
+    t.ns_info.Nest.ni_flat_name t.ns_inner_ii t.ns_span t.ns_outer_ii
+    (String.concat "x" (List.map string_of_int t.ns_per_dim_iis))
+    t.ns_latency

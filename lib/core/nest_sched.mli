@@ -1,0 +1,37 @@
+(** Hierarchical bottom-up scheduling of counted loop nests: the
+    conservative alternative to frontend flattening.  The inner loop is
+    scheduled first (pipelined at its II); the outer dimension is then
+    re-scheduled sequentially with the whole inner loop as a
+    fixed-latency multicycle super-op of latency
+    [span = (trip-1)*II + LI].  The outer region carries the
+    hierarchical {!Hls_ir.Region.nest} annotation with its loop-carried
+    closures tagged [dim = 1], exercising {!Pipeline.validate}'s
+    per-dimension modulo constraint. *)
+
+type t = {
+  ns_inner : Scheduler.t;
+  ns_outer : Scheduler.t;
+  ns_info : Hls_frontend.Nest.info;
+  ns_span : int;  (** cycles one full inner-loop execution occupies *)
+  ns_inner_ii : int;  (** inner kernel initiation interval *)
+  ns_outer_ii : int;  (** achieved outer initiation interval (= outer LI) *)
+  ns_per_dim_iis : int list;  (** outermost first: [outer; inner] *)
+  ns_latency : int;  (** total nest latency estimate, cycles *)
+}
+
+val span : trip:int -> ii:int -> li:int -> int
+(** [(trip-1)*II + LI]: cycles one full loop execution occupies. *)
+
+val compose :
+  ?inner_ii:int ->
+  ?opts:Scheduler.options ->
+  lib:Hls_techlib.Library.t ->
+  clock_ps:float ->
+  Hls_frontend.Ast.design ->
+  (t, string) result
+(** Schedule a 2-level nest bottom-up; [Error] when the design has no
+    eligible nest or either schedule fails.  [inner_ii] overrides the
+    inner loop's source II request. *)
+
+val summary : t -> string
+(** One-line report: inner II, span, outer LI, per-dimension IIs. *)

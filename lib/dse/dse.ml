@@ -33,15 +33,31 @@ module Diag = Hls_diag.Diag
 (* ------------------------------------------------------------------ *)
 (* Grid *)
 
+(** An initiation-interval request: sequential, one flat II, or a
+    per-dimension vector for a loop nest (outermost first, e.g.
+    [Dims [4; 1]] = outer initiation every 4 cycles, inner every 1). *)
+type ii_spec = Seq | Flat of int | Dims of int list
+
+let ii_label = function
+  | Seq -> "seq"
+  | Flat ii -> Printf.sprintf "ii=%d" ii
+  | Dims ds -> Printf.sprintf "ii=%s" (String.concat "x" (List.map string_of_int ds))
+
 type point = {
-  pt_ii : int option;
+  pt_ii : ii_spec;
   pt_min_latency : int option;
   pt_max_latency : int option;
   pt_clock_ps : float;
 }
 
-let point ?ii ?min_latency ?max_latency ~clock_ps () =
-  { pt_ii = ii; pt_min_latency = min_latency; pt_max_latency = max_latency; pt_clock_ps = clock_ps }
+let point ?ii ?ii_dims ?min_latency ?max_latency ~clock_ps () =
+  let pt_ii =
+    match (ii_dims, ii) with
+    | Some ds, _ -> Dims ds
+    | None, Some ii -> Flat ii
+    | None, None -> Seq
+  in
+  { pt_ii; pt_min_latency = min_latency; pt_max_latency = max_latency; pt_clock_ps = clock_ps }
 
 let point_label p =
   let lat =
@@ -51,17 +67,15 @@ let point_label p =
         let s = function None -> "_" | Some v -> string_of_int v in
         s lo ^ ".." ^ s hi
   in
-  Printf.sprintf "%s lat=%s clk=%.0f"
-    (match p.pt_ii with None -> "seq" | Some ii -> Printf.sprintf "ii=%d" ii)
-    lat p.pt_clock_ps
+  Printf.sprintf "%s lat=%s clk=%.0f" (ii_label p.pt_ii) lat p.pt_clock_ps
 
 type grid = {
-  g_iis : int option list;
+  g_iis : ii_spec list;
   g_latencies : (int option * int option) list;
   g_clocks : float list;
 }
 
-let grid ?(iis = [ None ]) ?(latencies = [ (None, None) ]) ?(clocks = [ 1600.0 ]) () =
+let grid ?(iis = [ Seq ]) ?(latencies = [ (None, None) ]) ?(clocks = [ 1600.0 ]) () =
   { g_iis = iis; g_latencies = latencies; g_clocks = clocks }
 
 let grid_points g =
@@ -87,7 +101,28 @@ let parse_grid spec =
     | Some v when v >= 1 -> Ok v
     | _ -> Error (Printf.sprintf "bad %s value '%s' (expected a positive integer)" what s)
   in
-  let parse_ii s = if s = "none" then Ok None else Result.map Option.some (parse_int "ii" s) in
+  let parse_ii s =
+    if s = "none" then Ok Seq
+    else
+      match String.index_opt s 'x' with
+      | None -> Result.map (fun ii -> Flat ii) (parse_int "ii" s)
+      | Some _ -> (
+          let parts = String.split_on_char 'x' s |> List.map String.trim in
+          if List.exists (fun p -> p = "") parts || List.length parts < 2 then
+            Error (Printf.sprintf "bad ii value '%s' (expected N or AxB per-dimension spec)" s)
+          else
+            let rec all = function
+              | [] -> Ok []
+              | p :: ps -> (
+                  match int_of_string_opt p with
+                  | Some v when v >= 1 -> (
+                      match all ps with Ok vs -> Ok (v :: vs) | Error e -> Error e)
+                  | _ ->
+                      Error
+                        (Printf.sprintf "bad ii value '%s' (each dimension must be a positive integer)" s))
+            in
+            match all parts with Ok ds -> Ok (Dims ds) | Error e -> Error e)
+  in
   let parse_latency s =
     if s = "none" then Ok (None, None)
     else
@@ -202,7 +237,8 @@ let runs_performed t = t.runs
 let options_of ~(options : Flow.options) p =
   {
     options with
-    Flow.ii = p.pt_ii;
+    Flow.ii = (match p.pt_ii with Flat ii -> Some ii | Seq | Dims _ -> None);
+    ii_dims = (match p.pt_ii with Dims ds -> Some ds | Seq | Flat _ -> None);
     min_latency = p.pt_min_latency;
     max_latency = p.pt_max_latency;
     clock_ps = p.pt_clock_ps;
@@ -465,10 +501,14 @@ let json_str s = "\"" ^ json_escape s ^ "\""
 
 let json_opt_int = function None -> "null" | Some v -> string_of_int v
 
+let json_ii = function
+  | Seq -> "null"
+  | Flat ii -> string_of_int ii
+  | Dims ds -> "[" ^ String.concat "," (List.map string_of_int ds) ^ "]"
+
 let point_to_json p =
-  Printf.sprintf {|{"ii":%s,"min_latency":%s,"max_latency":%s,"clock_ps":%.1f}|}
-    (json_opt_int p.pt_ii) (json_opt_int p.pt_min_latency) (json_opt_int p.pt_max_latency)
-    p.pt_clock_ps
+  Printf.sprintf {|{"ii":%s,"min_latency":%s,"max_latency":%s,"clock_ps":%.1f}|} (json_ii p.pt_ii)
+    (json_opt_int p.pt_min_latency) (json_opt_int p.pt_max_latency) p.pt_clock_ps
 
 let result_to_json r =
   let pr = r.r_profile in

@@ -20,31 +20,47 @@
 
 (** {2 Grid} *)
 
+(** An initiation-interval request: sequential, one flat II, or a
+    per-dimension vector for a loop nest (outermost first — [Dims [4; 1]]
+    initiates the outer loop every 4 cycles and the inner every cycle). *)
+type ii_spec = Seq | Flat of int | Dims of int list
+
+val ii_label : ii_spec -> string
+(** ["seq"], ["ii=2"] or ["ii=4x1"]. *)
+
 (** One micro-architectural configuration: the fields of
     {!Hls_flow.Flow.options} the evaluation sweeps. *)
 type point = {
-  pt_ii : int option;  (** pipeline II; [None] = sequential *)
+  pt_ii : ii_spec;
   pt_min_latency : int option;
   pt_max_latency : int option;
   pt_clock_ps : float;
 }
 
 val point :
-  ?ii:int -> ?min_latency:int -> ?max_latency:int -> clock_ps:float -> unit -> point
+  ?ii:int ->
+  ?ii_dims:int list ->
+  ?min_latency:int ->
+  ?max_latency:int ->
+  clock_ps:float ->
+  unit ->
+  point
+(** [?ii_dims] wins over [?ii]; with neither the point is sequential. *)
 
 val point_label : point -> string
-(** Compact human label, e.g. ["ii=2 lat=8..8 clk=1200"]. *)
+(** Compact human label, e.g. ["ii=2 lat=8..8 clk=1200"] or
+    ["ii=4x1 lat=auto clk=1600"]. *)
 
-(** A cartesian parameter grid: II values × latency-bound pairs × clock
+(** A cartesian parameter grid: II specs × latency-bound pairs × clock
     periods. *)
 type grid = {
-  g_iis : int option list;
+  g_iis : ii_spec list;
   g_latencies : (int option * int option) list;
   g_clocks : float list;
 }
 
 val grid :
-  ?iis:int option list ->
+  ?iis:ii_spec list ->
   ?latencies:(int option * int option) list ->
   ?clocks:float list ->
   unit ->
@@ -59,7 +75,9 @@ val parse_grid : string -> (grid, string) result
 (** Parse the [--grid] specification language:
     ["ii=none,1,2;latency=8..8,16;clock=1200,1600"] — semicolon-separated
     dimensions, comma-separated values; [none] for sequential / designer
-    bounds, a bare latency [n] meaning [n..n]. *)
+    bounds, a bare latency [n] meaning [n..n].  An II value of the form
+    [AxB] (e.g. [4x1]) requests per-dimension IIs for a loop nest,
+    outermost first; each dimension must be a positive integer. *)
 
 (** {2 Results} *)
 

@@ -39,6 +39,13 @@ type options = {
   lib : Hls_techlib.Library.t;
   clock_ps : float;
   ii : int option;  (** pipeline with this initiation interval *)
+  ii_dims : int list option;
+      (** per-dimension II request for a loop nest, outermost first
+          (e.g. [[4; 1]]); the innermost entry is the kernel II, each
+          enclosing entry must equal [kernel II x stride] (checked) *)
+  nest_mode : Desugar.nest_mode;
+      (** counted-nest lowering: [`Flatten] (default) or [`Unroll] (the
+          1-D baseline that fully unrolls inner loops) *)
   min_latency : int option;  (** override the loop's latency bounds *)
   max_latency : int option;
   sched : Scheduler.options;
@@ -54,6 +61,8 @@ let default_options =
     lib = Hls_techlib.Library.artisan90;
     clock_ps = 1600.0;
     ii = None;
+    ii_dims = None;
+    nest_mode = `Flatten;
     min_latency = None;
     max_latency = None;
     sched = Scheduler.default_options;
@@ -91,14 +100,57 @@ let diag_of_sched_error (e : Scheduler.error) : Diag.t =
 
 (* ------------------------------------------------------------------ *)
 
+(** Resolve the caller's II request to the kernel II the scheduler takes.
+    A flat [ii] passes through.  A per-dimension request ([ii_dims],
+    outermost first) is validated against the flattened nest: the
+    innermost entry is the kernel II, and each enclosing dimension's entry
+    must equal [kernel II x stride of that dimension] — on the flattened
+    path an outer dimension can only initiate once per full inner sweep. *)
+let resolve_ii ~options (elab : Elaborate.t) : (int option, Diag.t) Stdlib.result =
+  match (options.ii, options.ii_dims) with
+  | Some _, _ | None, None -> Stdlib.Ok options.ii
+  | None, Some [] -> Diag.error ~phase:Diag.Frontend ~code:"nest_ii" "empty per-dimension II list"
+  | None, Some [ ii ] -> Stdlib.Ok (Some ii)
+  | None, Some dims -> (
+      match elab.Elaborate.nest with
+      | None ->
+          Diag.error ~phase:Diag.Frontend ~code:"nest_ii"
+            "per-dimension II %s requested but the design has no flattened loop nest"
+            (String.concat "x" (List.map string_of_int dims))
+      | Some info ->
+          let nd = List.length info.Hls_frontend.Nest.ni_dims in
+          if List.length dims <> nd then
+            Diag.error ~phase:Diag.Frontend ~code:"nest_ii"
+              "per-dimension II has %d entries but the nest has %d dimensions"
+              (List.length dims) nd
+          else
+            let kernel = List.nth dims (nd - 1) in
+            let trips = List.map (fun d -> d.Hls_frontend.Nest.d_trip) info.Hls_frontend.Nest.ni_dims in
+            (* stride of dimension i (outermost first) = product of trips
+               of the dimensions strictly inside it *)
+            let rec strides = function [] -> [] | _ :: rest as l ->
+              List.fold_left (fun a t -> a * t) 1 (List.tl l) :: strides rest
+            in
+            let expected = List.map (fun s -> kernel * s) (strides trips) in
+            if List.for_all2 ( = ) dims expected then Stdlib.Ok (Some kernel)
+            else
+              Diag.error ~phase:Diag.Frontend ~code:"nest_ii"
+                "per-dimension II %s is unachievable on the flattened nest: with kernel II %d the \
+                 achievable vector is %s"
+                (String.concat "x" (List.map string_of_int dims))
+                kernel
+                (String.concat "x" (List.map string_of_int expected)))
+
 (** Elaborate a design and build its main region, converting every frontend
     exception (including designer-bound violations from {!Region.create})
     into a typed diagnostic. *)
 let elaborate_guarded ~options (design : Ast.design) :
     (Elaborate.t * Region.t, Diag.t) Stdlib.result =
-  match Elaborate.design design with
-  | exception Hls_frontend.Desugar.Error m ->
-      Diag.error ~phase:Diag.Frontend ~code:"frontend" "%s" m
+  match Elaborate.design ~nest:options.nest_mode design with
+  | exception Hls_frontend.Fault.Error f ->
+      (* preserve the typed machine code (e.g. nest_shape, unroll_overflow) *)
+      Diag.error ~phase:Diag.Frontend ~code:(Hls_frontend.Fault.code f) "%s"
+        (Hls_frontend.Fault.message f)
   | exception Invalid_argument m ->
       Diag.error ~phase:Diag.Frontend ~code:"invalid_design" "%s" m
   | exception Failure m -> Diag.error ~phase:Diag.Frontend ~code:"internal" ~severity:Diag.Fatal "%s" m
@@ -108,15 +160,18 @@ let elaborate_guarded ~options (design : Ast.design) :
           Diag.error ~phase:Diag.Elaborate ~code:"invalid_cdfg" "invalid CDFG: %s"
             (String.concat "; " errs)
       | [] -> (
-          match
-            Elaborate.main_region ?ii:options.ii ?min_latency:options.min_latency
-              ?max_latency:options.max_latency elab
-          with
-          | exception Invalid_argument m ->
-              Diag.error ~phase:Diag.Elaborate ~code:"invalid_bounds" "%s" m
-          | exception Failure m ->
-              Diag.error ~phase:Diag.Elaborate ~code:"internal" ~severity:Diag.Fatal "%s" m
-          | region -> Ok (elab, region)))
+          match resolve_ii ~options elab with
+          | Stdlib.Error d -> Stdlib.Error d
+          | Stdlib.Ok ii -> (
+              match
+                Elaborate.main_region ?ii ?min_latency:options.min_latency
+                  ?max_latency:options.max_latency elab
+              with
+              | exception Invalid_argument m ->
+                  Diag.error ~phase:Diag.Elaborate ~code:"invalid_bounds" "%s" m
+              | exception Failure m ->
+                  Diag.error ~phase:Diag.Elaborate ~code:"internal" ~severity:Diag.Fatal "%s" m
+              | region -> Ok (elab, region))))
 
 (** Fold, audit, size, simulate — everything downstream of a successful
     schedule, shared by all tiers.  [check_timing] is off for the
@@ -165,9 +220,18 @@ let finish ~options ~tier ~check_timing (design : Ast.design) elab region (sched
             Hls_sim.Stimulus.small_random ~seed:options.seed ~n_iters:options.sim_iters
               ~ports:design.Ast.d_ins
           in
-          let golden = Hls_sim.Behav.run design stim in
+          let golden = Hls_sim.Behav.run ~nest:options.nest_mode design stim in
           let sim = Hls_sim.Schedule_sim.run elab sched stim in
           let v = Hls_sim.Equiv.check ~out_ports:design.Ast.d_outs golden sim in
+          let v =
+            (* nest gate: a flattened nest must also stay byte-identical
+               through the folded-kernel simulator *)
+            if Region.nest region <> None then
+              Hls_sim.Equiv.both v
+                (Hls_sim.Equiv.check_kernel ~out_ports:design.Ast.d_outs golden
+                   (Hls_sim.Kernel_sim.run elab sched stim))
+            else v
+          in
           (Some v, Some sim.Hls_sim.Schedule_sim.r_exec_counts, sim.Hls_sim.Schedule_sim.r_iters))
   in
   let* power =
@@ -223,7 +287,7 @@ let run_baseline ~options (design : Ast.design) : (t, Diag.t) Stdlib.result =
      upward from the request and serve the first configuration that folds.
      Each attempt elaborates fresh, as everywhere else in the flow. *)
   let attempt ii : (t, Diag.t) Stdlib.result =
-    match elaborate_guarded ~options:{ options with ii = None } design with
+    match elaborate_guarded ~options:{ options with ii = None; ii_dims = None } design with
     | Stdlib.Error d -> Stdlib.Error d
     | Stdlib.Ok (elab, region) -> (
         match Hls_baseline.Sehwa.schedule ~ii ~lib:options.lib ~clock_ps:options.clock_ps region with
@@ -250,7 +314,7 @@ let run_baseline ~options (design : Ast.design) : (t, Diag.t) Stdlib.result =
             in
             finish ~options ~tier:Tier_baseline ~check_timing:false design elab region sched)
   in
-  match elaborate_guarded ~options:{ options with ii = None } design with
+  match elaborate_guarded ~options:{ options with ii = None; ii_dims = None } design with
   | Stdlib.Error d -> Stdlib.Error d
   | Stdlib.Ok (_, region0) ->
       let max_ii = max 1 (region0.Region.max_steps - 1) in
@@ -293,13 +357,15 @@ let run ?(options = default_options) ?trace (design : Ast.design) : (t, Diag.t) 
               (fun j ->
                 ( Tier_relaxed_ii j,
                   fun () ->
-                    run_unified ~options:{ options with ii = Some j } ~trace
+                    run_unified ~options:{ options with ii = Some j; ii_dims = None } ~trace
                       ~tier:(Tier_relaxed_ii j) design ))
               relaxed
             @ [
                 ( Tier_sequential,
                   fun () ->
-                    run_unified ~options:{ options with ii = None } ~trace ~tier:Tier_sequential
+                    run_unified
+                      ~options:{ options with ii = None; ii_dims = None }
+                      ~trace ~tier:Tier_sequential
                       design );
               ]
         | None -> [])
@@ -326,10 +392,17 @@ let run_exn ?options ?trace design =
   | Stdlib.Ok r -> r
   | Stdlib.Error e -> failwith (Diag.to_string e)
 
+(** Achieved per-dimension IIs, outermost first, when the scheduled
+    region is a flattened loop nest; [[]] otherwise. *)
+let per_dim_iis (r : t) = Region.per_dim_iis r.f_region ~kernel_ii:r.f_cycles_per_iter
+
 let summary (r : t) =
-  Printf.sprintf "%s: LI=%d II=%d clock=%.0fps delay=%.0fps area=%.0f power=%.2fmW%s%s"
+  Printf.sprintf "%s: LI=%d II=%d clock=%.0fps delay=%.0fps area=%.0f power=%.2fmW%s%s%s"
     r.f_design.Ast.d_name r.f_sched.Scheduler.s_li r.f_cycles_per_iter r.f_clock_ps r.f_delay_ps
     r.f_area.Hls_rtl.Stats.a_total r.f_power_mw
+    (match per_dim_iis r with
+    | [] -> ""
+    | iis -> Printf.sprintf " nest-II=%s" (String.concat "x" (List.map string_of_int iis)))
     (match r.f_tier with
     | Tier_requested -> ""
     | t -> Printf.sprintf " [degraded: %s]" (tier_to_string t))

@@ -23,6 +23,13 @@ type options = {
   lib : Hls_techlib.Library.t;
   clock_ps : float;
   ii : int option;  (** pipeline with this initiation interval *)
+  ii_dims : int list option;
+      (** per-dimension II request for a loop nest, outermost first
+          (e.g. [[4; 1]]); the innermost entry is the kernel II, each
+          enclosing entry must equal [kernel II x stride] (checked) *)
+  nest_mode : Hls_frontend.Desugar.nest_mode;
+      (** counted-nest lowering: [`Flatten] (default) or [`Unroll] (the
+          1-D baseline that fully unrolls inner loops) *)
   min_latency : int option;
   max_latency : int option;
   sched : Hls_core.Scheduler.options;
@@ -59,4 +66,9 @@ val run : ?options:options -> ?trace:Hls_core.Trace.t -> Ast.design -> (t, Diag.
     many configurations.  Never raises; always terminates. *)
 
 val run_exn : ?options:options -> ?trace:Hls_core.Trace.t -> Ast.design -> t
+
+val per_dim_iis : t -> int list
+(** Achieved per-dimension IIs (outermost first) when the scheduled
+    region is a flattened loop nest; empty otherwise. *)
+
 val summary : t -> string

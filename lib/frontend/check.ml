@@ -129,12 +129,10 @@ let run (design : design) : error list =
   let errs' = check_stmts ~design ~defined ~top:true !errs design.d_body in
   List.rev errs'
 
-(** Raise {!Desugar.Error} with a readable message when [run] finds
-    problems. *)
+(** Raise {!Fault.Error} (code ["check"]) with a readable message when
+    [run] finds problems. *)
 let run_exn design =
   match run design with
   | [] -> ()
   | errs ->
-      raise
-        (Desugar.Error
-           (Printf.sprintf "design '%s': %s" design.d_name (String.concat "; " errs)))
+      Fault.fail ~code:"check" "design '%s': %s" design.d_name (String.concat "; " errs)

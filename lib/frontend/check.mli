@@ -9,4 +9,4 @@ val run : Ast.design -> error list
 (** Empty = valid. *)
 
 val run_exn : Ast.design -> unit
-(** @raise Desugar.Error with a combined message. *)
+(** @raise Fault.Error (code ["check"]) with a combined message. *)

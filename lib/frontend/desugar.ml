@@ -1,7 +1,14 @@
 (** AST lowering ahead of elaboration.
 
-    Three rewrites, applied bottom-up:
+    Four rewrites:
 
+    - Counted loop {e nests} at the top level: when {!Nest} recognizes an
+      eligible 2-level nest (and the mode is [`Flatten], the default),
+      it is collapsed into a single loop over the combined induction
+      counter instead of unrolling the inner dimension.  Ineligible
+      nests fall back to the legacy unroll lowering; if that would
+      overflow the unroll bound, a typed [nest_shape] fault names the
+      loop.
     - [For] loops: fully unrolled when requested (or when nested inside
       another loop — the paper requires inner loops to be unrolled), else
       lowered to counter initialization plus [Do_while].
@@ -15,13 +22,16 @@
       is padded, and the statement becomes a sequence of wait-free
       conditionals separated by single waits — [s1]/[s2] merging into
       [s1_2] exactly as in the paper.  Wait-free conditionals are predicated
-      directly by the elaborator. *)
+      directly by the elaborator.
+
+    All rejections raise the typed {!Fault.Error} with a stable machine
+    code and the offending loop's name. *)
 
 open Ast
 
-exception Error of string
+exception Error = Fault.Error
 
-let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+type nest_mode = [ `Flatten | `Unroll ]
 
 let max_unroll = 4096
 
@@ -61,13 +71,26 @@ let balance_if c t f =
   in
   Assign (tmp, c) :: join pieces
 
+(** Name of the first loop in the statements (for fault anchoring). *)
+let rec first_loop_name stmts =
+  List.find_map
+    (function
+      | Do_while (_, _, a) | While (_, _, a) | For (_, _, _, _, a) -> Some a.l_name
+      | If (_, t, f) -> (
+          match first_loop_name t with Some n -> Some n | None -> first_loop_name f)
+      | Assign _ | Write _ | Wait | Stall_until _ -> None)
+    stmts
+
 let rec lower_stmt ~in_loop s =
   match s with
   | Assign _ | Write _ | Wait | Stall_until _ -> [ s ]
   | If (c, t, f) ->
       let t = lower_stmts ~in_loop t and f = lower_stmts ~in_loop f in
-      if contains_loop t || contains_loop f then
-        err "loop nested under a conditional: unroll it or restructure the code";
+      if contains_loop t || contains_loop f then begin
+        let loop = match first_loop_name (t @ f) with Some n -> n | None -> "loop" in
+        Fault.fail ~loop ~code:"loop_under_conditional"
+          "loop '%s' nested under a conditional: unroll it or restructure the code" loop
+      end;
       if count_waits t > 0 || count_waits f > 0 then
         (* the balancing rewrite can expose nothing new to lower *)
         balance_if c t f
@@ -80,20 +103,25 @@ let rec lower_stmt ~in_loop s =
       match cond with
       | Int k | Int_w (k, _) ->
           if k <> 0 then [ Do_while (body, cond, attrs) ]
-          else err "while (0) loop '%s' never executes: delete it" attrs.l_name
+          else
+            Fault.fail ~loop:attrs.l_name ~code:"while_never"
+              "while (0) loop '%s' never executes: delete it" attrs.l_name
       | _ ->
-          err
+          Fault.fail ~loop:attrs.l_name ~code:"while_dynamic"
             "data-dependent 'while' loop '%s' is not supported: use do/while (the loop body must \
              execute at least once)"
             attrs.l_name)
   | For (v, lo, hi, body, attrs) ->
       let body = lower_stmts ~in_loop:true body in
       let trip = hi - lo in
-      if trip <= 0 then err "for loop '%s' has non-positive trip count %d" attrs.l_name trip;
+      if trip <= 0 then
+        Fault.fail ~loop:attrs.l_name ~code:"nonpositive_trip"
+          "for loop '%s' has non-positive trip count %d" attrs.l_name trip;
       if attrs.l_unroll || in_loop then begin
         (* inner loops must be unrolled (Section V, Step I.1) *)
         if trip > max_unroll then
-          err "refusing to unroll loop '%s' with trip count %d (max %d)" attrs.l_name trip
+          Fault.fail ~loop:attrs.l_name ~code:"unroll_overflow"
+            "refusing to unroll loop '%s' with trip count %d (max %d)" attrs.l_name trip
             max_unroll;
         List.concat (List.init trip (fun i -> Assign (v, Int (lo + i)) :: body))
         @ [ Assign (v, Int hi) ]
@@ -109,6 +137,37 @@ let rec lower_stmt ~in_loop s =
 
 and lower_stmts ~in_loop stmts = List.concat_map (lower_stmt ~in_loop) stmts
 
-(** Lower a whole design.  The result contains only [Assign], [Write],
-    [Wait], wait-free [If], [Stall_until] and top-level [Do_while]. *)
-let design (d : design) = { d with d_body = lower_stmts ~in_loop:false d.d_body }
+(** Variables assigned by the top-level statements (conservatively
+    including conditional assignments), for {!Nest.flatten}'s live-in
+    set. *)
+let top_assigned stmts = Ast.assigned_vars stmts
+
+(** Lower a whole design.  In [`Flatten] mode (the default) the first
+    eligible 2-level counted nest at top level is collapsed via
+    {!Nest.flatten} and its {!Nest.info} returned; everything else (and
+    everything in [`Unroll] mode) goes through the per-statement
+    lowering, where nested counted loops are fully unrolled.  The result
+    contains only [Assign], [Write], [Wait], wait-free [If],
+    [Stall_until] and top-level [Do_while]. *)
+let design_ex ?(nest = `Flatten) (d : design) =
+  let lower stmts = lower_stmts ~in_loop:false stmts in
+  match nest with
+  | `Unroll -> ({ d with d_body = lower d.d_body }, None)
+  | `Flatten -> (
+      match Nest.find d.d_body with
+      | None -> ({ d with d_body = lower d.d_body }, None)
+      | Some (before, n, after) -> (
+          match Nest.eligible n with
+          | Ok () ->
+              let already = top_assigned before in
+              let stmts, info = Nest.flatten ~design:d ~already n in
+              ({ d with d_body = lower before @ lower stmts @ lower after }, Some info)
+          | Error reason ->
+              if Nest.inner_trip n > max_unroll then
+                Fault.fail ~loop:n.Nest.outer_attrs.l_name ~code:"nest_shape"
+                  "loop nest '%s' cannot be flattened (%s) and its inner trip count %d exceeds \
+                   the unroll bound (%d)"
+                  n.Nest.outer_attrs.l_name reason (Nest.inner_trip n) max_unroll
+              else ({ d with d_body = lower d.d_body }, None)))
+
+let design ?nest (d : design) = fst (design_ex ?nest d)

@@ -1,5 +1,8 @@
 (** AST lowering ahead of elaboration:
 
+    - top-level counted loop {e nests} flatten into one loop over the
+      combined induction counter (see {!Nest}); ineligible nests fall
+      back to unrolling the inner dimension;
     - [For] loops unroll (when requested, or always when nested — the
       paper requires inner loops to be unrolled) or lower to counter +
       [Do_while];
@@ -7,11 +10,23 @@
       [while] is rejected with a pointer at [do/while];
     - wait-bearing conditionals are balanced and split at waits — the
       latency-balancing half of Fig. 4's predicate conversion
-      ([s1]/[s2] merging into [s1_2]). *)
+      ([s1]/[s2] merging into [s1_2]).
+
+    All rejections raise {!Fault.Error} with a stable machine code
+    ([loop_under_conditional], [while_never], [while_dynamic],
+    [nonpositive_trip], [unroll_overflow], [nest_shape]) and the
+    offending loop's name. *)
 
 open Ast
 
-exception Error of string
+exception Error of Fault.t
+(** Alias of {!Fault.Error}. *)
+
+type nest_mode = [ `Flatten | `Unroll ]
+(** How to lower counted loop nests: [`Flatten] (default) collapses an
+    eligible 2-level nest into a single combined-counter loop;
+    [`Unroll] forces the legacy lowering (inner dimensions fully
+    unrolled) — the 1-D baseline. *)
 
 val max_unroll : int
 
@@ -20,6 +35,10 @@ val balance_if : expr -> stmt list -> stmt list -> stmt list
 
 val lower_stmts : in_loop:bool -> stmt list -> stmt list
 
-val design : design -> design
+val design : ?nest:nest_mode -> design -> design
 (** Lower a whole design; the result contains only [Assign], [Write],
     [Wait], wait-free [If], [Stall_until] and top-level [Do_while]. *)
+
+val design_ex : ?nest:nest_mode -> design -> design * Nest.info option
+(** Like {!design}, also returning the nest description when a nest was
+    flattened. *)

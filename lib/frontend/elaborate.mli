@@ -14,8 +14,8 @@
 
 open Hls_ir
 
-exception Error of string
-(** Alias of {!Desugar.Error}. *)
+exception Error of Fault.t
+(** Alias of {!Fault.Error}. *)
 
 type loop_info = {
   li_attrs : Ast.loop_attrs;
@@ -33,15 +33,20 @@ type t = {
   pre_members : int list;
   loop : loop_info option;
   post_members : int list;
+  nest : Nest.info option;  (** set when the frontend flattened a loop nest *)
 }
 
-val design : ?timed:bool -> Ast.design -> t
+val design : ?timed:bool -> ?nest:Desugar.nest_mode -> ?carried_dim:int -> Ast.design -> t
 (** Desugar, check and elaborate.  [timed] pins I/O ops to their source
     wait states; the default untimed mode lets the scheduler re-time
-    everything, as in the paper's worked examples.
-    @raise Desugar.Error on any frontend problem. *)
+    everything, as in the paper's worked examples.  [nest] selects the
+    loop-nest lowering (default [`Flatten]); [carried_dim] tags every
+    loop-carried closure edge with that nest dimension (for hierarchical
+    composition and tests).
+    @raise Fault.Error on any frontend problem. *)
 
 val main_region : ?ii:int -> ?min_latency:int -> ?max_latency:int -> t -> Region.t
 (** The main loop (or, absent one, the whole design) as a scheduling
     region; [ii] requests pipelining, bounds default to the loop
-    attributes. *)
+    attributes.  A flattened loop nest annotates the region with
+    {!Region.nest}. *)

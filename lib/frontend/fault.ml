@@ -1,0 +1,26 @@
+(** Typed frontend faults.
+
+    Every frontend rejection — desugaring, nest shaping, semantic checks,
+    elaboration — raises {!Error} with a stable machine code and, when the
+    problem is anchored at a source loop, that loop's name.  The flow layer
+    lowers these to [Hls_diag.Diag] values with the code preserved, so
+    tests and tooling can match on the cause instead of the prose. *)
+
+type t = {
+  fe_code : string;
+      (** stable machine code, e.g. ["loop_under_conditional"],
+          ["unroll_overflow"], ["nonpositive_trip"], ["while_dynamic"],
+          ["while_never"], ["nest_shape"], ["check"] or the generic
+          ["frontend"] *)
+  fe_loop : string option;  (** source loop name, when the fault has one *)
+  fe_message : string;  (** human-readable message (loop name included) *)
+}
+
+exception Error of t
+
+let fail ?loop ~code fmt =
+  Printf.ksprintf (fun s -> raise (Error { fe_code = code; fe_loop = loop; fe_message = s })) fmt
+
+let message e = e.fe_message
+let code e = e.fe_code
+let loop e = e.fe_loop

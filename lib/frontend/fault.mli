@@ -1,0 +1,22 @@
+(** Typed frontend faults: a stable machine code plus the source loop the
+    fault is anchored at (when any).  Raised by {!Desugar}, {!Nest},
+    {!Check} and {!Elaborate}; lowered to typed diagnostics by the flow. *)
+
+type t = {
+  fe_code : string;
+      (** stable machine code, e.g. ["loop_under_conditional"],
+          ["unroll_overflow"], ["nonpositive_trip"], ["while_dynamic"],
+          ["while_never"], ["nest_shape"], ["check"] or the generic
+          ["frontend"] *)
+  fe_loop : string option;  (** source loop name, when the fault has one *)
+  fe_message : string;  (** human-readable message (loop name included) *)
+}
+
+exception Error of t
+
+val fail : ?loop:string -> code:string -> ('a, unit, string, 'b) format4 -> 'a
+(** Raise {!Error} with a formatted message. *)
+
+val message : t -> string
+val code : t -> string
+val loop : t -> string option

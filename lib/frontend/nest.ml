@@ -1,0 +1,410 @@
+(** Counted loop-nest recognition, flattening and hierarchical splitting.
+
+    The paper's pipeline machinery handles one loop: before this pass, a
+    counted loop nested inside the main loop was fully unrolled, which
+    caps the feasible trip count at {!Desugar.max_unroll} and forces the
+    outer dimension's II to cover the whole unrolled body.  This module
+    recognizes a 2-level counted nest
+
+    {[
+      for (i = lo1; i < hi1; i++) {   // outer dimension
+        pre;                          // per-outer-iteration prologue
+        for (j = lo2; j < hi2; j++) { inner; }
+        post;                         // per-outer-iteration epilogue
+      }
+    ]}
+
+    and offers two lowerings:
+
+    - {!flatten}: collapse the nest into a single loop over the combined
+      induction counter, with first/last-of-row flags predicating [pre]
+      and [post].  The result is an ordinary single-loop design, so the
+      existing scheduler, fold, simulators and RTL generator apply
+      unchanged; per-dimension IIs derive from the kernel II
+      ({!Region.per_dim_iis}).  This is the executed, equivalence-checked
+      path.
+    - {!split}: hierarchical composition — an {e inner} design exposing
+      the inner loop for kernel scheduling, and an {e outer} summary
+      design where the inner loop appears as a fixed-latency multicycle
+      super-op ([Call "nest_body"]).  Used by [Hls_core.Nest_sched] for
+      bottom-up timing composition of imperfect nests; the outer design
+      is a {e timing} summary (port reads inside the inner body are
+      folded into the super-op), not a simulation model. *)
+
+open Ast
+module Width = Hls_ir.Width
+module Opkind = Hls_ir.Opkind
+module Region = Hls_ir.Region
+
+type t = {
+  outer_var : string;
+  outer_lo : int;
+  outer_hi : int;
+  outer_attrs : loop_attrs;
+  inner_var : string;
+  inner_lo : int;
+  inner_hi : int;
+  inner_attrs : loop_attrs;
+  pre : stmt list;  (** outer-body statements before the inner loop *)
+  inner_body : stmt list;
+  post : stmt list;  (** outer-body statements after the inner loop *)
+}
+
+type dim = {
+  d_name : string;  (** source loop name *)
+  d_var : string;  (** induction variable *)
+  d_lo : int;
+  d_trip : int;
+  d_ii : int option;  (** designer-requested II along this dimension *)
+}
+
+type info = {
+  ni_dims : dim list;  (** outermost first *)
+  ni_perfect : bool;
+  ni_flat_name : string;  (** loop name of the flattened/outer region *)
+  ni_pre_stmts : int;
+  ni_post_stmts : int;
+}
+
+let outer_trip t = t.outer_hi - t.outer_lo
+let inner_trip t = t.inner_hi - t.inner_lo
+
+let info_of t =
+  {
+    ni_dims =
+      [
+        {
+          d_name = t.outer_attrs.l_name;
+          d_var = t.outer_var;
+          d_lo = t.outer_lo;
+          d_trip = outer_trip t;
+          d_ii = t.outer_attrs.l_ii;
+        };
+        {
+          d_name = t.inner_attrs.l_name;
+          d_var = t.inner_var;
+          d_lo = t.inner_lo;
+          d_trip = inner_trip t;
+          d_ii = t.inner_attrs.l_ii;
+        };
+      ];
+    ni_perfect = t.pre = [] && t.post = [];
+    ni_flat_name = t.outer_attrs.l_name;
+    ni_pre_stmts = List.length t.pre;
+    ni_post_stmts = List.length t.post;
+  }
+
+let region_nest info ~flattened =
+  {
+    Region.n_dims =
+      List.map
+        (fun d -> { Region.nd_name = d.d_name; nd_trip = d.d_trip; nd_ii = d.d_ii })
+        info.ni_dims;
+    n_perfect = info.ni_perfect;
+    n_flattened = flattened;
+  }
+
+(** Structural recognition only: a [For] whose body contains a [For] at
+    top level.  Eligibility (variable discipline, trip counts…) is
+    checked separately by {!eligible}. *)
+let recognize = function
+  | For (ov, olo, ohi, body, oattrs) ->
+      let rec go pre = function
+        | [] -> None
+        | For (iv, ilo, ihi, ibody, iattrs) :: rest ->
+            Some
+              {
+                outer_var = ov;
+                outer_lo = olo;
+                outer_hi = ohi;
+                outer_attrs = oattrs;
+                inner_var = iv;
+                inner_lo = ilo;
+                inner_hi = ihi;
+                inner_attrs = iattrs;
+                pre = List.rev pre;
+                inner_body = ibody;
+                post = rest;
+              }
+        | s :: rest -> go (s :: pre) rest
+      in
+      go [] body
+  | _ -> None
+
+(** First structurally recognizable nest among top-level statements;
+    returns (statements before, nest, statements after). *)
+let find stmts =
+  let rec go before = function
+    | [] -> None
+    | s :: rest -> (
+        match recognize s with
+        | Some n -> Some (List.rev before, n, rest)
+        | None -> go (s :: before) rest)
+  in
+  go [] stmts
+
+(** Variables read anywhere in the statements (conditions included). *)
+let rec read_vars acc stmts =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Assign (_, e) | Write (_, e) | Stall_until e -> expr_vars acc e
+      | Wait -> acc
+      | If (c, t, f) -> read_vars (read_vars (expr_vars acc c) t) f
+      | Do_while (b, c, _) | While (c, b, _) -> read_vars (expr_vars acc c) b
+      | For (_, _, _, b, _) -> read_vars acc b)
+    acc stmts
+
+let mentions v stmts = List.mem v (read_vars [] stmts) || List.mem v (assigned_vars stmts)
+
+(** Flattening eligibility.  [Error reason] means the nest falls back to
+    the legacy unroll lowering (and, if that would overflow the unroll
+    bound, the caller raises a typed [nest_shape] fault). *)
+let eligible t =
+  let reject fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.outer_attrs.l_unroll || t.inner_attrs.l_unroll then
+    reject "a dimension is marked unroll"
+  else if outer_trip t <= 0 || inner_trip t <= 0 then reject "non-positive trip count"
+  else if t.outer_var = t.inner_var then
+    reject "both dimensions share induction variable '%s'" t.outer_var
+  else if contains_loop t.pre || contains_loop t.post then
+    reject "statements around the inner loop contain a further loop"
+  else if contains_loop t.inner_body then reject "the nest is deeper than two loops"
+  else if mentions t.inner_var t.pre || mentions t.inner_var t.post then
+    reject "a statement outside the inner loop references its counter '%s'" t.inner_var
+  else if
+    List.exists
+      (fun v -> v = t.outer_var || v = t.inner_var)
+      (assigned_vars (t.pre @ t.inner_body @ t.post))
+  then reject "the nest body assigns an induction counter"
+  else Ok ()
+
+(** {2 Flattening} *)
+
+(** Static width of an expression, mirroring the elaborator's propagation
+    rules, so the hoisted initializations below pin each variable to the
+    width its first real assignment would have given it. *)
+let rec infer_expr design env e =
+  match e with
+  | Int n -> Width.bits_for_signed n
+  | Int_w (n, w) -> Width.clamp (max w (Width.bits_for_signed n))
+  | Var v -> ( match Hashtbl.find_opt env v with Some w -> w | None -> 32)
+  | Port p -> ( match List.assoc_opt p design.d_ins with Some w -> w | None -> 32)
+  | Bin (op, a, b) ->
+      Opkind.result_width (Opkind.Bin op) [ infer_expr design env a; infer_expr design env b ]
+  | Un (op, a) -> Opkind.result_width (Opkind.Un op) [ infer_expr design env a ]
+  | Cond (_, a, b) -> max (infer_expr design env a) (infer_expr design env b)
+  | Slice (_, hi, lo) -> Width.clamp (hi - lo + 1)
+  | Call (_, _, w) -> w
+
+(** Record each variable's first-assignment width, in program order. *)
+let rec infer_stmts design env stmts =
+  List.iter
+    (fun s ->
+      match s with
+      | Assign (v, e) ->
+          if not (Hashtbl.mem env v) then Hashtbl.replace env v (infer_expr design env e)
+      | Write _ | Wait | Stall_until _ -> ()
+      | If (_, t, f) ->
+          infer_stmts design env t;
+          infer_stmts design env f
+      | Do_while (b, _, _) | While (_, b, _) | For (_, _, _, b, _) -> infer_stmts design env b)
+    stmts
+
+let counter_width lo hi = Width.clamp (max (Width.bits_for_signed lo) (Width.bits_for_signed hi))
+
+let dedup xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.replace seen x ();
+        true
+      end)
+    xs
+
+(** Pick flag names that collide with nothing in the design. *)
+let fresh_names design base_names =
+  let used = Hashtbl.create 32 in
+  List.iter (fun (v, _) -> Hashtbl.replace used v ()) design.d_vars;
+  List.iter (fun v -> Hashtbl.replace used v ()) (assigned_vars design.d_body);
+  List.iter (fun v -> Hashtbl.replace used v ()) (read_vars [] design.d_body);
+  List.map
+    (fun base ->
+      if not (Hashtbl.mem used base) then base
+      else
+        let rec go k =
+          let cand = Printf.sprintf "%s%d" base k in
+          if Hashtbl.mem used cand then go (k + 1) else cand
+        in
+        go 2)
+    base_names
+
+(** Collapse an eligible nest into one loop over the combined induction
+    counter.  [already] lists variables assigned at top level before the
+    nest (those are live-in and must not be re-initialized).
+
+    The rewrite introduces three 1-bit flags: [_nf] (first inner
+    iteration of a row — runs [pre]), [_nl] (last inner iteration — runs
+    [post] and steps the outer counter) and [_nd] (last iteration of the
+    whole nest — exits the loop).  Variables assigned inside the nest but
+    not before it are hoisted to zero-initializations so the elaborator
+    treats them as loop-carried (their value must survive the inner
+    iterations between a row's [pre] and [post]); each init is given the
+    width the variable's first real assignment would produce, so widths
+    match the legacy unroll lowering.  The loop's pipeline attributes
+    (II, latency bounds) come from the {e inner} loop: the flattened
+    kernel is the inner body, and the outer dimension's II is the derived
+    [kernel II x inner trip]. *)
+let flatten ~design ~already t =
+  let wi = counter_width t.outer_lo t.outer_hi and wj = counter_width t.inner_lo t.inner_hi in
+  let nf, nl, nd =
+    match fresh_names design [ "_nf"; "_nl"; "_nd" ] with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
+  in
+  let env = Hashtbl.create 16 in
+  List.iter (fun (v, w) -> Hashtbl.replace env v w) design.d_vars;
+  if not (Hashtbl.mem env t.outer_var) then Hashtbl.replace env t.outer_var wi;
+  if not (Hashtbl.mem env t.inner_var) then Hashtbl.replace env t.inner_var wj;
+  let nest_stmts = t.pre @ t.inner_body @ t.post in
+  infer_stmts design env nest_stmts;
+  let hoisted =
+    assigned_vars nest_stmts |> dedup
+    |> List.filter (fun v ->
+           (not (List.mem v already)) && v <> t.outer_var && v <> t.inner_var)
+  in
+  let hoists =
+    List.map
+      (fun v ->
+        let w = match Hashtbl.find_opt env v with Some w -> w | None -> 32 in
+        Assign (v, Int_w (0, w)))
+      hoisted
+  in
+  let i = t.outer_var and j = t.inner_var in
+  let body =
+    [ Assign (nf, Bin (Opkind.Eq, Var j, Int_w (t.inner_lo, wj))) ]
+    @ (if t.pre = [] then [] else [ If (Var nf, t.pre, []) ])
+    @ t.inner_body
+    @ [ Assign (nl, Bin (Opkind.Eq, Var j, Int_w (t.inner_hi - 1, wj))) ]
+    @ (if t.post = [] then [] else [ If (Var nl, t.post, []) ])
+    @ [
+        Assign (nd, Bin (Opkind.Band, Var nl, Bin (Opkind.Eq, Var i, Int_w (t.outer_hi - 1, wi))));
+        Assign (j, Cond (Var nl, Int_w (t.inner_lo, wj), Bin (Opkind.Add, Var j, Int_w (1, wj))));
+        Assign (i, Cond (Var nl, Bin (Opkind.Add, Var i, Int_w (1, wi)), Var i));
+      ]
+  in
+  let attrs =
+    {
+      l_name = t.outer_attrs.l_name;
+      l_ii = t.inner_attrs.l_ii;
+      l_min_latency = t.inner_attrs.l_min_latency;
+      l_max_latency = t.inner_attrs.l_max_latency;
+      l_unroll = false;
+    }
+  in
+  let stmts =
+    hoists
+    @ [
+        Assign (i, Int_w (t.outer_lo, wi));
+        Assign (j, Int_w (t.inner_lo, wj));
+        Do_while (body, Bin (Opkind.Eq, Var nd, Int_w (0, 1)), attrs);
+        (* match the unroll lowering's counter exit value *)
+        Assign (j, Int_w (t.inner_hi, wj));
+      ]
+  in
+  (stmts, info_of t)
+
+(** {2 Hierarchical splitting} *)
+
+let rec subst_expr map e =
+  match e with
+  | Int _ | Int_w _ | Port _ -> e
+  | Var v -> ( match List.assoc_opt v map with Some e' -> e' | None -> e)
+  | Bin (op, a, b) -> Bin (op, subst_expr map a, subst_expr map b)
+  | Un (op, a) -> Un (op, subst_expr map a)
+  | Cond (c, a, b) -> Cond (subst_expr map c, subst_expr map a, subst_expr map b)
+  | Slice (a, hi, lo) -> Slice (subst_expr map a, hi, lo)
+  | Call (f, args, w) -> Call (f, List.map (subst_expr map) args, w)
+
+let rec subst_stmts map stmts =
+  List.map
+    (fun s ->
+      match s with
+      | Assign (v, e) -> Assign (v, subst_expr map e)
+      | Write (p, e) -> Write (p, subst_expr map e)
+      | Wait -> Wait
+      | Stall_until e -> Stall_until (subst_expr map e)
+      | If (c, t, f) -> If (subst_expr map c, subst_stmts map t, subst_stmts map f)
+      | Do_while (b, c, a) -> Do_while (subst_stmts map b, subst_expr map c, a)
+      | While (c, b, a) -> While (subst_expr map c, subst_stmts map b, a)
+      | For (v, lo, hi, b, a) -> For (v, lo, hi, subst_stmts map b, a))
+    stmts
+
+(** Name of the super-op standing in for the inner loop in the outer
+    summary design. *)
+let super_op_callee = "nest_body"
+
+(** Split a design around its first eligible nest into (inner design,
+    outer summary design, info) for bottom-up hierarchical scheduling.
+
+    The inner design keeps everything up to and including the inner loop
+    (the outer counter pinned at its lower bound); it is scheduled first
+    to obtain the inner kernel's II and latency.  The outer design
+    replaces the inner loop with [_nest_res = nest_body(<live-ins>)], a
+    black-box call whose latency [Hls_core.Nest_sched] patches to the
+    inner kernel's span once known; reads of inner-loop results in [post]
+    are redirected to [_nest_res].  The outer design summarizes {e
+    timing}, not behaviour — port reads inside the inner body are folded
+    into the super-op. *)
+let split (d : Ast.design) =
+  match find d.d_body with
+  | None -> None
+  | Some (before, t, after) -> (
+      match eligible t with
+      | Error _ -> None
+      | Ok () ->
+          if contains_loop before then None
+          else
+            let wi = counter_width t.outer_lo t.outer_hi in
+            let inner_for =
+              For (t.inner_var, t.inner_lo, t.inner_hi, t.inner_body, t.inner_attrs)
+            in
+            let inner_design =
+              {
+                d with
+                d_name = d.d_name ^ "_inner";
+                d_body =
+                  before @ [ Assign (t.outer_var, Int_w (t.outer_lo, wi)) ] @ t.pre
+                  @ [ inner_for ];
+              }
+            in
+            let res = List.hd (fresh_names d [ "_nest_res" ]) in
+            let inner_assigned =
+              assigned_vars t.inner_body |> dedup
+              |> List.filter (fun v -> v <> t.inner_var && v <> t.outer_var)
+            in
+            let live_in =
+              read_vars [] [ inner_for ] |> dedup
+              |> List.filter (fun v ->
+                     (not (List.mem v inner_assigned)) && v <> t.inner_var)
+            in
+            let args = match live_in with [] -> [ Var t.outer_var ] | vs -> List.map (fun v -> Var v) vs in
+            let map = List.map (fun v -> (v, Var res)) inner_assigned in
+            let outer_body =
+              before
+              @ [
+                  For
+                    ( t.outer_var,
+                      t.outer_lo,
+                      t.outer_hi,
+                      t.pre
+                      @ [ Assign (res, Call (super_op_callee, args, 32)) ]
+                      @ subst_stmts map t.post,
+                      t.outer_attrs );
+                ]
+              @ subst_stmts map after
+            in
+            let outer_design = { d with d_name = d.d_name ^ "_outer"; d_body = outer_body } in
+            Some (inner_design, outer_design, info_of t))

@@ -1,0 +1,84 @@
+(** Counted loop-nest recognition, flattening and hierarchical splitting.
+
+    Recognizes a 2-level counted nest ([for (i) { pre; for (j) { inner };
+    post }]) at the top level of a design and lowers it either by
+    {e flattening} — one loop over the combined induction counter, with
+    first/last-of-row flags predicating [pre] and [post]; the executed,
+    equivalence-checked path — or by {e splitting} into an inner design
+    plus an outer timing summary for bottom-up hierarchical scheduling
+    ([Hls_core.Nest_sched]).  Nests that fail {!eligible} fall back to the
+    legacy full-unroll lowering in {!Desugar}. *)
+
+type t = {
+  outer_var : string;
+  outer_lo : int;
+  outer_hi : int;
+  outer_attrs : Ast.loop_attrs;
+  inner_var : string;
+  inner_lo : int;
+  inner_hi : int;
+  inner_attrs : Ast.loop_attrs;
+  pre : Ast.stmt list;  (** outer-body statements before the inner loop *)
+  inner_body : Ast.stmt list;
+  post : Ast.stmt list;  (** outer-body statements after the inner loop *)
+}
+
+type dim = {
+  d_name : string;  (** source loop name *)
+  d_var : string;  (** induction variable *)
+  d_lo : int;
+  d_trip : int;
+  d_ii : int option;  (** designer-requested II along this dimension *)
+}
+
+type info = {
+  ni_dims : dim list;  (** outermost first *)
+  ni_perfect : bool;  (** no statements between the nest's loop headers *)
+  ni_flat_name : string;  (** loop name of the flattened/outer region *)
+  ni_pre_stmts : int;
+  ni_post_stmts : int;
+}
+
+val outer_trip : t -> int
+val inner_trip : t -> int
+
+val info_of : t -> info
+
+val region_nest : info -> flattened:bool -> Hls_ir.Region.nest
+(** Lower the frontend nest description to the IR-level annotation. *)
+
+val recognize : Ast.stmt -> t option
+(** Structural recognition only: a [For] whose body contains a [For] at
+    top level.  Use {!eligible} before flattening. *)
+
+val find : Ast.stmt list -> (Ast.stmt list * t * Ast.stmt list) option
+(** First structurally recognizable nest among top-level statements;
+    returns (statements before, nest, statements after). *)
+
+val eligible : t -> (unit, string) result
+(** Flattening eligibility: both trips positive, distinct induction
+    variables never assigned by the body, [pre]/[post] loop-free and
+    independent of the inner counter, nest exactly two deep, no [unroll]
+    request on either dimension.  [Error reason] means the nest falls
+    back to the legacy unroll lowering. *)
+
+val flatten : design:Ast.design -> already:string list -> t -> Ast.stmt list * info
+(** Collapse an eligible nest into one loop over the combined induction
+    counter.  [already] lists variables assigned at top level before the
+    nest (live-in; not re-initialized).  Variables first assigned inside
+    the nest are hoisted to width-pinned zero-initializations so the
+    elaborator treats them as loop-carried.  The flattened loop takes the
+    {e inner} loop's pipeline attributes; the outer dimension's II is
+    derived ([kernel II x inner trip], see {!Hls_ir.Region.per_dim_iis}). *)
+
+val super_op_callee : string
+(** Callee name of the black-box super-op standing in for the inner loop
+    in the outer summary design ("nest_body"). *)
+
+val split : Ast.design -> (Ast.design * Ast.design * info) option
+(** Split a design around its first eligible nest into (inner design,
+    outer summary design, info) for bottom-up hierarchical scheduling.
+    The outer design summarizes {e timing}: the inner loop becomes a
+    fixed-latency call whose latency the scheduler patches once the inner
+    kernel is scheduled.  [None] when no eligible nest exists (or other
+    loops precede it). *)

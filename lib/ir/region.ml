@@ -19,6 +19,21 @@
 
 type pipeline_spec = { ii : int  (** initiation interval, designer-given *) }
 
+type dim = {
+  nd_name : string;  (** source loop name of this dimension *)
+  nd_trip : int;  (** static trip count *)
+  nd_ii : int option;  (** designer-requested II along this dimension *)
+}
+
+type nest = {
+  n_dims : dim list;  (** outermost first; the last entry is the innermost *)
+  n_perfect : bool;  (** no statements between the nest's loop headers *)
+  n_flattened : bool;
+      (** true when this region is the flattened kernel of the nest (one
+          combined induction counter); false for the hierarchical
+          composition, where the region covers one dimension only *)
+}
+
 type t = {
   rname : string;
   dfg : Dfg.t;  (** the design-wide DFG (shared, not owned) *)
@@ -36,10 +51,11 @@ type t = {
           generated controller *)
   is_loop : bool;
   source_waits : int;  (** number of wait() states the source specified *)
+  nest : nest option;  (** loop-nest metadata; [None] for ordinary regions *)
 }
 
 let create ?(min_steps = 1) ?(max_steps = 64) ?pipeline ?continue_cond ?stall_cond
-    ?(is_loop = false) ?(source_waits = 1) ?members ~name dfg =
+    ?(is_loop = false) ?(source_waits = 1) ?members ?nest ~name dfg =
   if min_steps < 1 then invalid_arg "Region.create: min_steps < 1";
   if max_steps < min_steps then invalid_arg "Region.create: max_steps < min_steps";
   (match pipeline with
@@ -69,9 +85,51 @@ let create ?(min_steps = 1) ?(max_steps = 64) ?pipeline ?continue_cond ?stall_co
     stall_cond;
     is_loop;
     source_waits;
+    nest;
   }
 
 let mem t id = Hashtbl.mem t.members id
+
+(** {2 Loop-nest accessors} *)
+
+let nest t = t.nest
+
+(** Stride of nest dimension [d] in innermost (kernel) iterations: the
+    product of the trip counts of the [d] innermost dimensions.  Dimension
+    0 — the region's own iteration axis — always has stride 1, nest or
+    not.  A loop-carried edge tagged [dim = d] with logical distance [ld]
+    therefore has effective innermost distance [ld * stride t d]. *)
+let stride t d =
+  if d <= 0 then 1
+  else
+    match t.nest with
+    | None -> 1
+    | Some n ->
+        let dims = List.rev n.n_dims in
+        (* innermost first *)
+        let rec go k acc = function
+          | [] -> acc
+          | dm :: rest -> if k >= d then acc else go (k + 1) (acc * max 1 dm.nd_trip) rest
+        in
+        go 0 1 dims
+
+(** Total iterations of the flattened nest (product of all trip counts);
+    1 for ordinary regions. *)
+let flat_iters t =
+  match t.nest with
+  | None -> 1
+  | Some n -> List.fold_left (fun acc d -> acc * max 1 d.nd_trip) 1 n.n_dims
+
+(** Achieved per-dimension initiation intervals, outermost first, given
+    the kernel II actually scheduled: the innermost dimension initiates
+    every [kernel_ii] cycles and each enclosing dimension every
+    [kernel_ii * stride] cycles.  Empty for ordinary regions. *)
+let per_dim_iis t ~kernel_ii =
+  match t.nest with
+  | None -> []
+  | Some n ->
+      let ndims = List.length n.n_dims in
+      List.mapi (fun i _ -> kernel_ii * stride t (ndims - 1 - i)) n.n_dims
 
 (** Member ops, sorted by id. *)
 let member_ops t =

@@ -1,4 +1,4 @@
-(** Linear scheduling regions.
+(** Linear scheduling regions, optionally annotated as loop-nest nodes.
 
     After predicate conversion and loop linearization, each schedulable
     unit — typically the body of the (pipelined) main loop — is a straight
@@ -9,9 +9,37 @@
     producers outside the region are treated by the scheduler as
     registered, available from step 0.  For a pipelined region, two steps
     are {e equivalent} when congruent modulo II (they fold onto one kernel
-    state). *)
+    state).
+
+    {b Loop nests.}  A counted 2-level nest is represented in one of two
+    ways, both carrying a {!nest} annotation:
+    - {e flattened} ([n_flattened = true]): the nest was collapsed by the
+      frontend into a single region iterating over the combined induction
+      counter, so the ordinary scheduler, fold and simulators apply
+      unchanged; per-dimension IIs derive from the kernel II via
+      {!per_dim_iis}.
+    - {e hierarchical} ([n_flattened = false]): the region covers one
+      dimension only, and the inner dimension appears as a fixed-latency
+      multicycle super-op (see [Hls_core.Nest_sched]); loop-carried edges
+      of an enclosing dimension are tagged with their [dim] and validated
+      against [distance * stride dim] (the per-dimension modulo
+      constraint). *)
 
 type pipeline_spec = { ii : int  (** initiation interval, designer-given *) }
+
+type dim = {
+  nd_name : string;  (** source loop name of this dimension *)
+  nd_trip : int;  (** static trip count *)
+  nd_ii : int option;  (** designer-requested II along this dimension *)
+}
+
+type nest = {
+  n_dims : dim list;  (** outermost first; the last entry is the innermost *)
+  n_perfect : bool;  (** no statements between the nest's loop headers *)
+  n_flattened : bool;
+      (** this region is the flattened kernel of the nest (one combined
+          induction counter); [false] for hierarchical composition *)
+}
 
 type t = {
   rname : string;
@@ -28,6 +56,7 @@ type t = {
           (ignored during scheduling, honoured by the controller) *)
   is_loop : bool;
   source_waits : int;  (** wait() states the source specified *)
+  nest : nest option;  (** loop-nest metadata; [None] for ordinary regions *)
 }
 
 val create :
@@ -39,6 +68,7 @@ val create :
   ?is_loop:bool ->
   ?source_waits:int ->
   ?members:int list ->
+  ?nest:nest ->
   name:string ->
   Dfg.t ->
   t
@@ -47,6 +77,23 @@ val create :
     from LI = II + 1" (Section V, condition 2). *)
 
 val mem : t -> int -> bool
+
+val nest : t -> nest option
+
+val stride : t -> int -> int
+(** [stride t d] is the stride of nest dimension [d] in innermost
+    (kernel) iterations: the product of the trip counts of the [d]
+    innermost dimensions (1 for [d = 0], nest or not).  A loop-carried
+    edge tagged [dim = d] with logical distance [ld] has effective
+    innermost distance [ld * stride t d]. *)
+
+val flat_iters : t -> int
+(** Product of the nest's trip counts (1 for ordinary regions). *)
+
+val per_dim_iis : t -> kernel_ii:int -> int list
+(** Achieved per-dimension initiation intervals, outermost first, given
+    the kernel II actually scheduled; empty for ordinary regions. *)
+
 val member_ops : t -> Dfg.op list
 val n_members : t -> int
 

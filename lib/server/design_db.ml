@@ -24,7 +24,8 @@ let load = function
       try Ok (Parser.parse_string src) with
       | Parser.Error { line; message } | Lexer.Error { line; message } ->
           Error (Printf.sprintf "line %d: %s" line message)
-      | Desugar.Error m | Failure m -> Error m)
+      | Desugar.Error f -> Error (Hls_frontend.Fault.message f)
+      | Failure m -> Error m)
 
 let local_spec name =
   if List.mem_assoc name builtins then Ok (`Builtin name)

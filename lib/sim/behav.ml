@@ -126,8 +126,8 @@ let rec exec_stmt ctx (s : Ast.stmt) =
 
 (** Execute one outer round of the design: pre statements, the main loop
     (bounded by [stim.n_iters]), post statements. *)
-let run ?(funcs = default_fun) (design : Ast.design) (stim : Stimulus.t) : result =
-  let design = Desugar.design design in
+let run ?(funcs = default_fun) ?nest (design : Ast.design) (stim : Stimulus.t) : result =
+  let design = Desugar.design ?nest design in
   let ctx =
     {
       stim;

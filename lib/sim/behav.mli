@@ -13,9 +13,17 @@ type result = {
 val default_fun : string -> int list -> int
 (** Deterministic stand-in for black-box [Call]s. *)
 
-val run : ?funcs:(string -> int list -> int) -> Hls_frontend.Ast.design -> Stimulus.t -> result
+val run :
+  ?funcs:(string -> int list -> int) ->
+  ?nest:Hls_frontend.Desugar.nest_mode ->
+  Hls_frontend.Ast.design ->
+  Stimulus.t ->
+  result
 (** Execute one outer round: pre statements, the main loop (bounded by the
-    stimulus length or a false continue condition), post statements. *)
+    stimulus length or a false continue condition), post statements.
+    [nest] must match the lowering used for elaboration so that one
+    main-loop iteration (and hence one port sample) means the same thing
+    in both worlds. *)
 
 val port_values : result -> string -> int list
 (** One port's outputs in emission order. *)

@@ -44,6 +44,30 @@ let check ~(out_ports : (string * int) list) (golden : Behav.result)
     out_ports;
   { equivalent = !mismatches = []; mismatches = List.rev !mismatches; checked_values = !checked }
 
+(** [check_kernel design_outs golden kernel] compares the behavioural
+    trace against the folded-kernel simulator — the gate the loop-nest
+    path adds on top of {!check}: a flattened nest must stay byte-identical
+    through folding too. *)
+let check_kernel ~(out_ports : (string * int) list) (golden : Behav.result)
+    (kernel : Kernel_sim.result) : verdict =
+  let mismatches = ref [] in
+  let checked = ref 0 in
+  List.iter
+    (fun (p, _) ->
+      let e = Behav.port_values golden p and a = Kernel_sim.port_values kernel p in
+      checked := !checked + List.length e;
+      mismatches := compare_port ~port:p e a @ !mismatches)
+    out_ports;
+  { equivalent = !mismatches = []; mismatches = List.rev !mismatches; checked_values = !checked }
+
+(** Merge two verdicts (e.g. schedule-sim and kernel-sim gates). *)
+let both a b =
+  {
+    equivalent = a.equivalent && b.equivalent;
+    mismatches = a.mismatches @ b.mismatches;
+    checked_values = a.checked_values + b.checked_values;
+  }
+
 let mismatch_to_string m =
   Printf.sprintf "port %s[%d]: expected %s, got %s" m.m_port m.m_index
     (match m.m_expected with Some v -> string_of_int v | None -> "<none>")

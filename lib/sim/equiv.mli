@@ -15,5 +15,13 @@ val compare_port : port:string -> int list -> int list -> mismatch list
 
 val check : out_ports:(string * int) list -> Behav.result -> Schedule_sim.result -> verdict
 
+val check_kernel : out_ports:(string * int) list -> Behav.result -> Kernel_sim.result -> verdict
+(** Behavioural trace vs the folded-kernel simulator — the extra gate the
+    loop-nest path adds: a flattened nest must stay byte-identical through
+    folding too. *)
+
+val both : verdict -> verdict -> verdict
+(** Merge two verdicts (equivalent iff both are). *)
+
 val mismatch_to_string : mismatch -> string
 val verdict_to_string : verdict -> string

@@ -9,7 +9,7 @@ let base_options = { Flow.default_options with Flow.verify = false }
 
 let example1_points () =
   Dse.grid_points
-    (Dse.grid ~iis:[ None; Some 2 ] ~latencies:[ (Some 3, Some 4) ]
+    (Dse.grid ~iis:[ Dse.Seq; Dse.Flat 2 ] ~latencies:[ (Some 3, Some 4) ]
        ~clocks:[ 1600.0; 2000.0 ] ())
 
 let design () = Hls_designs.Example1.design ()
@@ -83,7 +83,20 @@ let test_grid_parse () =
       | Ok _ -> Alcotest.fail "ii=0 must be rejected");
       (match Dse.parse_grid "volt=1.2" with
       | Error _ -> ()
-      | Ok _ -> Alcotest.fail "unknown dimension must be rejected")
+      | Ok _ -> Alcotest.fail "unknown dimension must be rejected");
+      (* per-dimension II specs for loop nests *)
+      (match Dse.parse_grid "ii=4x1,2" with
+      | Error m -> Alcotest.fail m
+      | Ok g ->
+          Alcotest.(check (list string))
+            "AxB parses to a per-dimension spec" [ "ii=4x1"; "ii=2" ]
+            (List.map Dse.ii_label g.Dse.g_iis));
+      (match Dse.parse_grid "ii=4x" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "ii=4x must be rejected");
+      (match Dse.parse_grid "ii=4x0" with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "ii=4x0 must be rejected")
 
 (* a small pool of candidate points; QCheck picks subsets by bitmask.  The
    shared engine makes repeated selections cache hits, so 30 iterations
@@ -91,7 +104,7 @@ let test_grid_parse () =
 let prop_front_dominates_sweep =
   let pool =
     Dse.grid_points
-      (Dse.grid ~iis:[ None; Some 2; Some 3 ] ~latencies:[ (Some 3, Some 4) ]
+      (Dse.grid ~iis:[ Dse.Seq; Dse.Flat 2; Dse.Flat 3 ] ~latencies:[ (Some 3, Some 4) ]
          ~clocks:[ 1600.0; 2000.0 ] ())
     |> Array.of_list
   in

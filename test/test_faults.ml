@@ -228,6 +228,119 @@ let test_diag_json_well_formed () =
       Alcotest.(check bool) (field ^ " present") true (find 0))
     [ "phase"; "severity"; "code"; "message"; "restraints"; "actions"; "passes"; "budget" ]
 
+(* ---- fault class: typed frontend loop/nest rejections ---- *)
+
+(* a design around [body] with enough ports/vars for the loop shapes below *)
+let loop_design body =
+  {
+    Ast.d_name = "t";
+    d_ins = [ ("x", 8) ];
+    d_outs = [ ("y", 16) ];
+    d_vars = [ ("acc", 16); ("i", 16); ("j", 16) ];
+    d_body = body;
+  }
+
+let attrs name = { Ast.default_attrs with Ast.l_name = name }
+
+(** Every frontend rejection must surface as a non-degradable
+    [Frontend]-phase diagnostic carrying the typed fault code and the
+    offending loop's name in the message. *)
+let expect_frontend_fault ~code ~loop body =
+  let d =
+    expect_error ~phase:Diag.Frontend ~code
+      ~options:{ no_verify with degrade = true } (* ladder must NOT rescue frontend faults *)
+      (loop_design body)
+  in
+  let msg = d.Diag.d_message in
+  let needle = "'" ^ loop ^ "'" in
+  let n = String.length needle and l = String.length msg in
+  let rec find i = i + n <= l && (String.sub msg i n = needle || find (i + 1)) in
+  Alcotest.(check bool) (Printf.sprintf "message names loop %s: %s" loop msg) true (find 0)
+
+let test_loop_under_conditional () =
+  expect_frontend_fault ~code:"loop_under_conditional" ~loop:"guarded"
+    [
+      Ast.If
+        ( Ast.Port "x",
+          [ Ast.For ("i", 0, 4, [ Ast.Assign ("acc", Ast.Port "x"); Ast.Wait ], attrs "guarded") ],
+          [] );
+    ]
+
+let test_nonpositive_trip () =
+  expect_frontend_fault ~code:"nonpositive_trip" ~loop:"empty"
+    [ Ast.For ("i", 5, 5, [ Ast.Assign ("acc", Ast.Port "x"); Ast.Wait ], attrs "empty") ]
+
+let test_unroll_overflow () =
+  (* a single loop marked [unroll] past the bound *)
+  expect_frontend_fault ~code:"unroll_overflow" ~loop:"huge"
+    [
+      Ast.For
+        ( "i",
+          0,
+          5000,
+          [ Ast.Assign ("acc", Ast.Port "x"); Ast.Wait ],
+          { (attrs "huge") with Ast.l_unroll = true } );
+    ]
+
+let test_nest_shape_rejection () =
+  (* an INELIGIBLE nest (inner counter read after the inner loop) whose
+     inner trip also exceeds the unroll bound: neither lowering applies,
+     so the typed [nest_shape] fault must name the outer loop *)
+  expect_frontend_fault ~code:"nest_shape" ~loop:"outer"
+    [
+      Ast.For
+        ( "i",
+          0,
+          4,
+          [
+            Ast.For ("j", 0, 5000, [ Ast.Assign ("acc", Ast.Port "x"); Ast.Wait ], attrs "inner");
+            Ast.Assign ("acc", Ast.Var "j");
+          ],
+          attrs "outer" );
+    ]
+
+let test_bad_nest_ii_grid () =
+  (* an inconsistent per-dimension II request on a real nest: outer II
+     must equal kernel II x inner trip (here 4), so [3; 1] is impossible *)
+  let design =
+    {
+      Ast.d_name = "nested";
+      d_ins = [ ("x", 8) ];
+      d_outs = [ ("y", 20) ];
+      d_vars = [ ("acc", 20); ("i", 4); ("j", 4) ];
+      d_body =
+        [
+          Ast.For
+            ( "i",
+              0,
+              4,
+              [
+                Ast.Assign ("acc", Ast.Int_w (0, 20));
+                Ast.For
+                  ( "j",
+                    0,
+                    4,
+                    [
+                      Ast.Assign
+                        ("acc", Ast.Bin (Hls_ir.Opkind.Add, Ast.Var "acc", Ast.Port "x"));
+                      Ast.Wait;
+                    ],
+                    attrs "col" );
+                Ast.Write ("y", Ast.Var "acc");
+              ],
+              attrs "row" );
+        ];
+    }
+  in
+  let d =
+    match
+      Flow.run ~options:{ no_verify with ii_dims = Some [ 3; 1 ]; degrade = true } design
+    with
+    | Ok r -> Alcotest.failf "expected nest_ii error, got %s tier" (Flow.tier_to_string r.Flow.f_tier)
+    | Error d -> d
+  in
+  Alcotest.(check string) "code" "nest_ii" d.Diag.d_code
+
 let suite =
   [
     Alcotest.test_case "huge-delay library" `Quick test_huge_delay_lib;
@@ -244,4 +357,9 @@ let suite =
     Alcotest.test_case "degrades to baseline tier" `Quick test_degrades_to_baseline;
     Alcotest.test_case "paranoid audit clean" `Quick test_paranoid_clean;
     Alcotest.test_case "diagnostic JSON" `Quick test_diag_json_well_formed;
+    Alcotest.test_case "loop under conditional (typed)" `Quick test_loop_under_conditional;
+    Alcotest.test_case "non-positive trip count (typed)" `Quick test_nonpositive_trip;
+    Alcotest.test_case "unroll overflow (typed)" `Quick test_unroll_overflow;
+    Alcotest.test_case "ineligible nest shape (typed)" `Quick test_nest_shape_rejection;
+    Alcotest.test_case "inconsistent nest II request" `Quick test_bad_nest_ii_grid;
   ]

@@ -53,8 +53,13 @@ let test_while_dynamic_rejected () =
   let d = dsl_body Dsl.[ while_ (v "x" <: int 5) [ "x" := v "x" +: int 1; wait ] ] in
   Alcotest.check_raises "data-dependent while is rejected"
     (Desugar.Error
-       "data-dependent 'while' loop 'loop' is not supported: use do/while (the loop body must \
-        execute at least once)")
+       {
+         Hls_frontend.Fault.fe_code = "while_dynamic";
+         fe_loop = Some "loop";
+         fe_message =
+           "data-dependent 'while' loop 'loop' is not supported: use do/while (the loop body \
+            must execute at least once)";
+       })
     (fun () -> ignore (Desugar.design d))
 
 let test_wait_balancing () =

@@ -30,6 +30,7 @@ let () =
       ("sched_props", Test_sched_props.suite);
       ("sched_perf", Test_sched_perf.suite);
       ("kernel_sim", Test_kernel_sim.suite);
+      ("nest", Test_nest.suite);
       ("faults", Test_faults.suite);
       ("netlist", Test_netlist.suite);
       ("store", Test_store.suite);

@@ -1,0 +1,222 @@
+(** Loop-nest pipelining: the frontend flattening rewrite, per-dimension
+    modulo constraints, hierarchical bottom-up composition, and the
+    end-to-end property that a flattened nest simulates byte-identically
+    through the behavioural model, the schedule simulator and the folded
+    kernel simulator. *)
+
+open Hls_frontend
+module Region = Hls_ir.Region
+module Dfg = Hls_ir.Dfg
+module Opkind = Hls_ir.Opkind
+module Scheduler = Hls_core.Scheduler
+module Pipeline = Hls_core.Pipeline
+module Nest_sched = Hls_core.Nest_sched
+module Flow = Hls_flow.Flow
+
+let lib = Hls_techlib.Library.artisan90
+let clock = 1600.0
+
+(* ---- a parameterized 2-deep counted nest ---- *)
+
+(** [mk ~ti ~tj ~perfect ~c] builds a 2-deep nest: outer trip [ti], inner
+    trip [tj], multiply-accumulate of port [x] by constant [c] in the
+    inner body.  When [perfect] the outer body is exactly the inner loop
+    (output written per inner iteration); otherwise the accumulator is
+    zeroed before and the result written after the inner loop.  All
+    variables carry explicit widths, so the flattened and unrolled
+    lowerings agree on every bit. *)
+let mk ?(ii = 1) ~ti ~tj ~perfect ~c () =
+  let attrs name ii =
+    { Ast.default_attrs with Ast.l_name = name; l_ii = ii; l_min_latency = 1; l_max_latency = 8 }
+  in
+  let acc_update =
+    Ast.Assign
+      ( "acc",
+        Ast.Bin
+          (Opkind.Add, Ast.Var "acc", Ast.Bin (Opkind.Mul, Ast.Port "x", Ast.Int_w (c, 4))) )
+  in
+  let inner_body =
+    if perfect then [ acc_update; Ast.Write ("y", Ast.Var "acc"); Ast.Wait ]
+    else [ acc_update; Ast.Wait ]
+  in
+  let inner = Ast.For ("j", 0, tj, inner_body, attrs "col" (Some ii)) in
+  let outer_body =
+    if perfect then [ inner ]
+    else [ Ast.Assign ("acc", Ast.Int_w (0, 24)); inner; Ast.Write ("y", Ast.Var "acc") ]
+  in
+  {
+    Ast.d_name = "nest_t";
+    d_ins = [ ("x", 8) ];
+    d_outs = [ ("y", 24) ];
+    d_vars = [ ("acc", 24); ("i", 8); ("j", 8) ];
+    d_body = [ Ast.For ("i", 0, ti, outer_body, attrs "row" None) ];
+  }
+
+(* ---- flattening rewrite shape ---- *)
+
+let test_flatten_shape () =
+  let d = mk ~ti:8 ~tj:8 ~perfect:false ~c:3 () in
+  let lowered, info = Desugar.design_ex ~nest:`Flatten d in
+  let info = match info with Some i -> i | None -> Alcotest.fail "nest not recognized" in
+  Alcotest.(check bool) "imperfect" false info.Nest.ni_perfect;
+  Alcotest.(check (list string))
+    "dimension names, outermost first" [ "row"; "col" ]
+    (List.map (fun d -> d.Nest.d_name) info.Nest.ni_dims);
+  Alcotest.(check (list int)) "trip counts" [ 8; 8 ]
+    (List.map (fun d -> d.Nest.d_trip) info.Nest.ni_dims);
+  (* the rewrite leaves exactly one loop: the combined-counter Do_while *)
+  let rec loops acc = function
+    | [] -> acc
+    | Ast.Do_while (b, _, a) :: rest -> loops (loops (a.Ast.l_name :: acc) b) rest
+    | Ast.(For (_, _, _, b, _) | While (_, b, _)) :: rest -> loops (loops ("?" :: acc) b) rest
+    | Ast.If (_, t, f) :: rest -> loops (loops (loops acc t) f) rest
+    | Ast.(Assign _ | Write _ | Wait | Stall_until _) :: rest -> loops acc rest
+  in
+  Alcotest.(check (list string)) "single combined loop named after the outer" [ "row" ]
+    (loops [] lowered.Ast.d_body)
+
+let test_perfect_nest_recognized () =
+  let d = mk ~ti:4 ~tj:4 ~perfect:true ~c:1 () in
+  let _, info = Desugar.design_ex ~nest:`Flatten d in
+  match info with
+  | Some i -> Alcotest.(check bool) "perfect" true i.Nest.ni_perfect
+  | None -> Alcotest.fail "nest not recognized"
+
+(* ---- region nest annotations and per-dimension IIs ---- *)
+
+let test_region_nest_math () =
+  let d = mk ~ti:6 ~tj:5 ~perfect:false ~c:2 () in
+  let elab = Elaborate.design ~nest:`Flatten d in
+  let region = Elaborate.main_region elab in
+  (match Region.nest region with
+  | None -> Alcotest.fail "region not nest-annotated"
+  | Some n ->
+      Alcotest.(check bool) "flattened" true n.Region.n_flattened;
+      Alcotest.(check (list int)) "trips" [ 6; 5 ]
+        (List.map (fun dim -> dim.Region.nd_trip) n.Region.n_dims));
+  Alcotest.(check int) "stride 0 (innermost-carried)" 1 (Region.stride region 0);
+  Alcotest.(check int) "stride 1 (outer-carried)" 5 (Region.stride region 1);
+  Alcotest.(check int) "flat iterations" 30 (Region.flat_iters region);
+  Alcotest.(check (list int)) "per-dim IIs at kernel II=2" [ 10; 2 ]
+    (Region.per_dim_iis region ~kernel_ii:2)
+
+(* ---- per-dimension modulo constraint (fold invariant) ---- *)
+
+let test_eff_distance_and_slack () =
+  let g = Dfg.create () in
+  let a = (Dfg.add_op g (Opkind.Bin Opkind.Add) ~width:8).Dfg.id in
+  let b = (Dfg.add_op g (Opkind.Bin Opkind.Add) ~width:8).Dfg.id in
+  Dfg.connect g ~src:a ~dst:b ~port:0;
+  Dfg.connect g ~src:b ~dst:a ~port:0 ~distance:1 ~dim:1;
+  let nest =
+    {
+      Region.n_dims =
+        [
+          { Region.nd_name = "row"; nd_trip = 4; nd_ii = None };
+          { Region.nd_name = "col"; nd_trip = 7; nd_ii = None };
+        ];
+      n_perfect = true;
+      n_flattened = false;
+    }
+  in
+  let region = Region.create ~name:"outer" ~nest g in
+  let carried = List.find (fun e -> e.Dfg.distance > 0) (Dfg.in_edges g a) in
+  (* dim=1 edge: effective innermost distance multiplies by the inner trip *)
+  Alcotest.(check int) "effective distance" 7 (Pipeline.eff_distance region carried);
+  Alcotest.(check int) "modulo slack at II=3" 21 (Pipeline.modulo_slack region ~ii:3 carried);
+  (* the same edge in an unannotated region degrades to its raw distance *)
+  let plain = Region.create ~name:"plain" g in
+  Alcotest.(check int) "plain effective distance" 1 (Pipeline.eff_distance plain carried);
+  Alcotest.(check int) "plain slack" 3 (Pipeline.modulo_slack plain ~ii:3 carried)
+
+let test_fold_validates_nest () =
+  (* a real flattened nest schedules, folds, and passes validate's
+     per-dimension modulo check *)
+  let d = mk ~ti:4 ~tj:4 ~perfect:false ~c:3 () in
+  let elab = Elaborate.design ~nest:`Flatten d in
+  let region = Elaborate.main_region elab in
+  match Scheduler.schedule ~lib ~clock_ps:clock region with
+  | Error e -> Alcotest.failf "schedule failed: %s" e.Scheduler.e_message
+  | Ok s ->
+      let fold = Pipeline.fold s in
+      Alcotest.(check (list string)) "validate clean" [] (Pipeline.validate s fold)
+
+(* ---- hierarchical bottom-up composition ---- *)
+
+let test_nest_sched_compose () =
+  let d = mk ~ti:8 ~tj:8 ~perfect:false ~c:3 () in
+  match Nest_sched.compose ~lib ~clock_ps:clock d with
+  | Error m -> Alcotest.failf "compose failed: %s" m
+  | Ok h ->
+      Alcotest.(check int) "inner II" 1 h.Nest_sched.ns_inner_ii;
+      Alcotest.(check int) "span = (trip-1)*II + LI"
+        (Nest_sched.span ~trip:8 ~ii:h.Nest_sched.ns_inner_ii
+           ~li:h.Nest_sched.ns_inner.Scheduler.s_li)
+        h.Nest_sched.ns_span;
+      (match h.Nest_sched.ns_per_dim_iis with
+      | [ outer; inner ] ->
+          Alcotest.(check int) "per-dim inner = kernel II" h.Nest_sched.ns_inner_ii inner;
+          Alcotest.(check bool) "outer II covers the inner span" true
+            (outer >= h.Nest_sched.ns_span)
+      | l -> Alcotest.failf "expected 2 per-dim IIs, got %d" (List.length l));
+      Alcotest.(check bool) "latency positive" true (h.Nest_sched.ns_latency > 0)
+
+let test_span_arithmetic () =
+  Alcotest.(check int) "span 1 iter = LI" 5 (Nest_sched.span ~trip:1 ~ii:2 ~li:5);
+  Alcotest.(check int) "span pipelined" 12 (Nest_sched.span ~trip:5 ~ii:2 ~li:4)
+
+(* ---- end-to-end property: flattened nests simulate byte-identically ---- *)
+
+(** Random 2-deep nests (perfect and imperfect): the full flow with
+    verification on must succeed and report equivalence — for nest
+    regions that verdict merges the schedule-simulator gate AND the
+    folded-kernel-simulator gate against the behavioural golden model
+    (see [Flow.finish] / [Equiv.check_kernel]). *)
+let prop_flattened_nest_equivalent =
+  QCheck.Test.make ~name:"flattened nest: behavioural == schedule sim == folded kernel sim"
+    ~count:25
+    QCheck.(quad (int_range 1 4) (int_range 1 5) bool (int_range 1 7))
+    (fun (ti, tj, perfect, c) ->
+      let d = mk ~ti ~tj ~perfect ~c () in
+      let options =
+        {
+          Flow.default_options with
+          Flow.nest_mode = `Flatten;
+          verify = true;
+          sim_iters = (2 * ti * tj) + 3;
+          degrade = true;
+        }
+      in
+      match Flow.run ~options d with
+      | Error diag -> QCheck.Test.fail_reportf "flow failed: %s" (Hls_diag.Diag.to_string diag)
+      | Ok r -> (
+          match r.Flow.f_equiv with
+          | Some v when v.Hls_sim.Equiv.equivalent -> true
+          | Some v ->
+              QCheck.Test.fail_reportf "mismatch (ti=%d tj=%d perfect=%b c=%d): %s" ti tj perfect
+                c (Hls_sim.Equiv.verdict_to_string v)
+          | None -> QCheck.Test.fail_reportf "no equivalence verdict"))
+
+(** The per-dimension II surface is consistent: outermost = kernel x
+    inner trip, innermost = kernel. *)
+let prop_per_dim_iis_consistent =
+  QCheck.Test.make ~name:"per-dimension IIs derive from the kernel II by stride" ~count:25
+    QCheck.(pair (int_range 1 4) (int_range 1 5))
+    (fun (ti, tj) ->
+      let d = mk ~ti ~tj ~perfect:false ~c:1 () in
+      let elab = Elaborate.design ~nest:`Flatten d in
+      let region = Elaborate.main_region elab in
+      Region.per_dim_iis region ~kernel_ii:3 = [ 3 * tj; 3 ])
+
+let suite =
+  [
+    Alcotest.test_case "flatten rewrite shape" `Quick test_flatten_shape;
+    Alcotest.test_case "perfect nest recognized" `Quick test_perfect_nest_recognized;
+    Alcotest.test_case "region nest math" `Quick test_region_nest_math;
+    Alcotest.test_case "effective distance and modulo slack" `Quick test_eff_distance_and_slack;
+    Alcotest.test_case "fold validates a flattened nest" `Quick test_fold_validates_nest;
+    Alcotest.test_case "hierarchical compose" `Quick test_nest_sched_compose;
+    Alcotest.test_case "super-op span arithmetic" `Quick test_span_arithmetic;
+    QCheck_alcotest.to_alcotest prop_flattened_nest_equivalent;
+    QCheck_alcotest.to_alcotest prop_per_dim_iis_consistent;
+  ]
