@@ -1,4 +1,4 @@
-.PHONY: all build test faults dse check fmt ci bench bench-dse bench-netlist bench-sched bench-scale bench-nest nest-smoke scale-smoke bench-smoke bench-serve serve-smoke chaos-smoke exit-codes golden clean
+.PHONY: all build test faults dse check fmt ci bench bench-dse bench-netlist bench-sched bench-scale bench-nest bench-kernel nest-smoke scale-smoke kernel-smoke bench-smoke bench-serve serve-smoke chaos-smoke exit-codes golden clean
 
 all: build
 
@@ -79,6 +79,18 @@ bench-nest:
 # the bench nest multi-D verdict
 nest-smoke:
 	./scripts/nest_smoke.sh
+
+# the compiled-cosim experiment: interpreted vs compiled folded-kernel
+# throughput across stimulus lengths 1e2..1e6 plus a 300-case three-way
+# fuzz batch, written to BENCH_kernel.json
+bench-kernel:
+	dune exec bench/main.exe -- kernel
+
+# what CI's kernel-equiv job runs: the 200-case fixed-seed three-way fuzz
+# gate, an interpreted-vs-compiled diff on built-ins and every .bhv
+# example (both nests included), and the bench kernel path in smoke mode
+kernel-smoke:
+	./scripts/kernel_smoke.sh
 
 # the compile-service experiment, two phases written to BENCH_serve.json
 # as {"load":…,"chaos":…}: (1) a clean daemon driven by 8 concurrent

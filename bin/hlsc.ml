@@ -282,6 +282,86 @@ let flow_cmd =
       const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term
       $ nest_arg)
 
+let fuzz_cmd =
+  let doc =
+    "Run the randomized three-way equivalence gate: seeded random designs x micro-architectures \
+     x stimuli (stall patterns and early exits included), checked behavioural vs schedule-sim vs \
+     compiled kernel, with an interpreted-vs-compiled cross-check of the full kernel result."
+  in
+  let cases_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "cases" ] ~docv:"N" ~doc:"Number of seeded random cases (default 200).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 2026
+      & info [ "seed" ] ~docv:"S"
+          ~doc:"Base seed; a failure logs its case seed so the find replays exactly.")
+  in
+  let run cases seed =
+    guarded @@ fun () ->
+    let report = Hls_sim.Equiv.fuzz ~cases ~seed () in
+    print_endline (Hls_sim.Equiv.fuzz_to_string report);
+    if not (Hls_sim.Equiv.fuzz_ok report) then exit 1
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const run $ cases_arg $ seed_arg)
+
+let cosim_cmd =
+  let doc =
+    "Diff the interpreted and compiled folded-kernel engines on one design: identical outputs \
+     and identical iteration/cycle/stall/squash counters, under several external stall duty \
+     patterns."
+  in
+  let iters_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "iters" ] ~docv:"N" ~doc:"Stimulus length in iterations (default 200).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~docv:"S" ~doc:"Stimulus seed (default 7).")
+  in
+  let run name ii clock latency robust nest iters seed =
+    guarded @@ fun () ->
+    let r = flow_result ~ii ~clock ~latency ~optimize:false ~trace:false ~robust ~nest name in
+    let d = r.Hls_flow.Flow.f_design in
+    let elab = r.Hls_flow.Flow.f_elab and sched = r.Hls_flow.Flow.f_sched in
+    let stim = Hls_sim.Stimulus.small_random ~seed ~n_iters:iters ~ports:d.Ast.d_ins in
+    let patterns =
+      [
+        ("free-running", fun _ -> true);
+        ("duty-1/2", fun c -> c mod 2 = 0);
+        ("duty-2/3", fun c -> c mod 3 <> 0);
+      ]
+    in
+    List.iter
+      (fun (pname, stall_pattern) ->
+        let interp = Hls_sim.Kernel_sim.run ~engine:`Interp ~stall_pattern elab sched stim in
+        let compiled = Hls_sim.Kernel_sim.run ~engine:`Compiled ~stall_pattern elab sched stim in
+        if interp <> compiled then begin
+          Printf.eprintf
+            "hlsc: engines diverge on %s (%s): interpreted \
+             {iters=%d;cycles=%d;stalls=%d;squashed=%d;outputs=%d} vs compiled \
+             {iters=%d;cycles=%d;stalls=%d;squashed=%d;outputs=%d}\n"
+            name pname interp.Hls_sim.Kernel_sim.k_iters interp.Hls_sim.Kernel_sim.k_cycles
+            interp.Hls_sim.Kernel_sim.k_stall_cycles interp.Hls_sim.Kernel_sim.k_squashed
+            (List.length interp.Hls_sim.Kernel_sim.k_outputs)
+            compiled.Hls_sim.Kernel_sim.k_iters compiled.Hls_sim.Kernel_sim.k_cycles
+            compiled.Hls_sim.Kernel_sim.k_stall_cycles compiled.Hls_sim.Kernel_sim.k_squashed
+            (List.length compiled.Hls_sim.Kernel_sim.k_outputs);
+          exit 1
+        end;
+        Printf.printf "%-14s %-12s %d outputs, %d iterations, %d cycles — engines agree\n" name
+          pname
+          (List.length compiled.Hls_sim.Kernel_sim.k_outputs)
+          compiled.Hls_sim.Kernel_sim.k_iters compiled.Hls_sim.Kernel_sim.k_cycles)
+      patterns
+  in
+  Cmd.v (Cmd.info "cosim" ~doc)
+    Term.(
+      const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ robust_term $ nest_arg
+      $ iters_arg $ seed_arg)
+
 let emit_cmd =
   let doc = "Generate Verilog for a scheduled design." in
   let out_arg =
@@ -891,7 +971,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            designs_cmd; compile_cmd; schedule_cmd; pipeline_cmd; flow_cmd; emit_cmd; explore_cmd;
+            designs_cmd; compile_cmd; schedule_cmd; pipeline_cmd; flow_cmd; fuzz_cmd; cosim_cmd;
+            emit_cmd; explore_cmd;
             serve_cmd; submit_cmd; stats_cmd; health_cmd; bench_serve_cmd; bench_chaos_cmd;
             version_cmd;
           ]))

@@ -183,6 +183,7 @@ let finish ~options ~tier ~check_timing (design : Ast.design) elab region (sched
     match f () with
     | exception Invalid_argument m -> Diag.error ~phase ~code "%s" m
     | exception Failure m -> Diag.error ~phase ~code ~severity:Diag.Fatal "%s" m
+    | exception Hls_sim.Kernel_sim.Watchdog d -> Stdlib.Error d
     | x -> Stdlib.Ok x
   in
   let* fold = guard ~phase:Diag.Fold ~code:"internal" (fun () -> Pipeline.fold sched) in
@@ -224,9 +225,10 @@ let finish ~options ~tier ~check_timing (design : Ast.design) elab region (sched
           let sim = Hls_sim.Schedule_sim.run elab sched stim in
           let v = Hls_sim.Equiv.check ~out_ports:design.Ast.d_outs golden sim in
           let v =
-            (* nest gate: a flattened nest must also stay byte-identical
-               through the folded-kernel simulator *)
-            if Region.nest region <> None then
+            (* kernel gate: every pipelined region (and every flattened
+               nest) must also stay byte-identical through the folded
+               kernel — cheap now that the compiled engine is the default *)
+            if Region.is_pipelined region || Region.nest region <> None then
               Hls_sim.Equiv.both v
                 (Hls_sim.Equiv.check_kernel ~out_ports:design.Ast.d_outs golden
                    (Hls_sim.Kernel_sim.run elab sched stim))

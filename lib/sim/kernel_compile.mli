@@ -1,0 +1,60 @@
+(** One-time compilation of a folded pipeline into a specialized simulator.
+
+    [compile] resolves everything the {!Kernel_sim} interpreter re-derives
+    per cycle — cell topological orders, in-edge lists, guard atoms,
+    result widths, loop-carried distances — once, into per-op closures
+    over a dense op-id-indexed value arena (a ring of
+    [stages + max_distance + 1] iteration contexts with iteration-stamp
+    validity).  [run] then steps the same controller as the interpreter:
+    kernel-state counter, stage-validity shift register, external +
+    design stall freezing, data-dependent exit with squash.
+
+    A plan is reusable across runs (the arena resets per run) but is not
+    thread-safe and not reentrant: one [run] at a time per plan. *)
+
+type output_event = { k_port : string; k_iter : int; k_cycle : int; k_value : int }
+
+type result = {
+  k_outputs : output_event list;
+  k_iters : int;  (** committed iterations *)
+  k_cycles : int;  (** cycles stepped, stalls and drain included *)
+  k_stall_cycles : int;
+  k_squashed : int;  (** iterations issued past the exit and discarded *)
+}
+
+exception Watchdog of Hls_diag.Diag.t
+(** Raised ([watchdog_exceeded]) when the pipeline is still active after
+    the cycle cap — e.g. a design stall condition that never releases. *)
+
+type plan
+
+val compile : Hls_frontend.Elaborate.t -> Hls_core.Scheduler.t -> Hls_core.Pipeline.t -> plan
+
+val run :
+  ?funcs:(string -> int list -> int) ->
+  ?max_iters:int ->
+  ?max_cycles:int ->
+  ?stall_pattern:(int -> bool) ->
+  plan ->
+  Stimulus.t ->
+  result
+(** Identical semantics to {!Kernel_sim.run}.  [max_cycles] defaults to
+    {!default_max_cycles}; when exceeded while iterations are still in
+    flight, raises {!Watchdog}. *)
+
+val ii : plan -> int
+val stages : plan -> int
+
+val default_max_cycles : ii:int -> stages:int -> n_iters:int -> int
+(** [max 100_000 ((n_iters + stages + 8) * ii * 8)]: generous slack over
+    the stall-free cycle count so bounded-duty stall patterns never trip. *)
+
+val watchdog_diag : engine:string -> cap:int -> Hls_diag.Diag.t
+(** The diagnostic carried by {!Watchdog} (shared by both engines). *)
+
+val cell_topo : Hls_ir.Dfg.t -> Hls_core.Pipeline.t -> state:int -> stage:int -> int list
+(** Topologically ordered ops of one kernel cell — shared with the
+    interpreter so both engines execute cells in the same order. *)
+
+val pre_topo : Hls_ir.Dfg.t -> int list -> int list
+(** Pre-region members in dependency order over distance-0 edges. *)

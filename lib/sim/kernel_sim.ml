@@ -15,23 +15,36 @@
 
     Each pipeline stage carries the value context of the iteration
     currently occupying it; loop-carried reads reach the context of the
-    iteration [d] issues earlier.  Agreement of this simulator with both
-    the behavioural golden model and {!Schedule_sim} is asserted across
-    the design × micro-architecture test matrix. *)
+    iteration [d] issues earlier.
+
+    Two engines share the controller semantics bit-for-bit: the reference
+    tree-walking interpreter below ([`Interp]) and the compiled plan of
+    {!Kernel_compile} ([`Compiled], the default), which specializes the
+    design once into closures over a dense value arena.  Agreement of
+    both engines with the behavioural golden model and {!Schedule_sim} is
+    asserted across the design × micro-architecture test matrix and by
+    the randomized {!Equiv.fuzz} gate. *)
 
 open Hls_ir
 open Hls_core
 open Hls_frontend
 
-type output_event = { k_port : string; k_iter : int; k_cycle : int; k_value : int }
+type output_event = Kernel_compile.output_event = {
+  k_port : string;
+  k_iter : int;
+  k_cycle : int;
+  k_value : int;
+}
 
-type result = {
+type result = Kernel_compile.result = {
   k_outputs : output_event list;
   k_iters : int;  (** committed iterations *)
   k_cycles : int;  (** clock cycles stepped, including stalls and drain *)
   k_stall_cycles : int;
   k_squashed : int;  (** iterations issued past the exit and discarded *)
 }
+
+exception Watchdog = Kernel_compile.Watchdog
 
 let trunc = Width.truncate
 
@@ -46,12 +59,12 @@ type ctx = {
   history : (int, (int, int) Hashtbl.t) Hashtbl.t;  (** iteration -> values *)
 }
 
-let lookup ctx iter =
+let history_lookup ctx iter =
   if iter < 0 then None else Hashtbl.find_opt ctx.history iter
 
-let edge_value ctx ~iter (e : Dfg.edge) =
+let edge_value ctx ~lookup ~iter (e : Dfg.edge) =
   let from_iter = iter - e.Dfg.distance in
-  match lookup ctx from_iter with
+  match lookup from_iter with
   | Some tbl when Hashtbl.mem tbl e.Dfg.src -> Hashtbl.find tbl e.Dfg.src
   | _ -> Option.value (Hashtbl.find_opt ctx.pre_values e.Dfg.src) ~default:0
 
@@ -66,10 +79,15 @@ let guard_true ctx ~values (g : Guard.t) =
       (v <> 0) = a.Guard.polarity)
     g
 
-let eval_op ctx ~iter ~values (op : Dfg.op) =
+(** Evaluate one op into [values].  [lookup] resolves the value table of a
+    given iteration: the per-iteration history in the main loop, or a
+    constant [pre_values] view for the pre region (where every operand
+    resolves against the already-evaluated pre context — the same
+    convention {!Schedule_sim} uses). *)
+let eval_op ctx ~lookup ~iter ~values (op : Dfg.op) =
   let ins = Dfg.in_edges ctx.dfg op.Dfg.id in
-  let arg i = edge_value ctx ~iter (List.nth ins i) in
-  let args () = List.map (edge_value ctx ~iter) ins in
+  let arg i = edge_value ctx ~lookup ~iter (List.nth ins i) in
+  let args () = List.map (edge_value ctx ~lookup ~iter) ins in
   let v =
     match op.Dfg.kind with
     | Opkind.Read p -> Stimulus.value ctx.stim ~port:p ~iter
@@ -89,76 +107,36 @@ let eval_op ctx ~iter ~values (op : Dfg.op) =
   in
   Hashtbl.replace values op.Dfg.id (trunc ~width:op.Dfg.width v)
 
-(** Topologically ordered ops of one kernel cell (state, stage): within a
-    cell the chained dependencies must execute producer-first. *)
-let cell_order ctx ~state ~stage =
-  let ops = Pipeline.ops_at ctx.fold ~state ~stage in
-  let member = Hashtbl.create 8 in
-  List.iter (fun o -> Hashtbl.replace member o ()) ops;
-  let succs id =
-    List.filter_map
-      (fun e -> if e.Dfg.distance = 0 && Hashtbl.mem member e.Dfg.dst then Some e.Dfg.dst else None)
-      (Dfg.out_edges ctx.dfg id)
-  in
-  match Graph_algo.topo_sort ~nodes:ops ~succs with
-  | Some o -> o
-  | None -> invalid_arg "Kernel_sim: combinational cycle within a kernel cell"
+let cell_order ctx ~state ~stage = Kernel_compile.cell_topo ctx.dfg ctx.fold ~state ~stage
 
-(** Step the folded pipeline.  [stall_pattern cycle] returns [true] when
-    the external stall condition allows progress at [cycle] (defaults to
-    always-go; the design's own [stall_until] condition is also honoured
-    when its ops evaluate false). *)
-let run ?(funcs = Behav.default_fun) ?max_iters ?(stall_pattern = fun _ -> true)
-    (elab : Elaborate.t) (sched : Scheduler.t) (stim : Stimulus.t) : result =
+(** The reference interpreter: re-derives cell orders per cycle and keeps
+    per-iteration hashtable contexts.  Kept as the executable
+    specification the compiled engine is diffed against. *)
+let run_interp ?(funcs = Behav.default_fun) ?max_iters ?max_cycles
+    ?(stall_pattern = fun _ -> true) (elab : Elaborate.t) (sched : Scheduler.t)
+    (stim : Stimulus.t) : result =
   let fold = Pipeline.fold sched in
   let dfg = elab.Elaborate.cdfg.Cdfg.dfg in
   let ctx =
     { elab; sched; fold; stim; funcs; dfg; pre_values = Hashtbl.create 32;
       history = Hashtbl.create 16 }
   in
-  (* pre-region evaluated once, as the init state of the FSM would *)
-  let pre = elab.Elaborate.pre_members in
-  let member_set = Hashtbl.create 16 in
-  List.iter (fun m -> Hashtbl.replace member_set m ()) pre;
-  let pre_succs id =
-    List.filter_map
-      (fun e ->
-        if e.Dfg.distance = 0 && Hashtbl.mem member_set e.Dfg.dst then Some e.Dfg.dst else None)
-      (Dfg.out_edges dfg id)
-  in
-  (match Graph_algo.topo_sort ~nodes:pre ~succs:pre_succs with
-  | Some order ->
-      List.iter
-        (fun id ->
-          let op = Dfg.find dfg id in
-          let save = Hashtbl.create 1 in
-          ignore save;
-          (* pre ops read iteration 0 samples *)
-          let values = ctx.pre_values in
-          let ins = Dfg.in_edges dfg id in
-          let arg i =
-            let e = List.nth ins i in
-            Option.value (Hashtbl.find_opt values e.Dfg.src) ~default:0
-          in
-          let v =
-            match op.Dfg.kind with
-            | Opkind.Read p -> Stimulus.value stim ~port:p ~iter:0
-            | Opkind.Const n -> n
-            | Opkind.Write _ -> arg 0
-            | Opkind.Sext _ -> arg 0
-            | Opkind.Call c -> funcs c.Opkind.callee (List.mapi (fun i _ -> arg i) ins)
-            | k -> (
-                match Opkind.eval_pure k (List.mapi (fun i _ -> arg i) ins) with
-                | Some v -> v
-                | None -> 0)
-          in
-          Hashtbl.replace values id (trunc ~width:op.Dfg.width v))
-        order
-  | None -> invalid_arg "Kernel_sim: cyclic pre region");
+  (* pre-region evaluated once, as the init state of the FSM would; the
+     shared [eval_op] resolves every operand against the pre context *)
+  let pre_lookup _ = Some ctx.pre_values in
+  List.iter
+    (fun id ->
+      eval_op ctx ~lookup:pre_lookup ~iter:0 ~values:ctx.pre_values (Dfg.find dfg id))
+    (Kernel_compile.pre_topo dfg elab.Elaborate.pre_members);
   let region = sched.Scheduler.s_region in
   let ii = fold.Pipeline.f_ii in
   let stages = fold.Pipeline.f_stages in
   let n_iters = min (Option.value max_iters ~default:stim.Stimulus.n_iters) stim.Stimulus.n_iters in
+  let cap =
+    match max_cycles with
+    | Some c -> c
+    | None -> Kernel_compile.default_max_cycles ~ii ~stages ~n_iters
+  in
   (* controller state *)
   let stage_iter = Array.make stages (-1) in
   (* iteration id occupying each stage, -1 = bubble *)
@@ -177,10 +155,13 @@ let run ?(funcs = Behav.default_fun) ?max_iters ?(stall_pattern = fun _ -> true)
   let max_distance =
     List.fold_left (fun acc e -> max acc e.Dfg.distance) 1 (Dfg.all_edges dfg)
   in
+  let lookup = history_lookup ctx in
   let active () = Array.exists (fun i -> i >= 0) stage_iter in
   let guard_cycles = ref 0 in
-  while active () && !guard_cycles < 100000 do
+  while active () do
     incr guard_cycles;
+    if !guard_cycles > cap then
+      raise (Watchdog (Kernel_compile.watchdog_diag ~engine:"interpreted" ~cap));
     (* design-level stall: evaluate the stall condition against the oldest
        active iteration's context (the controller's view) *)
     let design_go =
@@ -206,7 +187,7 @@ let run ?(funcs = Behav.default_fun) ?max_iters ?(stall_pattern = fun _ -> true)
                         Hashtbl.replace ctx.history iter t;
                         t
                   in
-                  eval_op ctx ~iter ~values op;
+                  eval_op ctx ~lookup ~iter ~values op;
                   Hashtbl.find values c
             in
             v <> 0)
@@ -231,7 +212,7 @@ let run ?(funcs = Behav.default_fun) ?max_iters ?(stall_pattern = fun _ -> true)
             List.iter
               (fun id ->
                 let op = Dfg.find dfg id in
-                eval_op ctx ~iter ~values op;
+                eval_op ctx ~lookup ~iter ~values op;
                 match op.Dfg.kind with
                 | Opkind.Write p when guard_true ctx ~values op.Dfg.guard ->
                     outputs :=
@@ -297,6 +278,21 @@ let run ?(funcs = Behav.default_fun) ?max_iters ?(stall_pattern = fun _ -> true)
     k_stall_cycles = !stalls;
     k_squashed = !squashed;
   }
+
+(** Step the folded pipeline.  [stall_pattern cycle] returns [true] when
+    the external stall condition allows progress at [cycle] (defaults to
+    always-go; the design's own [stall_until] condition is also honoured
+    when its ops evaluate false).  [engine] selects the compiled plan
+    (default) or the reference interpreter; both produce identical
+    results. *)
+let run ?funcs ?max_iters ?max_cycles ?stall_pattern ?(engine = `Compiled)
+    (elab : Elaborate.t) (sched : Scheduler.t) (stim : Stimulus.t) : result =
+  match engine with
+  | `Interp -> run_interp ?funcs ?max_iters ?max_cycles ?stall_pattern elab sched stim
+  | `Compiled ->
+      let fold = Pipeline.fold sched in
+      let plan = Kernel_compile.compile elab sched fold in
+      Kernel_compile.run ?funcs ?max_iters ?max_cycles ?stall_pattern plan stim
 
 let port_values (r : result) port =
   r.k_outputs

@@ -41,10 +41,10 @@ type ctx = {
   funcs : string -> int list -> int;
   dfg : Dfg.t;
   pre_values : (int, int) Hashtbl.t;
-  exec_counts : (int, int) Hashtbl.t;
+  exec_counts : int array;  (** dense, op-id-indexed; exported as a table *)
 }
 
-let count ctx op = Hashtbl.replace ctx.exec_counts op (1 + Option.value (Hashtbl.find_opt ctx.exec_counts op) ~default:0)
+let count ctx op = ctx.exec_counts.(op) <- ctx.exec_counts.(op) + 1
 
 (** Value of [op]'s input edge [e] for iteration [iter], given the history
     of per-iteration value tables ([history i] = values of iteration [i]). *)
@@ -125,7 +125,7 @@ let run ?(funcs = Behav.default_fun) ?max_iters (elab : Elaborate.t) (sched : Sc
       funcs;
       dfg;
       pre_values = Hashtbl.create 32;
-      exec_counts = Hashtbl.create 64;
+      exec_counts = Array.make (Dfg.fold_ops dfg (fun op m -> max m op.Dfg.id) (-1) + 1) 0;
     }
   in
   (* --- pre-region: evaluate once (iteration index 0 for port reads) --- *)
@@ -226,7 +226,11 @@ let run ?(funcs = Behav.default_fun) ?max_iters (elab : Elaborate.t) (sched : Sc
     r_iters = !committed;
     r_cycles = cycles;
     r_issued = !issued;
-    r_exec_counts = ctx.exec_counts;
+    r_exec_counts =
+      (* export only the executed ops, as the table-based counter did *)
+      (let tbl = Hashtbl.create 64 in
+       Array.iteri (fun id n -> if n > 0 then Hashtbl.replace tbl id n) ctx.exec_counts;
+       tbl);
   }
 
 let port_values (r : result) port =

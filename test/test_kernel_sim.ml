@@ -78,6 +78,77 @@ let test_exit_squash () =
     (Hls_sim.Kernel_sim.port_values r "dot");
   Alcotest.(check int) "three committed iterations" 3 r.Hls_sim.Kernel_sim.k_iters
 
+let test_watchdog_raises () =
+  (* a permanently stalled pipeline must raise a typed diagnostic, not
+     silently return a truncated result (the old behaviour) *)
+  let d = Hls_designs.Example1.design () in
+  let e, s = schedule ~ii:1 d in
+  let stim = Hls_sim.Stimulus.small_random ~seed:5 ~n_iters:10 ~ports:d.Ast.d_ins in
+  let check_engine engine name =
+    match
+      Hls_sim.Kernel_sim.run ~engine ~max_cycles:50 ~stall_pattern:(fun _ -> false) e s stim
+    with
+    | _ -> Alcotest.failf "%s engine: watchdog did not fire" name
+    | exception Hls_sim.Kernel_sim.Watchdog diag ->
+        Alcotest.(check string) (name ^ " diag code") "watchdog_exceeded" diag.Hls_diag.Diag.d_code
+  in
+  check_engine `Interp "interpreted";
+  check_engine `Compiled "compiled";
+  (* a generous default cap must not fire on a normal run *)
+  let r = Hls_sim.Kernel_sim.run e s stim in
+  Alcotest.(check bool) "normal run completes" true (r.Hls_sim.Kernel_sim.k_iters > 0)
+
+(* QCheck: the compiled engine is bit-identical to the interpreter on
+   random designs — outputs and all four counters — including under
+   external stall patterns interacting with data-dependent exits. *)
+let prop_interp_eq_compiled =
+  QCheck.Test.make ~name:"interpreted == compiled on random designs" ~count:60
+    QCheck.(pair small_nat (int_range 0 3))
+    (fun (seed, duty) ->
+      let cseed = (seed * 7919) + 13 in
+      let d = Hls_sim.Equiv.gen_design ~seed:cseed in
+      let e = Elaborate.design d in
+      let ii = match cseed mod 4 with 0 -> None | n -> Some n in
+      let region = Elaborate.main_region ?ii e in
+      match Scheduler.schedule ~lib ~clock_ps:1600.0 region with
+      | Error _ -> QCheck.assume_fail () (* infeasible micro-architecture *)
+      | Ok s -> (
+          let stim =
+            Hls_sim.Stimulus.small_random ~seed:cseed ~n_iters:((cseed mod 30) + 5)
+              ~ports:d.Ast.d_ins
+          in
+          let stall_pattern c =
+            match duty with
+            | 0 -> true
+            | 1 -> c mod 2 = 0
+            | 2 -> c mod 3 <> 0
+            | _ -> (c * 2654435761) land 7 <> 0
+          in
+          match
+            ( Hls_sim.Kernel_sim.run ~engine:`Interp ~stall_pattern e s stim,
+              Hls_sim.Kernel_sim.run ~engine:`Compiled ~stall_pattern e s stim )
+          with
+          | exception exn ->
+              QCheck.Test.fail_reportf "seed %d duty %d: raised %s" cseed duty
+                (Printexc.to_string exn)
+          | i, c ->
+              if i <> c then
+                QCheck.Test.fail_reportf
+                  "seed %d duty %d: interp {iters=%d;cycles=%d;stalls=%d;squashed=%d} vs compiled \
+                   {iters=%d;cycles=%d;stalls=%d;squashed=%d}"
+                  cseed duty i.Hls_sim.Kernel_sim.k_iters i.Hls_sim.Kernel_sim.k_cycles
+                  i.Hls_sim.Kernel_sim.k_stall_cycles i.Hls_sim.Kernel_sim.k_squashed
+                  c.Hls_sim.Kernel_sim.k_iters c.Hls_sim.Kernel_sim.k_cycles
+                  c.Hls_sim.Kernel_sim.k_stall_cycles c.Hls_sim.Kernel_sim.k_squashed
+              else true))
+
+let test_fuzz_gate () =
+  let report = Hls_sim.Equiv.fuzz ~cases:200 ~seed:2026 () in
+  Alcotest.(check bool)
+    (Hls_sim.Equiv.fuzz_to_string report)
+    true
+    (Hls_sim.Equiv.fuzz_ok report)
+
 let suite =
   [
     three_way "example1" (Hls_designs.Example1.design ()) None 40 31;
@@ -90,4 +161,7 @@ let suite =
     Alcotest.test_case "prologue/drain cycles" `Quick test_prologue_cycles;
     Alcotest.test_case "external stall freezes" `Quick test_external_stall_freezes;
     Alcotest.test_case "exit squash" `Quick test_exit_squash;
+    Alcotest.test_case "watchdog raises typed diag" `Quick test_watchdog_raises;
+    QCheck_alcotest.to_alcotest prop_interp_eq_compiled;
+    Alcotest.test_case "randomized three-way fuzz gate" `Slow test_fuzz_gate;
   ]
