@@ -1,4 +1,4 @@
-.PHONY: all build test faults dse check fmt ci bench bench-dse bench-netlist bench-sched bench-scale bench-nest bench-kernel nest-smoke scale-smoke kernel-smoke bench-smoke bench-serve serve-smoke chaos-smoke exit-codes golden clean
+.PHONY: all build test faults dse check fmt ci bench bench-dse bench-netlist bench-sched bench-scale bench-nest bench-feedback bench-kernel nest-smoke scale-smoke kernel-smoke bench-smoke bench-serve serve-smoke chaos-smoke feedback-smoke exit-codes golden clean
 
 all: build
 
@@ -79,6 +79,18 @@ bench-nest:
 # the bench nest multi-D verdict
 nest-smoke:
 	./scripts/nest_smoke.sh
+
+# the feedback experiment: scheduler passes and QoR with and without the
+# subgraph-extraction feedback loop on the table designs + synthetic-350,
+# written to BENCH_feedback.json
+bench-feedback:
+	dune exec bench/main.exe -- feedback
+
+# what CI's feedback-smoke job runs: pass reduction at equal-or-better
+# QoR on every bench workload, cross-point hint reuse in explore
+# --feedback, and golden byte-identity with feedback off
+feedback-smoke:
+	./scripts/feedback_smoke.sh
 
 # the compiled-cosim experiment: interpreted vs compiled folded-kernel
 # throughput across stimulus lengths 1e2..1e6 plus a 300-case three-way

@@ -1104,6 +1104,72 @@ let bench_kernel () =
   print_endline "wrote BENCH_kernel.json"
 
 (* ------------------------------------------------------------------ *)
+(* Feedback-guided iterative scheduling: scheduler passes and QoR with  *)
+(* and without the subgraph-extraction feedback loop                    *)
+(* (BENCH_feedback.json)                                                *)
+(* ------------------------------------------------------------------ *)
+
+let bench_feedback () =
+  section "FEEDBACK — pass reduction under subgraph-extraction feedback (BENCH_feedback.json)";
+  let module Flow = Hls_flow.Flow in
+  let workloads =
+    [
+      ("idct", Hls_designs.Idct.design (), 2);
+      ("fft", Hls_designs.Fft.design (), 2);
+      ("sobel", Hls_designs.Conv.design (), 2);
+      ( "synthetic-350",
+        Hls_designs.Synthetic.design
+          ~profile:
+            { Hls_designs.Synthetic.default_profile with Hls_designs.Synthetic.p_ops = 350; p_seed = 7 }
+          (),
+        2 );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, design, ii) ->
+        let run feedback =
+          Flow.run
+            ~options:
+              {
+                Flow.default_options with
+                Flow.ii = Some ii;
+                verify = false;
+                feedback;
+                feedback_iters = 3;
+              }
+            design
+        in
+        let describe (r : Flow.t) =
+          ( r.Flow.f_cycles_per_iter,
+            r.Flow.f_sched.Scheduler.s_li,
+            r.Flow.f_area.Hls_rtl.Stats.a_total,
+            r.Flow.f_stats.Scheduler.st_passes )
+        in
+        match (run false, run true) with
+        | Ok b, Ok f ->
+            let bii, bli, barea, bp = describe b and fii, fli, farea, fp = describe f in
+            let qor_ok = (fii, fli, farea) <= (bii, bli, barea) in
+            Printf.printf "  %-14s baseline: II=%d LI=%d area=%.0f passes=%d\n%!" name bii bli
+              barea bp;
+            Printf.printf "  %-14s feedback: II=%d LI=%d area=%.0f passes=%d%s\n%!" name fii
+              fli farea fp
+              (if fp < bp then "  (fewer passes)" else "");
+            Printf.sprintf
+              {|{"design":"%s","ii_request":%d,"baseline":{"ii":%d,"li":%d,"area":%.0f,"passes":%d},"feedback":{"ii":%d,"li":%d,"area":%.0f,"passes":%d},"fewer_passes":%b,"qor_no_worse":%b}|}
+              name ii bii bli barea bp fii fli farea fp (fp < bp) qor_ok
+        | Error d, _ | _, Error d ->
+            Printf.printf "  %-14s infeasible (%s)\n%!" name d.Hls_diag.Diag.d_code;
+            Printf.sprintf {|{"design":"%s","ok":false,"code":"%s"}|} name d.Hls_diag.Diag.d_code)
+      workloads
+  in
+  let oc = open_out "BENCH_feedback.json" in
+  Printf.fprintf oc {|{"clock_ps":%.0f,"workloads":[%s]}
+|} clock (String.concat "," rows);
+  close_out oc;
+  print_endline "wrote BENCH_feedback.json"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1121,6 +1187,7 @@ let experiments =
     ("netlist", bench_netlist);
     ("scale", bench_scale);
     ("nest", bench_nest);
+    ("feedback", bench_feedback);
     ("kernel", bench_kernel);
     ("examples", examples);
     ("baselines", baselines);

@@ -76,6 +76,22 @@ let latency_arg =
 
 let trace_arg = Arg.(value & flag & info [ "trace" ] ~doc:"Print scheduling pass events.")
 
+let feedback_arg =
+  Arg.(
+    value & flag
+    & info [ "feedback" ]
+        ~doc:
+          "Run the subgraph-extraction feedback loop: schedule, mine the critical subgraphs \
+           (negative-slack cones, contended-resource cliques, SCC stage windows) into typed \
+           hints, and re-schedule with the hints batched in — serving whichever iteration wins \
+           on (II, latency, area), preferring the one that needed fewer relaxation passes.")
+
+let feedback_iters_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "feedback-iters" ] ~docv:"N"
+        ~doc:"Schedule calls the feedback loop may spend (default 2; implies $(b,--feedback)).")
+
 let opt_arg = Arg.(value & flag & info [ "optimize" ] ~doc:"Run the DFG optimizer before scheduling.")
 
 let parse_latency = function
@@ -143,7 +159,8 @@ let parse_ii = function
               Ok (None, Some dims)
           | _ -> Error (Printf.sprintf "bad --ii value '%s' (expected N or AxB, e.g. 4x1)" s)))
 
-let flow_result ~ii ~clock ~latency ~optimize ~trace ~robust ?(nest = `Flatten) design_name =
+let flow_result ~ii ~clock ~latency ~optimize ~trace ~robust ?(nest = `Flatten)
+    ?(feedback = false) ?(feedback_iters = 2) design_name =
   let design = or_die (load_design design_name) in
   let ii, ii_dims = or_die (parse_ii ii) in
   let min_latency, max_latency = or_die (parse_latency latency) in
@@ -173,6 +190,8 @@ let flow_result ~ii ~clock ~latency ~optimize ~trace ~robust ?(nest = `Flatten) 
       sched;
       degrade = not robust.no_degrade;
       paranoid = robust.paranoid;
+      feedback = feedback || feedback_iters <> 2;
+      feedback_iters = max 1 feedback_iters;
     }
   in
   let trace_obj = if trace then Some (Hls_core.Trace.create ~echo:true ()) else None in
@@ -248,39 +267,48 @@ let compile_cmd =
 
 let schedule_cmd =
   let doc = "Schedule and bind a design; print the resource/state table." in
-  let run name ii clock latency trace optimize robust nest =
+  let run name ii clock latency trace optimize robust nest feedback feedback_iters =
     guarded @@ fun () ->
-    let r = flow_result ~ii ~clock ~latency ~optimize ~trace ~robust ~nest name in
+    let r =
+      flow_result ~ii ~clock ~latency ~optimize ~trace ~robust ~nest ~feedback ~feedback_iters
+        name
+    in
     print_string (Render.schedule r)
   in
   Cmd.v (Cmd.info "schedule" ~doc)
     Term.(
       const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term
-      $ nest_arg)
+      $ nest_arg $ feedback_arg $ feedback_iters_arg)
 
 let pipeline_cmd =
   let doc = "Schedule, fold and print the pipeline kernel (the Fig. 5 view)." in
-  let run name ii clock latency trace optimize robust nest =
+  let run name ii clock latency trace optimize robust nest feedback feedback_iters =
     guarded @@ fun () ->
-    let r = flow_result ~ii ~clock ~latency ~optimize ~trace ~robust ~nest name in
+    let r =
+      flow_result ~ii ~clock ~latency ~optimize ~trace ~robust ~nest ~feedback ~feedback_iters
+        name
+    in
     print_string (Render.pipeline r)
   in
   Cmd.v (Cmd.info "pipeline" ~doc)
     Term.(
       const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term
-      $ nest_arg)
+      $ nest_arg $ feedback_arg $ feedback_iters_arg)
 
 let flow_cmd =
   let doc = "Run the full flow: schedule, fold, area/power, verification." in
-  let run name ii clock latency trace optimize robust nest =
+  let run name ii clock latency trace optimize robust nest feedback feedback_iters =
     guarded @@ fun () ->
-    let r = flow_result ~ii ~clock ~latency ~optimize ~trace ~robust ~nest name in
+    let r =
+      flow_result ~ii ~clock ~latency ~optimize ~trace ~robust ~nest ~feedback ~feedback_iters
+        name
+    in
     print_string (Render.flow r)
   in
   Cmd.v (Cmd.info "flow" ~doc)
     Term.(
       const run $ design_arg $ ii_arg $ clock_arg $ latency_arg $ trace_arg $ opt_arg $ robust_term
-      $ nest_arg)
+      $ nest_arg $ feedback_arg $ feedback_iters_arg)
 
 let fuzz_cmd =
   let doc =
@@ -417,7 +445,17 @@ let explore_cmd =
       value & opt (some string) None
       & info [ "json" ] ~docv:"FILE" ~doc:"Also write the sweep as JSON to $(docv).")
   in
-  let run name grid_spec jobs json robust =
+  let explore_feedback_arg =
+    Arg.(
+      value & flag
+      & info [ "feedback" ]
+          ~doc:
+            "Thread the engine's cross-point hint store through the sweep: the first point of \
+             a design seeds the store with portable mined hints, every later point warm-starts \
+             from that snapshot (results stay identical for every $(b,--jobs) count), and the \
+             stats line reports how many points were hint-warmed.")
+  in
+  let run name grid_spec jobs json robust feedback =
     guarded @@ fun () ->
     let jobs =
       match Hls_dse.Dse.validate_jobs jobs with
@@ -436,6 +474,7 @@ let explore_cmd =
         verify = false;
         degrade = not robust.no_degrade;
         paranoid = robust.paranoid;
+        feedback;
         sched =
           {
             Hls_core.Scheduler.default_options with
@@ -470,7 +509,9 @@ let explore_cmd =
         Printf.printf "wrote %s\n" path
   in
   Cmd.v (Cmd.info "explore" ~doc)
-    Term.(const run $ design_arg $ grid_arg $ jobs_arg $ json_arg $ robust_term)
+    Term.(
+      const run $ design_arg $ grid_arg $ jobs_arg $ json_arg $ robust_term
+      $ explore_feedback_arg)
 
 (* ---- compile service ---- *)
 

@@ -65,7 +65,7 @@ let create (region : Region.t) =
     ctx_scores_aa = None;
   }
 
-let refresh_scores t ~weights ~aa =
+let refresh_scores ?(boosts = []) t ~weights ~aa =
   match t.ctx_scores_aa with
   | Some prev when prev == aa -> ()
   | _ ->
@@ -74,4 +74,13 @@ let refresh_scores t ~weights ~aa =
           Hashtbl.replace t.ctx_scores o.Dfg.id
             (Priority.score ~weights ~fanout:t.ctx_fanout aa o))
         t.ctx_members;
+      (* feedback priority boosts: additive deltas on top of the base
+         score.  Constant for the lifetime of a schedule call, so the
+         aa-identity memo above stays sound. *)
+      List.iter
+        (fun (id, delta) ->
+          match Hashtbl.find_opt t.ctx_scores id with
+          | Some s -> Hashtbl.replace t.ctx_scores id (s +. delta)
+          | None -> ())
+        boosts;
       t.ctx_scores_aa <- Some aa

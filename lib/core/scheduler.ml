@@ -94,6 +94,22 @@ type options = {
   timeout_s : float option;
       (** wall-clock budget for the whole relaxation loop; checked at the
           top of every pass *)
+  (* --- feedback hints (lib/feedback): batched constraints applied at
+     schedule start instead of discovered one expert action at a time.
+     Hints referencing ops/SCCs/resources absent from this region are
+     silently skipped — a hint is advice mined from an earlier run, not a
+     hard constraint. *)
+  priority_boosts : (int * float) list;
+      (** additive priority-score deltas per op (critical-subgraph cones) *)
+  speculated_ops : int list;  (** ops to pre-speculate *)
+  forbidden_pairs : (int * int) list;  (** (op, inst) pairs to pre-forbid *)
+  scc_stage_hints : (int * int) list;
+      (** (scc index, stage) pre-pins for pipelined regions *)
+  resource_floors : (Resource.t * int) list;
+      (** minimum instance counts per resource type, topped up at start *)
+  latency_floor : int option;
+      (** start the latency interval at least here (clamped to the
+          region's max); skipped for pipelined regions *)
 }
 
 let default_options =
@@ -108,6 +124,12 @@ let default_options =
     seed_latency_floor = true;
     max_actions = 2000;
     timeout_s = None;
+    priority_boosts = [];
+    speculated_ops = [];
+    forbidden_pairs = [];
+    scc_stage_hints = [];
+    resource_floors = [];
+    latency_floor = None;
   }
 
 type t = {
@@ -120,6 +142,7 @@ type t = {
   s_sched_time_s : float;
   s_warm_passes : int;  (** passes that replayed a schedule prefix *)
   s_cold_passes : int;  (** passes re-vetted from step 0 *)
+  s_hints_applied : int;  (** feedback hints actually applied at start *)
 }
 
 type error = {
@@ -142,6 +165,7 @@ type stats = {
   st_sched_s : float;
   st_warm_passes : int;  (** passes served by warm-start prefix replay *)
   st_cold_passes : int;  (** passes run from a cold restart *)
+  st_hints : int;  (** feedback hints applied at schedule start *)
 }
 
 let stats t =
@@ -157,6 +181,7 @@ let stats t =
     st_sched_s = t.s_sched_time_s;
     st_warm_passes = t.s_warm_passes;
     st_cold_passes = t.s_cold_passes;
+    st_hints = t.s_hints_applied;
   }
 
 (* internal: unwinds the relaxation loop into a typed error *)
@@ -632,6 +657,54 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
     if floor > region.Region.n_steps && floor <= region.Region.max_steps then
       Region.reset_steps region floor
   end;
+  (* --- feedback hints: batched constraints from an earlier schedule of
+     this (or a neighboring) design, applied up front so the relaxation
+     loop starts where the previous run converged.  Every hint is vetted
+     against this region — stale op/inst/SCC references are skipped. *)
+  let hints_applied = ref 0 in
+  let hint () = incr hints_applied in
+  List.iter
+    (fun op ->
+      if Dfg.mem dfg op then begin
+        (Dfg.find dfg op).Dfg.speculated <- true;
+        hint ()
+      end)
+    opts.speculated_ops;
+  List.iter
+    (fun (op, inst) ->
+      if Dfg.mem dfg op && inst >= 0 && inst < Hls_netlist.Netlist.n_insts binding.Binding.net
+      then begin
+        Hashtbl.replace binding.Binding.forbidden (op, inst) ();
+        hint ()
+      end)
+    opts.forbidden_pairs;
+  List.iter
+    (fun ((rt : Resource.t), n) ->
+      let have =
+        List.fold_left
+          (fun acc (i : Binding.inst) -> if i.Binding.rtype = rt then acc + 1 else acc)
+          0
+          (Hls_netlist.Netlist.insts binding.Binding.net)
+      in
+      if n > have then begin
+        for _ = 1 to n - have do
+          ignore (Binding.add_inst ~added_by_expert:true binding rt)
+        done;
+        hint ()
+      end)
+    opts.resource_floors;
+  (match opts.latency_floor with
+  | Some floor when not (Region.is_pipelined region) ->
+      let floor = min floor region.Region.max_steps in
+      if floor > region.Region.n_steps then begin
+        Region.reset_steps region floor;
+        hint ()
+      end
+  | _ -> ());
+  let boosts =
+    List.filter (fun (op, _) -> Dfg.mem dfg op) opts.priority_boosts
+  in
+  List.iter (fun _ -> hint ()) boosts;
   (* --- SCC bookkeeping for pipelined regions --- *)
   let sccs = if Region.is_pipelined region then Region.sccs region else [] in
   let scc_of_tbl = Hashtbl.create 16 in
@@ -640,6 +713,13 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
   let scc_persist = Array.make (List.length sccs) None in
   let scc_stage_local = Array.make (List.length sccs) None in
   let scc_moves = Array.make (List.length sccs) 0 in
+  List.iter
+    (fun (k, stage) ->
+      if k >= 0 && k < Array.length scc_persist then begin
+        scc_persist.(k) <- Some (max 0 stage);
+        hint ()
+      end)
+    opts.scc_stage_hints;
   (* early recurrence feasibility (RecMII analogue): an SCC whose longest
      internal combinational chain cannot be registered apart within its
      II-state stage window can never be scheduled at this II *)
@@ -755,7 +835,7 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
          else Asap_alap.compute ~lib ~clock_ps ~scc_window region
        in
        let ctx = match ctx0 with Some c -> c | None -> Pass_ctx.create region in
-       Pass_ctx.refresh_scores ctx ~weights:opts.priority_weights ~aa;
+       Pass_ctx.refresh_scores ctx ~boosts ~weights:opts.priority_weights ~aa;
        let warm =
          match (!next_warm, !prev_log) with
          | Some s, Some events -> Some (events, s)
@@ -797,6 +877,7 @@ let schedule ?(opts = default_options) ?trace ~(lib : Library.t) ~clock_ps (regi
                     s_sched_time_s = Unix.gettimeofday () -. t0;
                     s_warm_passes = !warm_passes;
                     s_cold_passes = !cold_passes;
+                    s_hints_applied = !hints_applied;
                   })
        | Pass_failed restraints -> (
            Trace.logf trace "pass %d: failed with %d restraints" !passes (List.length restraints);

@@ -33,6 +33,19 @@ type options = {
       (** budget on total relaxation actions across all passes *)
   timeout_s : float option;
       (** wall-clock budget for the whole relaxation loop *)
+  priority_boosts : (int * float) list;
+      (** feedback hints: additive priority-score deltas per op (mined
+          critical-subgraph cones); stale op ids are skipped *)
+  speculated_ops : int list;  (** feedback hints: ops to pre-speculate *)
+  forbidden_pairs : (int * int) list;
+      (** feedback hints: (op, inst) pairs to pre-forbid *)
+  scc_stage_hints : (int * int) list;
+      (** feedback hints: (scc index, stage) pre-pins (pipelined regions) *)
+  resource_floors : (Resource.t * int) list;
+      (** feedback hints: minimum instance counts, topped up at start *)
+  latency_floor : int option;
+      (** feedback hint: start LI at least here (clamped to the region's
+          max steps; ignored for pipelined regions) *)
 }
 
 val default_options : options
@@ -47,6 +60,7 @@ type t = {
   s_sched_time_s : float;
   s_warm_passes : int;  (** passes that replayed a schedule prefix *)
   s_cold_passes : int;  (** passes re-vetted from step 0 *)
+  s_hints_applied : int;  (** feedback hints actually applied at start *)
 }
 
 type error = {
@@ -82,6 +96,7 @@ type stats = {
   st_sched_s : float;  (** wall-clock seconds inside the scheduler *)
   st_warm_passes : int;  (** passes served by warm-start prefix replay *)
   st_cold_passes : int;  (** passes run from a cold restart *)
+  st_hints : int;  (** feedback hints applied at schedule start *)
 }
 
 val stats : t -> stats

@@ -1,7 +1,17 @@
 (** Typed diagnostics for the HLS flow.  See the interface for the
     contract: the flow returns these instead of raising. *)
 
-type phase = Frontend | Elaborate | Schedule | Fold | Check | Report | Verify | Explore | Serve
+type phase =
+  | Frontend
+  | Elaborate
+  | Schedule
+  | Fold
+  | Check
+  | Report
+  | Verify
+  | Explore
+  | Serve
+  | Feedback
 
 type severity = Info | Warning | Error | Fatal
 
@@ -54,6 +64,7 @@ let phase_to_string = function
   | Verify -> "verify"
   | Explore -> "explore"
   | Serve -> "serve"
+  | Feedback -> "feedback"
 
 let severity_to_string = function
   | Info -> "info"

@@ -8,7 +8,18 @@
     the pass count and which budget tripped.  The flow never raises; it
     returns these. *)
 
-type phase = Frontend | Elaborate | Schedule | Fold | Check | Report | Verify | Explore | Serve
+type phase =
+  | Frontend
+  | Elaborate
+  | Schedule
+  | Fold
+  | Check
+  | Report
+  | Verify
+  | Explore
+  | Serve
+  | Feedback
+      (** the subgraph-extraction feedback loop (hint mining / application) *)
 
 type severity = Info | Warning | Error | Fatal
 

@@ -29,6 +29,7 @@
 
 module Flow = Hls_flow.Flow
 module Diag = Hls_diag.Diag
+module Feedback = Hls_feedback.Feedback
 
 (* ------------------------------------------------------------------ *)
 (* Grid *)
@@ -185,6 +186,7 @@ type profile = {
   pr_queries : int;
   pr_warm_passes : int;
   pr_cold_passes : int;
+  pr_hints : int;
   pr_cached : bool;
 }
 
@@ -200,6 +202,10 @@ type sweep = {
   sw_jobs : int;
   sw_new_runs : int;
   sw_cache_hits : int;
+  sw_hint_reuse : int;
+      (** fresh runs that warm-started from the cross-point hint store *)
+  sw_hints_extracted : int;
+      (** distinct new hints this sweep mined into the store *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -216,6 +222,9 @@ module Pool = Hls_pool.Pool
 type t = {
   cache : (string * point, (Flow.t, Diag.t) Stdlib.result * profile) Hashtbl.t;
       (** keyed by (base fingerprint, point) — see the module comment *)
+  hints : (string, Feedback.Hints.t) Hashtbl.t;
+      (** cross-point hint store, keyed by the hint-neutral design
+          fingerprint; read and written only by the spawning domain *)
   mutable runs : int;
   mutable pool : Pool.t option;
 }
@@ -228,7 +237,7 @@ let shutdown t =
       t.pool <- None
 
 let create () =
-  let t = { cache = Hashtbl.create 64; runs = 0; pool = None } in
+  let t = { cache = Hashtbl.create 64; hints = Hashtbl.create 8; runs = 0; pool = None } in
   at_exit (fun () -> shutdown t);
   t
 
@@ -259,6 +268,25 @@ let base_fingerprint ~(options : Flow.options) (design : Hls_frontend.Ast.design
   in
   Digest.to_hex (Digest.string (Marshal.to_string (design, neutral) []))
 
+(* the hint store's key: like the base fingerprint, but additionally
+   neutral in everything the feedback machinery itself varies — so the
+   seed run (no warm hints) and the warm-started runs of one design all
+   read and write the same store entry *)
+let hint_store_key ~(options : Flow.options) (design : Hls_frontend.Ast.design) =
+  let neutral =
+    {
+      options with
+      Flow.ii = None;
+      min_latency = None;
+      max_latency = None;
+      clock_ps = 0.0;
+      feedback = false;
+      feedback_iters = 0;
+      hints = Feedback.Hints.empty;
+    }
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string (design, neutral) []))
+
 let run_point ~options design p : (Flow.t, Diag.t) Stdlib.result * profile =
   let t0 = Unix.gettimeofday () in
   let r = Flow.run ~options:(options_of ~options p) design in
@@ -274,11 +302,12 @@ let run_point ~options design p : (Flow.t, Diag.t) Stdlib.result * profile =
           pr_queries = st.Hls_core.Scheduler.st_queries;
           pr_warm_passes = st.Hls_core.Scheduler.st_warm_passes;
           pr_cold_passes = st.Hls_core.Scheduler.st_cold_passes;
+          pr_hints = st.Hls_core.Scheduler.st_hints;
           pr_cached = false;
         }
     | Error d ->
         { pr_wall_s = wall; pr_passes = d.Diag.d_passes; pr_actions = 0; pr_queries = 0;
-          pr_warm_passes = 0; pr_cold_passes = d.Diag.d_passes; pr_cached = false }
+          pr_warm_passes = 0; pr_cold_passes = d.Diag.d_passes; pr_hints = 0; pr_cached = false }
   in
   (r, profile)
 
@@ -288,7 +317,10 @@ let validate_jobs jobs =
       "--jobs must be a positive worker count, got %d" jobs
   else Ok jobs
 
-let sweep ?(jobs = 1) ?max_workers t ~options design points =
+(* one memoized batch run of [points] under a single effective [options];
+   the public [sweep] composes these (a plain sweep is one batch, a
+   feedback sweep is a seed batch plus a warm-started batch) *)
+let sweep_batch ?(jobs = 1) ?max_workers t ~options design points =
   let max_workers =
     match max_workers with Some m -> max 1 m | None -> Domain.recommended_domain_count ()
   in
@@ -397,7 +429,78 @@ let sweep ?(jobs = 1) ?max_workers t ~options design points =
     sw_jobs = workers;
     sw_new_runs = n;
     sw_cache_hits = Array.length keys - n;
+    sw_hint_reuse = 0;
+    sw_hints_extracted = 0;
   }
+
+(* portable hints mined from a batch's fresh successful results, merged in
+   input order (the merge is commutative, so the order is cosmetic — what
+   matters for [--jobs]-invariance is that mining happens on the spawning
+   domain, after the batch, from results that are themselves
+   deterministic) *)
+let mine_batch (sw : sweep) =
+  List.fold_left
+    (fun acc r ->
+      match r.r_flow with
+      | Ok f when not r.r_profile.pr_cached ->
+          Feedback.Hints.merge acc (Feedback.Hints.portable (Feedback.extract f.Hls_flow.Flow.f_sched))
+      | Ok _ | Error _ -> acc)
+    Feedback.Hints.empty sw.sw_results
+
+let sweep ?(jobs = 1) ?max_workers t ~options design points =
+  if not options.Flow.feedback then sweep_batch ~jobs ?max_workers t ~options design points
+  else begin
+    (* Cross-point learning, [--jobs]-invariant by construction: when the
+       store has nothing for this design yet, the first point runs alone
+       (sequentially) to seed it; every remaining point then runs against
+       that one frozen snapshot, so no point's hints depend on which
+       worker finished first.  All fresh results are mined back into the
+       store after the batch, in input order, on the spawning domain. *)
+    let t0 = Unix.gettimeofday () in
+    let key = hint_store_key ~options design in
+    let snapshot0 =
+      Option.value (Hashtbl.find_opt t.hints key) ~default:Feedback.Hints.empty
+    in
+    let seed_sw, rest, snapshot =
+      if not (Feedback.Hints.is_empty snapshot0) then (None, points, snapshot0)
+      else
+        match points with
+        | [] -> (None, [], snapshot0)
+        | p0 :: rest ->
+            let sw0 = sweep_batch ~jobs:1 ?max_workers t ~options design [ p0 ] in
+            (Some sw0, rest, Feedback.Hints.merge snapshot0 (mine_batch sw0))
+    in
+    let warm_options =
+      if Feedback.Hints.is_empty snapshot then options
+      else { options with Flow.hints = Feedback.Hints.merge options.Flow.hints snapshot }
+    in
+    let rest_sw =
+      if rest = [] then None
+      else Some (sweep_batch ~jobs ?max_workers t ~options:warm_options design rest)
+    in
+    let final =
+      List.fold_left Feedback.Hints.merge snapshot
+        (List.filter_map (Option.map mine_batch) [ seed_sw; rest_sw ])
+    in
+    Hashtbl.replace t.hints key final;
+    let part f d = function Some sw -> f sw | None -> d in
+    let results = part (fun s -> s.sw_results) [] seed_sw @ part (fun s -> s.sw_results) [] rest_sw in
+    let reused =
+      if Feedback.Hints.is_empty snapshot then 0
+      else part (fun s -> s.sw_new_runs) 0 rest_sw
+    in
+    {
+      sw_results = results;
+      sw_wall_s = Unix.gettimeofday () -. t0;
+      sw_jobs =
+        (match rest_sw with Some s -> s.sw_jobs | None -> part (fun s -> s.sw_jobs) 1 seed_sw);
+      sw_new_runs = part (fun s -> s.sw_new_runs) 0 seed_sw + part (fun s -> s.sw_new_runs) 0 rest_sw;
+      sw_cache_hits =
+        part (fun s -> s.sw_cache_hits) 0 seed_sw + part (fun s -> s.sw_cache_hits) 0 rest_sw;
+      sw_hint_reuse = reused;
+      sw_hints_extracted = Feedback.Hints.size final - Feedback.Hints.size snapshot0;
+    }
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Reporting *)
@@ -417,6 +520,9 @@ type stats = {
   s_queries : int;
   s_warm_passes : int;
   s_cold_passes : int;
+  s_hints : int;
+  s_hint_reuse : int;
+  s_hints_extracted : int;
 }
 
 let stats sw =
@@ -442,14 +548,21 @@ let stats sw =
     s_queries = sum (fun r -> r.r_profile.pr_queries);
     s_warm_passes = sum (fun r -> r.r_profile.pr_warm_passes);
     s_cold_passes = sum (fun r -> r.r_profile.pr_cold_passes);
+    s_hints = sum (fun r -> r.r_profile.pr_hints);
+    s_hint_reuse = sw.sw_hint_reuse;
+    s_hints_extracted = sw.sw_hints_extracted;
   }
 
 let stats_to_string s =
   Printf.sprintf
     "%d point(s): %d ok, %d failed; %d fresh run(s), %d cache hit(s); %d job(s), %.2fs wall \
-     (%.1f points/s, %.2fs cpu); %d pass(es), %d action(s), %d timing queries"
+     (%.1f points/s, %.2fs cpu); %d pass(es), %d action(s), %d timing queries%s"
     s.s_points s.s_ok s.s_failed s.s_new_runs s.s_cache_hits s.s_jobs s.s_wall_s s.s_points_per_s
     s.s_cpu_s s.s_passes s.s_actions s.s_queries
+    (if s.s_hint_reuse > 0 || s.s_hints_extracted > 0 then
+       Printf.sprintf "; feedback: %d point(s) hint-warmed, %d hint(s) applied, %d mined"
+         s.s_hint_reuse s.s_hints s.s_hints_extracted
+     else "")
 
 let table rs =
   [ "config"; "tier"; "II"; "LI"; "delay (ns)"; "area"; "power (mW)"; "passes"; "queries";
@@ -514,9 +627,9 @@ let result_to_json r =
   let pr = r.r_profile in
   let profile =
     Printf.sprintf
-      {|"passes":%d,"actions":%d,"queries":%d,"warm_passes":%d,"cold_passes":%d,"wall_s":%.6f,"cached":%b|}
-      pr.pr_passes pr.pr_actions pr.pr_queries pr.pr_warm_passes pr.pr_cold_passes pr.pr_wall_s
-      pr.pr_cached
+      {|"passes":%d,"actions":%d,"queries":%d,"warm_passes":%d,"cold_passes":%d,"hints":%d,"wall_s":%.6f,"cached":%b|}
+      pr.pr_passes pr.pr_actions pr.pr_queries pr.pr_warm_passes pr.pr_cold_passes pr.pr_hints
+      pr.pr_wall_s pr.pr_cached
   in
   match r.r_flow with
   | Ok f ->
@@ -532,9 +645,10 @@ let result_to_json r =
 
 let stats_to_json s =
   Printf.sprintf
-    {|{"points":%d,"ok":%d,"failed":%d,"cache_hits":%d,"new_runs":%d,"jobs":%d,"wall_s":%.6f,"points_per_s":%.3f,"cpu_s":%.6f,"passes":%d,"actions":%d,"queries":%d,"warm_passes":%d,"cold_passes":%d}|}
+    {|{"points":%d,"ok":%d,"failed":%d,"cache_hits":%d,"new_runs":%d,"jobs":%d,"wall_s":%.6f,"points_per_s":%.3f,"cpu_s":%.6f,"passes":%d,"actions":%d,"queries":%d,"warm_passes":%d,"cold_passes":%d,"hints":%d,"hint_reuse":%d,"hints_extracted":%d}|}
     s.s_points s.s_ok s.s_failed s.s_cache_hits s.s_new_runs s.s_jobs s.s_wall_s s.s_points_per_s
-    s.s_cpu_s s.s_passes s.s_actions s.s_queries s.s_warm_passes s.s_cold_passes
+    s.s_cpu_s s.s_passes s.s_actions s.s_queries s.s_warm_passes s.s_cold_passes s.s_hints
+    s.s_hint_reuse s.s_hints_extracted
 
 let sweep_to_json sw =
   Printf.sprintf {|{"stats":%s,"results":[%s]}|}

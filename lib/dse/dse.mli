@@ -89,6 +89,7 @@ type profile = {
   pr_queries : int;  (** binder netlist timing queries *)
   pr_warm_passes : int;  (** passes served by warm-start prefix replay *)
   pr_cold_passes : int;  (** passes re-vetted from a cold restart *)
+  pr_hints : int;  (** feedback hints the scheduler applied at start *)
   pr_cached : bool;  (** served from the memo cache, not a fresh run *)
 }
 
@@ -106,6 +107,11 @@ type sweep = {
   sw_jobs : int;  (** effective worker-pool size used *)
   sw_new_runs : int;  (** points actually run (not cache-served) *)
   sw_cache_hits : int;
+  sw_hint_reuse : int;
+      (** fresh runs warm-started from the cross-point hint store (always
+          0 unless [options.feedback] is on) *)
+  sw_hints_extracted : int;
+      (** distinct new hints this sweep mined into the store *)
 }
 
 (** {2 Worker pool} *)
@@ -168,6 +174,11 @@ val base_fingerprint : options:Hls_flow.Flow.options -> Hls_frontend.Ast.design 
     point-neutralized options.  [sweep] computes this once and keys the
     cache on [(base, point)], sparing one marshal+digest per point. *)
 
+val hint_store_key : options:Hls_flow.Flow.options -> Hls_frontend.Ast.design -> string
+(** The cross-point hint store's key: the base fingerprint additionally
+    neutralized in the feedback fields themselves, so a design's seed run
+    and its warm-started runs share one store entry. *)
+
 val shutdown : t -> unit
 (** Join the engine's resident worker domains (no-op when none were ever
     spawned).  Also registered with [at_exit]; safe to call more than
@@ -194,7 +205,17 @@ val sweep :
     pass it explicitly to allow deliberate oversubscription (e.g.
     exercising the pool on a small machine).  Pool size 1 runs
     sequentially on the calling domain.  Results come back in input order
-    regardless of [jobs]. *)
+    regardless of [jobs].
+
+    With [options.feedback] on, the sweep threads the engine's shared
+    hint store through the points: if the store has nothing for this
+    design, the first point runs alone (sequentially) to seed it, then
+    every remaining point warm-starts from that one frozen snapshot of
+    portable hints — never from a concurrently-finishing neighbor — so
+    point results stay identical for every [jobs] count.  All fresh
+    results are mined back into the store after the batch.  Warm-started
+    points carry different effective options than the seed (the hints),
+    and are cached under their own key. *)
 
 (** {2 Reporting} *)
 
@@ -214,6 +235,9 @@ type stats = {
   s_queries : int;
   s_warm_passes : int;  (** sum of warm-started passes over fresh runs *)
   s_cold_passes : int;  (** sum of cold passes over fresh runs *)
+  s_hints : int;  (** sum of feedback hints applied across points *)
+  s_hint_reuse : int;  (** fresh runs warm-started from the hint store *)
+  s_hints_extracted : int;  (** distinct new hints mined this sweep *)
 }
 
 val stats : sweep -> stats

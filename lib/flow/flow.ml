@@ -22,6 +22,7 @@ open Hls_ir
 open Hls_frontend
 open Hls_core
 module Diag = Hls_diag.Diag
+module Feedback = Hls_feedback.Feedback
 
 type tier =
   | Tier_requested  (** the configuration the caller asked for *)
@@ -54,6 +55,14 @@ type options = {
   seed : int;
   degrade : bool;  (** walk the degradation ladder instead of failing *)
   paranoid : bool;  (** audit every schedule with {!Hls_check.Audit} *)
+  feedback : bool;
+      (** run the subgraph-extraction feedback loop: schedule → extract
+          critical-subgraph hints → re-schedule with them batched in,
+          serving the best (II, LI, area) iteration *)
+  feedback_iters : int;  (** schedule calls the feedback loop may spend *)
+  hints : Feedback.Hints.t;
+      (** pre-mined hints applied to every schedule call (the DSE engine
+          threads a shared store through here) *)
 }
 
 let default_options =
@@ -71,6 +80,9 @@ let default_options =
     seed = 1;
     degrade = true;
     paranoid = false;
+    feedback = false;
+    feedback_iters = 2;
+    hints = Feedback.Hints.empty;
   }
 
 type t = {
@@ -312,6 +324,7 @@ let run_baseline ~options (design : Ast.design) : (t, Diag.t) Stdlib.result =
                 s_sched_time_s = b.Hls_baseline.Sehwa.s_time_s;
                 s_warm_passes = 0;
                 s_cold_passes = b.Hls_baseline.Sehwa.s_attempts;
+                s_hints_applied = 0;
               }
             in
             finish ~options ~tier:Tier_baseline ~check_timing:false design elab region sched)
@@ -341,10 +354,11 @@ let run_baseline ~options (design : Ast.design) : (t, Diag.t) Stdlib.result =
 let degradable (d : Diag.t) =
   match d.Diag.d_phase with
   | Diag.Schedule | Diag.Fold | Diag.Check -> true
-  | Diag.Frontend | Diag.Elaborate | Diag.Report | Diag.Verify | Diag.Explore | Diag.Serve ->
+  | Diag.Frontend | Diag.Elaborate | Diag.Report | Diag.Verify | Diag.Explore | Diag.Serve
+  | Diag.Feedback ->
       false
 
-let run ?(options = default_options) ?trace (design : Ast.design) : (t, Diag.t) Stdlib.result =
+let run_ladder ~options ~trace (design : Ast.design) : (t, Diag.t) Stdlib.result =
   match run_unified ~options ~trace ~tier:Tier_requested design with
   | Stdlib.Ok r -> Stdlib.Ok r
   | Stdlib.Error d0 when (not options.degrade) || not (degradable d0) -> Stdlib.Error d0
@@ -387,6 +401,37 @@ let run ?(options = default_options) ?trace (design : Ast.design) : (t, Diag.t) 
             | Stdlib.Error d -> walk (note_of tier d :: notes) rest)
       in
       walk [ note_of Tier_requested d0 ] rungs
+
+let feedback_note (it : Feedback.iter_info) =
+  let ii, li, area = it.Feedback.fi_quality in
+  Diag.make ~phase:Diag.Feedback ~severity:Diag.Info ~code:"feedback_iter"
+    ~passes:it.Feedback.fi_passes
+    "feedback iteration %d: %d hint(s) in, %d new, II=%d LI=%d area=%.0f, %d pass(es)%s"
+    it.Feedback.fi_iter it.Feedback.fi_hints_in it.Feedback.fi_new_hints ii li area
+    it.Feedback.fi_passes
+    (if it.Feedback.fi_kept then " [kept]" else " [regressed; discarded]")
+
+let run ?(options = default_options) ?trace (design : Ast.design) : (t, Diag.t) Stdlib.result =
+  (* pre-mined hints (the DSE engine's shared store, or a caller's) are
+     applied whether or not the iterate loop runs; an empty store leaves
+     the scheduler options — and therefore every golden byte — untouched *)
+  let run_with hints =
+    let sched = Feedback.Hints.apply hints options.sched in
+    run_ladder ~options:{ options with sched } ~trace design
+  in
+  if not options.feedback then run_with options.hints
+  else
+    let result, iters, _store =
+      Feedback.iterate ~max_iters:options.feedback_iters ~hints:options.hints ~run:run_with
+        ~extract:(fun f -> Feedback.extract f.f_sched)
+        ~quality:(fun f ->
+          (f.f_cycles_per_iter, f.f_sched.Scheduler.s_li, f.f_area.Hls_rtl.Stats.a_total))
+        ~passes:(fun f -> f.f_stats.Scheduler.st_passes)
+        ()
+    in
+    match result with
+    | Stdlib.Ok f -> Stdlib.Ok { f with f_notes = f.f_notes @ List.map feedback_note iters }
+    | Stdlib.Error d -> Stdlib.Error d
 
 (** Convenience: run and raise on error (used by examples and benches). *)
 let run_exn ?options ?trace design =

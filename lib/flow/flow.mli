@@ -38,6 +38,17 @@ type options = {
   seed : int;
   degrade : bool;  (** walk the degradation ladder instead of failing *)
   paranoid : bool;  (** audit every schedule with {!Hls_check.Audit} *)
+  feedback : bool;
+      (** run the subgraph-extraction feedback loop (schedule → extract →
+          re-schedule with hints batched in), serving the best (II, LI,
+          area) iteration; no-regress by construction, per-iteration
+          stats land in [f_notes] with phase [Feedback] *)
+  feedback_iters : int;
+      (** schedule calls the feedback loop may spend (default 2) *)
+  hints : Hls_feedback.Feedback.Hints.t;
+      (** pre-mined hints applied to every schedule call; the DSE engine
+          threads its shared cross-point store through here.  An empty
+          store leaves the flow byte-identical to the pre-feedback one. *)
 }
 
 val default_options : options

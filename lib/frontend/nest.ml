@@ -316,6 +316,203 @@ let flatten ~design ~already t =
   in
   (stmts, info_of t)
 
+(** {2 Depth-3 nests} *)
+
+(** A 3-level counted nest: [for (i) { pre1; for (j) { pre2; for (k)
+    { body } post2 }; post1 }].  Numbered outermost-in: dimension 1 is
+    the outer loop, 3 the innermost kernel. *)
+type t3 = {
+  v1 : string;
+  lo1 : int;
+  hi1 : int;
+  a1 : loop_attrs;
+  v2 : string;
+  lo2 : int;
+  hi2 : int;
+  a2 : loop_attrs;
+  v3 : string;
+  lo3 : int;
+  hi3 : int;
+  a3 : loop_attrs;
+  pre1 : stmt list;  (** outer-body statements before the middle loop *)
+  post1 : stmt list;  (** outer-body statements after the middle loop *)
+  pre2 : stmt list;  (** middle-body statements before the inner loop *)
+  post2 : stmt list;  (** middle-body statements after the inner loop *)
+  body3 : stmt list;  (** innermost kernel *)
+}
+
+let trip1 t = t.hi1 - t.lo1
+let trip2 t = t.hi2 - t.lo2
+let trip3 t = t.hi3 - t.lo3
+
+let info_of3 t =
+  let dim name var lo trip ii = { d_name = name; d_var = var; d_lo = lo; d_trip = trip; d_ii = ii } in
+  {
+    ni_dims =
+      [
+        dim t.a1.l_name t.v1 t.lo1 (trip1 t) t.a1.l_ii;
+        dim t.a2.l_name t.v2 t.lo2 (trip2 t) t.a2.l_ii;
+        dim t.a3.l_name t.v3 t.lo3 (trip3 t) t.a3.l_ii;
+      ];
+    ni_perfect = t.pre1 = [] && t.post1 = [] && t.pre2 = [] && t.post2 = [];
+    ni_flat_name = t.a1.l_name;
+    ni_pre_stmts = List.length t.pre1 + List.length t.pre2;
+    ni_post_stmts = List.length t.post1 + List.length t.post2;
+  }
+
+(** Structural recognition of a 3-level nest: {!recognize} applied twice
+    — the outer nest's inner loop must itself contain a top-level [For]. *)
+let recognize3 s =
+  match recognize s with
+  | None -> None
+  | Some o -> (
+      match recognize (For (o.inner_var, o.inner_lo, o.inner_hi, o.inner_body, o.inner_attrs)) with
+      | None -> None
+      | Some m ->
+          Some
+            {
+              v1 = o.outer_var;
+              lo1 = o.outer_lo;
+              hi1 = o.outer_hi;
+              a1 = o.outer_attrs;
+              v2 = m.outer_var;
+              lo2 = m.outer_lo;
+              hi2 = m.outer_hi;
+              a2 = m.outer_attrs;
+              v3 = m.inner_var;
+              lo3 = m.inner_lo;
+              hi3 = m.inner_hi;
+              a3 = m.inner_attrs;
+              pre1 = o.pre;
+              post1 = o.post;
+              pre2 = m.pre;
+              post2 = m.post;
+              body3 = m.inner_body;
+            })
+
+let find3 stmts =
+  let rec go before = function
+    | [] -> None
+    | s :: rest -> (
+        match recognize3 s with
+        | Some n -> Some (List.rev before, n, rest)
+        | None -> go (s :: before) rest)
+  in
+  go [] stmts
+
+(** Depth-3 flattening eligibility: the same discipline as {!eligible},
+    extended across three dimensions — each counter may only be read
+    inside its own loop's extent. *)
+let eligible3 t =
+  let reject fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let around1 = t.pre1 @ t.post1 in
+  let around2 = t.pre2 @ t.post2 in
+  let counters = [ t.v1; t.v2; t.v3 ] in
+  if t.a1.l_unroll || t.a2.l_unroll || t.a3.l_unroll then reject "a dimension is marked unroll"
+  else if trip1 t <= 0 || trip2 t <= 0 || trip3 t <= 0 then reject "non-positive trip count"
+  else if List.length (dedup counters) <> 3 then
+    reject "dimensions share an induction variable"
+  else if contains_loop around1 || contains_loop around2 then
+    reject "statements around the nested loops contain a further loop"
+  else if contains_loop t.body3 then reject "the nest is deeper than three loops"
+  else if mentions t.v3 (around1 @ around2) then
+    reject "a statement outside the innermost loop references its counter '%s'" t.v3
+  else if mentions t.v2 around1 then
+    reject "a statement outside the middle loop references its counter '%s'" t.v2
+  else if
+    List.exists (fun v -> List.mem v counters) (assigned_vars (around1 @ around2 @ t.body3))
+  then reject "the nest body assigns an induction counter"
+  else Ok ()
+
+(** Collapse an eligible 3-level nest into one loop over the combined
+    induction counter.  The depth-2 scheme generalizes with two extra
+    flags: [_nf]/[_nl] mark the first/last innermost iteration of a
+    middle row (predicating [pre2]/[post2]), [_nff]/[_nll] additionally
+    mark the first/last middle iteration of an outer row (predicating
+    [pre1]/[post1]), and [_nd] exits after the last iteration of the
+    whole nest.  Counter stepping is hierarchical: [k] resets on [_nl],
+    [j] steps only on [_nl] and resets on [_nll], [i] steps only on
+    [_nll].  Attributes come from the innermost loop, the name from the
+    outermost, exactly as in {!flatten}. *)
+let flatten3 ~design ~already t =
+  let w1 = counter_width t.lo1 t.hi1
+  and w2 = counter_width t.lo2 t.hi2
+  and w3 = counter_width t.lo3 t.hi3 in
+  let nf, nff, nl, nll, nd =
+    match fresh_names design [ "_nf"; "_nff"; "_nl"; "_nll"; "_nd" ] with
+    | [ a; b; c; d; e ] -> (a, b, c, d, e)
+    | _ -> assert false
+  in
+  let env = Hashtbl.create 16 in
+  List.iter (fun (v, w) -> Hashtbl.replace env v w) design.d_vars;
+  if not (Hashtbl.mem env t.v1) then Hashtbl.replace env t.v1 w1;
+  if not (Hashtbl.mem env t.v2) then Hashtbl.replace env t.v2 w2;
+  if not (Hashtbl.mem env t.v3) then Hashtbl.replace env t.v3 w3;
+  let nest_stmts = t.pre1 @ t.pre2 @ t.body3 @ t.post2 @ t.post1 in
+  infer_stmts design env nest_stmts;
+  let hoisted =
+    assigned_vars nest_stmts |> dedup
+    |> List.filter (fun v ->
+           (not (List.mem v already)) && v <> t.v1 && v <> t.v2 && v <> t.v3)
+  in
+  let hoists =
+    List.map
+      (fun v ->
+        let w = match Hashtbl.find_opt env v with Some w -> w | None -> 32 in
+        Assign (v, Int_w (0, w)))
+      hoisted
+  in
+  let i = t.v1 and j = t.v2 and k = t.v3 in
+  let body =
+    [
+      Assign (nf, Bin (Opkind.Eq, Var k, Int_w (t.lo3, w3)));
+      Assign (nff, Bin (Opkind.Band, Var nf, Bin (Opkind.Eq, Var j, Int_w (t.lo2, w2))));
+    ]
+    @ (if t.pre1 = [] then [] else [ If (Var nff, t.pre1, []) ])
+    @ (if t.pre2 = [] then [] else [ If (Var nf, t.pre2, []) ])
+    @ t.body3
+    @ [
+        Assign (nl, Bin (Opkind.Eq, Var k, Int_w (t.hi3 - 1, w3)));
+        Assign (nll, Bin (Opkind.Band, Var nl, Bin (Opkind.Eq, Var j, Int_w (t.hi2 - 1, w2))));
+      ]
+    @ (if t.post2 = [] then [] else [ If (Var nl, t.post2, []) ])
+    @ (if t.post1 = [] then [] else [ If (Var nll, t.post1, []) ])
+    @ [
+        Assign
+          (nd, Bin (Opkind.Band, Var nll, Bin (Opkind.Eq, Var i, Int_w (t.hi1 - 1, w1))));
+        Assign (k, Cond (Var nl, Int_w (t.lo3, w3), Bin (Opkind.Add, Var k, Int_w (1, w3))));
+        Assign
+          ( j,
+            Cond
+              ( Var nl,
+                Cond (Var nll, Int_w (t.lo2, w2), Bin (Opkind.Add, Var j, Int_w (1, w2))),
+                Var j ) );
+        Assign (i, Cond (Var nll, Bin (Opkind.Add, Var i, Int_w (1, w1)), Var i));
+      ]
+  in
+  let attrs =
+    {
+      l_name = t.a1.l_name;
+      l_ii = t.a3.l_ii;
+      l_min_latency = t.a3.l_min_latency;
+      l_max_latency = t.a3.l_max_latency;
+      l_unroll = false;
+    }
+  in
+  let stmts =
+    hoists
+    @ [
+        Assign (i, Int_w (t.lo1, w1));
+        Assign (j, Int_w (t.lo2, w2));
+        Assign (k, Int_w (t.lo3, w3));
+        Do_while (body, Bin (Opkind.Eq, Var nd, Int_w (0, 1)), attrs);
+        (* match the unroll lowering's counter exit values *)
+        Assign (j, Int_w (t.hi2, w2));
+        Assign (k, Int_w (t.hi3, w3));
+      ]
+  in
+  (stmts, info_of3 t)
+
 (** {2 Hierarchical splitting} *)
 
 let rec subst_expr map e =

@@ -71,6 +71,64 @@ val flatten : design:Ast.design -> already:string list -> t -> Ast.stmt list * i
     {e inner} loop's pipeline attributes; the outer dimension's II is
     derived ([kernel II x inner trip], see {!Hls_ir.Region.per_dim_iis}). *)
 
+(** {2 Depth-3 nests} *)
+
+(** A 3-level counted nest ([for (i) { pre1; for (j) { pre2; for (k)
+    { body } post2 }; post1 }]), numbered outermost-in. *)
+type t3 = {
+  v1 : string;
+  lo1 : int;
+  hi1 : int;
+  a1 : Ast.loop_attrs;
+  v2 : string;
+  lo2 : int;
+  hi2 : int;
+  a2 : Ast.loop_attrs;
+  v3 : string;
+  lo3 : int;
+  hi3 : int;
+  a3 : Ast.loop_attrs;
+  pre1 : Ast.stmt list;  (** outer-body statements before the middle loop *)
+  post1 : Ast.stmt list;  (** outer-body statements after the middle loop *)
+  pre2 : Ast.stmt list;  (** middle-body statements before the inner loop *)
+  post2 : Ast.stmt list;  (** middle-body statements after the inner loop *)
+  body3 : Ast.stmt list;  (** innermost kernel *)
+}
+
+val trip1 : t3 -> int
+val trip2 : t3 -> int
+val trip3 : t3 -> int
+
+val info_of3 : t3 -> info
+(** Three dimensions, outermost first; [ni_perfect] iff all four
+    pre/post segments are empty. *)
+
+val recognize3 : Ast.stmt -> t3 option
+(** Structural recognition only: {!recognize} applied twice.  Use
+    {!eligible3} before flattening. *)
+
+val find3 : Ast.stmt list -> (Ast.stmt list * t3 * Ast.stmt list) option
+(** First structurally recognizable 3-level nest among top-level
+    statements; returns (statements before, nest, statements after). *)
+
+val eligible3 : t3 -> (unit, string) result
+(** Depth-3 flattening eligibility: the {!eligible} discipline across
+    three dimensions — positive trips, distinct never-assigned counters,
+    each counter read only inside its own loop's extent, pre/post
+    segments loop-free, nest exactly three deep, no [unroll] request.
+    [Error reason] means the nest falls back to the depth-2 path (which
+    will itself fall back to unrolling). *)
+
+val flatten3 : design:Ast.design -> already:string list -> t3 -> Ast.stmt list * info
+(** Collapse an eligible 3-level nest into one loop over the combined
+    induction counter.  Generalizes {!flatten} with two extra flags:
+    [_nf]/[_nl] predicate [pre2]/[post2] (first/last innermost iteration
+    of a middle row), [_nff]/[_nll] predicate [pre1]/[post1] (first/last
+    middle iteration of an outer row), [_nd] exits the loop.  The
+    flattened loop takes the {e innermost} loop's pipeline attributes
+    and the outermost loop's name; enclosing dimensions' IIs derive by
+    stride ({!Hls_ir.Region.per_dim_iis}). *)
+
 val super_op_callee : string
 (** Callee name of the black-box super-op standing in for the inner loop
     in the outer summary design ("nest_body"). *)

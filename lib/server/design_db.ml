@@ -13,6 +13,7 @@ let builtins =
     ("matvec4", fun () -> Hls_designs.Matmul.design ());
     ("matvec8", fun () -> Hls_designs.Matmul.design ~n:8 ());
     ("idct8x8", fun () -> Hls_designs.Idct2d.design ());
+    ("gemm4", fun () -> Hls_designs.Gemm.design ());
   ]
 
 let load = function

@@ -80,6 +80,11 @@ type job = {
   j_conn : conn;
   j_key : string;  (** two-level fingerprint: cache and store key *)
   mutable j_cancelled : bool;  (** guarded by [t.mutex] *)
+  mutable j_waiters : (int * conn) list;
+      (** coalesced submits of the same fingerprint, newest first: each
+          gets its own job id and a copy of this job's answer (guarded by
+          [t.mutex]).  A job with waiters ignores cancellation — the
+          compile is shared. *)
   mutable j_requeues : int;  (** re-dispatches after a lost worker *)
   mutable j_started : float;  (** when last dispatched *)
   mutable j_deadline : float;  (** absolute kill deadline once dispatched *)
@@ -111,6 +116,9 @@ type t = {
   cache : (string, Artifact.t) Hashtbl.t;
   cache_order : string Queue.t;  (** insertion order, for FIFO eviction *)
   jobs : (int, job) Hashtbl.t;  (** queued or in flight *)
+  inflight_keys : (string, job) Hashtbl.t;
+      (** fingerprint → the queued/in-flight job computing it; a second
+          submit of the same key rides this one instead of compiling *)
   slots : slot array;
   mutable next_job : int;
   mutable next_conn : int;
@@ -129,6 +137,7 @@ type t = {
   mutable n_rejected : int;
   mutable n_shed : int;
   mutable n_cache_hits : int;
+  mutable n_coalesced : int;
   mutable n_store_hits : int;
   mutable n_conns_total : int;
   mutable n_crashes : int;
@@ -334,10 +343,13 @@ let rec pump_locked t slot =
       match Queue.take_opt slot.s_queue with
       | None -> ()
       | Some job ->
-          if job.j_cancelled then begin
+          (* cancellation is honoured only when nobody else rides the
+             job: coalesced waiters keep the compile alive *)
+          if job.j_cancelled && job.j_waiters = [] then begin
             t.queued <- t.queued - 1;
             t.n_cancelled <- t.n_cancelled + 1;
             Hashtbl.remove t.jobs job.j_id;
+            Hashtbl.remove t.inflight_keys job.j_key;
             send job.j_conn (cancelled_frame job.j_id);
             Condition.broadcast t.drain_cv;
             pump_locked t slot
@@ -358,8 +370,16 @@ let fail_inflight_locked t job ~code msg =
   t.in_flight <- t.in_flight - 1;
   t.n_failed <- t.n_failed + 1;
   Hashtbl.remove t.jobs job.j_id;
+  Hashtbl.remove t.inflight_keys job.j_key;
   let wall = Unix.gettimeofday () -. job.j_started in
-  send job.j_conn (failed_result_frame ~job_id:job.j_id ~wall ~code msg)
+  send job.j_conn (failed_result_frame ~job_id:job.j_id ~wall ~code msg);
+  (* coalesced waiters share the owner's fate *)
+  List.iter
+    (fun (wid, wconn) ->
+      t.n_failed <- t.n_failed + 1;
+      send wconn (failed_result_frame ~job_id:wid ~wall ~code msg))
+    (List.rev job.j_waiters);
+  job.j_waiters <- []
 
 (* ------------------------------------------------------------------ *)
 (* Worker frames (reader threads, one per live worker generation) *)
@@ -384,16 +404,24 @@ let handle_wresult t slot frame =
       | Some job -> (
           t.in_flight <- t.in_flight - 1;
           Hashtbl.remove t.jobs job_id;
+          Hashtbl.remove t.inflight_keys job.j_key;
+          let waiters = List.rev job.j_waiters in
+          job.j_waiters <- [];
           match artifact with
           | Error m ->
+              let wall = Unix.gettimeofday () -. job.j_started in
+              let msg = "worker returned an undecodable artifact: " ^ m in
               t.n_failed <- t.n_failed + 1;
-              send job.j_conn
-                (failed_result_frame ~job_id ~wall:(Unix.gettimeofday () -. job.j_started)
-                   ~code:"worker_lost" ("worker returned an undecodable artifact: " ^ m))
+              send job.j_conn (failed_result_frame ~job_id ~wall ~code:"worker_lost" msg);
+              List.iter
+                (fun (wid, wconn) ->
+                  t.n_failed <- t.n_failed + 1;
+                  send wconn (failed_result_frame ~job_id:wid ~wall ~code:"worker_lost" msg))
+                waiters
           | Ok a ->
               cache_put_locked t job.j_key a;
               if store_hit then t.n_store_hits <- t.n_store_hits + 1;
-              if job.j_cancelled then begin
+              if job.j_cancelled && waiters = [] then begin
                 t.n_cancelled <- t.n_cancelled + 1;
                 send job.j_conn (cancelled_frame job_id)
               end
@@ -401,7 +429,15 @@ let handle_wresult t slot frame =
                 account t a ~store_hit;
                 send job.j_conn
                   (Artifact.result_frame ~job:job_id ~cmd:job.j_spec.P.js_cmd ~cached:store_hit a)
-              end));
+              end;
+              (* coalesced waiters get the same artifact, marked cached:
+                 exactly one compile happened for the whole cohort *)
+              List.iter
+                (fun (wid, wconn) ->
+                  if a.Artifact.a_ok then t.n_ok <- t.n_ok + 1 else t.n_failed <- t.n_failed + 1;
+                  send wconn
+                    (Artifact.result_frame ~job:wid ~cmd:job.j_spec.P.js_cmd ~cached:true a))
+                waiters));
       pump_locked t slot;
       Condition.broadcast t.drain_cv)
 
@@ -445,10 +481,11 @@ let handle_worker_death t slot ~gen ~pid ~fd =
                    (job.j_deadline -. job.j_started))
           | K_hang | K_none ->
               if reason = K_hang then t.n_hang_kills <- t.n_hang_kills + 1;
-              if job.j_cancelled then begin
+              if job.j_cancelled && job.j_waiters = [] then begin
                 t.in_flight <- t.in_flight - 1;
                 t.n_cancelled <- t.n_cancelled + 1;
                 Hashtbl.remove t.jobs job.j_id;
+                Hashtbl.remove t.inflight_keys job.j_key;
                 send job.j_conn (cancelled_frame job.j_id)
               end
               else if job.j_requeues < t.cfg.max_requeues then
@@ -624,6 +661,7 @@ let stats_frame t =
                 ("cancelled", P.Int t.n_cancelled);
                 ("rejected", P.Int t.n_rejected);
                 ("shed", P.Int t.n_shed);
+                ("coalesced", P.Int t.n_coalesced);
               ] );
           ( "cache",
             P.Obj
@@ -719,6 +757,7 @@ let stop t =
 type admission =
   | A_hit of int * Artifact.t
   | A_queued of int
+  | A_coalesced of int  (** riding another job's in-flight compile *)
   | A_rejected of string * string * (string * P.json) list
 
 let handle_submit t conn spec =
@@ -755,7 +794,20 @@ let handle_submit t conn spec =
                   if a.Artifact.a_ok then t.n_ok <- t.n_ok + 1
                   else t.n_failed <- t.n_failed + 1;
                   A_hit (id, a)
-              | None ->
+              | None -> (
+                match Hashtbl.find_opt t.inflight_keys key with
+                | Some owner ->
+                    (* an identical compile is already queued or running:
+                       ride it.  Like cache hits, coalesced submits are
+                       admitted even beyond the shed watermark — they add
+                       no work, only one more recipient of the answer. *)
+                    let id = t.next_job in
+                    t.next_job <- t.next_job + 1;
+                    t.n_submitted <- t.n_submitted + 1;
+                    t.n_coalesced <- t.n_coalesced + 1;
+                    owner.j_waiters <- (id, conn) :: owner.j_waiters;
+                    A_coalesced id
+                | None ->
                   if t.queued >= t.cfg.queue_capacity then
                     A_rejected
                       ( "queue_full",
@@ -786,17 +838,19 @@ let handle_submit t conn spec =
                         j_conn = conn;
                         j_key = key;
                         j_cancelled = false;
+                        j_waiters = [];
                         j_requeues = 0;
                         j_started = 0.0;
                         j_deadline = 0.0;
                       }
                     in
                     Hashtbl.replace t.jobs id job;
+                    Hashtbl.replace t.inflight_keys key job;
                     let slot = t.slots.(Hashtbl.hash key mod Array.length t.slots) in
                     Queue.push job slot.s_queue;
                     pump_locked t slot;
                     A_queued id
-                  end)
+                  end))
       in
       match verdict with
       | A_rejected (code, msg, extra) ->
@@ -805,7 +859,8 @@ let handle_submit t conn spec =
       | A_hit (id, a) ->
           send conn (P.Obj [ ("type", P.String "accepted"); ("job", P.Int id) ]);
           send conn (Artifact.result_frame ~job:id ~cmd:spec.P.js_cmd ~cached:true a)
-      | A_queued id -> send conn (P.Obj [ ("type", P.String "accepted"); ("job", P.Int id) ]))
+      | A_queued id | A_coalesced id ->
+          send conn (P.Obj [ ("type", P.String "accepted"); ("job", P.Int id) ]))
 
 let handle_cancel t conn id =
   let found =
@@ -945,6 +1000,7 @@ let create cfg =
         cache = Hashtbl.create 64;
         cache_order = Queue.create ();
         jobs = Hashtbl.create 16;
+        inflight_keys = Hashtbl.create 16;
         slots;
         next_job = 1;
         next_conn = 1;
@@ -962,6 +1018,7 @@ let create cfg =
         n_rejected = 0;
         n_shed = 0;
         n_cache_hits = 0;
+        n_coalesced = 0;
         n_store_hits = 0;
         n_conns_total = 0;
         n_crashes = 0;

@@ -41,4 +41,7 @@ let () =
       ("server", Test_server.suite);
       ("chaos", Test_chaos.suite);
       ("dse", Test_dse.suite);
+      (* spawns domains too: must stay at/after the dse position, never
+         before the forking server/chaos suites *)
+      ("feedback", Test_feedback.suite);
     ]

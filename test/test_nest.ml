@@ -52,6 +52,40 @@ let mk ?(ii = 1) ~ti ~tj ~perfect ~c () =
     d_body = [ Ast.For ("i", 0, ti, outer_body, attrs "row" None) ];
   }
 
+(* ---- a parameterized 3-deep counted nest ---- *)
+
+(** [mk3 ~ti ~tj ~tk ~perfect ~c] builds a 3-deep nest: the GEMM shape —
+    accumulator zeroed before the innermost reduction (middle prologue)
+    and written after it (middle epilogue) — or, when [perfect], a bare
+    triple loop whose innermost body both accumulates and writes. *)
+let mk3 ?(ii = 1) ~ti ~tj ~tk ~perfect ~c () =
+  let attrs name ii =
+    { Ast.default_attrs with Ast.l_name = name; l_ii = ii; l_min_latency = 1; l_max_latency = 8 }
+  in
+  let acc_update =
+    Ast.Assign
+      ( "acc",
+        Ast.Bin
+          (Opkind.Add, Ast.Var "acc", Ast.Bin (Opkind.Mul, Ast.Port "x", Ast.Int_w (c, 4))) )
+  in
+  let inner_body =
+    if perfect then [ acc_update; Ast.Write ("y", Ast.Var "acc"); Ast.Wait ]
+    else [ acc_update; Ast.Wait ]
+  in
+  let inner = Ast.For ("k", 0, tk, inner_body, attrs "mac" (Some ii)) in
+  let mid_body =
+    if perfect then [ inner ]
+    else [ Ast.Assign ("acc", Ast.Int_w (0, 24)); inner; Ast.Write ("y", Ast.Var "acc") ]
+  in
+  let mid = Ast.For ("j", 0, tj, mid_body, attrs "col" None) in
+  {
+    Ast.d_name = "nest3_t";
+    d_ins = [ ("x", 8) ];
+    d_outs = [ ("y", 24) ];
+    d_vars = [ ("acc", 24); ("i", 8); ("j", 8); ("k", 8) ];
+    d_body = [ Ast.For ("i", 0, ti, [ mid ], attrs "row" None) ];
+  }
+
 (* ---- flattening rewrite shape ---- *)
 
 let test_flatten_shape () =
@@ -81,6 +115,66 @@ let test_perfect_nest_recognized () =
   match info with
   | Some i -> Alcotest.(check bool) "perfect" true i.Nest.ni_perfect
   | None -> Alcotest.fail "nest not recognized"
+
+(* ---- depth-3 flattening ---- *)
+
+let test_flatten3_shape () =
+  let d = mk3 ~ti:4 ~tj:3 ~tk:5 ~perfect:false ~c:2 () in
+  let lowered, info = Desugar.design_ex ~nest:`Flatten d in
+  let info = match info with Some i -> i | None -> Alcotest.fail "3-nest not recognized" in
+  Alcotest.(check bool) "imperfect" false info.Nest.ni_perfect;
+  Alcotest.(check (list string))
+    "dimension names, outermost first" [ "row"; "col"; "mac" ]
+    (List.map (fun d -> d.Nest.d_name) info.Nest.ni_dims);
+  Alcotest.(check (list int)) "trip counts" [ 4; 3; 5 ]
+    (List.map (fun d -> d.Nest.d_trip) info.Nest.ni_dims);
+  let rec loops acc = function
+    | [] -> acc
+    | Ast.Do_while (b, _, a) :: rest -> loops (loops (a.Ast.l_name :: acc) b) rest
+    | Ast.(For (_, _, _, b, _) | While (_, b, _)) :: rest -> loops (loops ("?" :: acc) b) rest
+    | Ast.If (_, t, f) :: rest -> loops (loops (loops acc t) f) rest
+    | Ast.(Assign _ | Write _ | Wait | Stall_until _) :: rest -> loops acc rest
+  in
+  Alcotest.(check (list string)) "single combined loop named after the outer" [ "row" ]
+    (loops [] lowered.Ast.d_body)
+
+let test_perfect_nest3_recognized () =
+  let d = mk3 ~ti:2 ~tj:2 ~tk:3 ~perfect:true ~c:1 () in
+  let _, info = Desugar.design_ex ~nest:`Flatten d in
+  match info with
+  | Some i ->
+      Alcotest.(check bool) "perfect" true i.Nest.ni_perfect;
+      Alcotest.(check int) "three dimensions" 3 (List.length i.Nest.ni_dims)
+  | None -> Alcotest.fail "3-nest not recognized"
+
+let test_region_nest3_math () =
+  let d = mk3 ~ti:4 ~tj:3 ~tk:5 ~perfect:false ~c:2 () in
+  let elab = Elaborate.design ~nest:`Flatten d in
+  let region = Elaborate.main_region elab in
+  Alcotest.(check int) "flat iterations" 60 (Region.flat_iters region);
+  Alcotest.(check (list int)) "per-dim IIs at kernel II=2" [ 30; 10; 2 ]
+    (Region.per_dim_iis region ~kernel_ii:2)
+
+(** An ineligible 3-deep nest whose middle trip overflows the unroll
+    bound must raise the typed [nest_shape] fault instead of silently
+    attempting a giant unroll: the prologue referencing the innermost
+    counter defeats both flatten3 (counter escapes its loop) and the
+    depth-2 path (nest deeper than two loops). *)
+let test_nest3_shape_fault () =
+  let d = mk3 ~ti:2 ~tj:5000 ~tk:2 ~perfect:false ~c:1 () in
+  let poison = Ast.Assign ("acc", Ast.Var "k") in
+  let d =
+    match d.Ast.d_body with
+    | [ Ast.For (v, lo, hi, [ mid ], a) ] ->
+        { d with Ast.d_body = [ Ast.For (v, lo, hi, [ poison; mid ], a) ] }
+    | _ -> Alcotest.fail "unexpected shape"
+  in
+  match Desugar.design_ex ~nest:`Flatten d with
+  | exception Hls_frontend.Fault.Error f ->
+      Alcotest.(check string) "typed code" "nest_shape" f.Hls_frontend.Fault.fe_code;
+      Alcotest.(check (option string)) "anchored at the outer loop" (Some "row")
+        f.Hls_frontend.Fault.fe_loop
+  | _ -> Alcotest.fail "expected a nest_shape fault"
 
 (* ---- region nest annotations and per-dimension IIs ---- *)
 
@@ -197,6 +291,35 @@ let prop_flattened_nest_equivalent =
                 c (Hls_sim.Equiv.verdict_to_string v)
           | None -> QCheck.Test.fail_reportf "no equivalence verdict"))
 
+(** Random 3-deep nests (perfect and imperfect): the behavioural model,
+    the schedule simulator and the folded kernel simulator agree on the
+    flattened triple loop. *)
+let prop_flattened_nest3_equivalent =
+  QCheck.Test.make ~name:"flattened 3-nest: behavioural == schedule sim == folded kernel sim"
+    ~count:15
+    QCheck.(
+      quad (int_range 1 3) (int_range 1 3) (pair (int_range 1 4) bool) (int_range 1 7))
+    (fun (ti, tj, (tk, perfect), c) ->
+      let d = mk3 ~ti ~tj ~tk ~perfect ~c () in
+      let options =
+        {
+          Flow.default_options with
+          Flow.nest_mode = `Flatten;
+          verify = true;
+          sim_iters = (2 * ti * tj * tk) + 3;
+          degrade = true;
+        }
+      in
+      match Flow.run ~options d with
+      | Error diag -> QCheck.Test.fail_reportf "flow failed: %s" (Hls_diag.Diag.to_string diag)
+      | Ok r -> (
+          match r.Flow.f_equiv with
+          | Some v when v.Hls_sim.Equiv.equivalent -> true
+          | Some v ->
+              QCheck.Test.fail_reportf "mismatch (ti=%d tj=%d tk=%d perfect=%b c=%d): %s" ti tj
+                tk perfect c (Hls_sim.Equiv.verdict_to_string v)
+          | None -> QCheck.Test.fail_reportf "no equivalence verdict"))
+
 (** The per-dimension II surface is consistent: outermost = kernel x
     inner trip, innermost = kernel. *)
 let prop_per_dim_iis_consistent =
@@ -212,11 +335,16 @@ let suite =
   [
     Alcotest.test_case "flatten rewrite shape" `Quick test_flatten_shape;
     Alcotest.test_case "perfect nest recognized" `Quick test_perfect_nest_recognized;
+    Alcotest.test_case "depth-3 flatten rewrite shape" `Quick test_flatten3_shape;
+    Alcotest.test_case "perfect depth-3 nest recognized" `Quick test_perfect_nest3_recognized;
+    Alcotest.test_case "depth-3 region nest math" `Quick test_region_nest3_math;
+    Alcotest.test_case "ineligible deep nest raises nest_shape" `Quick test_nest3_shape_fault;
     Alcotest.test_case "region nest math" `Quick test_region_nest_math;
     Alcotest.test_case "effective distance and modulo slack" `Quick test_eff_distance_and_slack;
     Alcotest.test_case "fold validates a flattened nest" `Quick test_fold_validates_nest;
     Alcotest.test_case "hierarchical compose" `Quick test_nest_sched_compose;
     Alcotest.test_case "super-op span arithmetic" `Quick test_span_arithmetic;
     QCheck_alcotest.to_alcotest prop_flattened_nest_equivalent;
+    QCheck_alcotest.to_alcotest prop_flattened_nest3_equivalent;
     QCheck_alcotest.to_alcotest prop_per_dim_iis_consistent;
   ]

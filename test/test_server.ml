@@ -542,6 +542,66 @@ let test_cache_bounded () =
   Alcotest.(check bool) "evicted key recompiles (not a cache hit)" false again.P.o_cached;
   Alcotest.(check string) "recompile is byte-identical" first.P.o_output again.P.o_output
 
+(* two clients racing identical submits of one design fingerprint must
+   trigger exactly one compile: the second rides the first's in-flight
+   job and both answers are byte-identical *)
+let test_coalesced_submits () =
+  with_server ~workers:1 @@ fun socket ->
+  let c1 = connect socket in
+  let c2 = connect socket in
+  let c3 = connect socket in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close c1;
+      Client.close c2;
+      Client.close c3)
+  @@ fun () ->
+  (* occupy the only worker so the racing submits both sit in admission *)
+  (match Client.submit_nowait c1 (long_spec ()) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "submit long: %s" m);
+  wait_in_flight socket 1;
+  let spec = P.job_spec ~verify:true P.C_flow (`Builtin "fft") in
+  (match Client.submit_nowait c2 spec with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "submit racer 1: %s" m);
+  (match Client.submit_nowait c3 spec with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "submit racer 2: %s" m);
+  (* both admitted: the daemon must have coalesced the second before any
+     of them compiles (the worker is still busy) *)
+  let stats_int path =
+    let c = connect socket in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    match Client.stats c with
+    | Ok j ->
+        Option.value
+          (Option.bind (P.member "jobs" j) (fun o ->
+               Option.bind (P.member path o) P.get_int))
+          ~default:(-1)
+    | Error m -> Alcotest.failf "stats: %s" m
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec wait_coalesced () =
+    if stats_int "coalesced" >= 1 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "racing submit was never coalesced"
+    else begin
+      Unix.sleepf 0.01;
+      wait_coalesced ()
+    end
+  in
+  wait_coalesced ();
+  ignore (Client.await c1);
+  let o2 = match Client.await c2 with Ok o -> o | Error m -> Alcotest.failf "await 2: %s" m in
+  let o3 = match Client.await c3 with Ok o -> o | Error m -> Alcotest.failf "await 3: %s" m in
+  Alcotest.(check bool) "both racers ok" true (o2.P.o_status = P.S_ok && o3.P.o_status = P.S_ok);
+  Alcotest.(check string) "byte-identical answers" o2.P.o_output o3.P.o_output;
+  Alcotest.(check bool) "exactly one compiled fresh, one rode it" true
+    (o2.P.o_cached <> o3.P.o_cached);
+  Alcotest.(check int) "one submit coalesced" 1 (stats_int "coalesced");
+  Alcotest.(check string) "matches the offline CLI" (offline_output spec) o2.P.o_output
+
 let test_json_roundtrip () =
   let samples =
     [
@@ -589,6 +649,8 @@ let suite =
     Alcotest.test_case "overloaded shed; cache hits still served" `Quick
       test_overloaded_shed_but_cache_served;
     Alcotest.test_case "draining observed by a client" `Quick test_draining_observed;
+    Alcotest.test_case "racing identical submits coalesce to one compile" `Quick
+      test_coalesced_submits;
     Alcotest.test_case "new frame roundtrips" `Quick test_new_frame_roundtrips;
     Alcotest.test_case "stats shape" `Quick test_stats_shape;
     Alcotest.test_case "slow client evicted, daemon unharmed" `Quick test_slow_client_evicted;
